@@ -1,0 +1,238 @@
+// Ablation benches for the future-direction extensions this repository
+// implements beyond the paper's evaluated algorithms (Sec. 6):
+//
+//  (4) Scalability — StreamingMatch: blocked DInf/CSLS decisions at
+//      O(block x m) workspace. Must produce the same F1 as the dense
+//      pipeline at a fraction of the memory.
+//  (5) Probabilistic matching — softmax posterior with an explicit,
+//      validation-calibrated no-match outcome; may abstain (unmatchable
+//      setting) or emit several links per source (non-1-to-1 setting).
+//  (6) Joint entity+relation evidence — relation-correspondence rescoring
+//      of the top candidates, learned from the seed links.
+
+#include "bench/harness.h"
+#include "common/memory_tracker.h"
+#include "common/timer.h"
+#include "la/similarity.h"
+#include "la/topk.h"
+#include "matching/partitioned.h"
+#include "matching/probabilistic.h"
+#include "matching/relation_context.h"
+#include "matching/streaming.h"
+#include "matching/transforms.h"
+
+namespace entmatcher::bench {
+namespace {
+
+void RunStreaming(double scale) {
+  std::cout << "\n--- Extension (4): streaming (blocked) matching ---\n";
+  TablePrinter table({"Pair", "Algo", "Dense F1", "Stream F1", "Dense mem",
+                      "Stream mem"});
+  for (const std::string& pair : {std::string("D-Z"), std::string("DW-W")}) {
+    KgPairDataset d = MustGenerate(pair, scale);
+    EmbeddingPair e = MustEmbed(d, EmbeddingSetting::kGcnStruct);
+    const Matrix src = ExtractRows(e.source, d.test_source_entities);
+    const Matrix tgt = ExtractRows(e.target, d.test_target_entities);
+
+    for (bool csls : {false, true}) {
+      // Dense baseline.
+      MemoryTracker::Global().ResetPeak();
+      const size_t base = MemoryTracker::Global().current_bytes();
+      MatchOptions dense_options =
+          MakePreset(csls ? AlgorithmPreset::kCsls : AlgorithmPreset::kDInf);
+      auto dense = RunMatching(d, e, dense_options);
+      if (!dense.ok()) std::abort();
+
+      // Streaming.
+      MemoryTracker::Global().ResetPeak();
+      StreamingOptions streaming_options;
+      streaming_options.use_csls = csls;
+      streaming_options.block_rows = 256;
+      auto streamed = StreamingMatch(src, tgt, streaming_options);
+      if (!streamed.ok()) std::abort();
+      const size_t stream_peak =
+          MemoryTracker::Global().peak_bytes() - base;
+
+      // Evaluate the streamed assignment.
+      std::vector<EntityPair> pairs;
+      for (size_t i = 0; i < streamed->size(); ++i) {
+        const int32_t j = streamed->target_of_source[i];
+        if (j == Assignment::kUnmatched) continue;
+        pairs.push_back(EntityPair{d.test_source_entities[i],
+                                   d.test_target_entities[j]});
+      }
+      const EvalMetrics metrics =
+          EvaluatePredictions(AlignmentSet(std::move(pairs)), d.split.test);
+
+      EvalMetrics dense_metrics =
+          EvaluatePredictions(dense->predicted, d.split.test);
+      table.AddRow({pair, csls ? "CSLS" : "DInf", F3(dense_metrics.f1),
+                    F3(metrics.f1), FormatBytes(dense->peak_workspace_bytes),
+                    FormatBytes(stream_peak)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "Identical F1 at a fraction of the workspace: the full score\n"
+               "matrix is never materialized.\n";
+}
+
+void RunProbabilistic(double scale) {
+  std::cout << "\n--- Extension (5): probabilistic matching with abstention "
+               "---\n";
+  TablePrinter table({"Pair", "Setting", "Algo", "P", "R", "F1", "Links"});
+  struct Case {
+    std::string pair;
+    std::string setting;
+  };
+  for (const Case& c : {Case{"D-Z+", "unmatchable"},
+                        Case{"FB-MUL", "non 1-to-1"}}) {
+    KgPairDataset d = MustGenerate(c.pair, scale);
+    EmbeddingPair e = MustEmbed(d, EmbeddingSetting::kRreaStruct);
+
+    // Baselines: the best paper algorithm per setting.
+    for (AlgorithmPreset preset :
+         {AlgorithmPreset::kDInf,
+          c.setting == "unmatchable" ? AlgorithmPreset::kHungarian
+                                     : AlgorithmPreset::kCsls}) {
+      ExperimentResult r = MustRun(d, e, preset);
+      table.AddRow({c.pair, c.setting, PresetName(preset),
+                    F3(r.metrics.precision), F3(r.metrics.recall),
+                    F3(r.metrics.f1), std::to_string(r.metrics.found)});
+    }
+
+    ProbabilisticOptions options;
+    auto predicted = RunProbabilisticMatching(d, e, options);
+    if (!predicted.ok()) {
+      std::cerr << predicted.status().ToString() << "\n";
+      std::abort();
+    }
+    const EvalMetrics m = EvaluatePredictions(*predicted, d.split.test);
+    table.AddRow({c.pair, c.setting, "Prob. (ours)", F3(m.precision),
+                  F3(m.recall), F3(m.f1), std::to_string(m.found)});
+  }
+  table.Print(std::cout);
+  std::cout << "The probabilistic matcher calibrates its no-match score on\n"
+               "the validation split and may emit zero or several links per\n"
+               "source — the flexibility the paper's direction (5) asks "
+               "for.\n";
+}
+
+void RunPartitioned(double scale) {
+  std::cout << "\n--- Extension (4b): ClusterEA-style partitioned matching "
+               "---\n";
+  TablePrinter table({"Pair", "Algo", "Dense F1", "Part. F1", "Dense mem",
+                      "Part. mem", "Dense T(s)", "Part. T(s)"});
+  KgPairDataset d = MustGenerate("DW-W", scale);
+  EmbeddingPair e = MustEmbed(d, EmbeddingSetting::kGcnStruct);
+  const Matrix src = ExtractRows(e.source, d.test_source_entities);
+  const Matrix tgt = ExtractRows(e.target, d.test_target_entities);
+
+  auto evaluate = [&](const Assignment& a) {
+    std::vector<EntityPair> pairs;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const int32_t j = a.target_of_source[i];
+      if (j == Assignment::kUnmatched) continue;
+      pairs.push_back(EntityPair{d.test_source_entities[i],
+                                 d.test_target_entities[j]});
+    }
+    return EvaluatePredictions(AlignmentSet(std::move(pairs)), d.split.test).f1;
+  };
+
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kSinkhorn, AlgorithmPreset::kHungarian}) {
+    MemoryTracker::Global().ResetPeak();
+    const size_t base = MemoryTracker::Global().current_bytes();
+    Timer dense_timer;
+    auto dense = MatchEmbeddings(src, tgt, MakePreset(preset));
+    const double dense_seconds = dense_timer.ElapsedSeconds();
+    if (!dense.ok()) std::abort();
+    const size_t dense_peak = MemoryTracker::Global().peak_bytes() - base;
+
+    MemoryTracker::Global().ResetPeak();
+    PartitionedOptions options;
+    options.num_partitions = 16;
+    options.block_options = MakePreset(preset);
+    Timer part_timer;
+    auto partitioned = PartitionedMatch(src, tgt, options);
+    const double part_seconds = part_timer.ElapsedSeconds();
+    if (!partitioned.ok()) std::abort();
+    const size_t part_peak = MemoryTracker::Global().peak_bytes() - base;
+
+    table.AddRow({d.name, PresetName(preset), F3(evaluate(*dense)),
+                  F3(evaluate(*partitioned)), FormatBytes(dense_peak),
+                  FormatBytes(part_peak), FormatDouble(dense_seconds, 1),
+                  FormatDouble(part_seconds, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "Per-block Sinkhorn/Hungarian after embedding co-clustering "
+               "([15]'s recipe):\nquadratic algorithms at a fraction of the "
+               "dense workspace and time, paying a\nbounded recall loss for "
+               "cross-partition pairs.\n";
+}
+
+void RunRelationContext(double scale) {
+  std::cout << "\n--- Extension (6): joint entity + relation evidence ---\n";
+  TablePrinter table({"Pair", "Emb.", "DInf F1", "DInf+rel F1", "CSLS F1",
+                      "CSLS+rel F1"});
+  for (const std::string& pair :
+       {std::string("D-Z"), std::string("S-F"), std::string("S-W")}) {
+    KgPairDataset d = MustGenerate(pair, scale);
+    for (EmbeddingSetting setting :
+         {EmbeddingSetting::kGcnStruct, EmbeddingSetting::kRreaStruct}) {
+      EmbeddingPair e = MustEmbed(d, setting);
+      const Matrix src = ExtractRows(e.source, d.test_source_entities);
+      const Matrix tgt = ExtractRows(e.target, d.test_target_entities);
+      auto raw = ComputeSimilarity(src, tgt, SimilarityMetric::kCosine);
+      if (!raw.ok()) std::abort();
+
+      auto evaluate = [&](const Matrix& scores) {
+        const std::vector<uint32_t> argmax = RowArgmax(scores);
+        std::vector<EntityPair> pairs;
+        for (size_t i = 0; i < argmax.size(); ++i) {
+          pairs.push_back(EntityPair{d.test_source_entities[i],
+                                     d.test_target_entities[argmax[i]]});
+        }
+        return EvaluatePredictions(AlignmentSet(std::move(pairs)),
+                                   d.split.test)
+            .f1;
+      };
+
+      RelationContextOptions rel_options;
+      auto rescored = RelationContextRescore(d, *raw, rel_options);
+      if (!rescored.ok()) std::abort();
+
+      // CSLS on top of both raw and rescored scores.
+      auto csls_raw = CslsTransform(*raw, 1);
+      auto csls_rescored = CslsTransform(*rescored, 1);
+      if (!csls_raw.ok() || !csls_rescored.ok()) std::abort();
+
+      table.AddRow({pair, EmbeddingSettingPrefix(setting), F3(evaluate(*raw)),
+                    F3(evaluate(*rescored)), F3(evaluate(*csls_raw)),
+                    F3(evaluate(*csls_rescored))});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "Relation-correspondence evidence (learned from the seed "
+               "links) rescoring the\ntop candidates — the joint "
+               "entity+relation space the paper's direction (6)\nsuggests "
+               "exploring.\n";
+}
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Extensions — the paper's future directions (4), (5) and (6)",
+              "Streaming low-memory matching, probabilistic matching with\n"
+              "abstention, and relation-context rescoring.");
+  RunStreaming(scale);
+  RunPartitioned(scale);
+  RunProbabilistic(scale);
+  RunRelationContext(scale);
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Figure 1's three conceptual cases experimentally:
+//
+//  (a) identical KGs + ideal representation learning: equivalent entities
+//      get (nearly) identical embeddings and even plain DInf is perfect;
+//  (b) heterogeneous KGs + good model: equivalent entities drift apart and
+//      DInf produces false pairs that collective matching repairs;
+//  (c) heterogeneous KGs + weak model: the embedding space is irregular and
+//      only collective constraints recover part of the matching.
+//
+// The structural-heterogeneity knob (triple_keep_prob) moves the world from
+// (a) toward (b)/(c); the embedding model (RREA vs GCN) separates (b) from
+// (c). A keep-prob sweep quantifies Pattern 2's mechanism: heterogeneity
+// degrades the pairwise scores, which throttles every algorithm and
+// compresses the advanced methods' lead.
+
+#include "bench/harness.h"
+#include "datagen/kg_pair_generator.h"
+#include "embedding/propagation.h"
+
+namespace entmatcher::bench {
+namespace {
+
+KgPairDataset MakeWorld(double keep_prob, double scale) {
+  KgPairGeneratorConfig c;
+  c.name = "keep=" + FormatDouble(keep_prob, 2);
+  c.seed = 77;
+  c.num_core_concepts =
+      std::max<size_t>(200, static_cast<size_t>(2000 * scale));
+  c.exclusive_fraction = 0.0;
+  c.avg_degree = 4.3;
+  c.num_world_relations = 600;
+  c.num_relations_source = 500;
+  c.num_relations_target = 450;
+  c.triple_keep_prob = keep_prob;
+  auto d = GenerateKgPair(c);
+  if (!d.ok()) {
+    std::cerr << d.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(d).value();
+}
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Figure 1 (experimental) — identical vs heterogeneous KGs",
+              "triple_keep_prob = 1.0 makes both KGs keep every world "
+              "triple\n(case a); lower values yield cases (b)/(c).");
+
+  TablePrinter table({"keep_prob", "Model", "DInf", "CSLS", "RInf", "Sink.",
+                      "Hun.", "best-vs-DInf"});
+  for (double keep : {1.0, 0.9, 0.8, 0.7}) {
+    KgPairDataset d = MakeWorld(keep, scale);
+    for (EmbeddingSetting setting :
+         {EmbeddingSetting::kRreaStruct, EmbeddingSetting::kGcnStruct}) {
+      EmbeddingPair e = MustEmbed(d, setting);
+      std::vector<std::string> row = {FormatDouble(keep, 2),
+                                      EmbeddingSettingPrefix(setting)};
+      double dinf_f1 = 0.0;
+      double best = 0.0;
+      for (AlgorithmPreset preset :
+           {AlgorithmPreset::kDInf, AlgorithmPreset::kCsls,
+            AlgorithmPreset::kRinf, AlgorithmPreset::kSinkhorn,
+            AlgorithmPreset::kHungarian}) {
+        ExperimentResult r = MustRun(d, e, preset);
+        row.push_back(F3(r.metrics.f1));
+        if (preset == AlgorithmPreset::kDInf) dinf_f1 = r.metrics.f1;
+        best = std::max(best, r.metrics.f1);
+      }
+      row.push_back(dinf_f1 > 0.0
+                        ? "+" + FormatDouble(100.0 * (best - dinf_f1) / dinf_f1,
+                                             1) +
+                              "%"
+                        : "");
+      table.AddRow(row);
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "\nAt keep_prob = 1.0 with the strong model, DInf is already "
+               "near-perfect (case a);\nheterogeneity opens the gap the "
+               "collective algorithms close (cases b/c).\n";
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 4: the mean standard deviation of each source entity's
+// top-5 pairwise similarity scores, per experimental setting.
+//
+// This is the statistic behind the paper's Pattern 1: settings with LOW
+// top-score STD (hard-to-separate candidates: the structure-only settings)
+// favor the score-improving methods (RInf/CSLS), while HIGH-STD settings
+// (name-driven) favor the global-constraint methods (SMat/RL).
+
+#include "bench/harness.h"
+
+namespace entmatcher::bench {
+namespace {
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Figure 4 — STD of the top-5 pairwise similarity scores",
+              "Mean over test source entities, per embedding setting and KG "
+              "pair.");
+
+  struct Block {
+    std::string name;
+    std::vector<std::string> pairs;
+    EmbeddingSetting setting;
+  };
+  const std::vector<Block> blocks = {
+      {"R-DBP", Dbp15kPairNames(), EmbeddingSetting::kRreaStruct},
+      {"R-SRP", SrprsPairNames(), EmbeddingSetting::kRreaStruct},
+      {"G-DBP", Dbp15kPairNames(), EmbeddingSetting::kGcnStruct},
+      {"G-SRP", SrprsPairNames(), EmbeddingSetting::kGcnStruct},
+      {"N-DBP", Dbp15kPairNames(), EmbeddingSetting::kNameOnly},
+      {"NR-DBP", Dbp15kPairNames(), EmbeddingSetting::kNameRrea},
+  };
+
+  TablePrinter table({"Setting", "Pair", "Top-5 STD"});
+  for (const Block& block : blocks) {
+    double sum = 0.0;
+    for (const std::string& pair : block.pairs) {
+      KgPairDataset d = MustGenerate(pair, scale);
+      EmbeddingPair e = MustEmbed(d, block.setting);
+      auto std5 = TopKScoreStd(d, e, 5);
+      if (!std5.ok()) {
+        std::cerr << std5.status().ToString() << "\n";
+        std::abort();
+      }
+      table.AddRow({block.name, pair, FormatDouble(*std5, 4)});
+      sum += *std5;
+    }
+    table.AddRow({block.name, "(mean)",
+                  FormatDouble(sum / block.pairs.size(), 4)});
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

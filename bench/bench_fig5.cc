@@ -1,0 +1,76 @@
+// Reproduces Figure 5: time (a) and memory (b) cost of every matching
+// algorithm on the medium-sized settings. Costs within a dataset family are
+// similar, so — like the paper — we report the family average.
+//
+// Expected shapes (paper Sec. 4.3, efficiency analysis):
+//   - DInf cheapest; CSLS close behind.
+//   - RInf and Hun. in the same band; Sink. slower (depends on l).
+//   - RL slowest; SMat the most memory-hungry.
+
+#include "bench/harness.h"
+
+namespace entmatcher::bench {
+namespace {
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Figure 5 — Efficiency comparison (medium-sized datasets)",
+              "(a) mean matching time in seconds; (b) mean peak workspace.\n"
+              "Averaged over the pairs of each family, per embedding model.");
+
+  struct Setting {
+    std::string name;
+    std::vector<std::string> pairs;
+    EmbeddingSetting setting;
+  };
+  const std::vector<Setting> settings = {
+      {"R-DBP", Dbp15kPairNames(), EmbeddingSetting::kRreaStruct},
+      {"R-SRP", SrprsPairNames(), EmbeddingSetting::kRreaStruct},
+      {"G-DBP", Dbp15kPairNames(), EmbeddingSetting::kGcnStruct},
+      {"G-SRP", SrprsPairNames(), EmbeddingSetting::kGcnStruct},
+  };
+
+  std::vector<std::string> headers = {"Model"};
+  for (const Setting& s : settings) headers.push_back(s.name + " T(s)");
+  for (const Setting& s : settings) headers.push_back(s.name + " Mem");
+  TablePrinter table(headers);
+
+  // (algorithm, setting) -> accumulated cost.
+  const auto presets = MainPresets();
+  std::vector<std::vector<double>> seconds(presets.size(),
+                                           std::vector<double>(settings.size()));
+  std::vector<std::vector<size_t>> bytes(presets.size(),
+                                         std::vector<size_t>(settings.size()));
+  for (size_t si = 0; si < settings.size(); ++si) {
+    for (const std::string& pair : settings[si].pairs) {
+      KgPairDataset d = MustGenerate(pair, scale);
+      EmbeddingPair e = MustEmbed(d, settings[si].setting);
+      for (size_t pi = 0; pi < presets.size(); ++pi) {
+        ExperimentResult r = MustRun(d, e, presets[pi]);
+        seconds[pi][si] += r.seconds / settings[si].pairs.size();
+        bytes[pi][si] =
+            std::max(bytes[pi][si], r.peak_workspace_bytes);
+      }
+    }
+  }
+
+  for (size_t pi = 0; pi < presets.size(); ++pi) {
+    std::vector<std::string> row = {PresetName(presets[pi])};
+    for (size_t si = 0; si < settings.size(); ++si) {
+      row.push_back(FormatDouble(seconds[pi][si], 2));
+    }
+    for (size_t si = 0; si < settings.size(); ++si) {
+      row.push_back(FormatBytes(bytes[pi][si]));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Figure 6: F1 of CSLS as its neighborhood size k varies.
+//
+// Expected shape (paper Sec. 4.5): under the 1-to-1 setting, larger k makes
+// the local-scaling terms less distinctive, so F1 decreases monotonically
+// with k — validating RInf's max-only preference design.
+// We additionally report the non-1-to-1 dataset, where (per the paper's
+// Appendix C discussion) k = 1 is no longer clearly optimal.
+
+#include "bench/harness.h"
+
+namespace entmatcher::bench {
+namespace {
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Figure 6 — F1 of CSLS with varying k",
+              "RREA embeddings; k is the CSLS top-k neighborhood size "
+              "(Eq. 1).");
+
+  const std::vector<size_t> ks = {1, 2, 5, 10};
+  const std::vector<std::string> pairs = {"D-Z", "D-J", "D-F", "S-F", "S-D",
+                                          "FB-MUL"};
+  std::vector<std::string> headers = {"Pair"};
+  for (size_t k : ks) headers.push_back("k=" + std::to_string(k));
+  TablePrinter table(headers);
+
+  for (const std::string& pair : pairs) {
+    KgPairDataset d = MustGenerate(pair, scale);
+    EmbeddingPair e = MustEmbed(d, EmbeddingSetting::kRreaStruct);
+    std::vector<std::string> row = {pair};
+    for (size_t k : ks) {
+      MatchOptions options = MakePreset(AlgorithmPreset::kCsls);
+      options.csls_k = k;
+      auto r = RunExperimentWithOptions(d, e, options,
+                                        "CSLS-k" + std::to_string(k));
+      if (!r.ok()) {
+        std::cerr << r.status().ToString() << "\n";
+        std::abort();
+      }
+      row.push_back(F3(r->metrics.f1));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 7: F1 of the Sinkhorn algorithm as its iteration count l
+// varies, plus the corresponding time cost.
+//
+// Expected shape (paper Sec. 4.5): larger l pushes the coupling closer to a
+// doubly-stochastic (1-to-1-like) matrix, so F1 increases with l and
+// saturates, while the time cost grows linearly — motivating the paper's
+// l = 100 default.
+
+#include "bench/harness.h"
+
+namespace entmatcher::bench {
+namespace {
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Figure 7 — F1 of Sink. with varying l",
+              "RREA embeddings; l is the Sinkhorn iteration count (Eq. 3).");
+
+  const std::vector<size_t> ls = {1, 2, 5, 10, 50, 100};
+  const std::vector<std::string> pairs = {"D-Z", "D-J", "D-F", "S-F", "S-D"};
+  std::vector<std::string> headers = {"Pair"};
+  for (size_t l : ls) headers.push_back("l=" + std::to_string(l));
+  headers.push_back("T(s) @ l=100");
+  TablePrinter table(headers);
+
+  for (const std::string& pair : pairs) {
+    KgPairDataset d = MustGenerate(pair, scale);
+    EmbeddingPair e = MustEmbed(d, EmbeddingSetting::kRreaStruct);
+    std::vector<std::string> row = {pair};
+    double last_seconds = 0.0;
+    for (size_t l : ls) {
+      MatchOptions options = MakePreset(AlgorithmPreset::kSinkhorn);
+      options.sinkhorn_iterations = l;
+      auto r = RunExperimentWithOptions(d, e, options,
+                                        "Sink-l" + std::to_string(l));
+      if (!r.ok()) {
+        std::cerr << r.status().ToString() << "\n";
+        std::abort();
+      }
+      row.push_back(F3(r->metrics.f1));
+      last_seconds = r->seconds;
+    }
+    row.push_back(FormatDouble(last_seconds, 2));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

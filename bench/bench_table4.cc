@@ -1,0 +1,70 @@
+// Reproduces Table 4: F1 of the seven matching algorithms using structural
+// information only — RREA ("R-") and GCN ("G-") embeddings on the DBP15K-sim
+// and SRPRS-sim families, with the paper's "Imp." column (mean relative
+// improvement over DInf).
+//
+// Expected shapes (paper Sec. 4.3):
+//   - Hun. and Sink. lead; DInf is worst; RInf/CSLS/SMat/RL in between.
+//   - R- beats G- throughout.
+//   - On the sparse SRPRS family the advanced-method gaps compress
+//     (Pattern 2).
+
+#include "bench/harness.h"
+
+namespace entmatcher::bench {
+namespace {
+
+void RunBlock(const std::string& block_name,
+              const std::vector<std::string>& pairs,
+              EmbeddingSetting setting, double scale) {
+  std::vector<KgPairDataset> datasets;
+  std::vector<EmbeddingPair> embeddings;
+  for (const std::string& pair : pairs) {
+    datasets.push_back(MustGenerate(pair, scale));
+    embeddings.push_back(MustEmbed(datasets.back(), setting));
+  }
+
+  std::vector<std::string> headers = {"Model"};
+  headers.insert(headers.end(), pairs.begin(), pairs.end());
+  headers.push_back("Imp.");
+  TablePrinter table(headers);
+
+  std::vector<double> dinf_f1s;
+  for (AlgorithmPreset preset : MainPresets()) {
+    std::vector<std::string> row = {PresetName(preset)};
+    std::vector<double> f1s;
+    for (size_t i = 0; i < datasets.size(); ++i) {
+      ExperimentResult r = MustRun(datasets[i], embeddings[i], preset);
+      f1s.push_back(r.metrics.f1);
+      row.push_back(F3(r.metrics.f1));
+    }
+    if (preset == AlgorithmPreset::kDInf) {
+      dinf_f1s = f1s;
+      row.push_back("");
+    } else {
+      row.push_back(Improvement(f1s, dinf_f1s));
+    }
+    table.AddRow(row);
+  }
+  std::cout << "\n-- " << block_name << " --\n";
+  table.Print(std::cout);
+}
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner("Table 4 — F1 scores using structural information only",
+              "R- = RREA-style embeddings, G- = GCN-style embeddings;\n"
+              "DBP = DBP15K-sim (dense), SRP = SRPRS-sim (sparse).");
+  RunBlock("R-DBP", Dbp15kPairNames(), EmbeddingSetting::kRreaStruct, scale);
+  RunBlock("R-SRP", SrprsPairNames(), EmbeddingSetting::kRreaStruct, scale);
+  RunBlock("G-DBP", Dbp15kPairNames(), EmbeddingSetting::kGcnStruct, scale);
+  RunBlock("G-SRP", SrprsPairNames(), EmbeddingSetting::kGcnStruct, scale);
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table 6: F1, time, and memory feasibility on the large-scale
+// DWY100K-sim pairs using GCN embeddings, including the scalable RInf
+// variants (RInf-wr, RInf-pb).
+//
+// Expected shapes (paper Sec. 4.4):
+//   - Ordering as on G-DBP: Sink./Hun. best, then RInf, CSLS/RL, DInf worst.
+//   - RInf-wr reproduces CSLS's F1 exactly at a fraction of RInf's cost;
+//     RInf-pb sits between RInf-wr and RInf.
+//   - DInf is by far the cheapest; Sink. and Hun. are the slowest.
+//   - SMat is the least space-efficient algorithm; at the paper's true scale
+//     (70k test entities/side) its rank tables alone need ~39 GB and do not
+//     fit ("Mem: No") — we report the measured workspace at our scale plus
+//     the projected paper-scale footprint.
+
+#include "bench/harness.h"
+
+namespace entmatcher::bench {
+namespace {
+
+// Test-candidate count of the real DWY100K (70% of 100k links).
+constexpr double kPaperScaleTestEntities = 70000.0;
+
+// Paper-scale workspace projection: workspace grows as n^2 for every
+// algorithm here, so scale the measured bytes by (70k / n)^2.
+std::string PaperScaleProjection(size_t measured_bytes, size_t n) {
+  const double factor = kPaperScaleTestEntities / static_cast<double>(n);
+  const double projected = static_cast<double>(measured_bytes) * factor * factor;
+  return FormatBytes(static_cast<size_t>(projected));
+}
+
+// The paper's experimental environment fits roughly this much workspace
+// before swapping/OOM (Sec. 4.4 footnotes 8/9).
+constexpr double kPaperMemoryBudgetBytes = 30.0 * 1024 * 1024 * 1024;
+
+void Run() {
+  const double scale = GlobalScale();
+  PrintBanner(
+      "Table 6 — Large-scale results on DWY100K-sim (GCN embeddings)",
+      "F1 per pair, mean matching time, measured peak workspace, and the\n"
+      "projected workspace at the paper's true scale (70k test entities),\n"
+      "with the corresponding feasibility verdict (budget ~30 GB).");
+
+  const std::vector<std::string> pairs = Dwy100kPairNames();
+  std::vector<KgPairDataset> datasets;
+  std::vector<EmbeddingPair> embeddings;
+  for (const std::string& pair : pairs) {
+    datasets.push_back(MustGenerate(pair, scale));
+    embeddings.push_back(
+        MustEmbed(datasets.back(), EmbeddingSetting::kGcnStruct));
+  }
+
+  std::vector<std::string> headers = {"Model"};
+  headers.insert(headers.end(), pairs.begin(), pairs.end());
+  headers.insert(headers.end(), {"Imp.", "T (s)", "Workspace",
+                                 "Paper-scale est.", "Mem"});
+  TablePrinter table(headers);
+
+  std::vector<double> dinf_f1s;
+  for (AlgorithmPreset preset : ScalabilityPresets()) {
+    std::vector<std::string> row = {PresetName(preset)};
+    std::vector<double> f1s;
+    double total_seconds = 0.0;
+    size_t max_workspace = 0;
+    size_t n = 1;
+    for (size_t i = 0; i < datasets.size(); ++i) {
+      ExperimentResult r = MustRun(datasets[i], embeddings[i], preset);
+      f1s.push_back(r.metrics.f1);
+      row.push_back(F3(r.metrics.f1));
+      total_seconds += r.seconds;
+      max_workspace = std::max(max_workspace, r.peak_workspace_bytes);
+      n = datasets[i].test_source_entities.size();
+    }
+    if (preset == AlgorithmPreset::kDInf) {
+      dinf_f1s = f1s;
+      row.push_back("");
+    } else {
+      row.push_back(Improvement(f1s, dinf_f1s));
+    }
+    row.push_back(FormatDouble(total_seconds / datasets.size(), 1));
+    row.push_back(FormatBytes(max_workspace));
+    row.push_back(PaperScaleProjection(max_workspace, n));
+    const double projected =
+        static_cast<double>(max_workspace) *
+        (kPaperScaleTestEntities / n) * (kPaperScaleTestEntities / n);
+    row.push_back(projected <= kPaperMemoryBudgetBytes ? "Yes" : "No");
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote: the paper's Python SMat could not run at DWY100K "
+               "scale at all; our C++ SMat\nruns at the reduced scale but "
+               "its projected paper-scale footprint exceeds the budget,\n"
+               "reproducing the feasibility verdict.\n";
+}
+
+}  // namespace
+}  // namespace entmatcher::bench
+
+int main() {
+  entmatcher::bench::Run();
+  return 0;
+}

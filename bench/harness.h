@@ -1,0 +1,86 @@
+#ifndef ENTMATCHER_BENCH_HARNESS_H_
+#define ENTMATCHER_BENCH_HARNESS_H_
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "datagen/benchmarks.h"
+#include "embedding/provider.h"
+#include "eval/experiment.h"
+
+namespace entmatcher::bench {
+
+/// Prints the standard banner for a table/figure reproduction harness.
+inline void PrintBanner(const std::string& title, const std::string& detail) {
+  std::cout << "==================================================================\n"
+            << title << "\n"
+            << detail << "\n"
+            << "==================================================================\n";
+}
+
+/// Formats an F1/score cell.
+inline std::string F3(double v) { return FormatDouble(v, 3); }
+
+/// Formats the paper's "Imp." column: mean relative improvement over DInf.
+inline std::string Improvement(const std::vector<double>& f1s,
+                               const std::vector<double>& dinf_f1s) {
+  if (f1s.size() != dinf_f1s.size() || f1s.empty()) return "";
+  double total = 0.0;
+  for (size_t i = 0; i < f1s.size(); ++i) {
+    if (dinf_f1s[i] <= 0.0) return "";
+    total += (f1s[i] - dinf_f1s[i]) / dinf_f1s[i];
+  }
+  return FormatDouble(100.0 * total / f1s.size(), 1) + "%";
+}
+
+/// Generates a dataset (with the given global scale multiplier) or dies.
+inline KgPairDataset MustGenerate(const std::string& pair, double scale) {
+  auto d = GenerateDataset(pair, scale);
+  if (!d.ok()) {
+    std::cerr << "dataset " << pair << ": " << d.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(d).value();
+}
+
+/// Computes embeddings or dies.
+inline EmbeddingPair MustEmbed(const KgPairDataset& dataset,
+                               EmbeddingSetting setting) {
+  auto e = ComputeEmbeddings(dataset, setting);
+  if (!e.ok()) {
+    std::cerr << "embeddings for " << dataset.name << ": "
+              << e.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(e).value();
+}
+
+/// Runs one preset or dies.
+inline ExperimentResult MustRun(const KgPairDataset& dataset,
+                                const EmbeddingPair& embeddings,
+                                AlgorithmPreset preset) {
+  auto r = RunExperiment(dataset, embeddings, preset);
+  if (!r.ok()) {
+    std::cerr << PresetName(preset) << " on " << dataset.name << ": "
+              << r.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// Reads the EM_BENCH_SCALE env var (default 1.0) so the whole suite can be
+/// shrunk for smoke runs (e.g. EM_BENCH_SCALE=0.2 ./bench_table4).
+inline double GlobalScale() {
+  const char* env = std::getenv("EM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace entmatcher::bench
+
+#endif  // ENTMATCHER_BENCH_HARNESS_H_

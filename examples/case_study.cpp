@@ -1,0 +1,74 @@
+// Example: the Appendix-D-style case study — explainable matching decisions.
+//
+// Picks test source entities where DInf's raw nearest neighbor is WRONG but
+// an advanced transform (RInf here) recovers the gold target, and prints the
+// full decision trace: raw scores/ranks vs transformed scores/ranks per
+// candidate. This realizes the paper's claim (Sec. 1) that the embedding
+// matching stage "empowers EA with explainability", because the trace shows
+// exactly why the decision moved.
+//
+// Build & run: ./build/examples/case_study
+
+#include <cstdlib>
+#include <iostream>
+
+#include "datagen/benchmarks.h"
+#include "embedding/provider.h"
+#include "eval/explain.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace entmatcher;
+
+  Result<KgPairDataset> dataset = GenerateDataset("D-Z", /*scale=*/0.5);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return EXIT_FAILURE;
+  }
+  Result<EmbeddingPair> embeddings =
+      ComputeEmbeddings(*dataset, EmbeddingSetting::kRreaStruct);
+  if (!embeddings.ok()) {
+    std::cerr << embeddings.status().ToString() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  // Find entities where DInf errs but RInf is correct.
+  Result<MatchRun> dinf =
+      RunMatching(*dataset, *embeddings, MakePreset(AlgorithmPreset::kDInf));
+  Result<MatchRun> rinf =
+      RunMatching(*dataset, *embeddings, MakePreset(AlgorithmPreset::kRinf));
+  if (!dinf.ok() || !rinf.ok()) {
+    std::cerr << "matching failed\n";
+    return EXIT_FAILURE;
+  }
+  std::vector<EntityId> interesting;
+  for (size_t i = 0;
+       i < dataset->test_source_entities.size() && interesting.size() < 4;
+       ++i) {
+    const EntityId s = dataset->test_source_entities[i];
+    const auto& tgt_ids = dataset->test_target_entities;
+    const int32_t dj = dinf->assignment.target_of_source[i];
+    const int32_t rj = rinf->assignment.target_of_source[i];
+    if (dj < 0 || rj < 0) continue;
+    const bool dinf_ok = dataset->split.test.Contains(s, tgt_ids[dj]);
+    const bool rinf_ok = dataset->split.test.Contains(s, tgt_ids[rj]);
+    if (!dinf_ok && rinf_ok) interesting.push_back(s);
+  }
+  if (interesting.empty()) {
+    std::cout << "no DInf-wrong/RInf-right cases at this scale\n";
+    return EXIT_SUCCESS;
+  }
+  std::cout << "cases where the raw nearest neighbor (DInf) is wrong but the\n"
+               "reciprocal ranking (RInf) recovers the gold target:\n\n";
+
+  Result<std::vector<MatchExplanation>> traces = ExplainMatches(
+      *dataset, *embeddings, MakePreset(AlgorithmPreset::kRinf), interesting);
+  if (!traces.ok()) {
+    std::cerr << traces.status().ToString() << "\n";
+    return EXIT_FAILURE;
+  }
+  for (const MatchExplanation& trace : *traces) {
+    std::cout << FormatExplanation(trace) << "\n";
+  }
+  return EXIT_SUCCESS;
+}

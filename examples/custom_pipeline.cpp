@@ -1,0 +1,124 @@
+// Example: using EntMatcher-C++ as a toolkit on YOUR OWN embeddings.
+//
+// The library's loosely-coupled design (paper Fig. 3) lets you combine any
+// similarity metric, any score transform, and any matching decision. This
+// example builds a small embedding space by hand, then:
+//   1. mixes-and-matches pipeline stages through the matrix-level API,
+//   2. round-trips a KG through the TSV interchange format,
+//   3. shows how a new combination (e.g. CSLS scores + Hungarian decision —
+//      not one of the paper's named presets) is one options struct away.
+//
+// Build & run: ./build/examples/custom_pipeline
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "kg/io.h"
+#include "la/matrix.h"
+#include "matching/pipeline.h"
+
+namespace {
+
+using namespace entmatcher;
+
+// A toy embedding space: targets are noisy copies of sources under a random
+// permutation, plus one "hub" vector that attracts everything.
+struct ToySpace {
+  Matrix source;
+  Matrix target;
+  std::vector<uint32_t> gold_permutation;
+};
+
+ToySpace MakeToySpace(size_t n, size_t dim, double noise, uint64_t seed) {
+  Rng rng(seed);
+  ToySpace toy;
+  toy.source = Matrix(n, dim);
+  toy.target = Matrix(n, dim);
+  toy.gold_permutation.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    toy.gold_permutation[i] = static_cast<uint32_t>(i);
+  }
+  rng.Shuffle(&toy.gold_permutation);
+
+  std::vector<float> hub(dim);
+  for (float& v : hub) v = static_cast<float>(rng.NextGaussian());
+  for (size_t i = 0; i < n; ++i) {
+    auto src = toy.source.Row(i);
+    auto tgt = toy.target.Row(toy.gold_permutation[i]);
+    for (size_t k = 0; k < dim; ++k) {
+      const float v = static_cast<float>(rng.NextGaussian());
+      // Mix in the hub direction to create hubness, the failure mode CSLS
+      // and RInf were designed to fix.
+      src[k] = v + 0.8f * hub[k];
+      tgt[k] = v + 0.8f * hub[k] +
+               static_cast<float>(noise * rng.NextGaussian());
+    }
+  }
+  return toy;
+}
+
+double Accuracy(const Assignment& a, const std::vector<uint32_t>& gold) {
+  size_t correct = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.target_of_source[i] == static_cast<int32_t>(gold[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+int main() {
+  const ToySpace toy = MakeToySpace(/*n=*/400, /*dim=*/32, /*noise=*/0.9,
+                                    /*seed=*/7);
+
+  // Every (metric, transform, matcher) combination is a MatchOptions value.
+  struct Combo {
+    std::string name;
+    MatchOptions options;
+  };
+  std::vector<Combo> combos;
+  {
+    MatchOptions o;  // cosine + none + greedy == DInf
+    combos.push_back({"cosine|none|greedy (DInf)", o});
+    o.metric = SimilarityMetric::kNegEuclidean;
+    combos.push_back({"euclidean|none|greedy", o});
+    o = MatchOptions();
+    o.transform = ScoreTransformKind::kCsls;
+    o.csls_k = 3;
+    combos.push_back({"cosine|CSLS(k=3)|greedy", o});
+    o.matcher = MatcherKind::kHungarian;
+    combos.push_back({"cosine|CSLS(k=3)|hungarian (novel combo)", o});
+    o = MatchOptions();
+    o.transform = ScoreTransformKind::kSinkhorn;
+    o.matcher = MatcherKind::kGaleShapley;
+    combos.push_back({"cosine|sinkhorn|gale-shapley (novel combo)", o});
+  }
+
+  entmatcher::TablePrinter table({"Pipeline", "Accuracy"});
+  for (const Combo& combo : combos) {
+    Result<Assignment> a =
+        MatchEmbeddings(toy.source, toy.target, combo.options);
+    if (!a.ok()) {
+      std::cerr << combo.name << ": " << a.status().ToString() << "\n";
+      return EXIT_FAILURE;
+    }
+    table.AddRow({combo.name,
+                  entmatcher::FormatDouble(
+                      Accuracy(*a, toy.gold_permutation), 3)});
+  }
+  table.Print(std::cout);
+
+  // TSV interchange: persist a toy KG and read it back.
+  auto graph = KnowledgeGraph::Create(3, 1, {{0, 0, 1}, {1, 0, 2}});
+  if (!graph.ok()) return EXIT_FAILURE;
+  const std::string path = "/tmp/entmatcher_custom_pipeline.tsv";
+  if (!WriteTriplesTsv(*graph, path).ok()) return EXIT_FAILURE;
+  auto loaded = ReadTriplesTsv(path);
+  if (!loaded.ok()) return EXIT_FAILURE;
+  std::cout << "\nTSV round-trip: wrote and re-read "
+            << loaded->triples().size() << " triples via " << path << "\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,177 @@
+// entmatcher_cli — a command-line front end for the whole pipeline, working
+// on OpenEA-style dataset directories and binary embedding files.
+//
+//   entmatcher_cli generate <pair> <dir> [scale]
+//       Generate a benchmark dataset (e.g. D-Z, S-F, DW-W, D-Z+, FB-MUL)
+//       and save it under <dir>.
+//   entmatcher_cli stats <dir>
+//       Print the dataset statistics (the Table 3 row).
+//   entmatcher_cli embed <dir> <G|R|N|NR> <out_prefix>
+//       Compute unified embeddings and write <out_prefix>.src.emat /
+//       <out_prefix>.tgt.emat.
+//   entmatcher_cli match <dir> <src.emat> <tgt.emat> <algo> [out_links.tsv]
+//       Run one matching algorithm (DInf, CSLS, RInf, RInf-wr, RInf-pb,
+//       Sink., Hun., SMat, RL) and report P/R/F1; optionally save the
+//       predicted links.
+//   entmatcher_cli eval <dir> <links.tsv>
+//       Score previously saved predicted links against the test split.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "datagen/benchmarks.h"
+#include "embedding/provider.h"
+#include "eval/metrics.h"
+#include "kg/dataset_io.h"
+#include "kg/io.h"
+#include "la/matrix_io.h"
+#include "matching/pipeline.h"
+
+namespace {
+
+using namespace entmatcher;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return EXIT_FAILURE;
+}
+
+int Usage() {
+  std::cerr << "usage: entmatcher_cli "
+               "generate|stats|embed|match|eval ... (see source header)\n";
+  return EXIT_FAILURE;
+}
+
+Result<EmbeddingSetting> ParseSetting(const std::string& text) {
+  if (text == "G") return EmbeddingSetting::kGcnStruct;
+  if (text == "R") return EmbeddingSetting::kRreaStruct;
+  if (text == "N") return EmbeddingSetting::kNameOnly;
+  if (text == "NR") return EmbeddingSetting::kNameRrea;
+  return Status::InvalidArgument("unknown embedding setting: " + text);
+}
+
+Result<AlgorithmPreset> ParseAlgorithm(const std::string& text) {
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kDInf, AlgorithmPreset::kCsls, AlgorithmPreset::kRinf,
+        AlgorithmPreset::kRinfWr, AlgorithmPreset::kRinfPb,
+        AlgorithmPreset::kSinkhorn, AlgorithmPreset::kHungarian,
+        AlgorithmPreset::kStableMatch, AlgorithmPreset::kRl}) {
+    if (text == PresetName(preset)) return preset;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + text);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+  Result<KgPairDataset> dataset = GenerateDataset(argv[2], scale);
+  if (!dataset.ok()) return Fail(dataset.status());
+  Status saved = SaveDatasetDir(*dataset, argv[3]);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "wrote " << dataset->name << " (" << dataset->TotalEntities()
+            << " entities, " << dataset->TotalTriples() << " triples, "
+            << dataset->gold.size() << " links) to " << argv[3] << "\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<KgPairDataset> dataset = LoadDatasetDir(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::cout << "name:        " << dataset->name << "\n"
+            << "entities:    " << dataset->TotalEntities() << "\n"
+            << "relations:   " << dataset->TotalRelations() << "\n"
+            << "triples:     " << dataset->TotalTriples() << "\n"
+            << "gold links:  " << dataset->gold.size() << " ("
+            << dataset->gold.size() - dataset->gold.CountOneToOneLinks()
+            << " non-1-to-1)\n"
+            << "splits:      " << dataset->split.train.size() << " train / "
+            << dataset->split.valid.size() << " valid / "
+            << dataset->split.test.size() << " test\n"
+            << "avg degree:  " << FormatDouble(dataset->AverageDegree(), 2)
+            << "\n"
+            << "test cands:  " << dataset->test_source_entities.size() << " x "
+            << dataset->test_target_entities.size() << "\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdEmbed(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Result<KgPairDataset> dataset = LoadDatasetDir(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  Result<EmbeddingSetting> setting = ParseSetting(argv[3]);
+  if (!setting.ok()) return Fail(setting.status());
+  Result<EmbeddingPair> embeddings = ComputeEmbeddings(*dataset, *setting);
+  if (!embeddings.ok()) return Fail(embeddings.status());
+  const std::string prefix = argv[4];
+  Status s = WriteMatrixBinary(embeddings->source, prefix + ".src.emat");
+  if (!s.ok()) return Fail(s);
+  s = WriteMatrixBinary(embeddings->target, prefix + ".tgt.emat");
+  if (!s.ok()) return Fail(s);
+  std::cout << "wrote " << prefix << ".{src,tgt}.emat ("
+            << embeddings->source.rows() << "+" << embeddings->target.rows()
+            << " x " << embeddings->dim() << ")\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdMatch(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  Result<KgPairDataset> dataset = LoadDatasetDir(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  Result<Matrix> src = ReadMatrixBinary(argv[3]);
+  if (!src.ok()) return Fail(src.status());
+  Result<Matrix> tgt = ReadMatrixBinary(argv[4]);
+  if (!tgt.ok()) return Fail(tgt.status());
+  Result<AlgorithmPreset> algorithm = ParseAlgorithm(argv[5]);
+  if (!algorithm.ok()) return Fail(algorithm.status());
+
+  EmbeddingPair embeddings;
+  embeddings.source = std::move(src).value();
+  embeddings.target = std::move(tgt).value();
+  Result<MatchRun> run =
+      RunMatching(*dataset, embeddings, MakePreset(*algorithm));
+  if (!run.ok()) return Fail(run.status());
+
+  const EvalMetrics m = EvaluatePredictions(run->predicted, dataset->split.test);
+  std::cout << PresetName(*algorithm) << ": P=" << FormatDouble(m.precision, 3)
+            << " R=" << FormatDouble(m.recall, 3)
+            << " F1=" << FormatDouble(m.f1, 3) << " ("
+            << FormatDouble(run->seconds, 2) << "s, "
+            << FormatBytes(run->peak_workspace_bytes) << " workspace)\n";
+  if (argc > 6) {
+    Status s = WriteLinksTsv(run->predicted, argv[6]);
+    if (!s.ok()) return Fail(s);
+    std::cout << "wrote " << run->predicted.size() << " links to " << argv[6]
+              << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+int CmdEval(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<KgPairDataset> dataset = LoadDatasetDir(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  Result<AlignmentSet> predicted = ReadLinksTsv(argv[3]);
+  if (!predicted.ok()) return Fail(predicted.status());
+  const EvalMetrics m = EvaluatePredictions(*predicted, dataset->split.test);
+  std::cout << "P=" << FormatDouble(m.precision, 3)
+            << " R=" << FormatDouble(m.recall, 3)
+            << " F1=" << FormatDouble(m.f1, 3) << " (" << m.correct << "/"
+            << m.found << " correct, " << m.gold << " gold)\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "embed") return CmdEmbed(argc, argv);
+  if (command == "match") return CmdMatch(argc, argv);
+  if (command == "eval") return CmdEval(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,63 @@
+// Example: non-1-to-1 alignment (paper Sec. 5.2).
+//
+// An FB_DBP_MUL-style pair is generated in which most gold links belong to
+// 1-to-many / many-to-1 / many-to-many clusters (granularity differences and
+// duplicates between KGs). Every current algorithm emits at most one link
+// per source entity, so recall is structurally capped, and the hard 1-to-1
+// matchers (Hungarian, Gale–Shapley) are actively penalized.
+//
+// Build & run: ./build/examples/non_1to1_alignment
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "datagen/benchmarks.h"
+#include "embedding/provider.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace entmatcher;
+
+  Result<KgPairDataset> dataset = GenerateDataset("FB-MUL", /*scale=*/0.5);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return EXIT_FAILURE;
+  }
+  const size_t non11 = dataset->gold.size() - dataset->gold.CountOneToOneLinks();
+  std::cout << "gold links: " << dataset->gold.size() << " (" << non11
+            << " non-1-to-1)\n"
+            << "test links: " << dataset->split.test.size() << " over "
+            << dataset->test_source_entities.size()
+            << " source entities -> recall is capped at "
+            << FormatDouble(
+                   static_cast<double>(dataset->test_source_entities.size()) /
+                       static_cast<double>(dataset->split.test.size()),
+                   2)
+            << " even for a perfect one-link-per-source matcher\n\n";
+
+  Result<EmbeddingPair> embeddings =
+      ComputeEmbeddings(*dataset, EmbeddingSetting::kRreaStruct);
+  if (!embeddings.ok()) {
+    std::cerr << embeddings.status().ToString() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  TablePrinter table({"Algorithm", "P", "R", "F1"});
+  for (AlgorithmPreset preset : MainPresets()) {
+    Result<ExperimentResult> r = RunExperiment(*dataset, *embeddings, preset);
+    if (!r.ok()) {
+      std::cerr << r.status().ToString() << "\n";
+      return EXIT_FAILURE;
+    }
+    table.AddRow({r->algorithm, FormatDouble(r->metrics.precision, 3),
+                  FormatDouble(r->metrics.recall, 3),
+                  FormatDouble(r->metrics.f1, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPer the paper's insight 3: RInf/CSLS are preferred here — "
+               "they model the\nreciprocal influence without hard-enforcing "
+               "the (violated) 1-to-1 constraint.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,62 @@
+// Example: aligning KGs that contain unmatchable entities (paper Sec. 5.1).
+//
+// A DBP15K+-style pair is generated in which 30% of the test source
+// candidates have no counterpart in the target KG. The example contrasts:
+//   - greedy matching (DInf): aligns *every* source, so each unmatchable
+//     entity produces a wrong pair and precision collapses;
+//   - Hungarian with dummy-node padding: unmatchable sources are pushed to
+//     dummy columns and come back as "no match", preserving precision.
+//
+// Build & run: ./build/examples/unmatchable_alignment
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "datagen/benchmarks.h"
+#include "embedding/provider.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace entmatcher;
+
+  Result<KgPairDataset> dataset = GenerateDataset("D-Z+", /*scale=*/0.5);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return EXIT_FAILURE;
+  }
+  const size_t linked = dataset->split.test.SourceEntities().size();
+  const size_t total = dataset->test_source_entities.size();
+  std::cout << "test source candidates: " << total << " (" << total - linked
+            << " unmatchable)\n";
+
+  Result<EmbeddingPair> embeddings =
+      ComputeEmbeddings(*dataset, EmbeddingSetting::kRreaStruct);
+  if (!embeddings.ok()) {
+    std::cerr << embeddings.status().ToString() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  TablePrinter table({"Algorithm", "P", "R", "F1", "Unmatched sources"});
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kDInf, AlgorithmPreset::kCsls,
+        AlgorithmPreset::kHungarian, AlgorithmPreset::kStableMatch}) {
+    Result<MatchRun> run =
+        RunMatching(*dataset, *embeddings, MakePreset(preset));
+    if (!run.ok()) {
+      std::cerr << run.status().ToString() << "\n";
+      return EXIT_FAILURE;
+    }
+    EvalMetrics m = EvaluatePredictions(run->predicted, dataset->split.test);
+    table.AddRow({PresetName(preset), FormatDouble(m.precision, 3),
+                  FormatDouble(m.recall, 3), FormatDouble(m.f1, 3),
+                  std::to_string(run->assignment.size() -
+                                 run->assignment.NumMatched())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nGreedy methods align every source (0 unmatched) and pay in "
+               "precision;\nHun./SMat reject via dummy nodes — the paper's "
+               "recipe for this setting.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,28 @@
+#include "common/memory_tracker.h"
+
+namespace entmatcher {
+
+MemoryTracker& MemoryTracker::Global() {
+  // Function-local static reference; trivial-destructor rule honored by
+  // never deleting the instance.
+  static MemoryTracker& instance = *new MemoryTracker();
+  return instance;
+}
+
+void MemoryTracker::Add(size_t bytes) {
+  size_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Sub(size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() {
+  peak_.store(current_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+}  // namespace entmatcher

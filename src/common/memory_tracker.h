@@ -1,0 +1,65 @@
+#ifndef ENTMATCHER_COMMON_MEMORY_TRACKER_H_
+#define ENTMATCHER_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace entmatcher {
+
+/// Process-wide tracker for large numeric workspace allocations (matrices,
+/// rank tables). The paper reports per-algorithm memory cost (Figure 5b,
+/// Table 6); RSS is noisy on a shared machine, so benches instead reset this
+/// tracker before a run and read the peak afterwards. All Matrix buffers and
+/// matcher-side rank tables register here, making the metric deterministic.
+///
+/// All operations are thread-safe.
+class MemoryTracker {
+ public:
+  /// The process-wide instance.
+  static MemoryTracker& Global();
+
+  /// Records an allocation of `bytes`.
+  void Add(size_t bytes);
+
+  /// Records a deallocation of `bytes`.
+  void Sub(size_t bytes);
+
+  /// Currently live tracked bytes.
+  size_t current_bytes() const { return current_.load(std::memory_order_relaxed); }
+
+  /// Highest value of current_bytes() since the last ResetPeak().
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Resets the peak to the current live size (start of a measured region).
+  void ResetPeak();
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+ private:
+  MemoryTracker() = default;
+
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+/// RAII helper registering a fixed-size workspace (e.g., preference lists)
+/// with the global tracker for the duration of a scope.
+class ScopedTrackedBytes {
+ public:
+  explicit ScopedTrackedBytes(size_t bytes) : bytes_(bytes) {
+    MemoryTracker::Global().Add(bytes_);
+  }
+  ~ScopedTrackedBytes() { MemoryTracker::Global().Sub(bytes_); }
+
+  ScopedTrackedBytes(const ScopedTrackedBytes&) = delete;
+  ScopedTrackedBytes& operator=(const ScopedTrackedBytes&) = delete;
+
+ private:
+  size_t bytes_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_COMMON_MEMORY_TRACKER_H_

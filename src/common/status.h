@@ -1,0 +1,182 @@
+#ifndef ENTMATCHER_COMMON_STATUS_H_
+#define ENTMATCHER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace entmatcher {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions; every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kIoError,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after arrow::Status.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use Status::OK() for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code_ != StatusCode::kOk);
+  }
+
+  /// The canonical OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container, modeled after arrow::Result.
+///
+/// Usage:
+///   Result<Matrix> r = LoadMatrix(path);
+///   if (!r.ok()) return r.status();
+///   Matrix m = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (success).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : state_(std::move(status)) {
+    assert(!std::get<Status>(state_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// The status: OK() when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Accesses the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagates errors from an expression producing a Status.
+#define EM_RETURN_NOT_OK(expr)                        \
+  do {                                                \
+    ::entmatcher::Status _em_status = (expr);         \
+    if (!_em_status.ok()) return _em_status;          \
+  } while (0)
+
+#define EM_STATUS_CONCAT_INNER_(a, b) a##b
+#define EM_STATUS_CONCAT_(a, b) EM_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates an expression producing Result<T>; on error returns the status,
+/// otherwise assigns the value to `lhs`. `lhs` may include a declaration:
+///   EM_ASSIGN_OR_RETURN(Matrix m, LoadMatrix(path));
+#define EM_ASSIGN_OR_RETURN(lhs, expr)                               \
+  EM_ASSIGN_OR_RETURN_IMPL_(EM_STATUS_CONCAT_(_em_result_, __LINE__), \
+                            lhs, expr)
+
+#define EM_ASSIGN_OR_RETURN_IMPL_(result_name, lhs, expr) \
+  auto result_name = (expr);                               \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).value()
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_COMMON_STATUS_H_

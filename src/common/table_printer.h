@@ -1,0 +1,44 @@
+#ifndef ENTMATCHER_COMMON_TABLE_PRINTER_H_
+#define ENTMATCHER_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace entmatcher {
+
+/// Column-aligned plain-text table writer used by the benchmark harnesses to
+/// print the paper's tables (Table 3–8 and the figure series).
+///
+///   TablePrinter t({"Model", "D-Z", "D-J"});
+///   t.AddRow({"DInf", "0.605", "0.603"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells, long rows are an
+  /// error caught by assert in debug builds.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Writes the formatted table.
+  void Print(std::ostream& os) const;
+
+  /// Returns the formatted table as a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  // A row; empty vector encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_COMMON_TABLE_PRINTER_H_

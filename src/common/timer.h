@@ -1,0 +1,32 @@
+#ifndef ENTMATCHER_COMMON_TIMER_H_
+#define ENTMATCHER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace entmatcher {
+
+/// Monotonic wall-clock stopwatch used for the paper's time-cost columns.
+class Timer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_COMMON_TIMER_H_

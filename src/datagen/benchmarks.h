@@ -1,0 +1,39 @@
+#ifndef ENTMATCHER_DATAGEN_BENCHMARKS_H_
+#define ENTMATCHER_DATAGEN_BENCHMARKS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/generator_config.h"
+#include "datagen/kg_pair_generator.h"
+
+namespace entmatcher {
+
+/// Returns the generator configuration for one of the paper's KG pairs,
+/// scaled-down per DESIGN.md. Recognized names:
+///   DBP15K family (dense, cross-lingual):  "D-Z", "D-J", "D-F"
+///   SRPRS family (sparse):                 "S-F", "S-D", "S-W", "S-Y"
+///   DWY100K family (large, mono-lingual):  "DW-W", "DW-Y"
+///   DBP15K+ (unmatchable entities):        "D-Z+", "D-J+", "D-F+"
+///   FB_DBP_MUL (non 1-to-1):               "FB-MUL"
+///
+/// `scale` multiplies the concept count (1.0 = the repository default size);
+/// use small values in unit tests and larger ones to stress scalability.
+Result<KgPairGeneratorConfig> MakeDatasetConfig(std::string_view pair_name,
+                                                double scale = 1.0);
+
+/// Convenience: configure and generate in one call.
+Result<KgPairDataset> GenerateDataset(std::string_view pair_name,
+                                      double scale = 1.0);
+
+/// Pair-name lists per family, in the paper's table order.
+std::vector<std::string> Dbp15kPairNames();
+std::vector<std::string> SrprsPairNames();
+std::vector<std::string> Dwy100kPairNames();
+std::vector<std::string> Dbp15kPlusPairNames();
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_DATAGEN_BENCHMARKS_H_

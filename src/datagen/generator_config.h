@@ -1,0 +1,77 @@
+#ifndef ENTMATCHER_DATAGEN_GENERATOR_CONFIG_H_
+#define ENTMATCHER_DATAGEN_GENERATOR_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "datagen/names.h"
+
+namespace entmatcher {
+
+/// Controls for the synthetic KG-pair generator.
+///
+/// The generator replaces the paper's DBpedia/Wikidata/YAGO/Freebase
+/// extractions (see DESIGN.md, substitution 1). Its knobs map one-to-one to
+/// the dataset properties the paper identifies as result-driving:
+///   - avg_degree          → dense (DBP15K/DWY100K) vs sparse (SRPRS)
+///   - triple_keep_prob    → structural heterogeneity between the two KGs
+///   - *_name_noise        → cross-lingual vs mono-lingual name similarity
+///   - unmatchable_*       → DBP15K+-style unmatchable entities
+///   - multi_cluster_*     → FB_DBP_MUL-style non-1-to-1 gold clusters
+struct KgPairGeneratorConfig {
+  /// Display name for tables ("D-Z", "S-F", ...).
+  std::string name = "synthetic";
+
+  /// Master seed; everything downstream is derived deterministically.
+  uint64_t seed = 42;
+
+  // --- Scale ------------------------------------------------------------
+  /// Matchable real-world concepts; each yields >= 1 gold link.
+  size_t num_core_concepts = 3000;
+  /// Per-KG concepts with no counterpart, as a fraction of the core.
+  double exclusive_fraction = 0.25;
+  /// Target triples/entities per KG (Table 3 "Avg. degree" convention).
+  double avg_degree = 4.3;
+  /// Endpoint popularity skew; larger => stronger hubs.
+  double degree_zipf_exponent = 0.85;
+
+  // --- Relations ---------------------------------------------------------
+  size_t num_world_relations = 1500;
+  size_t num_relations_source = 1200;
+  size_t num_relations_target = 1100;
+  double relation_zipf_exponent = 0.9;
+
+  // --- Structural heterogeneity ------------------------------------------
+  /// Probability that each KG independently keeps a world triple. 1.0 makes
+  /// the KGs isomorphic on the shared core (paper Fig. 1a); lower values
+  /// yield cases (b)/(c).
+  double triple_keep_prob = 0.85;
+
+  // --- Names ---------------------------------------------------------------
+  NameStyle source_style = NameStyle::kPlain;
+  NameStyle target_style = NameStyle::kRomance;
+  double source_name_noise = 0.02;
+  double target_name_noise = 0.12;
+
+  // --- Split ----------------------------------------------------------------
+  double train_frac = 0.2;
+  double valid_frac = 0.1;
+
+  // --- Unmatchable setting (DBP15K+) -----------------------------------------
+  /// Exclusive source entities appended to the test source candidates, as a
+  /// fraction of the test link count.
+  double unmatchable_source_fraction = 0.0;
+  /// Same for the target side.
+  double unmatchable_target_fraction = 0.0;
+
+  // --- Non-1-to-1 setting (FB_DBP_MUL) ----------------------------------------
+  /// Fraction of core concepts expanded into multi-entity gold clusters.
+  double multi_cluster_fraction = 0.0;
+  /// Maximum entity copies per side within a cluster (>= 2 when used).
+  size_t max_cluster_size = 3;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_DATAGEN_GENERATOR_CONFIG_H_

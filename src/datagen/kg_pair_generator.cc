@@ -1,0 +1,343 @@
+#include "datagen/kg_pair_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace entmatcher {
+
+namespace {
+
+enum class Ownership { kCore, kSourceOnly, kTargetOnly };
+
+// One world concept_id and its entity copies in each KG.
+struct ConceptInfo {
+  Ownership owner = Ownership::kCore;
+  std::vector<EntityId> source_ids;  // empty if absent from the source KG
+  std::vector<EntityId> target_ids;  // empty if absent from the target KG
+};
+
+// A (concept_id, copy-index) slot awaiting an entity id.
+struct Slot {
+  uint32_t concept_id;
+  uint32_t copy;
+};
+
+Status ValidateConfig(const KgPairGeneratorConfig& c) {
+  if (c.num_core_concepts < 10) {
+    return Status::InvalidArgument("num_core_concepts must be >= 10");
+  }
+  if (c.exclusive_fraction < 0.0 || c.avg_degree <= 0.0) {
+    return Status::InvalidArgument("exclusive_fraction/avg_degree out of range");
+  }
+  if (c.triple_keep_prob <= 0.0 || c.triple_keep_prob > 1.0) {
+    return Status::InvalidArgument("triple_keep_prob must be in (0, 1]");
+  }
+  if (c.num_relations_source == 0 || c.num_relations_target == 0 ||
+      c.num_world_relations == 0) {
+    return Status::InvalidArgument("relation vocabulary sizes must be > 0");
+  }
+  if (c.train_frac < 0.0 || c.valid_frac < 0.0 ||
+      c.train_frac + c.valid_frac > 1.0) {
+    return Status::InvalidArgument("split fractions invalid");
+  }
+  if (c.multi_cluster_fraction < 0.0 || c.multi_cluster_fraction > 1.0) {
+    return Status::InvalidArgument("multi_cluster_fraction must be in [0, 1]");
+  }
+  if (c.multi_cluster_fraction > 0.0 && c.max_cluster_size < 2) {
+    return Status::InvalidArgument("max_cluster_size must be >= 2 when clustering");
+  }
+  if (c.unmatchable_source_fraction < 0.0 || c.unmatchable_target_fraction < 0.0) {
+    return Status::InvalidArgument("unmatchable fractions must be >= 0");
+  }
+  return Status::OK();
+}
+
+// Packs a triple into a dedup key. Id ranges are validated by the caller.
+uint64_t TripleKey(EntityId s, RelationId r, EntityId o) {
+  return (static_cast<uint64_t>(s) << 40) | (static_cast<uint64_t>(r) << 24) |
+         static_cast<uint64_t>(o);
+}
+
+// Assigns shuffled dense entity ids to the given slots; fills the per-concept_id
+// copy -> id tables. Returns the number of entities created.
+size_t AssignEntityIds(std::vector<Slot> slots, bool source_side,
+                       std::vector<ConceptInfo>* concepts, Rng* rng) {
+  rng->Shuffle(&slots);
+  for (size_t id = 0; id < slots.size(); ++id) {
+    const Slot& slot = slots[id];
+    auto& ids = source_side ? (*concepts)[slot.concept_id].source_ids
+                            : (*concepts)[slot.concept_id].target_ids;
+    ids[slot.copy] = static_cast<EntityId>(id);
+  }
+  return slots.size();
+}
+
+}  // namespace
+
+Result<KgPairDataset> GenerateKgPair(const KgPairGeneratorConfig& config) {
+  EM_RETURN_NOT_OK(ValidateConfig(config));
+
+  Rng master(config.seed);
+  Rng cluster_rng = master.Fork(1);
+  Rng id_rng = master.Fork(2);
+  Rng structure_rng = master.Fork(3);
+  Rng name_rng = master.Fork(4);
+  Rng split_rng = master.Fork(5);
+  Rng candidate_rng = master.Fork(6);
+
+  const size_t n_core = config.num_core_concepts;
+  const size_t n_excl =
+      static_cast<size_t>(std::llround(config.exclusive_fraction * n_core));
+  const size_t n_world = n_core + 2 * n_excl;
+  if (n_world >= (1u << 24) || config.num_world_relations >= (1u << 16)) {
+    return Status::InvalidArgument("generator scale exceeds id packing limits");
+  }
+
+  // ---- 1. Concepts, ownership, non-1-to-1 cluster sizes. -------------------
+  std::vector<ConceptInfo> concepts(n_world);
+  for (size_t i = 0; i < n_world; ++i) {
+    if (i < n_core) {
+      concepts[i].owner = Ownership::kCore;
+    } else if (i < n_core + n_excl) {
+      concepts[i].owner = Ownership::kSourceOnly;
+    } else {
+      concepts[i].owner = Ownership::kTargetOnly;
+    }
+  }
+  for (size_t i = 0; i < n_world; ++i) {
+    size_t src_copies = concepts[i].owner == Ownership::kTargetOnly ? 0 : 1;
+    size_t tgt_copies = concepts[i].owner == Ownership::kSourceOnly ? 0 : 1;
+    if (concepts[i].owner == Ownership::kCore &&
+        cluster_rng.NextBernoulli(config.multi_cluster_fraction)) {
+      const size_t extra_range = config.max_cluster_size - 1;  // copies 2..max
+      const uint64_t kind = cluster_rng.NextBounded(10);
+      const size_t copies = 2 + cluster_rng.NextBounded(extra_range);
+      if (kind < 6) {
+        tgt_copies = copies;  // 1-to-many
+      } else if (kind < 9) {
+        src_copies = copies;  // many-to-1
+      } else {
+        src_copies = 2 + cluster_rng.NextBounded(extra_range);  // many-to-many
+        tgt_copies = copies;
+      }
+    }
+    concepts[i].source_ids.assign(src_copies, 0);
+    concepts[i].target_ids.assign(tgt_copies, 0);
+  }
+
+  // ---- 2. Entity id spaces. -------------------------------------------------
+  std::vector<Slot> src_slots;
+  std::vector<Slot> tgt_slots;
+  for (size_t i = 0; i < n_world; ++i) {
+    for (size_t c = 0; c < concepts[i].source_ids.size(); ++c) {
+      src_slots.push_back(Slot{static_cast<uint32_t>(i), static_cast<uint32_t>(c)});
+    }
+    for (size_t c = 0; c < concepts[i].target_ids.size(); ++c) {
+      tgt_slots.push_back(Slot{static_cast<uint32_t>(i), static_cast<uint32_t>(c)});
+    }
+  }
+  const size_t n_src_entities =
+      AssignEntityIds(std::move(src_slots), /*source_side=*/true, &concepts, &id_rng);
+  const size_t n_tgt_entities =
+      AssignEntityIds(std::move(tgt_slots), /*source_side=*/false, &concepts, &id_rng);
+
+  // ---- 3. World triples and per-KG keeps. -----------------------------------
+  std::vector<uint32_t> popularity(n_world);
+  for (size_t i = 0; i < n_world; ++i) popularity[i] = static_cast<uint32_t>(i);
+  structure_rng.Shuffle(&popularity);
+
+  const size_t target_src_triples =
+      static_cast<size_t>(config.avg_degree * n_src_entities);
+  const size_t target_tgt_triples =
+      static_cast<size_t>(config.avg_degree * n_tgt_entities);
+
+  std::vector<Triple> src_triples;
+  std::vector<Triple> tgt_triples;
+  src_triples.reserve(target_src_triples);
+  tgt_triples.reserve(target_tgt_triples);
+  std::unordered_set<uint64_t> src_seen;
+  std::unordered_set<uint64_t> tgt_seen;
+
+  auto pick_copy = [](const std::vector<EntityId>& ids, Rng* rng) {
+    return ids.size() == 1 ? ids[0] : ids[rng->NextBounded(ids.size())];
+  };
+
+  const size_t max_attempts = 40 * (target_src_triples + target_tgt_triples) + 10000;
+  size_t attempts = 0;
+  while ((src_triples.size() < target_src_triples ||
+          tgt_triples.size() < target_tgt_triples) &&
+         attempts < max_attempts) {
+    ++attempts;
+    const uint32_t s_concept =
+        popularity[structure_rng.NextZipf(n_world, config.degree_zipf_exponent)];
+    const uint32_t o_concept =
+        popularity[structure_rng.NextZipf(n_world, config.degree_zipf_exponent)];
+    if (s_concept == o_concept) continue;
+    const RelationId world_rel = static_cast<RelationId>(structure_rng.NextZipf(
+        config.num_world_relations, config.relation_zipf_exponent));
+
+    const ConceptInfo& sc = concepts[s_concept];
+    const ConceptInfo& oc = concepts[o_concept];
+
+    // Source KG keep decision.
+    if (src_triples.size() < target_src_triples && !sc.source_ids.empty() &&
+        !oc.source_ids.empty() &&
+        structure_rng.NextBernoulli(config.triple_keep_prob)) {
+      const EntityId s = pick_copy(sc.source_ids, &structure_rng);
+      const EntityId o = pick_copy(oc.source_ids, &structure_rng);
+      const RelationId r =
+          static_cast<RelationId>(world_rel % config.num_relations_source);
+      if (src_seen.insert(TripleKey(s, r, o)).second) {
+        src_triples.push_back(Triple{s, r, o});
+      }
+    }
+    // Target KG keep decision (independent).
+    if (tgt_triples.size() < target_tgt_triples && !sc.target_ids.empty() &&
+        !oc.target_ids.empty() &&
+        structure_rng.NextBernoulli(config.triple_keep_prob)) {
+      const EntityId s = pick_copy(sc.target_ids, &structure_rng);
+      const EntityId o = pick_copy(oc.target_ids, &structure_rng);
+      const RelationId r =
+          static_cast<RelationId>(world_rel % config.num_relations_target);
+      if (tgt_seen.insert(TripleKey(s, r, o)).second) {
+        tgt_triples.push_back(Triple{s, r, o});
+      }
+    }
+  }
+
+  // ---- 4. Connectivity fix: every entity participates in >= 1 triple. -------
+  auto fix_isolated = [&](bool source_side, size_t n_entities,
+                          std::vector<Triple>* triples,
+                          std::unordered_set<uint64_t>* seen,
+                          size_t num_relations) {
+    std::vector<uint8_t> covered(n_entities, 0);
+    for (const Triple& t : *triples) {
+      covered[t.subject] = 1;
+      covered[t.object] = 1;
+    }
+    for (size_t e = 0; e < n_entities; ++e) {
+      if (covered[e]) continue;
+      // Connect to the copy of a popular concept_id present in this KG.
+      for (int tries = 0; tries < 64; ++tries) {
+        const uint32_t concept_id = popularity[structure_rng.NextZipf(
+            n_world, config.degree_zipf_exponent)];
+        const auto& ids = source_side ? concepts[concept_id].source_ids
+                                      : concepts[concept_id].target_ids;
+        if (ids.empty()) continue;
+        const EntityId other = pick_copy(ids, &structure_rng);
+        if (other == e) continue;
+        const RelationId r = static_cast<RelationId>(
+            structure_rng.NextBounded(num_relations));
+        if (seen->insert(TripleKey(static_cast<EntityId>(e), r, other)).second) {
+          triples->push_back(Triple{static_cast<EntityId>(e), r, other});
+          covered[e] = 1;
+          break;
+        }
+      }
+    }
+  };
+  fix_isolated(true, n_src_entities, &src_triples, &src_seen,
+               config.num_relations_source);
+  fix_isolated(false, n_tgt_entities, &tgt_triples, &tgt_seen,
+               config.num_relations_target);
+
+  // ---- 5. Surface names. -----------------------------------------------------
+  std::vector<std::string> src_names(n_src_entities);
+  std::vector<std::string> tgt_names(n_tgt_entities);
+  for (size_t i = 0; i < n_world; ++i) {
+    const std::string base = GenerateBaseName(&name_rng);
+    for (size_t c = 0; c < concepts[i].source_ids.size(); ++c) {
+      std::string rendered = RenderName(base, config.source_style,
+                                        config.source_name_noise, &name_rng);
+      if (c > 0) rendered += " (" + GenerateBaseName(&name_rng) + ")";
+      src_names[concepts[i].source_ids[c]] = std::move(rendered);
+    }
+    for (size_t c = 0; c < concepts[i].target_ids.size(); ++c) {
+      std::string rendered = RenderName(base, config.target_style,
+                                        config.target_name_noise, &name_rng);
+      if (c > 0) rendered += " (" + GenerateBaseName(&name_rng) + ")";
+      tgt_names[concepts[i].target_ids[c]] = std::move(rendered);
+    }
+  }
+
+  // ---- 6. Graphs. --------------------------------------------------------------
+  EM_ASSIGN_OR_RETURN(
+      KnowledgeGraph source,
+      KnowledgeGraph::Create(n_src_entities, config.num_relations_source,
+                             std::move(src_triples)));
+  EM_ASSIGN_OR_RETURN(
+      KnowledgeGraph target,
+      KnowledgeGraph::Create(n_tgt_entities, config.num_relations_target,
+                             std::move(tgt_triples)));
+  EM_RETURN_NOT_OK(source.SetEntityNames(std::move(src_names)));
+  EM_RETURN_NOT_OK(target.SetEntityNames(std::move(tgt_names)));
+
+  // ---- 7. Gold links (complete bipartite within each concept_id cluster). ------
+  std::vector<EntityPair> gold_pairs;
+  for (size_t i = 0; i < n_core; ++i) {
+    for (EntityId s : concepts[i].source_ids) {
+      for (EntityId t : concepts[i].target_ids) {
+        gold_pairs.push_back(EntityPair{s, t});
+      }
+    }
+  }
+  AlignmentSet gold(std::move(gold_pairs));
+
+  // ---- 8. Split. -----------------------------------------------------------------
+  AlignmentSplit split;
+  if (config.multi_cluster_fraction > 0.0) {
+    EM_ASSIGN_OR_RETURN(split, SplitAlignmentPreservingClusters(
+                                   gold, config.train_frac, config.valid_frac,
+                                   &split_rng));
+  } else {
+    EM_ASSIGN_OR_RETURN(
+        split, SplitAlignment(gold, config.train_frac, config.valid_frac,
+                              &split_rng));
+  }
+
+  // ---- 9. Candidate sets (+ unmatchable extras). --------------------------------
+  KgPairDataset dataset;
+  dataset.name = config.name;
+  dataset.source = std::move(source);
+  dataset.target = std::move(target);
+  dataset.gold = std::move(gold);
+  dataset.split = std::move(split);
+
+  std::vector<EntityId> extra_sources;
+  std::vector<EntityId> extra_targets;
+  if (config.unmatchable_source_fraction > 0.0 ||
+      config.unmatchable_target_fraction > 0.0) {
+    std::vector<EntityId> excl_src;
+    std::vector<EntityId> excl_tgt;
+    for (size_t i = n_core; i < n_core + n_excl; ++i) {
+      excl_src.push_back(concepts[i].source_ids[0]);
+    }
+    for (size_t i = n_core + n_excl; i < n_world; ++i) {
+      excl_tgt.push_back(concepts[i].target_ids[0]);
+    }
+    candidate_rng.Shuffle(&excl_src);
+    candidate_rng.Shuffle(&excl_tgt);
+    const size_t test_links = dataset.split.test.size();
+    const size_t want_src = std::min(
+        excl_src.size(), static_cast<size_t>(
+                             config.unmatchable_source_fraction * test_links));
+    const size_t want_tgt = std::min(
+        excl_tgt.size(), static_cast<size_t>(
+                             config.unmatchable_target_fraction * test_links));
+    extra_sources.assign(excl_src.begin(), excl_src.begin() + want_src);
+    extra_targets.assign(excl_tgt.begin(), excl_tgt.begin() + want_tgt);
+  }
+  PopulateTestCandidates(&dataset, extra_sources, extra_targets);
+
+  EM_LOG(Debug) << "generated '" << dataset.name << "': "
+                << dataset.TotalEntities() << " entities, "
+                << dataset.TotalTriples() << " triples, " << dataset.gold.size()
+                << " gold links";
+  return dataset;
+}
+
+}  // namespace entmatcher

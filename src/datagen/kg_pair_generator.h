@@ -1,0 +1,32 @@
+#ifndef ENTMATCHER_DATAGEN_KG_PAIR_GENERATOR_H_
+#define ENTMATCHER_DATAGEN_KG_PAIR_GENERATOR_H_
+
+#include "common/status.h"
+#include "datagen/generator_config.h"
+#include "kg/dataset.h"
+
+namespace entmatcher {
+
+/// Generates a complete synthetic EA benchmark instance from `config`.
+///
+/// Construction sketch (all randomness from config.seed):
+///  1. A "world" of concepts: the matchable core plus per-KG exclusive
+///     concepts. Non-1-to-1 clusters expand selected core concepts into
+///     several entity copies on one or both sides.
+///  2. World triples sampled with Zipf-skewed endpoints and relations
+///     (power-law degree distribution => hub entities).
+///  3. Each KG independently keeps each eligible world triple with
+///     probability triple_keep_prob and maps concept endpoints to its own
+///     (shuffled) entity ids; cluster copies receive disjoint random shares
+///     of their concept's triples (the granularity effect).
+///  4. Every entity is guaranteed at least one incident triple.
+///  5. Surface names: one base name per concept, rendered per-KG with the
+///     configured style and noise; cluster copies get qualifier suffixes.
+///  6. Gold links, a 20/10/70 split (cluster-preserving when non-1-to-1
+///     clusters exist), and the test candidate sets (plus unmatchable
+///     extras when configured).
+Result<KgPairDataset> GenerateKgPair(const KgPairGeneratorConfig& config);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_DATAGEN_KG_PAIR_GENERATOR_H_

@@ -1,0 +1,121 @@
+#include "datagen/names.h"
+
+#include <array>
+#include <cctype>
+
+namespace entmatcher {
+
+namespace {
+
+constexpr std::array<const char*, 20> kOnsets = {
+    "b", "c", "d", "f", "g", "h", "j", "k",  "l",  "m",
+    "n", "p", "r", "s", "t", "v", "w", "br", "st", "tr"};
+constexpr std::array<const char*, 10> kVowels = {"a", "e",  "i",  "o",  "u",
+                                                 "ai", "ea", "io", "ou", "y"};
+constexpr std::array<const char*, 8> kCodas = {"", "", "n", "r", "s",
+                                               "l", "t", "nd"};
+
+std::string GenerateSyllable(Rng* rng) {
+  std::string s;
+  s += kOnsets[rng->NextBounded(kOnsets.size())];
+  s += kVowels[rng->NextBounded(kVowels.size())];
+  s += kCodas[rng->NextBounded(kCodas.size())];
+  return s;
+}
+
+std::string GenerateWord(Rng* rng) {
+  const size_t syllables = 2 + rng->NextBounded(3);
+  std::string word;
+  for (size_t i = 0; i < syllables; ++i) word += GenerateSyllable(rng);
+  word[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+  return word;
+}
+
+// Deterministic per-style character mapping (applied before noise).
+char MapChar(char c, NameStyle style) {
+  switch (style) {
+    case NameStyle::kPlain:
+    case NameStyle::kIdentifier:
+      return c;
+    case NameStyle::kRomance:
+      switch (c) {
+        case 'k': return 'c';
+        case 'w': return 'v';
+        case 'y': return 'i';
+        default: return c;
+      }
+    case NameStyle::kGermanic:
+      switch (c) {
+        case 'c': return 'k';
+        case 'v': return 'w';
+        case 'j': return 'y';
+        default: return c;
+      }
+    case NameStyle::kTransliterated:
+      switch (c) {
+        case 'l': return 'r';
+        case 'v': return 'b';
+        case 'c': return 'x';
+        case 'd': return 't';
+        default: return c;
+      }
+  }
+  return c;
+}
+
+const char* StyleSuffix(NameStyle style) {
+  switch (style) {
+    case NameStyle::kPlain:
+      return "";
+    case NameStyle::kRomance:
+      return "e";
+    case NameStyle::kGermanic:
+      return "en";
+    case NameStyle::kTransliterated:
+      return "u";
+    case NameStyle::kIdentifier:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string GenerateBaseName(Rng* rng) {
+  std::string name = GenerateWord(rng);
+  if (rng->NextBernoulli(0.35)) {
+    name += ' ';
+    name += GenerateWord(rng);
+  }
+  return name;
+}
+
+std::string RenderName(const std::string& base, NameStyle style, double noise,
+                       Rng* rng) {
+  std::string out;
+  out.reserve(base.size() + 4);
+  for (char c : base) {
+    char mapped = (c == ' ' && style == NameStyle::kIdentifier) ? '_'
+                                                                : MapChar(c, style);
+    if (noise > 0.0 && rng->NextBernoulli(noise)) {
+      const uint64_t action = rng->NextBounded(3);
+      if (action == 0) {
+        // Substitute with a random lowercase letter.
+        out += static_cast<char>('a' + rng->NextBounded(26));
+      } else if (action == 1) {
+        // Delete the character.
+      } else {
+        // Duplicate the character.
+        out += mapped;
+        out += mapped;
+      }
+    } else {
+      out += mapped;
+    }
+  }
+  out += StyleSuffix(style);
+  if (out.empty()) out = "x";
+  return out;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,40 @@
+#ifndef ENTMATCHER_DATAGEN_NAMES_H_
+#define ENTMATCHER_DATAGEN_NAMES_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace entmatcher {
+
+/// Rendering styles for entity surface names. Each style applies a
+/// deterministic character mapping plus style-specific affixes, emulating
+/// how the same real-world entity is labeled in different KGs / languages
+/// (e.g., DBpedia-EN vs DBpedia-FR vs Wikidata).
+enum class NameStyle {
+  /// Identity rendering (baseline, "English").
+  kPlain,
+  /// Romance-flavored vowel/suffix shifts ("French"-like).
+  kRomance,
+  /// Germanic consonant clusters ("German"-like).
+  kGermanic,
+  /// Heavier syllable re-romanization ("Chinese/Japanese transliteration").
+  kTransliterated,
+  /// Identifier-flavored rendering with underscores ("Wikidata/YAGO"-like).
+  kIdentifier,
+};
+
+/// Generates a random base (canonical) entity name of 2–4 syllables,
+/// optionally two words. Deterministic given the Rng state.
+std::string GenerateBaseName(Rng* rng);
+
+/// Renders `base` in `style` and perturbs each character with probability
+/// `noise` (substitution / deletion / duplication). noise == 0 with kPlain
+/// reproduces `base` exactly. Higher noise lowers cross-KG name similarity,
+/// which is the knob behind the N-/NR- experiment family (paper Table 5).
+std::string RenderName(const std::string& base, NameStyle style, double noise,
+                       Rng* rng);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_DATAGEN_NAMES_H_

@@ -1,0 +1,18 @@
+#include "embedding/embedding.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace entmatcher {
+
+Matrix ExtractRows(const Matrix& embeddings, const std::vector<EntityId>& ids) {
+  Matrix out(ids.size(), embeddings.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    assert(ids[i] < embeddings.rows());
+    std::memcpy(out.Row(i).data(), embeddings.Row(ids[i]).data(),
+                embeddings.cols() * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace entmatcher

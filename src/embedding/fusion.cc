@@ -1,0 +1,47 @@
+#include "embedding/fusion.h"
+
+#include <cstring>
+
+namespace entmatcher {
+
+namespace {
+
+Matrix ConcatScaled(const Matrix& a, const Matrix& b, float wa, float wb) {
+  Matrix na = a;
+  Matrix nb = b;
+  L2NormalizeRows(&na);
+  L2NormalizeRows(&nb);
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* dst = out.Row(r).data();
+    const float* pa = na.Row(r).data();
+    for (size_t c = 0; c < na.cols(); ++c) dst[c] = wa * pa[c];
+    const float* pb = nb.Row(r).data();
+    for (size_t c = 0; c < nb.cols(); ++c) dst[na.cols() + c] = wb * pb[c];
+  }
+  L2NormalizeRows(&out);
+  return out;
+}
+
+}  // namespace
+
+Result<EmbeddingPair> FuseEmbeddings(const EmbeddingPair& a,
+                                     const EmbeddingPair& b, double weight_a,
+                                     double weight_b) {
+  if (a.source.rows() != b.source.rows() ||
+      a.target.rows() != b.target.rows()) {
+    return Status::InvalidArgument(
+        "FuseEmbeddings: entity counts differ between channels");
+  }
+  if (weight_a < 0.0 || weight_b < 0.0 || weight_a + weight_b <= 0.0) {
+    return Status::InvalidArgument("FuseEmbeddings: invalid channel weights");
+  }
+  EmbeddingPair out;
+  out.source = ConcatScaled(a.source, b.source, static_cast<float>(weight_a),
+                            static_cast<float>(weight_b));
+  out.target = ConcatScaled(a.target, b.target, static_cast<float>(weight_a),
+                            static_cast<float>(weight_b));
+  return out;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,23 @@
+#ifndef ENTMATCHER_EMBEDDING_FUSION_H_
+#define ENTMATCHER_EMBEDDING_FUSION_H_
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+
+namespace entmatcher {
+
+/// Fuses two embedding channels by weighted concatenation:
+///   out = [ weight_a * normalize(a) ; weight_b * normalize(b) ]
+/// followed by row re-normalization, so the cosine similarity of the fusion
+/// is the weight-squared convex mix of the channel cosines. This implements
+/// the paper's "NR-" setting (name + RREA structural fusion, Table 5).
+///
+/// Both pairs must describe the same entity sets (equal row counts per
+/// side); dimensions may differ.
+Result<EmbeddingPair> FuseEmbeddings(const EmbeddingPair& a,
+                                     const EmbeddingPair& b, double weight_a,
+                                     double weight_b);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EMBEDDING_FUSION_H_

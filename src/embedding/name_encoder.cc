@@ -1,0 +1,92 @@
+#include "embedding/name_encoder.h"
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+namespace entmatcher {
+
+namespace {
+
+// FNV-1a over the n-gram bytes mixed with the seed.
+uint64_t HashNgram(std::string_view ngram, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (char c : ngram) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void AccumulateNgram(std::string_view ngram, const NameEncoderConfig& config,
+                     float* out) {
+  const uint64_t h = HashNgram(ngram, config.seed);
+  const size_t index = static_cast<size_t>(h % config.dim);
+  const float sign = (h >> 63) ? 1.0f : -1.0f;
+  out[index] += sign;
+}
+
+}  // namespace
+
+void EncodeName(std::string_view name, const NameEncoderConfig& config,
+                float* out) {
+  for (size_t i = 0; i < config.dim; ++i) out[i] = 0.0f;
+
+  // Case-fold and frame the name.
+  std::string framed;
+  framed.reserve(name.size() + 2);
+  framed += '^';
+  for (char c : name) {
+    framed += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  framed += '$';
+
+  if (config.use_bigrams && framed.size() >= 2) {
+    for (size_t i = 0; i + 2 <= framed.size(); ++i) {
+      AccumulateNgram(std::string_view(framed).substr(i, 2), config, out);
+    }
+  }
+  if (config.use_trigrams && framed.size() >= 3) {
+    for (size_t i = 0; i + 3 <= framed.size(); ++i) {
+      AccumulateNgram(std::string_view(framed).substr(i, 3), config, out);
+    }
+  }
+
+  double sq = 0.0;
+  for (size_t i = 0; i < config.dim; ++i) {
+    sq += static_cast<double>(out[i]) * out[i];
+  }
+  if (sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+    for (size_t i = 0; i < config.dim; ++i) out[i] *= inv;
+  }
+}
+
+Result<EmbeddingPair> ComputeNameEmbeddings(const KgPairDataset& dataset,
+                                            const NameEncoderConfig& config) {
+  if (config.dim == 0) {
+    return Status::InvalidArgument("name encoder dim must be > 0");
+  }
+  if (!dataset.source.has_entity_names() || !dataset.target.has_entity_names()) {
+    return Status::FailedPrecondition(
+        "ComputeNameEmbeddings requires entity names on both KGs");
+  }
+  EmbeddingPair pair;
+  pair.source = Matrix(dataset.source.num_entities(), config.dim);
+  pair.target = Matrix(dataset.target.num_entities(), config.dim);
+  for (size_t e = 0; e < dataset.source.num_entities(); ++e) {
+    EncodeName(dataset.source.EntityName(static_cast<EntityId>(e)), config,
+               pair.source.Row(e).data());
+  }
+  for (size_t e = 0; e < dataset.target.num_entities(); ++e) {
+    EncodeName(dataset.target.EntityName(static_cast<EntityId>(e)), config,
+               pair.target.Row(e).data());
+  }
+  return pair;
+}
+
+}  // namespace entmatcher

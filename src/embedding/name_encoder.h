@@ -1,0 +1,43 @@
+#ifndef ENTMATCHER_EMBEDDING_NAME_ENCODER_H_
+#define ENTMATCHER_EMBEDDING_NAME_ENCODER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+
+namespace entmatcher {
+
+/// Character n-gram feature-hashing name encoder.
+///
+/// Stands in for the paper's fastText-based name embeddings (the auxiliary
+/// information channel of Table 5). Each entity name is decomposed into
+/// character bigrams and trigrams of "^name$"; each n-gram is hashed to a
+/// signed coordinate. Similar surface forms share most n-grams, so cosine
+/// similarity of the encodings tracks string similarity — the property the
+/// name channel contributes in the paper.
+struct NameEncoderConfig {
+  /// Output dimensionality (larger = fewer hash collisions).
+  size_t dim = 128;
+  /// Hash seed.
+  uint64_t seed = 99;
+  /// Include bigrams.
+  bool use_bigrams = true;
+  /// Include trigrams.
+  bool use_trigrams = true;
+};
+
+/// Encodes a single name into `out[0..dim)`; `out` must hold dim floats.
+/// The result is L2-normalized (all-zero only for degenerate empty input).
+void EncodeName(std::string_view name, const NameEncoderConfig& config,
+                float* out);
+
+/// Encodes every entity name of both KGs. Fails if either KG lacks names.
+Result<EmbeddingPair> ComputeNameEmbeddings(const KgPairDataset& dataset,
+                                            const NameEncoderConfig& config);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EMBEDDING_NAME_ENCODER_H_

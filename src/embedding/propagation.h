@@ -1,0 +1,68 @@
+#ifndef ENTMATCHER_EMBEDDING_PROPAGATION_H_
+#define ENTMATCHER_EMBEDDING_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+
+namespace entmatcher {
+
+/// Configuration of the seed-anchored propagation representation learner.
+///
+/// This substrate stands in for the paper's PyTorch GCN / RREA models
+/// (DESIGN.md, substitution 2). Seed (train) pairs are initialized with
+/// shared random vectors; propagation through each KG's structure then
+/// spreads the anchor signal so that equivalent test entities — which have
+/// similar neighborhoods by the task's fundamental assumption (paper
+/// Sec. 2.3) — end up with similar embeddings. Structural heterogeneity
+/// between the KGs is what limits the attainable similarity, exactly as in
+/// the paper's Figure 1 discussion.
+struct PropagationConfig {
+  /// Per-layer embedding width.
+  size_t dim = 64;
+  /// Number of propagation layers.
+  size_t layers = 2;
+  /// Weight of an entity's own vector vs its aggregated neighborhood.
+  double self_weight = 0.4;
+  /// Weight neighbor contributions by inverse log relation frequency
+  /// (rare relations are more discriminative) — the "relational" part of
+  /// the RREA-like model.
+  bool relation_weighting = false;
+  /// Output the concatenation of all layer outputs (multi-hop features)
+  /// instead of the last layer only.
+  bool concat_layers = false;
+  /// Rounds of self-training: mutual-nearest high-margin test pairs are
+  /// promoted to pseudo-anchors and propagation is re-run.
+  size_t bootstrap_rounds = 0;
+  /// Required margin (best minus second-best cosine) for pseudo-anchors.
+  double bootstrap_margin = 0.05;
+  /// Keep seed-anchor vectors clamped to their shared values after every
+  /// layer (undiluted supervision). The strong (RREA-like) model uses this;
+  /// the weak (GCN-like) model lets the anchor signal wash out, which is
+  /// what produces its hub-ridden, ambiguous score landscape.
+  bool clamp_anchors = false;
+  /// Initial feature magnitude of non-anchor entities relative to the unit
+  /// anchor vectors. Smaller = cleaner anchor signal, larger = noisier
+  /// embedding space.
+  double init_noise = 0.15;
+  /// Seed for feature initialization.
+  uint64_t seed = 7;
+};
+
+/// The weaker representation learner ("GCN" columns of Tables 4/7/8).
+PropagationConfig GcnModelConfig(uint64_t seed = 7);
+
+/// The stronger representation learner ("RREA" columns): relation-aware
+/// weighting, deeper multi-hop features, one bootstrap round.
+PropagationConfig RreaModelConfig(uint64_t seed = 7);
+
+/// Runs anchored propagation over both KGs of `dataset` and returns unified
+/// embeddings for every entity. Anchors are the train-split links.
+Result<EmbeddingPair> ComputeStructuralEmbeddings(
+    const KgPairDataset& dataset, const PropagationConfig& config);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EMBEDDING_PROPAGATION_H_

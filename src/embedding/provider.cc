@@ -1,0 +1,61 @@
+#include "embedding/provider.h"
+
+#include "embedding/fusion.h"
+#include "embedding/name_encoder.h"
+#include "embedding/propagation.h"
+#include "embedding/transe.h"
+
+namespace entmatcher {
+
+const char* EmbeddingSettingPrefix(EmbeddingSetting setting) {
+  switch (setting) {
+    case EmbeddingSetting::kGcnStruct:
+      return "G";
+    case EmbeddingSetting::kRreaStruct:
+      return "R";
+    case EmbeddingSetting::kNameOnly:
+      return "N";
+    case EmbeddingSetting::kNameRrea:
+      return "NR";
+    case EmbeddingSetting::kTranseStruct:
+      return "T";
+  }
+  return "?";
+}
+
+Result<EmbeddingPair> ComputeEmbeddings(const KgPairDataset& dataset,
+                                        EmbeddingSetting setting,
+                                        uint64_t seed) {
+  switch (setting) {
+    case EmbeddingSetting::kGcnStruct:
+      return ComputeStructuralEmbeddings(dataset, GcnModelConfig(seed));
+    case EmbeddingSetting::kRreaStruct:
+      return ComputeStructuralEmbeddings(dataset, RreaModelConfig(seed));
+    case EmbeddingSetting::kNameOnly: {
+      NameEncoderConfig name_config;
+      name_config.seed = seed;
+      return ComputeNameEmbeddings(dataset, name_config);
+    }
+    case EmbeddingSetting::kNameRrea: {
+      NameEncoderConfig name_config;
+      name_config.seed = seed;
+      EM_ASSIGN_OR_RETURN(EmbeddingPair names,
+                          ComputeNameEmbeddings(dataset, name_config));
+      EM_ASSIGN_OR_RETURN(
+          EmbeddingPair structure,
+          ComputeStructuralEmbeddings(dataset, RreaModelConfig(seed)));
+      // Name information dominates on the paper's benchmarks; structure
+      // contributes a corrective signal (Table 5 N- vs NR-).
+      return FuseEmbeddings(names, structure, /*weight_a=*/1.0,
+                            /*weight_b=*/0.7);
+    }
+    case EmbeddingSetting::kTranseStruct: {
+      TranseConfig transe_config;
+      transe_config.seed = seed;
+      return ComputeTranseEmbeddings(dataset, transe_config);
+    }
+  }
+  return Status::InvalidArgument("unknown embedding setting");
+}
+
+}  // namespace entmatcher

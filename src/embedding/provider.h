@@ -1,0 +1,34 @@
+#ifndef ENTMATCHER_EMBEDDING_PROVIDER_H_
+#define ENTMATCHER_EMBEDDING_PROVIDER_H_
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+
+namespace entmatcher {
+
+/// The embedding inputs evaluated by the paper:
+///   kGcnStruct  — "G-": GCN structural embeddings only (Table 4)
+///   kRreaStruct — "R-": RREA structural embeddings only (Table 4)
+///   kNameOnly   — "N-": name embeddings only (Table 5)
+///   kNameRrea   — "NR-": name fused with RREA structure (Table 5)
+///   kTranseStruct — "T-": TransE structural embeddings (extension)
+enum class EmbeddingSetting {
+  kGcnStruct,
+  kRreaStruct,
+  kNameOnly,
+  kNameRrea,
+  kTranseStruct,
+};
+
+/// Short table prefix ("G", "R", "N", "NR", "T").
+const char* EmbeddingSettingPrefix(EmbeddingSetting setting);
+
+/// Produces unified embeddings for `dataset` under `setting`.
+Result<EmbeddingPair> ComputeEmbeddings(const KgPairDataset& dataset,
+                                        EmbeddingSetting setting,
+                                        uint64_t seed = 7);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EMBEDDING_PROVIDER_H_

@@ -1,0 +1,235 @@
+#include "embedding/transe.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace entmatcher {
+
+namespace {
+
+// Union-find over the joint (source + target) entity index space, used to
+// collapse seed-linked entities into shared parameters.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// One training triple in the unified parameter space.
+struct UnifiedTriple {
+  uint32_t head;      // parameter slot
+  uint32_t relation;  // relation slot (source and target vocabularies stacked)
+  uint32_t tail;      // parameter slot
+};
+
+float L2Sq(const float* a, const float* b, const float* r, size_t dim) {
+  float sq = 0.0f;
+  for (size_t k = 0; k < dim; ++k) {
+    const float d = a[k] + r[k] - b[k];
+    sq += d * d;
+  }
+  return sq;
+}
+
+void NormalizeRow(float* v, size_t dim) {
+  double sq = 0.0;
+  for (size_t k = 0; k < dim; ++k) sq += static_cast<double>(v[k]) * v[k];
+  if (sq <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+  for (size_t k = 0; k < dim; ++k) v[k] *= inv;
+}
+
+}  // namespace
+
+Result<EmbeddingPair> ComputeTranseEmbeddings(const KgPairDataset& dataset,
+                                              const TranseConfig& config) {
+  if (config.dim == 0 || config.epochs == 0) {
+    return Status::InvalidArgument("TransE: dim/epochs must be > 0");
+  }
+  if (config.learning_rate <= 0.0 || config.margin <= 0.0) {
+    return Status::InvalidArgument("TransE: learning_rate/margin must be > 0");
+  }
+  const size_t n_src = dataset.source.num_entities();
+  const size_t n_tgt = dataset.target.num_entities();
+  const size_t dim = config.dim;
+
+  // Parameter sharing: seed-linked entities collapse to one slot.
+  UnionFind uf(n_src + n_tgt);
+  for (const EntityPair& pair : dataset.split.train.pairs()) {
+    uf.Union(pair.source, n_src + pair.target);
+  }
+  // Dense slot ids for the union-find roots.
+  std::vector<uint32_t> slot_of(n_src + n_tgt);
+  size_t num_slots = 0;
+  {
+    std::vector<int64_t> slot_of_root(n_src + n_tgt, -1);
+    for (size_t i = 0; i < n_src + n_tgt; ++i) {
+      const size_t root = uf.Find(i);
+      if (slot_of_root[root] < 0) {
+        slot_of_root[root] = static_cast<int64_t>(num_slots++);
+      }
+      slot_of[i] = static_cast<uint32_t>(slot_of_root[root]);
+    }
+  }
+
+  // Relation parameter sharing (the MTransE-flavored coupling): with
+  // disjoint relation vocabularies, seed-entity sharing alone cannot align
+  // the two KGs' translation geometry — equivalent tails h + r1 vs h + r2
+  // drift apart by (r1 - r2). We therefore estimate relation
+  // correspondences from directed co-occurrence around the seed pairs and
+  // merge the parameter slots of confidently corresponding relations.
+  const size_t n_rel_src = dataset.source.num_relations();
+  const size_t n_rel_tgt = dataset.target.num_relations();
+  UnionFind rel_uf(n_rel_src + n_rel_tgt);
+  {
+    // counts[r1][r2]: direction-preserving co-occurrence around seed pairs.
+    std::vector<double> counts(n_rel_src * n_rel_tgt, 0.0);
+    for (const EntityPair& pair : dataset.split.train.pairs()) {
+      for (const KnowledgeGraph::Edge& se :
+           dataset.source.Neighbors(pair.source)) {
+        for (const KnowledgeGraph::Edge& te :
+             dataset.target.Neighbors(pair.target)) {
+          if (se.inverse != te.inverse) continue;
+          counts[static_cast<size_t>(se.relation) * n_rel_tgt + te.relation] +=
+              1.0;
+        }
+      }
+    }
+    for (size_t r1 = 0; r1 < n_rel_src; ++r1) {
+      double row_sum = 0.0;
+      size_t best = 0;
+      double best_count = 0.0;
+      for (size_t r2 = 0; r2 < n_rel_tgt; ++r2) {
+        const double c = counts[r1 * n_rel_tgt + r2];
+        row_sum += c;
+        if (c > best_count) {
+          best_count = c;
+          best = r2;
+        }
+      }
+      // Merge only confident correspondences: enough evidence and a clear
+      // majority of r1's mass on one target relation.
+      if (best_count >= 3.0 && best_count >= 0.5 * row_sum) {
+        rel_uf.Union(r1, n_rel_src + best);
+      }
+    }
+  }
+  std::vector<uint32_t> rel_slot_of(n_rel_src + n_rel_tgt);
+  size_t num_relations = 0;
+  {
+    std::vector<int64_t> slot_of_root(n_rel_src + n_rel_tgt, -1);
+    for (size_t r = 0; r < n_rel_src + n_rel_tgt; ++r) {
+      const size_t root = rel_uf.Find(r);
+      if (slot_of_root[root] < 0) {
+        slot_of_root[root] = static_cast<int64_t>(num_relations++);
+      }
+      rel_slot_of[r] = static_cast<uint32_t>(slot_of_root[root]);
+    }
+  }
+
+  // Training triples from both KGs in the unified parameter space.
+  std::vector<UnifiedTriple> triples;
+  triples.reserve(dataset.source.triples().size() +
+                  dataset.target.triples().size());
+  for (const Triple& t : dataset.source.triples()) {
+    triples.push_back(UnifiedTriple{slot_of[t.subject],
+                                    rel_slot_of[t.predicate],
+                                    slot_of[t.object]});
+  }
+  for (const Triple& t : dataset.target.triples()) {
+    triples.push_back(UnifiedTriple{slot_of[n_src + t.subject],
+                                    rel_slot_of[n_rel_src + t.predicate],
+                                    slot_of[n_src + t.object]});
+  }
+  if (triples.empty()) {
+    return Status::FailedPrecondition("TransE: no triples to train on");
+  }
+
+  // Parameter init (uniform in [-6/sqrt(d), 6/sqrt(d)], as in the paper).
+  Rng rng(config.seed);
+  const float bound = 6.0f / std::sqrt(static_cast<float>(dim));
+  std::vector<float> entities(num_slots * dim);
+  std::vector<float> relations(num_relations * dim);
+  for (float& v : entities) {
+    v = static_cast<float>(rng.NextUniform(-bound, bound));
+  }
+  for (float& v : relations) {
+    v = static_cast<float>(rng.NextUniform(-bound, bound));
+  }
+  for (size_t e = 0; e < num_slots; ++e) NormalizeRow(&entities[e * dim], dim);
+
+  // SGD over the margin ranking loss with head-or-tail corruption.
+  const float lr = static_cast<float>(config.learning_rate);
+  const float margin = static_cast<float>(config.margin);
+  std::vector<size_t> order(triples.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const UnifiedTriple& t = triples[idx];
+      for (size_t neg = 0; neg < config.negatives; ++neg) {
+        UnifiedTriple corrupted = t;
+        if (rng.NextBernoulli(0.5)) {
+          corrupted.head = static_cast<uint32_t>(rng.NextBounded(num_slots));
+        } else {
+          corrupted.tail = static_cast<uint32_t>(rng.NextBounded(num_slots));
+        }
+        float* h = &entities[static_cast<size_t>(t.head) * dim];
+        float* r = &relations[static_cast<size_t>(t.relation) * dim];
+        float* tl = &entities[static_cast<size_t>(t.tail) * dim];
+        float* ch = &entities[static_cast<size_t>(corrupted.head) * dim];
+        float* ct = &entities[static_cast<size_t>(corrupted.tail) * dim];
+
+        const float pos = L2Sq(h, tl, r, dim);
+        const float negd = L2Sq(ch, ct, r, dim);
+        if (pos + margin <= negd) continue;  // no violation
+
+        // d(pos)/dh_k = 2*(h+r-t); gradient step on the hinge.
+        for (size_t k = 0; k < dim; ++k) {
+          const float gpos = 2.0f * (h[k] + r[k] - tl[k]);
+          const float gneg = 2.0f * (ch[k] + r[k] - ct[k]);
+          h[k] -= lr * gpos;
+          tl[k] += lr * gpos;
+          r[k] -= lr * (gpos - gneg);
+          ch[k] += lr * gneg;
+          ct[k] -= lr * gneg;
+        }
+      }
+    }
+    // Project entity vectors back to the unit sphere (TransE's constraint).
+    for (size_t e = 0; e < num_slots; ++e) {
+      NormalizeRow(&entities[e * dim], dim);
+    }
+  }
+
+  // Scatter the shared parameters back to per-KG matrices.
+  EmbeddingPair out;
+  out.source = Matrix(n_src, dim);
+  out.target = Matrix(n_tgt, dim);
+  for (size_t e = 0; e < n_src; ++e) {
+    const float* v = &entities[static_cast<size_t>(slot_of[e]) * dim];
+    std::copy(v, v + dim, out.source.Row(e).begin());
+  }
+  for (size_t e = 0; e < n_tgt; ++e) {
+    const float* v = &entities[static_cast<size_t>(slot_of[n_src + e]) * dim];
+    std::copy(v, v + dim, out.target.Row(e).begin());
+  }
+  return out;
+}
+
+}  // namespace entmatcher

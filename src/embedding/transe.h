@@ -1,0 +1,45 @@
+#ifndef ENTMATCHER_EMBEDDING_TRANSE_H_
+#define ENTMATCHER_EMBEDDING_TRANSE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+
+namespace entmatcher {
+
+/// Configuration of the TransE representation learner.
+struct TranseConfig {
+  size_t dim = 64;
+  /// SGD epochs over the union of both KGs' triples. TransE needs far more
+  /// epochs than the propagation models to couple the two KGs through the
+  /// shared seed/relation parameters.
+  size_t epochs = 300;
+  double learning_rate = 0.015;
+  /// Margin of the ranking loss.
+  double margin = 1.0;
+  /// Corrupted samples per triple (head- or tail-corrupted at random).
+  size_t negatives = 4;
+  uint64_t seed = 7;
+};
+
+/// A from-scratch TransE [Bordes et al., NIPS'13] entity-alignment learner —
+/// the other classic representation model the paper's background cites next
+/// to GCN. Triples are modeled as translations (h + r ≈ t) and trained with
+/// a margin-based ranking loss over corrupted triples.
+///
+/// Cross-KG unification follows the MTransE-style parameter-sharing recipe:
+/// entities connected by seed (train) links share one parameter vector, so
+/// both KGs are embedded into a single space. (Non-1-to-1 seed clusters
+/// collapse into one shared vector via union-find.)
+///
+/// Included as a third structural model ("T-") to check that the matching
+/// algorithms' ranking is stable across representation learners — the
+/// premise of the paper's fair-comparison methodology.
+Result<EmbeddingPair> ComputeTranseEmbeddings(const KgPairDataset& dataset,
+                                              const TranseConfig& config);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EMBEDDING_TRANSE_H_

@@ -1,0 +1,40 @@
+#include "eval/experiment.h"
+
+#include "la/similarity.h"
+#include "la/topk.h"
+
+namespace entmatcher {
+
+Result<ExperimentResult> RunExperiment(const KgPairDataset& dataset,
+                                       const EmbeddingPair& embeddings,
+                                       AlgorithmPreset preset) {
+  return RunExperimentWithOptions(dataset, embeddings, MakePreset(preset),
+                                  PresetName(preset));
+}
+
+Result<ExperimentResult> RunExperimentWithOptions(
+    const KgPairDataset& dataset, const EmbeddingPair& embeddings,
+    const MatchOptions& options, const std::string& algorithm_name) {
+  EM_ASSIGN_OR_RETURN(MatchRun run, RunMatching(dataset, embeddings, options));
+  ExperimentResult result;
+  result.dataset = dataset.name;
+  result.algorithm = algorithm_name;
+  result.metrics = EvaluatePredictions(run.predicted, dataset.split.test);
+  result.seconds = run.seconds;
+  result.peak_workspace_bytes = run.peak_workspace_bytes;
+  return result;
+}
+
+Result<double> TopKScoreStd(const KgPairDataset& dataset,
+                            const EmbeddingPair& embeddings, size_t k) {
+  const Matrix source =
+      ExtractRows(embeddings.source, dataset.test_source_entities);
+  const Matrix target =
+      ExtractRows(embeddings.target, dataset.test_target_entities);
+  EM_ASSIGN_OR_RETURN(
+      Matrix scores,
+      ComputeSimilarity(source, target, SimilarityMetric::kCosine));
+  return MeanRowTopKStd(scores, k);
+}
+
+}  // namespace entmatcher

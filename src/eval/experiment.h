@@ -1,0 +1,42 @@
+#ifndef ENTMATCHER_EVAL_EXPERIMENT_H_
+#define ENTMATCHER_EVAL_EXPERIMENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "embedding/provider.h"
+#include "eval/metrics.h"
+#include "kg/dataset.h"
+#include "matching/pipeline.h"
+
+namespace entmatcher {
+
+/// One (dataset, embedding, algorithm) measurement — a cell of the paper's
+/// result tables plus its efficiency columns.
+struct ExperimentResult {
+  std::string dataset;
+  std::string algorithm;
+  EvalMetrics metrics;
+  double seconds = 0.0;
+  size_t peak_workspace_bytes = 0;
+};
+
+/// Runs one algorithm preset on a dataset with precomputed embeddings and
+/// evaluates against the gold test links.
+Result<ExperimentResult> RunExperiment(const KgPairDataset& dataset,
+                                       const EmbeddingPair& embeddings,
+                                       AlgorithmPreset preset);
+
+/// Same, with explicit options (for parameter sweeps such as Figs. 6/7).
+Result<ExperimentResult> RunExperimentWithOptions(
+    const KgPairDataset& dataset, const EmbeddingPair& embeddings,
+    const MatchOptions& options, const std::string& algorithm_name);
+
+/// The statistic behind the paper's Figure 4: the mean standard deviation of
+/// each test source entity's top-k raw cosine similarity scores.
+Result<double> TopKScoreStd(const KgPairDataset& dataset,
+                            const EmbeddingPair& embeddings, size_t k = 5);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EVAL_EXPERIMENT_H_

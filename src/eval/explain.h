@@ -1,0 +1,61 @@
+#ifndef ENTMATCHER_EVAL_EXPLAIN_H_
+#define ENTMATCHER_EVAL_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// One candidate in a decision trace.
+struct CandidateExplanation {
+  EntityId target;
+  std::string target_name;
+  /// Raw cosine similarity.
+  float raw_score = 0.0f;
+  /// Score after the configured transform.
+  float transformed_score = 0.0f;
+  /// Rank under the raw scores (1 = best).
+  size_t raw_rank = 0;
+  /// Rank under the transformed scores.
+  size_t transformed_rank = 0;
+  /// True if (source, target) is a gold test link.
+  bool is_gold = false;
+};
+
+/// A per-source-entity decision trace: how the pairwise-score stage ordered
+/// the top candidates before and after the transform, and what the matcher
+/// finally decided. This realizes the explainability the paper attributes
+/// to the embedding-matching stage (Sec. 1, significance point 3): the
+/// trace shows exactly why an algorithm switched away from (or stuck with)
+/// the raw nearest neighbor.
+struct MatchExplanation {
+  EntityId source;
+  std::string source_name;
+  std::vector<CandidateExplanation> candidates;
+  /// The target the configured pipeline finally assigned (kUnmatched if
+  /// rejected).
+  int32_t decided_target_column = Assignment::kUnmatched;
+  EntityId decided_target = 0;
+  std::string decided_target_name;
+  bool decision_is_gold = false;
+};
+
+/// Produces decision traces for the given test source entities (ids must be
+/// members of dataset.test_source_entities). `top_k` candidates are listed
+/// per source. The full pipeline configured by `options` is executed once.
+Result<std::vector<MatchExplanation>> ExplainMatches(
+    const KgPairDataset& dataset, const EmbeddingPair& embeddings,
+    const MatchOptions& options, const std::vector<EntityId>& sources,
+    size_t top_k = 5);
+
+/// Renders a trace as human-readable text.
+std::string FormatExplanation(const MatchExplanation& explanation);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EVAL_EXPLAIN_H_

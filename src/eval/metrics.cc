@@ -1,0 +1,28 @@
+#include "eval/metrics.h"
+
+namespace entmatcher {
+
+EvalMetrics EvaluatePredictions(const AlignmentSet& predicted,
+                                const AlignmentSet& gold_test) {
+  EvalMetrics metrics;
+  metrics.found = predicted.size();
+  metrics.gold = gold_test.size();
+  for (const EntityPair& pair : predicted.pairs()) {
+    if (gold_test.Contains(pair.source, pair.target)) ++metrics.correct;
+  }
+  if (metrics.found > 0) {
+    metrics.precision =
+        static_cast<double>(metrics.correct) / static_cast<double>(metrics.found);
+  }
+  if (metrics.gold > 0) {
+    metrics.recall =
+        static_cast<double>(metrics.correct) / static_cast<double>(metrics.gold);
+  }
+  if (metrics.precision + metrics.recall > 0.0) {
+    metrics.f1 = 2.0 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,30 @@
+#ifndef ENTMATCHER_EVAL_METRICS_H_
+#define ENTMATCHER_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "kg/alignment.h"
+
+namespace entmatcher {
+
+/// Alignment quality metrics (paper Sec. 4.2): precision is correct/found,
+/// recall is correct/gold (equals Hits@1 in the 1-to-1 setting), F1 their
+/// harmonic mean. In the classic setting every method emits one match per
+/// test source, so P == R == F1; in the unmatchable and non-1-to-1 settings
+/// they diverge, which is exactly what Tables 7 and 8 study.
+struct EvalMetrics {
+  size_t correct = 0;
+  size_t found = 0;
+  size_t gold = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores `predicted` entity pairs against the gold test links.
+EvalMetrics EvaluatePredictions(const AlignmentSet& predicted,
+                                const AlignmentSet& gold_test);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EVAL_METRICS_H_

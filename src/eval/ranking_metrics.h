@@ -1,0 +1,45 @@
+#ifndef ENTMATCHER_EVAL_RANKING_METRICS_H_
+#define ENTMATCHER_EVAL_RANKING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Ranking-quality metrics over a pairwise score matrix: Hits@k is the
+/// fraction of test source entities whose gold target appears in their top-k
+/// scored candidates (Hits@1 equals the recall of greedy matching — paper
+/// Sec. 4.2), MRR the mean reciprocal rank of the first gold target.
+///
+/// These metrics characterize the *pairwise score* stage in isolation, which
+/// is useful when comparing score transforms independently of the matching
+/// decision.
+struct RankingMetrics {
+  double hits_at_1 = 0.0;
+  double hits_at_5 = 0.0;
+  double hits_at_10 = 0.0;
+  double mrr = 0.0;
+  /// Source entities evaluated (those with at least one gold target among
+  /// the columns).
+  size_t evaluated = 0;
+};
+
+/// Computes ranking metrics for `scores` (rows = test source candidates,
+/// columns = test target candidates of `dataset`, matching its candidate
+/// order) against the gold test links.
+Result<RankingMetrics> EvaluateRanking(const KgPairDataset& dataset,
+                                       const Matrix& scores);
+
+/// Convenience: derives raw cosine scores from `embeddings` over the test
+/// candidates, then evaluates the ranking.
+Result<RankingMetrics> EvaluateEmbeddingRanking(const KgPairDataset& dataset,
+                                                const EmbeddingPair& embeddings);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_EVAL_RANKING_METRICS_H_

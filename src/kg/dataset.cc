@@ -1,0 +1,25 @@
+#include "kg/dataset.h"
+
+#include <unordered_set>
+
+namespace entmatcher {
+
+void PopulateTestCandidates(KgPairDataset* dataset,
+                            const std::vector<EntityId>& extra_sources,
+                            const std::vector<EntityId>& extra_targets) {
+  dataset->test_source_entities = dataset->split.test.SourceEntities();
+  dataset->test_target_entities = dataset->split.test.TargetEntities();
+
+  std::unordered_set<EntityId> src_seen(dataset->test_source_entities.begin(),
+                                        dataset->test_source_entities.end());
+  for (EntityId e : extra_sources) {
+    if (src_seen.insert(e).second) dataset->test_source_entities.push_back(e);
+  }
+  std::unordered_set<EntityId> tgt_seen(dataset->test_target_entities.begin(),
+                                        dataset->test_target_entities.end());
+  for (EntityId e : extra_targets) {
+    if (tgt_seen.insert(e).second) dataset->test_target_entities.push_back(e);
+  }
+}
+
+}  // namespace entmatcher

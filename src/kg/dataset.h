@@ -1,0 +1,70 @@
+#ifndef ENTMATCHER_KG_DATASET_H_
+#define ENTMATCHER_KG_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/alignment.h"
+#include "kg/graph.h"
+
+namespace entmatcher {
+
+/// A complete EA benchmark instance: a KG pair, its gold links, the
+/// train/valid/test split, and the candidate entity sets used at matching
+/// time.
+///
+/// Candidate sets: in the standard 1-to-1 setting these are exactly the
+/// entities participating in test links. In the unmatchable setting
+/// (DBP15K+-style) the source candidate set additionally contains entities
+/// with no counterpart.
+struct KgPairDataset {
+  /// Display name ("D-Z", "S-F", ...).
+  std::string name;
+
+  KnowledgeGraph source;
+  KnowledgeGraph target;
+
+  /// All gold links.
+  AlignmentSet gold;
+
+  /// 20/10/70 partition of `gold` (or cluster-preserving partition for the
+  /// non-1-to-1 family).
+  AlignmentSplit split;
+
+  /// Source entities to be matched at test time (order defines score-matrix
+  /// rows).
+  std::vector<EntityId> test_source_entities;
+
+  /// Target candidates at test time (order defines score-matrix columns).
+  std::vector<EntityId> test_target_entities;
+
+  /// Entities combined over both KGs (Table 3 row "#Entities").
+  size_t TotalEntities() const {
+    return source.num_entities() + target.num_entities();
+  }
+  /// Relations combined over both KGs (Table 3 row "#Relations").
+  size_t TotalRelations() const {
+    return source.num_relations() + target.num_relations();
+  }
+  /// Triples combined over both KGs (Table 3 row "#Triples").
+  size_t TotalTriples() const {
+    return source.triples().size() + target.triples().size();
+  }
+  /// Average entity degree over both KGs (Table 3 row "Avg. degree").
+  double AverageDegree() const {
+    const size_t ents = TotalEntities();
+    if (ents == 0) return 0.0;
+    return static_cast<double>(TotalTriples()) / static_cast<double>(ents);
+  }
+};
+
+/// Derives the standard test candidate sets from the dataset's test links:
+/// distinct link sources and distinct link targets, then appends any entity
+/// listed in `extra_sources` / `extra_targets` (used for unmatchables).
+void PopulateTestCandidates(KgPairDataset* dataset,
+                            const std::vector<EntityId>& extra_sources = {},
+                            const std::vector<EntityId>& extra_targets = {});
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_KG_DATASET_H_

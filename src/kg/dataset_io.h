@@ -1,0 +1,38 @@
+#ifndef ENTMATCHER_KG_DATASET_IO_H_
+#define ENTMATCHER_KG_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kg/dataset.h"
+
+namespace entmatcher {
+
+/// Persists a complete EA benchmark instance as a directory in the layout
+/// the OpenEA family of toolkits uses, so datasets generated here can be
+/// consumed elsewhere (and externally prepared datasets loaded here):
+///
+///   <dir>/rel_triples_1     source-KG triples (TSV: s \t p \t o)
+///   <dir>/rel_triples_2     target-KG triples
+///   <dir>/ent_links         all gold links (TSV: source \t target)
+///   <dir>/train_links       the 20% training split
+///   <dir>/valid_links       the 10% validation split
+///   <dir>/test_links        the 70% test split
+///   <dir>/ent_names_1       optional: source entity names (one per line)
+///   <dir>/ent_names_2       optional: target entity names
+///   <dir>/unmatchable_src   optional: extra test source candidates
+///   <dir>/unmatchable_tgt   optional: extra test target candidates
+///
+/// The directory is created if absent.
+Status SaveDatasetDir(const KgPairDataset& dataset, const std::string& dir);
+
+/// Loads a dataset saved by SaveDatasetDir (or assembled by hand in that
+/// layout). Missing optional files are tolerated; missing required files are
+/// an error. Entity counts are inferred from the triples and links.
+/// Test candidates are re-derived from test_links plus the unmatchable
+/// files.
+Result<KgPairDataset> LoadDatasetDir(const std::string& dir);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_KG_DATASET_IO_H_

@@ -1,0 +1,79 @@
+#include "kg/graph.h"
+
+#include <cassert>
+
+namespace entmatcher {
+
+Result<KnowledgeGraph> KnowledgeGraph::Create(size_t num_entities,
+                                              size_t num_relations,
+                                              std::vector<Triple> triples) {
+  for (const Triple& t : triples) {
+    if (t.subject >= num_entities || t.object >= num_entities) {
+      return Status::InvalidArgument("KnowledgeGraph: entity id out of range");
+    }
+    if (t.predicate >= num_relations) {
+      return Status::InvalidArgument("KnowledgeGraph: relation id out of range");
+    }
+  }
+
+  KnowledgeGraph g;
+  g.num_entities_ = num_entities;
+  g.num_relations_ = num_relations;
+  g.triples_ = std::move(triples);
+
+  // Build CSR over both directions.
+  std::vector<size_t> counts(num_entities + 1, 0);
+  for (const Triple& t : g.triples_) {
+    ++counts[t.subject + 1];
+    ++counts[t.object + 1];
+  }
+  for (size_t i = 1; i <= num_entities; ++i) counts[i] += counts[i - 1];
+  g.adj_offsets_ = counts;  // copy: counts is reused as a write cursor below
+  g.adj_edges_.resize(g.triples_.size() * 2);
+  for (const Triple& t : g.triples_) {
+    g.adj_edges_[counts[t.subject]++] = Edge{t.object, t.predicate, false};
+    g.adj_edges_[counts[t.object]++] = Edge{t.subject, t.predicate, true};
+  }
+  return g;
+}
+
+std::span<const KnowledgeGraph::Edge> KnowledgeGraph::Neighbors(
+    EntityId entity) const {
+  assert(entity < num_entities_);
+  const size_t begin = adj_offsets_[entity];
+  const size_t end = adj_offsets_[entity + 1];
+  return std::span<const Edge>(adj_edges_.data() + begin, end - begin);
+}
+
+size_t KnowledgeGraph::Degree(EntityId entity) const {
+  assert(entity < num_entities_);
+  return adj_offsets_[entity + 1] - adj_offsets_[entity];
+}
+
+double KnowledgeGraph::AverageDegree() const {
+  if (num_entities_ == 0) return 0.0;
+  return static_cast<double>(triples_.size()) /
+         static_cast<double>(num_entities_);
+}
+
+std::vector<size_t> KnowledgeGraph::RelationFrequencies() const {
+  std::vector<size_t> freq(num_relations_, 0);
+  for (const Triple& t : triples_) ++freq[t.predicate];
+  return freq;
+}
+
+Status KnowledgeGraph::SetEntityNames(std::vector<std::string> names) {
+  if (names.size() != num_entities_) {
+    return Status::InvalidArgument(
+        "SetEntityNames: name count does not match entity count");
+  }
+  entity_names_ = std::move(names);
+  return Status::OK();
+}
+
+const std::string& KnowledgeGraph::EntityName(EntityId entity) const {
+  assert(has_entity_names() && entity < num_entities_);
+  return entity_names_[entity];
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,73 @@
+#ifndef ENTMATCHER_KG_GRAPH_H_
+#define ENTMATCHER_KG_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/triple.h"
+
+namespace entmatcher {
+
+/// An immutable knowledge graph: a set of triples over dense entity and
+/// relation id spaces, with a CSR adjacency index over both edge directions.
+///
+/// Construction validates that all ids are in range. Entity surface names are
+/// optional (used by the name-embedding channel).
+class KnowledgeGraph {
+ public:
+  /// One adjacency entry: `neighbor` reached via `relation`; `inverse` is
+  /// true when this entity is the *object* of the underlying triple.
+  struct Edge {
+    EntityId neighbor;
+    RelationId relation;
+    bool inverse;
+  };
+
+  /// Builds a graph. Fails if any triple references an out-of-range id.
+  static Result<KnowledgeGraph> Create(size_t num_entities,
+                                       size_t num_relations,
+                                       std::vector<Triple> triples);
+
+  KnowledgeGraph() = default;
+
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relations() const { return num_relations_; }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// All edges incident to `entity` (both directions).
+  std::span<const Edge> Neighbors(EntityId entity) const;
+
+  /// Number of incident edges of `entity`.
+  size_t Degree(EntityId entity) const;
+
+  /// Average entity degree following the dataset-table convention of the
+  /// paper (Table 3): |triples| / |entities|.
+  double AverageDegree() const;
+
+  /// Number of triples each relation participates in.
+  std::vector<size_t> RelationFrequencies() const;
+
+  /// Attaches surface names; `names.size()` must equal num_entities().
+  Status SetEntityNames(std::vector<std::string> names);
+
+  /// True once SetEntityNames succeeded.
+  bool has_entity_names() const { return !entity_names_.empty(); }
+
+  /// Surface name of `entity`; requires has_entity_names().
+  const std::string& EntityName(EntityId entity) const;
+
+ private:
+  size_t num_entities_ = 0;
+  size_t num_relations_ = 0;
+  std::vector<Triple> triples_;
+  // CSR adjacency.
+  std::vector<size_t> adj_offsets_;
+  std::vector<Edge> adj_edges_;
+  std::vector<std::string> entity_names_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_KG_GRAPH_H_

@@ -1,0 +1,112 @@
+#include "kg/io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace entmatcher {
+
+namespace {
+
+Result<uint32_t> ParseU32(std::string_view text) {
+  uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::IoError("failed to parse integer field: '" +
+                           std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Status WriteTriplesTsv(const KnowledgeGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const Triple& t : graph.triples()) {
+    out << t.subject << '\t' << t.predicate << '\t' << t.object << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<KnowledgeGraph> ReadTriplesTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<Triple> triples;
+  uint32_t max_entity = 0;
+  uint32_t max_relation = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    auto fields = SplitString(stripped, '\t');
+    if (fields.size() != 3) {
+      return Status::IoError("expected 3 tab-separated fields in: " + line);
+    }
+    EM_ASSIGN_OR_RETURN(uint32_t s, ParseU32(fields[0]));
+    EM_ASSIGN_OR_RETURN(uint32_t p, ParseU32(fields[1]));
+    EM_ASSIGN_OR_RETURN(uint32_t o, ParseU32(fields[2]));
+    triples.push_back(Triple{s, p, o});
+    max_entity = std::max({max_entity, s, o});
+    max_relation = std::max(max_relation, p);
+  }
+  const size_t num_entities = triples.empty() ? 0 : max_entity + 1;
+  const size_t num_relations = triples.empty() ? 0 : max_relation + 1;
+  return KnowledgeGraph::Create(num_entities, num_relations, std::move(triples));
+}
+
+Status WriteLinksTsv(const AlignmentSet& links, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const EntityPair& p : links.pairs()) {
+    out << p.source << '\t' << p.target << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<AlignmentSet> ReadLinksTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<EntityPair> pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    auto fields = SplitString(stripped, '\t');
+    if (fields.size() != 2) {
+      return Status::IoError("expected 2 tab-separated fields in: " + line);
+    }
+    EM_ASSIGN_OR_RETURN(uint32_t s, ParseU32(fields[0]));
+    EM_ASSIGN_OR_RETURN(uint32_t t, ParseU32(fields[1]));
+    pairs.push_back(EntityPair{s, t});
+  }
+  return AlignmentSet(std::move(pairs));
+}
+
+Status WriteEntityNames(const KnowledgeGraph& graph, const std::string& path) {
+  if (!graph.has_entity_names()) {
+    return Status::FailedPrecondition("graph has no entity names");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (size_t e = 0; e < graph.num_entities(); ++e) {
+    out << graph.EntityName(static_cast<EntityId>(e)) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ReadEntityNames(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) names.push_back(line);
+  return names;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,23 @@
+#ifndef ENTMATCHER_KG_TRIPLE_H_
+#define ENTMATCHER_KG_TRIPLE_H_
+
+#include <cstdint>
+
+namespace entmatcher {
+
+/// Entity and relation identifiers are dense 32-bit indices local to one KG.
+using EntityId = uint32_t;
+using RelationId = uint32_t;
+
+/// A (subject, predicate, object) relational triple (paper Sec. 2.1).
+struct Triple {
+  EntityId subject;
+  RelationId predicate;
+  EntityId object;
+
+  friend bool operator==(const Triple& a, const Triple& b) = default;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_KG_TRIPLE_H_

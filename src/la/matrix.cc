@@ -1,0 +1,100 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace entmatcher {
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+void Matrix::Add(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  // Blocked transpose for cache friendliness on large score matrices.
+  constexpr size_t kBlock = 64;
+  for (size_t rb = 0; rb < rows_; rb += kBlock) {
+    const size_t r_end = std::min(rows_, rb + kBlock);
+    for (size_t cb = 0; cb < cols_; cb += kBlock) {
+      const size_t c_end = std::min(cols_, cb + kBlock);
+      for (size_t r = rb; r < r_end; ++r) {
+        for (size_t c = cb; c < c_end; ++c) {
+          out.At(c, r) = At(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix out(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == out.cols());
+    std::memcpy(out.Row(r).data(), rows[r].data(),
+                rows[r].size() * sizeof(float));
+  }
+  return out;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Result<Matrix> MatMulTransposed(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument("MatMulTransposed: inner dimension mismatch");
+  }
+  const size_t n = a.rows();
+  const size_t m = b.rows();
+  const size_t d = a.cols();
+  Matrix c(n, m);
+  // Row-blocked dot products; both operands are traversed row-wise, which is
+  // contiguous for the B^T formulation.
+  constexpr size_t kBlock = 32;
+  for (size_t ib = 0; ib < n; ib += kBlock) {
+    const size_t i_end = std::min(n, ib + kBlock);
+    for (size_t jb = 0; jb < m; jb += kBlock) {
+      const size_t j_end = std::min(m, jb + kBlock);
+      for (size_t i = ib; i < i_end; ++i) {
+        const float* arow = a.Row(i).data();
+        float* crow = c.Row(i).data();
+        for (size_t j = jb; j < j_end; ++j) {
+          const float* brow = b.Row(j).data();
+          float acc = 0.0f;
+          for (size_t k = 0; k < d; ++k) acc += arow[k] * brow[k];
+          crow[j] = acc;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void L2NormalizeRows(Matrix* m) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    double sq = 0.0;
+    for (float v : row) sq += static_cast<double>(v) * v;
+    if (sq <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+    for (float& v : row) v *= inv;
+  }
+}
+
+}  // namespace entmatcher

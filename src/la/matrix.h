@@ -1,0 +1,133 @@
+#ifndef ENTMATCHER_LA_MATRIX_H_
+#define ENTMATCHER_LA_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
+namespace entmatcher {
+
+/// Dense row-major float matrix. The workhorse of the library: entity
+/// embeddings are (num_entities × dim) matrices and pairwise score tables are
+/// (n × m) matrices.
+///
+/// Buffers register with MemoryTracker so benchmark harnesses can report the
+/// deterministic peak workspace of each matching algorithm (paper Fig. 5b,
+/// Table 6).
+///
+/// Movable and copyable; copies are deep.
+class Matrix {
+ public:
+  /// An empty 0×0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A zero-initialized rows×cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+    MemoryTracker::Global().Add(ByteSize());
+  }
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    MemoryTracker::Global().Add(ByteSize());
+  }
+
+  Matrix& operator=(const Matrix& other) {
+    if (this == &other) return *this;
+    MemoryTracker::Global().Sub(ByteSize());
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    MemoryTracker::Global().Add(ByteSize());
+    return *this;
+  }
+
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+  }
+
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this == &other) return *this;
+    MemoryTracker::Global().Sub(ByteSize());
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+    return *this;
+  }
+
+  ~Matrix() { MemoryTracker::Global().Sub(ByteSize()); }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  size_t ByteSize() const { return data_.size() * sizeof(float); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of one row.
+  std::span<float> Row(size_t r) {
+    assert(r < rows_);
+    return std::span<float>(data_.data() + r * cols_, cols_);
+  }
+  /// Read-only view of one row.
+  std::span<const float> Row(size_t r) const {
+    assert(r < rows_);
+    return std::span<const float>(data_.data() + r * cols_, cols_);
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Elementwise in-place scale: this *= factor.
+  void Scale(float factor);
+
+  /// Elementwise in-place add: this += other. Shapes must match.
+  void Add(const Matrix& other);
+
+  /// Returns the transposed matrix.
+  Matrix Transposed() const;
+
+  /// Builds a matrix from nested initializer data (for tests).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// True iff shapes and all elements are equal within `tol`.
+  bool ApproxEquals(const Matrix& other, float tol) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// C = A * B^T where A is (n×d) and B is (m×d); returns (n×m).
+/// This is the similarity-matrix building block (dot products of embedding
+/// rows). Error if inner dimensions mismatch.
+Result<Matrix> MatMulTransposed(const Matrix& a, const Matrix& b);
+
+/// In-place L2 normalization of every row; zero rows are left unchanged.
+void L2NormalizeRows(Matrix* m);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_MATRIX_H_

@@ -1,0 +1,28 @@
+#ifndef ENTMATCHER_LA_MATRIX_IO_H_
+#define ENTMATCHER_LA_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Writes a matrix as TSV text (one row per line, tab-separated floats) —
+/// the interchange format embedding toolkits like OpenEA/EAkit emit, so
+/// externally trained embeddings can be fed into the matching pipeline.
+Status WriteMatrixTsv(const Matrix& matrix, const std::string& path);
+
+/// Reads a TSV matrix; all rows must have the same width.
+Result<Matrix> ReadMatrixTsv(const std::string& path);
+
+/// Writes a matrix in a compact binary format:
+///   magic "EMAT" | uint64 rows | uint64 cols | float32 data (row-major).
+Status WriteMatrixBinary(const Matrix& matrix, const std::string& path);
+
+/// Reads the binary format written by WriteMatrixBinary.
+Result<Matrix> ReadMatrixBinary(const std::string& path);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_MATRIX_IO_H_

@@ -1,0 +1,21 @@
+#ifndef ENTMATCHER_LA_RANKING_H_
+#define ENTMATCHER_LA_RANKING_H_
+
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Converts a preference/score matrix into a ranking matrix: R(u, v) is the
+/// 1-based rank of v among row u's values in *descending* order (rank 1 =
+/// most preferred). Ties are broken by ascending column index, which keeps
+/// the operation deterministic.
+///
+/// This is the ranking step of the RInf algorithm (paper Alg. 5, line 6). It
+/// allocates one extra index buffer per call but the output matrix dominates:
+/// O(n^2) space, O(n^2 log n) time — exactly the costs the paper attributes
+/// to RInf.
+Matrix RowRankMatrix(const Matrix& scores);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_RANKING_H_

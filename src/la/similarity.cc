@@ -1,0 +1,91 @@
+#include "la/similarity.h"
+
+#include <cmath>
+
+namespace entmatcher {
+
+namespace {
+
+Result<Matrix> CosineSimilarity(const Matrix& source, const Matrix& target) {
+  Matrix src = source;
+  Matrix tgt = target;
+  L2NormalizeRows(&src);
+  L2NormalizeRows(&tgt);
+  return MatMulTransposed(src, tgt);
+}
+
+// ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b ; score = -||a - b||.
+Result<Matrix> NegEuclidean(const Matrix& source, const Matrix& target) {
+  EM_ASSIGN_OR_RETURN(Matrix dots, MatMulTransposed(source, target));
+  std::vector<double> src_sq(source.rows(), 0.0);
+  std::vector<double> tgt_sq(target.rows(), 0.0);
+  for (size_t i = 0; i < source.rows(); ++i) {
+    for (float v : source.Row(i)) src_sq[i] += static_cast<double>(v) * v;
+  }
+  for (size_t j = 0; j < target.rows(); ++j) {
+    for (float v : target.Row(j)) tgt_sq[j] += static_cast<double>(v) * v;
+  }
+  for (size_t i = 0; i < dots.rows(); ++i) {
+    float* row = dots.Row(i).data();
+    for (size_t j = 0; j < dots.cols(); ++j) {
+      double sq = src_sq[i] + tgt_sq[j] - 2.0 * row[j];
+      if (sq < 0.0) sq = 0.0;  // numeric guard
+      row[j] = -static_cast<float>(std::sqrt(sq));
+    }
+  }
+  return dots;
+}
+
+Result<Matrix> NegManhattan(const Matrix& source, const Matrix& target) {
+  const size_t n = source.rows();
+  const size_t m = target.rows();
+  const size_t d = source.cols();
+  Matrix out(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    const float* a = source.Row(i).data();
+    float* row = out.Row(i).data();
+    for (size_t j = 0; j < m; ++j) {
+      const float* b = target.Row(j).data();
+      float dist = 0.0f;
+      for (size_t k = 0; k < d; ++k) dist += std::fabs(a[k] - b[k]);
+      row[j] = -dist;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* SimilarityMetricName(SimilarityMetric metric) {
+  switch (metric) {
+    case SimilarityMetric::kCosine:
+      return "cosine";
+    case SimilarityMetric::kNegEuclidean:
+      return "euclidean";
+    case SimilarityMetric::kNegManhattan:
+      return "manhattan";
+  }
+  return "?";
+}
+
+Result<Matrix> ComputeSimilarity(const Matrix& source, const Matrix& target,
+                                 SimilarityMetric metric) {
+  if (source.rows() == 0 || target.rows() == 0) {
+    return Status::InvalidArgument("ComputeSimilarity: empty embedding matrix");
+  }
+  if (source.cols() != target.cols()) {
+    return Status::InvalidArgument(
+        "ComputeSimilarity: embedding dimensions differ");
+  }
+  switch (metric) {
+    case SimilarityMetric::kCosine:
+      return CosineSimilarity(source, target);
+    case SimilarityMetric::kNegEuclidean:
+      return NegEuclidean(source, target);
+    case SimilarityMetric::kNegManhattan:
+      return NegManhattan(source, target);
+  }
+  return Status::InvalidArgument("ComputeSimilarity: unknown metric");
+}
+
+}  // namespace entmatcher

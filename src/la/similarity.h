@@ -1,0 +1,33 @@
+#ifndef ENTMATCHER_LA_SIMILARITY_H_
+#define ENTMATCHER_LA_SIMILARITY_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Similarity metrics for deriving pairwise scores from embeddings
+/// (paper Sec. 4.2). All metrics are expressed in "higher is better" form:
+/// distance-based metrics are negated so Greedy/Hungarian can treat every
+/// score matrix uniformly.
+enum class SimilarityMetric {
+  /// Cosine similarity (the paper's main choice).
+  kCosine,
+  /// Negated Euclidean distance.
+  kNegEuclidean,
+  /// Negated Manhattan (L1) distance.
+  kNegManhattan,
+};
+
+/// Returns a stable display name ("cosine", "euclidean", "manhattan").
+const char* SimilarityMetricName(SimilarityMetric metric);
+
+/// Computes the (n×m) pairwise score matrix between source embeddings
+/// (n×d) and target embeddings (m×d) under `metric`. Error if dims mismatch
+/// or either side is empty.
+Result<Matrix> ComputeSimilarity(const Matrix& source, const Matrix& target,
+                                 SimilarityMetric metric);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_SIMILARITY_H_

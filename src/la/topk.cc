@@ -1,0 +1,145 @@
+#include "la/topk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace entmatcher {
+
+std::vector<uint32_t> RowArgmax(const Matrix& scores) {
+  assert(scores.cols() > 0);
+  std::vector<uint32_t> out(scores.rows());
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    auto row = scores.Row(r);
+    size_t best = 0;
+    for (size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<uint32_t>(best);
+  }
+  return out;
+}
+
+std::vector<float> RowMax(const Matrix& scores) {
+  assert(scores.cols() > 0);
+  std::vector<float> out(scores.rows());
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    auto row = scores.Row(r);
+    out[r] = *std::max_element(row.begin(), row.end());
+  }
+  return out;
+}
+
+std::vector<float> ColMax(const Matrix& scores) {
+  assert(scores.rows() > 0);
+  std::vector<float> out(scores.cols(), -std::numeric_limits<float>::infinity());
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    auto row = scores.Row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c] > out[c]) out[c] = row[c];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Writes the k largest values of `row` into `buf` (unordered).
+void TopKValues(std::span<const float> row, size_t k, std::vector<float>* buf) {
+  buf->assign(row.begin(), row.end());
+  std::nth_element(buf->begin(), buf->begin() + (k - 1), buf->end(),
+                   std::greater<float>());
+  buf->resize(k);
+}
+
+}  // namespace
+
+std::vector<float> RowTopKMean(const Matrix& scores, size_t k) {
+  assert(k >= 1);
+  const size_t kk = std::min(k, scores.cols());
+  std::vector<float> out(scores.rows());
+  std::vector<float> buf;
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    TopKValues(scores.Row(r), kk, &buf);
+    double sum = std::accumulate(buf.begin(), buf.end(), 0.0);
+    out[r] = static_cast<float>(sum / static_cast<double>(kk));
+  }
+  return out;
+}
+
+std::vector<float> ColTopKMean(const Matrix& scores, size_t k) {
+  assert(k >= 1);
+  const size_t kk = std::min(k, scores.rows());
+  const size_t m = scores.cols();
+  // Per-column min-heap of the k largest values seen so far, stored in one
+  // flat (m x kk) buffer with heap[0] the smallest retained value.
+  std::vector<float> heaps(m * kk, -std::numeric_limits<float>::infinity());
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    const float* row = scores.Row(r).data();
+    for (size_t c = 0; c < m; ++c) {
+      float* heap = heaps.data() + c * kk;
+      const float v = row[c];
+      if (v <= heap[0]) continue;
+      // Sift down the replaced root.
+      size_t i = 0;
+      heap[0] = v;
+      for (;;) {
+        size_t smallest = i;
+        const size_t left = 2 * i + 1;
+        const size_t right = 2 * i + 2;
+        if (left < kk && heap[left] < heap[smallest]) smallest = left;
+        if (right < kk && heap[right] < heap[smallest]) smallest = right;
+        if (smallest == i) break;
+        std::swap(heap[i], heap[smallest]);
+        i = smallest;
+      }
+    }
+  }
+  std::vector<float> out(m);
+  for (size_t c = 0; c < m; ++c) {
+    double sum = 0.0;
+    for (size_t i = 0; i < kk; ++i) sum += heaps[c * kk + i];
+    out[c] = static_cast<float>(sum / static_cast<double>(kk));
+  }
+  return out;
+}
+
+std::vector<uint32_t> RowTopKIndices(const Matrix& scores, size_t k) {
+  assert(k >= 1);
+  const size_t kk = std::min(k, scores.cols());
+  std::vector<uint32_t> out(scores.rows() * kk);
+  std::vector<uint32_t> idx(scores.cols());
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    auto row = scores.Row(r);
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                      [&row](uint32_t a, uint32_t b) {
+                        if (row[a] != row[b]) return row[a] > row[b];
+                        return a < b;
+                      });
+    std::copy(idx.begin(), idx.begin() + kk, out.begin() + r * kk);
+  }
+  return out;
+}
+
+double MeanRowTopKStd(const Matrix& scores, size_t k) {
+  assert(k >= 1);
+  const size_t kk = std::min(k, scores.cols());
+  if (kk < 2 || scores.rows() == 0) return 0.0;
+  std::vector<float> buf;
+  double total = 0.0;
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    TopKValues(scores.Row(r), kk, &buf);
+    double mean = std::accumulate(buf.begin(), buf.end(), 0.0) /
+                  static_cast<double>(kk);
+    double var = 0.0;
+    for (float v : buf) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(kk);
+    total += std::sqrt(var);
+  }
+  return total / static_cast<double>(scores.rows());
+}
+
+}  // namespace entmatcher

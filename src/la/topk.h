@@ -1,0 +1,42 @@
+#ifndef ENTMATCHER_LA_TOPK_H_
+#define ENTMATCHER_LA_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Index of the maximum element in each row; ties resolved to the lowest
+/// index. Rows must be non-empty.
+std::vector<uint32_t> RowArgmax(const Matrix& scores);
+
+/// Maximum value in each row.
+std::vector<float> RowMax(const Matrix& scores);
+
+/// Maximum value in each column.
+std::vector<float> ColMax(const Matrix& scores);
+
+/// Mean of the k largest values of each row (CSLS's phi). k is clamped to the
+/// row length; k must be >= 1.
+std::vector<float> RowTopKMean(const Matrix& scores, size_t k);
+
+/// Mean of the k largest values of each column, computed by streaming the
+/// rows (no transposed copy — keeps CSLS at a single-matrix footprint).
+/// k is clamped to the column length; k must be >= 1.
+std::vector<float> ColTopKMean(const Matrix& scores, size_t k);
+
+/// Indices of the k largest values of each row, sorted by descending value
+/// (ties by ascending index). k is clamped to the row length. Result is a
+/// flattened (rows × k') vector where k' = min(k, cols).
+std::vector<uint32_t> RowTopKIndices(const Matrix& scores, size_t k);
+
+/// Standard deviation of the k largest values of each row, averaged over all
+/// rows. This is the statistic behind the paper's Figure 4 (STD of the top-5
+/// pairwise similarity scores of source entities).
+double MeanRowTopKStd(const Matrix& scores, size_t k);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_TOPK_H_

@@ -1,0 +1,83 @@
+#include "matching/auction.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace entmatcher {
+
+Result<Assignment> AuctionMatch(const Matrix& scores,
+                                const AuctionOptions& options) {
+  if (scores.rows() == 0 || scores.rows() != scores.cols()) {
+    return Status::InvalidArgument("AuctionMatch: score matrix must be square");
+  }
+  if (options.starting_epsilon <= 0.0 || options.final_epsilon <= 0.0 ||
+      options.epsilon_scaling <= 0.0 || options.epsilon_scaling >= 1.0) {
+    return Status::InvalidArgument("AuctionMatch: invalid epsilon schedule");
+  }
+  const size_t n = scores.rows();
+
+  std::vector<double> price(n, 0.0);
+  std::vector<int32_t> owner(n, -1);          // owner[j]: source owning target j
+  std::vector<int32_t> assigned(n, -1);       // assigned[i]: target of source i
+  size_t iterations = 0;
+
+  double eps = options.starting_epsilon;
+  for (;;) {
+    // Each scaling round restarts the assignment but keeps prices, which is
+    // what makes epsilon-scaling fast in practice.
+    std::fill(owner.begin(), owner.end(), -1);
+    std::fill(assigned.begin(), assigned.end(), -1);
+    std::vector<uint32_t> unassigned;
+    unassigned.reserve(n);
+    for (size_t i = 0; i < n; ++i) unassigned.push_back(static_cast<uint32_t>(i));
+
+    while (!unassigned.empty()) {
+      if (++iterations > options.max_iterations) {
+        return Status::ResourceExhausted(
+            "AuctionMatch: iteration cap exceeded (epsilon too small?)");
+      }
+      const uint32_t i = unassigned.back();
+      unassigned.pop_back();
+
+      // Find the best and second-best net value for bidder i.
+      const float* row = scores.Row(i).data();
+      double best_value = -std::numeric_limits<double>::infinity();
+      double second_value = -std::numeric_limits<double>::infinity();
+      size_t best_j = 0;
+      for (size_t j = 0; j < n; ++j) {
+        const double value = static_cast<double>(row[j]) - price[j];
+        if (value > best_value) {
+          second_value = best_value;
+          best_value = value;
+          best_j = j;
+        } else if (value > second_value) {
+          second_value = value;
+        }
+      }
+      // Bid: raise the price so i is indifferent to its second choice,
+      // plus the epsilon premium.
+      const double increment =
+          (second_value == -std::numeric_limits<double>::infinity()
+               ? eps
+               : best_value - second_value + eps);
+      price[best_j] += increment;
+
+      const int32_t previous = owner[best_j];
+      owner[best_j] = static_cast<int32_t>(i);
+      assigned[i] = static_cast<int32_t>(best_j);
+      if (previous >= 0) {
+        assigned[static_cast<size_t>(previous)] = -1;
+        unassigned.push_back(static_cast<uint32_t>(previous));
+      }
+    }
+    if (eps <= options.final_epsilon) break;
+    eps = std::max(options.final_epsilon, eps * options.epsilon_scaling);
+  }
+
+  Assignment result;
+  result.target_of_source.assign(assigned.begin(), assigned.end());
+  return result;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,37 @@
+#ifndef ENTMATCHER_MATCHING_AUCTION_H_
+#define ENTMATCHER_MATCHING_AUCTION_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// Options for the auction assignment solver.
+struct AuctionOptions {
+  /// Starting bid increment (scaled down by eps_scaling each round).
+  double starting_epsilon = 0.1;
+  /// Epsilon-scaling factor per round (0 < f < 1).
+  double epsilon_scaling = 0.25;
+  /// Final epsilon; with eps < 1/n on integer-ish scores the result is
+  /// optimal. Smaller = closer to optimal, more rounds.
+  double final_epsilon = 1e-4;
+  /// Safety cap on total bidding iterations.
+  size_t max_iterations = 50'000'000;
+};
+
+/// Bertsekas auction algorithm for the (maximization) assignment problem
+/// with epsilon-scaling: unassigned sources bid for their best target at a
+/// price premium of eps; prices rise until everyone is assigned. Within
+/// n*eps of the optimal total similarity — the classic parallelizable
+/// alternative to the Hungarian algorithm (relevant to the paper's
+/// CPU-vs-GPU discussion of Hun. vs Sink., insight 1).
+///
+/// Requires a square score matrix; use HungarianMatch for rectangular
+/// inputs (it pads internally).
+Result<Assignment> AuctionMatch(const Matrix& scores,
+                                const AuctionOptions& options = {});
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_AUCTION_H_

@@ -1,0 +1,26 @@
+#ifndef ENTMATCHER_MATCHING_GALE_SHAPLEY_H_
+#define ENTMATCHER_MATCHING_GALE_SHAPLEY_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// Stable embedding matching (paper Sec. 3.6): sources propose in descending
+/// pairwise-score order; targets hold their best proposer by their own score
+/// ranking (Gale–Shapley deferred acceptance). The result is a stable,
+/// source-optimal matching.
+///
+/// Complexity matches Table 2: O(n^2 log n) time (both sides' full
+/// preference rankings are materialized) and a deliberately heavy O(n^2)
+/// index footprint — the paper singles SMat out as the least space-efficient
+/// algorithm, which is what sinks it at DWY100K scale.
+///
+/// Rectangular inputs are supported: when there are more sources than
+/// targets, the overflow sources end up kUnmatched.
+Result<Assignment> GaleShapleyMatch(const Matrix& scores);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_GALE_SHAPLEY_H_

@@ -1,0 +1,17 @@
+#include "matching/greedy.h"
+
+#include "la/topk.h"
+
+namespace entmatcher {
+
+Result<Assignment> GreedyMatch(const Matrix& scores) {
+  if (scores.rows() == 0 || scores.cols() == 0) {
+    return Status::InvalidArgument("GreedyMatch: empty score matrix");
+  }
+  const std::vector<uint32_t> argmax = RowArgmax(scores);
+  Assignment assignment;
+  assignment.target_of_source.assign(argmax.begin(), argmax.end());
+  return assignment;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,17 @@
+#ifndef ENTMATCHER_MATCHING_GREEDY_H_
+#define ENTMATCHER_MATCHING_GREEDY_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// Greedy matching (paper Alg. 2): every source row is matched to its
+/// highest-scoring target column. Duplicates are allowed — greedy is
+/// unidirectional and does not exert the 1-to-1 constraint (Table 2).
+Result<Assignment> GreedyMatch(const Matrix& scores);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_GREEDY_H_

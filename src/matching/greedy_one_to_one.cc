@@ -1,0 +1,78 @@
+#include "matching/greedy_one_to_one.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/memory_tracker.h"
+#include "la/topk.h"
+
+namespace entmatcher {
+
+Result<Assignment> GreedyOneToOneMatch(const Matrix& scores) {
+  if (scores.rows() == 0 || scores.cols() == 0) {
+    return Status::InvalidArgument("GreedyOneToOneMatch: empty score matrix");
+  }
+  const size_t n = scores.rows();
+  const size_t m = scores.cols();
+
+  // Sort all cell indices by descending score; the index buffer is the
+  // algorithm's dominant workspace.
+  ScopedTrackedBytes tracked(n * m * sizeof(uint64_t));
+  std::vector<uint64_t> order(n * m);
+  std::iota(order.begin(), order.end(), uint64_t{0});
+  const float* data = scores.data();
+  std::sort(order.begin(), order.end(), [data](uint64_t a, uint64_t b) {
+    if (data[a] != data[b]) return data[a] > data[b];
+    return a < b;
+  });
+
+  Assignment assignment;
+  assignment.target_of_source.assign(n, Assignment::kUnmatched);
+  std::vector<uint8_t> target_taken(m, 0);
+  size_t matched = 0;
+  const size_t capacity = std::min(n, m);
+  for (uint64_t cell : order) {
+    if (matched == capacity) break;
+    const size_t i = static_cast<size_t>(cell / m);
+    const size_t j = static_cast<size_t>(cell % m);
+    if (assignment.target_of_source[i] != Assignment::kUnmatched) continue;
+    if (target_taken[j]) continue;
+    assignment.target_of_source[i] = static_cast<int32_t>(j);
+    target_taken[j] = 1;
+    ++matched;
+  }
+  return assignment;
+}
+
+Result<Assignment> MutualBestMatch(const Matrix& scores) {
+  if (scores.rows() == 0 || scores.cols() == 0) {
+    return Status::InvalidArgument("MutualBestMatch: empty score matrix");
+  }
+  const std::vector<uint32_t> row_best = RowArgmax(scores);
+  // Column argmax via one row-major pass.
+  std::vector<int64_t> col_best(scores.cols(), -1);
+  {
+    std::vector<float> col_best_val(scores.cols(),
+                                    -std::numeric_limits<float>::infinity());
+    for (size_t i = 0; i < scores.rows(); ++i) {
+      const float* row = scores.Row(i).data();
+      for (size_t j = 0; j < scores.cols(); ++j) {
+        if (row[j] > col_best_val[j]) {
+          col_best_val[j] = row[j];
+          col_best[j] = static_cast<int64_t>(i);
+        }
+      }
+    }
+  }
+  Assignment assignment;
+  assignment.target_of_source.assign(scores.rows(), Assignment::kUnmatched);
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    const uint32_t j = row_best[i];
+    if (col_best[j] == static_cast<int64_t>(i)) {
+      assignment.target_of_source[i] = static_cast<int32_t>(j);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace entmatcher

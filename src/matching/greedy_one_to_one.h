@@ -1,0 +1,29 @@
+#ifndef ENTMATCHER_MATCHING_GREEDY_ONE_TO_ONE_H_
+#define ENTMATCHER_MATCHING_GREEDY_ONE_TO_ONE_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// Greedy *global* 1-to-1 matching (the strategy of conventional greedy
+/// aligners such as SiGMa [25]): visit all (source, target) pairs in
+/// descending score order and accept a pair when both sides are still free.
+/// A 2-approximation of the optimal assignment at O(n^2 log n) cost — the
+/// cheap middle ground between row-greedy and the Hungarian algorithm.
+///
+/// Rectangular inputs are handled naturally; surplus sources stay
+/// kUnmatched.
+Result<Assignment> GreedyOneToOneMatch(const Matrix& scores);
+
+/// Mutual-best matching with abstention: (u, v) is accepted iff v is u's
+/// best target AND u is v's best source. Sources that lose the reciprocal
+/// test stay kUnmatched — high precision at reduced recall, the standard
+/// bootstrapping filter of self-training EA systems (and our pseudo-anchor
+/// rule in the RREA-style model).
+Result<Assignment> MutualBestMatch(const Matrix& scores);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_GREEDY_ONE_TO_ONE_H_

@@ -1,0 +1,51 @@
+#include "matching/hungarian_matcher.h"
+
+#include <algorithm>
+
+#include "matching/lap.h"
+
+namespace entmatcher {
+
+Result<Assignment> HungarianMatch(const Matrix& scores) {
+  if (scores.rows() == 0 || scores.cols() == 0) {
+    return Status::InvalidArgument("HungarianMatch: empty score matrix");
+  }
+  const size_t n = scores.rows();
+  const size_t m = scores.cols();
+  const size_t side = std::max(n, m);
+
+  // Cost = score_max - score (minimization); dummy cells cost slightly more
+  // than the worst real cell so they are only used when forced.
+  float lo = scores.At(0, 0);
+  float hi = lo;
+  for (size_t i = 0; i < n; ++i) {
+    for (float v : scores.Row(i)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const float range = hi - lo;
+  const float dummy_cost = range + 1.0f;
+
+  Matrix cost(side, side);
+  cost.Fill(dummy_cost);
+  for (size_t i = 0; i < n; ++i) {
+    const float* srow = scores.Row(i).data();
+    float* crow = cost.Row(i).data();
+    for (size_t j = 0; j < m; ++j) crow[j] = hi - srow[j];
+  }
+
+  EM_ASSIGN_OR_RETURN(LapSolution solution, SolveLapMin(cost));
+
+  Assignment assignment;
+  assignment.target_of_source.assign(n, Assignment::kUnmatched);
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t j = solution.col_of_row[i];
+    if (j >= 0 && static_cast<size_t>(j) < m) {
+      assignment.target_of_source[i] = j;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace entmatcher

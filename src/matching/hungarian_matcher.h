@@ -1,0 +1,22 @@
+#ifndef ENTMATCHER_MATCHING_HUNGARIAN_MATCHER_H_
+#define ENTMATCHER_MATCHING_HUNGARIAN_MATCHER_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// Hungarian embedding matching (paper Sec. 3.5): maximizes the sum of
+/// pairwise scores of the matched pairs under the 1-to-1 constraint by
+/// solving a linear assignment problem on the negated scores.
+///
+/// Rectangular inputs are padded to square with dummy rows/columns whose
+/// score is below every real score (the paper's dummy-node recipe for the
+/// unmatchable setting, Sec. 5.1); sources assigned to dummy columns come
+/// back as Assignment::kUnmatched.
+Result<Assignment> HungarianMatch(const Matrix& scores);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_HUNGARIAN_MATCHER_H_

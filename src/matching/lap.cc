@@ -1,0 +1,79 @@
+#include "matching/lap.h"
+
+#include <limits>
+
+namespace entmatcher {
+
+Result<LapSolution> SolveLapMin(const Matrix& cost) {
+  if (cost.rows() == 0 || cost.rows() != cost.cols()) {
+    return Status::InvalidArgument("SolveLapMin: cost matrix must be square");
+  }
+  const size_t n = cost.rows();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Shortest augmenting path with dual potentials (u, v); 1-based columns
+  // with column 0 as the virtual start of each augmentation.
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<int32_t> row_of_col(n + 1, 0);  // p[j]: row matched to column j
+  std::vector<int32_t> way(n + 1, 0);
+  std::vector<double> min_to(n + 1);
+  std::vector<char> used(n + 1);
+
+  for (size_t i = 1; i <= n; ++i) {
+    row_of_col[0] = static_cast<int32_t>(i);
+    size_t j0 = 0;
+    std::fill(min_to.begin(), min_to.end(), kInf);
+    std::fill(used.begin(), used.end(), 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = static_cast<size_t>(row_of_col[j0]);
+      double delta = kInf;
+      size_t j1 = 0;
+      const float* cost_row = cost.Row(i0 - 1).data();
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = static_cast<double>(cost_row[j - 1]) - u[i0] - v[j];
+        if (cur < min_to[j]) {
+          min_to[j] = cur;
+          way[j] = static_cast<int32_t>(j0);
+        }
+        if (min_to[j] < delta) {
+          delta = min_to[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[static_cast<size_t>(row_of_col[j])] += delta;
+          v[j] -= delta;
+        } else {
+          min_to[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (row_of_col[j0] != 0);
+    // Unwind the augmenting path.
+    do {
+      const size_t j1 = static_cast<size_t>(way[j0]);
+      row_of_col[j0] = row_of_col[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  LapSolution solution;
+  solution.col_of_row.assign(n, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    if (row_of_col[j] > 0) {
+      solution.col_of_row[static_cast<size_t>(row_of_col[j]) - 1] =
+          static_cast<int32_t>(j - 1);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    solution.total_cost +=
+        static_cast<double>(cost.At(i, static_cast<size_t>(solution.col_of_row[i])));
+  }
+  return solution;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,28 @@
+#ifndef ENTMATCHER_MATCHING_LAP_H_
+#define ENTMATCHER_MATCHING_LAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Exact solution of the (minimization) linear assignment problem.
+struct LapSolution {
+  /// col_of_row[i] = column assigned to row i.
+  std::vector<int32_t> col_of_row;
+  /// Total cost of the optimal assignment.
+  double total_cost = 0.0;
+};
+
+/// Solves min sum_i cost(i, col_of_row[i]) over permutations, for a square
+/// cost matrix, using the shortest-augmenting-path algorithm with dual
+/// potentials (the Jonker–Volgenant family the paper's Hun. baseline uses).
+/// O(n^3) time, O(n^2) space — the complexities of Table 2.
+Result<LapSolution> SolveLapMin(const Matrix& cost);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_LAP_H_

@@ -1,0 +1,184 @@
+#include "matching/partitioned.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "matching/pipeline.h"
+
+namespace entmatcher {
+
+namespace {
+
+// Plain k-means over L2-normalized rows (cosine k-means). Returns the
+// cluster id per row.
+std::vector<uint32_t> KMeans(const Matrix& points, size_t k, size_t iterations,
+                             Rng* rng) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  Matrix normalized = points;
+  L2NormalizeRows(&normalized);
+
+  // k-means++-lite init: random distinct rows.
+  std::vector<size_t> centroid_rows;
+  {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    rng->Shuffle(&order);
+    for (size_t c = 0; c < k; ++c) centroid_rows.push_back(order[c % n]);
+  }
+  Matrix centroids(k, dim);
+  for (size_t c = 0; c < k; ++c) {
+    std::copy(normalized.Row(centroid_rows[c]).begin(),
+              normalized.Row(centroid_rows[c]).end(),
+              centroids.Row(c).begin());
+  }
+
+  std::vector<uint32_t> assignment(n, 0);
+  for (size_t it = 0; it < iterations; ++it) {
+    // Assign to the most similar centroid.
+    for (size_t i = 0; i < n; ++i) {
+      const float* x = normalized.Row(i).data();
+      float best = -std::numeric_limits<float>::infinity();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const float* mu = centroids.Row(c).data();
+        float dot = 0.0f;
+        for (size_t d = 0; d < dim; ++d) dot += x[d] * mu[d];
+        if (dot > best) {
+          best = dot;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      assignment[i] = best_c;
+    }
+    // Recompute centroids (mean direction).
+    centroids.Fill(0.0f);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      float* mu = centroids.Row(assignment[i]).data();
+      const float* x = normalized.Row(i).data();
+      for (size_t d = 0; d < dim; ++d) mu[d] += x[d];
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with a random point.
+        const size_t row = rng->NextBounded(n);
+        std::copy(normalized.Row(row).begin(), normalized.Row(row).end(),
+                  centroids.Row(c).begin());
+      }
+    }
+    L2NormalizeRows(&centroids);
+  }
+  return assignment;
+}
+
+}  // namespace
+
+size_t Partitioning::MaxBlockCells() const {
+  std::vector<size_t> src_count(num_partitions, 0);
+  std::vector<size_t> tgt_count(num_partitions, 0);
+  for (uint32_t p : partition_of_source) ++src_count[p];
+  for (uint32_t p : partition_of_target) ++tgt_count[p];
+  size_t max_cells = 0;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    max_cells = std::max(max_cells, src_count[p] * tgt_count[p]);
+  }
+  return max_cells;
+}
+
+Result<Partitioning> CoClusterCandidates(const Matrix& source,
+                                         const Matrix& target,
+                                         const PartitionedOptions& options) {
+  if (source.rows() == 0 || target.rows() == 0) {
+    return Status::InvalidArgument("CoClusterCandidates: empty embeddings");
+  }
+  if (source.cols() != target.cols()) {
+    return Status::InvalidArgument(
+        "CoClusterCandidates: embedding dims differ");
+  }
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument(
+        "CoClusterCandidates: num_partitions must be >= 1");
+  }
+  const size_t n = source.rows();
+  const size_t m = target.rows();
+  const size_t k = std::min(options.num_partitions, std::min(n, m));
+
+  // Stack both sides so matching entities co-cluster.
+  Matrix stacked(n + m, source.cols());
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(source.Row(i).begin(), source.Row(i).end(),
+              stacked.Row(i).begin());
+  }
+  for (size_t j = 0; j < m; ++j) {
+    std::copy(target.Row(j).begin(), target.Row(j).end(),
+              stacked.Row(n + j).begin());
+  }
+  Rng rng(options.seed);
+  const std::vector<uint32_t> clusters =
+      KMeans(stacked, k, options.kmeans_iterations, &rng);
+
+  Partitioning partitioning;
+  partitioning.num_partitions = k;
+  partitioning.partition_of_source.assign(clusters.begin(),
+                                          clusters.begin() + n);
+  partitioning.partition_of_target.assign(clusters.begin() + n,
+                                          clusters.end());
+  return partitioning;
+}
+
+Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
+                                    const PartitionedOptions& options) {
+  if (options.block_options.matcher == MatcherKind::kRl) {
+    return Status::InvalidArgument(
+        "PartitionedMatch: kRl is not supported inside blocks");
+  }
+  EM_ASSIGN_OR_RETURN(Partitioning partitioning,
+                      CoClusterCandidates(source, target, options));
+
+  Assignment assignment;
+  assignment.target_of_source.assign(source.rows(), Assignment::kUnmatched);
+
+  for (size_t p = 0; p < partitioning.num_partitions; ++p) {
+    std::vector<uint32_t> src_rows;
+    std::vector<uint32_t> tgt_cols;
+    for (size_t i = 0; i < source.rows(); ++i) {
+      if (partitioning.partition_of_source[i] == p) {
+        src_rows.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    for (size_t j = 0; j < target.rows(); ++j) {
+      if (partitioning.partition_of_target[j] == p) {
+        tgt_cols.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    if (src_rows.empty() || tgt_cols.empty()) continue;
+
+    Matrix block_src(src_rows.size(), source.cols());
+    for (size_t i = 0; i < src_rows.size(); ++i) {
+      std::copy(source.Row(src_rows[i]).begin(), source.Row(src_rows[i]).end(),
+                block_src.Row(i).begin());
+    }
+    Matrix block_tgt(tgt_cols.size(), target.cols());
+    for (size_t j = 0; j < tgt_cols.size(); ++j) {
+      std::copy(target.Row(tgt_cols[j]).begin(), target.Row(tgt_cols[j]).end(),
+                block_tgt.Row(j).begin());
+    }
+
+    EM_ASSIGN_OR_RETURN(
+        Assignment block_assignment,
+        MatchEmbeddings(block_src, block_tgt, options.block_options));
+    for (size_t i = 0; i < src_rows.size(); ++i) {
+      const int32_t j = block_assignment.target_of_source[i];
+      if (j == Assignment::kUnmatched) continue;
+      assignment.target_of_source[src_rows[i]] =
+          static_cast<int32_t>(tgt_cols[static_cast<size_t>(j)]);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,100 @@
+#include "matching/pipeline.h"
+
+#include "common/memory_tracker.h"
+#include "common/timer.h"
+#include "la/similarity.h"
+#include "matching/gale_shapley.h"
+#include "matching/greedy.h"
+#include "matching/greedy_one_to_one.h"
+#include "matching/hungarian_matcher.h"
+#include "matching/rl_matcher.h"
+#include "matching/transforms.h"
+
+namespace entmatcher {
+
+Result<Matrix> ComputeScores(const Matrix& source, const Matrix& target,
+                             const MatchOptions& options) {
+  EM_ASSIGN_OR_RETURN(Matrix scores,
+                      ComputeSimilarity(source, target, options.metric));
+  return ApplyScoreTransform(std::move(scores), options);
+}
+
+Result<Assignment> MatchScores(const Matrix& scores,
+                               const MatchOptions& options) {
+  switch (options.matcher) {
+    case MatcherKind::kGreedy:
+      return GreedyMatch(scores);
+    case MatcherKind::kHungarian:
+      return HungarianMatch(scores);
+    case MatcherKind::kGaleShapley:
+      return GaleShapleyMatch(scores);
+    case MatcherKind::kGreedyOneToOne:
+      return GreedyOneToOneMatch(scores);
+    case MatcherKind::kMutualBest:
+      return MutualBestMatch(scores);
+    case MatcherKind::kRl:
+      return Status::InvalidArgument(
+          "the RL matcher needs KG context; use RunMatching or RlMatch");
+  }
+  return Status::InvalidArgument("unknown matcher kind");
+}
+
+Result<Assignment> MatchEmbeddings(const Matrix& source, const Matrix& target,
+                                   const MatchOptions& options) {
+  if (options.matcher == MatcherKind::kRl) {
+    return Status::InvalidArgument(
+        "the RL matcher needs KG context; use RunMatching or RlMatch");
+  }
+  EM_ASSIGN_OR_RETURN(Matrix scores, ComputeScores(source, target, options));
+  return MatchScores(scores, options);
+}
+
+Result<MatchRun> RunMatching(const KgPairDataset& dataset,
+                             const EmbeddingPair& embeddings,
+                             const MatchOptions& options) {
+  if (dataset.test_source_entities.empty() ||
+      dataset.test_target_entities.empty()) {
+    return Status::FailedPrecondition(
+        "RunMatching: dataset has no test candidates (call "
+        "PopulateTestCandidates)");
+  }
+
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const size_t baseline_bytes = tracker.current_bytes();
+  tracker.ResetPeak();
+  Timer timer;
+
+  const Matrix source =
+      ExtractRows(embeddings.source, dataset.test_source_entities);
+  const Matrix target =
+      ExtractRows(embeddings.target, dataset.test_target_entities);
+
+  MatchRun run;
+  if (options.matcher == MatcherKind::kRl) {
+    EM_ASSIGN_OR_RETURN(Matrix scores,
+                        ComputeSimilarity(source, target, options.metric));
+    EM_ASSIGN_OR_RETURN(run.assignment,
+                        RlMatch(dataset, embeddings, scores, options.rl));
+  } else {
+    EM_ASSIGN_OR_RETURN(Matrix scores, ComputeScores(source, target, options));
+    EM_ASSIGN_OR_RETURN(run.assignment, MatchScores(scores, options));
+  }
+
+  run.seconds = timer.ElapsedSeconds();
+  const size_t peak = tracker.peak_bytes();
+  run.peak_workspace_bytes = peak > baseline_bytes ? peak - baseline_bytes : 0;
+
+  std::vector<EntityPair> predicted;
+  predicted.reserve(run.assignment.NumMatched());
+  for (size_t i = 0; i < run.assignment.size(); ++i) {
+    const int32_t j = run.assignment.target_of_source[i];
+    if (j == Assignment::kUnmatched) continue;
+    predicted.push_back(
+        EntityPair{dataset.test_source_entities[i],
+                   dataset.test_target_entities[static_cast<size_t>(j)]});
+  }
+  run.predicted = AlignmentSet(std::move(predicted));
+  return run;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,55 @@
+#ifndef ENTMATCHER_MATCHING_PIPELINE_H_
+#define ENTMATCHER_MATCHING_PIPELINE_H_
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// Stages 1+2 of the EntMatcher pipeline (paper Fig. 3): derive the pairwise
+/// similarity matrix from candidate embeddings under options.metric, then
+/// apply the configured score transform.
+Result<Matrix> ComputeScores(const Matrix& source, const Matrix& target,
+                             const MatchOptions& options);
+
+/// Stage 3: the matching decision on a (possibly transformed) score matrix.
+/// Supports kGreedy, kHungarian and kGaleShapley; the RL matcher needs KG
+/// context and is reached through RunMatching (or RlMatch directly).
+/// Hungarian and Gale–Shapley pad rectangular inputs with dummy nodes (the
+/// paper's recipe for unequal entity counts, Sec. 5.1); sources landing on a
+/// dummy come back as Assignment::kUnmatched.
+Result<Assignment> MatchScores(const Matrix& scores,
+                               const MatchOptions& options);
+
+/// Embeddings in, assignment out: ComputeScores followed by MatchScores.
+/// This is the library's core entry point for users who manage their own
+/// candidate sets. Not usable with matcher == kRl (needs KG context).
+Result<Assignment> MatchEmbeddings(const Matrix& source, const Matrix& target,
+                                   const MatchOptions& options);
+
+/// A full dataset-level matching run: timing and deterministic workspace
+/// accounting around the complete pipeline, with entity-level output.
+struct MatchRun {
+  /// Row/column assignment over the dataset's test candidate sets.
+  Assignment assignment;
+  /// The predicted entity pairs (rows/cols mapped back to entity ids).
+  AlignmentSet predicted;
+  /// Wall-clock seconds of the matching stage (scores + transform + decision).
+  double seconds = 0.0;
+  /// Peak tracked workspace allocated by the matching stage, in bytes.
+  size_t peak_workspace_bytes = 0;
+};
+
+/// Extracts the dataset's test candidate embeddings, runs the configured
+/// pipeline (including the RL matcher), and maps the assignment back to
+/// entity pairs.
+Result<MatchRun> RunMatching(const KgPairDataset& dataset,
+                             const EmbeddingPair& embeddings,
+                             const MatchOptions& options);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_PIPELINE_H_

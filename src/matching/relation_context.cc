@@ -1,0 +1,158 @@
+#include "matching/relation_context.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "la/topk.h"
+
+namespace entmatcher {
+
+namespace {
+
+// Signature index: relation id doubled, +1 for the inverse direction.
+size_t Signature(RelationId relation, bool inverse) {
+  return 2 * static_cast<size_t>(relation) + (inverse ? 1 : 0);
+}
+
+// Distinct incident relation signatures of one entity.
+std::vector<size_t> EntitySignatures(const KnowledgeGraph& graph,
+                                     EntityId entity) {
+  std::vector<size_t> out;
+  for (const KnowledgeGraph::Edge& edge : graph.Neighbors(entity)) {
+    out.push_back(Signature(edge.relation, edge.inverse));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<RelationCorrespondence> RelationCorrespondence::Learn(
+    const KgPairDataset& dataset, const RelationContextOptions& options) {
+  if (dataset.split.train.empty()) {
+    return Status::FailedPrecondition(
+        "RelationCorrespondence: no train links to learn from");
+  }
+  if (options.smoothing < 0.0) {
+    return Status::InvalidArgument(
+        "RelationCorrespondence: smoothing must be >= 0");
+  }
+  RelationCorrespondence model;
+  model.num_src_ = 2 * dataset.source.num_relations();
+  model.num_tgt_ = 2 * dataset.target.num_relations();
+  std::vector<double> counts(model.num_src_ * model.num_tgt_, 0.0);
+
+  for (const EntityPair& pair : dataset.split.train.pairs()) {
+    const std::vector<size_t> src_sigs =
+        EntitySignatures(dataset.source, pair.source);
+    const std::vector<size_t> tgt_sigs =
+        EntitySignatures(dataset.target, pair.target);
+    // Co-occurrence evidence, normalized per pair so high-degree seeds do
+    // not dominate.
+    if (src_sigs.empty() || tgt_sigs.empty()) continue;
+    const double unit =
+        1.0 / static_cast<double>(src_sigs.size() * tgt_sigs.size());
+    for (size_t s : src_sigs) {
+      for (size_t t : tgt_sigs) {
+        counts[s * model.num_tgt_ + t] += unit;
+      }
+    }
+  }
+
+  // Row-normalize with Laplace smoothing into P(target sig | source sig).
+  model.table_.assign(counts.size(), 0.0f);
+  for (size_t s = 0; s < model.num_src_; ++s) {
+    double row_sum = 0.0;
+    for (size_t t = 0; t < model.num_tgt_; ++t) {
+      row_sum += counts[s * model.num_tgt_ + t];
+    }
+    const double denom =
+        row_sum + options.smoothing * static_cast<double>(model.num_tgt_);
+    if (denom <= 0.0) continue;
+    for (size_t t = 0; t < model.num_tgt_; ++t) {
+      model.table_[s * model.num_tgt_ + t] = static_cast<float>(
+          (counts[s * model.num_tgt_ + t] + options.smoothing) / denom);
+    }
+  }
+  return model;
+}
+
+float RelationCorrespondence::Probability(RelationId source_relation,
+                                          bool source_inverse,
+                                          RelationId target_relation,
+                                          bool target_inverse) const {
+  const size_t s = Signature(source_relation, source_inverse);
+  const size_t t = Signature(target_relation, target_inverse);
+  if (s >= num_src_ || t >= num_tgt_) return 0.0f;
+  return table_[s * num_tgt_ + t];
+}
+
+Result<Matrix> RelationContextRescore(const KgPairDataset& dataset,
+                                      Matrix scores,
+                                      const RelationContextOptions& options) {
+  if (scores.rows() != dataset.test_source_entities.size() ||
+      scores.cols() != dataset.test_target_entities.size()) {
+    return Status::InvalidArgument(
+        "RelationContextRescore: score shape does not match candidates");
+  }
+  if (options.candidates == 0) {
+    return Status::InvalidArgument(
+        "RelationContextRescore: candidates must be >= 1");
+  }
+  EM_ASSIGN_OR_RETURN(RelationCorrespondence model,
+                      RelationCorrespondence::Learn(dataset, options));
+
+  // Precompute target signature lists once.
+  std::vector<std::vector<size_t>> tgt_sigs(dataset.test_target_entities.size());
+  for (size_t j = 0; j < tgt_sigs.size(); ++j) {
+    tgt_sigs[j] =
+        EntitySignatures(dataset.target, dataset.test_target_entities[j]);
+  }
+
+  // Normalize the agreement bonus by the raw score spread so `weight` has a
+  // stable meaning across metrics.
+  float lo = scores.At(0, 0);
+  float hi = lo;
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    for (float v : scores.Row(i)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const float bonus_scale =
+      static_cast<float>(options.weight) * std::max(hi - lo, 1e-6f);
+
+  const size_t c = std::min(options.candidates, scores.cols());
+  const std::vector<uint32_t> candidates = RowTopKIndices(scores, c);
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    const std::vector<size_t> src_sigs =
+        EntitySignatures(dataset.source, dataset.test_source_entities[i]);
+    if (src_sigs.empty()) continue;
+    float* row = scores.Row(i).data();
+    for (size_t p = 0; p < c; ++p) {
+      const uint32_t j = candidates[i * c + p];
+      const std::vector<size_t>& tsigs = tgt_sigs[j];
+      if (tsigs.empty()) continue;
+      // Mean over u's signatures of the best corresponding probability
+      // among v's signatures.
+      double agreement = 0.0;
+      for (size_t s : src_sigs) {
+        float best = 0.0f;
+        for (size_t t : tsigs) {
+          // Signatures are already encoded; decode back to table lookup.
+          const float prob =
+              model.Probability(static_cast<RelationId>(s / 2), (s & 1) != 0,
+                                static_cast<RelationId>(t / 2), (t & 1) != 0);
+          best = std::max(best, prob);
+        }
+        agreement += best;
+      }
+      agreement /= static_cast<double>(src_sigs.size());
+      row[j] += bonus_scale * static_cast<float>(agreement);
+    }
+  }
+  return scores;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,66 @@
+#ifndef ENTMATCHER_MATCHING_RELATION_CONTEXT_H_
+#define ENTMATCHER_MATCHING_RELATION_CONTEXT_H_
+
+#include "common/status.h"
+#include "kg/dataset.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Options for relation-context rescoring.
+struct RelationContextOptions {
+  /// Candidate columns rescored per source row (the rest keep their score).
+  size_t candidates = 20;
+  /// Weight of the relation-agreement bonus added to the pairwise score.
+  double weight = 0.3;
+  /// Laplace smoothing for the relation-correspondence estimates.
+  double smoothing = 1.0;
+};
+
+/// The relation-correspondence model: soft alignment probabilities between
+/// the two KGs' relation vocabularies, estimated from the seed entity pairs
+/// (relations that co-occur around aligned entities correspond).
+/// Direction (relation as subject vs object side) is part of the signature.
+class RelationCorrespondence {
+ public:
+  /// Estimates correspondences from the dataset's train links.
+  static Result<RelationCorrespondence> Learn(
+      const KgPairDataset& dataset, const RelationContextOptions& options);
+
+  /// P(target relation signature | source relation signature); 0 when the
+  /// pair was never observed around a seed pair.
+  float Probability(RelationId source_relation, bool source_inverse,
+                    RelationId target_relation, bool target_inverse) const;
+
+  size_t num_source_signatures() const { return num_src_; }
+  size_t num_target_signatures() const { return num_tgt_; }
+
+ private:
+  RelationCorrespondence() = default;
+
+  // Dense (src signatures x tgt signatures) row-stochastic table; relation
+  // vocabularies are small relative to entities so this stays cheap.
+  size_t num_src_ = 0;
+  size_t num_tgt_ = 0;
+  std::vector<float> table_;
+};
+
+/// Implements the paper's future direction (6): inject *relation*-level
+/// evidence into the entity matching scores. For each source row's top-C
+/// candidates, the score is boosted by how well the two entities'
+/// incident-relation profiles agree under the learned relation
+/// correspondence:
+///
+///   S'(u, v) = S(u, v) + weight * agreement(u, v)
+///   agreement = mean over u's incident relation signatures of the best
+///               corresponding probability among v's signatures.
+///
+/// `scores` is consumed and returned rescored. Rows/columns must match the
+/// dataset's test candidate sets.
+Result<Matrix> RelationContextRescore(const KgPairDataset& dataset,
+                                      Matrix scores,
+                                      const RelationContextOptions& options);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_RELATION_CONTEXT_H_

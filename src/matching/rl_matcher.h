@@ -1,0 +1,37 @@
+#ifndef ENTMATCHER_MATCHING_RL_MATCHER_H_
+#define ENTMATCHER_MATCHING_RL_MATCHER_H_
+
+#include "common/status.h"
+#include "embedding/embedding.h"
+#include "kg/dataset.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// RL-based collective embedding matching (paper Sec. 3.7, after [65]).
+///
+/// EA is cast as a sequence-decision problem: source entities are visited in
+/// descending-confidence order and a learned policy picks the target among
+/// the top-C candidates. The policy scores each candidate from features that
+/// encode the paper's two coordination signals:
+///   - *coherence*: agreement between the candidate and the matches already
+///     chosen for the source entity's KG neighbors;
+///   - *exclusiveness*: whether the candidate target is already taken.
+/// plus local/reciprocal score margins.
+///
+/// The policy network (our own MLP substrate) is trained with REINFORCE on
+/// the train-split links; at inference the confidence pre-filter of [65]
+/// first fixes mutual-best high-margin pairs and exempts them from the RL
+/// stage, then the policy decodes the remaining sources greedily.
+///
+/// `test_scores` must be the raw similarity matrix over
+/// dataset.test_source_entities × dataset.test_target_entities.
+Result<Assignment> RlMatch(const KgPairDataset& dataset,
+                           const EmbeddingPair& embeddings,
+                           const Matrix& test_scores,
+                           const RlMatcherOptions& options);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_RL_MATCHER_H_

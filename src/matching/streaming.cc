@@ -1,0 +1,132 @@
+#include "matching/streaming.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "la/topk.h"
+
+namespace entmatcher {
+
+namespace {
+
+// Flat per-column min-heaps holding the k largest values seen per column.
+class ColumnTopKAccumulator {
+ public:
+  ColumnTopKAccumulator(size_t num_columns, size_t k)
+      : k_(k),
+        heaps_(num_columns * k, -std::numeric_limits<float>::infinity()) {}
+
+  void AddRow(const float* row, size_t num_columns) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      float* heap = heaps_.data() + c * k_;
+      const float v = row[c];
+      if (v <= heap[0]) continue;
+      heap[0] = v;
+      size_t i = 0;
+      for (;;) {
+        size_t smallest = i;
+        const size_t left = 2 * i + 1;
+        const size_t right = 2 * i + 2;
+        if (left < k_ && heap[left] < heap[smallest]) smallest = left;
+        if (right < k_ && heap[right] < heap[smallest]) smallest = right;
+        if (smallest == i) break;
+        std::swap(heap[i], heap[smallest]);
+        i = smallest;
+      }
+    }
+  }
+
+  std::vector<float> Means(size_t num_columns) const {
+    std::vector<float> out(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      double sum = 0.0;
+      for (size_t i = 0; i < k_; ++i) sum += heaps_[c * k_ + i];
+      out[c] = static_cast<float>(sum / static_cast<double>(k_));
+    }
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::vector<float> heaps_;
+};
+
+// Scores one block of source rows against all targets.
+Result<Matrix> ScoreBlock(const Matrix& source, const Matrix& target,
+                          size_t begin, size_t end, SimilarityMetric metric) {
+  Matrix block(end - begin, source.cols());
+  for (size_t i = begin; i < end; ++i) {
+    std::copy(source.Row(i).begin(), source.Row(i).end(),
+              block.Row(i - begin).begin());
+  }
+  return ComputeSimilarity(block, target, metric);
+}
+
+}  // namespace
+
+Result<Assignment> StreamingMatch(const Matrix& source, const Matrix& target,
+                                  const StreamingOptions& options) {
+  if (source.rows() == 0 || target.rows() == 0) {
+    return Status::InvalidArgument("StreamingMatch: empty embeddings");
+  }
+  if (source.cols() != target.cols()) {
+    return Status::InvalidArgument("StreamingMatch: embedding dims differ");
+  }
+  if (options.block_rows == 0) {
+    return Status::InvalidArgument("StreamingMatch: block_rows must be >= 1");
+  }
+  if (options.use_csls && options.csls_k == 0) {
+    return Status::InvalidArgument("StreamingMatch: csls_k must be >= 1");
+  }
+  const size_t n = source.rows();
+  const size_t m = target.rows();
+  const size_t block = options.block_rows;
+
+  std::vector<float> phi_s;
+  std::vector<float> phi_t;
+  if (options.use_csls) {
+    // Pass 1: accumulate the CSLS statistics blockwise.
+    const size_t k_rows = std::min(options.csls_k, m);
+    const size_t k_cols = std::min(options.csls_k, n);
+    phi_s.resize(n);
+    ColumnTopKAccumulator col_acc(m, k_cols);
+    for (size_t b = 0; b < n; b += block) {
+      const size_t e = std::min(n, b + block);
+      EM_ASSIGN_OR_RETURN(Matrix scores,
+                          ScoreBlock(source, target, b, e, options.metric));
+      const std::vector<float> row_phi = RowTopKMean(scores, k_rows);
+      std::copy(row_phi.begin(), row_phi.end(), phi_s.begin() + b);
+      for (size_t r = 0; r < scores.rows(); ++r) {
+        col_acc.AddRow(scores.Row(r).data(), m);
+      }
+    }
+    phi_t = col_acc.Means(m);
+  }
+
+  // Pass 2 (or the only pass): blockwise argmax decisions.
+  Assignment assignment;
+  assignment.target_of_source.assign(n, Assignment::kUnmatched);
+  for (size_t b = 0; b < n; b += block) {
+    const size_t e = std::min(n, b + block);
+    EM_ASSIGN_OR_RETURN(Matrix scores,
+                        ScoreBlock(source, target, b, e, options.metric));
+    for (size_t r = 0; r < scores.rows(); ++r) {
+      const float* row = scores.Row(r).data();
+      size_t best = 0;
+      float best_score = -std::numeric_limits<float>::infinity();
+      for (size_t j = 0; j < m; ++j) {
+        const float s = options.use_csls
+                            ? 2.0f * row[j] - phi_s[b + r] - phi_t[j]
+                            : row[j];
+        if (s > best_score) {
+          best_score = s;
+          best = j;
+        }
+      }
+      assignment.target_of_source[b + r] = static_cast<int32_t>(best);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,254 @@
+#include "matching/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/ranking.h"
+#include "la/topk.h"
+
+namespace entmatcher {
+
+namespace {
+
+Status ValidateScores(const Matrix& scores) {
+  if (scores.rows() == 0 || scores.cols() == 0) {
+    return Status::InvalidArgument("score transform: empty score matrix");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Matrix> CslsTransform(Matrix scores, size_t k) {
+  EM_RETURN_NOT_OK(ValidateScores(scores));
+  if (k == 0) return Status::InvalidArgument("CSLS: k must be >= 1");
+
+  const std::vector<float> phi_s = RowTopKMean(scores, k);
+  // Streaming column top-k mean — CSLS stays at a single-matrix footprint,
+  // which is what keeps it memory-feasible at DWY100K scale in the paper's
+  // Table 6 while RInf is not.
+  const std::vector<float> phi_t = ColTopKMean(scores, k);
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    float* row = scores.Row(i).data();
+    const float pi = phi_s[i];
+    for (size_t j = 0; j < scores.cols(); ++j) {
+      row[j] = 2.0f * row[j] - pi - phi_t[j];
+    }
+  }
+  return scores;
+}
+
+Result<Matrix> RinfTransform(Matrix scores, size_t k) {
+  EM_RETURN_NOT_OK(ValidateScores(scores));
+  if (k == 0) return Status::InvalidArgument("RInf: k must be >= 1");
+  const size_t n = scores.rows();
+  const size_t m = scores.cols();
+
+  // k = 1 is Eq. (2)'s max; larger k averages the top-k reverse scores
+  // (Appendix C's generalization).
+  const std::vector<float> row_max =
+      k == 1 ? RowMax(scores) : RowTopKMean(scores, k);
+  const std::vector<float> col_max =
+      k == 1 ? ColMax(scores) : ColTopKMean(scores, k);
+
+  // P_ts(v, u) = S(u, v) - row_max[u] + 1 (target-side preferences).
+  Matrix p_ts(m, n);
+  for (size_t i = 0; i < n; ++i) {
+    const float* srow = scores.Row(i).data();
+    const float shift = 1.0f - row_max[i];
+    for (size_t j = 0; j < m; ++j) {
+      p_ts.At(j, i) = srow[j] + shift;
+    }
+  }
+  // P_st(u, v) = S(u, v) - col_max[v] + 1, in place.
+  for (size_t i = 0; i < n; ++i) {
+    float* row = scores.Row(i).data();
+    for (size_t j = 0; j < m; ++j) {
+      row[j] = row[j] - col_max[j] + 1.0f;
+    }
+  }
+
+  Matrix r_st = RowRankMatrix(scores);
+  scores = Matrix();  // release P_st before allocating R_ts
+  Matrix r_ts = RowRankMatrix(p_ts);
+  p_ts = Matrix();
+
+  // out(u, v) = -(R_st(u, v) + R_ts(v, u)) / 2; smaller average rank is
+  // better, so negate to keep "higher is better".
+  for (size_t i = 0; i < n; ++i) {
+    float* row = r_st.Row(i).data();
+    for (size_t j = 0; j < m; ++j) {
+      row[j] = -0.5f * (row[j] + r_ts.At(j, i));
+    }
+  }
+  return r_st;
+}
+
+Result<Matrix> RinfWrTransform(Matrix scores) {
+  EM_RETURN_NOT_OK(ValidateScores(scores));
+  const std::vector<float> row_max = RowMax(scores);
+  const std::vector<float> col_max = ColMax(scores);
+  // (P_st + P_ts^T) / 2 = S - (row_max[u] + col_max[v]) / 2 + 1, computed
+  // in place — this is what makes the -wr variant cheap.
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    float* row = scores.Row(i).data();
+    const float half_row_max = 0.5f * row_max[i];
+    for (size_t j = 0; j < scores.cols(); ++j) {
+      row[j] = row[j] - half_row_max - 0.5f * col_max[j] + 1.0f;
+    }
+  }
+  return scores;
+}
+
+Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
+  EM_RETURN_NOT_OK(ValidateScores(scores));
+  if (candidates == 0) {
+    return Status::InvalidArgument("RInf-pb: candidates must be >= 1");
+  }
+  const size_t n = scores.rows();
+  const size_t m = scores.cols();
+  const size_t c = std::min(candidates, std::min(n, m));
+
+  const std::vector<float> row_max = RowMax(scores);
+  const std::vector<float> col_max = ColMax(scores);
+
+  // Top-C target candidates per source under P_st ordering (= S - col_max).
+  std::vector<uint32_t> src_cand(n * c);
+  {
+    std::vector<float> adjusted(m);
+    std::vector<uint32_t> idx(m);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = scores.Row(i).data();
+      for (size_t j = 0; j < m; ++j) adjusted[j] = row[j] - col_max[j];
+      std::iota(idx.begin(), idx.end(), 0u);
+      std::partial_sort(idx.begin(), idx.begin() + c, idx.end(),
+                        [&adjusted](uint32_t a, uint32_t b) {
+                          if (adjusted[a] != adjusted[b]) {
+                            return adjusted[a] > adjusted[b];
+                          }
+                          return a < b;
+                        });
+      std::copy(idx.begin(), idx.begin() + c, src_cand.begin() + i * c);
+    }
+  }
+  // Top-C source candidates per target under P_ts ordering (= S - row_max).
+  std::vector<uint32_t> tgt_cand(m * c);
+  {
+    std::vector<float> adjusted(n);
+    std::vector<uint32_t> idx(n);
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t i = 0; i < n; ++i) adjusted[i] = scores.At(i, j) - row_max[i];
+      std::iota(idx.begin(), idx.end(), 0u);
+      std::partial_sort(idx.begin(), idx.begin() + c, idx.end(),
+                        [&adjusted](uint32_t a, uint32_t b) {
+                          if (adjusted[a] != adjusted[b]) {
+                            return adjusted[a] > adjusted[b];
+                          }
+                          return a < b;
+                        });
+      std::copy(idx.begin(), idx.begin() + c, tgt_cand.begin() + j * c);
+    }
+  }
+
+  // Reciprocal rank aggregation over the candidate blocks only.
+  const float sentinel = -2.0f * static_cast<float>(n + m);
+  scores.Fill(sentinel);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = scores.Row(i).data();
+    for (size_t p = 0; p < c; ++p) {
+      const uint32_t j = src_cand[i * c + p];
+      // Rank of source i within target j's candidate list (capped at c+1).
+      size_t r_ts = c + 1;
+      const uint32_t* tlist = tgt_cand.data() + static_cast<size_t>(j) * c;
+      for (size_t q = 0; q < c; ++q) {
+        if (tlist[q] == i) {
+          r_ts = q + 1;
+          break;
+        }
+      }
+      row[j] = -0.5f * (static_cast<float>(p + 1) + static_cast<float>(r_ts));
+    }
+  }
+  return scores;
+}
+
+Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
+                                 double temperature) {
+  EM_RETURN_NOT_OK(ValidateScores(scores));
+  if (iterations == 0) {
+    return Status::InvalidArgument("Sinkhorn: iterations must be >= 1");
+  }
+  if (temperature <= 0.0) {
+    return Status::InvalidArgument("Sinkhorn: temperature must be > 0");
+  }
+  const size_t n = scores.rows();
+  const size_t m = scores.cols();
+
+  // Sinkhorn^0(S) = exp(S / t). Subtract the global max first for numeric
+  // stability (a constant shift does not change the normalized result).
+  float global_max = scores.At(0, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (float v : scores.Row(i)) global_max = std::max(global_max, v);
+  }
+  const float inv_t = static_cast<float>(1.0 / temperature);
+  for (size_t i = 0; i < n; ++i) {
+    for (float& v : scores.Row(i)) v = std::exp((v - global_max) * inv_t);
+  }
+
+  // Double-buffered normalization, mirroring the out-of-place tensor ops of
+  // the original framework's implementation. The second n x m buffer is what
+  // pushes Sinkhorn past the memory budget at the paper's DWY100K scale
+  // (Table 6, "Mem: No").
+  Matrix buffer(n, m);
+  std::vector<double> col_sums(m);
+  for (size_t it = 0; it < iterations; ++it) {
+    // Row normalization: scores -> buffer.
+    for (size_t i = 0; i < n; ++i) {
+      auto src = scores.Row(i);
+      auto dst = buffer.Row(i);
+      double sum = 0.0;
+      for (float v : src) sum += v;
+      const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+      for (size_t j = 0; j < m; ++j) dst[j] = src[j] * inv;
+    }
+    // Column normalization: buffer -> scores.
+    std::fill(col_sums.begin(), col_sums.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = buffer.Row(i).data();
+      for (size_t j = 0; j < m; ++j) col_sums[j] += row[j];
+    }
+    for (size_t j = 0; j < m; ++j) {
+      col_sums[j] = col_sums[j] > 0.0 ? 1.0 / col_sums[j] : 0.0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const float* src = buffer.Row(i).data();
+      float* dst = scores.Row(i).data();
+      for (size_t j = 0; j < m; ++j) {
+        dst[j] = static_cast<float>(src[j] * col_sums[j]);
+      }
+    }
+  }
+  return scores;
+}
+
+Result<Matrix> ApplyScoreTransform(Matrix scores, const MatchOptions& options) {
+  switch (options.transform) {
+    case ScoreTransformKind::kNone:
+      return scores;
+    case ScoreTransformKind::kCsls:
+      return CslsTransform(std::move(scores), options.csls_k);
+    case ScoreTransformKind::kRinf:
+      return RinfTransform(std::move(scores), options.rinf_k);
+    case ScoreTransformKind::kRinfWr:
+      return RinfWrTransform(std::move(scores));
+    case ScoreTransformKind::kRinfPb:
+      return RinfPbTransform(std::move(scores), options.rinf_pb_candidates);
+    case ScoreTransformKind::kSinkhorn:
+      return SinkhornTransform(std::move(scores), options.sinkhorn_iterations,
+                               options.sinkhorn_temperature);
+  }
+  return Status::InvalidArgument("unknown score transform");
+}
+
+}  // namespace entmatcher

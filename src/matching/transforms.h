@@ -1,0 +1,46 @@
+#ifndef ENTMATCHER_MATCHING_TRANSFORMS_H_
+#define ENTMATCHER_MATCHING_TRANSFORMS_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// Applies the configured score transform to a raw similarity matrix and
+/// returns the transformed scores ("higher is better" in every case; rank
+/// aggregates are negated internally). `scores` is consumed to keep peak
+/// memory at the level the paper attributes to each algorithm.
+Result<Matrix> ApplyScoreTransform(Matrix scores, const MatchOptions& options);
+
+// Individual transforms, exposed for unit/property testing. -----------------
+
+/// CSLS (paper Alg. 4): out = 2*S - phi_s - phi_t^T with phi the mean of the
+/// top-k scores per row / per column. k >= 1.
+Result<Matrix> CslsTransform(Matrix scores, size_t k);
+
+/// RInf (paper Alg. 5): reciprocal preference modeling followed by ranking
+/// aggregation; returns -(R_st + R_ts^T)/2 so that higher is better.
+/// `k` generalizes Eq. (2)'s max to a top-k mean (k = 1 reproduces the
+/// original design; the paper's Appendix C studies k under the non-1-to-1
+/// setting).
+Result<Matrix> RinfTransform(Matrix scores, size_t k = 1);
+
+/// RInf-wr: reciprocal preference aggregation *without* the ranking step —
+/// the memory/time-saving variant of [62]; returns (P_st + P_ts^T)/2.
+Result<Matrix> RinfWrTransform(Matrix scores);
+
+/// RInf-pb: reciprocal ranking restricted to each entity's top-`candidates`
+/// partners (progressive blocking). Non-candidates receive a sentinel score
+/// below every candidate score.
+Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates);
+
+/// Sinkhorn (paper Alg. 6 / Eq. 3): out = l rounds of alternating row/column
+/// normalization of exp(S / temperature). Approaches a doubly-stochastic
+/// matrix as l grows. iterations >= 1, temperature > 0.
+Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
+                                 double temperature);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_TRANSFORMS_H_

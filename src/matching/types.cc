@@ -1,0 +1,88 @@
+#include "matching/types.h"
+
+namespace entmatcher {
+
+MatchOptions MakePreset(AlgorithmPreset preset) {
+  MatchOptions options;
+  options.metric = SimilarityMetric::kCosine;
+  switch (preset) {
+    case AlgorithmPreset::kDInf:
+      options.transform = ScoreTransformKind::kNone;
+      options.matcher = MatcherKind::kGreedy;
+      break;
+    case AlgorithmPreset::kCsls:
+      options.transform = ScoreTransformKind::kCsls;
+      options.matcher = MatcherKind::kGreedy;
+      break;
+    case AlgorithmPreset::kRinf:
+      options.transform = ScoreTransformKind::kRinf;
+      options.matcher = MatcherKind::kGreedy;
+      break;
+    case AlgorithmPreset::kRinfWr:
+      options.transform = ScoreTransformKind::kRinfWr;
+      options.matcher = MatcherKind::kGreedy;
+      break;
+    case AlgorithmPreset::kRinfPb:
+      options.transform = ScoreTransformKind::kRinfPb;
+      options.matcher = MatcherKind::kGreedy;
+      break;
+    case AlgorithmPreset::kSinkhorn:
+      options.transform = ScoreTransformKind::kSinkhorn;
+      options.matcher = MatcherKind::kGreedy;
+      break;
+    case AlgorithmPreset::kHungarian:
+      options.transform = ScoreTransformKind::kNone;
+      options.matcher = MatcherKind::kHungarian;
+      break;
+    case AlgorithmPreset::kStableMatch:
+      options.transform = ScoreTransformKind::kNone;
+      options.matcher = MatcherKind::kGaleShapley;
+      break;
+    case AlgorithmPreset::kRl:
+      options.transform = ScoreTransformKind::kNone;
+      options.matcher = MatcherKind::kRl;
+      break;
+  }
+  return options;
+}
+
+const char* PresetName(AlgorithmPreset preset) {
+  switch (preset) {
+    case AlgorithmPreset::kDInf:
+      return "DInf";
+    case AlgorithmPreset::kCsls:
+      return "CSLS";
+    case AlgorithmPreset::kRinf:
+      return "RInf";
+    case AlgorithmPreset::kRinfWr:
+      return "RInf-wr";
+    case AlgorithmPreset::kRinfPb:
+      return "RInf-pb";
+    case AlgorithmPreset::kSinkhorn:
+      return "Sink.";
+    case AlgorithmPreset::kHungarian:
+      return "Hun.";
+    case AlgorithmPreset::kStableMatch:
+      return "SMat";
+    case AlgorithmPreset::kRl:
+      return "RL";
+  }
+  return "?";
+}
+
+std::vector<AlgorithmPreset> MainPresets() {
+  return {AlgorithmPreset::kDInf,     AlgorithmPreset::kCsls,
+          AlgorithmPreset::kRinf,     AlgorithmPreset::kSinkhorn,
+          AlgorithmPreset::kHungarian, AlgorithmPreset::kStableMatch,
+          AlgorithmPreset::kRl};
+}
+
+std::vector<AlgorithmPreset> ScalabilityPresets() {
+  return {AlgorithmPreset::kDInf,    AlgorithmPreset::kCsls,
+          AlgorithmPreset::kRinf,    AlgorithmPreset::kRinfWr,
+          AlgorithmPreset::kRinfPb,  AlgorithmPreset::kSinkhorn,
+          AlgorithmPreset::kHungarian, AlgorithmPreset::kStableMatch,
+          AlgorithmPreset::kRl};
+}
+
+}  // namespace entmatcher

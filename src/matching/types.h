@@ -1,0 +1,139 @@
+#ifndef ENTMATCHER_MATCHING_TYPES_H_
+#define ENTMATCHER_MATCHING_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/similarity.h"
+
+namespace entmatcher {
+
+/// The outcome of the matching-decision stage: for each source candidate row
+/// the assigned target candidate column, or kUnmatched when the algorithm
+/// declined to align the source (dummy assignment / rejection).
+struct Assignment {
+  static constexpr int32_t kUnmatched = -1;
+
+  std::vector<int32_t> target_of_source;
+
+  size_t size() const { return target_of_source.size(); }
+
+  /// Number of rows with a real (non-dummy) target.
+  size_t NumMatched() const {
+    size_t n = 0;
+    for (int32_t t : target_of_source) n += (t != kUnmatched);
+    return n;
+  }
+};
+
+/// Pairwise-score transforms (paper Table 2, "Pairwise Scores" column).
+enum class ScoreTransformKind {
+  /// Raw similarity (DInf, Hun., SMat, RL).
+  kNone,
+  /// Cross-domain similarity local scaling (Sec. 3.3).
+  kCsls,
+  /// Reciprocal preference + ranking aggregation (Sec. 3.4).
+  kRinf,
+  /// RInf without the ranking step (scalable variant RInf-wr).
+  kRinfWr,
+  /// RInf with candidate-pruned progressive blocking (RInf-pb).
+  kRinfPb,
+  /// Sinkhorn row/column normalization (Sec. 3.5).
+  kSinkhorn,
+};
+
+/// Matching-decision algorithms (paper Table 2, "Matching" column).
+enum class MatcherKind {
+  /// Row-wise argmax (Alg. 2).
+  kGreedy,
+  /// Jonker–Volgenant/Hungarian optimal linear assignment (Sec. 3.5).
+  kHungarian,
+  /// Gale–Shapley deferred acceptance, stable matching (Sec. 3.6).
+  kGaleShapley,
+  /// Policy-gradient sequential decision matcher (Sec. 3.7).
+  kRl,
+  /// Greedy global 1-to-1 matching (SiGMa-style, extension).
+  kGreedyOneToOne,
+  /// Mutual-best filter with abstention (extension).
+  kMutualBest,
+};
+
+/// Reinforcement-learning matcher knobs (used when matcher == kRl).
+struct RlMatcherOptions {
+  /// Top-C candidate actions considered per source entity.
+  size_t num_candidates = 10;
+  /// REINFORCE epochs over the training sequence. The policy-gradient
+  /// training loop dominates the cost, making RL the least time-efficient
+  /// algorithm — as the paper observes (Fig. 5a).
+  size_t epochs = 250;
+  /// Unsupervised fine-tuning rollouts over the *test* sequence before the
+  /// final decode (reward = score margin + coherence - exclusiveness
+  /// violations, no gold needed), following [65]'s test-time coordination
+  /// learning. These rollouts dominate RL's cost on large candidate sets.
+  size_t test_rollouts = 100;
+  /// Policy network hidden width.
+  size_t hidden = 16;
+  double learning_rate = 0.05;
+  /// Pre-filter: mutual-best pairs whose margin exceeds this skip the RL
+  /// stage entirely (the confidence filter of [65]).
+  double confidence_margin = 0.25;
+  uint64_t seed = 11;
+};
+
+/// Full configuration of the embedding-matching pipeline
+/// (metric -> transform -> matcher; paper Fig. 3).
+struct MatchOptions {
+  SimilarityMetric metric = SimilarityMetric::kCosine;
+  ScoreTransformKind transform = ScoreTransformKind::kNone;
+  MatcherKind matcher = MatcherKind::kGreedy;
+
+  /// CSLS neighborhood size k (Eq. 1; Fig. 6 sweeps it).
+  size_t csls_k = 1;
+
+  /// RInf reverse-preference neighborhood size (1 = the paper's max-based
+  /// Eq. 2; the Appendix C study sweeps it in the non-1-to-1 setting).
+  size_t rinf_k = 1;
+
+  /// Sinkhorn iteration count l (Eq. 3; Fig. 7 sweeps it).
+  size_t sinkhorn_iterations = 100;
+  /// Softmax temperature for exp(S / t); small values sharpen the coupling.
+  double sinkhorn_temperature = 0.05;
+
+  /// Candidate width for RInf-pb.
+  size_t rinf_pb_candidates = 50;
+
+  RlMatcherOptions rl;
+};
+
+/// The paper's named algorithms, each a (transform, matcher) combination.
+enum class AlgorithmPreset {
+  kDInf,
+  kCsls,
+  kRinf,
+  kRinfWr,
+  kRinfPb,
+  kSinkhorn,
+  kHungarian,
+  kStableMatch,
+  kRl,
+};
+
+/// Options reproducing `preset` (paper Sec. 4.1 "Reproduction of existing
+/// approaches": e.g., CSLS = cosine + CSLS + Greedy; Hun. = cosine + None +
+/// Hungarian).
+MatchOptions MakePreset(AlgorithmPreset preset);
+
+/// Paper display name ("DInf", "CSLS", "RInf", "RInf-wr", "RInf-pb",
+/// "Sink.", "Hun.", "SMat", "RL").
+const char* PresetName(AlgorithmPreset preset);
+
+/// The seven algorithms of the main experiments (Tables 4/5/7/8 order).
+std::vector<AlgorithmPreset> MainPresets();
+
+/// Main algorithms plus the scalable RInf variants (Table 6 order).
+std::vector<AlgorithmPreset> ScalabilityPresets();
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_TYPES_H_

@@ -1,0 +1,89 @@
+#include "nn/pair_classifier.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace entmatcher {
+
+namespace {
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+std::vector<float> PairClassifier::BuildFeatures(
+    std::span<const float> a, std::span<const float> b) const {
+  std::vector<float> features;
+  features.reserve(a.size() + b.size());
+  features.insert(features.end(), a.begin(), a.end());
+  features.insert(features.end(), b.begin(), b.end());
+  return features;
+}
+
+Result<PairClassifier> PairClassifier::Train(
+    const Matrix& source_embeddings, const Matrix& target_embeddings,
+    const std::vector<EntityPair>& positives,
+    const std::vector<EntityId>& target_pool,
+    const PairClassifierConfig& config) {
+  if (positives.empty()) {
+    return Status::InvalidArgument("PairClassifier: no positive pairs");
+  }
+  if (target_pool.empty()) {
+    return Status::InvalidArgument("PairClassifier: empty negative pool");
+  }
+  if (source_embeddings.cols() != target_embeddings.cols()) {
+    return Status::InvalidArgument("PairClassifier: embedding dims differ");
+  }
+
+  MlpConfig mlp_config;
+  mlp_config.layer_sizes = {2 * source_embeddings.cols(), config.hidden, 1};
+  mlp_config.seed = config.seed;
+  mlp_config.learning_rate = config.learning_rate;
+  EM_ASSIGN_OR_RETURN(Mlp mlp, Mlp::Create(mlp_config));
+
+  PairClassifier classifier(std::move(mlp));
+  Rng rng(config.seed ^ 0x5ca1ab1eULL);
+
+  // Labeled sample list: (source, target, label).
+  struct Sample {
+    EntityId u;
+    EntityId v;
+    float label;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(positives.size() * (1 + config.negatives_per_positive));
+  for (const EntityPair& p : positives) {
+    samples.push_back(Sample{p.source, p.target, 1.0f});
+    for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+      EntityId neg = target_pool[rng.NextBounded(target_pool.size())];
+      if (neg == p.target) continue;  // skip accidental positives
+      samples.push_back(Sample{p.source, neg, 0.0f});
+    }
+  }
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&samples);
+    for (const Sample& s : samples) {
+      std::vector<float> features = classifier.BuildFeatures(
+          source_embeddings.Row(s.u), target_embeddings.Row(s.v));
+      const float logit = classifier.mlp_.Forward(features)[0];
+      const float prob = Sigmoid(logit);
+      // BCE gradient wrt logit.
+      const float grad = prob - s.label;
+      classifier.mlp_.Backward(std::span<const float>(&grad, 1));
+      classifier.mlp_.ApplyGradients();
+    }
+  }
+  return classifier;
+}
+
+float PairClassifier::Score(const Matrix& source_embeddings,
+                            const Matrix& target_embeddings, EntityId u,
+                            EntityId v) {
+  std::vector<float> features =
+      BuildFeatures(source_embeddings.Row(u), target_embeddings.Row(v));
+  return Sigmoid(mlp_.Forward(features)[0]);
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,106 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace entmatcher {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+
+  Status s = Status::InvalidArgument("bad value");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad value");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad value");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  EM_ASSIGN_OR_RETURN(int h, Half(x));
+  EM_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+Status CheckEven(int x) {
+  EM_RETURN_NOT_OK(Half(x).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> outer_fail = Quarter(5);
+  EXPECT_FALSE(outer_fail.ok());
+  Result<int> inner_fail = Quarter(6);  // 6/2 = 3, second Half fails
+  EXPECT_FALSE(inner_fail.ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  EXPECT_FALSE(CheckEven(3).ok());
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,244 @@
+#include "datagen/kg_pair_generator.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/benchmarks.h"
+
+namespace entmatcher {
+namespace {
+
+KgPairGeneratorConfig SmallConfig() {
+  KgPairGeneratorConfig c;
+  c.name = "test";
+  c.seed = 1234;
+  c.num_core_concepts = 300;
+  c.exclusive_fraction = 0.2;
+  c.avg_degree = 4.0;
+  c.num_world_relations = 50;
+  c.num_relations_source = 40;
+  c.num_relations_target = 35;
+  return c;
+}
+
+TEST(GeneratorTest, BasicShape) {
+  auto d = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->name, "test");
+  // 300 core + 60 exclusive per side.
+  EXPECT_EQ(d->source.num_entities(), 360u);
+  EXPECT_EQ(d->target.num_entities(), 360u);
+  EXPECT_EQ(d->gold.size(), 300u);
+  // 20/10/70 split.
+  EXPECT_EQ(d->split.train.size(), 60u);
+  EXPECT_EQ(d->split.valid.size(), 30u);
+  EXPECT_EQ(d->split.test.size(), 210u);
+}
+
+TEST(GeneratorTest, AverageDegreeNearTarget) {
+  auto d = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->source.AverageDegree(), 4.0, 0.5);
+  EXPECT_NEAR(d->target.AverageDegree(), 4.0, 0.5);
+}
+
+TEST(GeneratorTest, NoIsolatedEntities) {
+  auto d = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  for (size_t e = 0; e < d->source.num_entities(); ++e) {
+    EXPECT_GT(d->source.Degree(static_cast<EntityId>(e)), 0u) << "source " << e;
+  }
+  for (size_t e = 0; e < d->target.num_entities(); ++e) {
+    EXPECT_GT(d->target.Degree(static_cast<EntityId>(e)), 0u) << "target " << e;
+  }
+}
+
+TEST(GeneratorTest, GoldLinksReferenceValidEntities) {
+  auto d = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  for (const EntityPair& p : d->gold.pairs()) {
+    EXPECT_LT(p.source, d->source.num_entities());
+    EXPECT_LT(p.target, d->target.num_entities());
+  }
+}
+
+TEST(GeneratorTest, EntityNamesPresent) {
+  auto d = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->source.has_entity_names());
+  ASSERT_TRUE(d->target.has_entity_names());
+  for (size_t e = 0; e < d->source.num_entities(); ++e) {
+    EXPECT_FALSE(d->source.EntityName(static_cast<EntityId>(e)).empty());
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  auto a = GenerateKgPair(SmallConfig());
+  auto b = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->source.triples().size(), b->source.triples().size());
+  for (size_t i = 0; i < a->source.triples().size(); ++i) {
+    EXPECT_EQ(a->source.triples()[i], b->source.triples()[i]);
+  }
+  EXPECT_EQ(a->gold.pairs().size(), b->gold.pairs().size());
+  for (size_t i = 0; i < a->gold.size(); ++i) {
+    EXPECT_EQ(a->gold.pairs()[i], b->gold.pairs()[i]);
+  }
+  EXPECT_EQ(a->source.EntityName(0), b->source.EntityName(0));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  KgPairGeneratorConfig c1 = SmallConfig();
+  KgPairGeneratorConfig c2 = SmallConfig();
+  c2.seed = 999;
+  auto a = GenerateKgPair(c1);
+  auto b = GenerateKgPair(c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Same counts (sizes are deterministic) but different structure.
+  bool any_diff = a->source.triples().size() != b->source.triples().size();
+  const size_t n =
+      std::min(a->source.triples().size(), b->source.triples().size());
+  for (size_t i = 0; i < n && !any_diff; ++i) {
+    any_diff = !(a->source.triples()[i] == b->source.triples()[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, TestCandidatesMatchTestLinks) {
+  auto d = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->test_source_entities.size(), d->split.test.SourceEntities().size());
+  EXPECT_EQ(d->test_target_entities.size(), d->split.test.TargetEntities().size());
+}
+
+TEST(GeneratorTest, NoDuplicateTriples) {
+  auto d = GenerateKgPair(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> seen;
+  for (const Triple& t : d->source.triples()) {
+    EXPECT_TRUE(seen.insert({t.subject, t.predicate, t.object}).second);
+  }
+}
+
+TEST(GeneratorTest, UnmatchableCandidatesHaveNoGoldLinks) {
+  KgPairGeneratorConfig c = SmallConfig();
+  c.unmatchable_source_fraction = 0.3;
+  auto d = GenerateKgPair(c);
+  ASSERT_TRUE(d.ok());
+  const size_t test_links = d->split.test.size();
+  // Extras are clamped by the exclusive-entity pool (0.2 * 300 = 60 here).
+  const size_t expected_extra =
+      std::min<size_t>(static_cast<size_t>(0.3 * test_links), 60);
+  EXPECT_EQ(d->test_source_entities.size(),
+            d->split.test.SourceEntities().size() + expected_extra);
+  // The extras are appended after the linked sources.
+  for (size_t i = d->split.test.SourceEntities().size();
+       i < d->test_source_entities.size(); ++i) {
+    EXPECT_TRUE(d->gold.TargetsOf(d->test_source_entities[i]).empty());
+  }
+}
+
+TEST(GeneratorTest, NonOneToOneClustersAndIntegritySplit) {
+  KgPairGeneratorConfig c = SmallConfig();
+  c.multi_cluster_fraction = 0.6;
+  c.max_cluster_size = 3;
+  auto d = GenerateKgPair(c);
+  ASSERT_TRUE(d.ok());
+  // More links than core concepts, and most links non-1-to-1.
+  EXPECT_GT(d->gold.size(), 300u);
+  EXPECT_LT(d->gold.CountOneToOneLinks(), d->gold.size() / 2);
+
+  // Link integrity: no entity spans two splits.
+  std::unordered_set<EntityId> train_src;
+  for (const auto& p : d->split.train.pairs()) train_src.insert(p.source);
+  for (const auto& p : d->split.test.pairs()) {
+    EXPECT_EQ(train_src.count(p.source), 0u);
+  }
+}
+
+TEST(GeneratorTest, ValidationRejectsBadConfigs) {
+  KgPairGeneratorConfig c = SmallConfig();
+  c.num_core_concepts = 5;
+  EXPECT_FALSE(GenerateKgPair(c).ok());
+
+  c = SmallConfig();
+  c.triple_keep_prob = 0.0;
+  EXPECT_FALSE(GenerateKgPair(c).ok());
+
+  c = SmallConfig();
+  c.triple_keep_prob = 1.5;
+  EXPECT_FALSE(GenerateKgPair(c).ok());
+
+  c = SmallConfig();
+  c.train_frac = 0.9;
+  c.valid_frac = 0.2;
+  EXPECT_FALSE(GenerateKgPair(c).ok());
+
+  c = SmallConfig();
+  c.multi_cluster_fraction = 0.5;
+  c.max_cluster_size = 1;
+  EXPECT_FALSE(GenerateKgPair(c).ok());
+
+  c = SmallConfig();
+  c.num_relations_source = 0;
+  EXPECT_FALSE(GenerateKgPair(c).ok());
+
+  c = SmallConfig();
+  c.avg_degree = -1.0;
+  EXPECT_FALSE(GenerateKgPair(c).ok());
+}
+
+// ---- Named benchmark configs -------------------------------------------------
+
+TEST(BenchmarksTest, AllPairNamesResolve) {
+  for (const auto& names :
+       {Dbp15kPairNames(), SrprsPairNames(), Dwy100kPairNames(),
+        Dbp15kPlusPairNames(), std::vector<std::string>{"FB-MUL"}}) {
+    for (const std::string& name : names) {
+      auto config = MakeDatasetConfig(name);
+      ASSERT_TRUE(config.ok()) << name;
+      EXPECT_EQ(config->name, name);
+    }
+  }
+}
+
+TEST(BenchmarksTest, UnknownNameFails) {
+  EXPECT_FALSE(MakeDatasetConfig("NOPE").ok());
+  EXPECT_FALSE(MakeDatasetConfig("").ok());
+}
+
+TEST(BenchmarksTest, ScaleParameter) {
+  auto full = MakeDatasetConfig("D-Z", 1.0);
+  auto half = MakeDatasetConfig("D-Z", 0.5);
+  ASSERT_TRUE(full.ok() && half.ok());
+  EXPECT_EQ(half->num_core_concepts, full->num_core_concepts / 2);
+  EXPECT_FALSE(MakeDatasetConfig("D-Z", 0.0).ok());
+  EXPECT_FALSE(MakeDatasetConfig("D-Z", -1.0).ok());
+}
+
+TEST(BenchmarksTest, FamilyCharacteristics) {
+  auto dbp = MakeDatasetConfig("D-Z");
+  auto srprs = MakeDatasetConfig("S-F");
+  auto dwy = MakeDatasetConfig("DW-W");
+  auto plus = MakeDatasetConfig("D-Z+");
+  auto mul = MakeDatasetConfig("FB-MUL");
+  ASSERT_TRUE(dbp.ok() && srprs.ok() && dwy.ok() && plus.ok() && mul.ok());
+  // SRPRS is the sparse family; DWY the large one.
+  EXPECT_LT(srprs->avg_degree, dbp->avg_degree);
+  EXPECT_GT(dwy->num_core_concepts, dbp->num_core_concepts);
+  EXPECT_GT(plus->unmatchable_source_fraction, 0.0);
+  EXPECT_GT(mul->multi_cluster_fraction, 0.0);
+  EXPECT_EQ(dbp->multi_cluster_fraction, 0.0);
+}
+
+TEST(BenchmarksTest, GenerateDatasetSmokeAtTinyScale) {
+  auto d = GenerateDataset("S-Y", 0.05);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->gold.size(), 0u);
+  EXPECT_GT(d->TotalTriples(), 0u);
+}
+
+}  // namespace
+}  // namespace entmatcher

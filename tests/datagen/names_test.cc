@@ -1,0 +1,84 @@
+#include "datagen/names.h"
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+namespace entmatcher {
+namespace {
+
+TEST(NamesTest, BaseNameDeterministicGivenRngState) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(GenerateBaseName(&a), GenerateBaseName(&b));
+  }
+}
+
+TEST(NamesTest, BaseNamesNonEmptyAndCapitalized) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = GenerateBaseName(&rng);
+    ASSERT_FALSE(name.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[0])));
+  }
+}
+
+TEST(NamesTest, PlainZeroNoiseIsIdentity) {
+  Rng rng(1);
+  const std::string base = "Brandol Kemin";
+  EXPECT_EQ(RenderName(base, NameStyle::kPlain, 0.0, &rng), base);
+}
+
+TEST(NamesTest, IdentifierStyleReplacesSpaces) {
+  Rng rng(1);
+  EXPECT_EQ(RenderName("Foo Bar", NameStyle::kIdentifier, 0.0, &rng),
+            "Foo_Bar");
+}
+
+TEST(NamesTest, StyleMappingsAreDeterministic) {
+  Rng rng(1);
+  // kRomance maps k->c and appends "e".
+  EXPECT_EQ(RenderName("kat", NameStyle::kRomance, 0.0, &rng), "cate");
+  // kGermanic maps c->k and appends "en".
+  EXPECT_EQ(RenderName("cat", NameStyle::kGermanic, 0.0, &rng), "katen");
+  // kTransliterated maps l->r and appends "u".
+  EXPECT_EQ(RenderName("tal", NameStyle::kTransliterated, 0.0, &rng), "taru");
+}
+
+TEST(NamesTest, NoiseChangesSomeNames) {
+  Rng rng(5);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string base = GenerateBaseName(&rng);
+    const std::string rendered =
+        RenderName(base, NameStyle::kPlain, 0.3, &rng);
+    if (rendered != base) ++changed;
+  }
+  EXPECT_GT(changed, 25);
+}
+
+TEST(NamesTest, HighNoiseNeverReturnsEmpty) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(RenderName("ab", NameStyle::kPlain, 1.0, &rng).empty());
+  }
+}
+
+TEST(NamesTest, LowNoisePreservesMostCharacters) {
+  Rng rng(8);
+  const std::string base = "Brandolkeminster";
+  int total_edits = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    const std::string r = RenderName(base, NameStyle::kPlain, 0.05, &rng);
+    // Count a rough edit signal: length difference.
+    total_edits += std::abs(static_cast<int>(r.size()) -
+                            static_cast<int>(base.size()));
+  }
+  // At 5% per-char noise on 16 chars, expect well under 2 length edits/name.
+  EXPECT_LT(total_edits, 2 * trials);
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,107 @@
+#include "embedding/transe.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/kg_pair_generator.h"
+#include "embedding/propagation.h"
+#include "eval/ranking_metrics.h"
+
+namespace entmatcher {
+namespace {
+
+KgPairDataset SmallDataset() {
+  KgPairGeneratorConfig c;
+  c.name = "transe-test";
+  c.seed = 44;
+  c.num_core_concepts = 300;
+  c.avg_degree = 4.5;
+  c.num_world_relations = 40;
+  c.num_relations_source = 35;
+  c.num_relations_target = 30;
+  auto d = GenerateKgPair(c);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TranseConfig FastConfig() {
+  TranseConfig c;
+  c.epochs = 60;  // enough for the tests, far from converged
+  c.seed = 3;
+  return c;
+}
+
+TEST(TranseTest, ShapesAndUnitNorms) {
+  KgPairDataset d = SmallDataset();
+  auto emb = ComputeTranseEmbeddings(d, FastConfig());
+  ASSERT_TRUE(emb.ok());
+  EXPECT_EQ(emb->source.rows(), d.source.num_entities());
+  EXPECT_EQ(emb->target.rows(), d.target.num_entities());
+  EXPECT_EQ(emb->dim(), FastConfig().dim);
+  // Entity vectors are projected to the unit sphere.
+  for (size_t e = 0; e < emb->source.rows(); ++e) {
+    double sq = 0.0;
+    for (float v : emb->source.Row(e)) sq += static_cast<double>(v) * v;
+    ASSERT_NEAR(sq, 1.0, 1e-3) << "entity " << e;
+  }
+}
+
+TEST(TranseTest, SeedPairsShareVectors) {
+  KgPairDataset d = SmallDataset();
+  auto emb = ComputeTranseEmbeddings(d, FastConfig());
+  ASSERT_TRUE(emb.ok());
+  for (const EntityPair& pair : d.split.train.pairs()) {
+    for (size_t k = 0; k < emb->dim(); ++k) {
+      ASSERT_EQ(emb->source.At(pair.source, k), emb->target.At(pair.target, k));
+    }
+  }
+}
+
+TEST(TranseTest, Deterministic) {
+  KgPairDataset d = SmallDataset();
+  auto a = ComputeTranseEmbeddings(d, FastConfig());
+  auto b = ComputeTranseEmbeddings(d, FastConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->source.ApproxEquals(b->source, 0.0f));
+}
+
+TEST(TranseTest, CarriesAlignmentSignal) {
+  KgPairDataset d = SmallDataset();
+  TranseConfig c = FastConfig();
+  c.epochs = 150;
+  auto emb = ComputeTranseEmbeddings(d, c);
+  ASSERT_TRUE(emb.ok());
+  auto m = EvaluateEmbeddingRanking(d, *emb);
+  ASSERT_TRUE(m.ok());
+  // Far better than random (random Hits@10 ~ 10/210 = 0.048... use MRR).
+  EXPECT_GT(m->hits_at_10, 0.1);
+}
+
+TEST(TranseTest, WeakerThanPropagationModels) {
+  KgPairDataset d = SmallDataset();
+  auto transe = ComputeTranseEmbeddings(d, FastConfig());
+  auto rrea = ComputeStructuralEmbeddings(d, RreaModelConfig(3));
+  ASSERT_TRUE(transe.ok() && rrea.ok());
+  auto mt = EvaluateEmbeddingRanking(d, *transe);
+  auto mr = EvaluateEmbeddingRanking(d, *rrea);
+  ASSERT_TRUE(mt.ok() && mr.ok());
+  EXPECT_LT(mt->hits_at_1, mr->hits_at_1);
+}
+
+TEST(TranseTest, Validation) {
+  KgPairDataset d = SmallDataset();
+  TranseConfig c = FastConfig();
+  c.dim = 0;
+  EXPECT_FALSE(ComputeTranseEmbeddings(d, c).ok());
+  c = FastConfig();
+  c.epochs = 0;
+  EXPECT_FALSE(ComputeTranseEmbeddings(d, c).ok());
+  c = FastConfig();
+  c.learning_rate = 0.0;
+  EXPECT_FALSE(ComputeTranseEmbeddings(d, c).ok());
+  c = FastConfig();
+  c.margin = -1.0;
+  EXPECT_FALSE(ComputeTranseEmbeddings(d, c).ok());
+}
+
+}  // namespace
+}  // namespace entmatcher

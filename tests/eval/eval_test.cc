@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "datagen/kg_pair_generator.h"
+#include "embedding/propagation.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace entmatcher {
+namespace {
+
+// ---- Metrics ------------------------------------------------------------------
+
+TEST(MetricsTest, PerfectPredictions) {
+  AlignmentSet gold({{1, 10}, {2, 20}});
+  EvalMetrics m = EvaluatePredictions(gold, gold);
+  EXPECT_EQ(m.correct, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, PartialPrecisionRecall) {
+  AlignmentSet gold({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+  // 2 correct out of 3 found; 2 of 4 gold.
+  AlignmentSet predicted({{1, 10}, {2, 20}, {9, 99}});
+  EvalMetrics m = EvaluatePredictions(predicted, gold);
+  EXPECT_EQ(m.correct, 2u);
+  EXPECT_EQ(m.found, 3u);
+  EXPECT_EQ(m.gold, 4u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  const double expected_f1 =
+      2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, expected_f1);
+}
+
+TEST(MetricsTest, NoPredictions) {
+  AlignmentSet gold({{1, 10}});
+  EvalMetrics m = EvaluatePredictions(AlignmentSet(), gold);
+  EXPECT_EQ(m.correct, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, AllWrongPredictions) {
+  AlignmentSet gold({{1, 10}});
+  AlignmentSet predicted({{1, 11}, {2, 10}});
+  EvalMetrics m = EvaluatePredictions(predicted, gold);
+  EXPECT_EQ(m.correct, 0u);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, NonOneToOneGoldCountsEachLink) {
+  // Gold has two links for source 1; predicting one of them caps recall.
+  AlignmentSet gold({{1, 10}, {1, 11}});
+  AlignmentSet predicted({{1, 10}});
+  EvalMetrics m = EvaluatePredictions(predicted, gold);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+// ---- Experiments -----------------------------------------------------------------
+
+KgPairDataset TinyDataset() {
+  KgPairGeneratorConfig c;
+  c.name = "eval-test";
+  c.seed = 13;
+  c.num_core_concepts = 200;
+  c.avg_degree = 4.0;
+  c.num_world_relations = 30;
+  c.num_relations_source = 25;
+  c.num_relations_target = 20;
+  auto d = GenerateKgPair(c);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TEST(ExperimentTest, RunExperimentEndToEnd) {
+  KgPairDataset d = TinyDataset();
+  auto emb = ComputeStructuralEmbeddings(d, RreaModelConfig(2));
+  ASSERT_TRUE(emb.ok());
+  auto result = RunExperiment(d, *emb, AlgorithmPreset::kDInf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dataset, "eval-test");
+  EXPECT_EQ(result->algorithm, "DInf");
+  EXPECT_GT(result->metrics.f1, 0.0);
+  EXPECT_LE(result->metrics.f1, 1.0);
+  // 1-to-1 setting: every source matched => P == R == F1.
+  EXPECT_DOUBLE_EQ(result->metrics.precision, result->metrics.recall);
+}
+
+TEST(ExperimentTest, CustomOptionsName) {
+  KgPairDataset d = TinyDataset();
+  auto emb = ComputeStructuralEmbeddings(d, GcnModelConfig(2));
+  ASSERT_TRUE(emb.ok());
+  MatchOptions options = MakePreset(AlgorithmPreset::kCsls);
+  options.csls_k = 5;
+  auto result = RunExperimentWithOptions(d, *emb, options, "CSLS-k5");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->algorithm, "CSLS-k5");
+}
+
+TEST(ExperimentTest, TopKScoreStdIsPositiveAndBounded) {
+  KgPairDataset d = TinyDataset();
+  auto emb = ComputeStructuralEmbeddings(d, RreaModelConfig(2));
+  ASSERT_TRUE(emb.ok());
+  auto std5 = TopKScoreStd(d, *emb, 5);
+  ASSERT_TRUE(std5.ok());
+  EXPECT_GT(*std5, 0.0);
+  EXPECT_LT(*std5, 1.0);  // cosine scores live in [-1, 1]
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,130 @@
+// Tests for the ranking metrics (Hits@k / MRR) and the explanation module.
+
+#include <gtest/gtest.h>
+
+#include "datagen/kg_pair_generator.h"
+#include "embedding/propagation.h"
+#include "eval/explain.h"
+#include "eval/ranking_metrics.h"
+
+namespace entmatcher {
+namespace {
+
+// A hand-built dataset: 3 test links over explicit candidate sets.
+KgPairDataset TinyManualDataset() {
+  KgPairDataset d;
+  auto src = KnowledgeGraph::Create(4, 1, {{0, 0, 1}, {1, 0, 2}, {2, 0, 3}});
+  auto tgt = KnowledgeGraph::Create(4, 1, {{0, 0, 1}, {1, 0, 2}, {2, 0, 3}});
+  d.source = std::move(src).value();
+  d.target = std::move(tgt).value();
+  d.split.test = AlignmentSet({{0, 0}, {1, 1}, {2, 2}});
+  PopulateTestCandidates(&d);
+  return d;
+}
+
+TEST(RankingMetricsTest, PerfectScoresGivePerfectMetrics) {
+  KgPairDataset d = TinyManualDataset();
+  Matrix scores = Matrix::FromRows(
+      {{0.9f, 0.1f, 0.1f}, {0.1f, 0.9f, 0.1f}, {0.1f, 0.1f, 0.9f}});
+  auto m = EvaluateRanking(d, scores);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->hits_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(m->hits_at_5, 1.0);
+  EXPECT_DOUBLE_EQ(m->mrr, 1.0);
+  EXPECT_EQ(m->evaluated, 3u);
+}
+
+TEST(RankingMetricsTest, RankTwoGold) {
+  KgPairDataset d = TinyManualDataset();
+  // Row 0's gold (col 0) ranks second.
+  Matrix scores = Matrix::FromRows(
+      {{0.5f, 0.9f, 0.1f}, {0.1f, 0.9f, 0.1f}, {0.1f, 0.1f, 0.9f}});
+  auto m = EvaluateRanking(d, scores);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->hits_at_1, 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m->hits_at_5, 1.0);
+  EXPECT_NEAR(m->mrr, (0.5 + 1.0 + 1.0) / 3.0, 1e-9);
+}
+
+TEST(RankingMetricsTest, ShapeMismatchFails) {
+  KgPairDataset d = TinyManualDataset();
+  EXPECT_FALSE(EvaluateRanking(d, Matrix(2, 3)).ok());
+}
+
+TEST(RankingMetricsTest, NonOneToOneUsesBestGold) {
+  KgPairDataset d;
+  auto src = KnowledgeGraph::Create(2, 1, {{0, 0, 1}});
+  auto tgt = KnowledgeGraph::Create(3, 1, {{0, 0, 1}});
+  d.source = std::move(src).value();
+  d.target = std::move(tgt).value();
+  // Source 0 has two gold targets.
+  d.split.test = AlignmentSet({{0, 0}, {0, 1}});
+  PopulateTestCandidates(&d);
+  Matrix scores = Matrix::FromRows({{0.2f, 0.9f}});  // gold col 1 ranks first
+  auto m = EvaluateRanking(d, scores);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->hits_at_1, 1.0);
+}
+
+TEST(RankingMetricsTest, EmbeddingConvenienceRuns) {
+  KgPairGeneratorConfig c;
+  c.seed = 8;
+  c.num_core_concepts = 200;
+  c.avg_degree = 4.0;
+  c.num_world_relations = 30;
+  c.num_relations_source = 25;
+  c.num_relations_target = 20;
+  auto d = GenerateKgPair(c);
+  ASSERT_TRUE(d.ok());
+  auto emb = ComputeStructuralEmbeddings(*d, RreaModelConfig(2));
+  ASSERT_TRUE(emb.ok());
+  auto m = EvaluateEmbeddingRanking(*d, *emb);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->hits_at_10, m->hits_at_1 - 1e-9);
+  EXPECT_GE(m->mrr, m->hits_at_1 - 1e-9);
+  EXPECT_GT(m->hits_at_1, 0.0);
+}
+
+// ---- Explain ------------------------------------------------------------------
+
+TEST(ExplainTest, TraceIdentifiesGoldAndDecision) {
+  KgPairDataset d = TinyManualDataset();
+  ASSERT_TRUE(d.source.SetEntityNames({"a0", "a1", "a2", "a3"}).ok());
+  ASSERT_TRUE(d.target.SetEntityNames({"b0", "b1", "b2", "b3"}).ok());
+  // Perfect diagonal embeddings.
+  EmbeddingPair emb;
+  emb.source = Matrix::FromRows(
+      {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {0.5f, 0.5f, 0}});
+  emb.target = emb.source;
+
+  auto traces = ExplainMatches(d, emb, MakePreset(AlgorithmPreset::kDInf),
+                               {0, 1}, /*top_k=*/2);
+  ASSERT_TRUE(traces.ok());
+  ASSERT_EQ(traces->size(), 2u);
+  const MatchExplanation& t0 = (*traces)[0];
+  EXPECT_EQ(t0.source, 0u);
+  EXPECT_EQ(t0.source_name, "a0");
+  EXPECT_TRUE(t0.decision_is_gold);
+  EXPECT_EQ(t0.decided_target, 0u);
+  ASSERT_FALSE(t0.candidates.empty());
+  EXPECT_EQ(t0.candidates[0].transformed_rank, 1u);
+  EXPECT_TRUE(t0.candidates[0].is_gold);
+
+  const std::string text = FormatExplanation(t0);
+  EXPECT_NE(text.find("[GOLD]"), std::string::npos);
+  EXPECT_NE(text.find("[CORRECT]"), std::string::npos);
+}
+
+TEST(ExplainTest, RejectsUnknownSourceAndRl) {
+  KgPairDataset d = TinyManualDataset();
+  EmbeddingPair emb;
+  emb.source = Matrix(4, 3);
+  emb.target = Matrix(4, 3);
+  EXPECT_FALSE(
+      ExplainMatches(d, emb, MakePreset(AlgorithmPreset::kDInf), {99}).ok());
+  EXPECT_FALSE(
+      ExplainMatches(d, emb, MakePreset(AlgorithmPreset::kRl), {0}).ok());
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,158 @@
+// Cross-module integration tests: the full generate -> embed -> match ->
+// evaluate pipeline, plus the qualitative relationships the paper's
+// experiments rest on.
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "datagen/benchmarks.h"
+#include "embedding/provider.h"
+#include "eval/experiment.h"
+#include "kg/io.h"
+
+namespace entmatcher {
+namespace {
+
+// Shared fixtures (generated once — generation and embedding dominate the
+// test budget).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto d = GenerateDataset("D-Z", /*scale=*/0.15);
+    ASSERT_TRUE(d.ok());
+    dataset_ = new KgPairDataset(std::move(d).value());
+    auto gcn = ComputeEmbeddings(*dataset_, EmbeddingSetting::kGcnStruct);
+    auto rrea = ComputeEmbeddings(*dataset_, EmbeddingSetting::kRreaStruct);
+    ASSERT_TRUE(gcn.ok() && rrea.ok());
+    gcn_ = new EmbeddingPair(std::move(gcn).value());
+    rrea_ = new EmbeddingPair(std::move(rrea).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete gcn_;
+    delete rrea_;
+    dataset_ = nullptr;
+    gcn_ = nullptr;
+    rrea_ = nullptr;
+  }
+
+  static double F1(const EmbeddingPair& emb, AlgorithmPreset preset) {
+    MatchOptions options = MakePreset(preset);
+    options.rl.epochs = 20;
+    auto r = RunExperimentWithOptions(*dataset_, emb, options,
+                                      PresetName(preset));
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? r->metrics.f1 : -1.0;
+  }
+
+  static KgPairDataset* dataset_;
+  static EmbeddingPair* gcn_;
+  static EmbeddingPair* rrea_;
+};
+
+KgPairDataset* EndToEndTest::dataset_ = nullptr;
+EmbeddingPair* EndToEndTest::gcn_ = nullptr;
+EmbeddingPair* EndToEndTest::rrea_ = nullptr;
+
+TEST_F(EndToEndTest, AllAlgorithmsBeatRandomBaseline) {
+  const double random_f1 =
+      1.0 / static_cast<double>(dataset_->test_target_entities.size());
+  for (AlgorithmPreset preset : MainPresets()) {
+    EXPECT_GT(F1(*rrea_, preset), 10 * random_f1) << PresetName(preset);
+  }
+}
+
+TEST_F(EndToEndTest, AdvancedAlgorithmsBeatDInf) {
+  // The paper's headline observation (Table 4): every advanced algorithm
+  // improves on the DInf baseline.
+  const double dinf = F1(*rrea_, AlgorithmPreset::kDInf);
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kCsls, AlgorithmPreset::kRinf,
+        AlgorithmPreset::kSinkhorn, AlgorithmPreset::kHungarian}) {
+    EXPECT_GT(F1(*rrea_, preset), dinf) << PresetName(preset);
+  }
+  // SMat is not *guaranteed* to beat greedy on a single small instance
+  // (stability != optimality); require it stays in DInf's neighborhood.
+  EXPECT_GT(F1(*rrea_, AlgorithmPreset::kStableMatch), 0.9 * dinf);
+}
+
+TEST_F(EndToEndTest, RreaEmbeddingsBeatGcnForEveryAlgorithm) {
+  // Paper: "using RREA ... can bring better performance compared with GCN".
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kDInf, AlgorithmPreset::kSinkhorn}) {
+    EXPECT_GT(F1(*rrea_, preset), F1(*gcn_, preset)) << PresetName(preset);
+  }
+}
+
+TEST_F(EndToEndTest, RinfVariantsTradeQualityForCost) {
+  // RInf-wr equals CSLS's decisions (Table 6); RInf-pb sits between.
+  const double csls = F1(*gcn_, AlgorithmPreset::kCsls);
+  const double wr = F1(*gcn_, AlgorithmPreset::kRinfWr);
+  EXPECT_NEAR(wr, csls, 1e-9);
+}
+
+TEST_F(EndToEndTest, UnmatchableSettingHurtsGreedyPrecision) {
+  auto plus = GenerateDataset("D-Z+", /*scale=*/0.15);
+  ASSERT_TRUE(plus.ok());
+  auto emb = ComputeEmbeddings(*plus, EmbeddingSetting::kRreaStruct);
+  ASSERT_TRUE(emb.ok());
+
+  auto dinf = RunExperiment(*plus, *emb, AlgorithmPreset::kDInf);
+  auto hun = RunExperiment(*plus, *emb, AlgorithmPreset::kHungarian);
+  ASSERT_TRUE(dinf.ok() && hun.ok());
+  // Greedy aligns every unmatchable source, so precision < recall.
+  EXPECT_LT(dinf->metrics.precision, dinf->metrics.recall);
+  // Hungarian with dummy-node padding rejects some sources and wins.
+  EXPECT_GT(hun->metrics.f1, dinf->metrics.f1);
+}
+
+TEST_F(EndToEndTest, NonOneToOneSettingCapsRecall) {
+  auto mul = GenerateDataset("FB-MUL", /*scale=*/0.2);
+  ASSERT_TRUE(mul.ok());
+  auto emb = ComputeEmbeddings(*mul, EmbeddingSetting::kRreaStruct);
+  ASSERT_TRUE(emb.ok());
+  auto dinf = RunExperiment(*mul, *emb, AlgorithmPreset::kDInf);
+  ASSERT_TRUE(dinf.ok());
+  // One prediction per source cannot cover the multi-link gold set.
+  EXPECT_LT(dinf->metrics.recall, 0.8);
+  EXPECT_GT(dinf->metrics.gold, mul->split.test.SourceEntities().size());
+}
+
+TEST_F(EndToEndTest, DatasetRoundTripsThroughTsv) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("entmatcher_e2e_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string triples = (dir / "src.tsv").string();
+  const std::string links = (dir / "links.tsv").string();
+  ASSERT_TRUE(WriteTriplesTsv(dataset_->source, triples).ok());
+  ASSERT_TRUE(WriteLinksTsv(dataset_->gold, links).ok());
+
+  auto graph = ReadTriplesTsv(triples);
+  auto gold = ReadLinksTsv(links);
+  ASSERT_TRUE(graph.ok() && gold.ok());
+  EXPECT_EQ(graph->triples().size(), dataset_->source.triples().size());
+  EXPECT_EQ(gold->size(), dataset_->gold.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EndToEndTest, MemoryAccountingOrdersAlgorithms) {
+  // SMat's two rank tables and RInf's matrices must cost more workspace
+  // than plain DInf (paper Fig. 5b ordering).
+  // GCN embeddings (dim 64): the n x n score/rank tables dominate the
+  // workspace, as they do at benchmark scale.
+  MatchOptions dinf = MakePreset(AlgorithmPreset::kDInf);
+  MatchOptions smat = MakePreset(AlgorithmPreset::kStableMatch);
+  MatchOptions rinf = MakePreset(AlgorithmPreset::kRinf);
+  auto r_dinf = RunMatching(*dataset_, *gcn_, dinf);
+  auto r_smat = RunMatching(*dataset_, *gcn_, smat);
+  auto r_rinf = RunMatching(*dataset_, *gcn_, rinf);
+  ASSERT_TRUE(r_dinf.ok() && r_smat.ok() && r_rinf.ok());
+  EXPECT_GT(r_smat->peak_workspace_bytes, r_dinf->peak_workspace_bytes);
+  EXPECT_GT(r_rinf->peak_workspace_bytes, r_dinf->peak_workspace_bytes);
+}
+
+}  // namespace
+}  // namespace entmatcher

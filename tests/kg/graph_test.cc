@@ -1,0 +1,86 @@
+#include "kg/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace entmatcher {
+namespace {
+
+KnowledgeGraph MakeTestGraph() {
+  // 0 --r0--> 1, 1 --r1--> 2, 0 --r0--> 2
+  auto result = KnowledgeGraph::Create(
+      4, 2, {{0, 0, 1}, {1, 1, 2}, {0, 0, 2}});
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(KnowledgeGraphTest, BasicCounts) {
+  KnowledgeGraph g = MakeTestGraph();
+  EXPECT_EQ(g.num_entities(), 4u);
+  EXPECT_EQ(g.num_relations(), 2u);
+  EXPECT_EQ(g.triples().size(), 3u);
+}
+
+TEST(KnowledgeGraphTest, RejectsOutOfRangeIds) {
+  EXPECT_FALSE(KnowledgeGraph::Create(2, 1, {{0, 0, 2}}).ok());  // entity
+  EXPECT_FALSE(KnowledgeGraph::Create(2, 1, {{0, 1, 1}}).ok());  // relation
+  EXPECT_TRUE(KnowledgeGraph::Create(2, 1, {{0, 0, 1}}).ok());
+}
+
+TEST(KnowledgeGraphTest, NeighborsBothDirections) {
+  KnowledgeGraph g = MakeTestGraph();
+  auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);  // two outgoing
+  for (const auto& e : n0) {
+    EXPECT_FALSE(e.inverse);
+    EXPECT_EQ(e.relation, 0u);
+  }
+  auto n2 = g.Neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);  // two incoming
+  for (const auto& e : n2) EXPECT_TRUE(e.inverse);
+
+  auto n1 = g.Neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);  // one in, one out
+  auto n3 = g.Neighbors(3);
+  EXPECT_TRUE(n3.empty());
+}
+
+TEST(KnowledgeGraphTest, Degree) {
+  KnowledgeGraph g = MakeTestGraph();
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(g.Degree(3), 0u);
+}
+
+TEST(KnowledgeGraphTest, AverageDegreeUsesTableConvention) {
+  KnowledgeGraph g = MakeTestGraph();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 3.0 / 4.0);
+  KnowledgeGraph empty;
+  EXPECT_EQ(empty.AverageDegree(), 0.0);
+}
+
+TEST(KnowledgeGraphTest, RelationFrequencies) {
+  KnowledgeGraph g = MakeTestGraph();
+  auto freq = g.RelationFrequencies();
+  ASSERT_EQ(freq.size(), 2u);
+  EXPECT_EQ(freq[0], 2u);
+  EXPECT_EQ(freq[1], 1u);
+}
+
+TEST(KnowledgeGraphTest, EntityNames) {
+  KnowledgeGraph g = MakeTestGraph();
+  EXPECT_FALSE(g.has_entity_names());
+  EXPECT_FALSE(g.SetEntityNames({"a", "b"}).ok());  // wrong count
+  ASSERT_TRUE(g.SetEntityNames({"a", "b", "c", "d"}).ok());
+  EXPECT_TRUE(g.has_entity_names());
+  EXPECT_EQ(g.EntityName(2), "c");
+}
+
+TEST(KnowledgeGraphTest, EmptyGraphIsValid) {
+  auto g = KnowledgeGraph::Create(0, 0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_entities(), 0u);
+}
+
+}  // namespace
+}  // namespace entmatcher

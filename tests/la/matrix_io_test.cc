@@ -1,0 +1,83 @@
+#include "la/matrix_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace entmatcher {
+namespace {
+
+class MatrixIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("entmatcher_mio_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(MatrixIoTest, TsvRoundTrip) {
+  Matrix m = Matrix::FromRows({{1.5f, -2.25f}, {0.0f, 1e-3f}});
+  ASSERT_TRUE(WriteMatrixTsv(m, Path("m.tsv")).ok());
+  auto loaded = ReadMatrixTsv(Path("m.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->ApproxEquals(m, 1e-6f));
+}
+
+TEST_F(MatrixIoTest, BinaryRoundTripIsExact) {
+  Matrix m(37, 19);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      m.At(r, c) = static_cast<float>(r * 100 + c) * 0.37f;
+    }
+  }
+  ASSERT_TRUE(WriteMatrixBinary(m, Path("m.emat")).ok());
+  auto loaded = ReadMatrixBinary(Path("m.emat"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->ApproxEquals(m, 0.0f));
+}
+
+TEST_F(MatrixIoTest, TsvRejectsRaggedRows) {
+  std::ofstream(Path("bad.tsv")) << "1\t2\n3\n";
+  EXPECT_FALSE(ReadMatrixTsv(Path("bad.tsv")).ok());
+}
+
+TEST_F(MatrixIoTest, TsvRejectsNonNumeric) {
+  std::ofstream(Path("bad2.tsv")) << "1\tx\n";
+  EXPECT_FALSE(ReadMatrixTsv(Path("bad2.tsv")).ok());
+}
+
+TEST_F(MatrixIoTest, EmptyTsvIsEmptyMatrix) {
+  std::ofstream(Path("empty.tsv")) << "";
+  auto loaded = ReadMatrixTsv(Path("empty.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(MatrixIoTest, BinaryRejectsWrongMagic) {
+  std::ofstream(Path("bad.emat"), std::ios::binary) << "NOPE1234567890123456";
+  EXPECT_FALSE(ReadMatrixBinary(Path("bad.emat")).ok());
+}
+
+TEST_F(MatrixIoTest, BinaryRejectsTruncated) {
+  Matrix m(4, 4);
+  ASSERT_TRUE(WriteMatrixBinary(m, Path("t.emat")).ok());
+  // Truncate the file.
+  std::filesystem::resize_file(Path("t.emat"), 24);
+  EXPECT_FALSE(ReadMatrixBinary(Path("t.emat")).ok());
+}
+
+TEST_F(MatrixIoTest, MissingFilesFail) {
+  EXPECT_FALSE(ReadMatrixTsv(Path("nope.tsv")).ok());
+  EXPECT_FALSE(ReadMatrixBinary(Path("nope.emat")).ok());
+}
+
+}  // namespace
+}  // namespace entmatcher

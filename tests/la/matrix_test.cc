@@ -1,0 +1,180 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+
+namespace entmatcher {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ(m.At(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, AtReadWrite) {
+  Matrix m(2, 2);
+  m.At(0, 1) = 5.0f;
+  m.At(1, 0) = -2.0f;
+  EXPECT_EQ(m.At(0, 1), 5.0f);
+  EXPECT_EQ(m.At(1, 0), -2.0f);
+}
+
+TEST(MatrixTest, RowSpanIsContiguousView) {
+  Matrix m(2, 3);
+  auto row = m.Row(1);
+  ASSERT_EQ(row.size(), 3u);
+  row[2] = 9.0f;
+  EXPECT_EQ(m.At(1, 2), 9.0f);
+}
+
+TEST(MatrixTest, FillScaleAdd) {
+  Matrix m(2, 2);
+  m.Fill(2.0f);
+  m.Scale(3.0f);
+  EXPECT_EQ(m.At(1, 1), 6.0f);
+  Matrix other(2, 2);
+  other.Fill(1.0f);
+  m.Add(other);
+  EXPECT_EQ(m.At(0, 0), 7.0f);
+}
+
+TEST(MatrixTest, FromRowsAndApproxEquals) {
+  Matrix m = Matrix::FromRows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  EXPECT_EQ(m.At(0, 1), 2.0f);
+  EXPECT_EQ(m.At(1, 0), 3.0f);
+
+  Matrix close = Matrix::FromRows({{1.0001f, 2.0f}, {3.0f, 4.0f}});
+  EXPECT_TRUE(m.ApproxEquals(close, 1e-3f));
+  EXPECT_FALSE(m.ApproxEquals(close, 1e-6f));
+  Matrix other_shape(1, 2);
+  EXPECT_FALSE(m.ApproxEquals(other_shape, 1.0f));
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m.At(r, c), t.At(c, r));
+  }
+}
+
+TEST(MatrixTest, TransposeLargeBlocked) {
+  Matrix m(130, 70);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      m.At(r, c) = static_cast<float>(r * 1000 + c);
+    }
+  }
+  Matrix t = m.Transposed();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      ASSERT_EQ(t.At(c, r), m.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(2, 2);
+  a.Fill(1.0f);
+  Matrix b = a;
+  b.At(0, 0) = 5.0f;
+  EXPECT_EQ(a.At(0, 0), 1.0f);
+  Matrix c(1, 1);
+  c = a;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.At(1, 1), 1.0f);
+}
+
+TEST(MatrixTest, MoveTransfersAndEmptiesSource) {
+  Matrix a(2, 2);
+  a.Fill(3.0f);
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.At(0, 0), 3.0f);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(MatrixTest, TracksMemory) {
+  MemoryTracker& t = MemoryTracker::Global();
+  const size_t base = t.current_bytes();
+  {
+    Matrix m(100, 100);
+    EXPECT_EQ(t.current_bytes(), base + 100 * 100 * sizeof(float));
+    Matrix moved = std::move(m);
+    EXPECT_EQ(t.current_bytes(), base + 100 * 100 * sizeof(float));
+  }
+  EXPECT_EQ(t.current_bytes(), base);
+}
+
+TEST(MatMulTransposedTest, SmallKnownProduct) {
+  // A (2x3), B (2x3): C = A * B^T is 2x2.
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {0, 1, 0}});
+  Matrix b = Matrix::FromRows({{1, 0, 0}, {1, 1, 1}});
+  Result<Matrix> c = MatMulTransposed(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FLOAT_EQ(c->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c->At(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(c->At(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(c->At(1, 1), 1.0f);
+}
+
+TEST(MatMulTransposedTest, DimensionMismatchFails) {
+  Matrix a(2, 3);
+  Matrix b(2, 4);
+  EXPECT_FALSE(MatMulTransposed(a, b).ok());
+}
+
+TEST(MatMulTransposedTest, LargeMatchesNaive) {
+  // Exercise the blocked path against a naive triple loop.
+  const size_t n = 45, m = 37, d = 19;
+  Matrix a(n, d);
+  Matrix b(m, d);
+  uint32_t x = 1;
+  auto next = [&x]() {
+    x = x * 1664525u + 1013904223u;
+    return static_cast<float>(x % 17) - 8.0f;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < d; ++k) a.At(i, k) = next();
+  }
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t k = 0; k < d; ++k) b.At(j, k) = next();
+  }
+  Result<Matrix> c = MatMulTransposed(a, b);
+  ASSERT_TRUE(c.ok());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < d; ++k) acc += a.At(i, k) * b.At(j, k);
+      ASSERT_NEAR(c->At(i, j), acc, 1e-3f);
+    }
+  }
+}
+
+TEST(L2NormalizeRowsTest, UnitNorms) {
+  Matrix m = Matrix::FromRows({{3, 4}, {0, 0}, {1, 0}});
+  L2NormalizeRows(&m);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 0.8f);
+  // Zero rows stay zero.
+  EXPECT_EQ(m.At(1, 0), 0.0f);
+  EXPECT_EQ(m.At(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(2, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,105 @@
+#include "la/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace entmatcher {
+namespace {
+
+TEST(SimilarityTest, MetricNames) {
+  EXPECT_STREQ(SimilarityMetricName(SimilarityMetric::kCosine), "cosine");
+  EXPECT_STREQ(SimilarityMetricName(SimilarityMetric::kNegEuclidean),
+               "euclidean");
+  EXPECT_STREQ(SimilarityMetricName(SimilarityMetric::kNegManhattan),
+               "manhattan");
+}
+
+TEST(SimilarityTest, CosineKnownValues) {
+  Matrix src = Matrix::FromRows({{1, 0}, {1, 1}});
+  Matrix tgt = Matrix::FromRows({{2, 0}, {0, 3}});
+  Result<Matrix> s = ComputeSimilarity(src, tgt, SimilarityMetric::kCosine);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->At(0, 0), 1.0f, 1e-6);                      // parallel
+  EXPECT_NEAR(s->At(0, 1), 0.0f, 1e-6);                      // orthogonal
+  EXPECT_NEAR(s->At(1, 0), 1.0f / std::sqrt(2.0f), 1e-6);
+  EXPECT_NEAR(s->At(1, 1), 1.0f / std::sqrt(2.0f), 1e-6);
+}
+
+TEST(SimilarityTest, CosineInvariantToInputScale) {
+  Matrix src = Matrix::FromRows({{0.3f, -0.7f, 0.1f}});
+  Matrix tgt = Matrix::FromRows({{1.0f, 2.0f, -0.5f}});
+  Matrix src_scaled = src;
+  src_scaled.Scale(42.0f);
+  Result<Matrix> a = ComputeSimilarity(src, tgt, SimilarityMetric::kCosine);
+  Result<Matrix> b =
+      ComputeSimilarity(src_scaled, tgt, SimilarityMetric::kCosine);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->At(0, 0), b->At(0, 0), 1e-6);
+}
+
+TEST(SimilarityTest, CosineRangeProperty) {
+  Rng rng(5);
+  Matrix src(20, 8);
+  Matrix tgt(15, 8);
+  for (size_t i = 0; i < src.rows(); ++i) {
+    for (float& v : src.Row(i)) v = static_cast<float>(rng.NextGaussian());
+  }
+  for (size_t i = 0; i < tgt.rows(); ++i) {
+    for (float& v : tgt.Row(i)) v = static_cast<float>(rng.NextGaussian());
+  }
+  Result<Matrix> s = ComputeSimilarity(src, tgt, SimilarityMetric::kCosine);
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < s->rows(); ++i) {
+    for (float v : s->Row(i)) {
+      ASSERT_GE(v, -1.0f - 1e-5f);
+      ASSERT_LE(v, 1.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(SimilarityTest, NegEuclideanKnownValues) {
+  Matrix src = Matrix::FromRows({{0, 0}});
+  Matrix tgt = Matrix::FromRows({{3, 4}, {0, 0}});
+  Result<Matrix> s =
+      ComputeSimilarity(src, tgt, SimilarityMetric::kNegEuclidean);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->At(0, 0), -5.0f, 1e-5);
+  EXPECT_NEAR(s->At(0, 1), 0.0f, 1e-5);
+}
+
+TEST(SimilarityTest, NegManhattanKnownValues) {
+  Matrix src = Matrix::FromRows({{1, 2}});
+  Matrix tgt = Matrix::FromRows({{4, 0}, {1, 2}});
+  Result<Matrix> s =
+      ComputeSimilarity(src, tgt, SimilarityMetric::kNegManhattan);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->At(0, 0), -5.0f, 1e-6);
+  EXPECT_NEAR(s->At(0, 1), 0.0f, 1e-6);
+}
+
+TEST(SimilarityTest, IdenticalVectorsMaximizeEveryMetric) {
+  Matrix src = Matrix::FromRows({{0.5f, -1.5f, 2.0f}});
+  Matrix tgt = Matrix::FromRows({{0.5f, -1.5f, 2.0f}, {2.0f, 0.5f, -1.5f}});
+  for (SimilarityMetric metric :
+       {SimilarityMetric::kCosine, SimilarityMetric::kNegEuclidean,
+        SimilarityMetric::kNegManhattan}) {
+    Result<Matrix> s = ComputeSimilarity(src, tgt, metric);
+    ASSERT_TRUE(s.ok());
+    EXPECT_GE(s->At(0, 0), s->At(0, 1)) << SimilarityMetricName(metric);
+  }
+}
+
+TEST(SimilarityTest, RejectsEmptyAndMismatchedInputs) {
+  Matrix empty;
+  Matrix m(2, 3);
+  EXPECT_FALSE(ComputeSimilarity(empty, m, SimilarityMetric::kCosine).ok());
+  EXPECT_FALSE(ComputeSimilarity(m, empty, SimilarityMetric::kCosine).ok());
+  Matrix wrong(2, 4);
+  EXPECT_FALSE(ComputeSimilarity(m, wrong, SimilarityMetric::kCosine).ok());
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,93 @@
+#include "matching/auction.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matching/hungarian_matcher.h"
+
+namespace entmatcher {
+namespace {
+
+Matrix RandomScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix s(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (float& v : s.Row(i)) v = static_cast<float>(rng.NextUniform(0, 1));
+  }
+  return s;
+}
+
+double Total(const Matrix& s, const Assignment& a) {
+  double t = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    t += s.At(i, static_cast<size_t>(a.target_of_source[i]));
+  }
+  return t;
+}
+
+TEST(AuctionTest, SolvesSmallKnownInstance) {
+  Matrix s = Matrix::FromRows({{0.9f, 0.1f}, {0.8f, 0.7f}});
+  auto a = AuctionMatch(s);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->target_of_source, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(AuctionTest, ProducesPermutation) {
+  Matrix s = RandomScores(30, 3);
+  auto a = AuctionMatch(s);
+  ASSERT_TRUE(a.ok());
+  std::set<int32_t> used(a->target_of_source.begin(),
+                         a->target_of_source.end());
+  EXPECT_EQ(used.size(), 30u);
+  EXPECT_EQ(used.count(Assignment::kUnmatched), 0u);
+}
+
+class AuctionOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Auction with epsilon-scaling is within n*eps_final of optimal; with the
+// default eps_final = 1e-4 and n <= 25, totals must match the Hungarian
+// optimum to within n * eps.
+TEST_P(AuctionOptimalityTest, NearHungarianOptimum) {
+  const size_t n = 5 + GetParam() % 21;
+  Matrix s = RandomScores(n, GetParam() * 31 + 11);
+  auto auction = AuctionMatch(s);
+  auto hungarian = HungarianMatch(s);
+  ASSERT_TRUE(auction.ok() && hungarian.ok());
+  EXPECT_GE(Total(s, *auction),
+            Total(s, *hungarian) - static_cast<double>(n) * 1e-4 - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuctionOptimalityTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+TEST(AuctionTest, Validation) {
+  EXPECT_FALSE(AuctionMatch(Matrix()).ok());
+  EXPECT_FALSE(AuctionMatch(Matrix(2, 3)).ok());
+  AuctionOptions bad;
+  bad.epsilon_scaling = 1.5;
+  EXPECT_FALSE(AuctionMatch(Matrix(2, 2), bad).ok());
+  bad = AuctionOptions();
+  bad.starting_epsilon = 0.0;
+  EXPECT_FALSE(AuctionMatch(Matrix(2, 2), bad).ok());
+}
+
+TEST(AuctionTest, SingleCell) {
+  Matrix s = Matrix::FromRows({{0.4f}});
+  auto a = AuctionMatch(s);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->target_of_source[0], 0);
+}
+
+TEST(AuctionTest, IterationCapReturnsError) {
+  Matrix s = RandomScores(40, 9);
+  AuctionOptions options;
+  options.max_iterations = 10;  // absurdly small
+  auto a = AuctionMatch(s, options);
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace entmatcher

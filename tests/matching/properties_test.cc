@@ -1,0 +1,232 @@
+// Cross-cutting property tests over the matching stack: invariances of the
+// score transforms, dominance relations between the decision algorithms,
+// and rectangular/degenerate edge cases.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/topk.h"
+#include "matching/gale_shapley.h"
+#include "matching/greedy.h"
+#include "matching/hungarian_matcher.h"
+#include "matching/transforms.h"
+
+namespace entmatcher {
+namespace {
+
+Matrix RandomScores(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  Matrix s(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (float& v : s.Row(i)) v = static_cast<float>(rng.NextUniform(-1, 1));
+  }
+  return s;
+}
+
+Matrix Shifted(const Matrix& s, float delta) {
+  Matrix out = s;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (float& v : out.Row(i)) v += delta;
+  }
+  return out;
+}
+
+class TransformInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+// CSLS(S + c) == CSLS(S) + 0: constant shifts cancel exactly in Eq. (1).
+TEST_P(TransformInvarianceTest, CslsIsShiftInvariant) {
+  Matrix s = RandomScores(9, 11, GetParam());
+  auto base = CslsTransform(s, 3);
+  auto shifted = CslsTransform(Shifted(s, 0.37f), 3);
+  ASSERT_TRUE(base.ok() && shifted.ok());
+  EXPECT_TRUE(base->ApproxEquals(*shifted, 1e-4f));
+}
+
+// RInf operates on ranks, so any strictly monotone per-matrix transform of
+// the scores (here: a shift) leaves the output unchanged.
+TEST_P(TransformInvarianceTest, RinfIsShiftInvariant) {
+  Matrix s = RandomScores(9, 11, GetParam() + 100);
+  auto base = RinfTransform(s);
+  auto shifted = RinfTransform(Shifted(s, -0.21f));
+  ASSERT_TRUE(base.ok() && shifted.ok());
+  EXPECT_TRUE(base->ApproxEquals(*shifted, 0.0f));
+}
+
+// Sinkhorn subtracts the global max before exponentiation, so shifts cancel.
+TEST_P(TransformInvarianceTest, SinkhornIsShiftInvariant) {
+  Matrix s = RandomScores(8, 8, GetParam() + 200);
+  auto base = SinkhornTransform(s, 30, 0.1);
+  auto shifted = SinkhornTransform(Shifted(s, 5.0f), 30, 0.1);
+  ASSERT_TRUE(base.ok() && shifted.ok());
+  EXPECT_TRUE(base->ApproxEquals(*shifted, 1e-4f));
+}
+
+// Positive scaling preserves every transform's row-argmax decisions.
+TEST_P(TransformInvarianceTest, PositiveScalingPreservesDecisions) {
+  Matrix s = RandomScores(10, 10, GetParam() + 300);
+  Matrix scaled = s;
+  scaled.Scale(3.5f);
+  for (ScoreTransformKind kind :
+       {ScoreTransformKind::kCsls, ScoreTransformKind::kRinf,
+        ScoreTransformKind::kRinfWr}) {
+    MatchOptions options;
+    options.transform = kind;
+    auto a = ApplyScoreTransform(s, options);
+    auto b = ApplyScoreTransform(scaled, options);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(RowArgmax(*a), RowArgmax(*b)) << static_cast<int>(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformInvarianceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---- Decision-stage dominance ---------------------------------------------------
+
+class DominanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Hungarian maximizes total similarity over 1-to-1 assignments, so its total
+// must dominate the (also 1-to-1) Gale–Shapley matching.
+TEST_P(DominanceTest, HungarianTotalDominatesGaleShapley) {
+  const size_t n = 6 + GetParam() % 15;
+  Matrix s = RandomScores(n, n, GetParam() * 13 + 7);
+  auto hun = HungarianMatch(s);
+  auto gs = GaleShapleyMatch(s);
+  ASSERT_TRUE(hun.ok() && gs.ok());
+  auto total = [&s](const Assignment& a) {
+    double t = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a.target_of_source[i] != Assignment::kUnmatched) {
+        t += s.At(i, static_cast<size_t>(a.target_of_source[i]));
+      }
+    }
+    return t;
+  };
+  EXPECT_GE(total(*hun), total(*gs) - 1e-4);
+}
+
+// Greedy's per-row score dominates every feasible assignment row-wise.
+TEST_P(DominanceTest, GreedyRowScoreDominatesHungarianRowScore) {
+  const size_t n = 5 + GetParam() % 10;
+  Matrix s = RandomScores(n, n, GetParam() * 17 + 3);
+  auto hun = HungarianMatch(s);
+  auto greedy = GreedyMatch(s);
+  ASSERT_TRUE(hun.ok() && greedy.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(s.At(i, greedy->target_of_source[i]),
+              s.At(i, static_cast<size_t>(hun->target_of_source[i])) - 1e-6);
+  }
+}
+
+// With a strongly diagonal score matrix, all 1-to-1-aware procedures agree:
+// Sinkhorn+greedy, Hungarian, and Gale–Shapley all recover the planted
+// permutation.
+TEST_P(DominanceTest, AllOneToOneMethodsRecoverPlantedPermutation) {
+  const size_t n = 8;
+  Rng rng(GetParam() + 50);
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+  rng.Shuffle(&perm);
+  Matrix s(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      s.At(i, j) = static_cast<float>(rng.NextUniform(0.0, 0.3));
+    }
+    s.At(i, perm[i]) = static_cast<float>(rng.NextUniform(0.8, 1.0));
+  }
+  auto hun = HungarianMatch(s);
+  auto gs = GaleShapleyMatch(s);
+  auto sink = SinkhornTransform(s, 50, 0.05);
+  ASSERT_TRUE(hun.ok() && gs.ok() && sink.ok());
+  auto sink_greedy = GreedyMatch(*sink);
+  ASSERT_TRUE(sink_greedy.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hun->target_of_source[i], static_cast<int32_t>(perm[i]));
+    EXPECT_EQ(gs->target_of_source[i], static_cast<int32_t>(perm[i]));
+    EXPECT_EQ(sink_greedy->target_of_source[i], static_cast<int32_t>(perm[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceTest, ::testing::Range<uint64_t>(0, 12));
+
+// ---- Rectangular and degenerate inputs -----------------------------------------
+
+TEST(RectangularTest, TransformsHandleNonSquare) {
+  for (auto [n, m] : std::vector<std::pair<size_t, size_t>>{
+           {3, 9}, {9, 3}, {1, 5}, {5, 1}}) {
+    Matrix s = RandomScores(n, m, n * 31 + m);
+    EXPECT_TRUE(CslsTransform(s, 2).ok()) << n << "x" << m;
+    EXPECT_TRUE(RinfTransform(s).ok()) << n << "x" << m;
+    EXPECT_TRUE(RinfWrTransform(s).ok()) << n << "x" << m;
+    EXPECT_TRUE(RinfPbTransform(s, 2).ok()) << n << "x" << m;
+    auto sink = SinkhornTransform(s, 10, 0.1);
+    ASSERT_TRUE(sink.ok()) << n << "x" << m;
+    for (size_t i = 0; i < sink->rows(); ++i) {
+      for (float v : sink->Row(i)) {
+        ASSERT_FALSE(std::isnan(v));
+      }
+    }
+  }
+}
+
+TEST(RectangularTest, OneByOneMatchers) {
+  Matrix s = Matrix::FromRows({{0.5f}});
+  auto greedy = GreedyMatch(s);
+  auto hun = HungarianMatch(s);
+  auto gs = GaleShapleyMatch(s);
+  ASSERT_TRUE(greedy.ok() && hun.ok() && gs.ok());
+  EXPECT_EQ(greedy->target_of_source[0], 0);
+  EXPECT_EQ(hun->target_of_source[0], 0);
+  EXPECT_EQ(gs->target_of_source[0], 0);
+}
+
+TEST(RectangularTest, SingleRowManyColumns) {
+  Matrix s = Matrix::FromRows({{0.1f, 0.9f, 0.4f}});
+  auto hun = HungarianMatch(s);
+  auto gs = GaleShapleyMatch(s);
+  ASSERT_TRUE(hun.ok() && gs.ok());
+  EXPECT_EQ(hun->target_of_source[0], 1);
+  EXPECT_EQ(gs->target_of_source[0], 1);
+}
+
+TEST(RectangularTest, ManyRowsSingleColumn) {
+  Matrix s = Matrix::FromRows({{0.2f}, {0.8f}, {0.5f}});
+  auto hun = HungarianMatch(s);
+  ASSERT_TRUE(hun.ok());
+  // Only the best row keeps the single target.
+  EXPECT_EQ(hun->NumMatched(), 1u);
+  EXPECT_EQ(hun->target_of_source[1], 0);
+  EXPECT_EQ(hun->target_of_source[0], Assignment::kUnmatched);
+
+  auto gs = GaleShapleyMatch(s);
+  ASSERT_TRUE(gs.ok());
+  EXPECT_EQ(gs->NumMatched(), 1u);
+  EXPECT_EQ(gs->target_of_source[1], 0);
+}
+
+TEST(DegenerateTest, ConstantScoreMatrixStillProducesValidOneToOne) {
+  Matrix s(5, 5);
+  s.Fill(0.5f);
+  auto hun = HungarianMatch(s);
+  auto gs = GaleShapleyMatch(s);
+  ASSERT_TRUE(hun.ok() && gs.ok());
+  std::set<int32_t> hun_used(hun->target_of_source.begin(),
+                             hun->target_of_source.end());
+  std::set<int32_t> gs_used(gs->target_of_source.begin(),
+                            gs->target_of_source.end());
+  EXPECT_EQ(hun_used.size(), 5u);
+  EXPECT_EQ(gs_used.size(), 5u);
+}
+
+TEST(DegenerateTest, CslsWithKLargerThanColumnsClamps) {
+  Matrix s = RandomScores(4, 3, 9);
+  auto out = CslsTransform(s, 10);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->cols(), 3u);
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,244 @@
+#include "matching/transforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/topk.h"
+
+namespace entmatcher {
+namespace {
+
+Matrix RandomScores(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  Matrix s(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (float& v : s.Row(i)) v = static_cast<float>(rng.NextUniform(-1, 1));
+  }
+  return s;
+}
+
+// ---- CSLS -------------------------------------------------------------------
+
+TEST(CslsTest, MatchesManualComputation) {
+  Matrix s = Matrix::FromRows({{0.9f, 0.1f}, {0.4f, 0.6f}});
+  // k=1: phi_s = {0.9, 0.6}; phi_t = {0.9, 0.6}.
+  auto out = CslsTransform(s, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->At(0, 0), 2 * 0.9 - 0.9 - 0.9, 1e-6);
+  EXPECT_NEAR(out->At(0, 1), 2 * 0.1 - 0.9 - 0.6, 1e-6);
+  EXPECT_NEAR(out->At(1, 0), 2 * 0.4 - 0.6 - 0.9, 1e-6);
+  EXPECT_NEAR(out->At(1, 1), 2 * 0.6 - 0.6 - 0.6, 1e-6);
+}
+
+TEST(CslsTest, K2UsesTopTwoMean) {
+  Matrix s = Matrix::FromRows({{1.0f, 0.5f, 0.0f}});
+  auto out = CslsTransform(s, 2);
+  ASSERT_TRUE(out.ok());
+  // phi_s(0) = (1.0 + 0.5)/2 = 0.75; single row so phi_t(j) = s(0, j).
+  EXPECT_NEAR(out->At(0, 0), 2 * 1.0 - 0.75 - 1.0, 1e-6);
+  EXPECT_NEAR(out->At(0, 1), 2 * 0.5 - 0.75 - 0.5, 1e-6);
+}
+
+TEST(CslsTest, PenalizesHubs) {
+  // Column 0 is a hub: high similarity to every source. CSLS should demote
+  // it relative to the non-hub column for the row whose true match is col 1.
+  Matrix s = Matrix::FromRows({{0.90f, 0.2f},
+                               {0.91f, 0.1f},
+                               {0.92f, 0.1f},
+                               {0.89f, 0.85f}});
+  auto out = CslsTransform(s, 2);
+  ASSERT_TRUE(out.ok());
+  // Row 3's argmax under raw scores is the hub column 0...
+  EXPECT_GT(s.At(3, 0), s.At(3, 1));
+  // ...but after CSLS the isolated column 1 wins.
+  EXPECT_GT(out->At(3, 1), out->At(3, 0));
+}
+
+TEST(CslsTest, RejectsBadInput) {
+  EXPECT_FALSE(CslsTransform(Matrix(), 1).ok());
+  EXPECT_FALSE(CslsTransform(Matrix(2, 2), 0).ok());
+}
+
+// ---- RInf -------------------------------------------------------------------
+
+TEST(RinfTest, MatchesManualComputationOnTiny) {
+  // S = [[0.9, 0.4], [0.8, 0.7]]
+  // col_max = {0.9, 0.7}; row_max = {0.9, 0.8}
+  // P_st = S - col_max + 1 = [[1.0, 0.7], [0.9, 1.0]]
+  // P_ts(v,u) = S(u,v) - row_max(u) + 1:
+  //   P_ts = [[1.0, 1.0], [0.5, 0.9]]
+  // R_st rows ranked desc: row0: {1,2}; row1: {2,1}
+  // R_ts rows: row0 (target0 over sources): P=(1.0,1.0) ranks {1,2} (tie->idx)
+  //            row1: P=(0.5,0.9) ranks {2,1}
+  // out(u,v) = -(R_st(u,v) + R_ts(v,u))/2:
+  //   out(0,0) = -(1+1)/2 = -1;    out(0,1) = -(2+2)/2 = -2
+  //   out(1,0) = -(2+2)/2 = -2;    out(1,1) = -(1+1)/2 = -1
+  Matrix s = Matrix::FromRows({{0.9f, 0.4f}, {0.8f, 0.7f}});
+  auto out = RinfTransform(s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out->At(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(out->At(0, 1), -2.0f);
+  EXPECT_FLOAT_EQ(out->At(1, 0), -2.0f);
+  EXPECT_FLOAT_EQ(out->At(1, 1), -1.0f);
+}
+
+TEST(RinfTest, ResolvesHubCollision) {
+  // Rows 0 and 1 both prefer column 0, but column 0 prefers row 0; the
+  // reciprocal ranking should steer row 1 to column 1.
+  Matrix s = Matrix::FromRows({{0.9f, 0.3f}, {0.8f, 0.6f}});
+  auto out = RinfTransform(s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->At(0, 0), out->At(0, 1));
+  EXPECT_GT(out->At(1, 1), out->At(1, 0));
+}
+
+// RInf-wr is order-equivalent to CSLS with k=1 (both reduce to
+// S - (row_max + col_max)/2 up to a monotone transform) — the identity that
+// explains why the paper's Table 6 reports identical F1 for CSLS and
+// RInf-wr.
+class RinfWrEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RinfWrEquivalenceTest, RowArgmaxAgreesWithCslsK1) {
+  Matrix s = RandomScores(15, 12, GetParam());
+  auto wr = RinfWrTransform(s);
+  auto csls = CslsTransform(s, 1);
+  ASSERT_TRUE(wr.ok() && csls.ok());
+  EXPECT_EQ(RowArgmax(*wr), RowArgmax(*csls));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RinfWrEquivalenceTest,
+                         ::testing::Values(1, 7, 13, 29, 47, 83));
+
+// RInf-pb approximates full RInf: the argmax of each row must agree whenever
+// the full-RInf winner lies within the candidate set (here: always, since
+// candidates >= columns).
+TEST(RinfPbTest, DegeneratesToRinfWhenCandidatesCoverAllColumns) {
+  Matrix s = RandomScores(10, 8, 3);
+  auto full = RinfTransform(s);
+  auto pb = RinfPbTransform(s, 8);
+  ASSERT_TRUE(full.ok() && pb.ok());
+  EXPECT_EQ(RowArgmax(*full), RowArgmax(*pb));
+}
+
+TEST(RinfPbTest, PrunedCandidatesGetSentinel) {
+  Matrix s = RandomScores(6, 20, 4);
+  auto pb = RinfPbTransform(s, 3);
+  ASSERT_TRUE(pb.ok());
+  // Each row has exactly 3 non-sentinel entries.
+  for (size_t i = 0; i < pb->rows(); ++i) {
+    size_t real = 0;
+    float sentinel = -2.0f * (6 + 20);
+    for (float v : pb->Row(i)) real += (v != sentinel);
+    EXPECT_EQ(real, 3u);
+  }
+}
+
+TEST(RinfPbTest, RejectsZeroCandidates) {
+  EXPECT_FALSE(RinfPbTransform(Matrix(2, 2), 0).ok());
+}
+
+// ---- Sinkhorn ------------------------------------------------------------------
+
+class SinkhornPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SinkhornPropertyTest, ConvergesToDoublyStochastic) {
+  Matrix s = RandomScores(12, 12, GetParam());
+  auto out = SinkhornTransform(s, 200, 0.1);
+  ASSERT_TRUE(out.ok());
+  // Columns were normalized last; rows should be near-stochastic too.
+  for (size_t j = 0; j < out->cols(); ++j) {
+    double col = 0.0;
+    for (size_t i = 0; i < out->rows(); ++i) col += out->At(i, j);
+    ASSERT_NEAR(col, 1.0, 1e-3);
+  }
+  for (size_t i = 0; i < out->rows(); ++i) {
+    double row = 0.0;
+    for (float v : out->Row(i)) row += v;
+    ASSERT_NEAR(row, 1.0, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SinkhornPropertyTest,
+                         ::testing::Values(2, 9, 21, 55));
+
+TEST(SinkhornTest, RecoversPlantedPermutation) {
+  // Strong diagonal-like structure under a random permutation: Sinkhorn+argmax
+  // must recover it exactly.
+  const size_t n = 10;
+  Rng rng(5);
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+  rng.Shuffle(&perm);
+  Matrix s(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      s.At(i, j) = static_cast<float>(rng.NextUniform(0.0, 0.4));
+    }
+    s.At(i, perm[i]) = static_cast<float>(rng.NextUniform(0.7, 1.0));
+  }
+  auto out = SinkhornTransform(s, 100, 0.05);
+  ASSERT_TRUE(out.ok());
+  const auto argmax = RowArgmax(*out);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(argmax[i], perm[i]);
+}
+
+TEST(SinkhornTest, MoreIterationsSharpenTheCoupling) {
+  // With a contested column, later iterations push mass toward a 1-to-1
+  // coupling: the max column share of a contested target decreases toward 1.
+  Matrix s = Matrix::FromRows({{0.9f, 0.2f}, {0.85f, 0.6f}});
+  auto few = SinkhornTransform(s, 1, 0.1);
+  auto many = SinkhornTransform(s, 100, 0.1);
+  ASSERT_TRUE(few.ok() && many.ok());
+  // After many iterations row 1 must prefer column 1 (1-to-1 pressure).
+  EXPECT_GT(many->At(1, 1), many->At(1, 0));
+}
+
+TEST(SinkhornTest, NumericallyStableWithLargeScores) {
+  Matrix s = Matrix::FromRows({{500.0f, -500.0f}, {-500.0f, 500.0f}});
+  auto out = SinkhornTransform(s, 10, 1.0);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < 2; ++i) {
+    for (float v : out->Row(i)) {
+      ASSERT_FALSE(std::isnan(v));
+      ASSERT_FALSE(std::isinf(v));
+    }
+  }
+  EXPECT_GT(out->At(0, 0), out->At(0, 1));
+}
+
+TEST(SinkhornTest, Validation) {
+  EXPECT_FALSE(SinkhornTransform(Matrix(2, 2), 0, 0.1).ok());
+  EXPECT_FALSE(SinkhornTransform(Matrix(2, 2), 10, 0.0).ok());
+  EXPECT_FALSE(SinkhornTransform(Matrix(), 10, 0.1).ok());
+}
+
+// ---- Dispatch -------------------------------------------------------------------
+
+TEST(ApplyScoreTransformTest, DispatchesAllKinds) {
+  for (ScoreTransformKind kind :
+       {ScoreTransformKind::kNone, ScoreTransformKind::kCsls,
+        ScoreTransformKind::kRinf, ScoreTransformKind::kRinfWr,
+        ScoreTransformKind::kRinfPb, ScoreTransformKind::kSinkhorn}) {
+    MatchOptions options;
+    options.transform = kind;
+    auto out = ApplyScoreTransform(RandomScores(5, 6, 1), options);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->rows(), 5u);
+    EXPECT_EQ(out->cols(), 6u);
+  }
+}
+
+TEST(ApplyScoreTransformTest, NoneIsIdentity) {
+  Matrix s = RandomScores(4, 4, 2);
+  Matrix copy = s;
+  MatchOptions options;
+  options.transform = ScoreTransformKind::kNone;
+  auto out = ApplyScoreTransform(std::move(s), options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ApproxEquals(copy, 0.0f));
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,86 @@
+#include "nn/pair_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace entmatcher {
+namespace {
+
+// A separable toy task: positives are identical rows, negatives random.
+TEST(PairClassifierTest, LearnsSeparableToyTask) {
+  const size_t n = 40;
+  const size_t dim = 8;
+  Rng rng(1);
+  Matrix src(n, dim);
+  Matrix tgt(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < dim; ++k) {
+      const float v = static_cast<float>(rng.NextGaussian());
+      src.At(i, k) = v;
+      tgt.At(i, k) = v;  // entity i's match is row i
+    }
+  }
+  std::vector<EntityPair> positives;
+  std::vector<EntityId> pool;
+  for (size_t i = 0; i < n; ++i) {
+    positives.push_back({static_cast<EntityId>(i), static_cast<EntityId>(i)});
+    pool.push_back(static_cast<EntityId>(i));
+  }
+  PairClassifierConfig config;
+  config.epochs = 60;
+  config.seed = 5;
+  auto classifier = PairClassifier::Train(src, tgt, positives, pool, config);
+  ASSERT_TRUE(classifier.ok());
+
+  // Matching pairs should outscore random pairs on average.
+  double pos = 0.0;
+  double neg = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    pos += classifier->Score(src, tgt, static_cast<EntityId>(i),
+                             static_cast<EntityId>(i));
+    neg += classifier->Score(src, tgt, static_cast<EntityId>(i),
+                             static_cast<EntityId>((i + 7) % n));
+  }
+  EXPECT_GT(pos / n, neg / n + 0.2);
+}
+
+TEST(PairClassifierTest, ValidatesInputs) {
+  Matrix src(2, 4);
+  Matrix tgt(2, 4);
+  PairClassifierConfig config;
+  EXPECT_FALSE(
+      PairClassifier::Train(src, tgt, {}, {0, 1}, config).ok());  // no pos
+  EXPECT_FALSE(
+      PairClassifier::Train(src, tgt, {{0, 0}}, {}, config).ok());  // no pool
+  Matrix bad(2, 5);
+  EXPECT_FALSE(
+      PairClassifier::Train(src, bad, {{0, 0}}, {0}, config).ok());  // dims
+}
+
+TEST(PairClassifierTest, ScoreIsProbability) {
+  Rng rng(2);
+  Matrix src(6, 4);
+  Matrix tgt(6, 4);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t k = 0; k < 4; ++k) {
+      src.At(i, k) = static_cast<float>(rng.NextGaussian());
+      tgt.At(i, k) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  PairClassifierConfig config;
+  config.epochs = 2;
+  auto classifier =
+      PairClassifier::Train(src, tgt, {{0, 0}, {1, 1}}, {0, 1, 2, 3}, config);
+  ASSERT_TRUE(classifier.ok());
+  for (EntityId u = 0; u < 6; ++u) {
+    for (EntityId v = 0; v < 6; ++v) {
+      const float s = classifier->Score(src, tgt, u, v);
+      ASSERT_GE(s, 0.0f);
+      ASSERT_LE(s, 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace entmatcher
