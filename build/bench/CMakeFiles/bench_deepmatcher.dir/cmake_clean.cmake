@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deepmatcher.dir/bench_deepmatcher.cc.o"
+  "CMakeFiles/bench_deepmatcher.dir/bench_deepmatcher.cc.o.d"
+  "bench_deepmatcher"
+  "bench_deepmatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deepmatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_pipeline.cpp" "examples/CMakeFiles/custom_pipeline.dir/custom_pipeline.cpp.o" "gcc" "examples/CMakeFiles/custom_pipeline.dir/custom_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/em_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/em_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/em_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/em_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/em_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/em_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/em_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/em_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entmatcher_cli.dir/entmatcher_cli.cpp.o"
+  "CMakeFiles/entmatcher_cli.dir/entmatcher_cli.cpp.o.d"
+  "entmatcher_cli"
+  "entmatcher_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entmatcher_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

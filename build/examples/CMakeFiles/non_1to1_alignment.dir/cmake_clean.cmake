@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/non_1to1_alignment.dir/non_1to1_alignment.cpp.o"
+  "CMakeFiles/non_1to1_alignment.dir/non_1to1_alignment.cpp.o.d"
+  "non_1to1_alignment"
+  "non_1to1_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/non_1to1_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

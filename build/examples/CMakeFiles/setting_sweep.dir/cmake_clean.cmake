@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setting_sweep.dir/setting_sweep.cpp.o"
+  "CMakeFiles/setting_sweep.dir/setting_sweep.cpp.o.d"
+  "setting_sweep"
+  "setting_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setting_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

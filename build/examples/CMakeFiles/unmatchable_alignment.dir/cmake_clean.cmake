@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unmatchable_alignment.dir/unmatchable_alignment.cpp.o"
+  "CMakeFiles/unmatchable_alignment.dir/unmatchable_alignment.cpp.o.d"
+  "unmatchable_alignment"
+  "unmatchable_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unmatchable_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unmatchable_alignment.
+# This may be replaced when dependencies are built.

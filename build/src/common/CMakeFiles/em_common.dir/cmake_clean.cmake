@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_common.dir/logging.cc.o"
+  "CMakeFiles/em_common.dir/logging.cc.o.d"
+  "CMakeFiles/em_common.dir/memory_tracker.cc.o"
+  "CMakeFiles/em_common.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/em_common.dir/rng.cc.o"
+  "CMakeFiles/em_common.dir/rng.cc.o.d"
+  "CMakeFiles/em_common.dir/status.cc.o"
+  "CMakeFiles/em_common.dir/status.cc.o.d"
+  "CMakeFiles/em_common.dir/string_util.cc.o"
+  "CMakeFiles/em_common.dir/string_util.cc.o.d"
+  "CMakeFiles/em_common.dir/table_printer.cc.o"
+  "CMakeFiles/em_common.dir/table_printer.cc.o.d"
+  "libem_common.a"
+  "libem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/benchmarks.cc" "src/datagen/CMakeFiles/em_datagen.dir/benchmarks.cc.o" "gcc" "src/datagen/CMakeFiles/em_datagen.dir/benchmarks.cc.o.d"
+  "/root/repo/src/datagen/kg_pair_generator.cc" "src/datagen/CMakeFiles/em_datagen.dir/kg_pair_generator.cc.o" "gcc" "src/datagen/CMakeFiles/em_datagen.dir/kg_pair_generator.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/datagen/CMakeFiles/em_datagen.dir/names.cc.o" "gcc" "src/datagen/CMakeFiles/em_datagen.dir/names.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/em_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/em_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

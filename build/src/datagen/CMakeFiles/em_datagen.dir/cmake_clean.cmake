@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_datagen.dir/benchmarks.cc.o"
+  "CMakeFiles/em_datagen.dir/benchmarks.cc.o.d"
+  "CMakeFiles/em_datagen.dir/kg_pair_generator.cc.o"
+  "CMakeFiles/em_datagen.dir/kg_pair_generator.cc.o.d"
+  "CMakeFiles/em_datagen.dir/names.cc.o"
+  "CMakeFiles/em_datagen.dir/names.cc.o.d"
+  "libem_datagen.a"
+  "libem_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

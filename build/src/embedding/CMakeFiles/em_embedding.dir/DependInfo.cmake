@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/embedding.cc" "src/embedding/CMakeFiles/em_embedding.dir/embedding.cc.o" "gcc" "src/embedding/CMakeFiles/em_embedding.dir/embedding.cc.o.d"
+  "/root/repo/src/embedding/fusion.cc" "src/embedding/CMakeFiles/em_embedding.dir/fusion.cc.o" "gcc" "src/embedding/CMakeFiles/em_embedding.dir/fusion.cc.o.d"
+  "/root/repo/src/embedding/name_encoder.cc" "src/embedding/CMakeFiles/em_embedding.dir/name_encoder.cc.o" "gcc" "src/embedding/CMakeFiles/em_embedding.dir/name_encoder.cc.o.d"
+  "/root/repo/src/embedding/propagation.cc" "src/embedding/CMakeFiles/em_embedding.dir/propagation.cc.o" "gcc" "src/embedding/CMakeFiles/em_embedding.dir/propagation.cc.o.d"
+  "/root/repo/src/embedding/provider.cc" "src/embedding/CMakeFiles/em_embedding.dir/provider.cc.o" "gcc" "src/embedding/CMakeFiles/em_embedding.dir/provider.cc.o.d"
+  "/root/repo/src/embedding/transe.cc" "src/embedding/CMakeFiles/em_embedding.dir/transe.cc.o" "gcc" "src/embedding/CMakeFiles/em_embedding.dir/transe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/em_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/em_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/em_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

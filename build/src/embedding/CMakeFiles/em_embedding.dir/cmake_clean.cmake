@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_embedding.dir/embedding.cc.o"
+  "CMakeFiles/em_embedding.dir/embedding.cc.o.d"
+  "CMakeFiles/em_embedding.dir/fusion.cc.o"
+  "CMakeFiles/em_embedding.dir/fusion.cc.o.d"
+  "CMakeFiles/em_embedding.dir/name_encoder.cc.o"
+  "CMakeFiles/em_embedding.dir/name_encoder.cc.o.d"
+  "CMakeFiles/em_embedding.dir/propagation.cc.o"
+  "CMakeFiles/em_embedding.dir/propagation.cc.o.d"
+  "CMakeFiles/em_embedding.dir/provider.cc.o"
+  "CMakeFiles/em_embedding.dir/provider.cc.o.d"
+  "CMakeFiles/em_embedding.dir/transe.cc.o"
+  "CMakeFiles/em_embedding.dir/transe.cc.o.d"
+  "libem_embedding.a"
+  "libem_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

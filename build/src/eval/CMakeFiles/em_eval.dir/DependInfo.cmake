@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/em_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/em_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/explain.cc" "src/eval/CMakeFiles/em_eval.dir/explain.cc.o" "gcc" "src/eval/CMakeFiles/em_eval.dir/explain.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/em_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/em_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/ranking_metrics.cc" "src/eval/CMakeFiles/em_eval.dir/ranking_metrics.cc.o" "gcc" "src/eval/CMakeFiles/em_eval.dir/ranking_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/em_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/em_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/em_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/em_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/em_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/em_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

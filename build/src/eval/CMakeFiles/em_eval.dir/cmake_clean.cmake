@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_eval.dir/experiment.cc.o"
+  "CMakeFiles/em_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/em_eval.dir/explain.cc.o"
+  "CMakeFiles/em_eval.dir/explain.cc.o.d"
+  "CMakeFiles/em_eval.dir/metrics.cc.o"
+  "CMakeFiles/em_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/em_eval.dir/ranking_metrics.cc.o"
+  "CMakeFiles/em_eval.dir/ranking_metrics.cc.o.d"
+  "libem_eval.a"
+  "libem_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

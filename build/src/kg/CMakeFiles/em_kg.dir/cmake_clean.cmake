@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_kg.dir/alignment.cc.o"
+  "CMakeFiles/em_kg.dir/alignment.cc.o.d"
+  "CMakeFiles/em_kg.dir/dataset.cc.o"
+  "CMakeFiles/em_kg.dir/dataset.cc.o.d"
+  "CMakeFiles/em_kg.dir/dataset_io.cc.o"
+  "CMakeFiles/em_kg.dir/dataset_io.cc.o.d"
+  "CMakeFiles/em_kg.dir/graph.cc.o"
+  "CMakeFiles/em_kg.dir/graph.cc.o.d"
+  "CMakeFiles/em_kg.dir/io.cc.o"
+  "CMakeFiles/em_kg.dir/io.cc.o.d"
+  "libem_kg.a"
+  "libem_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/em_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/em_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/matrix_io.cc" "src/la/CMakeFiles/em_la.dir/matrix_io.cc.o" "gcc" "src/la/CMakeFiles/em_la.dir/matrix_io.cc.o.d"
+  "/root/repo/src/la/ranking.cc" "src/la/CMakeFiles/em_la.dir/ranking.cc.o" "gcc" "src/la/CMakeFiles/em_la.dir/ranking.cc.o.d"
+  "/root/repo/src/la/similarity.cc" "src/la/CMakeFiles/em_la.dir/similarity.cc.o" "gcc" "src/la/CMakeFiles/em_la.dir/similarity.cc.o.d"
+  "/root/repo/src/la/topk.cc" "src/la/CMakeFiles/em_la.dir/topk.cc.o" "gcc" "src/la/CMakeFiles/em_la.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/em_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_la.dir/matrix.cc.o"
+  "CMakeFiles/em_la.dir/matrix.cc.o.d"
+  "CMakeFiles/em_la.dir/matrix_io.cc.o"
+  "CMakeFiles/em_la.dir/matrix_io.cc.o.d"
+  "CMakeFiles/em_la.dir/ranking.cc.o"
+  "CMakeFiles/em_la.dir/ranking.cc.o.d"
+  "CMakeFiles/em_la.dir/similarity.cc.o"
+  "CMakeFiles/em_la.dir/similarity.cc.o.d"
+  "CMakeFiles/em_la.dir/topk.cc.o"
+  "CMakeFiles/em_la.dir/topk.cc.o.d"
+  "libem_la.a"
+  "libem_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libem_la.a"
+)

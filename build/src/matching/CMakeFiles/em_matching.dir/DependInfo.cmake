@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/auction.cc" "src/matching/CMakeFiles/em_matching.dir/auction.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/auction.cc.o.d"
+  "/root/repo/src/matching/gale_shapley.cc" "src/matching/CMakeFiles/em_matching.dir/gale_shapley.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/gale_shapley.cc.o.d"
+  "/root/repo/src/matching/greedy.cc" "src/matching/CMakeFiles/em_matching.dir/greedy.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/greedy.cc.o.d"
+  "/root/repo/src/matching/greedy_one_to_one.cc" "src/matching/CMakeFiles/em_matching.dir/greedy_one_to_one.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/greedy_one_to_one.cc.o.d"
+  "/root/repo/src/matching/hungarian_matcher.cc" "src/matching/CMakeFiles/em_matching.dir/hungarian_matcher.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/hungarian_matcher.cc.o.d"
+  "/root/repo/src/matching/lap.cc" "src/matching/CMakeFiles/em_matching.dir/lap.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/lap.cc.o.d"
+  "/root/repo/src/matching/partitioned.cc" "src/matching/CMakeFiles/em_matching.dir/partitioned.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/partitioned.cc.o.d"
+  "/root/repo/src/matching/pipeline.cc" "src/matching/CMakeFiles/em_matching.dir/pipeline.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/pipeline.cc.o.d"
+  "/root/repo/src/matching/probabilistic.cc" "src/matching/CMakeFiles/em_matching.dir/probabilistic.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/probabilistic.cc.o.d"
+  "/root/repo/src/matching/relation_context.cc" "src/matching/CMakeFiles/em_matching.dir/relation_context.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/relation_context.cc.o.d"
+  "/root/repo/src/matching/rl_matcher.cc" "src/matching/CMakeFiles/em_matching.dir/rl_matcher.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/rl_matcher.cc.o.d"
+  "/root/repo/src/matching/streaming.cc" "src/matching/CMakeFiles/em_matching.dir/streaming.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/streaming.cc.o.d"
+  "/root/repo/src/matching/transforms.cc" "src/matching/CMakeFiles/em_matching.dir/transforms.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/transforms.cc.o.d"
+  "/root/repo/src/matching/types.cc" "src/matching/CMakeFiles/em_matching.dir/types.cc.o" "gcc" "src/matching/CMakeFiles/em_matching.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/em_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/em_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/em_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/em_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/em_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

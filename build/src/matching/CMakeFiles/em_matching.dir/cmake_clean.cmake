@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_matching.dir/auction.cc.o"
+  "CMakeFiles/em_matching.dir/auction.cc.o.d"
+  "CMakeFiles/em_matching.dir/gale_shapley.cc.o"
+  "CMakeFiles/em_matching.dir/gale_shapley.cc.o.d"
+  "CMakeFiles/em_matching.dir/greedy.cc.o"
+  "CMakeFiles/em_matching.dir/greedy.cc.o.d"
+  "CMakeFiles/em_matching.dir/greedy_one_to_one.cc.o"
+  "CMakeFiles/em_matching.dir/greedy_one_to_one.cc.o.d"
+  "CMakeFiles/em_matching.dir/hungarian_matcher.cc.o"
+  "CMakeFiles/em_matching.dir/hungarian_matcher.cc.o.d"
+  "CMakeFiles/em_matching.dir/lap.cc.o"
+  "CMakeFiles/em_matching.dir/lap.cc.o.d"
+  "CMakeFiles/em_matching.dir/partitioned.cc.o"
+  "CMakeFiles/em_matching.dir/partitioned.cc.o.d"
+  "CMakeFiles/em_matching.dir/pipeline.cc.o"
+  "CMakeFiles/em_matching.dir/pipeline.cc.o.d"
+  "CMakeFiles/em_matching.dir/probabilistic.cc.o"
+  "CMakeFiles/em_matching.dir/probabilistic.cc.o.d"
+  "CMakeFiles/em_matching.dir/relation_context.cc.o"
+  "CMakeFiles/em_matching.dir/relation_context.cc.o.d"
+  "CMakeFiles/em_matching.dir/rl_matcher.cc.o"
+  "CMakeFiles/em_matching.dir/rl_matcher.cc.o.d"
+  "CMakeFiles/em_matching.dir/streaming.cc.o"
+  "CMakeFiles/em_matching.dir/streaming.cc.o.d"
+  "CMakeFiles/em_matching.dir/transforms.cc.o"
+  "CMakeFiles/em_matching.dir/transforms.cc.o.d"
+  "CMakeFiles/em_matching.dir/types.cc.o"
+  "CMakeFiles/em_matching.dir/types.cc.o.d"
+  "libem_matching.a"
+  "libem_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

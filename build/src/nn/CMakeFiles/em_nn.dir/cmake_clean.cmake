@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_nn.dir/mlp.cc.o"
+  "CMakeFiles/em_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/em_nn.dir/pair_classifier.cc.o"
+  "CMakeFiles/em_nn.dir/pair_classifier.cc.o.d"
+  "libem_nn.a"
+  "libem_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

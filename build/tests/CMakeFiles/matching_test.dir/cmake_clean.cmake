@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_test.dir/matching/auction_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/auction_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/extensions_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/extensions_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/greedy_one_to_one_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/greedy_one_to_one_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/matchers_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/matchers_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/partitioned_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/partitioned_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/pipeline_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/pipeline_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/properties_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/properties_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/relation_context_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/relation_context_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/transforms_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/transforms_test.cc.o.d"
+  "matching_test"
+  "matching_test.pdb"
+  "matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
