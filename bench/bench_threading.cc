@@ -1,0 +1,143 @@
+// Threading-substrate benchmark: sweeps the ParallelFor worker count over the
+// similarity + CSLS transform pipeline (the matching-stage wall-clock
+// dominators at DWY100K scale, paper Table 6) at several matrix sizes, checks
+// the parallel results stay bit-identical to the 1-thread path, and writes
+// BENCH_threading.json so later PRs can track the scaling trajectory.
+//
+// Usage:
+//   ./bench_threading                     # sizes scaled by EM_BENCH_SCALE
+//   EM_BENCH_SCALE=0.2 ./bench_threading  # smoke run
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "la/similarity.h"
+#include "matching/transforms.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 64;
+constexpr size_t kCslsK = 10;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+// One cosine-similarity + CSLS pass — the per-request hot path of a
+// matching service.
+Matrix RunPipeline(const Matrix& src, const Matrix& tgt) {
+  auto scores = ComputeSimilarity(src, tgt, SimilarityMetric::kCosine);
+  if (!scores.ok()) {
+    std::cerr << "similarity: " << scores.status().ToString() << "\n";
+    std::abort();
+  }
+  auto transformed = CslsTransform(std::move(scores).value(), kCslsK);
+  if (!transformed.ok()) {
+    std::cerr << "csls: " << transformed.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(transformed).value();
+}
+
+struct Measurement {
+  size_t rows = 0;
+  size_t threads = 0;
+  double seconds = 0.0;
+  double speedup_vs_serial = 0.0;
+  bool bit_identical = false;
+};
+
+}  // namespace
+}  // namespace entmatcher
+
+int main() {
+  using namespace entmatcher;
+
+  const double scale = bench::GlobalScale();
+  std::vector<size_t> sizes;
+  for (size_t base : {1000, 2500, 10000}) {
+    const size_t n = static_cast<size_t>(static_cast<double>(base) * scale);
+    if (n >= 8) sizes.push_back(n);
+  }
+  std::vector<size_t> thread_counts = {1, 2, 4, GetNumThreads()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  bench::PrintBanner(
+      "Threading sweep — cosine similarity + CSLS pipeline",
+      "ParallelFor static-chunk substrate; parallel results must be "
+      "bit-identical to serial");
+  std::cout << "hardware_concurrency=" << std::thread::hardware_concurrency()
+            << "  default_threads=" << GetNumThreads() << "\n\n";
+
+  const size_t original_threads = GetNumThreads();
+  std::vector<Measurement> results;
+  for (size_t n : sizes) {
+    const Matrix src = RandomEmbeddings(n, /*seed=*/11);
+    const Matrix tgt = RandomEmbeddings(n, /*seed=*/23);
+
+    SetNumThreads(1);
+    RunPipeline(src, tgt);  // warm-up: page in the inputs, touch the pool path
+    Timer serial_timer;
+    const Matrix serial = RunPipeline(src, tgt);
+    const double serial_seconds = serial_timer.ElapsedSeconds();
+
+    for (size_t threads : thread_counts) {
+      SetNumThreads(threads);
+      Timer timer;
+      const Matrix out = RunPipeline(src, tgt);
+      Measurement m;
+      m.rows = n;
+      m.threads = threads;
+      m.seconds = threads == 1 ? serial_seconds : timer.ElapsedSeconds();
+      m.speedup_vs_serial = m.seconds > 0.0 ? serial_seconds / m.seconds : 0.0;
+      m.bit_identical =
+          out.rows() == serial.rows() && out.cols() == serial.cols() &&
+          std::memcmp(out.data(), serial.data(), out.ByteSize()) == 0;
+      results.push_back(m);
+      std::cout << "n=" << n << "  threads=" << m.threads << "  "
+                << FormatDouble(m.seconds * 1e3, 1) << " ms  speedup="
+                << FormatDouble(m.speedup_vs_serial, 2) << "x  bit_identical="
+                << (m.bit_identical ? "yes" : "NO") << "\n";
+      if (!m.bit_identical) {
+        std::cerr << "FATAL: parallel result diverged from serial\n";
+        return 1;
+      }
+    }
+    std::cout << "\n";
+  }
+  SetNumThreads(original_threads);
+
+  std::ofstream json("BENCH_threading.json");
+  json << "{\n  \"pipeline\": \"cosine+csls\",\n  \"dim\": " << kDim
+       << ",\n  \"csls_k\": " << kCslsK << ",\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"measurements\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    json << "    {\"rows\": " << m.rows << ", \"threads\": " << m.threads
+         << ", \"seconds\": " << m.seconds << ", \"speedup_vs_serial\": "
+         << m.speedup_vs_serial << ", \"bit_identical\": "
+         << (m.bit_identical ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_threading.json (" << results.size()
+            << " measurements)\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace entmatcher {
+
+namespace {
+
+size_t DefaultNumThreads() {
+  if (const char* env = std::getenv("EM_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+// 0 = not yet resolved; resolved lazily so SetNumThreads can run before or
+// after the first parallel region.
+std::atomic<size_t> g_num_threads{0};
+
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+size_t GetNumThreads() {
+  size_t n = g_num_threads.load(std::memory_order_acquire);
+  if (n == 0) {
+    n = DefaultNumThreads();
+    g_num_threads.store(n, std::memory_order_release);
+  }
+  return n;
+}
+
+void SetNumThreads(size_t n) {
+  g_num_threads.store(n == 0 ? DefaultNumThreads() : n,
+                      std::memory_order_release);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const ParallelChunkFn& fn) {
+  if (end <= begin) return;
+  const size_t range = end - begin;
+  if (grain == 0) grain = 1;
+  const size_t threads = GetNumThreads();
+  const size_t max_chunks = (range + grain - 1) / grain;
+  const size_t num_chunks = std::min(threads, max_chunks);
+  if (num_chunks <= 1 || internal::ThreadPool::InParallelRegion()) {
+    fn(begin, end);
+    return;
+  }
+  // Static partition into near-equal contiguous chunks; the first
+  // `range % num_chunks` chunks get one extra index.
+  const size_t base = range / num_chunks;
+  const size_t extra = range % num_chunks;
+  const std::function<void(size_t)> chunk_fn = [&](size_t c) {
+    const size_t lo = begin + c * base + std::min(c, extra);
+    const size_t hi = lo + base + (c < extra ? 1 : 0);
+    fn(lo, hi);
+  };
+  internal::ThreadPool::Global().Run(num_chunks, threads, chunk_fn);
+}
+
+namespace internal {
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+void ThreadPool::EnsureWorkers(size_t count) {
+  if (workers_.size() == count) return;
+  StopWorkers();
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = false;
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  t_in_parallel_region = true;
+  for (;;) {
+    const size_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) break;
+    (*job->fn)(c);
+    if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_chunks) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  t_in_parallel_region = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    if (job != nullptr) RunChunks(job.get());
+  }
+}
+
+void ThreadPool::Run(size_t num_chunks, size_t num_threads,
+                     const std::function<void(size_t)>& chunk_fn) {
+  // Serialize whole regions: two user threads issuing ParallelFor at once
+  // take turns instead of corrupting the shared job slot.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  EnsureWorkers(num_threads - 1);
+  auto job = std::make_shared<Job>();
+  job->fn = &chunk_fn;
+  job->num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  RunChunks(job.get());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == num_chunks;
+    });
+    job_.reset();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace entmatcher

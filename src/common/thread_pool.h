@@ -1,0 +1,106 @@
+#ifndef ENTMATCHER_COMMON_THREAD_POOL_H_
+#define ENTMATCHER_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace entmatcher {
+
+/// Process-wide worker count used by ParallelFor. Resolution order:
+///   1. the last SetNumThreads(n > 0) call,
+///   2. the EM_NUM_THREADS environment variable (read once, at first use),
+///   3. std::thread::hardware_concurrency().
+/// A value of 1 means fully serial execution: ParallelFor runs inline on the
+/// calling thread and the worker pool is never spun up.
+size_t GetNumThreads();
+
+/// Overrides the worker count for subsequent parallel regions. `n == 0`
+/// resets to the environment/hardware default. Not safe to call concurrently
+/// with a running ParallelFor.
+void SetNumThreads(size_t n);
+
+/// Chunk body for ParallelFor: processes the half-open index range
+/// [chunk_begin, chunk_end).
+using ParallelChunkFn = std::function<void(size_t, size_t)>;
+
+/// Runs `fn` over [begin, end) split into contiguous chunks executed by the
+/// shared worker pool (the calling thread participates).
+///
+/// Partitioning is static: the range is split into
+/// min(GetNumThreads(), ceil(range / grain)) near-equal contiguous chunks.
+/// Which thread executes which chunk is unspecified, but because every chunk
+/// covers a fixed index range and chunk bodies in this codebase only depend
+/// on their own indices, results are bit-identical to the serial path for
+/// every thread count. Reductions that must stay bit-identical across thread
+/// counts should accumulate per fixed-size block (keyed by index, not by
+/// chunk) and combine serially.
+///
+/// Nested calls (from inside a chunk body) degrade to inline serial
+/// execution, so parallel kernels may freely call other parallel kernels.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const ParallelChunkFn& fn);
+
+namespace internal {
+
+/// Persistent worker pool behind ParallelFor. Exposed for tests; library
+/// code should use ParallelFor.
+class ThreadPool {
+ public:
+  /// The process-wide pool. Workers are spawned lazily on the first parallel
+  /// region that wants more than one thread.
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+
+  /// True when called from inside a chunk body (worker or the participating
+  /// caller); ParallelFor uses this to serialize nested regions.
+  static bool InParallelRegion();
+
+  /// Runs `chunk_fn(c)` for every c in [0, num_chunks) across the workers
+  /// and the calling thread; blocks until all chunks completed. Must not be
+  /// called from inside a running region (ParallelFor guards this).
+  void Run(size_t num_chunks, size_t num_threads,
+           const std::function<void(size_t)>& chunk_fn);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  // One parallel region. Heap-allocated and shared with workers so a
+  // late-waking worker from a previous region can never touch the counters
+  // of the next one.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  ThreadPool() = default;
+
+  void EnsureWorkers(size_t count);
+  void StopWorkers();
+  void WorkerLoop();
+  void RunChunks(Job* job);
+
+  std::mutex run_mu_;  // serializes whole Run() regions
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;   // caller waits for completion
+  std::shared_ptr<Job> job_;          // guarded by mu_
+  uint64_t generation_ = 0;           // guarded by mu_
+  bool shutdown_ = false;             // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace internal
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_COMMON_THREAD_POOL_H_

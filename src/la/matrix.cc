@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace entmatcher {
 
 void Matrix::Fill(float value) {
@@ -65,36 +67,41 @@ Result<Matrix> MatMulTransposed(const Matrix& a, const Matrix& b) {
   const size_t d = a.cols();
   Matrix c(n, m);
   // Row-blocked dot products; both operands are traversed row-wise, which is
-  // contiguous for the B^T formulation.
+  // contiguous for the B^T formulation. Each output row depends only on its
+  // own inputs, so A's rows are split across the pool.
   constexpr size_t kBlock = 32;
-  for (size_t ib = 0; ib < n; ib += kBlock) {
-    const size_t i_end = std::min(n, ib + kBlock);
-    for (size_t jb = 0; jb < m; jb += kBlock) {
-      const size_t j_end = std::min(m, jb + kBlock);
-      for (size_t i = ib; i < i_end; ++i) {
-        const float* arow = a.Row(i).data();
-        float* crow = c.Row(i).data();
-        for (size_t j = jb; j < j_end; ++j) {
-          const float* brow = b.Row(j).data();
-          float acc = 0.0f;
-          for (size_t k = 0; k < d; ++k) acc += arow[k] * brow[k];
-          crow[j] = acc;
+  ParallelFor(0, n, kBlock, [&](size_t row_begin, size_t row_end) {
+    for (size_t ib = row_begin; ib < row_end; ib += kBlock) {
+      const size_t i_end = std::min(row_end, ib + kBlock);
+      for (size_t jb = 0; jb < m; jb += kBlock) {
+        const size_t j_end = std::min(m, jb + kBlock);
+        for (size_t i = ib; i < i_end; ++i) {
+          const float* arow = a.Row(i).data();
+          float* crow = c.Row(i).data();
+          for (size_t j = jb; j < j_end; ++j) {
+            const float* brow = b.Row(j).data();
+            float acc = 0.0f;
+            for (size_t k = 0; k < d; ++k) acc += arow[k] * brow[k];
+            crow[j] = acc;
+          }
         }
       }
     }
-  }
+  });
   return c;
 }
 
 void L2NormalizeRows(Matrix* m) {
-  for (size_t r = 0; r < m->rows(); ++r) {
-    auto row = m->Row(r);
-    double sq = 0.0;
-    for (float v : row) sq += static_cast<double>(v) * v;
-    if (sq <= 0.0) continue;
-    const float inv = static_cast<float>(1.0 / std::sqrt(sq));
-    for (float& v : row) v *= inv;
-  }
+  ParallelFor(0, m->rows(), 64, [m](size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      auto row = m->Row(r);
+      double sq = 0.0;
+      for (float v : row) sq += static_cast<double>(v) * v;
+      if (sq <= 0.0) continue;
+      const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+      for (float& v : row) v *= inv;
+    }
+  });
 }
 
 }  // namespace entmatcher

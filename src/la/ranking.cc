@@ -5,25 +5,29 @@
 #include <numeric>
 #include <vector>
 
+#include "common/thread_pool.h"
+
 namespace entmatcher {
 
 Matrix RowRankMatrix(const Matrix& scores) {
   const size_t n = scores.rows();
   const size_t m = scores.cols();
   Matrix ranks(n, m);
-  std::vector<uint32_t> order(m);
-  for (size_t r = 0; r < n; ++r) {
-    auto row = scores.Row(r);
-    std::iota(order.begin(), order.end(), 0u);
-    std::sort(order.begin(), order.end(), [&row](uint32_t a, uint32_t b) {
-      if (row[a] != row[b]) return row[a] > row[b];
-      return a < b;
-    });
-    float* out = ranks.Row(r).data();
-    for (size_t pos = 0; pos < m; ++pos) {
-      out[order[pos]] = static_cast<float>(pos + 1);
+  ParallelFor(0, n, 4, [&](size_t row_begin, size_t row_end) {
+    std::vector<uint32_t> order(m);
+    for (size_t r = row_begin; r < row_end; ++r) {
+      auto row = scores.Row(r);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&row](uint32_t a, uint32_t b) {
+        if (row[a] != row[b]) return row[a] > row[b];
+        return a < b;
+      });
+      float* out = ranks.Row(r).data();
+      for (size_t pos = 0; pos < m; ++pos) {
+        out[order[pos]] = static_cast<float>(pos + 1);
+      }
     }
-  }
+  });
   return ranks;
 }
 

@@ -1,17 +1,46 @@
 #include "la/similarity.h"
 
 #include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace entmatcher {
 
 namespace {
 
+// 1 / ||row|| for every row; zero rows get 1.0 so they pass through the
+// cosine scaling unchanged (their dot products are all zero anyway), which
+// matches L2NormalizeRows leaving zero rows untouched.
+std::vector<float> InverseRowNorms(const Matrix& m) {
+  std::vector<float> inv(m.rows());
+  ParallelFor(0, m.rows(), 64, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      double sq = 0.0;
+      for (float v : m.Row(r)) sq += static_cast<double>(v) * v;
+      inv[r] = sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(sq)) : 1.0f;
+    }
+  });
+  return inv;
+}
+
+// Scales the raw dot products by both inverse norms instead of normalizing
+// copies of the inputs: saves two full embedding-matrix copies and two
+// normalization passes.
 Result<Matrix> CosineSimilarity(const Matrix& source, const Matrix& target) {
-  Matrix src = source;
-  Matrix tgt = target;
-  L2NormalizeRows(&src);
-  L2NormalizeRows(&tgt);
-  return MatMulTransposed(src, tgt);
+  const std::vector<float> inv_src = InverseRowNorms(source);
+  const std::vector<float> inv_tgt = InverseRowNorms(target);
+  EM_ASSIGN_OR_RETURN(Matrix dots, MatMulTransposed(source, target));
+  ParallelFor(0, dots.rows(), 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = dots.Row(i).data();
+      const float si = inv_src[i];
+      for (size_t j = 0; j < dots.cols(); ++j) {
+        row[j] *= si * inv_tgt[j];
+      }
+    }
+  });
+  return dots;
 }
 
 // ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b ; score = -||a - b||.
@@ -19,20 +48,26 @@ Result<Matrix> NegEuclidean(const Matrix& source, const Matrix& target) {
   EM_ASSIGN_OR_RETURN(Matrix dots, MatMulTransposed(source, target));
   std::vector<double> src_sq(source.rows(), 0.0);
   std::vector<double> tgt_sq(target.rows(), 0.0);
-  for (size_t i = 0; i < source.rows(); ++i) {
-    for (float v : source.Row(i)) src_sq[i] += static_cast<double>(v) * v;
-  }
-  for (size_t j = 0; j < target.rows(); ++j) {
-    for (float v : target.Row(j)) tgt_sq[j] += static_cast<double>(v) * v;
-  }
-  for (size_t i = 0; i < dots.rows(); ++i) {
-    float* row = dots.Row(i).data();
-    for (size_t j = 0; j < dots.cols(); ++j) {
-      double sq = src_sq[i] + tgt_sq[j] - 2.0 * row[j];
-      if (sq < 0.0) sq = 0.0;  // numeric guard
-      row[j] = -static_cast<float>(std::sqrt(sq));
+  ParallelFor(0, source.rows(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (float v : source.Row(i)) src_sq[i] += static_cast<double>(v) * v;
     }
-  }
+  });
+  ParallelFor(0, target.rows(), 64, [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      for (float v : target.Row(j)) tgt_sq[j] += static_cast<double>(v) * v;
+    }
+  });
+  ParallelFor(0, dots.rows(), 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = dots.Row(i).data();
+      for (size_t j = 0; j < dots.cols(); ++j) {
+        double sq = src_sq[i] + tgt_sq[j] - 2.0 * row[j];
+        if (sq < 0.0) sq = 0.0;  // numeric guard
+        row[j] = -static_cast<float>(std::sqrt(sq));
+      }
+    }
+  });
   return dots;
 }
 
@@ -41,16 +76,18 @@ Result<Matrix> NegManhattan(const Matrix& source, const Matrix& target) {
   const size_t m = target.rows();
   const size_t d = source.cols();
   Matrix out(n, m);
-  for (size_t i = 0; i < n; ++i) {
-    const float* a = source.Row(i).data();
-    float* row = out.Row(i).data();
-    for (size_t j = 0; j < m; ++j) {
-      const float* b = target.Row(j).data();
-      float dist = 0.0f;
-      for (size_t k = 0; k < d; ++k) dist += std::fabs(a[k] - b[k]);
-      row[j] = -dist;
+  ParallelFor(0, n, 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* a = source.Row(i).data();
+      float* row = out.Row(i).data();
+      for (size_t j = 0; j < m; ++j) {
+        const float* b = target.Row(j).data();
+        float dist = 0.0f;
+        for (size_t k = 0; k < d; ++k) dist += std::fabs(a[k] - b[k]);
+        row[j] = -dist;
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -6,41 +6,51 @@
 #include <limits>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace entmatcher {
 
 std::vector<uint32_t> RowArgmax(const Matrix& scores) {
   assert(scores.cols() > 0);
   std::vector<uint32_t> out(scores.rows());
-  for (size_t r = 0; r < scores.rows(); ++r) {
-    auto row = scores.Row(r);
-    size_t best = 0;
-    for (size_t c = 1; c < row.size(); ++c) {
-      if (row[c] > row[best]) best = c;
+  ParallelFor(0, scores.rows(), 32, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      auto row = scores.Row(r);
+      size_t best = 0;
+      for (size_t c = 1; c < row.size(); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      out[r] = static_cast<uint32_t>(best);
     }
-    out[r] = static_cast<uint32_t>(best);
-  }
+  });
   return out;
 }
 
 std::vector<float> RowMax(const Matrix& scores) {
   assert(scores.cols() > 0);
   std::vector<float> out(scores.rows());
-  for (size_t r = 0; r < scores.rows(); ++r) {
-    auto row = scores.Row(r);
-    out[r] = *std::max_element(row.begin(), row.end());
-  }
+  ParallelFor(0, scores.rows(), 32, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      auto row = scores.Row(r);
+      out[r] = *std::max_element(row.begin(), row.end());
+    }
+  });
   return out;
 }
 
 std::vector<float> ColMax(const Matrix& scores) {
   assert(scores.rows() > 0);
   std::vector<float> out(scores.cols(), -std::numeric_limits<float>::infinity());
-  for (size_t r = 0; r < scores.rows(); ++r) {
-    auto row = scores.Row(r);
-    for (size_t c = 0; c < row.size(); ++c) {
-      if (row[c] > out[c]) out[c] = row[c];
+  // Partitioned by column so every worker owns a disjoint slice of `out` and
+  // visits rows in the serial order (max is exact either way).
+  ParallelFor(0, scores.cols(), 256, [&](size_t col_begin, size_t col_end) {
+    for (size_t r = 0; r < scores.rows(); ++r) {
+      const float* row = scores.Row(r).data();
+      for (size_t c = col_begin; c < col_end; ++c) {
+        if (row[c] > out[c]) out[c] = row[c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -60,12 +70,14 @@ std::vector<float> RowTopKMean(const Matrix& scores, size_t k) {
   assert(k >= 1);
   const size_t kk = std::min(k, scores.cols());
   std::vector<float> out(scores.rows());
-  std::vector<float> buf;
-  for (size_t r = 0; r < scores.rows(); ++r) {
-    TopKValues(scores.Row(r), kk, &buf);
-    double sum = std::accumulate(buf.begin(), buf.end(), 0.0);
-    out[r] = static_cast<float>(sum / static_cast<double>(kk));
-  }
+  ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
+    std::vector<float> buf;
+    for (size_t r = begin; r < end; ++r) {
+      TopKValues(scores.Row(r), kk, &buf);
+      double sum = std::accumulate(buf.begin(), buf.end(), 0.0);
+      out[r] = static_cast<float>(sum / static_cast<double>(kk));
+    }
+  });
   return out;
 }
 
@@ -74,35 +86,39 @@ std::vector<float> ColTopKMean(const Matrix& scores, size_t k) {
   const size_t kk = std::min(k, scores.rows());
   const size_t m = scores.cols();
   // Per-column min-heap of the k largest values seen so far, stored in one
-  // flat (m x kk) buffer with heap[0] the smallest retained value.
+  // flat (m x kk) buffer with heap[0] the smallest retained value. Workers
+  // own disjoint column ranges and scan rows top-to-bottom, so each heap
+  // sees exactly the serial insertion sequence.
   std::vector<float> heaps(m * kk, -std::numeric_limits<float>::infinity());
-  for (size_t r = 0; r < scores.rows(); ++r) {
-    const float* row = scores.Row(r).data();
-    for (size_t c = 0; c < m; ++c) {
-      float* heap = heaps.data() + c * kk;
-      const float v = row[c];
-      if (v <= heap[0]) continue;
-      // Sift down the replaced root.
-      size_t i = 0;
-      heap[0] = v;
-      for (;;) {
-        size_t smallest = i;
-        const size_t left = 2 * i + 1;
-        const size_t right = 2 * i + 2;
-        if (left < kk && heap[left] < heap[smallest]) smallest = left;
-        if (right < kk && heap[right] < heap[smallest]) smallest = right;
-        if (smallest == i) break;
-        std::swap(heap[i], heap[smallest]);
-        i = smallest;
+  std::vector<float> out(m);
+  ParallelFor(0, m, 64, [&](size_t col_begin, size_t col_end) {
+    for (size_t r = 0; r < scores.rows(); ++r) {
+      const float* row = scores.Row(r).data();
+      for (size_t c = col_begin; c < col_end; ++c) {
+        float* heap = heaps.data() + c * kk;
+        const float v = row[c];
+        if (v <= heap[0]) continue;
+        // Sift down the replaced root.
+        size_t i = 0;
+        heap[0] = v;
+        for (;;) {
+          size_t smallest = i;
+          const size_t left = 2 * i + 1;
+          const size_t right = 2 * i + 2;
+          if (left < kk && heap[left] < heap[smallest]) smallest = left;
+          if (right < kk && heap[right] < heap[smallest]) smallest = right;
+          if (smallest == i) break;
+          std::swap(heap[i], heap[smallest]);
+          i = smallest;
+        }
       }
     }
-  }
-  std::vector<float> out(m);
-  for (size_t c = 0; c < m; ++c) {
-    double sum = 0.0;
-    for (size_t i = 0; i < kk; ++i) sum += heaps[c * kk + i];
-    out[c] = static_cast<float>(sum / static_cast<double>(kk));
-  }
+    for (size_t c = col_begin; c < col_end; ++c) {
+      double sum = 0.0;
+      for (size_t i = 0; i < kk; ++i) sum += heaps[c * kk + i];
+      out[c] = static_cast<float>(sum / static_cast<double>(kk));
+    }
+  });
   return out;
 }
 
@@ -110,17 +126,19 @@ std::vector<uint32_t> RowTopKIndices(const Matrix& scores, size_t k) {
   assert(k >= 1);
   const size_t kk = std::min(k, scores.cols());
   std::vector<uint32_t> out(scores.rows() * kk);
-  std::vector<uint32_t> idx(scores.cols());
-  for (size_t r = 0; r < scores.rows(); ++r) {
-    auto row = scores.Row(r);
-    std::iota(idx.begin(), idx.end(), 0u);
-    std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
-                      [&row](uint32_t a, uint32_t b) {
-                        if (row[a] != row[b]) return row[a] > row[b];
-                        return a < b;
-                      });
-    std::copy(idx.begin(), idx.begin() + kk, out.begin() + r * kk);
-  }
+  ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
+    std::vector<uint32_t> idx(scores.cols());
+    for (size_t r = begin; r < end; ++r) {
+      auto row = scores.Row(r);
+      std::iota(idx.begin(), idx.end(), 0u);
+      std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                        [&row](uint32_t a, uint32_t b) {
+                          if (row[a] != row[b]) return row[a] > row[b];
+                          return a < b;
+                        });
+      std::copy(idx.begin(), idx.begin() + kk, out.begin() + r * kk);
+    }
+  });
   return out;
 }
 
@@ -128,17 +146,28 @@ double MeanRowTopKStd(const Matrix& scores, size_t k) {
   assert(k >= 1);
   const size_t kk = std::min(k, scores.cols());
   if (kk < 2 || scores.rows() == 0) return 0.0;
-  std::vector<float> buf;
+  // Per-row partials accumulated by fixed 64-row blocks, then combined
+  // serially, so the double summation order is independent of thread count.
+  constexpr size_t kBlock = 64;
+  const size_t num_blocks = (scores.rows() + kBlock - 1) / kBlock;
+  std::vector<double> partial(num_blocks, 0.0);
+  ParallelFor(0, num_blocks, 1, [&](size_t block_begin, size_t block_end) {
+    std::vector<float> buf;
+    for (size_t b = block_begin; b < block_end; ++b) {
+      const size_t row_end = std::min(scores.rows(), (b + 1) * kBlock);
+      for (size_t r = b * kBlock; r < row_end; ++r) {
+        TopKValues(scores.Row(r), kk, &buf);
+        double mean = std::accumulate(buf.begin(), buf.end(), 0.0) /
+                      static_cast<double>(kk);
+        double var = 0.0;
+        for (float v : buf) var += (v - mean) * (v - mean);
+        var /= static_cast<double>(kk);
+        partial[b] += std::sqrt(var);
+      }
+    }
+  });
   double total = 0.0;
-  for (size_t r = 0; r < scores.rows(); ++r) {
-    TopKValues(scores.Row(r), kk, &buf);
-    double mean = std::accumulate(buf.begin(), buf.end(), 0.0) /
-                  static_cast<double>(kk);
-    double var = 0.0;
-    for (float v : buf) var += (v - mean) * (v - mean);
-    var /= static_cast<double>(kk);
-    total += std::sqrt(var);
-  }
+  for (double p : partial) total += p;
   return total / static_cast<double>(scores.rows());
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "matching/pipeline.h"
 
 namespace entmatcher {
@@ -142,42 +143,56 @@ Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
   Assignment assignment;
   assignment.target_of_source.assign(source.rows(), Assignment::kUnmatched);
 
-  for (size_t p = 0; p < partitioning.num_partitions; ++p) {
-    std::vector<uint32_t> src_rows;
-    std::vector<uint32_t> tgt_cols;
-    for (size_t i = 0; i < source.rows(); ++i) {
-      if (partitioning.partition_of_source[i] == p) {
-        src_rows.push_back(static_cast<uint32_t>(i));
-      }
-    }
-    for (size_t j = 0; j < target.rows(); ++j) {
-      if (partitioning.partition_of_target[j] == p) {
-        tgt_cols.push_back(static_cast<uint32_t>(j));
-      }
-    }
-    if (src_rows.empty() || tgt_cols.empty()) continue;
-
-    Matrix block_src(src_rows.size(), source.cols());
-    for (size_t i = 0; i < src_rows.size(); ++i) {
-      std::copy(source.Row(src_rows[i]).begin(), source.Row(src_rows[i]).end(),
-                block_src.Row(i).begin());
-    }
-    Matrix block_tgt(tgt_cols.size(), target.cols());
-    for (size_t j = 0; j < tgt_cols.size(); ++j) {
-      std::copy(target.Row(tgt_cols[j]).begin(), target.Row(tgt_cols[j]).end(),
-                block_tgt.Row(j).begin());
-    }
-
-    EM_ASSIGN_OR_RETURN(
-        Assignment block_assignment,
-        MatchEmbeddings(block_src, block_tgt, options.block_options));
-    for (size_t i = 0; i < src_rows.size(); ++i) {
-      const int32_t j = block_assignment.target_of_source[i];
-      if (j == Assignment::kUnmatched) continue;
-      assignment.target_of_source[src_rows[i]] =
-          static_cast<int32_t>(tgt_cols[static_cast<size_t>(j)]);
-    }
+  const size_t num_partitions = partitioning.num_partitions;
+  std::vector<std::vector<uint32_t>> src_rows(num_partitions);
+  std::vector<std::vector<uint32_t>> tgt_cols(num_partitions);
+  for (size_t i = 0; i < source.rows(); ++i) {
+    src_rows[partitioning.partition_of_source[i]].push_back(
+        static_cast<uint32_t>(i));
   }
+  for (size_t j = 0; j < target.rows(); ++j) {
+    tgt_cols[partitioning.partition_of_target[j]].push_back(
+        static_cast<uint32_t>(j));
+  }
+
+  // Blocks are disjoint in both source rows and target columns, so each block
+  // match is independent and they dispatch across the pool; nested kernels
+  // inside MatchEmbeddings degrade to serial automatically. Errors are
+  // collected per block and reported after the sweep.
+  std::vector<Status> block_status(num_partitions, Status::OK());
+  ParallelFor(0, num_partitions, 1, [&](size_t begin, size_t end) {
+    for (size_t p = begin; p < end; ++p) {
+      const std::vector<uint32_t>& rows = src_rows[p];
+      const std::vector<uint32_t>& cols = tgt_cols[p];
+      if (rows.empty() || cols.empty()) continue;
+
+      Matrix block_src(rows.size(), source.cols());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::copy(source.Row(rows[i]).begin(), source.Row(rows[i]).end(),
+                  block_src.Row(i).begin());
+      }
+      Matrix block_tgt(cols.size(), target.cols());
+      for (size_t j = 0; j < cols.size(); ++j) {
+        std::copy(target.Row(cols[j]).begin(), target.Row(cols[j]).end(),
+                  block_tgt.Row(j).begin());
+      }
+
+      Result<Assignment> block_result =
+          MatchEmbeddings(block_src, block_tgt, options.block_options);
+      if (!block_result.ok()) {
+        block_status[p] = block_result.status();
+        continue;
+      }
+      const Assignment& block_assignment = block_result.value();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const int32_t j = block_assignment.target_of_source[i];
+        if (j == Assignment::kUnmatched) continue;
+        assignment.target_of_source[rows[i]] =
+            static_cast<int32_t>(cols[static_cast<size_t>(j)]);
+      }
+    }
+  });
+  for (const Status& status : block_status) EM_RETURN_NOT_OK(status);
   return assignment;
 }
 

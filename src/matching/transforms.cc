@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "la/ranking.h"
 #include "la/topk.h"
 
@@ -29,13 +30,15 @@ Result<Matrix> CslsTransform(Matrix scores, size_t k) {
   // which is what keeps it memory-feasible at DWY100K scale in the paper's
   // Table 6 while RInf is not.
   const std::vector<float> phi_t = ColTopKMean(scores, k);
-  for (size_t i = 0; i < scores.rows(); ++i) {
-    float* row = scores.Row(i).data();
-    const float pi = phi_s[i];
-    for (size_t j = 0; j < scores.cols(); ++j) {
-      row[j] = 2.0f * row[j] - pi - phi_t[j];
+  ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = scores.Row(i).data();
+      const float pi = phi_s[i];
+      for (size_t j = 0; j < scores.cols(); ++j) {
+        row[j] = 2.0f * row[j] - pi - phi_t[j];
+      }
     }
-  }
+  });
   return scores;
 }
 
@@ -53,21 +56,27 @@ Result<Matrix> RinfTransform(Matrix scores, size_t k) {
       k == 1 ? ColMax(scores) : ColTopKMean(scores, k);
 
   // P_ts(v, u) = S(u, v) - row_max[u] + 1 (target-side preferences).
+  // Partitioned by source row: each worker writes a disjoint column slice
+  // of p_ts.
   Matrix p_ts(m, n);
-  for (size_t i = 0; i < n; ++i) {
-    const float* srow = scores.Row(i).data();
-    const float shift = 1.0f - row_max[i];
-    for (size_t j = 0; j < m; ++j) {
-      p_ts.At(j, i) = srow[j] + shift;
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* srow = scores.Row(i).data();
+      const float shift = 1.0f - row_max[i];
+      for (size_t j = 0; j < m; ++j) {
+        p_ts.At(j, i) = srow[j] + shift;
+      }
     }
-  }
+  });
   // P_st(u, v) = S(u, v) - col_max[v] + 1, in place.
-  for (size_t i = 0; i < n; ++i) {
-    float* row = scores.Row(i).data();
-    for (size_t j = 0; j < m; ++j) {
-      row[j] = row[j] - col_max[j] + 1.0f;
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = scores.Row(i).data();
+      for (size_t j = 0; j < m; ++j) {
+        row[j] = row[j] - col_max[j] + 1.0f;
+      }
     }
-  }
+  });
 
   Matrix r_st = RowRankMatrix(scores);
   scores = Matrix();  // release P_st before allocating R_ts
@@ -76,12 +85,14 @@ Result<Matrix> RinfTransform(Matrix scores, size_t k) {
 
   // out(u, v) = -(R_st(u, v) + R_ts(v, u)) / 2; smaller average rank is
   // better, so negate to keep "higher is better".
-  for (size_t i = 0; i < n; ++i) {
-    float* row = r_st.Row(i).data();
-    for (size_t j = 0; j < m; ++j) {
-      row[j] = -0.5f * (row[j] + r_ts.At(j, i));
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = r_st.Row(i).data();
+      for (size_t j = 0; j < m; ++j) {
+        row[j] = -0.5f * (row[j] + r_ts.At(j, i));
+      }
     }
-  }
+  });
   return r_st;
 }
 
@@ -91,13 +102,15 @@ Result<Matrix> RinfWrTransform(Matrix scores) {
   const std::vector<float> col_max = ColMax(scores);
   // (P_st + P_ts^T) / 2 = S - (row_max[u] + col_max[v]) / 2 + 1, computed
   // in place — this is what makes the -wr variant cheap.
-  for (size_t i = 0; i < scores.rows(); ++i) {
-    float* row = scores.Row(i).data();
-    const float half_row_max = 0.5f * row_max[i];
-    for (size_t j = 0; j < scores.cols(); ++j) {
-      row[j] = row[j] - half_row_max - 0.5f * col_max[j] + 1.0f;
+  ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = scores.Row(i).data();
+      const float half_row_max = 0.5f * row_max[i];
+      for (size_t j = 0; j < scores.cols(); ++j) {
+        row[j] = row[j] - half_row_max - 0.5f * col_max[j] + 1.0f;
+      }
     }
-  }
+  });
   return scores;
 }
 
@@ -115,10 +128,10 @@ Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
 
   // Top-C target candidates per source under P_st ordering (= S - col_max).
   std::vector<uint32_t> src_cand(n * c);
-  {
+  ParallelFor(0, n, 8, [&](size_t begin, size_t end) {
     std::vector<float> adjusted(m);
     std::vector<uint32_t> idx(m);
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = begin; i < end; ++i) {
       const float* row = scores.Row(i).data();
       for (size_t j = 0; j < m; ++j) adjusted[j] = row[j] - col_max[j];
       std::iota(idx.begin(), idx.end(), 0u);
@@ -131,13 +144,13 @@ Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
                         });
       std::copy(idx.begin(), idx.begin() + c, src_cand.begin() + i * c);
     }
-  }
+  });
   // Top-C source candidates per target under P_ts ordering (= S - row_max).
   std::vector<uint32_t> tgt_cand(m * c);
-  {
+  ParallelFor(0, m, 8, [&](size_t begin, size_t end) {
     std::vector<float> adjusted(n);
     std::vector<uint32_t> idx(n);
-    for (size_t j = 0; j < m; ++j) {
+    for (size_t j = begin; j < end; ++j) {
       for (size_t i = 0; i < n; ++i) adjusted[i] = scores.At(i, j) - row_max[i];
       std::iota(idx.begin(), idx.end(), 0u);
       std::partial_sort(idx.begin(), idx.begin() + c, idx.end(),
@@ -149,27 +162,29 @@ Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
                         });
       std::copy(idx.begin(), idx.begin() + c, tgt_cand.begin() + j * c);
     }
-  }
+  });
 
   // Reciprocal rank aggregation over the candidate blocks only.
   const float sentinel = -2.0f * static_cast<float>(n + m);
   scores.Fill(sentinel);
-  for (size_t i = 0; i < n; ++i) {
-    float* row = scores.Row(i).data();
-    for (size_t p = 0; p < c; ++p) {
-      const uint32_t j = src_cand[i * c + p];
-      // Rank of source i within target j's candidate list (capped at c+1).
-      size_t r_ts = c + 1;
-      const uint32_t* tlist = tgt_cand.data() + static_cast<size_t>(j) * c;
-      for (size_t q = 0; q < c; ++q) {
-        if (tlist[q] == i) {
-          r_ts = q + 1;
-          break;
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = scores.Row(i).data();
+      for (size_t p = 0; p < c; ++p) {
+        const uint32_t j = src_cand[i * c + p];
+        // Rank of source i within target j's candidate list (capped at c+1).
+        size_t r_ts = c + 1;
+        const uint32_t* tlist = tgt_cand.data() + static_cast<size_t>(j) * c;
+        for (size_t q = 0; q < c; ++q) {
+          if (tlist[q] == i) {
+            r_ts = q + 1;
+            break;
+          }
         }
+        row[j] = -0.5f * (static_cast<float>(p + 1) + static_cast<float>(r_ts));
       }
-      row[j] = -0.5f * (static_cast<float>(p + 1) + static_cast<float>(r_ts));
     }
-  }
+  });
   return scores;
 }
 
@@ -187,14 +202,17 @@ Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
 
   // Sinkhorn^0(S) = exp(S / t). Subtract the global max first for numeric
   // stability (a constant shift does not change the normalized result).
-  float global_max = scores.At(0, 0);
-  for (size_t i = 0; i < n; ++i) {
-    for (float v : scores.Row(i)) global_max = std::max(global_max, v);
-  }
+  // Per-row maxima combine exactly regardless of chunking, so a plain
+  // parallel row sweep into per-row slots stays deterministic.
+  const std::vector<float> row_max = RowMax(scores);
+  float global_max = row_max[0];
+  for (float v : row_max) global_max = std::max(global_max, v);
   const float inv_t = static_cast<float>(1.0 / temperature);
-  for (size_t i = 0; i < n; ++i) {
-    for (float& v : scores.Row(i)) v = std::exp((v - global_max) * inv_t);
-  }
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (float& v : scores.Row(i)) v = std::exp((v - global_max) * inv_t);
+    }
+  });
 
   // Double-buffered normalization, mirroring the out-of-place tensor ops of
   // the original framework's implementation. The second n x m buffer is what
@@ -204,30 +222,38 @@ Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
   std::vector<double> col_sums(m);
   for (size_t it = 0; it < iterations; ++it) {
     // Row normalization: scores -> buffer.
-    for (size_t i = 0; i < n; ++i) {
-      auto src = scores.Row(i);
-      auto dst = buffer.Row(i);
-      double sum = 0.0;
-      for (float v : src) sum += v;
-      const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
-      for (size_t j = 0; j < m; ++j) dst[j] = src[j] * inv;
-    }
-    // Column normalization: buffer -> scores.
-    std::fill(col_sums.begin(), col_sums.end(), 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = buffer.Row(i).data();
-      for (size_t j = 0; j < m; ++j) col_sums[j] += row[j];
-    }
-    for (size_t j = 0; j < m; ++j) {
-      col_sums[j] = col_sums[j] > 0.0 ? 1.0 / col_sums[j] : 0.0;
-    }
-    for (size_t i = 0; i < n; ++i) {
-      const float* src = buffer.Row(i).data();
-      float* dst = scores.Row(i).data();
-      for (size_t j = 0; j < m; ++j) {
-        dst[j] = static_cast<float>(src[j] * col_sums[j]);
+    ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        auto src = scores.Row(i);
+        auto dst = buffer.Row(i);
+        double sum = 0.0;
+        for (float v : src) sum += v;
+        const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+        for (size_t j = 0; j < m; ++j) dst[j] = src[j] * inv;
       }
-    }
+    });
+    // Column normalization: buffer -> scores. Column sums are partitioned by
+    // column — every worker owns a disjoint slice of col_sums and visits
+    // rows in the serial order, keeping the accumulation bit-identical.
+    ParallelFor(0, m, 256, [&](size_t col_begin, size_t col_end) {
+      std::fill(col_sums.begin() + col_begin, col_sums.begin() + col_end, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const float* row = buffer.Row(i).data();
+        for (size_t j = col_begin; j < col_end; ++j) col_sums[j] += row[j];
+      }
+      for (size_t j = col_begin; j < col_end; ++j) {
+        col_sums[j] = col_sums[j] > 0.0 ? 1.0 / col_sums[j] : 0.0;
+      }
+    });
+    ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const float* src = buffer.Row(i).data();
+        float* dst = scores.Row(i).data();
+        for (size_t j = 0; j < m; ++j) {
+          dst[j] = static_cast<float>(src[j] * col_sums[j]);
+        }
+      }
+    });
   }
   return scores;
 }

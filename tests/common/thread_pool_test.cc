@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace entmatcher {
+namespace {
+
+/// Restores the process-wide thread count on scope exit so tests cannot leak
+/// their override into each other.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(size_t n) : previous_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ScopedNumThreads() { SetNumThreads(previous_); }
+
+ private:
+  size_t previous_;
+};
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ScopedNumThreads threads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 1, [&](size_t, size_t) { ++calls; });
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ScopedNumThreads threads(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsSingleChunk) {
+  ScopedNumThreads threads(4);
+  std::atomic<int> calls{0};
+  size_t seen_begin = 99, seen_end = 0;
+  ParallelFor(2, 10, 100, [&](size_t begin, size_t end) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 2u);
+  EXPECT_EQ(seen_end, 10u);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanItems) {
+  ScopedNumThreads threads(16);
+  constexpr size_t kN = 3;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInlineWithoutDeadlock) {
+  ScopedNumThreads threads(4);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  ParallelFor(0, kOuter, 1, [&](size_t outer_begin, size_t outer_end) {
+    for (size_t o = outer_begin; o < outer_end; ++o) {
+      // Inside a chunk body the nested region must degrade to inline serial
+      // execution instead of re-entering the pool.
+      EXPECT_TRUE(internal::ThreadPool::InParallelRegion());
+      ParallelFor(0, kInner, 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[o * kInner + i].fetch_add(1);
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  EXPECT_FALSE(internal::ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, SerialFallbackRunsOnCallingThread) {
+  ScopedNumThreads threads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  ParallelFor(0, 100, 1, [&](size_t begin, size_t end) {
+    (void)begin;
+    (void)end;
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], caller);
+}
+
+TEST(ThreadPoolTest, SetNumThreadsRoundTrip) {
+  const size_t original = GetNumThreads();
+  SetNumThreads(7);
+  EXPECT_EQ(GetNumThreads(), 7u);
+  SetNumThreads(0);  // resets to env/hardware default
+  EXPECT_GE(GetNumThreads(), 1u);
+  SetNumThreads(original);
+}
+
+TEST(ThreadPoolTest, RepeatedRegionsReuseThePool) {
+  ScopedNumThreads threads(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> out(257, 0);
+    ParallelFor(0, out.size(), 4, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) out[i] = static_cast<int>(i);
+    });
+    long long sum = std::accumulate(out.begin(), out.end(), 0LL);
+    ASSERT_EQ(sum, 256LL * 257 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ThreadCountChangesBetweenRegions) {
+  for (size_t n : {1u, 2u, 5u, 2u, 8u}) {
+    ScopedNumThreads threads(n);
+    std::vector<std::atomic<int>> hits(100);
+    ParallelFor(0, hits.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace entmatcher
