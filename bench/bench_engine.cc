@@ -1,0 +1,149 @@
+// Engine-session benchmark: measures what the MatchEngine refactor buys —
+// cold (Create + first Match) vs warm (arena-recycled Match) per-query
+// latency per preset, and proves the steady-state claim: after the first
+// query the workspace arena stops growing and warm queries stay
+// allocation-free at matrix scale. Warm assignments must be identical to the
+// cold one (the engine-reuse bit-identity contract); any divergence or
+// steady-state arena growth is a fatal failure. Writes BENCH_engine.json.
+//
+// Usage:
+//   ./bench_engine                     # sizes scaled by EM_BENCH_SCALE
+//   EM_BENCH_SCALE=0.1 ./bench_engine  # CI smoke run
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "matching/engine.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 64;
+constexpr int kWarmQueries = 3;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+struct Measurement {
+  std::string preset;
+  size_t rows = 0;
+  double cold_seconds = 0.0;   // Create + first Match
+  double warm_seconds = 0.0;   // mean of kWarmQueries recycled Matches
+  double speedup_cold_vs_warm = 0.0;
+  size_t arena_capacity_bytes = 0;  // after the last warm query
+  size_t arena_growth_bytes = 0;    // across the warm queries (must be 0)
+  bool identical = false;           // warm assignments == cold assignment
+};
+
+}  // namespace
+}  // namespace entmatcher
+
+int main() {
+  using namespace entmatcher;
+
+  const double scale = bench::GlobalScale();
+  const size_t n = std::max<size_t>(
+      16, static_cast<size_t>(2000.0 * scale));
+
+  bench::PrintBanner(
+      "Engine sessions — cold vs warm query latency per preset",
+      "One MatchEngine per preset; warm queries reuse the workspace arena.\n"
+      "Steady state must show zero arena growth and identical assignments.");
+
+  const Matrix src = RandomEmbeddings(n, /*seed=*/11);
+  const Matrix tgt = RandomEmbeddings(n, /*seed=*/23);
+
+  std::vector<Measurement> results;
+  bool ok = true;
+  for (AlgorithmPreset preset : ScalabilityPresets()) {
+    const MatchOptions options = MakePreset(preset);
+    if (options.matcher == MatcherKind::kRl) continue;  // needs KG context
+
+    Timer cold_timer;
+    Result<MatchEngine> engine = MatchEngine::Create(src, tgt, options);
+    if (!engine.ok()) {
+      std::cerr << PresetName(preset) << ": " << engine.status().ToString()
+                << "\n";
+      return 1;
+    }
+    Result<Assignment> cold = engine->Match();
+    if (!cold.ok()) {
+      std::cerr << PresetName(preset) << ": " << cold.status().ToString()
+                << "\n";
+      return 1;
+    }
+    Measurement m;
+    m.preset = PresetName(preset);
+    m.rows = n;
+    m.cold_seconds = cold_timer.ElapsedSeconds();
+
+    const size_t capacity_after_cold = engine->workspace().capacity_bytes();
+    m.identical = true;
+    Timer warm_timer;
+    for (int q = 0; q < kWarmQueries; ++q) {
+      Result<Assignment> warm = engine->Match();
+      if (!warm.ok()) {
+        std::cerr << PresetName(preset) << " warm query " << q << ": "
+                  << warm.status().ToString() << "\n";
+        return 1;
+      }
+      if (warm->target_of_source != cold->target_of_source) {
+        m.identical = false;
+      }
+    }
+    m.warm_seconds = warm_timer.ElapsedSeconds() / kWarmQueries;
+    m.speedup_cold_vs_warm =
+        m.warm_seconds > 0.0 ? m.cold_seconds / m.warm_seconds : 0.0;
+    m.arena_capacity_bytes = engine->workspace().capacity_bytes();
+    m.arena_growth_bytes = m.arena_capacity_bytes - capacity_after_cold;
+
+    std::cout << m.preset << ": n=" << n << "  cold="
+              << FormatDouble(m.cold_seconds * 1e3, 1) << " ms  warm="
+              << FormatDouble(m.warm_seconds * 1e3, 1) << " ms  ("
+              << FormatDouble(m.speedup_cold_vs_warm, 2)
+              << "x)  arena=" << FormatBytes(m.arena_capacity_bytes)
+              << "  growth=" << m.arena_growth_bytes << " B  identical="
+              << (m.identical ? "yes" : "NO") << "\n";
+    if (m.arena_growth_bytes != 0) {
+      std::cerr << "FATAL: arena grew across warm queries for " << m.preset
+                << "\n";
+      ok = false;
+    }
+    if (!m.identical) {
+      std::cerr << "FATAL: warm assignment diverged from cold for "
+                << m.preset << "\n";
+      ok = false;
+    }
+    results.push_back(m);
+  }
+
+  std::ofstream json("BENCH_engine.json");
+  json << "{\n  \"dim\": " << kDim << ",\n  \"rows\": " << n
+       << ",\n  \"warm_queries\": " << kWarmQueries
+       << ",\n  \"measurements\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    json << "    {\"preset\": \"" << m.preset << "\", \"cold_seconds\": "
+         << m.cold_seconds << ", \"warm_seconds\": " << m.warm_seconds
+         << ", \"speedup_cold_vs_warm\": " << m.speedup_cold_vs_warm
+         << ", \"arena_capacity_bytes\": " << m.arena_capacity_bytes
+         << ", \"arena_growth_bytes\": " << m.arena_growth_bytes
+         << ", \"identical\": " << (m.identical ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_engine.json (" << results.size()
+            << " presets)\n";
+  return ok ? 0 : 1;
+}

@@ -9,10 +9,13 @@
 //   entmatcher_cli embed <dir> <G|R|N|NR> <out_prefix>
 //       Compute unified embeddings and write <out_prefix>.src.emat /
 //       <out_prefix>.tgt.emat.
-//   entmatcher_cli match <dir> <src.emat> <tgt.emat> <algo> [out_links.tsv]
+//   entmatcher_cli match <dir> <src.emat> <tgt.emat> <algo>
+//                  [--workspace-budget-bytes=N] [out_links.tsv]
 //       Run one matching algorithm (DInf, CSLS, RInf, RInf-wr, RInf-pb,
 //       Sink., Hun., SMat, RL) and report P/R/F1; optionally save the
-//       predicted links.
+//       predicted links. With a workspace budget, algorithms whose score
+//       and scratch buffers would exceed N bytes are rejected up front
+//       with a resource-exhausted error (the paper's "Mem: No" verdict).
 //   entmatcher_cli eval <dir> <links.tsv>
 //       Score previously saved predicted links against the test split.
 
@@ -127,12 +130,42 @@ int CmdMatch(int argc, char** argv) {
   Result<AlgorithmPreset> algorithm = ParseAlgorithm(argv[5]);
   if (!algorithm.ok()) return Fail(algorithm.status());
 
+  MatchOptions options = MakePreset(*algorithm);
+  std::string out_path;
+  for (int i = 6; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string budget_flag = "--workspace-budget-bytes=";
+    if (arg.rfind(budget_flag, 0) == 0) {
+      const std::string value = arg.substr(budget_flag.size());
+      char* end = nullptr;
+      const unsigned long long bytes = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        std::cerr << "error: bad " << budget_flag << " value: " << value
+                  << "\n";
+        return EXIT_FAILURE;
+      }
+      options.workspace_budget_bytes = static_cast<size_t>(bytes);
+    } else if (out_path.empty()) {
+      out_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
   EmbeddingPair embeddings;
   embeddings.source = std::move(src).value();
   embeddings.target = std::move(tgt).value();
-  Result<MatchRun> run =
-      RunMatching(*dataset, embeddings, MakePreset(*algorithm));
-  if (!run.ok()) return Fail(run.status());
+  Result<MatchRun> run = RunMatching(*dataset, embeddings, options);
+  if (!run.ok()) {
+    if (run.status().code() == StatusCode::kResourceExhausted) {
+      std::cerr << PresetName(*algorithm)
+                << ": does not fit the workspace budget of "
+                << FormatBytes(options.workspace_budget_bytes) << " ("
+                << run.status().message() << ")\n";
+      return EXIT_FAILURE;
+    }
+    return Fail(run.status());
+  }
 
   const EvalMetrics m = EvaluatePredictions(run->predicted, dataset->split.test);
   std::cout << PresetName(*algorithm) << ": P=" << FormatDouble(m.precision, 3)
@@ -140,10 +173,10 @@ int CmdMatch(int argc, char** argv) {
             << " F1=" << FormatDouble(m.f1, 3) << " ("
             << FormatDouble(run->seconds, 2) << "s, "
             << FormatBytes(run->peak_workspace_bytes) << " workspace)\n";
-  if (argc > 6) {
-    Status s = WriteLinksTsv(run->predicted, argv[6]);
+  if (!out_path.empty()) {
+    Status s = WriteLinksTsv(run->predicted, out_path);
     if (!s.ok()) return Fail(s);
-    std::cout << "wrote " << run->predicted.size() << " links to " << argv[6]
+    std::cout << "wrote " << run->predicted.size() << " links to " << out_path
               << "\n";
   }
   return EXIT_SUCCESS;

@@ -31,6 +31,16 @@ class MemoryTracker {
   /// Highest value of current_bytes() since the last ResetPeak().
   size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
+  /// One-call snapshot of both counters. Workspace arenas report their
+  /// leases here as logical bytes (charged on acquire, credited on release,
+  /// never on slab reuse), so a peak read from this snapshot is identical
+  /// whether buffers were freshly allocated or recycled.
+  struct Stats {
+    size_t current_bytes = 0;
+    size_t peak_bytes = 0;
+  };
+  Stats stats() const { return Stats{current_bytes(), peak_bytes()}; }
+
   /// Resets the peak to the current live size (start of a measured region).
   void ResetPeak();
 

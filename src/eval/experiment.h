@@ -1,12 +1,14 @@
 #ifndef ENTMATCHER_EVAL_EXPERIMENT_H_
 #define ENTMATCHER_EVAL_EXPERIMENT_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "embedding/provider.h"
 #include "eval/metrics.h"
 #include "kg/dataset.h"
+#include "matching/engine.h"
 #include "matching/pipeline.h"
 
 namespace entmatcher {
@@ -31,6 +33,49 @@ Result<ExperimentResult> RunExperiment(const KgPairDataset& dataset,
 Result<ExperimentResult> RunExperimentWithOptions(
     const KgPairDataset& dataset, const EmbeddingPair& embeddings,
     const MatchOptions& options, const std::string& algorithm_name);
+
+/// A reusable experiment session over one (dataset, embeddings) pair: the
+/// test candidates are extracted once and one MatchEngine is shared by every
+/// preset run, so a full table row (Tables 4/6: seven-plus presets on the
+/// same dataset) reuses the same score/scratch buffers instead of
+/// reallocating them per cell. Results — metrics, seconds, and
+/// peak_workspace_bytes — are identical to per-cell RunExperiment calls
+/// (arena leases account like fresh buffers).
+///
+/// `dataset` and `embeddings` must outlive the session.
+class ExperimentSession {
+ public:
+  /// Extracts the test candidates and prepares the engine.
+  /// `workspace_budget_bytes` arms the engine's hard memory cap (0 =
+  /// unlimited): presets that cannot fit fail their Run with a clean
+  /// kResourceExhausted — Table 6's "Mem: No" verdict as a real error.
+  static Result<ExperimentSession> Create(const KgPairDataset& dataset,
+                                          const EmbeddingPair& embeddings,
+                                          size_t workspace_budget_bytes = 0);
+
+  /// Runs one preset through the shared engine and evaluates against gold.
+  Result<ExperimentResult> Run(AlgorithmPreset preset);
+
+  /// Same, with explicit options (parameter sweeps). kRl falls back to a
+  /// fresh RunMatching (the RL matcher needs KG context, not an engine).
+  /// The session's budget (fixed at Create) applies, not
+  /// options.workspace_budget_bytes.
+  Result<ExperimentResult> RunWithOptions(const MatchOptions& options,
+                                          const std::string& algorithm_name);
+
+  const MatchEngine& engine() const { return *engine_; }
+
+ private:
+  ExperimentSession(const KgPairDataset& dataset,
+                    const EmbeddingPair& embeddings,
+                    std::unique_ptr<MatchEngine> engine)
+      : dataset_(&dataset), embeddings_(&embeddings),
+        engine_(std::move(engine)) {}
+
+  const KgPairDataset* dataset_;
+  const EmbeddingPair* embeddings_;  // for the kRl fallback
+  std::unique_ptr<MatchEngine> engine_;
+};
 
 /// The statistic behind the paper's Figure 4: the mean standard deviation of
 /// each test source entity's top-k raw cosine similarity scores.

@@ -51,9 +51,10 @@ Result<std::vector<MatchExplanation>> ExplainMatches(
   const Matrix tgt = ExtractRows(embeddings.target, tgt_ids);
   EM_ASSIGN_OR_RETURN(Matrix raw,
                       ComputeSimilarity(src, tgt, options.metric));
+  // The explanation reports raw vs transformed side by side, so the one copy
+  // of `raw` is inherent; the transform itself runs in place on it.
   Matrix transformed = raw;
-  EM_ASSIGN_OR_RETURN(transformed,
-                      ApplyScoreTransform(std::move(transformed), options));
+  EM_RETURN_NOT_OK(ApplyScoreTransformInPlace(&transformed, options));
   EM_ASSIGN_OR_RETURN(Assignment assignment,
                       MatchScores(transformed, options));
 

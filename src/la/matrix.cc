@@ -9,16 +9,16 @@
 namespace entmatcher {
 
 void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(ptr_, ptr_ + size(), value);
 }
 
 void Matrix::Scale(float factor) {
-  for (float& v : data_) v *= factor;
+  for (size_t i = 0; i < size(); ++i) ptr_[i] *= factor;
 }
 
 void Matrix::Add(const Matrix& other) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for (size_t i = 0; i < size(); ++i) ptr_[i] += other.ptr_[i];
 }
 
 Matrix Matrix::Transposed() const {
@@ -52,32 +52,39 @@ Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
 
 bool Matrix::ApproxEquals(const Matrix& other, float tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
-  for (size_t i = 0; i < data_.size(); ++i) {
-    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (std::fabs(ptr_[i] - other.ptr_[i]) > tol) return false;
   }
   return true;
 }
 
-Result<Matrix> MatMulTransposed(const Matrix& a, const Matrix& b) {
+Status MatMulTransposedRange(const Matrix& a, const Matrix& b,
+                             size_t row_begin, size_t row_end, Matrix* out) {
   if (a.cols() != b.cols()) {
     return Status::InvalidArgument("MatMulTransposed: inner dimension mismatch");
   }
-  const size_t n = a.rows();
+  if (row_begin > row_end || row_end > a.rows()) {
+    return Status::OutOfRange("MatMulTransposedRange: bad row range");
+  }
+  const size_t count = row_end - row_begin;
   const size_t m = b.rows();
   const size_t d = a.cols();
-  Matrix c(n, m);
+  if (out->rows() != count || out->cols() != m) {
+    return Status::InvalidArgument(
+        "MatMulTransposedRange: output shape mismatch");
+  }
   // Row-blocked dot products; both operands are traversed row-wise, which is
   // contiguous for the B^T formulation. Each output row depends only on its
   // own inputs, so A's rows are split across the pool.
   constexpr size_t kBlock = 32;
-  ParallelFor(0, n, kBlock, [&](size_t row_begin, size_t row_end) {
-    for (size_t ib = row_begin; ib < row_end; ib += kBlock) {
-      const size_t i_end = std::min(row_end, ib + kBlock);
+  ParallelFor(0, count, kBlock, [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t ib = chunk_begin; ib < chunk_end; ib += kBlock) {
+      const size_t i_end = std::min(chunk_end, ib + kBlock);
       for (size_t jb = 0; jb < m; jb += kBlock) {
         const size_t j_end = std::min(m, jb + kBlock);
         for (size_t i = ib; i < i_end; ++i) {
-          const float* arow = a.Row(i).data();
-          float* crow = c.Row(i).data();
+          const float* arow = a.Row(row_begin + i).data();
+          float* crow = out->Row(i).data();
           for (size_t j = jb; j < j_end; ++j) {
             const float* brow = b.Row(j).data();
             float acc = 0.0f;
@@ -88,6 +95,15 @@ Result<Matrix> MatMulTransposed(const Matrix& a, const Matrix& b) {
       }
     }
   });
+  return Status::OK();
+}
+
+Result<Matrix> MatMulTransposed(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument("MatMulTransposed: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.rows());
+  EM_RETURN_NOT_OK(MatMulTransposedRange(a, b, 0, a.rows(), &c));
   return c;
 }
 

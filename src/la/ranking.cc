@@ -31,4 +31,24 @@ Matrix RowRankMatrix(const Matrix& scores) {
   return ranks;
 }
 
+void RowRankMatrixInPlace(Matrix* scores) {
+  const size_t n = scores->rows();
+  const size_t m = scores->cols();
+  ParallelFor(0, n, 4, [&](size_t row_begin, size_t row_end) {
+    std::vector<uint32_t> order(m);
+    for (size_t r = row_begin; r < row_end; ++r) {
+      auto row = scores->Row(r);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&row](uint32_t a, uint32_t b) {
+        if (row[a] != row[b]) return row[a] > row[b];
+        return a < b;
+      });
+      // The sort has consumed the row's values; overwriting is now safe.
+      for (size_t pos = 0; pos < m; ++pos) {
+        row[order[pos]] = static_cast<float>(pos + 1);
+      }
+    }
+  });
+}
+
 }  // namespace entmatcher

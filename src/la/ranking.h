@@ -16,6 +16,13 @@ namespace entmatcher {
 /// to RInf.
 Matrix RowRankMatrix(const Matrix& scores);
 
+/// In-place variant: overwrites each row of `scores` with its rank values
+/// (identical output to RowRankMatrix). Each row is sorted through an index
+/// buffer first and only then overwritten, so no extra n×m matrix is needed —
+/// this is what lets RInf run at two live score-size buffers instead of
+/// three.
+void RowRankMatrixInPlace(Matrix* scores);
+
 }  // namespace entmatcher
 
 #endif  // ENTMATCHER_LA_RANKING_H_

@@ -24,62 +24,69 @@ std::vector<float> InverseRowNorms(const Matrix& m) {
   return inv;
 }
 
+// ||row||^2 in double precision (the Euclidean kernel accumulates in double).
+std::vector<double> SquaredRowNorms(const Matrix& m) {
+  std::vector<double> sq(m.rows(), 0.0);
+  ParallelFor(0, m.rows(), 64, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      for (float v : m.Row(r)) sq[r] += static_cast<double>(v) * v;
+    }
+  });
+  return sq;
+}
+
 // Scales the raw dot products by both inverse norms instead of normalizing
 // copies of the inputs: saves two full embedding-matrix copies and two
 // normalization passes.
-Result<Matrix> CosineSimilarity(const Matrix& source, const Matrix& target) {
-  const std::vector<float> inv_src = InverseRowNorms(source);
-  const std::vector<float> inv_tgt = InverseRowNorms(target);
-  EM_ASSIGN_OR_RETURN(Matrix dots, MatMulTransposed(source, target));
-  ParallelFor(0, dots.rows(), 16, [&](size_t begin, size_t end) {
+Status CosineSimilarityRange(const Matrix& source, const Matrix& target,
+                             const SimilarityCache& cache, size_t row_begin,
+                             size_t row_end, Matrix* out) {
+  EM_RETURN_NOT_OK(
+      MatMulTransposedRange(source, target, row_begin, row_end, out));
+  const std::vector<float>& inv_src = cache.inv_source_norms;
+  const std::vector<float>& inv_tgt = cache.inv_target_norms;
+  ParallelFor(0, out->rows(), 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      float* row = dots.Row(i).data();
-      const float si = inv_src[i];
-      for (size_t j = 0; j < dots.cols(); ++j) {
+      float* row = out->Row(i).data();
+      const float si = inv_src[row_begin + i];
+      for (size_t j = 0; j < out->cols(); ++j) {
         row[j] *= si * inv_tgt[j];
       }
     }
   });
-  return dots;
+  return Status::OK();
 }
 
 // ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b ; score = -||a - b||.
-Result<Matrix> NegEuclidean(const Matrix& source, const Matrix& target) {
-  EM_ASSIGN_OR_RETURN(Matrix dots, MatMulTransposed(source, target));
-  std::vector<double> src_sq(source.rows(), 0.0);
-  std::vector<double> tgt_sq(target.rows(), 0.0);
-  ParallelFor(0, source.rows(), 64, [&](size_t begin, size_t end) {
+Status NegEuclideanRange(const Matrix& source, const Matrix& target,
+                         const SimilarityCache& cache, size_t row_begin,
+                         size_t row_end, Matrix* out) {
+  EM_RETURN_NOT_OK(
+      MatMulTransposedRange(source, target, row_begin, row_end, out));
+  const std::vector<double>& src_sq = cache.source_sq_norms;
+  const std::vector<double>& tgt_sq = cache.target_sq_norms;
+  ParallelFor(0, out->rows(), 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      for (float v : source.Row(i)) src_sq[i] += static_cast<double>(v) * v;
-    }
-  });
-  ParallelFor(0, target.rows(), 64, [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      for (float v : target.Row(j)) tgt_sq[j] += static_cast<double>(v) * v;
-    }
-  });
-  ParallelFor(0, dots.rows(), 16, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      float* row = dots.Row(i).data();
-      for (size_t j = 0; j < dots.cols(); ++j) {
-        double sq = src_sq[i] + tgt_sq[j] - 2.0 * row[j];
+      float* row = out->Row(i).data();
+      for (size_t j = 0; j < out->cols(); ++j) {
+        double sq = src_sq[row_begin + i] + tgt_sq[j] - 2.0 * row[j];
         if (sq < 0.0) sq = 0.0;  // numeric guard
         row[j] = -static_cast<float>(std::sqrt(sq));
       }
     }
   });
-  return dots;
+  return Status::OK();
 }
 
-Result<Matrix> NegManhattan(const Matrix& source, const Matrix& target) {
-  const size_t n = source.rows();
+Status NegManhattanRange(const Matrix& source, const Matrix& target,
+                         size_t row_begin, size_t row_end, Matrix* out) {
+  const size_t count = row_end - row_begin;
   const size_t m = target.rows();
   const size_t d = source.cols();
-  Matrix out(n, m);
-  ParallelFor(0, n, 8, [&](size_t begin, size_t end) {
+  ParallelFor(0, count, 8, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      const float* a = source.Row(i).data();
-      float* row = out.Row(i).data();
+      const float* a = source.Row(row_begin + i).data();
+      float* row = out->Row(i).data();
       for (size_t j = 0; j < m; ++j) {
         const float* b = target.Row(j).data();
         float dist = 0.0f;
@@ -88,7 +95,18 @@ Result<Matrix> NegManhattan(const Matrix& source, const Matrix& target) {
       }
     }
   });
-  return out;
+  return Status::OK();
+}
+
+Status ValidateSimilarityInputs(const Matrix& source, const Matrix& target) {
+  if (source.rows() == 0 || target.rows() == 0) {
+    return Status::InvalidArgument("ComputeSimilarity: empty embedding matrix");
+  }
+  if (source.cols() != target.cols()) {
+    return Status::InvalidArgument(
+        "ComputeSimilarity: embedding dimensions differ");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -105,24 +123,66 @@ const char* SimilarityMetricName(SimilarityMetric metric) {
   return "?";
 }
 
-Result<Matrix> ComputeSimilarity(const Matrix& source, const Matrix& target,
-                                 SimilarityMetric metric) {
-  if (source.rows() == 0 || target.rows() == 0) {
-    return Status::InvalidArgument("ComputeSimilarity: empty embedding matrix");
+SimilarityCache BuildSimilarityCache(const Matrix& source, const Matrix& target,
+                                     SimilarityMetric metric) {
+  SimilarityCache cache;
+  switch (metric) {
+    case SimilarityMetric::kCosine:
+      cache.inv_source_norms = InverseRowNorms(source);
+      cache.inv_target_norms = InverseRowNorms(target);
+      break;
+    case SimilarityMetric::kNegEuclidean:
+      cache.source_sq_norms = SquaredRowNorms(source);
+      cache.target_sq_norms = SquaredRowNorms(target);
+      break;
+    case SimilarityMetric::kNegManhattan:
+      break;  // direct kernel, no reusable statistics
   }
-  if (source.cols() != target.cols()) {
+  return cache;
+}
+
+Status ComputeSimilarityRange(const Matrix& source, const Matrix& target,
+                              SimilarityMetric metric,
+                              const SimilarityCache& cache, size_t row_begin,
+                              size_t row_end, Matrix* out) {
+  EM_RETURN_NOT_OK(ValidateSimilarityInputs(source, target));
+  if (row_begin > row_end || row_end > source.rows()) {
+    return Status::OutOfRange("ComputeSimilarityRange: bad row range");
+  }
+  if (out->rows() != row_end - row_begin || out->cols() != target.rows()) {
     return Status::InvalidArgument(
-        "ComputeSimilarity: embedding dimensions differ");
+        "ComputeSimilarityRange: output shape mismatch");
   }
   switch (metric) {
     case SimilarityMetric::kCosine:
-      return CosineSimilarity(source, target);
+      if (cache.inv_source_norms.size() != source.rows() ||
+          cache.inv_target_norms.size() != target.rows()) {
+        return Status::InvalidArgument(
+            "ComputeSimilarityRange: cache not built for cosine");
+      }
+      return CosineSimilarityRange(source, target, cache, row_begin, row_end,
+                                   out);
     case SimilarityMetric::kNegEuclidean:
-      return NegEuclidean(source, target);
+      if (cache.source_sq_norms.size() != source.rows() ||
+          cache.target_sq_norms.size() != target.rows()) {
+        return Status::InvalidArgument(
+            "ComputeSimilarityRange: cache not built for euclidean");
+      }
+      return NegEuclideanRange(source, target, cache, row_begin, row_end, out);
     case SimilarityMetric::kNegManhattan:
-      return NegManhattan(source, target);
+      return NegManhattanRange(source, target, row_begin, row_end, out);
   }
   return Status::InvalidArgument("ComputeSimilarity: unknown metric");
+}
+
+Result<Matrix> ComputeSimilarity(const Matrix& source, const Matrix& target,
+                                 SimilarityMetric metric) {
+  EM_RETURN_NOT_OK(ValidateSimilarityInputs(source, target));
+  const SimilarityCache cache = BuildSimilarityCache(source, target, metric);
+  Matrix out(source.rows(), target.rows());
+  EM_RETURN_NOT_OK(ComputeSimilarityRange(source, target, metric, cache, 0,
+                                          source.rows(), &out));
+  return out;
 }
 
 }  // namespace entmatcher

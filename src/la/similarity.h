@@ -1,6 +1,8 @@
 #ifndef ENTMATCHER_LA_SIMILARITY_H_
 #define ENTMATCHER_LA_SIMILARITY_H_
 
+#include <vector>
+
 #include "common/status.h"
 #include "la/matrix.h"
 
@@ -27,6 +29,32 @@ const char* SimilarityMetricName(SimilarityMetric metric);
 /// or either side is empty.
 Result<Matrix> ComputeSimilarity(const Matrix& source, const Matrix& target,
                                  SimilarityMetric metric);
+
+/// Per-row statistics that let similarity scores be produced tile by tile
+/// without rescanning the embeddings: inverse L2 norms for cosine, squared
+/// norms (as doubles, matching the dense kernel's accumulation) for negated
+/// Euclidean. A MatchEngine builds this once per (source, target, metric)
+/// and reuses it for every query; only the fields `metric` needs are filled.
+struct SimilarityCache {
+  std::vector<float> inv_source_norms;
+  std::vector<float> inv_target_norms;
+  std::vector<double> source_sq_norms;
+  std::vector<double> target_sq_norms;
+};
+
+/// Builds the per-row statistics `metric` needs (other fields stay empty).
+SimilarityCache BuildSimilarityCache(const Matrix& source, const Matrix& target,
+                                     SimilarityMetric metric);
+
+/// Tiled similarity: scores source rows [row_begin, row_end) against every
+/// target row into `out`, which must be (row_end - row_begin) × target.rows().
+/// `cache` must have been built for (source, target, metric). Bit-identical
+/// to the same rows of ComputeSimilarity at every thread count and tile size
+/// — the dense, streaming, and engine paths all run through this kernel.
+Status ComputeSimilarityRange(const Matrix& source, const Matrix& target,
+                              SimilarityMetric metric,
+                              const SimilarityCache& cache, size_t row_begin,
+                              size_t row_end, Matrix* out);
 
 }  // namespace entmatcher
 

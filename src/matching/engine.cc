@@ -1,0 +1,119 @@
+#include "matching/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "matching/pipeline.h"
+#include "matching/transforms.h"
+
+namespace entmatcher {
+
+namespace {
+
+size_t MetricIndex(SimilarityMetric metric) {
+  switch (metric) {
+    case SimilarityMetric::kCosine:
+      return 0;
+    case SimilarityMetric::kNegEuclidean:
+      return 1;
+    case SimilarityMetric::kNegManhattan:
+      return 2;
+  }
+  return 0;
+}
+
+// Matrix-scale buffers the decision stage leases beyond the score matrix.
+size_t MatcherWorkspaceBytes(const MatchOptions& options, size_t rows,
+                             size_t cols) {
+  switch (options.matcher) {
+    case MatcherKind::kHungarian: {
+      const size_t side = std::max(rows, cols);
+      return side * side * sizeof(float);  // padded square cost matrix
+    }
+    case MatcherKind::kGaleShapley:
+      // Both sides' preference tables plus the rank lookup (paper Sec. 3.6).
+      return (rows * cols + 2 * cols * rows) * sizeof(uint32_t);
+    case MatcherKind::kGreedy:
+    case MatcherKind::kGreedyOneToOne:
+    case MatcherKind::kMutualBest:
+    case MatcherKind::kRl:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+MatchEngine::MatchEngine(Matrix source, Matrix target,
+                         const MatchOptions& options)
+    : source_(std::move(source)), target_(std::move(target)),
+      options_(options),
+      workspace_(std::make_unique<Workspace>(options.workspace_budget_bytes)) {}
+
+Result<MatchEngine> MatchEngine::Create(Matrix source, Matrix target,
+                                        const MatchOptions& options) {
+  if (source.rows() == 0 || target.rows() == 0) {
+    return Status::InvalidArgument("MatchEngine: empty embedding matrix");
+  }
+  if (source.cols() != target.cols()) {
+    return Status::InvalidArgument("MatchEngine: embedding dimensions differ");
+  }
+  MatchEngine engine(std::move(source), std::move(target), options);
+  engine.EnsureCache(options.metric);
+  return engine;
+}
+
+const SimilarityCache& MatchEngine::EnsureCache(SimilarityMetric metric) {
+  std::optional<SimilarityCache>& slot = caches_[MetricIndex(metric)];
+  if (!slot.has_value()) {
+    slot = BuildSimilarityCache(source_, target_, metric);
+  }
+  return *slot;
+}
+
+size_t MatchEngine::DeclaredWorkspaceBytes(const MatchOptions& options) const {
+  const size_t n = source_.rows();
+  const size_t m = target_.rows();
+  const size_t scores_bytes = n * m * sizeof(float);
+  // The transform scratch is released before the decision stage leases its
+  // tables, so the two stages share the same headroom.
+  const size_t stage_bytes = std::max(TransformWorkspaceBytes(options, n, m),
+                                      MatcherWorkspaceBytes(options, n, m));
+  return scores_bytes + stage_bytes;
+}
+
+Status MatchEngine::ComputeScoresInto(Matrix* scores,
+                                      const MatchOptions& options) {
+  const SimilarityCache& cache = EnsureCache(options.metric);
+  EM_RETURN_NOT_OK(ComputeSimilarityRange(source_, target_, options.metric,
+                                          cache, 0, source_.rows(), scores));
+  return ApplyScoreTransformInPlace(scores, options, workspace_.get());
+}
+
+Result<Assignment> MatchEngine::Match(const MatchOptions& options) {
+  if (options.matcher == MatcherKind::kRl) {
+    return Status::InvalidArgument(
+        "the RL matcher needs KG context; use RunMatching or RlMatch");
+  }
+  // Reject an over-budget query before leasing anything: clean error, no
+  // partial output, arena untouched.
+  EM_RETURN_NOT_OK(workspace_->CheckBudget(DeclaredWorkspaceBytes(options)));
+  workspace_->ResetHighWater();
+
+  EM_ASSIGN_OR_RETURN(
+      ScratchMatrix scores,
+      ScratchMatrix::Acquire(workspace_.get(), source_.rows(), target_.rows()));
+  EM_RETURN_NOT_OK(ComputeScoresInto(&scores.get(), options));
+  return MatchScores(scores.get(), options, workspace_.get());
+}
+
+Result<Matrix> MatchEngine::TransformedScores(const MatchOptions& options) {
+  workspace_->ResetHighWater();
+  EM_ASSIGN_OR_RETURN(
+      ScratchMatrix scores,
+      ScratchMatrix::Acquire(workspace_.get(), source_.rows(), target_.rows()));
+  EM_RETURN_NOT_OK(ComputeScoresInto(&scores.get(), options));
+  return Matrix(scores.get());  // deep owned copy; the lease is recycled
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,103 @@
+#ifndef ENTMATCHER_MATCHING_ENGINE_H_
+#define ENTMATCHER_MATCHING_ENGINE_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/similarity.h"
+#include "la/workspace.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+/// A reusable matching session over one prepared (source, target) embedding
+/// pair.
+///
+/// The one-shot pipeline (ComputeScores → MatchScores) reallocates every
+/// similarity, transform, and decision buffer per call; repeated-evaluation
+/// workloads — preset sweeps, blocked matching, serving — pay that cost on
+/// every query. A MatchEngine is constructed once (embeddings owned, per-row
+/// similarity statistics cached, workspace arena sized by the first query)
+/// and queried many times: after the first query a warm engine performs no
+/// further allocation.
+///
+/// Hard invariant: every query is bit-identical to the one-shot
+/// MatchEmbeddings path at every thread count (pinned by the engine-reuse
+/// suite in tests/matching/engine_test.cc).
+///
+/// Memory is first-class: each query's matrix-scale needs are declared up
+/// front (DeclaredWorkspaceBytes) and pre-checked against the workspace
+/// budget from MatchOptions::workspace_budget_bytes, so an infeasible query
+/// — the paper's Table 6 "Mem: No" verdict, e.g. SMat at DWY100K scale —
+/// fails with a clean kResourceExhausted before touching any buffer, with no
+/// partial output.
+///
+/// Not thread-safe; one engine per thread. Parallel block matching
+/// (PartitionedMatch) builds one engine per block.
+class MatchEngine {
+ public:
+  /// Prepares a session: takes ownership of the embeddings, validates
+  /// shapes, precomputes options.metric's similarity statistics, and arms the
+  /// workspace budget from options.workspace_budget_bytes (0 = unlimited).
+  static Result<MatchEngine> Create(Matrix source, Matrix target,
+                                    const MatchOptions& options);
+
+  MatchEngine(MatchEngine&&) = default;
+  MatchEngine& operator=(MatchEngine&&) = default;
+  MatchEngine(const MatchEngine&) = delete;
+  MatchEngine& operator=(const MatchEngine&) = delete;
+
+  /// Runs the full pipeline (similarity → transform → decision) with the
+  /// session options.
+  Result<Assignment> Match() { return Match(options_); }
+
+  /// Same, with per-query options — e.g. several presets through one
+  /// session. Similarity statistics for metrics not yet seen are built and
+  /// memoized; the budget is the one armed at Create. Not usable with
+  /// matcher == kRl (needs KG context; see RunMatching).
+  Result<Assignment> Match(const MatchOptions& options);
+
+  /// Stages 1+2 only: similarity + transform, returned as an owned copy (the
+  /// arena buffer is released before returning). For inspection and the
+  /// bit-identity suite; Match() is the allocation-free hot path.
+  Result<Matrix> TransformedScores(const MatchOptions& options);
+
+  /// Matrix-scale workspace bytes a Match(options) query needs at its peak:
+  /// the score matrix plus the larger of the transform scratch and the
+  /// decision-stage tables. This is what Match pre-checks against the
+  /// budget.
+  size_t DeclaredWorkspaceBytes(const MatchOptions& options) const;
+
+  const Matrix& source() const { return source_; }
+  const Matrix& target() const { return target_; }
+  const MatchOptions& options() const { return options_; }
+
+  /// The session arena; high_water_bytes() after a query is that query's
+  /// matrix-scale peak (reset at query start).
+  const Workspace& workspace() const { return *workspace_; }
+  Workspace* mutable_workspace() { return workspace_.get(); }
+
+ private:
+  MatchEngine(Matrix source, Matrix target, const MatchOptions& options);
+
+  /// Builds (once) and returns the similarity cache for `metric`.
+  const SimilarityCache& EnsureCache(SimilarityMetric metric);
+
+  /// Similarity + transform into `scores` (an arena lease of the right
+  /// shape).
+  Status ComputeScoresInto(Matrix* scores, const MatchOptions& options);
+
+  Matrix source_;
+  Matrix target_;
+  MatchOptions options_;
+  std::unique_ptr<Workspace> workspace_;
+  // One memoized cache slot per SimilarityMetric value.
+  std::array<std::optional<SimilarityCache>, 3> caches_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_ENGINE_H_

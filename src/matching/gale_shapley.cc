@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "common/memory_tracker.h"
 
 namespace entmatcher {
 
-Result<Assignment> GaleShapleyMatch(const Matrix& scores) {
+Result<Assignment> GaleShapleyMatch(const Matrix& scores,
+                                    Workspace* workspace) {
   if (scores.rows() == 0 || scores.cols() == 0) {
     return Status::InvalidArgument("GaleShapleyMatch: empty score matrix");
   }
@@ -18,11 +20,22 @@ Result<Assignment> GaleShapleyMatch(const Matrix& scores) {
   // the target preference order, and the target rank lookup. Materializing
   // all three is what stable-matching EA implementations do, and it is what
   // makes SMat the least space-efficient algorithm in the paper (Sec. 4.3;
-  // infeasible at DWY100K scale in Table 6).
-  ScopedTrackedBytes tracked((n * m + 2 * m * n) * sizeof(uint32_t));
+  // infeasible at DWY100K scale in Table 6). Workspace leases register the
+  // same byte total with MemoryTracker as the owned-vector fallback does, so
+  // the peak metric is reuse-independent.
+  std::optional<ScopedTrackedBytes> tracked;
+  if (workspace == nullptr) {
+    tracked.emplace((n * m + 2 * m * n) * sizeof(uint32_t));
+  }
+  EM_ASSIGN_OR_RETURN(ScratchIndices src_pref_lease,
+                      ScratchIndices::Acquire(workspace, n * m));
+  EM_ASSIGN_OR_RETURN(ScratchIndices tgt_pref_lease,
+                      ScratchIndices::Acquire(workspace, m * n));
+  EM_ASSIGN_OR_RETURN(ScratchIndices tgt_rank_lease,
+                      ScratchIndices::Acquire(workspace, m * n));
 
   // src_pref[i * m + p] = p-th most preferred target of source i.
-  std::vector<uint32_t> src_pref(n * m);
+  const std::span<uint32_t> src_pref = src_pref_lease.get();
   {
     std::vector<uint32_t> idx(m);
     for (size_t i = 0; i < n; ++i) {
@@ -38,8 +51,8 @@ Result<Assignment> GaleShapleyMatch(const Matrix& scores) {
   // tgt_pref[j * n + p] = p-th most preferred source of target j;
   // tgt_rank[j * n + i] = rank of source i in target j's preferences
   // (lower = preferred); O(1) comparisons during proposals.
-  std::vector<uint32_t> tgt_pref(m * n);
-  std::vector<uint32_t> tgt_rank(m * n);
+  const std::span<uint32_t> tgt_pref = tgt_pref_lease.get();
+  const std::span<uint32_t> tgt_rank = tgt_rank_lease.get();
   {
     std::vector<uint32_t> idx(n);
     for (size_t j = 0; j < m; ++j) {

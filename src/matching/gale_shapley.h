@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "la/matrix.h"
+#include "la/workspace.h"
 #include "matching/types.h"
 
 namespace entmatcher {
@@ -19,7 +20,13 @@ namespace entmatcher {
 ///
 /// Rectangular inputs are supported: when there are more sources than
 /// targets, the overflow sources end up kUnmatched.
-Result<Assignment> GaleShapleyMatch(const Matrix& scores);
+///
+/// The three preference tables come from `workspace` when one is supplied
+/// (engine queries recycle them); otherwise they are owned vectors whose
+/// bytes are registered with MemoryTracker for the duration — both paths
+/// account identical byte totals, so peak metrics do not depend on reuse.
+Result<Assignment> GaleShapleyMatch(const Matrix& scores,
+                                    Workspace* workspace = nullptr);
 
 }  // namespace entmatcher
 

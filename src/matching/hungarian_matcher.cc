@@ -6,7 +6,7 @@
 
 namespace entmatcher {
 
-Result<Assignment> HungarianMatch(const Matrix& scores) {
+Result<Assignment> HungarianMatch(const Matrix& scores, Workspace* workspace) {
   if (scores.rows() == 0 || scores.cols() == 0) {
     return Status::InvalidArgument("HungarianMatch: empty score matrix");
   }
@@ -27,7 +27,11 @@ Result<Assignment> HungarianMatch(const Matrix& scores) {
   const float range = hi - lo;
   const float dummy_cost = range + 1.0f;
 
-  Matrix cost(side, side);
+  // The LAP solver only reads the cost matrix, so an arena buffer can be
+  // leased for it and recycled on the next query.
+  EM_ASSIGN_OR_RETURN(ScratchMatrix cost_lease,
+                      ScratchMatrix::Acquire(workspace, side, side));
+  Matrix& cost = cost_lease.get();
   cost.Fill(dummy_cost);
   for (size_t i = 0; i < n; ++i) {
     const float* srow = scores.Row(i).data();

@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "la/matrix.h"
+#include "la/workspace.h"
 #include "matching/types.h"
 
 namespace entmatcher {
@@ -14,8 +15,11 @@ namespace entmatcher {
 /// Rectangular inputs are padded to square with dummy rows/columns whose
 /// score is below every real score (the paper's dummy-node recipe for the
 /// unmatchable setting, Sec. 5.1); sources assigned to dummy columns come
-/// back as Assignment::kUnmatched.
-Result<Assignment> HungarianMatch(const Matrix& scores);
+/// back as Assignment::kUnmatched. The padded max(n,m)² cost matrix — the
+/// only full-matrix copy this matcher makes — comes from `workspace` when
+/// one is supplied, so engine queries reuse it across calls.
+Result<Assignment> HungarianMatch(const Matrix& scores,
+                                  Workspace* workspace = nullptr);
 
 }  // namespace entmatcher
 

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "matching/engine.h"
 #include "matching/pipeline.h"
 
 namespace entmatcher {
@@ -177,8 +178,16 @@ Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
                   block_tgt.Row(j).begin());
       }
 
-      Result<Assignment> block_result =
-          MatchEmbeddings(block_src, block_tgt, options.block_options);
+      // Per-block engine: the gathered block embeddings move straight into
+      // it (no second copy) and each block gets its own workspace, so
+      // parallel blocks never share arena state.
+      Result<MatchEngine> block_engine = MatchEngine::Create(
+          std::move(block_src), std::move(block_tgt), options.block_options);
+      if (!block_engine.ok()) {
+        block_status[p] = block_engine.status();
+        continue;
+      }
+      Result<Assignment> block_result = block_engine->Match();
       if (!block_result.ok()) {
         block_status[p] = block_result.status();
         continue;

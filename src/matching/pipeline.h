@@ -5,13 +5,15 @@
 #include "embedding/embedding.h"
 #include "kg/dataset.h"
 #include "la/matrix.h"
+#include "la/workspace.h"
 #include "matching/types.h"
 
 namespace entmatcher {
 
 /// Stages 1+2 of the EntMatcher pipeline (paper Fig. 3): derive the pairwise
 /// similarity matrix from candidate embeddings under options.metric, then
-/// apply the configured score transform.
+/// apply the configured score transform (in place on the freshly computed
+/// scores).
 Result<Matrix> ComputeScores(const Matrix& source, const Matrix& target,
                              const MatchOptions& options);
 
@@ -24,9 +26,18 @@ Result<Matrix> ComputeScores(const Matrix& source, const Matrix& target,
 Result<Assignment> MatchScores(const Matrix& scores,
                                const MatchOptions& options);
 
-/// Embeddings in, assignment out: ComputeScores followed by MatchScores.
-/// This is the library's core entry point for users who manage their own
-/// candidate sets. Not usable with matcher == kRl (needs KG context).
+/// Same, drawing the decision stage's matrix-scale buffers (padded cost
+/// matrix, preference tables) from `workspace`. The engine's query path;
+/// null workspace behaves exactly like the two-argument overload.
+Result<Assignment> MatchScores(const Matrix& scores,
+                               const MatchOptions& options,
+                               Workspace* workspace);
+
+/// Embeddings in, assignment out. A thin wrapper that builds a single-query
+/// MatchEngine and runs it — repeated-evaluation callers should hold a
+/// MatchEngine (matching/engine.h) instead and amortize the preparation.
+/// Honors options.workspace_budget_bytes (kResourceExhausted when the query
+/// cannot fit). Not usable with matcher == kRl (needs KG context).
 Result<Assignment> MatchEmbeddings(const Matrix& source, const Matrix& target,
                                    const MatchOptions& options);
 
@@ -40,8 +51,19 @@ struct MatchRun {
   /// Wall-clock seconds of the matching stage (scores + transform + decision).
   double seconds = 0.0;
   /// Peak tracked workspace allocated by the matching stage, in bytes.
+  /// Arena leases and owned buffers account identically, so this metric is
+  /// the same whether the run reused a warm engine's buffers or started
+  /// cold.
   size_t peak_workspace_bytes = 0;
+  /// Peak bytes leased from the engine's workspace arena during the run
+  /// (0 for the kRl path, which does not run through an engine).
+  size_t arena_high_water_bytes = 0;
 };
+
+/// Maps a candidate-space assignment (rows/columns over the dataset's test
+/// candidate sets) back to entity pairs.
+AlignmentSet AssignmentToPairs(const KgPairDataset& dataset,
+                               const Assignment& assignment);
 
 /// Extracts the dataset's test candidate embeddings, runs the configured
 /// pipeline (including the RL matcher), and maps the assignment back to

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "la/topk.h"
+#include "la/workspace.h"
 
 namespace entmatcher {
 
@@ -51,17 +52,6 @@ class ColumnTopKAccumulator {
   std::vector<float> heaps_;
 };
 
-// Scores one block of source rows against all targets.
-Result<Matrix> ScoreBlock(const Matrix& source, const Matrix& target,
-                          size_t begin, size_t end, SimilarityMetric metric) {
-  Matrix block(end - begin, source.cols());
-  for (size_t i = begin; i < end; ++i) {
-    std::copy(source.Row(i).begin(), source.Row(i).end(),
-              block.Row(i - begin).begin());
-  }
-  return ComputeSimilarity(block, target, metric);
-}
-
 }  // namespace
 
 Result<Assignment> StreamingMatch(const Matrix& source, const Matrix& target,
@@ -82,6 +72,14 @@ Result<Assignment> StreamingMatch(const Matrix& source, const Matrix& target,
   const size_t m = target.rows();
   const size_t block = options.block_rows;
 
+  // Per-row statistics are built once and sliced per tile; tiles are scored
+  // straight from the source rows (no block copy) into a small arena buffer
+  // recycled across the sweep. Identical per-element arithmetic to the dense
+  // kernel keeps decisions bit-identical to the dense pipeline.
+  const SimilarityCache cache =
+      BuildSimilarityCache(source, target, options.metric);
+  Workspace workspace;
+
   std::vector<float> phi_s;
   std::vector<float> phi_t;
   if (options.use_csls) {
@@ -92,8 +90,11 @@ Result<Assignment> StreamingMatch(const Matrix& source, const Matrix& target,
     ColumnTopKAccumulator col_acc(m, k_cols);
     for (size_t b = 0; b < n; b += block) {
       const size_t e = std::min(n, b + block);
-      EM_ASSIGN_OR_RETURN(Matrix scores,
-                          ScoreBlock(source, target, b, e, options.metric));
+      EM_ASSIGN_OR_RETURN(ScratchMatrix tile,
+                          ScratchMatrix::Acquire(&workspace, e - b, m));
+      Matrix& scores = tile.get();
+      EM_RETURN_NOT_OK(ComputeSimilarityRange(source, target, options.metric,
+                                              cache, b, e, &scores));
       const std::vector<float> row_phi = RowTopKMean(scores, k_rows);
       std::copy(row_phi.begin(), row_phi.end(), phi_s.begin() + b);
       for (size_t r = 0; r < scores.rows(); ++r) {
@@ -108,8 +109,11 @@ Result<Assignment> StreamingMatch(const Matrix& source, const Matrix& target,
   assignment.target_of_source.assign(n, Assignment::kUnmatched);
   for (size_t b = 0; b < n; b += block) {
     const size_t e = std::min(n, b + block);
-    EM_ASSIGN_OR_RETURN(Matrix scores,
-                        ScoreBlock(source, target, b, e, options.metric));
+    EM_ASSIGN_OR_RETURN(ScratchMatrix tile,
+                        ScratchMatrix::Acquire(&workspace, e - b, m));
+    Matrix& scores = tile.get();
+    EM_RETURN_NOT_OK(ComputeSimilarityRange(source, target, options.metric,
+                                            cache, b, e, &scores));
     for (size_t r = 0; r < scores.rows(); ++r) {
       const float* row = scores.Row(r).data();
       size_t best = 0;

@@ -21,47 +21,65 @@ Status ValidateScores(const Matrix& scores) {
 
 }  // namespace
 
-Result<Matrix> CslsTransform(Matrix scores, size_t k) {
-  EM_RETURN_NOT_OK(ValidateScores(scores));
+size_t TransformWorkspaceBytes(const MatchOptions& options, size_t rows,
+                               size_t cols) {
+  switch (options.transform) {
+    case ScoreTransformKind::kRinf:
+      return cols * rows * sizeof(float);  // reverse preference table P_ts
+    case ScoreTransformKind::kSinkhorn:
+      return rows * cols * sizeof(float);  // normalization double buffer
+    case ScoreTransformKind::kNone:
+    case ScoreTransformKind::kCsls:
+    case ScoreTransformKind::kRinfWr:
+    case ScoreTransformKind::kRinfPb:
+      return 0;
+  }
+  return 0;
+}
+
+Status CslsTransformInPlace(Matrix* scores, size_t k) {
+  EM_RETURN_NOT_OK(ValidateScores(*scores));
   if (k == 0) return Status::InvalidArgument("CSLS: k must be >= 1");
 
-  const std::vector<float> phi_s = RowTopKMean(scores, k);
+  const std::vector<float> phi_s = RowTopKMean(*scores, k);
   // Streaming column top-k mean — CSLS stays at a single-matrix footprint,
   // which is what keeps it memory-feasible at DWY100K scale in the paper's
   // Table 6 while RInf is not.
-  const std::vector<float> phi_t = ColTopKMean(scores, k);
-  ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
+  const std::vector<float> phi_t = ColTopKMean(*scores, k);
+  ParallelFor(0, scores->rows(), 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      float* row = scores.Row(i).data();
+      float* row = scores->Row(i).data();
       const float pi = phi_s[i];
-      for (size_t j = 0; j < scores.cols(); ++j) {
+      for (size_t j = 0; j < scores->cols(); ++j) {
         row[j] = 2.0f * row[j] - pi - phi_t[j];
       }
     }
   });
-  return scores;
+  return Status::OK();
 }
 
-Result<Matrix> RinfTransform(Matrix scores, size_t k) {
-  EM_RETURN_NOT_OK(ValidateScores(scores));
+Status RinfTransformInPlace(Matrix* scores, size_t k, Workspace* workspace) {
+  EM_RETURN_NOT_OK(ValidateScores(*scores));
   if (k == 0) return Status::InvalidArgument("RInf: k must be >= 1");
-  const size_t n = scores.rows();
-  const size_t m = scores.cols();
+  const size_t n = scores->rows();
+  const size_t m = scores->cols();
 
   // k = 1 is Eq. (2)'s max; larger k averages the top-k reverse scores
   // (Appendix C's generalization).
   const std::vector<float> row_max =
-      k == 1 ? RowMax(scores) : RowTopKMean(scores, k);
+      k == 1 ? RowMax(*scores) : RowTopKMean(*scores, k);
   const std::vector<float> col_max =
-      k == 1 ? ColMax(scores) : ColTopKMean(scores, k);
+      k == 1 ? ColMax(*scores) : ColTopKMean(*scores, k);
 
   // P_ts(v, u) = S(u, v) - row_max[u] + 1 (target-side preferences).
   // Partitioned by source row: each worker writes a disjoint column slice
   // of p_ts.
-  Matrix p_ts(m, n);
+  EM_ASSIGN_OR_RETURN(ScratchMatrix p_ts_lease,
+                      ScratchMatrix::Acquire(workspace, m, n));
+  Matrix& p_ts = p_ts_lease.get();
   ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      const float* srow = scores.Row(i).data();
+      const float* srow = scores->Row(i).data();
       const float shift = 1.0f - row_max[i];
       for (size_t j = 0; j < m; ++j) {
         p_ts.At(j, i) = srow[j] + shift;
@@ -71,60 +89,60 @@ Result<Matrix> RinfTransform(Matrix scores, size_t k) {
   // P_st(u, v) = S(u, v) - col_max[v] + 1, in place.
   ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      float* row = scores.Row(i).data();
+      float* row = scores->Row(i).data();
       for (size_t j = 0; j < m; ++j) {
         row[j] = row[j] - col_max[j] + 1.0f;
       }
     }
   });
 
-  Matrix r_st = RowRankMatrix(scores);
-  scores = Matrix();  // release P_st before allocating R_ts
-  Matrix r_ts = RowRankMatrix(p_ts);
-  p_ts = Matrix();
+  // Rank both preference tables in place: two live score-size buffers total
+  // (scores + p_ts), down from the three of the copy-out design.
+  RowRankMatrixInPlace(scores);  // scores := R_st
+  RowRankMatrixInPlace(&p_ts);   // p_ts   := R_ts
 
   // out(u, v) = -(R_st(u, v) + R_ts(v, u)) / 2; smaller average rank is
   // better, so negate to keep "higher is better".
   ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      float* row = r_st.Row(i).data();
+      float* row = scores->Row(i).data();
       for (size_t j = 0; j < m; ++j) {
-        row[j] = -0.5f * (row[j] + r_ts.At(j, i));
+        row[j] = -0.5f * (row[j] + p_ts.At(j, i));
       }
     }
   });
-  return r_st;
+  return Status::OK();
 }
 
-Result<Matrix> RinfWrTransform(Matrix scores) {
-  EM_RETURN_NOT_OK(ValidateScores(scores));
-  const std::vector<float> row_max = RowMax(scores);
-  const std::vector<float> col_max = ColMax(scores);
+Status RinfWrTransformInPlace(Matrix* scores) {
+  EM_RETURN_NOT_OK(ValidateScores(*scores));
+  const std::vector<float> row_max = RowMax(*scores);
+  const std::vector<float> col_max = ColMax(*scores);
   // (P_st + P_ts^T) / 2 = S - (row_max[u] + col_max[v]) / 2 + 1, computed
   // in place — this is what makes the -wr variant cheap.
-  ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
+  ParallelFor(0, scores->rows(), 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      float* row = scores.Row(i).data();
+      float* row = scores->Row(i).data();
       const float half_row_max = 0.5f * row_max[i];
-      for (size_t j = 0; j < scores.cols(); ++j) {
+      for (size_t j = 0; j < scores->cols(); ++j) {
         row[j] = row[j] - half_row_max - 0.5f * col_max[j] + 1.0f;
       }
     }
   });
-  return scores;
+  return Status::OK();
 }
 
-Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
-  EM_RETURN_NOT_OK(ValidateScores(scores));
+Status RinfPbTransformInPlace(Matrix* scores, size_t candidates) {
+  EM_RETURN_NOT_OK(ValidateScores(*scores));
   if (candidates == 0) {
     return Status::InvalidArgument("RInf-pb: candidates must be >= 1");
   }
-  const size_t n = scores.rows();
-  const size_t m = scores.cols();
+  const size_t n = scores->rows();
+  const size_t m = scores->cols();
   const size_t c = std::min(candidates, std::min(n, m));
 
-  const std::vector<float> row_max = RowMax(scores);
-  const std::vector<float> col_max = ColMax(scores);
+  const std::vector<float> row_max = RowMax(*scores);
+  const std::vector<float> col_max = ColMax(*scores);
 
   // Top-C target candidates per source under P_st ordering (= S - col_max).
   std::vector<uint32_t> src_cand(n * c);
@@ -132,7 +150,7 @@ Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
     std::vector<float> adjusted(m);
     std::vector<uint32_t> idx(m);
     for (size_t i = begin; i < end; ++i) {
-      const float* row = scores.Row(i).data();
+      const float* row = scores->Row(i).data();
       for (size_t j = 0; j < m; ++j) adjusted[j] = row[j] - col_max[j];
       std::iota(idx.begin(), idx.end(), 0u);
       std::partial_sort(idx.begin(), idx.begin() + c, idx.end(),
@@ -151,7 +169,9 @@ Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
     std::vector<float> adjusted(n);
     std::vector<uint32_t> idx(n);
     for (size_t j = begin; j < end; ++j) {
-      for (size_t i = 0; i < n; ++i) adjusted[i] = scores.At(i, j) - row_max[i];
+      for (size_t i = 0; i < n; ++i) {
+        adjusted[i] = scores->At(i, j) - row_max[i];
+      }
       std::iota(idx.begin(), idx.end(), 0u);
       std::partial_sort(idx.begin(), idx.begin() + c, idx.end(),
                         [&adjusted](uint32_t a, uint32_t b) {
@@ -166,10 +186,10 @@ Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
 
   // Reciprocal rank aggregation over the candidate blocks only.
   const float sentinel = -2.0f * static_cast<float>(n + m);
-  scores.Fill(sentinel);
+  scores->Fill(sentinel);
   ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      float* row = scores.Row(i).data();
+      float* row = scores->Row(i).data();
       for (size_t p = 0; p < c; ++p) {
         const uint32_t j = src_cand[i * c + p];
         // Rank of source i within target j's candidate list (capped at c+1).
@@ -185,32 +205,32 @@ Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
       }
     }
   });
-  return scores;
+  return Status::OK();
 }
 
-Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
-                                 double temperature) {
-  EM_RETURN_NOT_OK(ValidateScores(scores));
+Status SinkhornTransformInPlace(Matrix* scores, size_t iterations,
+                                double temperature, Workspace* workspace) {
+  EM_RETURN_NOT_OK(ValidateScores(*scores));
   if (iterations == 0) {
     return Status::InvalidArgument("Sinkhorn: iterations must be >= 1");
   }
   if (temperature <= 0.0) {
     return Status::InvalidArgument("Sinkhorn: temperature must be > 0");
   }
-  const size_t n = scores.rows();
-  const size_t m = scores.cols();
+  const size_t n = scores->rows();
+  const size_t m = scores->cols();
 
   // Sinkhorn^0(S) = exp(S / t). Subtract the global max first for numeric
   // stability (a constant shift does not change the normalized result).
   // Per-row maxima combine exactly regardless of chunking, so a plain
   // parallel row sweep into per-row slots stays deterministic.
-  const std::vector<float> row_max = RowMax(scores);
+  const std::vector<float> row_max = RowMax(*scores);
   float global_max = row_max[0];
   for (float v : row_max) global_max = std::max(global_max, v);
   const float inv_t = static_cast<float>(1.0 / temperature);
   ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      for (float& v : scores.Row(i)) v = std::exp((v - global_max) * inv_t);
+      for (float& v : scores->Row(i)) v = std::exp((v - global_max) * inv_t);
     }
   });
 
@@ -218,13 +238,15 @@ Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
   // the original framework's implementation. The second n x m buffer is what
   // pushes Sinkhorn past the memory budget at the paper's DWY100K scale
   // (Table 6, "Mem: No").
-  Matrix buffer(n, m);
+  EM_ASSIGN_OR_RETURN(ScratchMatrix buffer_lease,
+                      ScratchMatrix::Acquire(workspace, n, m));
+  Matrix& buffer = buffer_lease.get();
   std::vector<double> col_sums(m);
   for (size_t it = 0; it < iterations; ++it) {
     // Row normalization: scores -> buffer.
     ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        auto src = scores.Row(i);
+        auto src = scores->Row(i);
         auto dst = buffer.Row(i);
         double sum = 0.0;
         for (float v : src) sum += v;
@@ -248,33 +270,67 @@ Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
     ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         const float* src = buffer.Row(i).data();
-        float* dst = scores.Row(i).data();
+        float* dst = scores->Row(i).data();
         for (size_t j = 0; j < m; ++j) {
           dst[j] = static_cast<float>(src[j] * col_sums[j]);
         }
       }
     });
   }
+  return Status::OK();
+}
+
+Status ApplyScoreTransformInPlace(Matrix* scores, const MatchOptions& options,
+                                  Workspace* workspace) {
+  switch (options.transform) {
+    case ScoreTransformKind::kNone:
+      return Status::OK();
+    case ScoreTransformKind::kCsls:
+      return CslsTransformInPlace(scores, options.csls_k);
+    case ScoreTransformKind::kRinf:
+      return RinfTransformInPlace(scores, options.rinf_k, workspace);
+    case ScoreTransformKind::kRinfWr:
+      return RinfWrTransformInPlace(scores);
+    case ScoreTransformKind::kRinfPb:
+      return RinfPbTransformInPlace(scores, options.rinf_pb_candidates);
+    case ScoreTransformKind::kSinkhorn:
+      return SinkhornTransformInPlace(scores, options.sinkhorn_iterations,
+                                      options.sinkhorn_temperature, workspace);
+  }
+  return Status::InvalidArgument("unknown score transform");
+}
+
+// Consuming wrappers. --------------------------------------------------------
+
+Result<Matrix> CslsTransform(Matrix scores, size_t k) {
+  EM_RETURN_NOT_OK(CslsTransformInPlace(&scores, k));
+  return scores;
+}
+
+Result<Matrix> RinfTransform(Matrix scores, size_t k) {
+  EM_RETURN_NOT_OK(RinfTransformInPlace(&scores, k, nullptr));
+  return scores;
+}
+
+Result<Matrix> RinfWrTransform(Matrix scores) {
+  EM_RETURN_NOT_OK(RinfWrTransformInPlace(&scores));
+  return scores;
+}
+
+Result<Matrix> RinfPbTransform(Matrix scores, size_t candidates) {
+  EM_RETURN_NOT_OK(RinfPbTransformInPlace(&scores, candidates));
+  return scores;
+}
+
+Result<Matrix> SinkhornTransform(Matrix scores, size_t iterations,
+                                 double temperature) {
+  EM_RETURN_NOT_OK(SinkhornTransformInPlace(&scores, iterations, temperature));
   return scores;
 }
 
 Result<Matrix> ApplyScoreTransform(Matrix scores, const MatchOptions& options) {
-  switch (options.transform) {
-    case ScoreTransformKind::kNone:
-      return scores;
-    case ScoreTransformKind::kCsls:
-      return CslsTransform(std::move(scores), options.csls_k);
-    case ScoreTransformKind::kRinf:
-      return RinfTransform(std::move(scores), options.rinf_k);
-    case ScoreTransformKind::kRinfWr:
-      return RinfWrTransform(std::move(scores));
-    case ScoreTransformKind::kRinfPb:
-      return RinfPbTransform(std::move(scores), options.rinf_pb_candidates);
-    case ScoreTransformKind::kSinkhorn:
-      return SinkhornTransform(std::move(scores), options.sinkhorn_iterations,
-                               options.sinkhorn_temperature);
-  }
-  return Status::InvalidArgument("unknown score transform");
+  EM_RETURN_NOT_OK(ApplyScoreTransformInPlace(&scores, options, nullptr));
+  return scores;
 }
 
 }  // namespace entmatcher

@@ -103,6 +103,13 @@ struct MatchOptions {
   /// Candidate width for RInf-pb.
   size_t rinf_pb_candidates = 50;
 
+  /// Hard cap in bytes on the matching-stage workspace (score matrix +
+  /// transform scratch + decision tables); 0 = unlimited. A query that
+  /// cannot fit fails with kResourceExhausted before any buffer is touched —
+  /// the paper's Table 6 "Mem: No" verdict (e.g. SMat at DWY100K scale) as a
+  /// real, clean error instead of an after-the-fact estimate.
+  size_t workspace_budget_bytes = 0;
+
   RlMatcherOptions rl;
 };
 

@@ -1,0 +1,102 @@
+// ExperimentSession: a shared MatchEngine across presets must reproduce the
+// fresh per-cell RunExperiment path exactly — metrics, candidate extraction,
+// and the reported peak workspace (fresh vs reused parity).
+
+#include <gtest/gtest.h>
+
+#include "datagen/kg_pair_generator.h"
+#include "embedding/propagation.h"
+#include "eval/experiment.h"
+
+namespace entmatcher {
+namespace {
+
+KgPairDataset SessionDataset() {
+  KgPairGeneratorConfig c;
+  c.name = "session-test";
+  c.seed = 13;
+  c.num_core_concepts = 200;
+  c.avg_degree = 4.0;
+  c.num_world_relations = 30;
+  c.num_relations_source = 25;
+  c.num_relations_target = 20;
+  auto d = GenerateKgPair(c);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TEST(ExperimentSessionTest, MatchesFreshRunsExactly) {
+  const KgPairDataset d = SessionDataset();
+  auto emb = ComputeStructuralEmbeddings(d, RreaModelConfig(2));
+  ASSERT_TRUE(emb.ok());
+  auto session = ExperimentSession::Create(d, *emb);
+  ASSERT_TRUE(session.ok());
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kDInf, AlgorithmPreset::kRinf,
+        AlgorithmPreset::kStableMatch}) {
+    auto fresh = RunExperiment(d, *emb, preset);
+    auto reused = session->Run(preset);
+    ASSERT_TRUE(fresh.ok()) << PresetName(preset);
+    ASSERT_TRUE(reused.ok()) << PresetName(preset);
+    // Bit-identical pipelines => identical metrics, not just close ones.
+    EXPECT_DOUBLE_EQ(reused->metrics.f1, fresh->metrics.f1)
+        << PresetName(preset);
+    EXPECT_EQ(reused->metrics.correct, fresh->metrics.correct)
+        << PresetName(preset);
+    // Reuse-independent accounting: a warm session reports the same peak as
+    // a cold one-shot run.
+    EXPECT_EQ(reused->peak_workspace_bytes, fresh->peak_workspace_bytes)
+        << PresetName(preset);
+    EXPECT_EQ(reused->dataset, "session-test");
+    EXPECT_EQ(reused->algorithm, PresetName(preset));
+  }
+}
+
+TEST(ExperimentSessionTest, SecondPassIsStillIdentical) {
+  const KgPairDataset d = SessionDataset();
+  auto emb = ComputeStructuralEmbeddings(d, GcnModelConfig(2));
+  ASSERT_TRUE(emb.ok());
+  auto session = ExperimentSession::Create(d, *emb);
+  ASSERT_TRUE(session.ok());
+  auto first = session->Run(AlgorithmPreset::kCsls);
+  auto second = session->Run(AlgorithmPreset::kCsls);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->metrics.f1, first->metrics.f1);
+  EXPECT_EQ(second->peak_workspace_bytes, first->peak_workspace_bytes);
+}
+
+TEST(ExperimentSessionTest, BudgetTurnsMemNoIntoCleanError) {
+  const KgPairDataset d = SessionDataset();
+  auto emb = ComputeStructuralEmbeddings(d, RreaModelConfig(2));
+  ASSERT_TRUE(emb.ok());
+  const size_t n = d.test_source_entities.size();
+  const size_t m = d.test_target_entities.size();
+  // Score matrix plus one scratch matrix: DInf fits, SMat does not.
+  auto session =
+      ExperimentSession::Create(d, *emb, 2 * n * m * sizeof(float));
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->Run(AlgorithmPreset::kDInf).ok());
+  auto rejected = session->Run(AlgorithmPreset::kStableMatch);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  // The session survives the rejection.
+  EXPECT_TRUE(session->Run(AlgorithmPreset::kDInf).ok());
+}
+
+TEST(ExperimentSessionTest, CreateRequiresTestCandidates) {
+  KgPairDataset empty;
+  auto src = KnowledgeGraph::Create(2, 1, {{0, 0, 1}});
+  auto tgt = KnowledgeGraph::Create(2, 1, {{0, 0, 1}});
+  empty.source = std::move(src).value();
+  empty.target = std::move(tgt).value();
+  EmbeddingPair emb;
+  emb.source = Matrix(2, 4);
+  emb.target = Matrix(2, 4);
+  auto session = ExperimentSession::Create(empty, emb);
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -120,6 +120,38 @@ TEST(MatrixTest, TracksMemory) {
   EXPECT_EQ(t.current_bytes(), base);
 }
 
+TEST(MatrixTest, BorrowedViewsExternalBuffer) {
+  std::vector<float> buffer(6, 0.0f);
+  MemoryTracker& t = MemoryTracker::Global();
+  const size_t base = t.current_bytes();
+  Matrix m = Matrix::Borrowed(buffer.data(), 2, 3);
+  EXPECT_TRUE(m.borrowed());
+  EXPECT_EQ(t.current_bytes(), base);  // borrowed memory is not tracked here
+  m.At(1, 2) = 7.0f;
+  EXPECT_EQ(buffer[5], 7.0f);  // writes land in the external buffer
+  buffer[0] = 3.0f;
+  EXPECT_EQ(m.At(0, 0), 3.0f);
+}
+
+TEST(MatrixTest, CopyOfBorrowedIsOwnedAndDeep) {
+  std::vector<float> buffer = {1, 2, 3, 4};
+  Matrix borrowed = Matrix::Borrowed(buffer.data(), 2, 2);
+  Matrix copy = borrowed;
+  EXPECT_FALSE(copy.borrowed());
+  copy.At(0, 0) = 9.0f;
+  EXPECT_EQ(buffer[0], 1.0f);
+  EXPECT_EQ(borrowed.At(0, 0), 1.0f);
+}
+
+TEST(MatrixTest, MoveOfBorrowedKeepsPointer) {
+  std::vector<float> buffer = {1, 2, 3, 4};
+  Matrix borrowed = Matrix::Borrowed(buffer.data(), 2, 2);
+  Matrix moved = std::move(borrowed);
+  EXPECT_TRUE(moved.borrowed());
+  EXPECT_EQ(moved.data(), buffer.data());
+  EXPECT_TRUE(borrowed.empty());  // NOLINT(bugprone-use-after-move)
+}
+
 TEST(MatMulTransposedTest, SmallKnownProduct) {
   // A (2x3), B (2x3): C = A * B^T is 2x2.
   Matrix a = Matrix::FromRows({{1, 2, 3}, {0, 1, 0}});
