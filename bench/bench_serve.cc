@@ -1,0 +1,226 @@
+// Serving-layer benchmark: N concurrent clients fire match queries at a
+// MatchServer twice — once with micro-batching disabled (max_batch=1) and
+// once enabled — and the harness reports throughput, latency percentiles,
+// and the batched-vs-sequential speedup. Because a batch of B compatible
+// queries shares one similarity+transform pass, batching reduces *total*
+// kernel work, so the win shows up even on a single core; the JSON also
+// records the scores-pass (batch) counts so the reduction is visible
+// directly. Every served assignment must be bit-identical to a one-shot
+// MatchEngine::Match with the same options — any divergence is a fatal
+// failure. Writes BENCH_serve.json.
+//
+// Usage:
+//   ./bench_serve                     # sizes scaled by EM_BENCH_SCALE
+//   EM_BENCH_SCALE=0.1 ./bench_serve  # CI smoke run
+//
+// Env: EM_NUM_THREADS caps the kernel worker count as everywhere else.
+
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "matching/engine.h"
+#include "serve/server.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 64;
+constexpr size_t kClients = 4;
+constexpr size_t kQueriesPerClient = 8;
+constexpr size_t kBatchedMaxBatch = 8;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+struct ModeResult {
+  std::string name;
+  size_t max_batch = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  uint64_t scores_passes = 0;   // ServerStats batches == kernel invocations
+  uint64_t batched_queries = 0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  bool identical = true;
+};
+
+/// Runs kClients threads, each issuing kQueriesPerClient CSLS match queries
+/// against `server`, and checks every assignment against `reference`.
+ModeResult DriveClients(MatchServer* server, const std::string& name,
+                        const Assignment& reference) {
+  ModeResult mode;
+  mode.name = name;
+  mode.max_batch = server->config().max_batch;
+
+  std::vector<std::thread> clients;
+  std::vector<char> ok(kClients, 1);
+  Timer timer;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([server, &reference, &ok, c] {
+      // Submit the whole burst first so the queue actually holds
+      // coalescable work, then wait; a submit-wait-submit loop on one core
+      // would serialize the queue into singleton cycles.
+      std::vector<std::future<ServeResponse>> inflight;
+      for (size_t q = 0; q < kQueriesPerClient; ++q) {
+        ServeRequest request;
+        request.options = MakePreset(AlgorithmPreset::kCsls);
+        inflight.push_back(server->Submit(std::move(request)));
+      }
+      for (std::future<ServeResponse>& f : inflight) {
+        ServeResponse response = f.get();
+        if (!response.status.ok() ||
+            response.assignment.target_of_source !=
+                reference.target_of_source) {
+          ok[c] = 0;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  mode.seconds = timer.ElapsedSeconds();
+
+  const ServerStatsSnapshot stats = server->Stats();
+  mode.qps = mode.seconds > 0.0
+                 ? static_cast<double>(kClients * kQueriesPerClient) /
+                       mode.seconds
+                 : 0.0;
+  mode.scores_passes = stats.batches;
+  mode.batched_queries = stats.batched_queries;
+  mode.p50_micros = stats.latency_p50_micros;
+  mode.p99_micros = stats.latency_p99_micros;
+  for (char c : ok) mode.identical = mode.identical && (c != 0);
+  return mode;
+}
+
+Result<ModeResult> RunMode(const std::string& name, size_t max_batch,
+                           uint64_t flush_micros, const Matrix& src,
+                           const Matrix& tgt, const Assignment& reference) {
+  MatchServerConfig config;
+  config.max_batch = max_batch;
+  config.flush_micros = flush_micros;
+  config.queue_capacity = 2 * kClients * kQueriesPerClient;
+  EM_ASSIGN_OR_RETURN(std::unique_ptr<MatchServer> server,
+                      MatchServer::Create(config));
+  EM_RETURN_NOT_OK(server->LoadPair("default", Matrix(src), Matrix(tgt)));
+  EM_RETURN_NOT_OK(server->Start());
+  ModeResult mode = DriveClients(server.get(), name, reference);
+  server->Shutdown();
+  return mode;
+}
+
+}  // namespace
+}  // namespace entmatcher
+
+int main() {
+  using namespace entmatcher;
+
+  const double scale = bench::GlobalScale();
+  const size_t n =
+      std::max<size_t>(16, static_cast<size_t>(1500.0 * scale));
+  const size_t total_queries = kClients * kQueriesPerClient;
+
+  bench::PrintBanner(
+      "MatchServer — micro-batched vs sequential serving throughput",
+      "4 concurrent clients x 8 CSLS match queries per mode. Batched mode\n"
+      "coalesces compatible queries into shared scores passes; results must\n"
+      "stay bit-identical to a one-shot MatchEngine::Match.");
+
+  const Matrix src = RandomEmbeddings(n, /*seed=*/31);
+  const Matrix tgt = RandomEmbeddings(n, /*seed=*/47);
+
+  // The one-shot reference every served assignment must equal.
+  Result<MatchEngine> engine =
+      MatchEngine::Create(src, tgt, MakePreset(AlgorithmPreset::kCsls));
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  Result<Assignment> reference = engine->Match();
+  if (!reference.ok()) {
+    std::cerr << reference.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<ModeResult> modes;
+  for (const auto& [name, max_batch, flush] :
+       {std::tuple<std::string, size_t, uint64_t>{"sequential", 1, 0},
+        std::tuple<std::string, size_t, uint64_t>{"batched", kBatchedMaxBatch,
+                                                  2000}}) {
+    Result<ModeResult> mode =
+        RunMode(name, max_batch, flush, src, tgt, *reference);
+    if (!mode.ok()) {
+      std::cerr << name << ": " << mode.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << mode->name << ": " << total_queries << " queries in "
+              << FormatDouble(mode->seconds * 1e3, 1) << " ms  ("
+              << FormatDouble(mode->qps, 1) << " q/s)  scores_passes="
+              << mode->scores_passes << "  p50="
+              << FormatDouble(mode->p50_micros, 0) << " us  p99="
+              << FormatDouble(mode->p99_micros, 0) << " us  identical="
+              << (mode->identical ? "yes" : "NO") << "\n";
+    modes.push_back(*std::move(mode));
+  }
+
+  const ModeResult& sequential = modes[0];
+  const ModeResult& batched = modes[1];
+  const double speedup =
+      batched.seconds > 0.0 ? sequential.seconds / batched.seconds : 0.0;
+  const double pass_reduction =
+      batched.scores_passes > 0
+          ? static_cast<double>(sequential.scores_passes) /
+                static_cast<double>(batched.scores_passes)
+          : 0.0;
+  std::cout << "batched vs sequential: " << FormatDouble(speedup, 2)
+            << "x wall-clock, " << sequential.scores_passes << " -> "
+            << batched.scores_passes << " scores passes ("
+            << FormatDouble(pass_reduction, 2) << "x fewer)\n";
+
+  bool ok = true;
+  for (const ModeResult& mode : modes) {
+    if (!mode.identical) {
+      std::cerr << "FATAL: " << mode.name
+                << " served assignments diverged from the one-shot engine\n";
+      ok = false;
+    }
+  }
+  if (batched.scores_passes >= sequential.scores_passes) {
+    std::cerr << "FATAL: batching did not reduce scores passes ("
+              << sequential.scores_passes << " -> " << batched.scores_passes
+              << ")\n";
+    ok = false;
+  }
+
+  std::ofstream json("BENCH_serve.json");
+  json << "{\n  \"rows\": " << n << ",\n  \"dim\": " << kDim
+       << ",\n  \"clients\": " << kClients << ",\n  \"queries_per_client\": "
+       << kQueriesPerClient << ",\n  \"modes\": [\n";
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    json << "    {\"name\": \"" << m.name << "\", \"max_batch\": "
+         << m.max_batch << ", \"seconds\": " << m.seconds << ", \"qps\": "
+         << m.qps << ", \"scores_passes\": " << m.scores_passes
+         << ", \"batched_queries\": " << m.batched_queries
+         << ", \"latency_p50_micros\": " << m.p50_micros
+         << ", \"latency_p99_micros\": " << m.p99_micros
+         << ", \"identical\": " << (m.identical ? "true" : "false") << "}"
+         << (i + 1 < modes.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speedup_batched_vs_sequential\": " << speedup
+       << ",\n  \"scores_pass_reduction\": " << pass_reduction << "\n}\n";
+  std::cout << "wrote BENCH_serve.json\n";
+  return ok ? 0 : 1;
+}

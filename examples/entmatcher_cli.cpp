@@ -10,7 +10,7 @@
 //       Compute unified embeddings and write <out_prefix>.src.emat /
 //       <out_prefix>.tgt.emat.
 //   entmatcher_cli match <dir> <src.emat> <tgt.emat> <algo>
-//                  [--workspace-budget-bytes=N] [out_links.tsv]
+//                  [--workspace-budget-bytes=N] [--threads=N] [out_links.tsv]
 //       Run one matching algorithm (DInf, CSLS, RInf, RInf-wr, RInf-pb,
 //       Sink., Hun., SMat, RL) and report P/R/F1; optionally save the
 //       predicted links. With a workspace budget, algorithms whose score
@@ -18,12 +18,28 @@
 //       with a resource-exhausted error (the paper's "Mem: No" verdict).
 //   entmatcher_cli eval <dir> <links.tsv>
 //       Score previously saved predicted links against the test split.
+//   entmatcher_cli serve <src.emat> <tgt.emat> [--socket=PATH] [--threads=N]
+//                  [--max-batch=N] [--flush-micros=N] [--queue-capacity=N]
+//                  [--workspace-budget-bytes=N]
+//       Hold the embedding pair in one warm MatchEngine and serve match /
+//       top-k queries over a unix-domain socket (length-prefixed protocol,
+//       src/serve/protocol.h), micro-batching compatible queries into
+//       shared similarity passes. Runs until a client sends `shutdown`.
+//   entmatcher_cli query [--socket=PATH] match <ALGO> [timeout_us=N]
+//                                      | topk <ALGO> <k> [timeout_us=N]
+//                                      | stats | shutdown
+//       One query against a running `serve` instance.
+//
+// --threads=N overrides the worker count for this process (equivalent to
+// the EM_NUM_THREADS environment variable; the flag wins).
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "datagen/benchmarks.h"
 #include "embedding/provider.h"
 #include "eval/metrics.h"
@@ -31,10 +47,14 @@
 #include "kg/io.h"
 #include "la/matrix_io.h"
 #include "matching/pipeline.h"
+#include "serve/client.h"
+#include "serve/socket_server.h"
 
 namespace {
 
 using namespace entmatcher;
+
+constexpr const char* kDefaultSocketPath = "entmatcher.sock";
 
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
@@ -43,8 +63,25 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr << "usage: entmatcher_cli "
-               "generate|stats|embed|match|eval ... (see source header)\n";
+               "generate|stats|embed|match|eval|serve|query ... "
+               "(see source header)\n";
   return EXIT_FAILURE;
+}
+
+/// Parses "--<name>=<uint>": returns 0 when `arg` is a different flag,
+/// 1 on success (value stored), -1 on a malformed value (already reported).
+int MatchUintFlag(const std::string& arg, const std::string& name,
+                  unsigned long long* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return 0;
+  const std::string text = arg.substr(prefix.size());
+  char* end = nullptr;
+  *value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    std::cerr << "error: bad " << prefix << " value: " << text << "\n";
+    return -1;
+  }
+  return 1;
 }
 
 Result<EmbeddingSetting> ParseSetting(const std::string& text) {
@@ -134,18 +171,20 @@ int CmdMatch(int argc, char** argv) {
   std::string out_path;
   for (int i = 6; i < argc; ++i) {
     const std::string arg = argv[i];
-    const std::string budget_flag = "--workspace-budget-bytes=";
-    if (arg.rfind(budget_flag, 0) == 0) {
-      const std::string value = arg.substr(budget_flag.size());
-      char* end = nullptr;
-      const unsigned long long bytes = std::strtoull(value.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || value.empty()) {
-        std::cerr << "error: bad " << budget_flag << " value: " << value
-                  << "\n";
-        return EXIT_FAILURE;
-      }
-      options.workspace_budget_bytes = static_cast<size_t>(bytes);
-    } else if (out_path.empty()) {
+    unsigned long long value = 0;
+    int matched = MatchUintFlag(arg, "workspace-budget-bytes", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      options.workspace_budget_bytes = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "threads", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      SetNumThreads(static_cast<size_t>(value));
+      continue;
+    }
+    if (out_path.empty()) {
       out_path = arg;
     } else {
       return Usage();
@@ -182,6 +221,132 @@ int CmdMatch(int argc, char** argv) {
   return EXIT_SUCCESS;
 }
 
+int CmdServe(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<Matrix> src = ReadMatrixBinary(argv[2]);
+  if (!src.ok()) return Fail(src.status());
+  Result<Matrix> tgt = ReadMatrixBinary(argv[3]);
+  if (!tgt.ok()) return Fail(tgt.status());
+
+  std::string socket_path = kDefaultSocketPath;
+  MatchServerConfig config;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string socket_flag = "--socket=";
+    if (arg.rfind(socket_flag, 0) == 0) {
+      socket_path = arg.substr(socket_flag.size());
+      continue;
+    }
+    unsigned long long value = 0;
+    int matched = MatchUintFlag(arg, "threads", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      SetNumThreads(static_cast<size_t>(value));
+      continue;
+    }
+    matched = MatchUintFlag(arg, "max-batch", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.max_batch = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "flush-micros", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.flush_micros = value;
+      continue;
+    }
+    matched = MatchUintFlag(arg, "queue-capacity", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.queue_capacity = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "workspace-budget-bytes", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.workspace_budget_bytes = static_cast<size_t>(value);
+      continue;
+    }
+    return Usage();
+  }
+
+  Result<std::unique_ptr<MatchServer>> server = MatchServer::Create(config);
+  if (!server.ok()) return Fail(server.status());
+  Status loaded = (*server)->LoadPair("default", std::move(src).value(),
+                                      std::move(tgt).value());
+  if (!loaded.ok()) return Fail(loaded);
+  Status started = (*server)->Start();
+  if (!started.ok()) return Fail(started);
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(server->get(), socket_path);
+  if (!front.ok()) return Fail(front.status());
+
+  std::cout << "serving on " << socket_path << " (threads=" << GetNumThreads()
+            << ", max_batch=" << config.max_batch
+            << ", flush=" << config.flush_micros
+            << " us, queue=" << config.queue_capacity << ", budget="
+            << (config.workspace_budget_bytes == 0
+                    ? std::string("unlimited")
+                    : FormatBytes(config.workspace_budget_bytes))
+            << "); send `entmatcher_cli query shutdown` to stop\n";
+  (*front)->WaitForShutdown();
+  (*front)->Stop();
+  (*server)->Shutdown();
+  std::cout << "final stats: " << (*server)->Stats().ToJson() << "\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdQuery(int argc, char** argv) {
+  std::string socket_path = kDefaultSocketPath;
+  std::vector<std::string> words;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string socket_flag = "--socket=";
+    if (arg.rfind(socket_flag, 0) == 0) {
+      socket_path = arg.substr(socket_flag.size());
+    } else {
+      words.push_back(arg);
+    }
+  }
+  if (words.empty()) return Usage();
+
+  // The request line IS the CLI tail — one grammar (serve/protocol.h) for
+  // both surfaces.
+  Result<WireRequest> request = ParseRequest(JoinStrings(words, " "));
+  if (!request.ok()) return Fail(request.status());
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) return Fail(client.status());
+  Result<WireResponse> response = client->Call(*request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->status.ok()) return Fail(response->status);
+
+  if (request->verb == WireRequest::Verb::kStats ||
+      request->verb == WireRequest::Verb::kShutdown) {
+    std::cout << response->text << "\n";
+    return EXIT_SUCCESS;
+  }
+  if (request->verb == WireRequest::Verb::kMatch) {
+    size_t matched = 0;
+    for (int32_t target : response->values) matched += (target >= 0);
+    std::cout << "assignment: " << matched << "/" << response->values.size()
+              << " sources matched\n";
+  } else {
+    const size_t rows =
+        request->k > 0 ? response->values.size() / request->k : 0;
+    std::cout << "topk: " << request->k << " candidates for " << rows
+              << " sources\n";
+  }
+  const size_t preview = std::min<size_t>(response->values.size(), 8);
+  for (size_t i = 0; i < preview; ++i) {
+    std::cout << (i > 0 ? " " : "") << response->values[i];
+  }
+  if (preview > 0) {
+    std::cout << (response->values.size() > preview ? " ...\n" : "\n");
+  }
+  return EXIT_SUCCESS;
+}
+
 int CmdEval(int argc, char** argv) {
   if (argc < 4) return Usage();
   Result<KgPairDataset> dataset = LoadDatasetDir(argv[2]);
@@ -206,5 +371,7 @@ int main(int argc, char** argv) {
   if (command == "embed") return CmdEmbed(argc, argv);
   if (command == "match") return CmdMatch(argc, argv);
   if (command == "eval") return CmdEval(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
   return Usage();
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kAlreadyExists,
   kFailedPrecondition,
   kResourceExhausted,
+  kDeadlineExceeded,
   kInternal,
   kIoError,
   kUnimplemented,
@@ -70,6 +71,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));

@@ -96,24 +96,42 @@ Result<Assignment> MatchEngine::Match(const MatchOptions& options) {
         "the RL matcher needs KG context; use RunMatching or RlMatch");
   }
   // Reject an over-budget query before leasing anything: clean error, no
-  // partial output, arena untouched.
+  // partial output, arena untouched. BeginBatch re-checks only the stage-1+2
+  // subset, so this full-declaration check stays the authoritative one.
   EM_RETURN_NOT_OK(workspace_->CheckBudget(DeclaredWorkspaceBytes(options)));
-  workspace_->ResetHighWater();
+  EM_ASSIGN_OR_RETURN(ScoredBatch batch, BeginBatch(options));
+  return batch.Match(options);
+}
 
-  EM_ASSIGN_OR_RETURN(
-      ScratchMatrix scores,
-      ScratchMatrix::Acquire(workspace_.get(), source_.rows(), target_.rows()));
+Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
+    const MatchOptions& options) {
+  const size_t n = source_.rows();
+  const size_t m = target_.rows();
+  EM_RETURN_NOT_OK(workspace_->CheckBudget(
+      n * m * sizeof(float) + TransformWorkspaceBytes(options, n, m)));
+  workspace_->ResetHighWater();
+  EM_ASSIGN_OR_RETURN(ScratchMatrix scores,
+                      ScratchMatrix::Acquire(workspace_.get(), n, m));
   EM_RETURN_NOT_OK(ComputeScoresInto(&scores.get(), options));
-  return MatchScores(scores.get(), options, workspace_.get());
+  return ScoredBatch(this, std::move(scores), ScoreSignature::Of(options));
+}
+
+Result<Assignment> MatchEngine::ScoredBatch::Match(const MatchOptions& options) {
+  if (options.matcher == MatcherKind::kRl) {
+    return Status::InvalidArgument(
+        "the RL matcher needs KG context; use RunMatching or RlMatch");
+  }
+  if (!(ScoreSignature::Of(options) == signature_)) {
+    return Status::InvalidArgument(
+        "ScoredBatch::Match: options carry a different score signature than "
+        "the batch was computed with");
+  }
+  return MatchScores(scores_.get(), options, engine_->workspace_.get());
 }
 
 Result<Matrix> MatchEngine::TransformedScores(const MatchOptions& options) {
-  workspace_->ResetHighWater();
-  EM_ASSIGN_OR_RETURN(
-      ScratchMatrix scores,
-      ScratchMatrix::Acquire(workspace_.get(), source_.rows(), target_.rows()));
-  EM_RETURN_NOT_OK(ComputeScoresInto(&scores.get(), options));
-  return Matrix(scores.get());  // deep owned copy; the lease is recycled
+  EM_ASSIGN_OR_RETURN(ScoredBatch batch, BeginBatch(options));
+  return Matrix(batch.scores());  // deep owned copy; the lease is recycled
 }
 
 }  // namespace entmatcher

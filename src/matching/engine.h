@@ -60,6 +60,51 @@ class MatchEngine {
   /// matcher == kRl (needs KG context; see RunMatching).
   Result<Assignment> Match(const MatchOptions& options);
 
+  /// A leased, transformed score matrix shared by a batch of queries with
+  /// the same ScoreSignature: stages 1+2 run once at BeginBatch, then any
+  /// number of decision stages run against the shared scores. This is the
+  /// serving layer's micro-batching primitive — for B coalesced queries the
+  /// O(n·m·d) similarity + transform work is paid once instead of B times.
+  /// Each decision is bit-identical to a solo Match with the same options
+  /// (both run MatchScores on bit-identical scores).
+  ///
+  /// Move-only; destruction returns the score lease to the engine's arena.
+  /// The engine must outlive the batch, and no other engine query may run
+  /// while a batch is open (the arena is single-threaded by design).
+  class ScoredBatch {
+   public:
+    ScoredBatch(ScoredBatch&&) = default;
+    ScoredBatch& operator=(ScoredBatch&&) = default;
+    ScoredBatch(const ScoredBatch&) = delete;
+    ScoredBatch& operator=(const ScoredBatch&) = delete;
+
+    /// The shared transformed score matrix (source.rows × target.rows).
+    const Matrix& scores() const { return scores_.get(); }
+
+    /// Runs only the decision stage of `options` on the shared scores.
+    /// options must carry the batch's ScoreSignature (kInvalidArgument
+    /// otherwise — a mis-grouped query would silently decide on the wrong
+    /// transform) and a non-RL matcher.
+    Result<Assignment> Match(const MatchOptions& options);
+
+   private:
+    friend class MatchEngine;
+    ScoredBatch(MatchEngine* engine, ScratchMatrix scores,
+                const ScoreSignature& signature)
+        : engine_(engine), scores_(std::move(scores)), signature_(signature) {}
+
+    MatchEngine* engine_;
+    ScratchMatrix scores_;
+    ScoreSignature signature_;
+  };
+
+  /// Opens a batch: pre-checks the stage-1+2 bytes (score matrix + transform
+  /// scratch) against the budget, starts a new high-water region, and runs
+  /// similarity + transform once. Decision-stage bytes are checked per
+  /// ScoredBatch::Match, exactly as the matcher's leases demand them;
+  /// serving-layer admission pre-checks the full per-query declaration.
+  Result<ScoredBatch> BeginBatch(const MatchOptions& options);
+
   /// Stages 1+2 only: similarity + transform, returned as an owned copy (the
   /// arena buffer is released before returning). For inspection and the
   /// bit-identity suite; Match() is the allocation-free hot path.

@@ -78,7 +78,7 @@ Result<Assignment> StreamingMatch(const Matrix& source, const Matrix& target,
   // kernel keeps decisions bit-identical to the dense pipeline.
   const SimilarityCache cache =
       BuildSimilarityCache(source, target, options.metric);
-  Workspace workspace;
+  Workspace workspace(options.workspace_budget_bytes);
 
   std::vector<float> phi_s;
   std::vector<float> phi_t;

@@ -17,6 +17,10 @@ struct StreamingOptions {
   size_t csls_k = 1;
   /// Source rows scored per block; workspace is O(block_rows x m).
   size_t block_rows = 256;
+  /// Hard cap in bytes on the streaming tile arena (0 = unlimited). A sweep
+  /// whose per-block tile cannot fit fails with a clean kResourceExhausted —
+  /// no partial assignment is ever returned.
+  size_t workspace_budget_bytes = 0;
 };
 
 /// Greedy/CSLS matching that never materializes the full n x m score

@@ -46,6 +46,31 @@ MatchOptions MakePreset(AlgorithmPreset preset) {
   return options;
 }
 
+ScoreSignature ScoreSignature::Of(const MatchOptions& options) {
+  ScoreSignature sig;
+  sig.metric = options.metric;
+  sig.transform = options.transform;
+  switch (options.transform) {
+    case ScoreTransformKind::kNone:
+    case ScoreTransformKind::kRinfWr:
+      break;
+    case ScoreTransformKind::kCsls:
+      sig.csls_k = options.csls_k;
+      break;
+    case ScoreTransformKind::kRinf:
+      sig.rinf_k = options.rinf_k;
+      break;
+    case ScoreTransformKind::kRinfPb:
+      sig.rinf_pb_candidates = options.rinf_pb_candidates;
+      break;
+    case ScoreTransformKind::kSinkhorn:
+      sig.sinkhorn_iterations = options.sinkhorn_iterations;
+      sig.sinkhorn_temperature = options.sinkhorn_temperature;
+      break;
+  }
+  return sig;
+}
+
 const char* PresetName(AlgorithmPreset preset) {
   switch (preset) {
     case AlgorithmPreset::kDInf:

@@ -113,6 +113,30 @@ struct MatchOptions {
   RlMatcherOptions rl;
 };
 
+/// The part of a MatchOptions that determines the transformed score matrix
+/// (stages 1+2 of the pipeline: similarity metric, score transform, and the
+/// transform's parameters). Two queries with equal signatures produce
+/// bit-identical transformed scores, so they can share one similarity +
+/// transform pass — the serving layer's micro-batching key. The decision
+/// stage (matcher) is free to differ within a batch.
+struct ScoreSignature {
+  SimilarityMetric metric = SimilarityMetric::kCosine;
+  ScoreTransformKind transform = ScoreTransformKind::kNone;
+  size_t csls_k = 0;
+  size_t rinf_k = 0;
+  size_t sinkhorn_iterations = 0;
+  double sinkhorn_temperature = 0.0;
+  size_t rinf_pb_candidates = 0;
+
+  /// Canonical signature of `options`: parameters the active transform does
+  /// not read are zeroed, so e.g. two kNone queries with different csls_k
+  /// still coalesce into one batch.
+  static ScoreSignature Of(const MatchOptions& options);
+
+  friend bool operator==(const ScoreSignature&,
+                         const ScoreSignature&) = default;
+};
+
 /// The paper's named algorithms, each a (transform, matcher) combination.
 enum class AlgorithmPreset {
   kDInf,

@@ -1,0 +1,53 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace entmatcher {
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("ServeClient: bad socket path: " +
+                                   socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IoError("connect " + socket_path + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return ServeClient(fd);
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<WireResponse> ServeClient::Call(const WireRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("ServeClient: not connected");
+  EM_RETURN_NOT_OK(WriteFrame(fd_, EncodeRequest(request)));
+  EM_ASSIGN_OR_RETURN(const std::string payload, ReadFrame(fd_));
+  return ParseResponse(payload);
+}
+
+}  // namespace entmatcher

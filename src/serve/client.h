@@ -1,0 +1,43 @@
+#ifndef ENTMATCHER_SERVE_CLIENT_H_
+#define ENTMATCHER_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace entmatcher {
+
+/// Minimal blocking client for the serve socket protocol: one unix-domain
+/// connection, one frame out / one frame in per Call. Used by
+/// `entmatcher_cli query`, the serve tests, and anything else that wants to
+/// talk to a running `entmatcher_cli serve` without linking the server.
+class ServeClient {
+ public:
+  /// Connects to the socket created by SocketServer / `entmatcher_cli
+  /// serve`.
+  static Result<ServeClient> Connect(const std::string& socket_path);
+
+  ServeClient(ServeClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  ~ServeClient();
+
+  /// Sends one request and waits for its response frame. IoError if the
+  /// connection drops; a server-side failure comes back in
+  /// WireResponse::status.
+  Result<WireResponse> Call(const WireRequest& request);
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_SERVE_CLIENT_H_

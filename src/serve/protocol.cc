@@ -1,0 +1,263 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace entmatcher {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Reads exactly `size` bytes; `any_read` distinguishes clean EOF (peer
+// closed between frames) from a truncated frame.
+Status ReadAll(int fd, char* data, size_t size, bool* any_read) {
+  size_t filled = 0;
+  while (filled < size) {
+    const ssize_t n = ::read(fd, data + filled, size - filled);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (filled == 0 && !*any_read) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    *any_read = true;
+    filled += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusCode StatusCodeFromName(std::string_view name) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kDeadlineExceeded, StatusCode::kInternal,
+        StatusCode::kIoError, StatusCode::kUnimplemented}) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+void AppendUint32Le(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+  out->push_back(static_cast<char>((value >> 16) & 0xff));
+  out->push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+uint32_t ReadUint32Le(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<uint32_t>(bytes[0]) |
+         (static_cast<uint32_t>(bytes[1]) << 8) |
+         (static_cast<uint32_t>(bytes[2]) << 16) |
+         (static_cast<uint32_t>(bytes[3]) << 24);
+}
+
+Result<uint64_t> ParseUint(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number: " + std::string(text));
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+// Splits on single spaces, dropping empties.
+std::vector<std::string_view> Tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  for (std::string_view token : SplitString(line, ' ')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  AppendUint32Le(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[4];
+  bool any_read = false;
+  EM_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header), &any_read));
+  const uint32_t length = ReadUint32Le(header);
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length " + std::to_string(length) +
+                                   " exceeds the cap");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    EM_RETURN_NOT_OK(ReadAll(fd, payload.data(), length, &any_read));
+  }
+  return payload;
+}
+
+Result<AlgorithmPreset> ParseServableAlgorithm(std::string_view name) {
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kDInf, AlgorithmPreset::kCsls, AlgorithmPreset::kRinf,
+        AlgorithmPreset::kRinfWr, AlgorithmPreset::kRinfPb,
+        AlgorithmPreset::kSinkhorn, AlgorithmPreset::kHungarian,
+        AlgorithmPreset::kStableMatch}) {
+    if (name == PresetName(preset)) return preset;
+  }
+  if (name == PresetName(AlgorithmPreset::kRl)) {
+    return Status::InvalidArgument(
+        "RL needs KG context and cannot be served; use entmatcher_cli match");
+  }
+  return Status::InvalidArgument("unknown algorithm: " + std::string(name));
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string line;
+  switch (request.verb) {
+    case WireRequest::Verb::kMatch:
+      line = "match " + std::string(PresetName(request.algorithm));
+      break;
+    case WireRequest::Verb::kTopK:
+      line = "topk " + std::string(PresetName(request.algorithm)) + " " +
+             std::to_string(request.k);
+      break;
+    case WireRequest::Verb::kStats:
+      return "stats";
+    case WireRequest::Verb::kShutdown:
+      return "shutdown";
+  }
+  if (request.timeout_micros > 0) {
+    line += " timeout_us=" + std::to_string(request.timeout_micros);
+  }
+  return line;
+}
+
+Result<WireRequest> ParseRequest(std::string_view payload) {
+  const std::vector<std::string_view> tokens = Tokens(payload);
+  if (tokens.empty()) return Status::InvalidArgument("empty request");
+  WireRequest request;
+  size_t next = 1;
+  if (tokens[0] == "stats") {
+    request.verb = WireRequest::Verb::kStats;
+  } else if (tokens[0] == "shutdown") {
+    request.verb = WireRequest::Verb::kShutdown;
+  } else if (tokens[0] == "match" || tokens[0] == "topk") {
+    request.verb = tokens[0] == "match" ? WireRequest::Verb::kMatch
+                                        : WireRequest::Verb::kTopK;
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("missing algorithm name");
+    }
+    EM_ASSIGN_OR_RETURN(request.algorithm,
+                        ParseServableAlgorithm(tokens[1]));
+    next = 2;
+    if (request.verb == WireRequest::Verb::kTopK) {
+      if (tokens.size() < 3) return Status::InvalidArgument("missing k");
+      EM_ASSIGN_OR_RETURN(const uint64_t k, ParseUint(tokens[2]));
+      if (k == 0) return Status::InvalidArgument("k must be >= 1");
+      request.k = static_cast<size_t>(k);
+      next = 3;
+    }
+  } else {
+    return Status::InvalidArgument("unknown verb: " + std::string(tokens[0]));
+  }
+  for (; next < tokens.size(); ++next) {
+    const std::string_view token = tokens[next];
+    const std::string_view kTimeout = "timeout_us=";
+    if (StartsWith(token, kTimeout)) {
+      EM_ASSIGN_OR_RETURN(request.timeout_micros,
+                          ParseUint(token.substr(kTimeout.size())));
+    } else {
+      return Status::InvalidArgument("unknown option: " + std::string(token));
+    }
+  }
+  return request;
+}
+
+std::string EncodeValuesResponse(const std::vector<int32_t>& values) {
+  std::string payload = "ok values " + std::to_string(values.size()) + "\n";
+  payload.reserve(payload.size() + values.size() * 4);
+  for (int32_t value : values) {
+    AppendUint32Le(&payload, static_cast<uint32_t>(value));
+  }
+  return payload;
+}
+
+std::string EncodeTextResponse(std::string_view text) {
+  return "ok text\n" + std::string(text);
+}
+
+std::string EncodeErrorResponse(const Status& status) {
+  return "error " + std::string(StatusCodeToString(status.code())) + " " +
+         status.message();
+}
+
+Result<WireResponse> ParseResponse(std::string_view payload) {
+  WireResponse response;
+  if (StartsWith(payload, "error ")) {
+    std::string_view rest = payload.substr(6);
+    const size_t space = rest.find(' ');
+    const std::string_view code_name =
+        space == std::string_view::npos ? rest : rest.substr(0, space);
+    const std::string_view message =
+        space == std::string_view::npos ? std::string_view()
+                                        : rest.substr(space + 1);
+    response.status =
+        Status(StatusCodeFromName(code_name), std::string(message));
+    return response;
+  }
+  const size_t newline = payload.find('\n');
+  const std::string_view header =
+      newline == std::string_view::npos ? payload : payload.substr(0, newline);
+  const std::string_view body =
+      newline == std::string_view::npos ? std::string_view()
+                                        : payload.substr(newline + 1);
+  if (header == "ok text") {
+    response.text = std::string(body);
+    return response;
+  }
+  if (StartsWith(header, "ok values ")) {
+    EM_ASSIGN_OR_RETURN(const uint64_t count, ParseUint(header.substr(10)));
+    if (body.size() != count * 4) {
+      return Status::InvalidArgument(
+          "values payload is " + std::to_string(body.size()) +
+          " B, expected " + std::to_string(count * 4));
+    }
+    response.values.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      response.values.push_back(
+          static_cast<int32_t>(ReadUint32Le(body.data() + i * 4)));
+    }
+    return response;
+  }
+  return Status::InvalidArgument("unparseable response header: " +
+                                 std::string(header));
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,79 @@
+#ifndef ENTMATCHER_SERVE_PROTOCOL_H_
+#define ENTMATCHER_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "matching/types.h"
+
+namespace entmatcher {
+
+// Wire format of the serve front-end. -----------------------------------------
+//
+// Every message is one frame: a 4-byte little-endian unsigned payload length
+// followed by that many payload bytes. Requests are a single text line;
+// responses are a text header line optionally followed by a binary int32
+// array. Deliberately dependency-free and greppable — `xxd` on a capture
+// shows the whole conversation.
+//
+// Requests:
+//   "match <ALGO> [timeout_us=N]"      full pipeline -> assignment
+//   "topk <ALGO> <k> [timeout_us=N]"   transformed scores -> top-k indices
+//   "stats"                            serving counters as JSON
+//   "shutdown"                         stop the server after responding
+// <ALGO> is a paper preset name (DInf, CSLS, RInf, RInf-wr, RInf-pb, Sink.,
+// Hun., SMat).
+//
+// Responses:
+//   "ok values <n>\n" + n little-endian int32s   (match / topk payload)
+//   "ok text\n" + UTF-8 text                     (stats payload)
+//   "error <CODE> <message>"                     (any failure)
+
+/// Hard cap on accepted frame payloads (1 GiB would be a corrupt length
+/// prefix long before it is a real workload).
+inline constexpr size_t kMaxFrameBytes = 64ull << 20;
+
+/// Writes one frame to `fd`, handling short writes. IoError on failure.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame from `fd`. kIoError on EOF mid-frame or socket error,
+/// kInvalidArgument on an over-long length prefix; clean EOF before any
+/// byte yields kNotFound (the peer simply closed).
+Result<std::string> ReadFrame(int fd);
+
+/// A parsed request line.
+struct WireRequest {
+  enum class Verb { kMatch, kTopK, kStats, kShutdown };
+  Verb verb = Verb::kMatch;
+  AlgorithmPreset algorithm = AlgorithmPreset::kDInf;  // match/topk
+  size_t k = 0;                                        // topk
+  uint64_t timeout_micros = 0;                         // 0 = no deadline
+};
+
+std::string EncodeRequest(const WireRequest& request);
+Result<WireRequest> ParseRequest(std::string_view payload);
+
+/// A parsed response: `status` mirrors the server-side Status; on success
+/// exactly one of `values` (match/topk) or `text` (stats) is meaningful.
+struct WireResponse {
+  Status status;
+  std::vector<int32_t> values;
+  std::string text;
+};
+
+std::string EncodeValuesResponse(const std::vector<int32_t>& values);
+std::string EncodeTextResponse(std::string_view text);
+std::string EncodeErrorResponse(const Status& status);
+Result<WireResponse> ParseResponse(std::string_view payload);
+
+/// Maps a paper preset name ("CSLS", "Hun.", ...) to its preset;
+/// kInvalidArgument for unknown names. RL is rejected here: the serving
+/// layer has no KG context to run it.
+Result<AlgorithmPreset> ParseServableAlgorithm(std::string_view name);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_SERVE_PROTOCOL_H_

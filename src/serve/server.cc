@@ -1,0 +1,291 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "la/topk.h"
+
+namespace entmatcher {
+
+namespace {
+
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+MatchServer::MatchServer(const MatchServerConfig& config)
+    : config_(config), stats_(config.max_batch) {}
+
+Result<std::unique_ptr<MatchServer>> MatchServer::Create(
+    const MatchServerConfig& config) {
+  if (config.queue_capacity == 0) {
+    return Status::InvalidArgument("MatchServer: queue_capacity must be >= 1");
+  }
+  if (config.max_batch == 0) {
+    return Status::InvalidArgument("MatchServer: max_batch must be >= 1");
+  }
+  return std::unique_ptr<MatchServer>(new MatchServer(config));
+}
+
+MatchServer::~MatchServer() { Shutdown(); }
+
+Status MatchServer::LoadPair(const std::string& name, Matrix source,
+                             Matrix target, const MatchOptions& base) {
+  MatchOptions options = base;
+  options.workspace_budget_bytes = config_.workspace_budget_bytes;
+  Result<MatchEngine> engine =
+      MatchEngine::Create(std::move(source), std::move(target), options);
+  if (!engine.ok()) return engine.status();
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  auto [it, inserted] = engines_.emplace(
+      name, std::make_unique<MatchEngine>(std::move(engine).value()));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("MatchServer: pair already loaded: " + name);
+  }
+  return Status::OK();
+}
+
+Status MatchServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (scheduler_.joinable()) {
+    return Status::FailedPrecondition("MatchServer: already started");
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("MatchServer: already shut down");
+    }
+  }
+  scheduler_ = std::thread(&MatchServer::SchedulerLoop, this);
+  return Status::OK();
+}
+
+std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  // Admission control: answer doomed or unservable requests now, on the
+  // submitting thread, instead of letting them queue behind real work.
+  Status verdict = Status::OK();
+  MatchEngine* engine = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    auto it = engines_.find(request.pair);
+    if (it != engines_.end()) engine = it->second.get();
+  }
+  if (engine == nullptr) {
+    verdict = Status::NotFound("MatchServer: unknown pair: " + request.pair);
+  } else if (request.kind == ServeQueryKind::kMatch &&
+             request.options.matcher == MatcherKind::kRl) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: the RL matcher needs KG context and cannot be served");
+  } else if (request.kind == ServeQueryKind::kTopK && request.topk == 0) {
+    verdict = Status::InvalidArgument("MatchServer: topk must be >= 1");
+  } else if (config_.workspace_budget_bytes > 0) {
+    MatchOptions declared = request.options;
+    // Top-k runs no decision stage; only stages 1+2 count against it.
+    if (request.kind == ServeQueryKind::kTopK) {
+      declared.matcher = MatcherKind::kGreedy;
+    }
+    const size_t bytes = engine->DeclaredWorkspaceBytes(declared);
+    if (bytes > config_.workspace_budget_bytes) {
+      verdict = Status::ResourceExhausted(
+          "MatchServer: declared workspace of " + std::to_string(bytes) +
+          " B exceeds the arena budget of " +
+          std::to_string(config_.workspace_budget_bytes) + " B");
+    }
+  }
+
+  size_t depth_after = 0;
+  if (verdict.ok()) {
+    Pending pending;
+    pending.request = std::move(request);
+    pending.enqueued = Clock::now();
+    pending.deadline =
+        pending.request.timeout_micros > 0
+            ? pending.enqueued +
+                  std::chrono::microseconds(pending.request.timeout_micros)
+            : Clock::time_point::max();
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      verdict = Status::FailedPrecondition("MatchServer: shut down");
+    } else if (queue_.size() >= config_.queue_capacity) {
+      verdict = Status::ResourceExhausted(
+          "MatchServer: request queue full (" +
+          std::to_string(config_.queue_capacity) + ")");
+    } else {
+      pending.promise = std::move(promise);
+      queue_.push_back(std::move(pending));
+      depth_after = queue_.size();
+    }
+  }
+
+  if (!verdict.ok()) {
+    stats_.RecordRejected();
+    ServeResponse response;
+    response.status = std::move(verdict);
+    promise.set_value(std::move(response));
+    return future;
+  }
+  stats_.RecordAdmitted(depth_after);
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServeResponse MatchServer::Query(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+ServerStatsSnapshot MatchServer::Stats() const {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+  }
+  return stats_.Snapshot(depth);
+}
+
+void MatchServer::Shutdown() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  // Only reachable with a non-empty queue when the scheduler never started:
+  // a running scheduler drains everything before exiting.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    ServeResponse response;
+    response.status = Status::FailedPrecondition(
+        "MatchServer: shut down before the request executed");
+    Respond(&pending, std::move(response));
+  }
+}
+
+std::vector<MatchServer::Pending> MatchServer::NextCycle() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // stopping, fully drained
+
+  std::vector<Pending> cycle;
+  cycle.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const Clock::time_point flush_deadline =
+      Clock::now() + std::chrono::microseconds(config_.flush_micros);
+  while (cycle.size() < config_.max_batch) {
+    if (!queue_.empty()) {
+      cycle.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      continue;
+    }
+    if (stopping_ || config_.flush_micros == 0) break;
+    // Keep the batch open until the flush window closes or it fills.
+    if (!queue_cv_.wait_until(lock, flush_deadline, [&] {
+          return stopping_ || !queue_.empty();
+        })) {
+      break;
+    }
+  }
+  return cycle;
+}
+
+void MatchServer::SchedulerLoop() {
+  for (;;) {
+    std::vector<Pending> cycle = NextCycle();
+    if (cycle.empty()) return;
+    // Split the cycle into compatible groups — queries sharing a pair and a
+    // ScoreSignature — preserving arrival order; each group is one batch.
+    while (!cycle.empty()) {
+      const std::string pair = cycle.front().request.pair;
+      const ScoreSignature signature =
+          ScoreSignature::Of(cycle.front().request.options);
+      std::vector<Pending> group;
+      std::vector<Pending> rest;
+      for (Pending& pending : cycle) {
+        if (pending.request.pair == pair &&
+            ScoreSignature::Of(pending.request.options) == signature) {
+          group.push_back(std::move(pending));
+        } else {
+          rest.push_back(std::move(pending));
+        }
+      }
+      cycle = std::move(rest);
+      ExecuteGroup(std::move(group));
+    }
+  }
+}
+
+void MatchServer::ExecuteGroup(std::vector<Pending> group) {
+  // Requests whose deadline passed while queued are answered without paying
+  // for any kernel work.
+  const Clock::time_point now = Clock::now();
+  std::vector<Pending> live;
+  live.reserve(group.size());
+  for (Pending& pending : group) {
+    if (pending.deadline <= now) {
+      ServeResponse response;
+      response.status = Status::DeadlineExceeded(
+          "MatchServer: request expired after " +
+          std::to_string(static_cast<uint64_t>(
+              MicrosBetween(pending.enqueued, now))) +
+          " us in queue");
+      Respond(&pending, std::move(response));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  MatchEngine* engine = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    auto it = engines_.find(live.front().request.pair);
+    if (it != engines_.end()) engine = it->second.get();
+  }
+
+  stats_.RecordBatch(live.size());
+  Result<MatchEngine::ScoredBatch> batch =
+      engine != nullptr
+          ? engine->BeginBatch(live.front().request.options)
+          : Result<MatchEngine::ScoredBatch>(Status::Internal(
+                "MatchServer: pair vanished after admission"));
+  for (Pending& pending : live) {
+    ServeResponse response;
+    response.batch_size = live.size();
+    if (!batch.ok()) {
+      response.status = batch.status();
+    } else if (pending.request.kind == ServeQueryKind::kMatch) {
+      Result<Assignment> assignment = batch->Match(pending.request.options);
+      if (assignment.ok()) {
+        response.assignment = std::move(assignment).value();
+      } else {
+        response.status = assignment.status();
+      }
+    } else {
+      response.topk = RowTopKIndices(batch->scores(), pending.request.topk);
+    }
+    Respond(&pending, std::move(response));
+  }
+}
+
+void MatchServer::Respond(Pending* pending, ServeResponse response) {
+  const double latency_micros =
+      MicrosBetween(pending->enqueued, Clock::now());
+  if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    stats_.RecordTimedOut();
+  } else {
+    stats_.RecordDone(response.status.ok(), latency_micros);
+  }
+  pending->promise.set_value(std::move(response));
+}
+
+}  // namespace entmatcher

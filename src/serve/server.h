@@ -1,0 +1,182 @@
+#ifndef ENTMATCHER_SERVE_SERVER_H_
+#define ENTMATCHER_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "matching/engine.h"
+#include "matching/types.h"
+#include "serve/stats.h"
+
+namespace entmatcher {
+
+/// Tuning knobs of a MatchServer.
+struct MatchServerConfig {
+  /// Bound of the request queue; a Submit that finds it full is rejected
+  /// with kResourceExhausted instead of blocking (backpressure stays at the
+  /// client, the scheduler never drowns).
+  size_t queue_capacity = 256;
+  /// Upper bound on queries coalesced into one similarity+transform pass.
+  /// 1 disables micro-batching (strict per-request execution).
+  size_t max_batch = 8;
+  /// After the first request of a cycle arrives, how long the scheduler
+  /// keeps the batch open for more requests before flushing. 0 flushes
+  /// immediately with whatever is already queued.
+  uint64_t flush_micros = 200;
+  /// Per-engine workspace-arena budget in bytes (0 = unlimited); each
+  /// request's DeclaredWorkspaceBytes is pre-checked against it at admission.
+  size_t workspace_budget_bytes = 0;
+};
+
+/// What a ServeRequest asks of the engine.
+enum class ServeQueryKind {
+  /// Full pipeline: transformed scores + decision stage -> Assignment.
+  kMatch,
+  /// Transformed scores + RowTopKIndices -> flattened (rows × k) candidates.
+  kTopK,
+};
+
+/// One client query against a loaded embedding pair.
+struct ServeRequest {
+  /// Name the pair was loaded under (LoadPair).
+  std::string pair = "default";
+  ServeQueryKind kind = ServeQueryKind::kMatch;
+  /// Pipeline configuration; the ScoreSignature part is the batching key.
+  MatchOptions options;
+  /// Candidates per source row (kTopK only; clamped to target rows).
+  size_t topk = 10;
+  /// End-to-end deadline measured from Submit; a request still queued when
+  /// it expires is answered kDeadlineExceeded without executing. 0 = none.
+  uint64_t timeout_micros = 0;
+};
+
+/// The server's answer. Exactly one payload field is filled on success.
+struct ServeResponse {
+  Status status;
+  /// kMatch payload.
+  Assignment assignment;
+  /// kTopK payload: flattened (rows × k') indices, k' = min(k, target rows).
+  std::vector<uint32_t> topk;
+  /// How many queries shared this response's scores pass (1 = ran alone).
+  size_t batch_size = 0;
+};
+
+/// A long-lived, multi-client serving layer over MatchEngine sessions.
+///
+/// One warm engine per loaded embedding pair; clients submit queries from
+/// any thread into a bounded queue and a single scheduler thread drains it,
+/// coalescing queries with equal (pair, ScoreSignature) into one scores pass
+/// (MatchEngine::BeginBatch) of at most max_batch queries — the decision
+/// stage still runs per query, so every response is bit-identical to a solo
+/// MatchEngine::Match/TransformedScores with the same options (pinned by
+/// tests/serve/serve_test.cc). Incompatible queries in a cycle simply form
+/// their own (possibly singleton) groups: per-request execution is the
+/// natural fallback, not a separate code path.
+///
+/// Admission control happens on the submitting thread, before queueing:
+/// unknown pair (kNotFound), RL matcher (kInvalidArgument: no KG context in
+/// the serving layer), a DeclaredWorkspaceBytes above the arena budget
+/// (kResourceExhausted — the query is doomed, reject it now, not after it
+/// queued behind real work), and a full queue (kResourceExhausted).
+///
+/// Lifecycle: Create -> LoadPair (any number) -> Start -> Submit/Query ...
+/// -> Shutdown (drains the queue, answering still-pending requests with
+/// kFailedPrecondition). LoadPair is allowed while running; engines are only
+/// ever *queried* by the scheduler thread, so MatchEngine's single-thread
+/// contract holds.
+class MatchServer {
+ public:
+  static Result<std::unique_ptr<MatchServer>> Create(
+      const MatchServerConfig& config);
+
+  /// Shutdown() if still running.
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Prepares a warm engine for (source, target) under `name`. `base`
+  /// provides session defaults; its workspace_budget_bytes is overridden by
+  /// the server-level config. kAlreadyExists if the name is taken.
+  Status LoadPair(const std::string& name, Matrix source, Matrix target,
+                  const MatchOptions& base = MatchOptions());
+
+  /// Spawns the scheduler thread. Requests submitted before Start wait in
+  /// the queue (handy for tests and warm-up scripts). kFailedPrecondition
+  /// if already started or shut down.
+  Status Start();
+
+  /// Admission-checks `request` and enqueues it; the future resolves when
+  /// the scheduler answers. Admission failures resolve immediately, with
+  /// the failure also recorded in the stats (rejected count).
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  /// Blocking convenience: Submit + wait.
+  ServeResponse Query(ServeRequest request);
+
+  /// Current counters; `queue_depth` is sampled at the call.
+  ServerStatsSnapshot Stats() const;
+
+  /// Stops accepting new work, lets the scheduler drain everything already
+  /// queued (executing live requests, failing the rest only if the scheduler
+  /// never started), and joins it. Idempotent.
+  void Shutdown();
+
+  const MatchServerConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // time_point::max() when none
+  };
+
+  explicit MatchServer(const MatchServerConfig& config);
+
+  /// Scheduler body: pop a cycle's worth of requests, group, execute.
+  void SchedulerLoop();
+
+  /// Blocks for the next cycle of at most max_batch requests (waiting up to
+  /// flush_micros after the first arrival). Empty result means shutdown.
+  std::vector<Pending> NextCycle();
+
+  /// Executes one compatible group (same pair + signature) as one batch.
+  void ExecuteGroup(std::vector<Pending> group);
+
+  /// Answers `pending` and updates outcome/latency stats.
+  void Respond(Pending* pending, ServeResponse response);
+
+  MatchServerConfig config_;
+  ServerStats stats_;
+
+  mutable std::mutex engines_mu_;
+  std::map<std::string, std::unique_ptr<MatchEngine>> engines_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  // Serializes Start/Shutdown (thread spawn + join); never taken by the
+  // scheduler itself.
+  std::mutex lifecycle_mu_;
+  std::thread scheduler_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_SERVE_SERVER_H_

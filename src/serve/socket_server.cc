@@ -1,0 +1,161 @@
+#include "serve/socket_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.h"
+
+namespace entmatcher {
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Start(
+    MatchServer* server, const std::string& socket_path) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("SocketServer: null MatchServer");
+  }
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("SocketServer: bad socket path: " +
+                                   socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::IoError("bind " + socket_path + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) < 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  std::unique_ptr<SocketServer> out(
+      new SocketServer(server, socket_path, fd));
+  out->accept_thread_ = std::thread(&SocketServer::AcceptLoop, out.get());
+  return out;
+}
+
+SocketServer::SocketServer(MatchServer* server, std::string socket_path,
+                           int listen_fd)
+    : server_(server), socket_path_(std::move(socket_path)),
+      listen_fd_(listen_fd) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+void SocketServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void SocketServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  // shutdown() (not close) reliably wakes a blocked accept()/read().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  connection_threads_.clear();
+  ::close(listen_fd_);
+  ::unlink(socket_path_.c_str());
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(&SocketServer::ServeConnection, this, fd);
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  for (;;) {
+    Result<std::string> payload = ReadFrame(fd);
+    if (!payload.ok()) break;  // peer closed or unreadable frame
+    if (!HandleFrame(fd, *payload)) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+      connection_fds_.end());
+  ::close(fd);
+}
+
+bool SocketServer::HandleFrame(int fd, const std::string& payload) {
+  Result<WireRequest> parsed = ParseRequest(payload);
+  if (!parsed.ok()) {
+    return WriteFrame(fd, EncodeErrorResponse(parsed.status())).ok();
+  }
+  switch (parsed->verb) {
+    case WireRequest::Verb::kStats:
+      return WriteFrame(fd, EncodeTextResponse(server_->Stats().ToJson()))
+          .ok();
+    case WireRequest::Verb::kShutdown: {
+      (void)WriteFrame(fd, EncodeTextResponse("shutting down"));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return false;
+    }
+    case WireRequest::Verb::kMatch:
+    case WireRequest::Verb::kTopK:
+      break;
+  }
+
+  ServeRequest request;
+  request.options = MakePreset(parsed->algorithm);
+  request.timeout_micros = parsed->timeout_micros;
+  if (parsed->verb == WireRequest::Verb::kTopK) {
+    request.kind = ServeQueryKind::kTopK;
+    request.topk = parsed->k;
+  }
+  ServeResponse response = server_->Query(std::move(request));
+  if (!response.status.ok()) {
+    return WriteFrame(fd, EncodeErrorResponse(response.status)).ok();
+  }
+  std::vector<int32_t> values;
+  if (parsed->verb == WireRequest::Verb::kMatch) {
+    values = response.assignment.target_of_source;
+  } else {
+    values.reserve(response.topk.size());
+    for (uint32_t index : response.topk) {
+      values.push_back(static_cast<int32_t>(index));
+    }
+  }
+  return WriteFrame(fd, EncodeValuesResponse(values)).ok();
+}
+
+}  // namespace entmatcher

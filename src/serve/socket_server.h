@@ -1,0 +1,75 @@
+#ifndef ENTMATCHER_SERVE_SOCKET_SERVER_H_
+#define ENTMATCHER_SERVE_SOCKET_SERVER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace entmatcher {
+
+/// Local front-end for a MatchServer: listens on a unix-domain socket and
+/// forwards framed protocol requests (serve/protocol.h) to the server.
+///
+/// One accept thread plus one thread per live connection, each connection
+/// serving frames sequentially until the peer closes. The heavy lifting —
+/// queueing, admission, batching — all happens inside MatchServer; a
+/// connection thread is just a blocking Query() caller, so N concurrent
+/// connections exercise exactly the in-process multi-client path.
+///
+/// A `shutdown` request answers "ok" and then releases WaitForShutdown();
+/// the owner is expected to Stop() (also called by the destructor), which
+/// closes the listener, unlinks the socket path, and joins all threads.
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (unlinking any stale socket file)
+  /// and starts accepting. `server` must outlive this object and should
+  /// already be Start()ed.
+  static Result<std::unique_ptr<SocketServer>> Start(
+      MatchServer* server, const std::string& socket_path);
+
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Blocks until a client sends `shutdown` (or Stop() is called).
+  void WaitForShutdown();
+
+  /// Closes the listener and all live connections, joins every thread, and
+  /// removes the socket file. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  SocketServer(MatchServer* server, std::string socket_path, int listen_fd);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one framed request; returns false when the connection (or the
+  /// whole front-end, on `shutdown`) should close.
+  bool HandleFrame(int fd, const std::string& payload);
+
+  MatchServer* server_;
+  std::string socket_path_;
+  int listen_fd_;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_SERVE_SOCKET_SERVER_H_

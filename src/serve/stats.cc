@@ -1,0 +1,121 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace entmatcher {
+
+namespace {
+
+// Index of the log2 bucket covering `micros`.
+size_t LatencyBucket(double micros, size_t num_buckets) {
+  if (micros < 1.0) return 0;
+  const size_t bucket =
+      static_cast<size_t>(std::floor(std::log2(micros)));
+  return std::min(bucket, num_buckets - 1);
+}
+
+// Upper bound of the bucket where the cumulative count crosses
+// `quantile * total` — exact to within the 2x bucket width.
+double HistogramQuantile(const std::array<uint64_t, 32>& hist, uint64_t total,
+                         double quantile) {
+  if (total == 0) return 0.0;
+  const uint64_t threshold = static_cast<uint64_t>(
+      std::ceil(quantile * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    seen += hist[i];
+    if (seen >= threshold) return std::pow(2.0, static_cast<double>(i + 1));
+  }
+  return std::pow(2.0, static_cast<double>(hist.size()));
+}
+
+}  // namespace
+
+ServerStats::ServerStats(size_t max_batch)
+    : batch_size_hist_(std::max<size_t>(max_batch, 1), 0) {}
+
+void ServerStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.submitted;
+  ++counts_.rejected;
+}
+
+void ServerStats::RecordAdmitted(size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.submitted;
+  ++counts_.admitted;
+  counts_.max_queue_depth =
+      std::max<uint64_t>(counts_.max_queue_depth, queue_depth_after);
+}
+
+void ServerStats::RecordTimedOut() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.timed_out;
+}
+
+void ServerStats::RecordBatch(size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.batches;
+  if (size > 1) counts_.batched_queries += size;
+  const size_t bucket = std::min(size, batch_size_hist_.size()) - 1;
+  ++batch_size_hist_[bucket];
+}
+
+void ServerStats::RecordDone(bool ok, double latency_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++counts_.completed;
+  } else {
+    ++counts_.failed;
+  }
+  ++counts_.latency_samples;
+  ++latency_hist_[LatencyBucket(latency_micros, kLatencyBuckets)];
+  latency_max_micros_ = std::max(latency_max_micros_, latency_micros);
+  latency_sum_micros_ += latency_micros;
+}
+
+ServerStatsSnapshot ServerStats::Snapshot(size_t queue_depth_now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStatsSnapshot snap = counts_;
+  snap.queue_depth = queue_depth_now;
+  snap.batch_size_hist = batch_size_hist_;
+  // Quantiles report the log2 bucket's upper bound; clamp to the observed
+  // max so p50/p99 never exceed it.
+  snap.latency_p50_micros = std::min(
+      HistogramQuantile(latency_hist_, snap.latency_samples, 0.50),
+      latency_max_micros_);
+  snap.latency_p99_micros = std::min(
+      HistogramQuantile(latency_hist_, snap.latency_samples, 0.99),
+      latency_max_micros_);
+  snap.latency_max_micros = latency_max_micros_;
+  snap.latency_mean_micros =
+      snap.latency_samples > 0
+          ? latency_sum_micros_ / static_cast<double>(snap.latency_samples)
+          : 0.0;
+  return snap;
+}
+
+std::string ServerStatsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"submitted\": " << submitted << ", \"admitted\": " << admitted
+      << ", \"rejected\": " << rejected << ", \"timed_out\": " << timed_out
+      << ", \"completed\": " << completed << ", \"failed\": " << failed
+      << ", \"queue_depth\": " << queue_depth
+      << ", \"max_queue_depth\": " << max_queue_depth
+      << ", \"batches\": " << batches
+      << ", \"batched_queries\": " << batched_queries
+      << ", \"batch_size_hist\": [";
+  for (size_t i = 0; i < batch_size_hist.size(); ++i) {
+    out << (i > 0 ? ", " : "") << batch_size_hist[i];
+  }
+  out << "], \"latency_samples\": " << latency_samples
+      << ", \"latency_p50_micros\": " << latency_p50_micros
+      << ", \"latency_p99_micros\": " << latency_p99_micros
+      << ", \"latency_max_micros\": " << latency_max_micros
+      << ", \"latency_mean_micros\": " << latency_mean_micros << "}";
+  return out.str();
+}
+
+}  // namespace entmatcher

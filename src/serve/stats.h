@@ -1,0 +1,86 @@
+#ifndef ENTMATCHER_SERVE_STATS_H_
+#define ENTMATCHER_SERVE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace entmatcher {
+
+/// A point-in-time copy of a MatchServer's serving counters, safe to read
+/// after the server moved on. Exposed in-process via MatchServer::Stats()
+/// and over the wire via the `stats` query.
+struct ServerStatsSnapshot {
+  /// Admission outcomes. submitted == admitted + rejected; every admitted
+  /// request ends up in exactly one of timed_out / completed / failed.
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t timed_out = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+
+  /// Requests waiting in the queue when the snapshot was taken, and the
+  /// deepest the queue has ever been.
+  uint64_t queue_depth = 0;
+  uint64_t max_queue_depth = 0;
+
+  /// One batch == one similarity+transform pass over the score matrix, so
+  /// `batches` is the total number of kernel passes the server paid;
+  /// sequential execution would have paid one per executed query.
+  uint64_t batches = 0;
+  /// Queries that shared their pass with at least one other query.
+  uint64_t batched_queries = 0;
+  /// batch_size_hist[i] counts batches of size i+1; the last bucket absorbs
+  /// anything larger.
+  std::vector<uint64_t> batch_size_hist;
+
+  /// End-to-end latency (enqueue to response) percentiles, from a log-scale
+  /// histogram: values are upper bucket bounds, exact to within 2x.
+  uint64_t latency_samples = 0;
+  double latency_p50_micros = 0.0;
+  double latency_p99_micros = 0.0;
+  double latency_max_micros = 0.0;
+  double latency_mean_micros = 0.0;
+
+  /// Renders the snapshot as a JSON object (the `stats` query's payload and
+  /// the bench's per-mode record).
+  std::string ToJson() const;
+};
+
+/// Thread-safe serving counters: admission outcomes, batch-size histogram,
+/// and a log2-bucketed latency histogram for p50/p99 without storing samples.
+/// Writers are the admission path (any client thread) and the scheduler;
+/// Snapshot() may be called from anywhere.
+class ServerStats {
+ public:
+  /// `max_batch` sizes the batch histogram (one bucket per size 1..max).
+  explicit ServerStats(size_t max_batch);
+
+  void RecordRejected();
+  void RecordAdmitted(size_t queue_depth_after);
+  void RecordTimedOut();
+  /// One executed batch of `size` queries (one scores pass).
+  void RecordBatch(size_t size);
+  /// One finished query: outcome plus its enqueue-to-response latency.
+  void RecordDone(bool ok, double latency_micros);
+
+  ServerStatsSnapshot Snapshot(size_t queue_depth_now) const;
+
+ private:
+  // Buckets cover [2^i, 2^(i+1)) microseconds; 32 buckets reach ~1.2 hours.
+  static constexpr size_t kLatencyBuckets = 32;
+
+  mutable std::mutex mu_;
+  ServerStatsSnapshot counts_;  // histogram/percentile fields stay empty
+  std::vector<uint64_t> batch_size_hist_;
+  std::array<uint64_t, kLatencyBuckets> latency_hist_{};
+  double latency_max_micros_ = 0.0;
+  double latency_sum_micros_ = 0.0;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_SERVE_STATS_H_

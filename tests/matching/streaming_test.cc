@@ -1,0 +1,76 @@
+// StreamingMatch workspace-budget behavior: a budget below what one block
+// tile needs fails the whole sweep with kResourceExhausted and no partial
+// assignment; a sufficient budget leaves the decisions bit-identical to the
+// unbudgeted run.
+
+#include "matching/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 16;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+class StreamingBudgetTest : public ::testing::Test {
+ protected:
+  StreamingBudgetTest()
+      : source_(RandomEmbeddings(40, /*seed=*/3)),
+        target_(RandomEmbeddings(48, /*seed=*/9)) {}
+
+  Matrix source_;
+  Matrix target_;
+};
+
+TEST_F(StreamingBudgetTest, TinyBudgetRejectedCleanly) {
+  StreamingOptions options;
+  options.block_rows = 8;
+  options.workspace_budget_bytes = 64;  // far below one 8 x 48 float tile
+  Result<Assignment> result = StreamingMatch(source_, target_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(StreamingBudgetTest, TinyBudgetRejectedCleanlyWithCsls) {
+  StreamingOptions options;
+  options.use_csls = true;
+  options.csls_k = 2;
+  options.block_rows = 8;
+  options.workspace_budget_bytes = 64;
+  Result<Assignment> result = StreamingMatch(source_, target_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(StreamingBudgetTest, GenerousBudgetMatchesUnbudgetedRun) {
+  for (const bool use_csls : {false, true}) {
+    SCOPED_TRACE(use_csls ? "csls" : "dinf");
+    StreamingOptions options;
+    options.use_csls = use_csls;
+    options.csls_k = 2;
+    options.block_rows = 8;
+
+    Result<Assignment> unbudgeted = StreamingMatch(source_, target_, options);
+    ASSERT_TRUE(unbudgeted.ok()) << unbudgeted.status().ToString();
+
+    options.workspace_budget_bytes = 64ull << 20;
+    Result<Assignment> budgeted = StreamingMatch(source_, target_, options);
+    ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+    EXPECT_EQ(budgeted->target_of_source, unbudgeted->target_of_source);
+  }
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,213 @@
+// Wire-protocol unit tests: frame round trips over a real pipe (short reads
+// included), request/response encode-parse inverses, error mapping, and the
+// malformed-input rejections a hostile client could provoke.
+
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace entmatcher {
+namespace {
+
+class PipeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(::pipe(fds_), 0); }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int read_fd() const { return fds_[0]; }
+  int write_fd() const { return fds_[1]; }
+  void CloseWriteEnd() {
+    ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(PipeTest, FrameRoundTrip) {
+  const std::string payload = "match CSLS";
+  ASSERT_TRUE(WriteFrame(write_fd(), payload).ok());
+  Result<std::string> read = ReadFrame(read_fd());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, payload);
+}
+
+TEST_F(PipeTest, EmptyFrameRoundTrip) {
+  ASSERT_TRUE(WriteFrame(write_fd(), "").ok());
+  Result<std::string> read = ReadFrame(read_fd());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST_F(PipeTest, BinaryPayloadSurvives) {
+  std::string payload("\x00\x01\xff\x7f ok\n\x00", 9);
+  ASSERT_TRUE(WriteFrame(write_fd(), payload).ok());
+  Result<std::string> read = ReadFrame(read_fd());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+}
+
+TEST_F(PipeTest, LargeFrameCrossesPipeBuffer) {
+  // > 64 KiB forces several write()/read() calls, exercising the
+  // short-read/short-write loops.
+  const std::string payload(300000, 'x');
+  std::thread writer(
+      [this, &payload] { ASSERT_TRUE(WriteFrame(write_fd(), payload).ok()); });
+  Result<std::string> read = ReadFrame(read_fd());
+  writer.join();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), payload.size());
+  EXPECT_EQ(*read, payload);
+}
+
+TEST_F(PipeTest, CleanEofIsNotFound) {
+  CloseWriteEnd();
+  Result<std::string> read = ReadFrame(read_fd());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PipeTest, EofMidFrameIsIoError) {
+  const char truncated[] = {16, 0, 0, 0, 'a', 'b'};  // promises 16, sends 2
+  ASSERT_EQ(::write(write_fd(), truncated, sizeof(truncated)),
+            static_cast<ssize_t>(sizeof(truncated)));
+  CloseWriteEnd();
+  Result<std::string> read = ReadFrame(read_fd());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(PipeTest, OversizedLengthPrefixRejected) {
+  const uint32_t huge = static_cast<uint32_t>(kMaxFrameBytes + 1);
+  char prefix[4];
+  std::memcpy(prefix, &huge, 4);
+  ASSERT_EQ(::write(write_fd(), prefix, 4), 4);
+  Result<std::string> read = ReadFrame(read_fd());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolRequest, MatchRoundTrip) {
+  WireRequest request;
+  request.verb = WireRequest::Verb::kMatch;
+  request.algorithm = AlgorithmPreset::kCsls;
+  request.timeout_micros = 2500;
+  Result<WireRequest> parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, WireRequest::Verb::kMatch);
+  EXPECT_EQ(parsed->algorithm, AlgorithmPreset::kCsls);
+  EXPECT_EQ(parsed->timeout_micros, 2500u);
+}
+
+TEST(ProtocolRequest, TopKRoundTrip) {
+  WireRequest request;
+  request.verb = WireRequest::Verb::kTopK;
+  request.algorithm = AlgorithmPreset::kSinkhorn;
+  request.k = 7;
+  Result<WireRequest> parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, WireRequest::Verb::kTopK);
+  EXPECT_EQ(parsed->algorithm, AlgorithmPreset::kSinkhorn);
+  EXPECT_EQ(parsed->k, 7u);
+  EXPECT_EQ(parsed->timeout_micros, 0u);
+}
+
+TEST(ProtocolRequest, StatsAndShutdownRoundTrip) {
+  for (const auto verb :
+       {WireRequest::Verb::kStats, WireRequest::Verb::kShutdown}) {
+    WireRequest request;
+    request.verb = verb;
+    Result<WireRequest> parsed = ParseRequest(EncodeRequest(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->verb, verb);
+  }
+}
+
+TEST(ProtocolRequest, EveryServablePresetParses) {
+  for (const char* name :
+       {"DInf", "CSLS", "RInf", "RInf-wr", "RInf-pb", "Sink.", "Hun.",
+        "SMat"}) {
+    SCOPED_TRACE(name);
+    Result<AlgorithmPreset> preset = ParseServableAlgorithm(name);
+    EXPECT_TRUE(preset.ok()) << preset.status().ToString();
+  }
+}
+
+TEST(ProtocolRequest, RlAndUnknownAlgorithmsRejected) {
+  for (const char* name : {"RL", "nope", ""}) {
+    SCOPED_TRACE(name);
+    Result<AlgorithmPreset> preset = ParseServableAlgorithm(name);
+    ASSERT_FALSE(preset.ok());
+    EXPECT_EQ(preset.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolRequest, MalformedLinesRejected) {
+  for (const char* line :
+       {"", "bogus", "match", "match RL", "topk CSLS", "topk CSLS zero",
+        "match CSLS timeout_us=abc", "match CSLS extra junk"}) {
+    SCOPED_TRACE(line);
+    Result<WireRequest> parsed = ParseRequest(line);
+    EXPECT_FALSE(parsed.ok());
+  }
+}
+
+TEST(ProtocolResponse, ValuesRoundTrip) {
+  const std::vector<int32_t> values = {0, -1, 5, 2147483647, -2147483648};
+  Result<WireResponse> parsed = ParseResponse(EncodeValuesResponse(values));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->status.ok());
+  EXPECT_EQ(parsed->values, values);
+}
+
+TEST(ProtocolResponse, TextRoundTrip) {
+  const std::string text = "{\"submitted\": 3}";
+  Result<WireResponse> parsed = ParseResponse(EncodeTextResponse(text));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->status.ok());
+  EXPECT_EQ(parsed->text, text);
+}
+
+TEST(ProtocolResponse, ErrorRoundTripPreservesCode) {
+  const Status original =
+      Status::ResourceExhausted("declared workspace over budget");
+  Result<WireResponse> parsed = ParseResponse(EncodeErrorResponse(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(parsed->status.message().find("over budget"), std::string::npos);
+}
+
+TEST(ProtocolResponse, DeadlineExceededCodeSurvivesTheWire) {
+  const Status original = Status::DeadlineExceeded("expired in queue");
+  Result<WireResponse> parsed = ParseResponse(EncodeErrorResponse(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ProtocolResponse, TruncatedValuesPayloadRejected) {
+  std::string wire = EncodeValuesResponse({1, 2, 3});
+  wire.resize(wire.size() - 2);  // chop mid-int32
+  Result<WireResponse> parsed = ParseResponse(wire);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ProtocolResponse, GarbageHeaderRejected) {
+  for (const char* payload : {"", "what\n", "ok\n", "ok values\n",
+                              "ok values notanumber\n", "error\n"}) {
+    SCOPED_TRACE(payload);
+    Result<WireResponse> parsed = ParseResponse(payload);
+    EXPECT_FALSE(parsed.ok());
+  }
+}
+
+}  // namespace
+}  // namespace entmatcher

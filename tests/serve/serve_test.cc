@@ -1,0 +1,380 @@
+// MatchServer behavior tests: admission control (unknown pair, RL, topk=0,
+// workspace budget, queue full, shut down), deadline expiry, micro-batch
+// composition (shared scores passes, mixed signatures), stats invariants,
+// the socket front end, and the headline contract — results served to
+// concurrent clients are bit-identical to sequential one-shot
+// MatchEngine queries (this file runs under TSan in CI).
+
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/topk.h"
+#include "matching/engine.h"
+#include "serve/client.h"
+#include "serve/socket_server.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 16;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+/// Cheap presets whose signatures differ — the batching key material.
+std::vector<AlgorithmPreset> MixedPresets() {
+  return {AlgorithmPreset::kCsls, AlgorithmPreset::kDInf,
+          AlgorithmPreset::kSinkhorn, AlgorithmPreset::kStableMatch};
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest()
+      : source_(RandomEmbeddings(24, /*seed=*/5)),
+        target_(RandomEmbeddings(30, /*seed=*/8)) {}
+
+  /// A ready server with `source_`/`target_` loaded as "default".
+  std::unique_ptr<MatchServer> MakeServer(const MatchServerConfig& config,
+                                          bool start = true) {
+    Result<std::unique_ptr<MatchServer>> server = MatchServer::Create(config);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    Status loaded =
+        (*server)->LoadPair("default", Matrix(source_), Matrix(target_));
+    EXPECT_TRUE(loaded.ok()) << loaded.ToString();
+    if (start) {
+      Status started = (*server)->Start();
+      EXPECT_TRUE(started.ok()) << started.ToString();
+    }
+    return std::move(server).value();
+  }
+
+  /// One-shot engine answer for `preset` over the same pair.
+  Assignment SoloMatch(AlgorithmPreset preset) {
+    Result<MatchEngine> engine =
+        MatchEngine::Create(Matrix(source_), Matrix(target_),
+                            MakePreset(preset));
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    Result<Assignment> assignment = engine->Match();
+    EXPECT_TRUE(assignment.ok()) << assignment.status().ToString();
+    return std::move(assignment).value();
+  }
+
+  static ServeRequest MatchRequest(AlgorithmPreset preset) {
+    ServeRequest request;
+    request.options = MakePreset(preset);
+    return request;
+  }
+
+  Matrix source_;
+  Matrix target_;
+};
+
+TEST_F(ServeTest, CreateRejectsDegenerateConfig) {
+  MatchServerConfig config;
+  config.queue_capacity = 0;
+  EXPECT_FALSE(MatchServer::Create(config).ok());
+  config = MatchServerConfig();
+  config.max_batch = 0;
+  EXPECT_FALSE(MatchServer::Create(config).ok());
+}
+
+TEST_F(ServeTest, LoadPairRejectsDuplicateName) {
+  std::unique_ptr<MatchServer> server =
+      MakeServer(MatchServerConfig(), /*start=*/false);
+  Status again = server->LoadPair("default", Matrix(source_), Matrix(target_));
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ServeTest, UnknownPairRejectedNotFound) {
+  std::unique_ptr<MatchServer> server = MakeServer(MatchServerConfig());
+  ServeRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  request.pair = "nope";
+  ServeResponse response = server->Query(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(server->Stats().rejected, 1u);
+}
+
+TEST_F(ServeTest, RlMatcherRejectedInvalidArgument) {
+  std::unique_ptr<MatchServer> server = MakeServer(MatchServerConfig());
+  ServeResponse response = server->Query(MatchRequest(AlgorithmPreset::kRl));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, TopKZeroRejectedInvalidArgument) {
+  std::unique_ptr<MatchServer> server = MakeServer(MatchServerConfig());
+  ServeRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  request.kind = ServeQueryKind::kTopK;
+  request.topk = 0;
+  ServeResponse response = server->Query(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, OverBudgetRequestRejectedAtAdmission) {
+  MatchServerConfig config;
+  config.workspace_budget_bytes = 16;  // far below any 24 x 30 scores pass
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+  ServeResponse response =
+      server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.batches, 0u);  // rejected before any kernel work
+}
+
+TEST_F(ServeTest, QueueFullRejectedAndDrainedAfterStart) {
+  MatchServerConfig config;
+  config.queue_capacity = 3;
+  // Not started: submissions park in the queue deterministically.
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+
+  std::vector<std::future<ServeResponse>> admitted;
+  for (size_t i = 0; i < config.queue_capacity; ++i) {
+    admitted.push_back(server->Submit(MatchRequest(AlgorithmPreset::kCsls)));
+  }
+  ServeResponse overflow =
+      server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  EXPECT_EQ(overflow.status.code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(server->Start().ok());
+  const Assignment reference = SoloMatch(AlgorithmPreset::kCsls);
+  for (std::future<ServeResponse>& f : admitted) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.assignment.target_of_source,
+              reference.target_of_source);
+  }
+}
+
+TEST_F(ServeTest, ExpiredDeadlineAnsweredWithoutExecuting) {
+  std::unique_ptr<MatchServer> server =
+      MakeServer(MatchServerConfig(), /*start=*/false);
+  ServeRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  request.timeout_micros = 1;
+  std::future<ServeResponse> future = server->Submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(server->Start().ok());
+  ServeResponse response = future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  server->Shutdown();
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.batches, 0u);  // expired before any scores pass
+}
+
+TEST_F(ServeTest, CompatibleQueriesShareOneScoresPass) {
+  MatchServerConfig config;
+  config.max_batch = 8;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+
+  std::vector<std::future<ServeResponse>> inflight;
+  for (size_t i = 0; i < 8; ++i) {
+    inflight.push_back(server->Submit(MatchRequest(AlgorithmPreset::kCsls)));
+  }
+  ASSERT_TRUE(server->Start().ok());
+
+  const Assignment reference = SoloMatch(AlgorithmPreset::kCsls);
+  for (std::future<ServeResponse>& f : inflight) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.batch_size, 8u);
+    EXPECT_EQ(response.assignment.target_of_source,
+              reference.target_of_source);
+  }
+  server->Shutdown();
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.batches, 1u);  // one shared similarity+transform pass
+  EXPECT_EQ(stats.batched_queries, 8u);
+}
+
+TEST_F(ServeTest, MixedSignaturesSplitIntoGroups) {
+  MatchServerConfig config;
+  config.max_batch = 8;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+
+  std::vector<std::future<ServeResponse>> csls;
+  std::vector<std::future<ServeResponse>> dinf;
+  for (size_t i = 0; i < 4; ++i) {
+    csls.push_back(server->Submit(MatchRequest(AlgorithmPreset::kCsls)));
+    dinf.push_back(server->Submit(MatchRequest(AlgorithmPreset::kDInf)));
+  }
+  ASSERT_TRUE(server->Start().ok());
+
+  const Assignment csls_reference = SoloMatch(AlgorithmPreset::kCsls);
+  const Assignment dinf_reference = SoloMatch(AlgorithmPreset::kDInf);
+  for (std::future<ServeResponse>& f : csls) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.batch_size, 4u);
+    EXPECT_EQ(response.assignment.target_of_source,
+              csls_reference.target_of_source);
+  }
+  for (std::future<ServeResponse>& f : dinf) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.batch_size, 4u);
+    EXPECT_EQ(response.assignment.target_of_source,
+              dinf_reference.target_of_source);
+  }
+  server->Shutdown();
+  EXPECT_EQ(server->Stats().batches, 2u);  // one pass per signature
+}
+
+TEST_F(ServeTest, TopKMatchesDirectRowTopKIndices) {
+  std::unique_ptr<MatchServer> server = MakeServer(MatchServerConfig());
+  ServeRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  request.kind = ServeQueryKind::kTopK;
+  request.topk = 5;
+  ServeResponse response = server->Query(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  Result<MatchEngine> engine = MatchEngine::Create(
+      Matrix(source_), Matrix(target_), MakePreset(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(engine.ok());
+  Result<Matrix> scores =
+      engine->TransformedScores(MakePreset(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(response.topk, RowTopKIndices(*scores, 5));
+}
+
+TEST_F(ServeTest, ShutdownFailsStillQueuedRequests) {
+  std::unique_ptr<MatchServer> server =
+      MakeServer(MatchServerConfig(), /*start=*/false);
+  std::future<ServeResponse> parked =
+      server->Submit(MatchRequest(AlgorithmPreset::kCsls));
+  server->Shutdown();  // scheduler never started; the request cannot run
+  EXPECT_EQ(parked.get().status.code(), StatusCode::kFailedPrecondition);
+  // And new submissions after shutdown are turned away at admission.
+  ServeResponse late = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  EXPECT_EQ(late.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, StatsInvariantsHoldAcrossOutcomes) {
+  MatchServerConfig config;
+  config.workspace_budget_bytes = 1ull << 20;  // admits the small pair
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+
+  ASSERT_TRUE(server->Query(MatchRequest(AlgorithmPreset::kCsls)).status.ok());
+  ServeRequest unknown = MatchRequest(AlgorithmPreset::kCsls);
+  unknown.pair = "nope";
+  EXPECT_FALSE(server->Query(std::move(unknown)).status.ok());
+  server->Shutdown();
+
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+  EXPECT_EQ(stats.admitted, stats.completed + stats.failed + stats.timed_out);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.latency_samples, stats.completed + stats.failed);
+}
+
+// Satellite 3 — the concurrency contract: many client threads with mixed
+// presets against one warm server, every answer bit-identical to the
+// sequential one-shot engine. TSan (CI job `tsan`) checks the data-race
+// side of the same run.
+TEST_F(ServeTest, ConcurrentClientsBitIdenticalToSequential) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kQueriesPerClient = 6;
+
+  const std::vector<AlgorithmPreset> presets = MixedPresets();
+  std::vector<Assignment> references;
+  references.reserve(presets.size());
+  for (AlgorithmPreset preset : presets) {
+    references.push_back(SoloMatch(preset));
+  }
+
+  MatchServerConfig config;
+  config.max_batch = 8;
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+
+  std::vector<std::thread> clients;
+  std::vector<char> ok(kClients, 1);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t q = 0; q < kQueriesPerClient; ++q) {
+        const size_t which = (c + q) % presets.size();
+        ServeResponse response =
+            server->Query(MatchRequest(presets[which]));
+        if (!response.status.ok() ||
+            response.assignment.target_of_source !=
+                references[which].target_of_source) {
+          ok[c] = 0;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(ok[c]) << "client " << c << " saw a divergent answer";
+  }
+  server->Shutdown();
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.completed, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+}
+
+TEST_F(ServeTest, SocketRoundTripMatchesInProcessQuery) {
+  const std::string socket_path =
+      "/tmp/em_serve_test_" + std::to_string(::getpid()) + ".sock";
+  std::unique_ptr<MatchServer> server = MakeServer(MatchServerConfig());
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(server.get(), socket_path);
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  WireRequest match;
+  match.verb = WireRequest::Verb::kMatch;
+  match.algorithm = AlgorithmPreset::kCsls;
+  Result<WireResponse> wire = client->Call(match);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ASSERT_TRUE(wire->status.ok()) << wire->status.ToString();
+  const Assignment reference = SoloMatch(AlgorithmPreset::kCsls);
+  ASSERT_EQ(wire->values.size(), reference.target_of_source.size());
+  for (size_t i = 0; i < wire->values.size(); ++i) {
+    EXPECT_EQ(wire->values[i], reference.target_of_source[i]);
+  }
+
+  WireRequest stats;
+  stats.verb = WireRequest::Verb::kStats;
+  Result<WireResponse> stats_wire = client->Call(stats);
+  ASSERT_TRUE(stats_wire.ok());
+  ASSERT_TRUE(stats_wire->status.ok());
+  EXPECT_NE(stats_wire->text.find("\"completed\": 1"), std::string::npos);
+
+  WireRequest bad;
+  bad.verb = WireRequest::Verb::kTopK;
+  bad.algorithm = AlgorithmPreset::kCsls;
+  bad.k = 0;  // rejected server-side; the error code must cross the wire
+  Result<WireResponse> bad_wire = client->Call(bad);
+  ASSERT_TRUE(bad_wire.ok());
+  EXPECT_EQ(bad_wire->status.code(), StatusCode::kInvalidArgument);
+
+  WireRequest shutdown;
+  shutdown.verb = WireRequest::Verb::kShutdown;
+  Result<WireResponse> shutdown_wire = client->Call(shutdown);
+  ASSERT_TRUE(shutdown_wire.ok());
+  EXPECT_TRUE(shutdown_wire->status.ok());
+
+  (*front)->WaitForShutdown();
+  (*front)->Stop();
+  server->Shutdown();
+}
+
+}  // namespace
+}  // namespace entmatcher
