@@ -9,13 +9,26 @@
 //   entmatcher_cli embed <dir> <G|R|N|NR> <out_prefix>
 //       Compute unified embeddings and write <out_prefix>.src.emat /
 //       <out_prefix>.tgt.emat.
+//   entmatcher_cli index build <tgt.emat> <out.eidx>
+//                  [--dataset=DIR] [--lists=N] [--kmeans-iters=N] [--seed=N]
+//       Build an IVF candidate index over the target embeddings and
+//       serialize it (EIDX binary). --lists=0 (default) auto-sizes to
+//       ~sqrt(num_targets). --dataset=DIR slices the matrix to the
+//       dataset's test-split target rows first — required when the index
+//       will be used with `match`, which scores over exactly those rows.
+//   entmatcher_cli index stats <index.eidx>
+//       Print the inverted-list occupancy of a saved index.
 //   entmatcher_cli match <dir> <src.emat> <tgt.emat> <algo>
-//                  [--workspace-budget-bytes=N] [--threads=N] [out_links.tsv]
+//                  [--workspace-budget-bytes=N] [--threads=N]
+//                  [--index=PATH --candidates=N [--nprobe=N]] [out_links.tsv]
 //       Run one matching algorithm (DInf, CSLS, RInf, RInf-wr, RInf-pb,
-//       Sink., Hun., SMat, RL) and report P/R/F1; optionally save the
-//       predicted links. With a workspace budget, algorithms whose score
-//       and scratch buffers would exceed N bytes are rejected up front
-//       with a resource-exhausted error (the paper's "Mem: No" verdict).
+//       Sink., Hun., SMat, RL) and report P/R/F1 plus the peak tracked
+//       workspace of the run; optionally save the predicted links. With a
+//       workspace budget, algorithms whose score and scratch buffers would
+//       exceed N bytes are rejected up front with a resource-exhausted
+//       error (the paper's "Mem: No" verdict). With --index/--candidates,
+//       scoring is restricted to the top-N index candidates per source and
+//       the sparse pipeline runs in O(n*candidates) workspace.
 //   entmatcher_cli eval <dir> <links.tsv>
 //       Score previously saved predicted links against the test split.
 //   entmatcher_cli serve <src.emat> <tgt.emat> [--socket=PATH] [--threads=N]
@@ -35,14 +48,17 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "datagen/benchmarks.h"
+#include "embedding/embedding.h"
 #include "embedding/provider.h"
 #include "eval/metrics.h"
+#include "index/candidate_index.h"
 #include "kg/dataset_io.h"
 #include "kg/io.h"
 #include "la/matrix_io.h"
@@ -63,7 +79,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr << "usage: entmatcher_cli "
-               "generate|stats|embed|match|eval|serve|query ... "
+               "generate|stats|embed|index|match|eval|serve|query ... "
                "(see source header)\n";
   return EXIT_FAILURE;
 }
@@ -156,6 +172,92 @@ int CmdEmbed(int argc, char** argv) {
   return EXIT_SUCCESS;
 }
 
+void PrintIndexStats(const CandidateIndex& index) {
+  const CandidateListStats stats = index.Stats();
+  std::cout << "targets:     " << stats.num_targets << "\n"
+            << "dim:         " << index.dim() << "\n"
+            << "lists:       " << stats.num_lists << "\n"
+            << "list sizes:  min " << stats.min_list_size << " / mean "
+            << FormatDouble(stats.mean_list_size, 1) << " / max "
+            << stats.max_list_size << "\n";
+  for (size_t b = 0; b < stats.size_histogram.size(); ++b) {
+    const size_t count = stats.size_histogram[b];
+    if (count == 0) continue;
+    std::cout << "  [2^" << b << ", 2^" << (b + 1) << ") targets: " << count
+              << (count == 1 ? " list\n" : " lists\n");
+  }
+}
+
+int CmdIndex(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  if (sub == "build") {
+    if (argc < 5) return Usage();
+    Result<Matrix> target = ReadMatrixBinary(argv[3]);
+    if (!target.ok()) return Fail(target.status());
+    CandidateIndexOptions options;
+    std::string dataset_dir;
+    for (int i = 5; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const std::string dataset_flag = "--dataset=";
+      if (arg.rfind(dataset_flag, 0) == 0) {
+        dataset_dir = arg.substr(dataset_flag.size());
+        continue;
+      }
+      unsigned long long value = 0;
+      int matched = MatchUintFlag(arg, "lists", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.num_lists = static_cast<size_t>(value);
+        continue;
+      }
+      matched = MatchUintFlag(arg, "kmeans-iters", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.kmeans_iterations = static_cast<size_t>(value);
+        continue;
+      }
+      matched = MatchUintFlag(arg, "seed", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.seed = value;
+        continue;
+      }
+      return Usage();
+    }
+    if (!dataset_dir.empty()) {
+      // `match` scores over the dataset's test-target rows, not the full
+      // matrix; slice the same rows so the index describes the same target
+      // set the engine will see.
+      Result<KgPairDataset> dataset = LoadDatasetDir(dataset_dir);
+      if (!dataset.ok()) return Fail(dataset.status());
+      if (dataset->test_target_entities.empty()) {
+        std::cerr << "error: dataset has no test split to slice targets by\n";
+        return EXIT_FAILURE;
+      }
+      *target = ExtractRows(*target, dataset->test_target_entities);
+      std::cout << "sliced to " << target->rows()
+                << " test-split target rows from " << dataset_dir << "\n";
+    }
+    Result<CandidateIndex> index = CandidateIndex::Build(*target, options);
+    if (!index.ok()) return Fail(index.status());
+    Status saved = index->Save(argv[4]);
+    if (!saved.ok()) return Fail(saved);
+    std::cout << "wrote " << argv[4] << " (" << index->num_lists()
+              << " lists over " << index->num_targets() << " targets)\n";
+    PrintIndexStats(*index);
+    return EXIT_SUCCESS;
+  }
+  if (sub == "stats") {
+    if (argc < 4) return Usage();
+    Result<CandidateIndex> index = CandidateIndex::Load(argv[3]);
+    if (!index.ok()) return Fail(index.status());
+    PrintIndexStats(*index);
+    return EXIT_SUCCESS;
+  }
+  return Usage();
+}
+
 int CmdMatch(int argc, char** argv) {
   if (argc < 6) return Usage();
   Result<KgPairDataset> dataset = LoadDatasetDir(argv[2]);
@@ -169,8 +271,15 @@ int CmdMatch(int argc, char** argv) {
 
   MatchOptions options = MakePreset(*algorithm);
   std::string out_path;
+  std::string index_path;
+  std::optional<CandidateIndex> index;  // must outlive the run
   for (int i = 6; i < argc; ++i) {
     const std::string arg = argv[i];
+    const std::string index_flag = "--index=";
+    if (arg.rfind(index_flag, 0) == 0) {
+      index_path = arg.substr(index_flag.size());
+      continue;
+    }
     unsigned long long value = 0;
     int matched = MatchUintFlag(arg, "workspace-budget-bytes", &value);
     if (matched < 0) return EXIT_FAILURE;
@@ -184,11 +293,36 @@ int CmdMatch(int argc, char** argv) {
       SetNumThreads(static_cast<size_t>(value));
       continue;
     }
+    matched = MatchUintFlag(arg, "candidates", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      options.num_candidates = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "nprobe", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      options.index_nprobe = static_cast<size_t>(value);
+      continue;
+    }
     if (out_path.empty()) {
       out_path = arg;
     } else {
       return Usage();
     }
+  }
+  if (!index_path.empty()) {
+    if (options.num_candidates == 0) {
+      std::cerr << "error: --index requires --candidates=N (N >= 1)\n";
+      return EXIT_FAILURE;
+    }
+    Result<CandidateIndex> loaded = CandidateIndex::Load(index_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    index = std::move(loaded).value();
+    options.candidate_index = &*index;
+  } else if (options.num_candidates > 0) {
+    std::cerr << "error: --candidates requires --index=PATH\n";
+    return EXIT_FAILURE;
   }
 
   EmbeddingPair embeddings;
@@ -210,8 +344,11 @@ int CmdMatch(int argc, char** argv) {
   std::cout << PresetName(*algorithm) << ": P=" << FormatDouble(m.precision, 3)
             << " R=" << FormatDouble(m.recall, 3)
             << " F1=" << FormatDouble(m.f1, 3) << " ("
-            << FormatDouble(run->seconds, 2) << "s, "
-            << FormatBytes(run->peak_workspace_bytes) << " workspace)\n";
+            << FormatDouble(run->seconds, 2) << "s)\n";
+  std::cout << "peak tracked workspace: " << run->peak_workspace_bytes
+            << " bytes (" << FormatBytes(run->peak_workspace_bytes)
+            << "; arena high-water "
+            << FormatBytes(run->arena_high_water_bytes) << ")\n";
   if (!out_path.empty()) {
     Status s = WriteLinksTsv(run->predicted, out_path);
     if (!s.ok()) return Fail(s);
@@ -369,6 +506,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
   if (command == "embed") return CmdEmbed(argc, argv);
+  if (command == "index") return CmdIndex(argc, argv);
   if (command == "match") return CmdMatch(argc, argv);
   if (command == "eval") return CmdEval(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);

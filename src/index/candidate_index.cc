@@ -1,0 +1,289 @@
+#include "index/candidate_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/kmeans.h"
+
+namespace entmatcher {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'I', 'D', 'X'};
+constexpr uint64_t kFormatVersion = 1;
+
+// (score desc, id asc): a total order, so partial_sort is deterministic and
+// the kept candidate set matches the dense argmax convention (lowest index
+// wins ties).
+bool BetterCandidate(const std::pair<float, uint32_t>& a,
+                     const std::pair<float, uint32_t>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
+}  // namespace
+
+Result<CandidateIndex> CandidateIndex::Build(
+    const Matrix& target, const CandidateIndexOptions& options) {
+  if (target.rows() == 0 || target.cols() == 0) {
+    return Status::InvalidArgument("CandidateIndex: empty target embeddings");
+  }
+  if (options.kmeans_iterations == 0) {
+    return Status::InvalidArgument(
+        "CandidateIndex: kmeans_iterations must be >= 1");
+  }
+  const size_t m = target.rows();
+  size_t num_lists = options.num_lists;
+  if (num_lists == 0) {
+    // IVF rule of thumb: ~sqrt(m) cells balances probe cost against list
+    // scan cost.
+    num_lists = static_cast<size_t>(std::lround(std::sqrt(
+        static_cast<double>(m))));
+  }
+  num_lists = std::max<size_t>(1, std::min(num_lists, m));
+
+  Rng rng(options.seed);
+  KMeansResult kmeans =
+      CosineKMeans(target, num_lists, options.kmeans_iterations, &rng);
+
+  CandidateIndex index;
+  index.num_targets_ = m;
+  index.dim_ = target.cols();
+  index.centroids_ = std::move(kmeans.centroids);
+
+  // Counting sort into inverted lists; scanning target ids in ascending
+  // order keeps every list ascending, which FillSparseScores relies on.
+  index.list_offsets_.assign(num_lists + 1, 0);
+  for (uint32_t c : kmeans.assignment) ++index.list_offsets_[c + 1];
+  for (size_t l = 0; l < num_lists; ++l) {
+    index.list_offsets_[l + 1] += index.list_offsets_[l];
+  }
+  index.list_ids_.resize(m);
+  std::vector<uint64_t> cursor(index.list_offsets_.begin(),
+                               index.list_offsets_.end() - 1);
+  for (size_t j = 0; j < m; ++j) {
+    index.list_ids_[cursor[kmeans.assignment[j]]++] =
+        static_cast<uint32_t>(j);
+  }
+  return index;
+}
+
+CandidateListStats CandidateIndex::Stats() const {
+  CandidateListStats stats;
+  stats.num_lists = num_lists();
+  stats.num_targets = num_targets_;
+  stats.min_list_size = num_targets_;
+  for (size_t l = 0; l < stats.num_lists; ++l) {
+    const size_t size =
+        static_cast<size_t>(list_offsets_[l + 1] - list_offsets_[l]);
+    stats.min_list_size = std::min(stats.min_list_size, size);
+    stats.max_list_size = std::max(stats.max_list_size, size);
+    size_t bucket = 0;
+    for (size_t v = size; v > 1; v >>= 1) ++bucket;
+    if (bucket >= stats.size_histogram.size()) {
+      stats.size_histogram.resize(bucket + 1, 0);
+    }
+    ++stats.size_histogram[bucket];
+  }
+  stats.mean_list_size = stats.num_lists > 0
+                             ? static_cast<double>(num_targets_) /
+                                   static_cast<double>(stats.num_lists)
+                             : 0.0;
+  return stats;
+}
+
+Status CandidateIndex::FillSparseScores(const Matrix& source,
+                                        const Matrix& target,
+                                        SimilarityMetric metric,
+                                        const SimilarityCache& cache,
+                                        size_t num_candidates, size_t nprobe,
+                                        SparseScores* out) const {
+  if (source.cols() != dim_) {
+    return Status::InvalidArgument(
+        "CandidateIndex: source dim differs from the indexed embeddings");
+  }
+  if (target.rows() != num_targets_ || target.cols() != dim_) {
+    return Status::InvalidArgument(
+        "CandidateIndex: target matrix does not match the indexed shape");
+  }
+  if (num_candidates == 0) {
+    return Status::InvalidArgument(
+        "CandidateIndex: num_candidates must be >= 1");
+  }
+  if (nprobe == 0) {
+    return Status::InvalidArgument("CandidateIndex: nprobe must be >= 1");
+  }
+  const size_t n = source.rows();
+  const size_t stride = std::min(num_candidates, num_targets_);
+  if (out->rows() != n || out->cols() != num_targets_) {
+    return Status::InvalidArgument("CandidateIndex: output shape mismatch");
+  }
+  if (out->capacity() < n * stride) {
+    return Status::InvalidArgument(
+        "CandidateIndex: output capacity below rows * candidates");
+  }
+  const size_t lists = num_lists();
+  const size_t probes = std::min(nprobe, lists);
+
+  // Phase 1 (parallel, deterministic): each row probes, reranks, and writes
+  // its candidates into a private stride-aligned slot. Rows never share
+  // state, so static chunking makes this bit-identical at any thread count.
+  std::vector<size_t> count(n, 0);
+  float* values = out->values();
+  uint32_t* cols = out->col_indices();
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    std::vector<std::pair<float, uint32_t>> ranked_lists(lists);
+    std::vector<std::pair<float, uint32_t>> candidates;
+    for (size_t i = begin; i < end; ++i) {
+      const float* x = source.Row(i).data();
+      // Rank cells by centroid dot product. Centroids are unit-norm, so the
+      // query's own norm cannot change the ordering.
+      for (size_t l = 0; l < lists; ++l) {
+        const float* mu = centroids_.Row(l).data();
+        float dot = 0.0f;
+        for (size_t d = 0; d < dim_; ++d) dot += x[d] * mu[d];
+        ranked_lists[l] = {dot, static_cast<uint32_t>(l)};
+      }
+      std::partial_sort(ranked_lists.begin(), ranked_lists.begin() + probes,
+                        ranked_lists.end(), BetterCandidate);
+      // Exact rerank of every member of the probed cells.
+      candidates.clear();
+      for (size_t p = 0; p < probes; ++p) {
+        for (uint32_t j : List(ranked_lists[p].second)) {
+          candidates.emplace_back(
+              PairSimilarity(source, target, i, j, metric, cache), j);
+        }
+      }
+      const size_t keep = std::min(stride, candidates.size());
+      std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                        candidates.end(), BetterCandidate);
+      candidates.resize(keep);
+      // Column-ascending storage: CSR entry order == dense cell order.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const std::pair<float, uint32_t>& a,
+                   const std::pair<float, uint32_t>& b) {
+                  return a.second < b.second;
+                });
+      for (size_t e = 0; e < keep; ++e) {
+        values[i * stride + e] = candidates[e].first;
+        cols[i * stride + e] = candidates[e].second;
+      }
+      count[i] = keep;
+    }
+  });
+
+  // Phase 2 (serial): build the offsets and left-pack the strided slots into
+  // contiguous CSR order. Destinations never pass sources, so the in-place
+  // forward copy is safe.
+  std::vector<size_t>& offsets = out->mutable_row_offsets();
+  offsets.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + count[i];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t src = i * stride;
+    const size_t dst = offsets[i];
+    if (src == dst) continue;
+    for (size_t e = 0; e < count[i]; ++e) {
+      values[dst + e] = values[src + e];
+      cols[dst + e] = cols[src + e];
+    }
+  }
+  return Status::OK();
+}
+
+Result<SparseScores> CandidateIndex::SparseSimilarity(
+    const Matrix& source, const Matrix& target, SimilarityMetric metric,
+    size_t num_candidates, size_t nprobe) const {
+  if (num_candidates == 0) {
+    return Status::InvalidArgument(
+        "CandidateIndex: num_candidates must be >= 1");
+  }
+  const size_t stride = std::min(num_candidates, num_targets_);
+  SparseScores out = SparseScores::CreateOwned(
+      source.rows(), num_targets_, source.rows() * stride);
+  const SimilarityCache cache = BuildSimilarityCache(source, target, metric);
+  EM_RETURN_NOT_OK(FillSparseScores(source, target, metric, cache,
+                                    num_candidates, nprobe, &out));
+  return out;
+}
+
+Status CandidateIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t header[4] = {kFormatVersion, num_targets_, dim_,
+                              num_lists()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(centroids_.data()),
+            static_cast<std::streamsize>(centroids_.ByteSize()));
+  out.write(reinterpret_cast<const char*>(list_offsets_.data()),
+            static_cast<std::streamsize>(list_offsets_.size() *
+                                         sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(list_ids_.data()),
+            static_cast<std::streamsize>(list_ids_.size() *
+                                         sizeof(uint32_t)));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CandidateIndex> CandidateIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not an EIDX index file: " + path);
+  }
+  uint64_t header[4] = {0, 0, 0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in) return Status::IoError("truncated index header: " + path);
+  if (header[0] != kFormatVersion) {
+    return Status::IoError("unsupported EIDX version in: " + path);
+  }
+  const uint64_t num_targets = header[1];
+  const uint64_t dim = header[2];
+  const uint64_t num_lists = header[3];
+  // Same sanity bound as the EMAT reader: refuse absurd shapes, not
+  // bad_alloc.
+  if (num_targets > (1ull << 32) || dim > (1ull << 24) ||
+      num_lists == 0 || num_lists > num_targets || dim == 0) {
+    return Status::IoError("implausible index shape in: " + path);
+  }
+  CandidateIndex index;
+  index.num_targets_ = static_cast<size_t>(num_targets);
+  index.dim_ = static_cast<size_t>(dim);
+  index.centroids_ = Matrix(static_cast<size_t>(num_lists),
+                            static_cast<size_t>(dim));
+  in.read(reinterpret_cast<char*>(index.centroids_.data()),
+          static_cast<std::streamsize>(index.centroids_.ByteSize()));
+  index.list_offsets_.resize(static_cast<size_t>(num_lists) + 1);
+  in.read(reinterpret_cast<char*>(index.list_offsets_.data()),
+          static_cast<std::streamsize>(index.list_offsets_.size() *
+                                       sizeof(uint64_t)));
+  index.list_ids_.resize(static_cast<size_t>(num_targets));
+  in.read(reinterpret_cast<char*>(index.list_ids_.data()),
+          static_cast<std::streamsize>(index.list_ids_.size() *
+                                       sizeof(uint32_t)));
+  if (!in) return Status::IoError("truncated index data: " + path);
+  if (index.list_offsets_.front() != 0 ||
+      index.list_offsets_.back() != num_targets) {
+    return Status::IoError("corrupt inverted-list offsets in: " + path);
+  }
+  for (size_t l = 0; l + 1 < index.list_offsets_.size(); ++l) {
+    if (index.list_offsets_[l] > index.list_offsets_[l + 1]) {
+      return Status::IoError("corrupt inverted-list offsets in: " + path);
+    }
+  }
+  for (uint32_t id : index.list_ids_) {
+    if (id >= num_targets) {
+      return Status::IoError("corrupt inverted-list ids in: " + path);
+    }
+  }
+  return index;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,106 @@
+#ifndef ENTMATCHER_INDEX_CANDIDATE_INDEX_H_
+#define ENTMATCHER_INDEX_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/similarity.h"
+#include "la/sparse.h"
+
+namespace entmatcher {
+
+/// Options for building a CandidateIndex.
+struct CandidateIndexOptions {
+  /// Number of inverted lists (k-means cells). 0 = auto: ~sqrt(num_targets).
+  size_t num_lists = 0;
+  /// k-means iterations for the coarse quantizer.
+  size_t kmeans_iterations = 10;
+  /// Seed for centroid initialization.
+  uint64_t seed = 13;
+};
+
+/// Inverted-list occupancy of a built index — skewed lists mean skewed probe
+/// cost, the same pathology the partition histogram exposes.
+struct CandidateListStats {
+  size_t num_lists = 0;
+  size_t num_targets = 0;
+  size_t min_list_size = 0;
+  size_t max_list_size = 0;
+  double mean_list_size = 0.0;
+  /// Log2-bucketed list sizes: bucket b counts lists of size in
+  /// [2^b, 2^(b+1)); empty lists land in bucket 0.
+  std::vector<size_t> size_histogram;
+};
+
+/// IVF-style approximate candidate-generation index over target embeddings:
+/// a cosine k-means coarse quantizer (the partitioner's k-means, shared via
+/// la/kmeans) whose cells become inverted lists of target ids. A query probes
+/// the `nprobe` nearest cells by centroid dot product, scores every member
+/// with the *exact* pairwise metric kernel, and keeps the top-`c` candidates
+/// per source row — so the sparse entries it emits are bit-identical to the
+/// corresponding dense score cells, and only coverage (which cells exist) is
+/// approximate. That is what lets the sparse pipeline promise "bit-identical
+/// to dense when candidate lists are complete".
+///
+/// The index stores only centroids and id lists (O(L·d + m)); it does not
+/// retain the target matrix, which callers pass back in at query time.
+class CandidateIndex {
+ public:
+  /// Builds the quantizer and inverted lists over `target` (m×d).
+  static Result<CandidateIndex> Build(const Matrix& target,
+                                      const CandidateIndexOptions& options);
+
+  size_t num_targets() const { return num_targets_; }
+  size_t dim() const { return dim_; }
+  size_t num_lists() const { return list_offsets_.size() - 1; }
+
+  /// Target ids of one inverted list, ascending.
+  std::span<const uint32_t> List(size_t l) const {
+    return std::span<const uint32_t>(
+        list_ids_.data() + list_offsets_[l],
+        list_offsets_[l + 1] - list_offsets_[l]);
+  }
+
+  CandidateListStats Stats() const;
+
+  /// Fills `out` with the top-`num_candidates` exact scores per source row,
+  /// restricted to targets found in the `nprobe` nearest lists. `out` must
+  /// be shaped (source.rows() × num_targets()) with capacity for at least
+  /// source.rows() * min(num_candidates, num_targets()) entries; `target`
+  /// and `cache` must be the embeddings/cache the scores are defined over.
+  /// Entries come out column-ascending per row (CSR invariant). Rows are
+  /// processed independently with deterministic static chunking, so the
+  /// result is bit-identical at every thread count.
+  Status FillSparseScores(const Matrix& source, const Matrix& target,
+                          SimilarityMetric metric,
+                          const SimilarityCache& cache, size_t num_candidates,
+                          size_t nprobe, SparseScores* out) const;
+
+  /// Convenience wrapper: builds the cache and an owned SparseScores.
+  Result<SparseScores> SparseSimilarity(const Matrix& source,
+                                        const Matrix& target,
+                                        SimilarityMetric metric,
+                                        size_t num_candidates,
+                                        size_t nprobe) const;
+
+  /// On-disk round trip ("EIDX" binary: header, centroids, lists).
+  Status Save(const std::string& path) const;
+  static Result<CandidateIndex> Load(const std::string& path);
+
+ private:
+  CandidateIndex() = default;
+
+  Matrix centroids_;                   // L × d, rows L2-normalized
+  std::vector<uint64_t> list_offsets_; // L + 1
+  std::vector<uint32_t> list_ids_;     // m target ids, ascending per list
+  size_t num_targets_ = 0;
+  size_t dim_ = 0;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_INDEX_CANDIDATE_INDEX_H_

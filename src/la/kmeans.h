@@ -1,0 +1,29 @@
+#ifndef ENTMATCHER_LA_KMEANS_H_
+#define ENTMATCHER_LA_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Output of cosine k-means: the cluster id per input row plus the final
+/// L2-normalized centroid directions (k × dim).
+struct KMeansResult {
+  std::vector<uint32_t> assignment;
+  Matrix centroids;
+};
+
+/// Plain k-means over L2-normalized rows (cosine k-means). Deterministic for
+/// a given `rng` state: centroid init consumes one shuffle, empty-cluster
+/// re-seeding one NextBounded per empty cluster per iteration. Shared by the
+/// partitioner (which only needs `assignment`) and the candidate index
+/// (which quantizes against `centroids`).
+KMeansResult CosineKMeans(const Matrix& points, size_t k, size_t iterations,
+                          Rng* rng);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_KMEANS_H_

@@ -175,6 +175,37 @@ Status ComputeSimilarityRange(const Matrix& source, const Matrix& target,
   return Status::InvalidArgument("ComputeSimilarity: unknown metric");
 }
 
+float PairSimilarity(const Matrix& source, const Matrix& target, size_t i,
+                     size_t j, SimilarityMetric metric,
+                     const SimilarityCache& cache) {
+  const float* a = source.Row(i).data();
+  const float* b = target.Row(j).data();
+  const size_t d = source.cols();
+  switch (metric) {
+    case SimilarityMetric::kCosine: {
+      float acc = 0.0f;
+      for (size_t k = 0; k < d; ++k) acc += a[k] * b[k];
+      // Matches the dense post-scale `row[j] *= si * inv_tgt[j]`: the two
+      // inverse norms are multiplied together first.
+      return acc * (cache.inv_source_norms[i] * cache.inv_target_norms[j]);
+    }
+    case SimilarityMetric::kNegEuclidean: {
+      float acc = 0.0f;
+      for (size_t k = 0; k < d; ++k) acc += a[k] * b[k];
+      double sq =
+          cache.source_sq_norms[i] + cache.target_sq_norms[j] - 2.0 * acc;
+      if (sq < 0.0) sq = 0.0;  // numeric guard
+      return -static_cast<float>(std::sqrt(sq));
+    }
+    case SimilarityMetric::kNegManhattan: {
+      float dist = 0.0f;
+      for (size_t k = 0; k < d; ++k) dist += std::fabs(a[k] - b[k]);
+      return -dist;
+    }
+  }
+  return 0.0f;
+}
+
 Result<Matrix> ComputeSimilarity(const Matrix& source, const Matrix& target,
                                  SimilarityMetric metric) {
   EM_RETURN_NOT_OK(ValidateSimilarityInputs(source, target));

@@ -56,6 +56,15 @@ Status ComputeSimilarityRange(const Matrix& source, const Matrix& target,
                               const SimilarityCache& cache, size_t row_begin,
                               size_t row_end, Matrix* out);
 
+/// Exact score of one (source row i, target row j) pair. Bit-identical to
+/// cell (i, j) of ComputeSimilarity: each branch replays the dense kernel's
+/// accumulation order and float expression grouping, which is what lets the
+/// candidate index rerank produce entries interchangeable with dense scores.
+/// `cache` must have been built for (source, target, metric).
+float PairSimilarity(const Matrix& source, const Matrix& target, size_t i,
+                     size_t j, SimilarityMetric metric,
+                     const SimilarityCache& cache);
+
 }  // namespace entmatcher
 
 #endif  // ENTMATCHER_LA_SIMILARITY_H_

@@ -1,0 +1,126 @@
+#include "la/sparse.h"
+
+#include <utility>
+
+namespace entmatcher {
+
+SparseScores SparseScores::CreateOwned(size_t rows, size_t cols,
+                                       size_t nnz_capacity) {
+  SparseScores s;
+  s.rows_ = rows;
+  s.cols_ = cols;
+  s.capacity_ = nnz_capacity;
+  s.owned_ = true;
+  s.values_store_.assign(nnz_capacity, 0.0f);
+  s.cols_store_.assign(nnz_capacity, 0);
+  s.values_ = s.values_store_.data();
+  s.cols_ptr_ = s.cols_store_.data();
+  s.row_offsets_.assign(rows + 1, 0);
+  MemoryTracker::Global().Add(BytesFor(nnz_capacity));
+  return s;
+}
+
+SparseScores SparseScores::Borrowed(size_t rows, size_t cols, float* values,
+                                    uint32_t* col_indices,
+                                    size_t nnz_capacity) {
+  SparseScores s;
+  s.rows_ = rows;
+  s.cols_ = cols;
+  s.capacity_ = nnz_capacity;
+  s.values_ = values;
+  s.cols_ptr_ = col_indices;
+  s.row_offsets_.assign(rows + 1, 0);
+  return s;
+}
+
+SparseScores::SparseScores(SparseScores&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), capacity_(other.capacity_),
+      owned_(other.owned_), values_store_(std::move(other.values_store_)),
+      cols_store_(std::move(other.cols_store_)),
+      row_offsets_(std::move(other.row_offsets_)) {
+  values_ = owned_ ? values_store_.data() : other.values_;
+  cols_ptr_ = owned_ ? cols_store_.data() : other.cols_ptr_;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.capacity_ = 0;
+  other.values_ = nullptr;
+  other.cols_ptr_ = nullptr;
+  other.owned_ = false;
+  other.row_offsets_.clear();
+}
+
+SparseScores& SparseScores::operator=(SparseScores&& other) noexcept {
+  if (this == &other) return *this;
+  if (owned_) MemoryTracker::Global().Sub(BytesFor(capacity_));
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  capacity_ = other.capacity_;
+  owned_ = other.owned_;
+  values_store_ = std::move(other.values_store_);
+  cols_store_ = std::move(other.cols_store_);
+  row_offsets_ = std::move(other.row_offsets_);
+  values_ = owned_ ? values_store_.data() : other.values_;
+  cols_ptr_ = owned_ ? cols_store_.data() : other.cols_ptr_;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.capacity_ = 0;
+  other.values_ = nullptr;
+  other.cols_ptr_ = nullptr;
+  other.owned_ = false;
+  other.row_offsets_.clear();
+  return *this;
+}
+
+SparseScores::~SparseScores() {
+  if (owned_) MemoryTracker::Global().Sub(BytesFor(capacity_));
+}
+
+Status SparseScores::Validate() const {
+  if (row_offsets_.size() != rows_ + 1) {
+    return Status::InvalidArgument("SparseScores: row_offsets size mismatch");
+  }
+  if (row_offsets_.front() != 0) {
+    return Status::InvalidArgument("SparseScores: row_offsets[0] must be 0");
+  }
+  for (size_t i = 0; i < rows_; ++i) {
+    if (row_offsets_[i] > row_offsets_[i + 1]) {
+      return Status::InvalidArgument(
+          "SparseScores: row_offsets must be non-decreasing");
+    }
+  }
+  if (row_offsets_.back() > capacity_) {
+    return Status::InvalidArgument("SparseScores: nnz exceeds capacity");
+  }
+  for (size_t i = 0; i < rows_; ++i) {
+    uint32_t prev = 0;
+    bool first = true;
+    for (size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e) {
+      const uint32_t c = cols_ptr_[e];
+      if (c >= cols_) {
+        return Status::InvalidArgument(
+            "SparseScores: column index out of range");
+      }
+      if (!first && c <= prev) {
+        return Status::InvalidArgument(
+            "SparseScores: columns must be strictly ascending within a row");
+      }
+      prev = c;
+      first = false;
+    }
+  }
+  return Status::OK();
+}
+
+Matrix SparseScores::ToDense(float fill) const {
+  Matrix dense(rows_, cols_);
+  dense.Fill(fill);
+  for (size_t i = 0; i < rows_; ++i) {
+    float* row = dense.Row(i).data();
+    for (size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e) {
+      row[cols_ptr_[e]] = values_[e];
+    }
+  }
+  return dense;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,113 @@
+#ifndef ENTMATCHER_LA_SPARSE_H_
+#define ENTMATCHER_LA_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// CSR score matrix over an n×m logical score table: per source row a short
+/// candidate list of (target column, score) entries, stored column-ascending.
+/// This is the sub-quadratic sibling of the dense score Matrix — nnz is
+/// O(n·c) for c candidates per row instead of O(n·m).
+///
+/// Storage follows the Matrix idiom: an owned SparseScores registers its
+/// value/column buffers with MemoryTracker (CreateOwned); a borrowed one
+/// wraps arena leases and leaves accounting to the arena (Borrowed). The
+/// (rows+1) row-offset table is always owned — it is O(n), not O(nnz).
+///
+/// The column-ascending invariant is load-bearing: it makes CSR entry order
+/// equal dense cell order (row-major), so sparse kernels that break score
+/// ties by "first entry wins" or "lowest entry index wins" agree bit-for-bit
+/// with their dense counterparts when candidate lists are complete.
+class SparseScores {
+ public:
+  /// An empty 0×0 structure.
+  SparseScores() = default;
+
+  /// Owned storage for up to `nnz_capacity` entries; registers
+  /// BytesFor(nnz_capacity) with the global MemoryTracker.
+  static SparseScores CreateOwned(size_t rows, size_t cols,
+                                  size_t nnz_capacity);
+
+  /// Borrowed storage over external buffers of `nnz_capacity` floats /
+  /// uint32s (workspace-arena leases). The buffers must outlive this object;
+  /// the arena accounts for the bytes.
+  static SparseScores Borrowed(size_t rows, size_t cols, float* values,
+                               uint32_t* col_indices, size_t nnz_capacity);
+
+  SparseScores(SparseScores&& other) noexcept;
+  SparseScores& operator=(SparseScores&& other) noexcept;
+  SparseScores(const SparseScores&) = delete;
+  SparseScores& operator=(const SparseScores&) = delete;
+  ~SparseScores();
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t capacity() const { return capacity_; }
+  /// Filled entries: row_offsets()[rows]. Zero until the offsets are built.
+  size_t nnz() const {
+    return row_offsets_.empty() ? 0 : row_offsets_.back();
+  }
+
+  /// Bytes of entry storage (values + column indices) for `nnz` entries —
+  /// the quantity an engine precheck declares and an arena leases.
+  static size_t BytesFor(size_t nnz) {
+    return nnz * (sizeof(float) + sizeof(uint32_t));
+  }
+
+  /// Raw entry storage (capacity() long). Fill protocol: write entries, then
+  /// set the offsets, then Validate().
+  float* values() { return values_; }
+  const float* values() const { return values_; }
+  uint32_t* col_indices() { return cols_ptr_; }
+  const uint32_t* col_indices() const { return cols_ptr_; }
+
+  /// The (rows+1) CSR offset table; row i owns entries
+  /// [row_offsets()[i], row_offsets()[i+1]).
+  std::vector<size_t>& mutable_row_offsets() { return row_offsets_; }
+  const std::vector<size_t>& row_offsets() const { return row_offsets_; }
+
+  /// Entry views for one row.
+  std::span<float> RowValues(size_t i) {
+    return std::span<float>(values_ + row_offsets_[i],
+                            row_offsets_[i + 1] - row_offsets_[i]);
+  }
+  std::span<const float> RowValues(size_t i) const {
+    return std::span<const float>(values_ + row_offsets_[i],
+                                  row_offsets_[i + 1] - row_offsets_[i]);
+  }
+  std::span<const uint32_t> RowCols(size_t i) const {
+    return std::span<const uint32_t>(cols_ptr_ + row_offsets_[i],
+                                     row_offsets_[i + 1] - row_offsets_[i]);
+  }
+
+  /// Checks the CSR invariants: offsets monotone with back() <= capacity,
+  /// every column < cols(), columns strictly ascending within each row.
+  Status Validate() const;
+
+  /// Dense expansion with `fill` in the non-candidate cells (tests and
+  /// debugging only — this reintroduces the O(n·m) cost sparse avoids).
+  Matrix ToDense(float fill) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t capacity_ = 0;
+  float* values_ = nullptr;
+  uint32_t* cols_ptr_ = nullptr;
+  bool owned_ = false;
+  std::vector<float> values_store_;
+  std::vector<uint32_t> cols_store_;
+  std::vector<size_t> row_offsets_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_SPARSE_H_

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "index/candidate_index.h"
 #include "matching/pipeline.h"
+#include "matching/sparse_matchers.h"
+#include "matching/sparse_transforms.h"
 #include "matching/transforms.h"
 
 namespace entmatcher {
@@ -42,6 +45,37 @@ size_t MatcherWorkspaceBytes(const MatchOptions& options, size_t rows,
   return 0;
 }
 
+// Entry capacity of the sparse path: num_candidates kept per source row,
+// clamped to the target count.
+size_t SparseNnzCap(const MatchOptions& options, size_t n, size_t m) {
+  return n * std::min(options.num_candidates, m);
+}
+
+// Pre-lease validation of a candidate-index query against this engine's
+// target set. The transform check lives here too so an unsupported transform
+// fails before any buffer is touched, like an over-budget query.
+Status ValidateSparseQuery(const MatchOptions& options, size_t num_targets) {
+  if (options.num_candidates == 0) {
+    return Status::InvalidArgument(
+        "candidate_index is set but num_candidates == 0; choose how many "
+        "candidates to keep per source row");
+  }
+  if (options.index_nprobe == 0) {
+    return Status::InvalidArgument("index_nprobe must be >= 1");
+  }
+  if (options.candidate_index->num_targets() != num_targets) {
+    return Status::InvalidArgument(
+        "candidate index was built over a different target set than this "
+        "engine's");
+  }
+  if (!TransformSupportsSparse(options.transform)) {
+    return Status::InvalidArgument(
+        "Sinkhorn needs the full coupling matrix; it has no sparse variant — "
+        "drop the candidate index for this transform");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 MatchEngine::MatchEngine(Matrix source, Matrix target,
@@ -74,6 +108,14 @@ const SimilarityCache& MatchEngine::EnsureCache(SimilarityMetric metric) {
 size_t MatchEngine::DeclaredWorkspaceBytes(const MatchOptions& options) const {
   const size_t n = source_.rows();
   const size_t m = target_.rows();
+  if (UsesCandidateIndex(options)) {
+    // O(n·c) entries instead of the O(n·m) matrix. Sparse matchers lease no
+    // arena tables; greedy-1-to-1's nnz-sized order buffer is heap-allocated
+    // and tracker-charged, matching the dense convention.
+    const size_t nnz_cap = SparseNnzCap(options, n, m);
+    return SparseScores::BytesFor(nnz_cap) +
+           SparseTransformWorkspaceBytes(options, nnz_cap);
+  }
   const size_t scores_bytes = n * m * sizeof(float);
   // The transform scratch is released before the decision stage leases its
   // tables, so the two stages share the same headroom.
@@ -107,6 +149,28 @@ Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
     const MatchOptions& options) {
   const size_t n = source_.rows();
   const size_t m = target_.rows();
+  if (UsesCandidateIndex(options)) {
+    EM_RETURN_NOT_OK(ValidateSparseQuery(options, m));
+    const size_t nnz_cap = SparseNnzCap(options, n, m);
+    EM_RETURN_NOT_OK(workspace_->CheckBudget(
+        SparseScores::BytesFor(nnz_cap) +
+        SparseTransformWorkspaceBytes(options, nnz_cap)));
+    workspace_->ResetHighWater();
+    EM_ASSIGN_OR_RETURN(ScratchMatrix values,
+                        ScratchMatrix::Acquire(workspace_.get(), 1, nnz_cap));
+    EM_ASSIGN_OR_RETURN(ScratchIndices cols,
+                        ScratchIndices::Acquire(workspace_.get(), nnz_cap));
+    SparseScores sparse = SparseScores::Borrowed(
+        n, m, values.get().data(), cols.get().data(), nnz_cap);
+    const SimilarityCache& cache = EnsureCache(options.metric);
+    EM_RETURN_NOT_OK(options.candidate_index->FillSparseScores(
+        source_, target_, options.metric, cache, options.num_candidates,
+        options.index_nprobe, &sparse));
+    EM_RETURN_NOT_OK(ApplySparseScoreTransformInPlace(&sparse, options,
+                                                      workspace_.get()));
+    return ScoredBatch(this, std::move(values), std::move(cols),
+                       std::move(sparse), ScoreSignature::Of(options));
+  }
   EM_RETURN_NOT_OK(workspace_->CheckBudget(
       n * m * sizeof(float) + TransformWorkspaceBytes(options, n, m)));
   workspace_->ResetHighWater();
@@ -126,10 +190,18 @@ Result<Assignment> MatchEngine::ScoredBatch::Match(const MatchOptions& options) 
         "ScoredBatch::Match: options carry a different score signature than "
         "the batch was computed with");
   }
-  return MatchScores(scores_.get(), options, engine_->workspace_.get());
+  if (sparse_.has_value()) {
+    return MatchSparseScores(*sparse_, options);
+  }
+  return MatchScores(scores_->get(), options, engine_->workspace_.get());
 }
 
 Result<Matrix> MatchEngine::TransformedScores(const MatchOptions& options) {
+  if (UsesCandidateIndex(options)) {
+    return Status::InvalidArgument(
+        "TransformedScores returns a dense matrix; use BeginBatch and "
+        "sparse_scores() for candidate-index queries");
+  }
   EM_ASSIGN_OR_RETURN(ScoredBatch batch, BeginBatch(options));
   return Matrix(batch.scores());  // deep owned copy; the lease is recycled
 }

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "la/matrix.h"
 #include "la/similarity.h"
+#include "la/sparse.h"
 #include "la/workspace.h"
 #include "matching/types.h"
 
@@ -79,12 +80,23 @@ class MatchEngine {
     ScoredBatch& operator=(const ScoredBatch&) = delete;
 
     /// The shared transformed score matrix (source.rows × target.rows).
-    const Matrix& scores() const { return scores_.get(); }
+    /// Dense batches only; a sparse batch has no dense matrix (that is the
+    /// point) — check is_sparse() first.
+    const Matrix& scores() const { return scores_->get(); }
+
+    /// True when the batch was scored over candidate lists (the query
+    /// options carried a candidate_index).
+    bool is_sparse() const { return sparse_.has_value(); }
+
+    /// The shared transformed candidate scores (sparse batches only).
+    const SparseScores& sparse_scores() const { return *sparse_; }
 
     /// Runs only the decision stage of `options` on the shared scores.
     /// options must carry the batch's ScoreSignature (kInvalidArgument
     /// otherwise — a mis-grouped query would silently decide on the wrong
-    /// transform) and a non-RL matcher.
+    /// transform) and a non-RL matcher. The signature folds in the candidate
+    /// index configuration, so dense options cannot decide on a sparse batch
+    /// or vice versa.
     Result<Assignment> Match(const MatchOptions& options);
 
    private:
@@ -92,9 +104,21 @@ class MatchEngine {
     ScoredBatch(MatchEngine* engine, ScratchMatrix scores,
                 const ScoreSignature& signature)
         : engine_(engine), scores_(std::move(scores)), signature_(signature) {}
+    ScoredBatch(MatchEngine* engine, ScratchMatrix values, ScratchIndices cols,
+                SparseScores sparse, const ScoreSignature& signature)
+        : engine_(engine), sparse_values_(std::move(values)),
+          sparse_cols_(std::move(cols)), sparse_(std::move(sparse)),
+          signature_(signature) {}
 
     MatchEngine* engine_;
-    ScratchMatrix scores_;
+    std::optional<ScratchMatrix> scores_;
+    // Sparse batches: the arena leases backing sparse_'s entry storage.
+    // sparse_ is declared after them so it is destroyed first (it borrows
+    // their buffers); arena slab addresses are stable, so the borrowed
+    // pointers survive ScoredBatch moves.
+    std::optional<ScratchMatrix> sparse_values_;
+    std::optional<ScratchIndices> sparse_cols_;
+    std::optional<SparseScores> sparse_;
     ScoreSignature signature_;
   };
 

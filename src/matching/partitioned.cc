@@ -3,91 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "la/kmeans.h"
 #include "matching/engine.h"
 #include "matching/pipeline.h"
 
 namespace entmatcher {
 
-namespace {
-
-// Plain k-means over L2-normalized rows (cosine k-means). Returns the
-// cluster id per row.
-std::vector<uint32_t> KMeans(const Matrix& points, size_t k, size_t iterations,
-                             Rng* rng) {
-  const size_t n = points.rows();
-  const size_t dim = points.cols();
-  Matrix normalized = points;
-  L2NormalizeRows(&normalized);
-
-  // k-means++-lite init: random distinct rows.
-  std::vector<size_t> centroid_rows;
-  {
-    std::vector<size_t> order(n);
-    for (size_t i = 0; i < n; ++i) order[i] = i;
-    rng->Shuffle(&order);
-    for (size_t c = 0; c < k; ++c) centroid_rows.push_back(order[c % n]);
-  }
-  Matrix centroids(k, dim);
-  for (size_t c = 0; c < k; ++c) {
-    std::copy(normalized.Row(centroid_rows[c]).begin(),
-              normalized.Row(centroid_rows[c]).end(),
-              centroids.Row(c).begin());
-  }
-
-  std::vector<uint32_t> assignment(n, 0);
-  for (size_t it = 0; it < iterations; ++it) {
-    // Assign to the most similar centroid.
-    for (size_t i = 0; i < n; ++i) {
-      const float* x = normalized.Row(i).data();
-      float best = -std::numeric_limits<float>::infinity();
-      uint32_t best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        const float* mu = centroids.Row(c).data();
-        float dot = 0.0f;
-        for (size_t d = 0; d < dim; ++d) dot += x[d] * mu[d];
-        if (dot > best) {
-          best = dot;
-          best_c = static_cast<uint32_t>(c);
-        }
-      }
-      assignment[i] = best_c;
-    }
-    // Recompute centroids (mean direction).
-    centroids.Fill(0.0f);
-    std::vector<size_t> counts(k, 0);
-    for (size_t i = 0; i < n; ++i) {
-      float* mu = centroids.Row(assignment[i]).data();
-      const float* x = normalized.Row(i).data();
-      for (size_t d = 0; d < dim; ++d) mu[d] += x[d];
-      ++counts[assignment[i]];
-    }
-    for (size_t c = 0; c < k; ++c) {
-      if (counts[c] == 0) {
-        // Re-seed an empty cluster with a random point.
-        const size_t row = rng->NextBounded(n);
-        std::copy(normalized.Row(row).begin(), normalized.Row(row).end(),
-                  centroids.Row(c).begin());
-      }
-    }
-    L2NormalizeRows(&centroids);
-  }
-  return assignment;
-}
-
-}  // namespace
-
-size_t Partitioning::MaxBlockCells() const {
+std::vector<size_t> Partitioning::BlockCells() const {
   std::vector<size_t> src_count(num_partitions, 0);
   std::vector<size_t> tgt_count(num_partitions, 0);
   for (uint32_t p : partition_of_source) ++src_count[p];
   for (uint32_t p : partition_of_target) ++tgt_count[p];
-  size_t max_cells = 0;
+  std::vector<size_t> cells(num_partitions, 0);
   for (size_t p = 0; p < num_partitions; ++p) {
-    max_cells = std::max(max_cells, src_count[p] * tgt_count[p]);
+    cells[p] = src_count[p] * tgt_count[p];
   }
+  return cells;
+}
+
+size_t Partitioning::MaxBlockCells() const {
+  size_t max_cells = 0;
+  for (size_t cells : BlockCells()) max_cells = std::max(max_cells, cells);
   return max_cells;
 }
 
@@ -121,7 +61,7 @@ Result<Partitioning> CoClusterCandidates(const Matrix& source,
   }
   Rng rng(options.seed);
   const std::vector<uint32_t> clusters =
-      KMeans(stacked, k, options.kmeans_iterations, &rng);
+      CosineKMeans(stacked, k, options.kmeans_iterations, &rng).assignment;
 
   Partitioning partitioning;
   partitioning.num_partitions = k;
@@ -132,8 +72,9 @@ Result<Partitioning> CoClusterCandidates(const Matrix& source,
   return partitioning;
 }
 
-Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
-                                    const PartitionedOptions& options) {
+Result<PartitionedMatchResult> PartitionedMatchWithStats(
+    const Matrix& source, const Matrix& target,
+    const PartitionedOptions& options) {
   if (options.block_options.matcher == MatcherKind::kRl) {
     return Status::InvalidArgument(
         "PartitionedMatch: kRl is not supported inside blocks");
@@ -141,7 +82,19 @@ Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
   EM_ASSIGN_OR_RETURN(Partitioning partitioning,
                       CoClusterCandidates(source, target, options));
 
-  Assignment assignment;
+  PartitionedMatchResult result;
+  result.num_partitions = partitioning.num_partitions;
+  for (size_t cells : partitioning.BlockCells()) {
+    result.largest_block_product = std::max(result.largest_block_product, cells);
+    size_t bucket = 0;
+    for (size_t v = cells; v > 1; v >>= 1) ++bucket;
+    if (bucket >= result.block_cells_histogram.size()) {
+      result.block_cells_histogram.resize(bucket + 1, 0);
+    }
+    ++result.block_cells_histogram[bucket];
+  }
+
+  Assignment& assignment = result.assignment;
   assignment.target_of_source.assign(source.rows(), Assignment::kUnmatched);
 
   const size_t num_partitions = partitioning.num_partitions;
@@ -202,7 +155,14 @@ Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
     }
   });
   for (const Status& status : block_status) EM_RETURN_NOT_OK(status);
-  return assignment;
+  return result;
+}
+
+Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
+                                    const PartitionedOptions& options) {
+  EM_ASSIGN_OR_RETURN(PartitionedMatchResult result,
+                      PartitionedMatchWithStats(source, target, options));
+  return std::move(result.assignment);
 }
 
 }  // namespace entmatcher

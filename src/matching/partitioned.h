@@ -29,9 +29,25 @@ struct Partitioning {
   std::vector<uint32_t> partition_of_target;
   size_t num_partitions = 0;
 
+  /// (source block x target block) cell product per partition — the score
+  /// matrix each block run materializes.
+  std::vector<size_t> BlockCells() const;
+
   /// Largest (source block x target block) product — the dominant score
   /// matrix any block run materializes.
   size_t MaxBlockCells() const;
+};
+
+/// Assignment plus the partition statistics a run observed. The histogram is
+/// log2-bucketed over block cell products: bucket b counts partitions whose
+/// (src rows x tgt cols) product lies in [2^b, 2^(b+1)); empty blocks land
+/// in bucket 0. Skew — many near-empty buckets plus one huge one — is the
+/// failure mode the candidate index exists to avoid.
+struct PartitionedMatchResult {
+  Assignment assignment;
+  size_t num_partitions = 0;
+  size_t largest_block_product = 0;
+  std::vector<size_t> block_cells_histogram;
 };
 
 /// Co-clusters source and target candidates into shared partitions by
@@ -53,6 +69,12 @@ Result<Partitioning> CoClusterCandidates(const Matrix& source,
 /// trade-off [15] manages; the ablation bench quantifies it.
 Result<Assignment> PartitionedMatch(const Matrix& source, const Matrix& target,
                                     const PartitionedOptions& options);
+
+/// PartitionedMatch plus the partition-size statistics of the run, so block
+/// skew is observable (bench_table6 prints the histogram).
+Result<PartitionedMatchResult> PartitionedMatchWithStats(
+    const Matrix& source, const Matrix& target,
+    const PartitionedOptions& options);
 
 }  // namespace entmatcher
 

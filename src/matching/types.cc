@@ -68,6 +68,11 @@ ScoreSignature ScoreSignature::Of(const MatchOptions& options) {
       sig.sinkhorn_temperature = options.sinkhorn_temperature;
       break;
   }
+  if (UsesCandidateIndex(options)) {
+    sig.candidate_index = options.candidate_index;
+    sig.num_candidates = options.num_candidates;
+    sig.index_nprobe = options.index_nprobe;
+  }
   return sig;
 }
 

@@ -9,6 +9,8 @@
 
 namespace entmatcher {
 
+class CandidateIndex;
+
 /// The outcome of the matching-decision stage: for each source candidate row
 /// the assigned target candidate column, or kUnmatched when the algorithm
 /// declined to align the source (dummy assignment / rejection).
@@ -110,8 +112,28 @@ struct MatchOptions {
   /// real, clean error instead of an after-the-fact estimate.
   size_t workspace_budget_bytes = 0;
 
+  /// Opt-in sub-quadratic path: when set, the engine scores only the
+  /// `num_candidates` approximate nearest targets per source (found by this
+  /// index, probing `index_nprobe` cells) and runs sparse transform/decision
+  /// variants over the candidate lists. Peak workspace drops from O(n·m) to
+  /// O(n·num_candidates). Not owned; must outlive every query using it, and
+  /// must have been built over this engine's target embeddings. Transforms/
+  /// matchers without a sparse variant (Sinkhorn, Hungarian, Gale–Shapley)
+  /// are refused with kInvalidArgument.
+  const CandidateIndex* candidate_index = nullptr;
+  /// Candidates kept per source row (top-c exact rerank); must be >= 1 when
+  /// candidate_index is set.
+  size_t num_candidates = 0;
+  /// Inverted lists probed per query row.
+  size_t index_nprobe = 4;
+
   RlMatcherOptions rl;
 };
+
+/// True when `options` selects the sparse candidate-index path.
+inline bool UsesCandidateIndex(const MatchOptions& options) {
+  return options.candidate_index != nullptr;
+}
 
 /// The part of a MatchOptions that determines the transformed score matrix
 /// (stages 1+2 of the pipeline: similarity metric, score transform, and the
@@ -127,6 +149,13 @@ struct ScoreSignature {
   size_t sinkhorn_iterations = 0;
   double sinkhorn_temperature = 0.0;
   size_t rinf_pb_candidates = 0;
+  /// Candidate-index configuration: a sparse query can only share a scores
+  /// pass with queries using the same index object, width, and probe count
+  /// (and never with a dense query). Zeroed for dense queries so a stray
+  /// index_nprobe cannot split a dense batch.
+  const CandidateIndex* candidate_index = nullptr;
+  size_t num_candidates = 0;
+  size_t index_nprobe = 0;
 
   /// Canonical signature of `options`: parameters the active transform does
   /// not read are zeroed, so e.g. two kNone queries with different csls_k

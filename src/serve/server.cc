@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "index/candidate_index.h"
 #include "la/topk.h"
+#include "matching/sparse_matchers.h"
+#include "matching/sparse_transforms.h"
 
 namespace entmatcher {
 
@@ -84,6 +87,31 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
         "MatchServer: the RL matcher needs KG context and cannot be served");
   } else if (request.kind == ServeQueryKind::kTopK && request.topk == 0) {
     verdict = Status::InvalidArgument("MatchServer: topk must be >= 1");
+  } else if (UsesCandidateIndex(request.options) &&
+             request.kind == ServeQueryKind::kTopK) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: top-k serving needs the dense score path; drop the "
+        "candidate index for top-k queries");
+  } else if (UsesCandidateIndex(request.options) &&
+             request.options.num_candidates == 0) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: candidate_index is set but num_candidates == 0");
+  } else if (UsesCandidateIndex(request.options) &&
+             !TransformSupportsSparse(request.options.transform)) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: the requested transform has no sparse variant; drop "
+        "the candidate index for this query");
+  } else if (UsesCandidateIndex(request.options) &&
+             !MatcherSupportsSparse(request.options.matcher)) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: the requested matcher cannot decide over candidate "
+        "lists; drop the candidate index for this query");
+  } else if (UsesCandidateIndex(request.options) &&
+             request.options.candidate_index->num_targets() !=
+                 engine->target().rows()) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: candidate index was built over a different target set "
+        "than pair '" + request.pair + "'");
   } else if (config_.workspace_budget_bytes > 0) {
     MatchOptions declared = request.options;
     // Top-k runs no decision stage; only stages 1+2 count against it.

@@ -1,0 +1,288 @@
+#include "index/candidate_index.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/similarity.h"
+#include "la/sparse.h"
+
+namespace entmatcher {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+bool SameEntries(const SparseScores& a, const SparseScores& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() || a.nnz() != b.nnz()) {
+    return false;
+  }
+  if (a.row_offsets() != b.row_offsets()) return false;
+  return std::memcmp(a.values(), b.values(), a.nnz() * sizeof(float)) == 0 &&
+         std::memcmp(a.col_indices(), b.col_indices(),
+                     a.nnz() * sizeof(uint32_t)) == 0;
+}
+
+class CandidateIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_threads_ = GetNumThreads(); }
+  void TearDown() override { SetNumThreads(previous_threads_); }
+
+ private:
+  size_t previous_threads_;
+};
+
+TEST_F(CandidateIndexTest, BuildPartitionsEveryTarget) {
+  const Matrix tgt = RandomMatrix(64, 12, 3);
+  CandidateIndexOptions options;
+  options.num_lists = 6;
+  Result<CandidateIndex> index = CandidateIndex::Build(tgt, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_targets(), 64u);
+  EXPECT_EQ(index->num_lists(), 6u);
+
+  std::vector<bool> seen(64, false);
+  for (size_t l = 0; l < index->num_lists(); ++l) {
+    uint32_t previous = 0;
+    bool first = true;
+    for (uint32_t id : index->List(l)) {
+      ASSERT_LT(id, 64u);
+      EXPECT_FALSE(seen[id]) << "target " << id << " in two lists";
+      seen[id] = true;
+      if (!first) {
+        EXPECT_LT(previous, id) << "list " << l << " not ascending";
+      }
+      previous = id;
+      first = false;
+    }
+  }
+  for (size_t j = 0; j < seen.size(); ++j) {
+    EXPECT_TRUE(seen[j]) << "target " << j << " in no list";
+  }
+
+  const CandidateListStats stats = index->Stats();
+  EXPECT_EQ(stats.num_lists, 6u);
+  EXPECT_EQ(stats.num_targets, 64u);
+  EXPECT_DOUBLE_EQ(stats.mean_list_size, 64.0 / 6.0);
+  size_t histogram_total = 0;
+  for (size_t count : stats.size_histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, 6u);
+}
+
+TEST_F(CandidateIndexTest, AutoListCountAndValidation) {
+  const Matrix tgt = RandomMatrix(100, 8, 5);
+  Result<CandidateIndex> index =
+      CandidateIndex::Build(tgt, CandidateIndexOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_lists(), 10u);  // ~sqrt(100)
+
+  EXPECT_FALSE(CandidateIndex::Build(Matrix(), CandidateIndexOptions()).ok());
+  CandidateIndexOptions bad;
+  bad.kmeans_iterations = 0;
+  EXPECT_FALSE(CandidateIndex::Build(tgt, bad).ok());
+  CandidateIndexOptions too_many;
+  too_many.num_lists = 7;
+  const Matrix tiny = RandomMatrix(3, 8, 6);
+  Result<CandidateIndex> clamped = CandidateIndex::Build(tiny, too_many);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_LE(clamped->num_lists(), 3u);
+}
+
+// The rerank is exact: every emitted entry is bitwise the dense similarity
+// of its cell, for every metric — the index only decides which cells exist.
+TEST_F(CandidateIndexTest, EntriesAreExactDenseScores) {
+  const Matrix src = RandomMatrix(23, 10, 7);
+  const Matrix tgt = RandomMatrix(31, 10, 8);
+  CandidateIndexOptions options;
+  options.num_lists = 4;
+  Result<CandidateIndex> index = CandidateIndex::Build(tgt, options);
+  ASSERT_TRUE(index.ok());
+
+  for (SimilarityMetric metric :
+       {SimilarityMetric::kCosine, SimilarityMetric::kNegEuclidean,
+        SimilarityMetric::kNegManhattan}) {
+    Result<Matrix> dense = ComputeSimilarity(src, tgt, metric);
+    ASSERT_TRUE(dense.ok());
+    Result<SparseScores> sparse =
+        index->SparseSimilarity(src, tgt, metric, /*num_candidates=*/5,
+                                /*nprobe=*/2);
+    ASSERT_TRUE(sparse.ok());
+    ASSERT_TRUE(sparse->Validate().ok());
+    for (size_t i = 0; i < sparse->rows(); ++i) {
+      auto values = sparse->RowValues(i);
+      auto cols = sparse->RowCols(i);
+      EXPECT_LE(values.size(), 5u);
+      for (size_t p = 0; p < values.size(); ++p) {
+        const float expected = dense->Row(i)[cols[p]];
+        EXPECT_EQ(std::memcmp(&values[p], &expected, sizeof(float)), 0)
+            << "row " << i << " col " << cols[p];
+      }
+    }
+  }
+}
+
+// Probing every list with row-width m degenerates to the dense similarity:
+// complete lists, every cell present, bitwise equal.
+TEST_F(CandidateIndexTest, CompleteListsReproduceDenseSimilarity) {
+  const Matrix src = RandomMatrix(19, 6, 9);
+  const Matrix tgt = RandomMatrix(27, 6, 10);
+  CandidateIndexOptions options;
+  options.num_lists = 5;
+  Result<CandidateIndex> index = CandidateIndex::Build(tgt, options);
+  ASSERT_TRUE(index.ok());
+  Result<Matrix> dense =
+      ComputeSimilarity(src, tgt, SimilarityMetric::kCosine);
+  ASSERT_TRUE(dense.ok());
+  Result<SparseScores> sparse = index->SparseSimilarity(
+      src, tgt, SimilarityMetric::kCosine, tgt.rows(), index->num_lists());
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_EQ(sparse->nnz(), src.rows() * tgt.rows());
+  const Matrix round_trip = sparse->ToDense(0.0f);
+  EXPECT_EQ(std::memcmp(round_trip.data(), dense->data(), dense->ByteSize()),
+            0);
+}
+
+TEST_F(CandidateIndexTest, FillIsThreadCountInvariant) {
+  const Matrix src = RandomMatrix(33, 8, 11);
+  const Matrix tgt = RandomMatrix(29, 8, 12);
+  CandidateIndexOptions options;
+  options.num_lists = 4;
+  Result<CandidateIndex> index = CandidateIndex::Build(tgt, options);
+  ASSERT_TRUE(index.ok());
+
+  SetNumThreads(1);
+  Result<SparseScores> serial =
+      index->SparseSimilarity(src, tgt, SimilarityMetric::kCosine, 6, 2);
+  ASSERT_TRUE(serial.ok());
+  SetNumThreads(7);
+  Result<SparseScores> parallel =
+      index->SparseSimilarity(src, tgt, SimilarityMetric::kCosine, 6, 2);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(SameEntries(*serial, *parallel));
+}
+
+TEST_F(CandidateIndexTest, SaveLoadRoundTrip) {
+  const Matrix src = RandomMatrix(17, 8, 13);
+  const Matrix tgt = RandomMatrix(25, 8, 14);
+  CandidateIndexOptions options;
+  options.num_lists = 3;
+  Result<CandidateIndex> built = CandidateIndex::Build(tgt, options);
+  ASSERT_TRUE(built.ok());
+
+  const std::string path = ::testing::TempDir() + "/round_trip.eidx";
+  ASSERT_TRUE(built->Save(path).ok());
+  Result<CandidateIndex> loaded = CandidateIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_targets(), built->num_targets());
+  EXPECT_EQ(loaded->num_lists(), built->num_lists());
+  EXPECT_EQ(loaded->dim(), built->dim());
+
+  Result<SparseScores> before =
+      built->SparseSimilarity(src, tgt, SimilarityMetric::kCosine, 5, 2);
+  Result<SparseScores> after =
+      loaded->SparseSimilarity(src, tgt, SimilarityMetric::kCosine, 5, 2);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(SameEntries(*before, *after));
+  std::remove(path.c_str());
+}
+
+TEST_F(CandidateIndexTest, LoadRejectsCorruptFiles) {
+  EXPECT_FALSE(CandidateIndex::Load("/nonexistent/nowhere.eidx").ok());
+
+  const std::string bad_magic = ::testing::TempDir() + "/bad_magic.eidx";
+  {
+    std::ofstream out(bad_magic, std::ios::binary);
+    out << "NOPE and then some bytes that are not an index";
+  }
+  EXPECT_FALSE(CandidateIndex::Load(bad_magic).ok());
+  std::remove(bad_magic.c_str());
+
+  // Truncate a valid index mid-payload: the loader must refuse it rather
+  // than read garbage lists.
+  const Matrix tgt = RandomMatrix(20, 6, 15);
+  CandidateIndexOptions options;
+  options.num_lists = 3;
+  Result<CandidateIndex> built = CandidateIndex::Build(tgt, options);
+  ASSERT_TRUE(built.ok());
+  const std::string full = ::testing::TempDir() + "/full.eidx";
+  ASSERT_TRUE(built->Save(full).ok());
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string truncated = ::testing::TempDir() + "/truncated.eidx";
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(CandidateIndex::Load(truncated).ok());
+  std::remove(full.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(SparseScoresTest, OwnedStorageIsTracked) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const size_t before = tracker.current_bytes();
+  {
+    SparseScores scores = SparseScores::CreateOwned(4, 8, 16);
+    EXPECT_EQ(tracker.current_bytes(), before + SparseScores::BytesFor(16));
+    SparseScores moved = std::move(scores);
+    EXPECT_EQ(tracker.current_bytes(), before + SparseScores::BytesFor(16));
+  }
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
+TEST(SparseScoresTest, ValidateCatchesBrokenInvariants) {
+  SparseScores scores = SparseScores::CreateOwned(2, 4, 4);
+  float* values = scores.values();
+  uint32_t* cols = scores.col_indices();
+  values[0] = 1.0f;
+  values[1] = 2.0f;
+  values[2] = 3.0f;
+  cols[0] = 0;
+  cols[1] = 2;
+  cols[2] = 1;
+  scores.mutable_row_offsets() = {0, 2, 3};
+  EXPECT_TRUE(scores.Validate().ok());
+
+  scores.mutable_row_offsets() = {0, 2, 1};  // not monotone
+  EXPECT_FALSE(scores.Validate().ok());
+  scores.mutable_row_offsets() = {0, 2, 9};  // beyond capacity
+  EXPECT_FALSE(scores.Validate().ok());
+
+  cols[1] = 0;  // duplicate/non-ascending column within row 0
+  scores.mutable_row_offsets() = {0, 2, 3};
+  EXPECT_FALSE(scores.Validate().ok());
+  cols[1] = 7;  // column out of range
+  EXPECT_FALSE(scores.Validate().ok());
+}
+
+TEST(SparseScoresTest, ToDenseFillsMissingCells) {
+  SparseScores scores = SparseScores::CreateOwned(2, 3, 2);
+  scores.values()[0] = 5.0f;
+  scores.col_indices()[0] = 1;
+  scores.values()[1] = -2.0f;
+  scores.col_indices()[1] = 2;
+  scores.mutable_row_offsets() = {0, 1, 2};
+  const Matrix dense = scores.ToDense(-9.0f);
+  EXPECT_EQ(dense.Row(0)[0], -9.0f);
+  EXPECT_EQ(dense.Row(0)[1], 5.0f);
+  EXPECT_EQ(dense.Row(0)[2], -9.0f);
+  EXPECT_EQ(dense.Row(1)[2], -2.0f);
+}
+
+}  // namespace
+}  // namespace entmatcher
