@@ -22,7 +22,10 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "bench/harness.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "matching/engine.h"
@@ -55,6 +58,9 @@ struct ModeResult {
   double p50_micros = 0.0;
   double p99_micros = 0.0;
   bool identical = true;
+  /// Requests answered with a non-OK Status — expected (and counted, not
+  /// fatal) when a fault plan is armed; fatal otherwise.
+  uint64_t failures = 0;
 };
 
 /// Runs kClients threads, each issuing kQueriesPerClient CSLS match queries
@@ -67,9 +73,10 @@ ModeResult DriveClients(MatchServer* server, const std::string& name,
 
   std::vector<std::thread> clients;
   std::vector<char> ok(kClients, 1);
+  std::atomic<uint64_t> failures{0};
   Timer timer;
   for (size_t c = 0; c < kClients; ++c) {
-    clients.emplace_back([server, &reference, &ok, c] {
+    clients.emplace_back([server, &reference, &ok, &failures, c] {
       // Submit the whole burst first so the queue actually holds
       // coalescable work, then wait; a submit-wait-submit loop on one core
       // would serialize the queue into singleton cycles.
@@ -81,9 +88,12 @@ ModeResult DriveClients(MatchServer* server, const std::string& name,
       }
       for (std::future<ServeResponse>& f : inflight) {
         ServeResponse response = f.get();
-        if (!response.status.ok() ||
-            response.assignment.target_of_source !=
-                reference.target_of_source) {
+        if (!response.status.ok()) {
+          // Injected faults surface here under a chaos run; the invariant
+          // is that every *successful* response is still bit-identical.
+          failures.fetch_add(1, std::memory_order_relaxed);
+        } else if (response.assignment.target_of_source !=
+                   reference.target_of_source) {
           ok[c] = 0;
         }
       }
@@ -91,6 +101,7 @@ ModeResult DriveClients(MatchServer* server, const std::string& name,
   }
   for (std::thread& t : clients) t.join();
   mode.seconds = timer.ElapsedSeconds();
+  mode.failures = failures.load();
 
   const ServerStatsSnapshot stats = server->Stats();
   mode.qps = mode.seconds > 0.0
@@ -126,6 +137,13 @@ Result<ModeResult> RunMode(const std::string& name, size_t max_batch,
 
 int main() {
   using namespace entmatcher;
+
+  const Status faults = ArmFaultInjectionFromEnv();
+  if (!faults.ok()) {
+    std::cerr << faults.ToString() << "\n";
+    return 1;
+  }
+  const bool faults_armed = FaultInjector::Global().armed();
 
   const double scale = bench::GlobalScale();
   const size_t n =
@@ -170,7 +188,8 @@ int main() {
               << FormatDouble(mode->qps, 1) << " q/s)  scores_passes="
               << mode->scores_passes << "  p50="
               << FormatDouble(mode->p50_micros, 0) << " us  p99="
-              << FormatDouble(mode->p99_micros, 0) << " us  identical="
+              << FormatDouble(mode->p99_micros, 0) << " us  failures="
+              << mode->failures << "  identical="
               << (mode->identical ? "yes" : "NO") << "\n";
     modes.push_back(*std::move(mode));
   }
@@ -196,6 +215,11 @@ int main() {
                 << " served assignments diverged from the one-shot engine\n";
       ok = false;
     }
+    if (mode.failures > 0 && !faults_armed) {
+      std::cerr << "FATAL: " << mode.name << " had " << mode.failures
+                << " failed responses with no fault plan armed\n";
+      ok = false;
+    }
   }
   if (batched.scores_passes >= sequential.scores_passes) {
     std::cerr << "FATAL: batching did not reduce scores passes ("
@@ -216,11 +240,16 @@ int main() {
          << ", \"batched_queries\": " << m.batched_queries
          << ", \"latency_p50_micros\": " << m.p50_micros
          << ", \"latency_p99_micros\": " << m.p99_micros
+         << ", \"failures\": " << m.failures
          << ", \"identical\": " << (m.identical ? "true" : "false") << "}"
          << (i + 1 < modes.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"speedup_batched_vs_sequential\": " << speedup
-       << ",\n  \"scores_pass_reduction\": " << pass_reduction << "\n}\n";
+       << ",\n  \"scores_pass_reduction\": " << pass_reduction
+       << ",\n  \"fault_plan\": \""
+       << FaultInjector::Global().Fingerprint() << "\""
+       << ",\n  \"fault_fires\": " << FaultInjector::Global().total_fires()
+       << "\n}\n";
   std::cout << "wrote BENCH_serve.json\n";
   return ok ? 0 : 1;
 }

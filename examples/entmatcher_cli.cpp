@@ -33,15 +33,26 @@
 //       Score previously saved predicted links against the test split.
 //   entmatcher_cli serve <src.emat> <tgt.emat> [--socket=PATH] [--threads=N]
 //                  [--max-batch=N] [--flush-micros=N] [--queue-capacity=N]
-//                  [--workspace-budget-bytes=N]
+//                  [--workspace-budget-bytes=N] [--shed-watermark=N]
+//                  [--index=PATH [--degrade-watermark=N]
+//                   [--degrade-candidates=N] [--degrade-nprobe=N]]
 //       Hold the embedding pair in one warm MatchEngine and serve match /
 //       top-k queries over a unix-domain socket (length-prefixed protocol,
 //       src/serve/protocol.h), micro-batching compatible queries into
 //       shared similarity passes. Runs until a client sends `shutdown`.
-//   entmatcher_cli query [--socket=PATH] match <ALGO> [timeout_us=N]
+//       --shed-watermark sheds new requests (kUnavailable + retry-after
+//       hint) once the queue is that deep; with --index attached,
+//       --degrade-watermark instead rewrites eligible dense matches onto
+//       the sparse candidate path under load. A fault plan in EM_FAULT_PLAN
+//       (seeded by EM_FAULT_SEED) is armed at startup — chaos builds only
+//       (-DENTMATCHER_FAULTS=ON); see src/common/fault.h for the grammar.
+//   entmatcher_cli query [--socket=PATH] [--retries=N]
+//                                        match <ALGO> [timeout_us=N]
 //                                      | topk <ALGO> <k> [timeout_us=N]
-//                                      | stats | shutdown
-//       One query against a running `serve` instance.
+//                                      | stats | health | shutdown
+//       One query against a running `serve` instance. --retries=N retries
+//       transient failures (kUnavailable sheds, transport drops, expired
+//       deadlines) up to N attempts with capped exponential backoff.
 //
 // --threads=N overrides the worker count for this process (equivalent to
 // the EM_NUM_THREADS environment variable; the flag wins).
@@ -52,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "datagen/benchmarks.h"
@@ -366,12 +378,18 @@ int CmdServe(int argc, char** argv) {
   if (!tgt.ok()) return Fail(tgt.status());
 
   std::string socket_path = kDefaultSocketPath;
+  std::string index_path;
   MatchServerConfig config;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string socket_flag = "--socket=";
     if (arg.rfind(socket_flag, 0) == 0) {
       socket_path = arg.substr(socket_flag.size());
+      continue;
+    }
+    const std::string index_flag = "--index=";
+    if (arg.rfind(index_flag, 0) == 0) {
+      index_path = arg.substr(index_flag.size());
       continue;
     }
     unsigned long long value = 0;
@@ -405,14 +423,51 @@ int CmdServe(int argc, char** argv) {
       config.workspace_budget_bytes = static_cast<size_t>(value);
       continue;
     }
+    matched = MatchUintFlag(arg, "shed-watermark", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.shed_watermark = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "degrade-watermark", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.degrade_watermark = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "degrade-candidates", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.degrade_num_candidates = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "degrade-nprobe", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.degrade_nprobe = static_cast<size_t>(value);
+      continue;
+    }
     return Usage();
   }
+
+  // Chaos runs configure themselves through the environment so the exact
+  // same command line works with and without an armed plan.
+  Status faults = ArmFaultInjectionFromEnv();
+  if (!faults.ok()) return Fail(faults);
 
   Result<std::unique_ptr<MatchServer>> server = MatchServer::Create(config);
   if (!server.ok()) return Fail(server.status());
   Status loaded = (*server)->LoadPair("default", std::move(src).value(),
                                       std::move(tgt).value());
   if (!loaded.ok()) return Fail(loaded);
+  if (!index_path.empty()) {
+    Result<CandidateIndex> index = CandidateIndex::Load(index_path);
+    if (!index.ok()) return Fail(index.status());
+    Status attached = (*server)->AttachIndex(
+        "default",
+        std::make_unique<CandidateIndex>(std::move(index).value()));
+    if (!attached.ok()) return Fail(attached);
+  }
   Status started = (*server)->Start();
   if (!started.ok()) return Fail(started);
   Result<std::unique_ptr<SocketServer>> front =
@@ -426,6 +481,7 @@ int CmdServe(int argc, char** argv) {
             << (config.workspace_budget_bytes == 0
                     ? std::string("unlimited")
                     : FormatBytes(config.workspace_budget_bytes))
+            << ", fault_plan=" << FaultInjector::Global().Fingerprint()
             << "); send `entmatcher_cli query shutdown` to stop\n";
   (*front)->WaitForShutdown();
   (*front)->Stop();
@@ -436,15 +492,24 @@ int CmdServe(int argc, char** argv) {
 
 int CmdQuery(int argc, char** argv) {
   std::string socket_path = kDefaultSocketPath;
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // retries are opt-in on the CLI
   std::vector<std::string> words;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string socket_flag = "--socket=";
     if (arg.rfind(socket_flag, 0) == 0) {
       socket_path = arg.substr(socket_flag.size());
-    } else {
-      words.push_back(arg);
+      continue;
     }
+    unsigned long long value = 0;
+    const int matched = MatchUintFlag(arg, "retries", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      policy.max_attempts = static_cast<uint32_t>(value) + 1;
+      continue;
+    }
+    words.push_back(arg);
   }
   if (words.empty()) return Usage();
 
@@ -454,11 +519,12 @@ int CmdQuery(int argc, char** argv) {
   if (!request.ok()) return Fail(request.status());
   Result<ServeClient> client = ServeClient::Connect(socket_path);
   if (!client.ok()) return Fail(client.status());
-  Result<WireResponse> response = client->Call(*request);
+  Result<WireResponse> response = client->CallWithRetry(*request, policy);
   if (!response.ok()) return Fail(response.status());
   if (!response->status.ok()) return Fail(response->status);
 
   if (request->verb == WireRequest::Verb::kStats ||
+      request->verb == WireRequest::Verb::kHealth ||
       request->verb == WireRequest::Verb::kShutdown) {
     std::cout << response->text << "\n";
     return EXIT_SUCCESS;

@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kIoError:
@@ -28,6 +30,27 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromString(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kUnavailable,
+      StatusCode::kInternal,
+      StatusCode::kIoError,
+      StatusCode::kUnimplemented,
+  };
+  for (StatusCode code : kAll) {
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

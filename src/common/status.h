@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kDeadlineExceeded,
+  kUnavailable,
   kInternal,
   kIoError,
   kUnimplemented,
@@ -28,6 +29,10 @@ enum class StatusCode {
 
 /// Returns a stable human-readable name for a StatusCode.
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Parses a name produced by StatusCodeToString. Unknown names map to
+/// kInternal so wire round-trips never manufacture a spurious kOk.
+StatusCode StatusCodeFromString(std::string_view name);
 
 /// A lightweight success-or-error value, modeled after arrow::Status.
 ///
@@ -74,6 +79,11 @@ class Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  /// Transient condition — overload shedding, transport failure. Callers may
+  /// retry after backing off; contrast with kInvalidArgument (never retry).
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "la/kmeans.h"
@@ -231,6 +232,8 @@ Status CandidateIndex::Save(const std::string& path) const {
 }
 
 Result<CandidateIndex> CandidateIndex::Load(const std::string& path) {
+  // Chaos point: a short read surfacing as kIoError mid-load.
+  EM_INJECT_FAULT("index.load.read", StatusCode::kIoError);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   char magic[4];
@@ -269,6 +272,11 @@ Result<CandidateIndex> CandidateIndex::Load(const std::string& path) {
           static_cast<std::streamsize>(index.list_ids_.size() *
                                        sizeof(uint32_t)));
   if (!in) return Status::IoError("truncated index data: " + path);
+  if (!index.list_ids_.empty() && EM_FAULT_FIRED("index.load.corrupt")) {
+    // Chaos point: flip a high bit in the first inverted-list id so the
+    // validation below must catch in-memory corruption, not just truncation.
+    index.list_ids_[0] ^= 0x80000000u;
+  }
   if (index.list_offsets_.front() != 0 ||
       index.list_offsets_.back() != num_targets) {
     return Status::IoError("corrupt inverted-list offsets in: " + path);

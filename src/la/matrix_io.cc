@@ -1,6 +1,7 @@
 #include "la/matrix_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -58,7 +59,9 @@ Result<Matrix> ReadMatrixTsv(const std::string& path) {
     rows.push_back(std::move(row));
   }
   if (rows.empty()) return Matrix();
-  return Matrix::FromRows(rows);
+  Matrix matrix = Matrix::FromRows(rows);
+  EM_RETURN_NOT_OK(ValidateMatrixFinite(matrix, path));
+  return matrix;
 }
 
 Status WriteMatrixBinary(const Matrix& matrix, const std::string& path) {
@@ -96,7 +99,22 @@ Result<Matrix> ReadMatrixBinary(const std::string& path) {
   in.read(reinterpret_cast<char*>(matrix.data()),
           static_cast<std::streamsize>(matrix.ByteSize()));
   if (!in) return Status::IoError("truncated matrix data: " + path);
+  EM_RETURN_NOT_OK(ValidateMatrixFinite(matrix, path));
   return matrix;
+}
+
+Status ValidateMatrixFinite(const Matrix& matrix, const std::string& context) {
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.Row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (!std::isfinite(row[c])) {
+        return Status::InvalidArgument(
+            "non-finite value at row " + std::to_string(r) + ", column " +
+            std::to_string(c) + " in " + context);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace entmatcher

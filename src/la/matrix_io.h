@@ -23,6 +23,13 @@ Status WriteMatrixBinary(const Matrix& matrix, const std::string& path);
 /// Reads the binary format written by WriteMatrixBinary.
 Result<Matrix> ReadMatrixBinary(const std::string& path);
 
+/// Rejects non-finite entries (NaN/Inf) with kInvalidArgument naming the
+/// first offending row and column. Both readers apply this before returning:
+/// a NaN that slips into a similarity kernel poisons every downstream score
+/// silently, so loads fail loudly instead. `context` labels the source
+/// (typically the file path) in the error message.
+Status ValidateMatrixFinite(const Matrix& matrix, const std::string& context);
+
 }  // namespace entmatcher
 
 #endif  // ENTMATCHER_LA_MATRIX_IO_H_

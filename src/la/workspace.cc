@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "common/fault.h"
 #include "common/memory_tracker.h"
 
 namespace entmatcher {
@@ -30,6 +31,7 @@ Workspace::~Workspace() {
 
 Result<std::byte*> Workspace::AcquireBytes(size_t bytes) {
   EM_RETURN_NOT_OK(CheckBudget(bytes));
+  EM_INJECT_FAULT("workspace.acquire", StatusCode::kResourceExhausted);
 
   // Best fit: the smallest pooled slab that holds `bytes`; ties broken by
   // lowest index. Deterministic, so reuse patterns (and thus any accounting

@@ -1,8 +1,10 @@
 #include "matching/engine.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/fault.h"
 #include "index/candidate_index.h"
 #include "matching/pipeline.h"
 #include "matching/sparse_matchers.h"
@@ -124,11 +126,24 @@ size_t MatchEngine::DeclaredWorkspaceBytes(const MatchOptions& options) const {
   return scores_bytes + stage_bytes;
 }
 
+Status MatchEngine::CheckStageDeadline(const char* stage) const {
+  if (!stage_deadline_.has_value()) return Status::OK();
+  if (std::chrono::steady_clock::now() <= *stage_deadline_) {
+    return Status::OK();
+  }
+  return Status::DeadlineExceeded(std::string("deadline expired before ") +
+                                  stage + " stage");
+}
+
 Status MatchEngine::ComputeScoresInto(Matrix* scores,
                                       const MatchOptions& options) {
+  // Chaos point: a spurious internal error (or injected latency) in the
+  // scores pass, the hot path a flaky kernel or allocator would hit first.
+  EM_INJECT_FAULT("engine.scores", StatusCode::kInternal);
   const SimilarityCache& cache = EnsureCache(options.metric);
   EM_RETURN_NOT_OK(ComputeSimilarityRange(source_, target_, options.metric,
                                           cache, 0, source_.rows(), scores));
+  EM_RETURN_NOT_OK(CheckStageDeadline("transform"));
   return ApplyScoreTransformInPlace(scores, options, workspace_.get());
 }
 
@@ -162,10 +177,14 @@ Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
                         ScratchIndices::Acquire(workspace_.get(), nnz_cap));
     SparseScores sparse = SparseScores::Borrowed(
         n, m, values.get().data(), cols.get().data(), nnz_cap);
+    // Mirror the dense arm's chaos point: sparse scoring is the same
+    // logical stage.
+    EM_INJECT_FAULT("engine.scores", StatusCode::kInternal);
     const SimilarityCache& cache = EnsureCache(options.metric);
     EM_RETURN_NOT_OK(options.candidate_index->FillSparseScores(
         source_, target_, options.metric, cache, options.num_candidates,
         options.index_nprobe, &sparse));
+    EM_RETURN_NOT_OK(CheckStageDeadline("transform"));
     EM_RETURN_NOT_OK(ApplySparseScoreTransformInPlace(&sparse, options,
                                                       workspace_.get()));
     return ScoredBatch(this, std::move(values), std::move(cols),
@@ -190,6 +209,7 @@ Result<Assignment> MatchEngine::ScoredBatch::Match(const MatchOptions& options) 
         "ScoredBatch::Match: options carry a different score signature than "
         "the batch was computed with");
   }
+  EM_RETURN_NOT_OK(engine_->CheckStageDeadline("decision"));
   if (sparse_.has_value()) {
     return MatchSparseScores(*sparse_, options);
   }

@@ -2,6 +2,7 @@
 #define ENTMATCHER_MATCHING_ENGINE_H_
 
 #include <array>
+#include <chrono>
 #include <memory>
 #include <optional>
 
@@ -140,6 +141,20 @@ class MatchEngine {
   /// budget.
   size_t DeclaredWorkspaceBytes(const MatchOptions& options) const;
 
+  /// Arms a deadline checked *between* pipeline stages (after similarity /
+  /// sparse fill, before transform; and before the decision stage): work on
+  /// behalf of an expired request stops at the next stage boundary with
+  /// kDeadlineExceeded instead of finishing doomed kernels. Stages are never
+  /// interrupted mid-kernel, so a passing query's arithmetic — and its
+  /// bit-identity to the one-shot path — is untouched. Cleared by
+  /// ClearStageDeadline; the serving scheduler arms the *latest* deadline of
+  /// a batch so a short-deadline rider cannot abort a batch that still has
+  /// live requests.
+  void SetStageDeadline(std::chrono::steady_clock::time_point deadline) {
+    stage_deadline_ = deadline;
+  }
+  void ClearStageDeadline() { stage_deadline_.reset(); }
+
   const Matrix& source() const { return source_; }
   const Matrix& target() const { return target_; }
   const MatchOptions& options() const { return options_; }
@@ -159,12 +174,16 @@ class MatchEngine {
   /// shape).
   Status ComputeScoresInto(Matrix* scores, const MatchOptions& options);
 
+  /// kDeadlineExceeded when an armed stage deadline has passed.
+  Status CheckStageDeadline(const char* stage) const;
+
   Matrix source_;
   Matrix target_;
   MatchOptions options_;
   std::unique_ptr<Workspace> workspace_;
   // One memoized cache slot per SimilarityMetric value.
   std::array<std::optional<SimilarityCache>, 3> caches_;
+  std::optional<std::chrono::steady_clock::time_point> stage_deadline_;
 };
 
 }  // namespace entmatcher

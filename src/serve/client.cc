@@ -4,12 +4,19 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/rng.h"
 
 namespace entmatcher {
 
-Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+namespace {
+
+Result<int> Dial(const std::string& socket_path) {
   sockaddr_un addr{};
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("ServeClient: bad socket path: " +
@@ -28,13 +35,21 @@ Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
     ::close(fd);
     return status;
   }
-  return ServeClient(fd);
+  return fd;
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  EM_ASSIGN_OR_RETURN(const int fd, Dial(socket_path));
+  return ServeClient(fd, socket_path);
 }
 
 ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
   if (this == &other) return *this;
   if (fd_ >= 0) ::close(fd_);
   fd_ = other.fd_;
+  socket_path_ = std::move(other.socket_path_);
   other.fd_ = -1;
   return *this;
 }
@@ -43,11 +58,84 @@ ServeClient::~ServeClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status ServeClient::Reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  EM_ASSIGN_OR_RETURN(fd_, Dial(socket_path_));
+  return Status::OK();
+}
+
 Result<WireResponse> ServeClient::Call(const WireRequest& request) {
   if (fd_ < 0) return Status::FailedPrecondition("ServeClient: not connected");
   EM_RETURN_NOT_OK(WriteFrame(fd_, EncodeRequest(request)));
   EM_ASSIGN_OR_RETURN(const std::string payload, ReadFrame(fd_));
   return ParseResponse(payload);
+}
+
+Result<WireResponse> ServeClient::CallWithRetry(const WireRequest& request,
+                                                const RetryPolicy& policy) {
+  if (request.verb == WireRequest::Verb::kShutdown) {
+    // Not idempotent: a shutdown whose response frame was lost may already
+    // have taken effect; replaying it could kill a freshly restarted server.
+    return Call(request);
+  }
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const uint32_t attempts = std::max<uint32_t>(1, policy.max_attempts);
+  Rng jitter(policy.jitter_seed);
+  uint64_t backoff = policy.initial_backoff_micros;
+  Result<WireResponse> last =
+      Status::Internal("ServeClient: retry loop never ran");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Full-jitter sleep over [backoff/2, backoff], raised to the server's
+      // retry-after hint when it gave one.
+      uint64_t sleep_micros =
+          backoff / 2 + (backoff > 1 ? jitter.NextBounded(backoff / 2 + 1) : 0);
+      if (last.ok() && last->retry_after_micros > sleep_micros) {
+        sleep_micros = last->retry_after_micros;
+      }
+      if (policy.budget_micros > 0) {
+        const uint64_t spent = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count());
+        if (spent + sleep_micros >= policy.budget_micros) break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+      backoff = std::min<uint64_t>(
+          policy.max_backoff_micros,
+          static_cast<uint64_t>(static_cast<double>(backoff) *
+                                std::max(1.0, policy.multiplier)));
+      if (fd_ < 0 || !last.ok()) {
+        // Transport died last attempt; the old connection's framing state is
+        // unknown, so start clean.
+        const Status reconnected = Reconnect();
+        if (!reconnected.ok()) {
+          last = reconnected;
+          continue;
+        }
+      }
+    }
+    last = Call(request);
+    if (!last.ok()) {
+      // Transport-level failure: mark the connection unusable so the next
+      // attempt reconnects rather than reading a half-written frame.
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      continue;
+    }
+    const StatusCode code = last->status.code();
+    if (code != StatusCode::kUnavailable &&
+        code != StatusCode::kDeadlineExceeded) {
+      return last;  // success or a definitive server verdict
+    }
+  }
+  return last;
 }
 
 }  // namespace entmatcher

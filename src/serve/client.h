@@ -1,12 +1,37 @@
 #ifndef ENTMATCHER_SERVE_CLIENT_H_
 #define ENTMATCHER_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
 #include "serve/protocol.h"
 
 namespace entmatcher {
+
+/// Retry discipline for CallWithRetry: capped exponential backoff with
+/// deterministic jitter, a hard attempt cap, and a wall-clock budget. Only
+/// idempotent reads retry (match/topk/stats/health — every verb except
+/// shutdown) and only on outcomes that can heal: a transport failure
+/// (IoError/NotFound from the frame layer, followed by a reconnect), a
+/// server kUnavailable (shed; honors the server's retry-after hint when it
+/// exceeds the local backoff), or kDeadlineExceeded. Anything else —
+/// kInvalidArgument, kNotFound from the server, kInternal — is definitive
+/// and returns immediately.
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying.
+  uint32_t max_attempts = 4;
+  uint64_t initial_backoff_micros = 1000;
+  uint64_t max_backoff_micros = 250000;
+  /// Backoff growth per attempt.
+  double multiplier = 2.0;
+  /// Wall-clock cap across all attempts and backoffs; once spent, the last
+  /// failure is returned even if attempts remain. 0 = no budget.
+  uint64_t budget_micros = 2000000;
+  /// Seed of the jitter stream (full jitter over [backoff/2, backoff]);
+  /// fixed seed => reproducible retry schedules in tests.
+  uint64_t jitter_seed = 17;
+};
 
 /// Minimal blocking client for the serve socket protocol: one unix-domain
 /// connection, one frame out / one frame in per Call. Used by
@@ -18,7 +43,8 @@ class ServeClient {
   /// serve`.
   static Result<ServeClient> Connect(const std::string& socket_path);
 
-  ServeClient(ServeClient&& other) noexcept : fd_(other.fd_) {
+  ServeClient(ServeClient&& other) noexcept
+      : fd_(other.fd_), socket_path_(std::move(other.socket_path_)) {
     other.fd_ = -1;
   }
   ServeClient& operator=(ServeClient&& other) noexcept;
@@ -32,10 +58,22 @@ class ServeClient {
   /// WireResponse::status.
   Result<WireResponse> Call(const WireRequest& request);
 
+  /// Call with the RetryPolicy applied. A transport failure closes and
+  /// reopens the connection before the next attempt (the request frame may
+  /// have died mid-write; only idempotent verbs get here, so replaying is
+  /// safe). Returns the last failure when retries are exhausted.
+  Result<WireResponse> CallWithRetry(const WireRequest& request,
+                                     const RetryPolicy& policy);
+
+  /// Drops the current connection (if any) and dials the socket again.
+  Status Reconnect();
+
  private:
-  explicit ServeClient(int fd) : fd_(fd) {}
+  ServeClient(int fd, std::string socket_path)
+      : fd_(fd), socket_path_(std::move(socket_path)) {}
 
   int fd_;
+  std::string socket_path_;
 };
 
 }  // namespace entmatcher

@@ -1,20 +1,40 @@
 #include "serve/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace entmatcher {
 
 namespace {
 
+// write(2) for sockets, with SIGPIPE suppressed: a peer that disconnects
+// mid-frame must surface as an EPIPE IoError the caller can handle, not kill
+// the process. Pipes/regular files (the protocol tests) reject MSG_NOSIGNAL
+// with ENOTSOCK, so fall back to plain write there.
+ssize_t WriteChunk(int fd, const char* data, size_t size) {
+  const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) return ::write(fd, data, size);
+  return n;
+}
+
 Status WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    // Chaos points: abort the write mid-frame (peer disconnect), or force
+    // 1-byte chunks so every short-write path is exercised.
+    EM_INJECT_FAULT("socket.write", StatusCode::kIoError);
+    size_t chunk = size - written;
+    if (const uint64_t forced = EM_FAULT_PARAM("socket.write.chunk");
+        forced > 0 && forced < chunk) {
+      chunk = static_cast<size_t>(forced);
+    }
+    const ssize_t n = WriteChunk(fd, data + written, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("write: ") + std::strerror(errno));
@@ -29,7 +49,15 @@ Status WriteAll(int fd, const char* data, size_t size) {
 Status ReadAll(int fd, char* data, size_t size, bool* any_read) {
   size_t filled = 0;
   while (filled < size) {
-    const ssize_t n = ::read(fd, data + filled, size - filled);
+    // Chaos points: fail the read (stalled/broken peer; pair with
+    // latency_us= for a stall), or force 1-byte chunks.
+    EM_INJECT_FAULT("socket.read", StatusCode::kIoError);
+    size_t chunk = size - filled;
+    if (const uint64_t forced = EM_FAULT_PARAM("socket.read.chunk");
+        forced > 0 && forced < chunk) {
+      chunk = static_cast<size_t>(forced);
+    }
+    const ssize_t n = ::read(fd, data + filled, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("read: ") + std::strerror(errno));
@@ -44,18 +72,6 @@ Status ReadAll(int fd, char* data, size_t size, bool* any_read) {
     filled += static_cast<size_t>(n);
   }
   return Status::OK();
-}
-
-StatusCode StatusCodeFromName(std::string_view name) {
-  for (StatusCode code :
-       {StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
-        StatusCode::kNotFound, StatusCode::kAlreadyExists,
-        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
-        StatusCode::kDeadlineExceeded, StatusCode::kInternal,
-        StatusCode::kIoError, StatusCode::kUnimplemented}) {
-    if (name == StatusCodeToString(code)) return code;
-  }
-  return StatusCode::kInternal;
 }
 
 void AppendUint32Le(std::string* out, uint32_t value) {
@@ -150,6 +166,8 @@ std::string EncodeRequest(const WireRequest& request) {
       break;
     case WireRequest::Verb::kStats:
       return "stats";
+    case WireRequest::Verb::kHealth:
+      return "health";
     case WireRequest::Verb::kShutdown:
       return "shutdown";
   }
@@ -166,6 +184,8 @@ Result<WireRequest> ParseRequest(std::string_view payload) {
   size_t next = 1;
   if (tokens[0] == "stats") {
     request.verb = WireRequest::Verb::kStats;
+  } else if (tokens[0] == "health") {
+    request.verb = WireRequest::Verb::kHealth;
   } else if (tokens[0] == "shutdown") {
     request.verb = WireRequest::Verb::kShutdown;
   } else if (tokens[0] == "match" || tokens[0] == "topk") {
@@ -213,9 +233,15 @@ std::string EncodeTextResponse(std::string_view text) {
   return "ok text\n" + std::string(text);
 }
 
-std::string EncodeErrorResponse(const Status& status) {
-  return "error " + std::string(StatusCodeToString(status.code())) + " " +
-         status.message();
+std::string EncodeErrorResponse(const Status& status,
+                                uint64_t retry_after_micros) {
+  std::string payload =
+      "error " + std::string(StatusCodeToString(status.code()));
+  if (retry_after_micros > 0) {
+    payload += " retry_after_us=" + std::to_string(retry_after_micros);
+  }
+  payload += " " + status.message();
+  return payload;
 }
 
 Result<WireResponse> ParseResponse(std::string_view payload) {
@@ -225,11 +251,24 @@ Result<WireResponse> ParseResponse(std::string_view payload) {
     const size_t space = rest.find(' ');
     const std::string_view code_name =
         space == std::string_view::npos ? rest : rest.substr(0, space);
-    const std::string_view message =
+    std::string_view message =
         space == std::string_view::npos ? std::string_view()
                                         : rest.substr(space + 1);
-    response.status =
-        Status(StatusCodeFromName(code_name), std::string(message));
+    const std::string_view kRetryAfter = "retry_after_us=";
+    if (StartsWith(message, kRetryAfter)) {
+      const size_t hint_end = message.find(' ');
+      const std::string_view hint =
+          (hint_end == std::string_view::npos ? message
+                                              : message.substr(0, hint_end))
+              .substr(kRetryAfter.size());
+      EM_ASSIGN_OR_RETURN(response.retry_after_micros, ParseUint(hint));
+      message = hint_end == std::string_view::npos
+                    ? std::string_view()
+                    : message.substr(hint_end + 1);
+    }
+    StatusCode code = StatusCodeFromString(code_name);
+    if (code == StatusCode::kOk) code = StatusCode::kInternal;
+    response.status = Status(code, std::string(message));
     return response;
   }
   const size_t newline = payload.find('\n');

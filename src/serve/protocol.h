@@ -23,14 +23,21 @@ namespace entmatcher {
 //   "match <ALGO> [timeout_us=N]"      full pipeline -> assignment
 //   "topk <ALGO> <k> [timeout_us=N]"   transformed scores -> top-k indices
 //   "stats"                            serving counters as JSON
+//   "health"                           liveness JSON (queue depth, shed
+//                                      rate, fault-plan fingerprint)
 //   "shutdown"                         stop the server after responding
 // <ALGO> is a paper preset name (DInf, CSLS, RInf, RInf-wr, RInf-pb, Sink.,
-// Hun., SMat).
+// Hun., SMat). timeout_us carries the client's end-to-end deadline onto the
+// wire; the scheduler drops expired work before scoring and the engine
+// checks the deadline between stages.
 //
 // Responses:
 //   "ok values <n>\n" + n little-endian int32s   (match / topk payload)
-//   "ok text\n" + UTF-8 text                     (stats payload)
-//   "error <CODE> <message>"                     (any failure)
+//   "ok text\n" + UTF-8 text                     (stats / health payload)
+//   "error <CODE> [retry_after_us=N] <message>"  (any failure)
+// retry_after_us is the server's backoff hint on kUnavailable shed
+// responses; well-behaved clients (ServeClient's RetryPolicy) wait at least
+// that long before retrying.
 
 /// Hard cap on accepted frame payloads (1 GiB would be a corrupt length
 /// prefix long before it is a real workload).
@@ -46,7 +53,7 @@ Result<std::string> ReadFrame(int fd);
 
 /// A parsed request line.
 struct WireRequest {
-  enum class Verb { kMatch, kTopK, kStats, kShutdown };
+  enum class Verb { kMatch, kTopK, kStats, kHealth, kShutdown };
   Verb verb = Verb::kMatch;
   AlgorithmPreset algorithm = AlgorithmPreset::kDInf;  // match/topk
   size_t k = 0;                                        // topk
@@ -62,11 +69,14 @@ struct WireResponse {
   Status status;
   std::vector<int32_t> values;
   std::string text;
+  /// Server backoff hint on shed (kUnavailable) errors; 0 = none.
+  uint64_t retry_after_micros = 0;
 };
 
 std::string EncodeValuesResponse(const std::vector<int32_t>& values);
 std::string EncodeTextResponse(std::string_view text);
-std::string EncodeErrorResponse(const Status& status);
+std::string EncodeErrorResponse(const Status& status,
+                                uint64_t retry_after_micros = 0);
 Result<WireResponse> ParseResponse(std::string_view payload);
 
 /// Maps a paper preset name ("CSLS", "Hun.", ...) to its preset;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault.h"
 #include "index/candidate_index.h"
 #include "la/topk.h"
 #include "matching/sparse_matchers.h"
@@ -30,6 +31,14 @@ Result<std::unique_ptr<MatchServer>> MatchServer::Create(
   if (config.max_batch == 0) {
     return Status::InvalidArgument("MatchServer: max_batch must be >= 1");
   }
+  if (config.shed_watermark > config.queue_capacity) {
+    return Status::InvalidArgument(
+        "MatchServer: shed_watermark above queue_capacity would never fire");
+  }
+  if (config.degrade_watermark > 0 && config.degrade_num_candidates == 0) {
+    return Status::InvalidArgument(
+        "MatchServer: degrade_num_candidates must be >= 1 when degrading");
+  }
   return std::unique_ptr<MatchServer>(new MatchServer(config));
 }
 
@@ -48,6 +57,30 @@ Status MatchServer::LoadPair(const std::string& name, Matrix source,
   (void)it;
   if (!inserted) {
     return Status::AlreadyExists("MatchServer: pair already loaded: " + name);
+  }
+  return Status::OK();
+}
+
+Status MatchServer::AttachIndex(const std::string& name,
+                                std::unique_ptr<CandidateIndex> index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("MatchServer: AttachIndex: null index");
+  }
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  auto it = engines_.find(name);
+  if (it == engines_.end()) {
+    return Status::NotFound("MatchServer: unknown pair: " + name);
+  }
+  if (index->num_targets() != it->second->target().rows()) {
+    return Status::InvalidArgument(
+        "MatchServer: candidate index was built over a different target set "
+        "than pair '" + name + "'");
+  }
+  auto [idx_it, inserted] = indexes_.emplace(name, std::move(index));
+  (void)idx_it;
+  if (!inserted) {
+    return Status::AlreadyExists("MatchServer: pair already has an index: " +
+                                 name);
   }
   return Status::OK();
 }
@@ -74,10 +107,13 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
   // submitting thread, instead of letting them queue behind real work.
   Status verdict = Status::OK();
   MatchEngine* engine = nullptr;
+  const CandidateIndex* degrade_index = nullptr;
   {
     std::lock_guard<std::mutex> lock(engines_mu_);
     auto it = engines_.find(request.pair);
     if (it != engines_.end()) engine = it->second.get();
+    auto idx_it = indexes_.find(request.pair);
+    if (idx_it != indexes_.end()) degrade_index = idx_it->second.get();
   }
   if (engine == nullptr) {
     verdict = Status::NotFound("MatchServer: unknown pair: " + request.pair);
@@ -127,7 +163,21 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
     }
   }
 
+  // Degrade-to-sparse eligibility: a dense full-match whose stages all have
+  // sparse variants, against a pair that has an attached index. Decided
+  // outside the queue lock; *whether* to degrade is decided at the observed
+  // depth below.
+  const bool degradable =
+      verdict.ok() && config_.degrade_watermark > 0 &&
+      degrade_index != nullptr && request.kind == ServeQueryKind::kMatch &&
+      !UsesCandidateIndex(request.options) &&
+      TransformSupportsSparse(request.options.transform) &&
+      MatcherSupportsSparse(request.options.matcher);
+
   size_t depth_after = 0;
+  bool shed = false;
+  uint64_t retry_after_micros = 0;
+  bool degraded = false;
   if (verdict.ok()) {
     Pending pending;
     pending.request = std::move(request);
@@ -138,29 +188,65 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
                   std::chrono::microseconds(pending.request.timeout_micros)
             : Clock::time_point::max();
     std::lock_guard<std::mutex> lock(queue_mu_);
+    const size_t depth = queue_.size();
     if (stopping_) {
       verdict = Status::FailedPrecondition("MatchServer: shut down");
-    } else if (queue_.size() >= config_.queue_capacity) {
-      verdict = Status::ResourceExhausted(
+    } else if (depth >= config_.queue_capacity) {
+      // kUnavailable, not kResourceExhausted: the queue being full is a
+      // transient load condition the client may retry, unlike a request
+      // whose own footprint exceeds the arena budget.
+      shed = true;
+      retry_after_micros = RetryAfterHintMicros(depth);
+      verdict = Status::Unavailable(
           "MatchServer: request queue full (" +
           std::to_string(config_.queue_capacity) + ")");
     } else {
-      pending.promise = std::move(promise);
-      queue_.push_back(std::move(pending));
-      depth_after = queue_.size();
+      if (degradable && depth >= config_.degrade_watermark) {
+        pending.request.options.candidate_index = degrade_index;
+        pending.request.options.num_candidates =
+            config_.degrade_num_candidates;
+        pending.request.options.index_nprobe =
+            std::max<size_t>(1, config_.degrade_nprobe);
+        pending.degraded = true;
+        degraded = true;
+      } else if (config_.shed_watermark > 0 &&
+                 depth >= config_.shed_watermark) {
+        shed = true;
+        retry_after_micros = RetryAfterHintMicros(depth);
+        verdict = Status::Unavailable(
+            "MatchServer: shedding at queue depth " + std::to_string(depth) +
+            " (watermark " + std::to_string(config_.shed_watermark) + ")");
+      }
+      if (verdict.ok()) {
+        pending.promise = std::move(promise);
+        queue_.push_back(std::move(pending));
+        depth_after = queue_.size();
+      }
     }
   }
 
   if (!verdict.ok()) {
     stats_.RecordRejected();
+    if (shed) stats_.RecordShed();
     ServeResponse response;
     response.status = std::move(verdict);
+    response.retry_after_micros = retry_after_micros;
     promise.set_value(std::move(response));
     return future;
   }
+  if (degraded) stats_.RecordDegraded();
   stats_.RecordAdmitted(depth_after);
   queue_cv_.notify_one();
   return future;
+}
+
+uint64_t MatchServer::RetryAfterHintMicros(size_t queue_depth) const {
+  // Rough time-to-drain estimate: every queued request costs at most one
+  // flush window (batching only shortens it). Floor of 1ms so a hint is
+  // never "retry immediately" while we are actively shedding.
+  const uint64_t per_request =
+      config_.flush_micros > 0 ? config_.flush_micros : 200;
+  return std::max<uint64_t>(1000, per_request * (queue_depth + 1));
 }
 
 ServeResponse MatchServer::Query(ServeRequest request) {
@@ -174,6 +260,29 @@ ServerStatsSnapshot MatchServer::Stats() const {
     depth = queue_.size();
   }
   return stats_.Snapshot(depth);
+}
+
+std::string MatchServer::HealthJson() const {
+  const ServerStatsSnapshot snapshot = Stats();
+  const double shed_rate =
+      snapshot.submitted > 0
+          ? static_cast<double>(snapshot.shed) /
+                static_cast<double>(snapshot.submitted)
+          : 0.0;
+  std::string json = "{";
+  json += "\"queue_depth\": " + std::to_string(snapshot.queue_depth);
+  json += ", \"queue_capacity\": " + std::to_string(config_.queue_capacity);
+  json += ", \"shed_watermark\": " + std::to_string(config_.shed_watermark);
+  json +=
+      ", \"degrade_watermark\": " + std::to_string(config_.degrade_watermark);
+  json += ", \"submitted\": " + std::to_string(snapshot.submitted);
+  json += ", \"shed\": " + std::to_string(snapshot.shed);
+  json += ", \"degraded\": " + std::to_string(snapshot.degraded);
+  json += ", \"shed_rate\": " + std::to_string(shed_rate);
+  json += ", \"fault_plan\": \"" + FaultInjector::Global().Fingerprint() +
+          "\"";
+  json += "}";
+  return json;
 }
 
 void MatchServer::Shutdown() {
@@ -281,6 +390,17 @@ void MatchServer::ExecuteGroup(std::vector<Pending> group) {
   }
 
   stats_.RecordBatch(live.size());
+  // The shared scores pass runs under the *latest* live deadline: a
+  // short-deadline rider must not abort a batch that other requests can
+  // still use. Each decision stage then runs under its own request's
+  // deadline (ScoredBatch::Match checks it at entry).
+  Clock::time_point group_deadline = Clock::time_point::min();
+  for (const Pending& pending : live) {
+    group_deadline = std::max(group_deadline, pending.deadline);
+  }
+  if (engine != nullptr && group_deadline != Clock::time_point::max()) {
+    engine->SetStageDeadline(group_deadline);
+  }
   Result<MatchEngine::ScoredBatch> batch =
       engine != nullptr
           ? engine->BeginBatch(live.front().request.options)
@@ -289,8 +409,20 @@ void MatchServer::ExecuteGroup(std::vector<Pending> group) {
   for (Pending& pending : live) {
     ServeResponse response;
     response.batch_size = live.size();
+    response.degraded = pending.degraded;
+    if (engine != nullptr) {
+      if (pending.deadline != Clock::time_point::max()) {
+        engine->SetStageDeadline(pending.deadline);
+      } else {
+        engine->ClearStageDeadline();
+      }
+    }
     if (!batch.ok()) {
       response.status = batch.status();
+    } else if (pending.deadline <= Clock::now()) {
+      // Expired while the shared pass ran (or while batch-mates decided).
+      response.status = Status::DeadlineExceeded(
+          "MatchServer: deadline expired during the scores pass");
     } else if (pending.request.kind == ServeQueryKind::kMatch) {
       Result<Assignment> assignment = batch->Match(pending.request.options);
       if (assignment.ok()) {
@@ -303,6 +435,7 @@ void MatchServer::ExecuteGroup(std::vector<Pending> group) {
     }
     Respond(&pending, std::move(response));
   }
+  if (engine != nullptr) engine->ClearStageDeadline();
 }
 
 void MatchServer::Respond(Pending* pending, ServeResponse response) {

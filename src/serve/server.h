@@ -21,11 +21,13 @@
 
 namespace entmatcher {
 
+class CandidateIndex;
+
 /// Tuning knobs of a MatchServer.
 struct MatchServerConfig {
   /// Bound of the request queue; a Submit that finds it full is rejected
-  /// with kResourceExhausted instead of blocking (backpressure stays at the
-  /// client, the scheduler never drowns).
+  /// with kUnavailable + a retry-after hint instead of blocking
+  /// (backpressure stays at the client, the scheduler never drowns).
   size_t queue_capacity = 256;
   /// Upper bound on queries coalesced into one similarity+transform pass.
   /// 1 disables micro-batching (strict per-request execution).
@@ -37,6 +39,22 @@ struct MatchServerConfig {
   /// Per-engine workspace-arena budget in bytes (0 = unlimited); each
   /// request's DeclaredWorkspaceBytes is pre-checked against it at admission.
   size_t workspace_budget_bytes = 0;
+  /// Overload shedding: a queue depth at or above this watermark sheds new
+  /// requests with kUnavailable + a retry-after hint *before* they queue —
+  /// under sustained overload, bounded staleness beats an ever-deeper queue
+  /// whose tail is doomed to time out anyway. 0 disables shedding (only the
+  /// hard queue_capacity bound rejects, also with kUnavailable).
+  size_t shed_watermark = 0;
+  /// Graceful degradation: at or above this depth, an eligible dense kMatch
+  /// request (sparse-capable transform+matcher, no index of its own, and an
+  /// index attached for the pair via AttachIndex) is rewritten to the sparse
+  /// candidate path — approximate answers at a fraction of the kernel cost.
+  /// Checked before shed_watermark, so degrade < shed means "degrade first,
+  /// shed only deeper". 0 disables.
+  size_t degrade_watermark = 0;
+  /// Candidates per source row / probes used for degraded requests.
+  size_t degrade_num_candidates = 32;
+  size_t degrade_nprobe = 4;
 };
 
 /// What a ServeRequest asks of the engine.
@@ -70,6 +88,11 @@ struct ServeResponse {
   std::vector<uint32_t> topk;
   /// How many queries shared this response's scores pass (1 = ran alone).
   size_t batch_size = 0;
+  /// Backoff hint accompanying a shed (kUnavailable) status; 0 = none.
+  uint64_t retry_after_micros = 0;
+  /// True when overload rewrote this request onto the sparse candidate path
+  /// (the answer is approximate relative to the dense request submitted).
+  bool degraded = false;
 };
 
 /// A long-lived, multi-client serving layer over MatchEngine sessions.
@@ -88,7 +111,7 @@ struct ServeResponse {
 /// unknown pair (kNotFound), RL matcher (kInvalidArgument: no KG context in
 /// the serving layer), a DeclaredWorkspaceBytes above the arena budget
 /// (kResourceExhausted — the query is doomed, reject it now, not after it
-/// queued behind real work), and a full queue (kResourceExhausted).
+/// queued behind real work), and a full queue (kUnavailable + retry hint).
 ///
 /// Lifecycle: Create -> LoadPair (any number) -> Start -> Submit/Query ...
 /// -> Shutdown (drains the queue, answering still-pending requests with
@@ -112,6 +135,14 @@ class MatchServer {
   Status LoadPair(const std::string& name, Matrix source, Matrix target,
                   const MatchOptions& base = MatchOptions());
 
+  /// Attaches a candidate index to pair `name` for degrade-to-sparse: under
+  /// overload (degrade_watermark) eligible dense requests are served from it
+  /// instead of being shed. The server takes ownership. kNotFound for an
+  /// unloaded pair, kInvalidArgument when the index was built over a
+  /// different target set, kAlreadyExists if one is attached.
+  Status AttachIndex(const std::string& name,
+                     std::unique_ptr<CandidateIndex> index);
+
   /// Spawns the scheduler thread. Requests submitted before Start wait in
   /// the queue (handy for tests and warm-up scripts). kFailedPrecondition
   /// if already started or shut down.
@@ -128,6 +159,11 @@ class MatchServer {
   /// Current counters; `queue_depth` is sampled at the call.
   ServerStatsSnapshot Stats() const;
 
+  /// Liveness summary as JSON: queue depth vs capacity/watermarks, shed and
+  /// degrade counts + shed rate, and the armed fault-plan fingerprint —
+  /// what a probe needs to tell "slow" from "dying" without the full stats.
+  std::string HealthJson() const;
+
   /// Stops accepting new work, lets the scheduler drain everything already
   /// queued (executing live requests, failing the rest only if the scheduler
   /// never started), and joins it. Idempotent.
@@ -143,6 +179,7 @@ class MatchServer {
     std::promise<ServeResponse> promise;
     Clock::time_point enqueued;
     Clock::time_point deadline;  // time_point::max() when none
+    bool degraded = false;       // overload rewrote it onto the sparse path
   };
 
   explicit MatchServer(const MatchServerConfig& config);
@@ -160,11 +197,18 @@ class MatchServer {
   /// Answers `pending` and updates outcome/latency stats.
   void Respond(Pending* pending, ServeResponse response);
 
+  /// Backoff hint attached to shed responses: a time-to-drain estimate from
+  /// the observed queue depth.
+  uint64_t RetryAfterHintMicros(size_t queue_depth) const;
+
   MatchServerConfig config_;
   ServerStats stats_;
 
   mutable std::mutex engines_mu_;
   std::map<std::string, std::unique_ptr<MatchEngine>> engines_;
+  // Degrade-to-sparse indexes, keyed by pair name; owned here so rewritten
+  // options' raw pointers stay valid for the server's lifetime.
+  std::map<std::string, std::unique_ptr<CandidateIndex>> indexes_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

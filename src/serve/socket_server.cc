@@ -121,6 +121,8 @@ bool SocketServer::HandleFrame(int fd, const std::string& payload) {
     case WireRequest::Verb::kStats:
       return WriteFrame(fd, EncodeTextResponse(server_->Stats().ToJson()))
           .ok();
+    case WireRequest::Verb::kHealth:
+      return WriteFrame(fd, EncodeTextResponse(server_->HealthJson())).ok();
     case WireRequest::Verb::kShutdown: {
       (void)WriteFrame(fd, EncodeTextResponse("shutting down"));
       {
@@ -144,7 +146,9 @@ bool SocketServer::HandleFrame(int fd, const std::string& payload) {
   }
   ServeResponse response = server_->Query(std::move(request));
   if (!response.status.ok()) {
-    return WriteFrame(fd, EncodeErrorResponse(response.status)).ok();
+    return WriteFrame(fd, EncodeErrorResponse(response.status,
+                                              response.retry_after_micros))
+        .ok();
   }
   std::vector<int32_t> values;
   if (parsed->verb == WireRequest::Verb::kMatch) {

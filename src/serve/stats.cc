@@ -50,6 +50,16 @@ void ServerStats::RecordAdmitted(size_t queue_depth_after) {
       std::max<uint64_t>(counts_.max_queue_depth, queue_depth_after);
 }
 
+void ServerStats::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.shed;
+}
+
+void ServerStats::RecordDegraded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.degraded;
+}
+
 void ServerStats::RecordTimedOut() {
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.timed_out;
@@ -102,6 +112,7 @@ std::string ServerStatsSnapshot::ToJson() const {
   out << "{\"submitted\": " << submitted << ", \"admitted\": " << admitted
       << ", \"rejected\": " << rejected << ", \"timed_out\": " << timed_out
       << ", \"completed\": " << completed << ", \"failed\": " << failed
+      << ", \"shed\": " << shed << ", \"degraded\": " << degraded
       << ", \"queue_depth\": " << queue_depth
       << ", \"max_queue_depth\": " << max_queue_depth
       << ", \"batches\": " << batches

@@ -22,6 +22,13 @@ struct ServerStatsSnapshot {
   uint64_t completed = 0;
   uint64_t failed = 0;
 
+  /// Overload outcomes. `shed` counts rejections due to load (queue full or
+  /// above the shed watermark) — a subset of `rejected`, so the admission
+  /// invariant is untouched. `degraded` counts admitted requests rewritten
+  /// onto the sparse candidate path — a subset of `admitted`.
+  uint64_t shed = 0;
+  uint64_t degraded = 0;
+
   /// Requests waiting in the queue when the snapshot was taken, and the
   /// deepest the queue has ever been.
   uint64_t queue_depth = 0;
@@ -62,6 +69,11 @@ class ServerStats {
   void RecordRejected();
   void RecordAdmitted(size_t queue_depth_after);
   void RecordTimedOut();
+  /// A load-shed rejection (always paired with RecordRejected).
+  void RecordShed();
+  /// An admitted request degraded to the sparse path (paired with
+  /// RecordAdmitted).
+  void RecordDegraded();
   /// One executed batch of `size` queries (one scores pass).
   void RecordBatch(size_t size);
   /// One finished query: outcome plus its enqueue-to-response latency.

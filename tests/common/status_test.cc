@@ -24,6 +24,9 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
@@ -37,6 +40,23 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
 TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(Status::Unavailable("shed").ToString(), "Unavailable: shed");
+}
+
+TEST(StatusTest, CodeFromStringRoundTripsEveryCode) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+        StatusCode::kInternal, StatusCode::kIoError,
+        StatusCode::kUnimplemented}) {
+    EXPECT_EQ(StatusCodeFromString(StatusCodeToString(code)), code);
+  }
+  // Unknown names degrade to kInternal rather than inventing a code.
+  EXPECT_EQ(StatusCodeFromString("Bogus"), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeFromString(""), StatusCode::kInternal);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -77,6 +78,44 @@ TEST_F(MatrixIoTest, BinaryRejectsTruncated) {
 TEST_F(MatrixIoTest, MissingFilesFail) {
   EXPECT_FALSE(ReadMatrixTsv(Path("nope.tsv")).ok());
   EXPECT_FALSE(ReadMatrixBinary(Path("nope.emat")).ok());
+}
+
+// Non-finite embeddings would silently poison every downstream similarity
+// (NaN compares false, so a poisoned row "matches" nothing or everything
+// depending on the kernel) — both readers must refuse them at the door and
+// say exactly where the bad value sits.
+TEST_F(MatrixIoTest, TsvRejectsNonFiniteNamingRowAndColumn) {
+  std::ofstream(Path("nan.tsv")) << "1\t2\n3\tnan\n";
+  Result<Matrix> loaded = ReadMatrixTsv(Path("nan.tsv"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("row 1, column 1"),
+            std::string::npos)
+      << loaded.status().ToString();
+
+  std::ofstream(Path("inf.tsv")) << "inf\t2\n";
+  Result<Matrix> inf_loaded = ReadMatrixTsv(Path("inf.tsv"));
+  ASSERT_FALSE(inf_loaded.ok());
+  EXPECT_EQ(inf_loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(inf_loaded.status().message().find("row 0, column 0"),
+            std::string::npos);
+}
+
+TEST_F(MatrixIoTest, BinaryRejectsNonFiniteNamingRowAndColumn) {
+  Matrix m(3, 2);
+  m.At(2, 1) = std::numeric_limits<float>::quiet_NaN();
+  ASSERT_TRUE(WriteMatrixBinary(m, Path("nan.emat")).ok());
+  Result<Matrix> loaded = ReadMatrixBinary(Path("nan.emat"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("row 2, column 1"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(MatrixIoTest, ValidateMatrixFiniteAcceptsCleanMatrix) {
+  Matrix m = Matrix::FromRows({{1.0f, -2.0f}, {0.0f, 3.5f}});
+  EXPECT_TRUE(ValidateMatrixFinite(m, "test").ok());
 }
 
 }  // namespace

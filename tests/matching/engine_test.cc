@@ -136,6 +136,36 @@ TEST_F(MatchEngineTest, CreateValidatesShapes) {
   EXPECT_FALSE(engine->Match(rl).ok());  // RL needs KG context
 }
 
+TEST_F(MatchEngineTest, StageDeadlineAbortsBetweenStagesAndClears) {
+  const Matrix src = RandomMatrix(20, 8, 51);
+  const Matrix tgt = RandomMatrix(16, 8, 52);
+  Result<MatchEngine> engine =
+      MatchEngine::Create(src, tgt, MakePreset(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(engine.ok());
+
+  // A deadline already in the past fails the query at the next stage
+  // boundary — the engine never interrupts mid-kernel, it checks *between*
+  // similarity, transform, and decision.
+  engine->SetStageDeadline(std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(1));
+  Result<Assignment> expired = engine->Match();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  // The abort left no workspace leases behind.
+  EXPECT_EQ(engine->workspace().in_use_bytes(), 0u);
+
+  // A generous deadline does not perturb the answer, and clearing restores
+  // un-deadlined behavior.
+  engine->SetStageDeadline(std::chrono::steady_clock::now() +
+                           std::chrono::hours(1));
+  Result<Assignment> within = engine->Match();
+  ASSERT_TRUE(within.ok()) << within.status().ToString();
+  engine->ClearStageDeadline();
+  Result<Assignment> cleared = engine->Match();
+  ASSERT_TRUE(cleared.ok());
+  EXPECT_EQ(within->target_of_source, cleared->target_of_source);
+}
+
 TEST_F(MatchEngineTest, MatchEmbeddingsHonorsBudget) {
   const Matrix src = RandomMatrix(20, 8, 41);
   const Matrix tgt = RandomMatrix(16, 8, 42);

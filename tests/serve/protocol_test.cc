@@ -121,9 +121,10 @@ TEST(ProtocolRequest, TopKRoundTrip) {
   EXPECT_EQ(parsed->timeout_micros, 0u);
 }
 
-TEST(ProtocolRequest, StatsAndShutdownRoundTrip) {
+TEST(ProtocolRequest, StatsHealthAndShutdownRoundTrip) {
   for (const auto verb :
-       {WireRequest::Verb::kStats, WireRequest::Verb::kShutdown}) {
+       {WireRequest::Verb::kStats, WireRequest::Verb::kHealth,
+        WireRequest::Verb::kShutdown}) {
     WireRequest request;
     request.verb = verb;
     Result<WireRequest> parsed = ParseRequest(EncodeRequest(request));
@@ -191,6 +192,26 @@ TEST(ProtocolResponse, DeadlineExceededCodeSurvivesTheWire) {
   Result<WireResponse> parsed = ParseResponse(EncodeErrorResponse(original));
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ProtocolResponse, UnavailableWithRetryAfterRoundTrip) {
+  const Status original = Status::Unavailable("request queue full");
+  Result<WireResponse> parsed =
+      ParseResponse(EncodeErrorResponse(original, /*retry_after_micros=*/2500));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(parsed->retry_after_micros, 2500u);
+  EXPECT_NE(parsed->status.message().find("queue full"), std::string::npos);
+  // The hint token must not leak into the human-readable message.
+  EXPECT_EQ(parsed->status.message().find("retry_after_us"),
+            std::string::npos);
+}
+
+TEST(ProtocolResponse, ErrorWithoutRetryAfterParsesAsZero) {
+  Result<WireResponse> parsed =
+      ParseResponse(EncodeErrorResponse(Status::Unavailable("shed")));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->retry_after_micros, 0u);
 }
 
 TEST(ProtocolResponse, TruncatedValuesPayloadRejected) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "index/candidate_index.h"
 #include "la/topk.h"
 #include "matching/engine.h"
 #include "serve/client.h"
@@ -148,7 +149,8 @@ TEST_F(ServeTest, QueueFullRejectedAndDrainedAfterStart) {
   }
   ServeResponse overflow =
       server->Query(MatchRequest(AlgorithmPreset::kCsls));
-  EXPECT_EQ(overflow.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(overflow.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(overflow.retry_after_micros, 0u);  // shed with a backoff hint
 
   ASSERT_TRUE(server->Start().ok());
   const Assignment reference = SoloMatch(AlgorithmPreset::kCsls);
@@ -158,6 +160,181 @@ TEST_F(ServeTest, QueueFullRejectedAndDrainedAfterStart) {
     EXPECT_EQ(response.assignment.target_of_source,
               reference.target_of_source);
   }
+}
+
+TEST_F(ServeTest, ShedWatermarkRejectsBeforeQueueIsFull) {
+  MatchServerConfig config;
+  config.queue_capacity = 8;
+  config.shed_watermark = 2;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+
+  std::vector<std::future<ServeResponse>> admitted;
+  for (size_t i = 0; i < config.shed_watermark; ++i) {
+    admitted.push_back(server->Submit(MatchRequest(AlgorithmPreset::kCsls)));
+  }
+  // Depth == watermark: shed, even though capacity has room for 6 more.
+  ServeResponse shed = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(shed.retry_after_micros, 0u);
+
+  ASSERT_TRUE(server->Start().ok());
+  for (std::future<ServeResponse>& f : admitted) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  server->Shutdown();
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.rejected, 1u);  // shed is a subset of rejected
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+}
+
+TEST_F(ServeTest, DegradeWatermarkRewritesOntoSparsePath) {
+  MatchServerConfig config;
+  config.queue_capacity = 16;
+  config.degrade_watermark = 1;  // any queued depth >= 1 degrades the next
+  config.degrade_num_candidates = 8;
+  config.degrade_nprobe = 2;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+
+  Result<CandidateIndex> index =
+      CandidateIndex::Build(target_, CandidateIndexOptions());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_TRUE(server
+                  ->AttachIndex("default", std::make_unique<CandidateIndex>(
+                                               *std::move(index)))
+                  .ok());
+
+  // First submit sits at depth 0 (not degraded); the second sees depth 1.
+  std::future<ServeResponse> dense =
+      server->Submit(MatchRequest(AlgorithmPreset::kCsls));
+  std::future<ServeResponse> degraded =
+      server->Submit(MatchRequest(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(server->Start().ok());
+
+  ServeResponse dense_response = dense.get();
+  ServeResponse degraded_response = degraded.get();
+  ASSERT_TRUE(dense_response.status.ok()) << dense_response.status.ToString();
+  ASSERT_TRUE(degraded_response.status.ok())
+      << degraded_response.status.ToString();
+  EXPECT_FALSE(dense_response.degraded);
+  EXPECT_TRUE(degraded_response.degraded);
+  // The degraded answer is a full assignment over the same source set, just
+  // computed from sparse candidates.
+  EXPECT_EQ(degraded_response.assignment.target_of_source.size(),
+            dense_response.assignment.target_of_source.size());
+
+  server->Shutdown();
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.admitted, 2u);  // degraded is a subset of admitted
+}
+
+TEST_F(ServeTest, AttachIndexValidatesPairAndShape) {
+  std::unique_ptr<MatchServer> server =
+      MakeServer(MatchServerConfig(), /*start=*/false);
+  Result<CandidateIndex> index =
+      CandidateIndex::Build(target_, CandidateIndexOptions());
+  ASSERT_TRUE(index.ok());
+
+  EXPECT_EQ(server->AttachIndex("default", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server
+                ->AttachIndex("nope", std::make_unique<CandidateIndex>(
+                                          CandidateIndex(*index)))
+                .code(),
+            StatusCode::kNotFound);
+
+  Result<CandidateIndex> wrong_shape =
+      CandidateIndex::Build(source_, CandidateIndexOptions());
+  ASSERT_TRUE(wrong_shape.ok());
+  EXPECT_EQ(server
+                ->AttachIndex("default", std::make_unique<CandidateIndex>(
+                                             *std::move(wrong_shape)))
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(server
+                  ->AttachIndex("default", std::make_unique<CandidateIndex>(
+                                               CandidateIndex(*index)))
+                  .ok());
+  EXPECT_EQ(server
+                ->AttachIndex("default", std::make_unique<CandidateIndex>(
+                                             *std::move(index)))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ServeTest, HealthJsonReportsWatermarksAndShedRate) {
+  MatchServerConfig config;
+  config.queue_capacity = 4;
+  config.shed_watermark = 3;
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+  ASSERT_TRUE(server->Query(MatchRequest(AlgorithmPreset::kCsls)).status.ok());
+
+  const std::string health = server->HealthJson();
+  EXPECT_NE(health.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(health.find("\"queue_capacity\": 4"), std::string::npos);
+  EXPECT_NE(health.find("\"shed_watermark\": 3"), std::string::npos);
+  EXPECT_NE(health.find("\"submitted\": 1"), std::string::npos);
+  EXPECT_NE(health.find("\"shed\": 0"), std::string::npos);
+  EXPECT_NE(health.find("\"shed_rate\""), std::string::npos);
+  // No plan armed in the default test binary.
+  EXPECT_NE(health.find("\"fault_plan\": \"off\""), std::string::npos);
+}
+
+// Satellite 4 — rejection storm: many threads slam a tiny, *stopped* queue
+// so most submissions shed while some are admitted, all racing against each
+// other. TSan checks the stats/queue locking; the assertions check that the
+// counters never drop or double-count a request.
+TEST_F(ServeTest, RejectionStormKeepsStatsConsistent) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 32;
+
+  MatchServerConfig config;
+  config.queue_capacity = 4;
+  config.shed_watermark = 2;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::future<ServeResponse>>> futures(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(
+            server->Submit(MatchRequest(AlgorithmPreset::kCsls)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Everything admitted is still parked; start the scheduler and drain.
+  ASSERT_TRUE(server->Start().ok());
+  size_t ok_count = 0;
+  size_t shed_count = 0;
+  for (std::vector<std::future<ServeResponse>>& per_thread : futures) {
+    for (std::future<ServeResponse>& f : per_thread) {
+      ServeResponse response = f.get();
+      if (response.status.ok()) {
+        ++ok_count;
+      } else {
+        ASSERT_EQ(response.status.code(), StatusCode::kUnavailable);
+        EXPECT_GT(response.retry_after_micros, 0u);
+        ++shed_count;
+      }
+    }
+  }
+  server->Shutdown();
+
+  const ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(ok_count + shed_count, kThreads * kPerThread);
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+  EXPECT_EQ(stats.shed, stats.rejected);  // every rejection here was a shed
+  EXPECT_EQ(stats.shed, shed_count);
+  EXPECT_EQ(stats.completed, ok_count);
+  EXPECT_GT(shed_count, 0u);  // the storm actually overflowed the watermark
+  EXPECT_GT(ok_count, 0u);    // and some work was still admitted
+  EXPECT_EQ(stats.latency_samples, stats.completed + stats.failed);
 }
 
 TEST_F(ServeTest, ExpiredDeadlineAnsweredWithoutExecuting) {
@@ -357,6 +534,14 @@ TEST_F(ServeTest, SocketRoundTripMatchesInProcessQuery) {
   ASSERT_TRUE(stats_wire->status.ok());
   EXPECT_NE(stats_wire->text.find("\"completed\": 1"), std::string::npos);
 
+  WireRequest health;
+  health.verb = WireRequest::Verb::kHealth;
+  Result<WireResponse> health_wire = client->Call(health);
+  ASSERT_TRUE(health_wire.ok()) << health_wire.status().ToString();
+  ASSERT_TRUE(health_wire->status.ok());
+  EXPECT_NE(health_wire->text.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(health_wire->text.find("\"fault_plan\""), std::string::npos);
+
   WireRequest bad;
   bad.verb = WireRequest::Verb::kTopK;
   bad.algorithm = AlgorithmPreset::kCsls;
@@ -372,6 +557,93 @@ TEST_F(ServeTest, SocketRoundTripMatchesInProcessQuery) {
   EXPECT_TRUE(shutdown_wire->status.ok());
 
   (*front)->WaitForShutdown();
+  (*front)->Stop();
+  server->Shutdown();
+}
+
+// Retry policy: a shed (kUnavailable) answer is retried with backoff; if the
+// server never recovers the client surfaces the last shed response instead
+// of spinning forever.
+TEST_F(ServeTest, CallWithRetryGivesUpAgainstASaturatedServer) {
+  const std::string socket_path =
+      "/tmp/em_retry_test_" + std::to_string(::getpid()) + ".sock";
+  MatchServerConfig config;
+  config.queue_capacity = 4;
+  config.shed_watermark = 1;
+  // Not started: one parked request keeps the depth at the watermark, so
+  // every socket call sheds deterministically.
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+  std::future<ServeResponse> parked =
+      server->Submit(MatchRequest(AlgorithmPreset::kCsls));
+
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(server.get(), socket_path);
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 500;
+  policy.budget_micros = 1000000;
+
+  WireRequest match;
+  match.verb = WireRequest::Verb::kMatch;
+  match.algorithm = AlgorithmPreset::kCsls;
+  Result<WireResponse> wire = client->CallWithRetry(match, policy);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(wire->retry_after_micros, 0u);
+  // All 3 attempts were shed and counted as submissions.
+  EXPECT_EQ(server->Stats().shed, 3u);
+
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_TRUE(parked.get().status.ok());
+  (*front)->Stop();
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, CallWithRetrySucceedsOnceTheServerDrains) {
+  const std::string socket_path =
+      "/tmp/em_retry_ok_test_" + std::to_string(::getpid()) + ".sock";
+  MatchServerConfig config;
+  config.queue_capacity = 4;
+  config.shed_watermark = 1;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+  std::future<ServeResponse> parked =
+      server->Submit(MatchRequest(AlgorithmPreset::kCsls));
+
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(server.get(), socket_path);
+  ASSERT_TRUE(front.ok());
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok());
+
+  // Recovery arrives while the client is backing off.
+  std::thread recovery([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(server->Start().ok());
+  });
+
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_micros = 2000;
+  policy.max_backoff_micros = 20000;
+  policy.budget_micros = 30000000;
+
+  WireRequest match;
+  match.verb = WireRequest::Verb::kMatch;
+  match.algorithm = AlgorithmPreset::kCsls;
+  Result<WireResponse> wire = client->CallWithRetry(match, policy);
+  recovery.join();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ASSERT_TRUE(wire->status.ok()) << wire->status.ToString();
+  const Assignment reference = SoloMatch(AlgorithmPreset::kCsls);
+  ASSERT_EQ(wire->values.size(), reference.target_of_source.size());
+  EXPECT_TRUE(parked.get().status.ok());
+  EXPECT_GT(server->Stats().shed, 0u);  // it really was shed at least once
+
   (*front)->Stop();
   server->Shutdown();
 }
