@@ -1,0 +1,416 @@
+// SIMD kernel-tier benchmark: measures what the vectorized tiers and the
+// mixed-precision scoring arm buy over the scalar reference tier.
+//
+//   1. Kernel throughput sweep: GB/s and x-over-scalar for the hot kernels
+//      (dot, MatMulTransposedRange, manhattan, squared_norm, sum,
+//      cosine_scale_row, RowTopKIndices) at every tier the build + CPU
+//      supports, via SetKernelTier between passes.
+//   2. Mixed-precision arm: recall@c of the quantized candidate pass against
+//      the exact dense top-c, plus warm end-to-end CSLS+greedy wall-clock of
+//      the quantized sparse path vs the dense float pipeline, per precision.
+//
+// Gate (fatal): MatMulTransposedRange must reach >= 2x over scalar on at
+// least one vector tier, OR some quantized precision must reach >= 2x
+// end-to-end at recall@c >= 0.98. A "SIMD tier" that beats scalar on
+// nothing is dead code, not an optimization.
+//
+// Writes BENCH_simd.json.
+//
+// Usage:
+//   ./bench_simd                     # sizes scaled by EM_BENCH_SCALE
+//   EM_BENCH_SCALE=0.2 ./bench_simd  # CI smoke run
+//
+// On machines with only the scalar tier (no AVX2/AVX-512/NEON compiled in or
+// detected), the kernel sweep degenerates to the scalar row and the gate
+// rides entirely on the quantized arm.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "la/kernels/dispatch.h"
+#include "la/kernels/quantized.h"
+#include "la/matrix.h"
+#include "la/topk.h"
+#include "matching/engine.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 128;          // micro-kernel vector length
+constexpr size_t kClusters = 32;      // quantized-arm data model
+constexpr size_t kCandidates = 16;    // quantized-arm top-c width
+constexpr double kMatmulGate = 2.0;   // x over scalar
+constexpr double kQuantSpeedupGate = 2.0;
+constexpr double kQuantRecallGate = 0.98;
+
+// Defeats dead-code elimination across timed loops.
+volatile double g_sink = 0.0;
+
+struct KernelTiming {
+  std::string kernel;
+  std::string tier;
+  double seconds = 0.0;
+  double gbps = 0.0;
+  double speedup_vs_scalar = 0.0;  // filled after the scalar row is known
+};
+
+struct QuantResult {
+  std::string precision;
+  double recall = 0.0;
+  double float_seconds = 0.0;
+  double quant_seconds = 0.0;
+  double speedup = 0.0;
+  double agreement = 0.0;
+};
+
+/// Median-of-3 timed runs of `body`, which must fold its result into g_sink.
+template <typename Fn>
+double TimeSeconds(Fn&& body) {
+  double best[3];
+  for (double& sample : best) {
+    Timer timer;
+    body();
+    sample = timer.ElapsedSeconds();
+  }
+  std::sort(best, best + 3);
+  return best[1];
+}
+
+/// Same clustered source/target model as bench_index: the regime where the
+/// quantized pre-rank has real structure to preserve.
+void MakeClusteredPair(size_t rows, size_t dim, uint64_t seed, Matrix* src,
+                       Matrix* tgt) {
+  Rng rng(seed);
+  Matrix centers(kClusters, dim);
+  for (size_t c = 0; c < kClusters; ++c) {
+    for (float& v : centers.Row(c)) v = static_cast<float>(rng.NextGaussian());
+  }
+  *tgt = Matrix(rows, dim);
+  *src = Matrix(rows, dim);
+  for (size_t r = 0; r < rows; ++r) {
+    const auto center = centers.Row(r % kClusters);
+    auto t = tgt->Row(r);
+    auto s = src->Row(r);
+    for (size_t d = 0; d < dim; ++d) {
+      t[d] = center[d] + 0.25f * static_cast<float>(rng.NextGaussian());
+      s[d] = t[d] + 0.1f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& x : m.Row(r)) x = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+}  // namespace
+}  // namespace entmatcher
+
+int main() {
+  using namespace entmatcher;
+
+  const double scale = bench::GlobalScale();
+  const size_t reps = std::max<size_t>(2000, static_cast<size_t>(50000.0 * scale));
+  const size_t mm_rows = std::max<size_t>(96, static_cast<size_t>(768.0 * scale));
+  const size_t match_n = std::max<size_t>(96, static_cast<size_t>(2500.0 * scale));
+
+  bench::PrintBanner(
+      "SIMD kernel tiers — throughput over scalar and the quantized arm",
+      "Hot-kernel GB/s per tier via runtime dispatch, then the\n"
+      "mixed-precision candidate pass: recall@c against the exact dense\n"
+      "top-c and warm end-to-end wall-clock vs the float pipeline.");
+
+  std::vector<KernelTier> tiers = {KernelTier::kScalar};
+  for (KernelTier tier :
+       {KernelTier::kAvx2, KernelTier::kAvx512, KernelTier::kNeon}) {
+    if (KernelTierAvailable(tier)) tiers.push_back(tier);
+  }
+  std::cout << "cpu: " << DetectedCpuFeatures() << "\n"
+            << "tiers: ";
+  for (KernelTier tier : tiers) std::cout << KernelTierName(tier) << " ";
+  std::cout << "\n\n";
+
+  const std::vector<float> va = RandomVec(kDim, 11);
+  const std::vector<float> vb = RandomVec(kDim, 12);
+  const Matrix ma = RandomMatrix(mm_rows, kDim, 13);
+  const Matrix mb = RandomMatrix(mm_rows, kDim, 14);
+  const Matrix topk_scores = RandomMatrix(mm_rows, mm_rows, 15);
+  std::vector<float> scratch(kDim);
+  std::vector<float> inv_tgt = RandomVec(kDim, 16);
+  for (float& x : inv_tgt) x = std::abs(x) + 0.5f;
+
+  std::vector<KernelTiming> timings;
+  for (KernelTier tier : tiers) {
+    Status set = SetKernelTier(tier);
+    if (!set.ok()) {
+      std::cerr << "SetKernelTier: " << set.ToString() << "\n";
+      return 1;
+    }
+    const KernelOps& ops = ActiveKernels();
+    const std::string name = KernelTierName(tier);
+    const auto push = [&](const std::string& kernel, double seconds,
+                          double bytes_per_rep, size_t rep_count) {
+      KernelTiming t;
+      t.kernel = kernel;
+      t.tier = name;
+      t.seconds = seconds;
+      t.gbps = seconds > 0.0
+                   ? bytes_per_rep * static_cast<double>(rep_count) /
+                         seconds / 1e9
+                   : 0.0;
+      timings.push_back(t);
+    };
+
+    push("dot", TimeSeconds([&] {
+           double acc = 0.0;
+           for (size_t r = 0; r < reps; ++r) {
+             acc += ops.dot(va.data(), vb.data(), kDim);
+           }
+           g_sink = g_sink + acc;
+         }),
+         2.0 * kDim * sizeof(float), reps);
+    push("manhattan", TimeSeconds([&] {
+           double acc = 0.0;
+           for (size_t r = 0; r < reps; ++r) {
+             acc += ops.manhattan(va.data(), vb.data(), kDim);
+           }
+           g_sink = g_sink + acc;
+         }),
+         2.0 * kDim * sizeof(float), reps);
+    push("squared_norm", TimeSeconds([&] {
+           double acc = 0.0;
+           for (size_t r = 0; r < reps; ++r) {
+             acc += ops.squared_norm(va.data(), kDim);
+           }
+           g_sink = g_sink + acc;
+         }),
+         1.0 * kDim * sizeof(float), reps);
+    push("sum", TimeSeconds([&] {
+           double acc = 0.0;
+           for (size_t r = 0; r < reps; ++r) {
+             acc += ops.sum(va.data(), kDim);
+           }
+           g_sink = g_sink + acc;
+         }),
+         1.0 * kDim * sizeof(float), reps);
+    push("cosine_scale_row", TimeSeconds([&] {
+           for (size_t r = 0; r < reps; ++r) {
+             std::copy(va.begin(), va.end(), scratch.begin());
+             ops.cosine_scale_row(scratch.data(), inv_tgt.data(), kDim, 1.25f);
+           }
+           g_sink = g_sink + scratch[0];
+         }),
+         3.0 * kDim * sizeof(float), reps);
+    {
+      Matrix out(mm_rows, mm_rows);
+      const double mm_seconds = TimeSeconds([&] {
+        Status status = MatMulTransposedRange(ma, mb, 0, mm_rows, &out);
+        if (!status.ok()) std::cerr << status.ToString() << "\n";
+        g_sink = g_sink + out.At(0, 0);
+      });
+      // Bytes: both operand matrices plus the output, once per pass.
+      push("matmul_range", mm_seconds,
+           (2.0 * mm_rows * kDim + 1.0 * mm_rows * mm_rows) * sizeof(float),
+           1);
+    }
+    push("row_topk_indices", TimeSeconds([&] {
+           const std::vector<uint32_t> top = RowTopKIndices(topk_scores, 10);
+           g_sink = g_sink + (top.empty() ? 0.0 : static_cast<double>(top[0]));
+         }),
+         1.0 * mm_rows * mm_rows * sizeof(float), 1);
+  }
+
+  // Speedups are scalar_seconds / tier_seconds per kernel.
+  double best_matmul_speedup = 0.0;
+  std::string best_matmul_tier = "none";
+  for (KernelTiming& t : timings) {
+    for (const KernelTiming& s : timings) {
+      if (s.tier == "scalar" && s.kernel == t.kernel && t.seconds > 0.0) {
+        t.speedup_vs_scalar = s.seconds / t.seconds;
+      }
+    }
+    if (t.kernel == "matmul_range" && t.tier != "scalar" &&
+        t.speedup_vs_scalar > best_matmul_speedup) {
+      best_matmul_speedup = t.speedup_vs_scalar;
+      best_matmul_tier = t.tier;
+    }
+  }
+  for (const KernelTiming& t : timings) {
+    std::cout << t.kernel << " [" << t.tier
+              << "]: " << FormatDouble(t.gbps, 2) << " GB/s, "
+              << FormatDouble(t.speedup_vs_scalar, 2) << "x over scalar\n";
+  }
+
+  // ---- Mixed-precision arm: recall@c + end-to-end CSLS+greedy. ----
+  Status set = SetKernelTier(BestAvailableKernelTier());
+  if (!set.ok()) {
+    std::cerr << "SetKernelTier: " << set.ToString() << "\n";
+    return 1;
+  }
+  Matrix src;
+  Matrix tgt;
+  MakeClusteredPair(match_n, /*dim=*/64, /*seed=*/31, &src, &tgt);
+  const size_t c = std::min(kCandidates, match_n);
+
+  const MatchOptions dense_options = MakePreset(AlgorithmPreset::kCsls);
+  Result<MatchEngine> dense_engine =
+      MatchEngine::Create(src, tgt, dense_options);
+  if (!dense_engine.ok()) {
+    std::cerr << "dense engine: " << dense_engine.status().ToString() << "\n";
+    return 1;
+  }
+  // Exact dense top-c of the raw metric scores — what the quantized
+  // candidate pass must preserve.
+  Result<Matrix> dense_raw =
+      dense_engine->TransformedScores(MakePreset(AlgorithmPreset::kDInf));
+  if (!dense_raw.ok()) {
+    std::cerr << "dense scores: " << dense_raw.status().ToString() << "\n";
+    return 1;
+  }
+  const std::vector<uint32_t> exact_topc = RowTopKIndices(*dense_raw, c);
+  if (!dense_engine->Match().ok()) {
+    std::cerr << "dense warmup failed\n";
+    return 1;
+  }
+  Timer dense_timer;
+  Result<Assignment> dense_run = dense_engine->Match();
+  const double dense_seconds = dense_timer.ElapsedSeconds();
+  if (!dense_run.ok()) {
+    std::cerr << "dense run failed\n";
+    return 1;
+  }
+
+  bool quant_gate_passed = false;
+  std::vector<QuantResult> quant_results;
+  for (ScorePrecision precision :
+       {ScorePrecision::kBf16, ScorePrecision::kInt8}) {
+    MatchOptions options = dense_options;
+    options.score_precision = precision;
+    options.num_candidates = c;
+    Result<MatchEngine> engine = MatchEngine::Create(src, tgt, options);
+    if (!engine.ok()) {
+      std::cerr << "quantized engine: " << engine.status().ToString() << "\n";
+      return 1;
+    }
+    Result<MatchEngine::ScoredBatch> batch = engine->BeginBatch(options);
+    if (!batch.ok()) {
+      std::cerr << "quantized batch: " << batch.status().ToString() << "\n";
+      return 1;
+    }
+    size_t hits = 0;
+    const SparseScores& sparse = batch->sparse_scores();
+    for (size_t i = 0; i < match_n; ++i) {
+      const auto cols = sparse.RowCols(i);
+      for (size_t e = 0; e < c; ++e) {
+        hits += std::binary_search(cols.begin(), cols.end(),
+                                   exact_topc[i * c + e]);
+      }
+    }
+    if (!engine->Match().ok()) {
+      std::cerr << "quantized warmup failed\n";
+      return 1;
+    }
+    Timer quant_timer;
+    Result<Assignment> quant_run = engine->Match();
+    const double quant_seconds = quant_timer.ElapsedSeconds();
+    if (!quant_run.ok()) {
+      std::cerr << "quantized run failed\n";
+      return 1;
+    }
+    size_t agree = 0;
+    for (size_t i = 0; i < match_n; ++i) {
+      agree += (dense_run->target_of_source[i] ==
+                quant_run->target_of_source[i]);
+    }
+    QuantResult result;
+    result.precision = ScorePrecisionName(precision);
+    result.recall =
+        static_cast<double>(hits) / static_cast<double>(match_n * c);
+    result.float_seconds = dense_seconds;
+    result.quant_seconds = quant_seconds;
+    result.speedup =
+        quant_seconds > 0.0 ? dense_seconds / quant_seconds : 0.0;
+    result.agreement =
+        static_cast<double>(agree) / static_cast<double>(match_n);
+    quant_results.push_back(result);
+    if (result.speedup >= kQuantSpeedupGate &&
+        result.recall >= kQuantRecallGate) {
+      quant_gate_passed = true;
+    }
+    std::cout << "\nquantized " << result.precision << " @c=" << c
+              << ": recall " << FormatDouble(result.recall, 3) << ", e2e "
+              << FormatDouble(quant_seconds * 1e3, 1) << " ms vs float "
+              << FormatDouble(dense_seconds * 1e3, 1) << " ms ("
+              << FormatDouble(result.speedup, 2) << "x), assignments agree "
+              << FormatDouble(result.agreement, 3) << "\n";
+  }
+
+  const bool matmul_gate_passed = best_matmul_speedup >= kMatmulGate;
+  const bool ok = matmul_gate_passed || quant_gate_passed;
+  if (!ok) {
+    std::cerr << "\nFATAL: no vector tier reached " << kMatmulGate
+              << "x on matmul_range (best " << best_matmul_speedup << "x on "
+              << best_matmul_tier << ") and no quantized precision reached "
+              << kQuantSpeedupGate << "x e2e at recall >= " << kQuantRecallGate
+              << "\n";
+  }
+
+  std::ofstream json("BENCH_simd.json");
+  json << "{\n  \"scale\": " << scale << ",\n  \"dim\": " << kDim
+       << ",\n  \"matmul_rows\": " << mm_rows
+       << ",\n  \"match_rows\": " << match_n << ",\n  \"cpu\": \""
+       << DetectedCpuFeatures() << "\",\n  \"tiers\": [";
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    json << (i > 0 ? ", " : "") << "\"" << KernelTierName(tiers[i]) << "\"";
+  }
+  json << "],\n  \"kernels\": [\n";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    json << "    {\"kernel\": \"" << timings[i].kernel << "\", \"tier\": \""
+         << timings[i].tier << "\", \"seconds\": " << timings[i].seconds
+         << ", \"gbps\": " << timings[i].gbps
+         << ", \"speedup_vs_scalar\": " << timings[i].speedup_vs_scalar
+         << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"matmul_gate\": {\"required\": " << kMatmulGate
+       << ", \"best_tier\": \"" << best_matmul_tier
+       << "\", \"best_speedup\": " << best_matmul_speedup
+       << ", \"passed\": " << (matmul_gate_passed ? "true" : "false")
+       << "},\n  \"quantized\": [\n";
+  for (size_t i = 0; i < quant_results.size(); ++i) {
+    const QuantResult& q = quant_results[i];
+    json << "    {\"precision\": \"" << q.precision
+         << "\", \"candidates\": " << c << ", \"recall_at_c\": " << q.recall
+         << ", \"float_seconds\": " << q.float_seconds
+         << ", \"quant_seconds\": " << q.quant_seconds
+         << ", \"speedup\": " << q.speedup
+         << ", \"assignment_agreement\": " << q.agreement << "}"
+         << (i + 1 < quant_results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"quantized_gate\": {\"required_speedup\": "
+       << kQuantSpeedupGate << ", \"required_recall\": " << kQuantRecallGate
+       << ", \"passed\": " << (quant_gate_passed ? "true" : "false")
+       << "},\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+  std::cout << "\nwrote BENCH_simd.json (" << timings.size()
+            << " kernel timings)\n";
+  return ok ? 0 : 1;
+}

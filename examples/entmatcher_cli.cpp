@@ -20,6 +20,8 @@
 //       Print the inverted-list occupancy of a saved index.
 //   entmatcher_cli match <dir> <src.emat> <tgt.emat> <algo>
 //                  [--workspace-budget-bytes=N] [--threads=N]
+//                  [--kernel-tier=scalar|avx2|avx512|neon|auto]
+//                  [--precision=float32|bf16|int8]
 //                  [--index=PATH --candidates=N [--nprobe=N]] [out_links.tsv]
 //       Run one matching algorithm (DInf, CSLS, RInf, RInf-wr, RInf-pb,
 //       Sink., Hun., SMat, RL) and report P/R/F1 plus the peak tracked
@@ -29,9 +31,15 @@
 //       error (the paper's "Mem: No" verdict). With --index/--candidates,
 //       scoring is restricted to the top-N index candidates per source and
 //       the sparse pipeline runs in O(n*candidates) workspace.
+//       --kernel-tier forces a vector ISA tier (same grammar as the
+//       EM_KERNEL_TIER environment variable; the flag wins) and fails when
+//       the CPU or build lacks it. --precision=bf16|int8 quantizes the
+//       embeddings for candidate generation with exact float rerank of the
+//       top --candidates=N survivors (works with or without --index).
 //   entmatcher_cli eval <dir> <links.tsv>
 //       Score previously saved predicted links against the test split.
 //   entmatcher_cli serve <src.emat> <tgt.emat> [--socket=PATH] [--threads=N]
+//                  [--kernel-tier=TIER]
 //                  [--max-batch=N] [--flush-micros=N] [--queue-capacity=N]
 //                  [--workspace-budget-bytes=N] [--shed-watermark=N]
 //                  [--index=PATH [--degrade-watermark=N]
@@ -73,6 +81,8 @@
 #include "index/candidate_index.h"
 #include "kg/dataset_io.h"
 #include "kg/io.h"
+#include "la/kernels/dispatch.h"
+#include "la/kernels/quantized.h"
 #include "la/matrix_io.h"
 #include "matching/pipeline.h"
 #include "serve/client.h"
@@ -109,6 +119,34 @@ int MatchUintFlag(const std::string& arg, const std::string& name,
     std::cerr << "error: bad " << prefix << " value: " << text << "\n";
     return -1;
   }
+  return 1;
+}
+
+/// Applies "--kernel-tier=<tier|auto>": resolves, forces, and reports the
+/// tier. Returns 0 when `arg` is a different flag, 1 on success, -1 on an
+/// unknown or unavailable tier (already reported).
+int MatchKernelTierFlag(const std::string& arg) {
+  const std::string prefix = "--kernel-tier=";
+  if (arg.rfind(prefix, 0) != 0) return 0;
+  const std::string text = arg.substr(prefix.size());
+  KernelTier tier;
+  if (text == "auto") {
+    tier = BestAvailableKernelTier();
+  } else {
+    Result<KernelTier> parsed = ParseKernelTier(text);
+    if (!parsed.ok()) {
+      std::cerr << "error: " << parsed.status().ToString() << "\n";
+      return -1;
+    }
+    tier = *parsed;
+  }
+  Status forced = SetKernelTier(tier);
+  if (!forced.ok()) {
+    std::cerr << "error: " << forced.ToString() << "\n";
+    return -1;
+  }
+  std::cout << "kernel tier: " << KernelTierName(ActiveKernelTier())
+            << " (cpu: " << DetectedCpuFeatures() << ")\n";
   return 1;
 }
 
@@ -292,6 +330,17 @@ int CmdMatch(int argc, char** argv) {
       index_path = arg.substr(index_flag.size());
       continue;
     }
+    const int tier_matched = MatchKernelTierFlag(arg);
+    if (tier_matched < 0) return EXIT_FAILURE;
+    if (tier_matched > 0) continue;
+    const std::string precision_flag = "--precision=";
+    if (arg.rfind(precision_flag, 0) == 0) {
+      Result<ScorePrecision> parsed =
+          ParseScorePrecision(arg.substr(precision_flag.size()));
+      if (!parsed.ok()) return Fail(parsed.status());
+      options.score_precision = *parsed;
+      continue;
+    }
     unsigned long long value = 0;
     int matched = MatchUintFlag(arg, "workspace-budget-bytes", &value);
     if (matched < 0) return EXIT_FAILURE;
@@ -332,8 +381,17 @@ int CmdMatch(int argc, char** argv) {
     if (!loaded.ok()) return Fail(loaded.status());
     index = std::move(loaded).value();
     options.candidate_index = &*index;
-  } else if (options.num_candidates > 0) {
-    std::cerr << "error: --candidates requires --index=PATH\n";
+  } else if (options.num_candidates > 0 &&
+             options.score_precision == ScorePrecision::kFloat32) {
+    std::cerr << "error: --candidates requires --index=PATH or "
+                 "--precision=bf16|int8\n";
+    return EXIT_FAILURE;
+  }
+  if (options.score_precision != ScorePrecision::kFloat32 &&
+      options.num_candidates == 0) {
+    std::cerr << "error: --precision=" << ScorePrecisionName(
+                     options.score_precision)
+              << " requires --candidates=N (N >= 1)\n";
     return EXIT_FAILURE;
   }
 
@@ -392,6 +450,9 @@ int CmdServe(int argc, char** argv) {
       index_path = arg.substr(index_flag.size());
       continue;
     }
+    const int tier_matched = MatchKernelTierFlag(arg);
+    if (tier_matched < 0) return EXIT_FAILURE;
+    if (tier_matched > 0) continue;
     unsigned long long value = 0;
     int matched = MatchUintFlag(arg, "threads", &value);
     if (matched < 0) return EXIT_FAILURE;

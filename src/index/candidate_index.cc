@@ -98,6 +98,26 @@ CandidateListStats CandidateIndex::Stats() const {
   return stats;
 }
 
+void CandidateIndex::ProbeLists(
+    const float* x, size_t nprobe,
+    std::vector<std::pair<float, uint32_t>>* scratch,
+    std::vector<uint32_t>* probed) const {
+  const size_t lists = num_lists();
+  const size_t probes = std::min(nprobe, lists);
+  scratch->resize(lists);
+  // Rank cells by centroid dot product. Centroids are unit-norm, so the
+  // query's own norm cannot change the ordering.
+  for (size_t l = 0; l < lists; ++l) {
+    const float* mu = centroids_.Row(l).data();
+    float dot = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) dot += x[d] * mu[d];
+    (*scratch)[l] = {dot, static_cast<uint32_t>(l)};
+  }
+  std::partial_sort(scratch->begin(), scratch->begin() + probes,
+                    scratch->end(), BetterCandidate);
+  for (size_t p = 0; p < probes; ++p) probed->push_back((*scratch)[p].second);
+}
+
 Status CandidateIndex::FillSparseScores(const Matrix& source,
                                         const Matrix& target,
                                         SimilarityMetric metric,
@@ -128,9 +148,6 @@ Status CandidateIndex::FillSparseScores(const Matrix& source,
     return Status::InvalidArgument(
         "CandidateIndex: output capacity below rows * candidates");
   }
-  const size_t lists = num_lists();
-  const size_t probes = std::min(nprobe, lists);
-
   // Phase 1 (parallel, deterministic): each row probes, reranks, and writes
   // its candidates into a private stride-aligned slot. Rows never share
   // state, so static chunking makes this bit-identical at any thread count.
@@ -138,24 +155,16 @@ Status CandidateIndex::FillSparseScores(const Matrix& source,
   float* values = out->values();
   uint32_t* cols = out->col_indices();
   ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
-    std::vector<std::pair<float, uint32_t>> ranked_lists(lists);
+    std::vector<std::pair<float, uint32_t>> ranked_lists;
+    std::vector<uint32_t> probed;
     std::vector<std::pair<float, uint32_t>> candidates;
     for (size_t i = begin; i < end; ++i) {
-      const float* x = source.Row(i).data();
-      // Rank cells by centroid dot product. Centroids are unit-norm, so the
-      // query's own norm cannot change the ordering.
-      for (size_t l = 0; l < lists; ++l) {
-        const float* mu = centroids_.Row(l).data();
-        float dot = 0.0f;
-        for (size_t d = 0; d < dim_; ++d) dot += x[d] * mu[d];
-        ranked_lists[l] = {dot, static_cast<uint32_t>(l)};
-      }
-      std::partial_sort(ranked_lists.begin(), ranked_lists.begin() + probes,
-                        ranked_lists.end(), BetterCandidate);
+      probed.clear();
+      ProbeLists(source.Row(i).data(), nprobe, &ranked_lists, &probed);
       // Exact rerank of every member of the probed cells.
       candidates.clear();
-      for (size_t p = 0; p < probes; ++p) {
-        for (uint32_t j : List(ranked_lists[p].second)) {
+      for (uint32_t l : probed) {
+        for (uint32_t j : List(l)) {
           candidates.emplace_back(
               PairSimilarity(source, target, i, j, metric, cache), j);
         }

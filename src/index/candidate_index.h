@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -66,6 +67,16 @@ class CandidateIndex {
   }
 
   CandidateListStats Stats() const;
+
+  /// Ranks every inverted list by centroid dot product with `x` (dim()
+  /// floats) and appends the ids of the `nprobe` best to `probed`,
+  /// best-first (ties: lower list id). `scratch` is caller-owned so row
+  /// loops can reuse one allocation. The dot runs on the scalar loop at
+  /// every kernel tier: probe selection — and with it candidate coverage —
+  /// must never depend on EM_KERNEL_TIER.
+  void ProbeLists(const float* x, size_t nprobe,
+                  std::vector<std::pair<float, uint32_t>>* scratch,
+                  std::vector<uint32_t>* probed) const;
 
   /// Fills `out` with the top-`num_candidates` exact scores per source row,
   /// restricted to targets found in the `nprobe` nearest lists. `out` must

@@ -1,0 +1,150 @@
+#include "index/quantized_candidates.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "index/candidate_index.h"
+
+namespace entmatcher {
+
+namespace {
+
+// (score desc, id asc): same total order as the IVF path, so the kept set
+// matches the dense argmax convention (lowest index wins ties).
+bool BetterCandidate(const std::pair<float, uint32_t>& a,
+                     const std::pair<float, uint32_t>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
+}  // namespace
+
+Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
+                                 const QuantizedMatrix& qsource,
+                                 const QuantizedMatrix& qtarget,
+                                 SimilarityMetric metric,
+                                 const SimilarityCache& cache,
+                                 size_t num_candidates,
+                                 const CandidateIndex* index, size_t nprobe,
+                                 SparseScores* out) {
+  if (metric == SimilarityMetric::kNegManhattan) {
+    return Status::InvalidArgument(
+        "quantized candidates: manhattan has no quantized surrogate");
+  }
+  if (num_candidates == 0) {
+    return Status::InvalidArgument(
+        "quantized candidates: num_candidates must be >= 1");
+  }
+  if (qsource.precision() != qtarget.precision()) {
+    return Status::InvalidArgument(
+        "quantized candidates: source/target precisions differ");
+  }
+  const size_t n = source.rows();
+  const size_t m = target.rows();
+  if (qsource.rows() != n || qsource.cols() != source.cols() ||
+      qtarget.rows() != m || qtarget.cols() != target.cols()) {
+    return Status::InvalidArgument(
+        "quantized candidates: quantized shape does not match embeddings");
+  }
+  if (index != nullptr) {
+    if (index->num_targets() != m || index->dim() != source.cols()) {
+      return Status::InvalidArgument(
+          "quantized candidates: index does not match the embeddings");
+    }
+    if (nprobe == 0) {
+      return Status::InvalidArgument(
+          "quantized candidates: nprobe must be >= 1");
+    }
+  }
+  const size_t stride = std::min(num_candidates, m);
+  if (out->rows() != n || out->cols() != m) {
+    return Status::InvalidArgument(
+        "quantized candidates: output shape mismatch");
+  }
+  if (out->capacity() < n * stride) {
+    return Status::InvalidArgument(
+        "quantized candidates: output capacity below rows * candidates");
+  }
+
+  // The surrogate only has to *order* targets, so per-row constants drop
+  // out: cosine ranks by qdot * inv_target_norm (the source inverse norm is
+  // a positive per-row factor), euclidean by 2*qdot - ||t||^2 (monotone in
+  // the negated squared distance).
+  const bool cosine = metric == SimilarityMetric::kCosine;
+
+  // Phase 1 (parallel, deterministic): each row pre-ranks, reranks exactly,
+  // and writes its candidates into a private stride-aligned slot — the same
+  // two-phase layout as CandidateIndex::FillSparseScores.
+  std::vector<size_t> count(n, 0);
+  float* values = out->values();
+  uint32_t* cols = out->col_indices();
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    std::vector<std::pair<float, uint32_t>> ranked_lists;
+    std::vector<uint32_t> probed;
+    std::vector<std::pair<float, uint32_t>> candidates;
+    for (size_t i = begin; i < end; ++i) {
+      const auto surrogate = [&](uint32_t j) {
+        const float q = QuantizedDot(qsource, i, qtarget, j);
+        return cosine ? q * cache.inv_target_norms[j]
+                      : 2.0f * q - static_cast<float>(cache.target_sq_norms[j]);
+      };
+      candidates.clear();
+      if (index != nullptr) {
+        probed.clear();
+        index->ProbeLists(source.Row(i).data(), nprobe, &ranked_lists,
+                          &probed);
+        for (uint32_t l : probed) {
+          for (uint32_t j : index->List(l)) {
+            candidates.emplace_back(surrogate(j), j);
+          }
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          candidates.emplace_back(surrogate(static_cast<uint32_t>(j)),
+                                  static_cast<uint32_t>(j));
+        }
+      }
+      const size_t keep = std::min(stride, candidates.size());
+      std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                        candidates.end(), BetterCandidate);
+      candidates.resize(keep);
+      // Exact rerank: replace every surrogate with the float score, so the
+      // emitted entries are bit-identical to their dense cells.
+      for (auto& [score, j] : candidates) {
+        score = PairSimilarity(source, target, i, j, metric, cache);
+      }
+      // Column-ascending storage: CSR entry order == dense cell order.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const std::pair<float, uint32_t>& a,
+                   const std::pair<float, uint32_t>& b) {
+                  return a.second < b.second;
+                });
+      for (size_t e = 0; e < keep; ++e) {
+        values[i * stride + e] = candidates[e].first;
+        cols[i * stride + e] = candidates[e].second;
+      }
+      count[i] = keep;
+    }
+  });
+
+  // Phase 2 (serial): offsets, then left-pack the strided slots into
+  // contiguous CSR order. Destinations never pass sources, so the in-place
+  // forward copy is safe.
+  std::vector<size_t>& offsets = out->mutable_row_offsets();
+  offsets.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + count[i];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t src = i * stride;
+    const size_t dst = offsets[i];
+    if (src == dst) continue;
+    for (size_t e = 0; e < count[i]; ++e) {
+      values[dst + e] = values[src + e];
+      cols[dst + e] = cols[src + e];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace entmatcher

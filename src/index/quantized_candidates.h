@@ -1,0 +1,45 @@
+#ifndef ENTMATCHER_INDEX_QUANTIZED_CANDIDATES_H_
+#define ENTMATCHER_INDEX_QUANTIZED_CANDIDATES_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "la/kernels/quantized.h"
+#include "la/matrix.h"
+#include "la/similarity.h"
+#include "la/sparse.h"
+
+namespace entmatcher {
+
+class CandidateIndex;
+
+/// Mixed-precision candidate generation with exact rerank: ranks targets per
+/// source row by a *quantized* dot-product surrogate of `metric` (bf16 or
+/// int8, per QuantizedMatrix), keeps the top `num_candidates` by
+/// (surrogate desc, id asc), then re-scores the survivors with the exact
+/// float PairSimilarity kernel — so every emitted entry is bit-identical to
+/// its dense score cell and only candidate *coverage* is approximate.
+///
+/// With `index` (nullable) the surrogate pass runs over the members of the
+/// `nprobe` probed inverted lists instead of all targets, composing the two
+/// approximations. `qsource`/`qtarget` must be quantizations of
+/// `source`/`target` at the same precision; `metric` must be cosine or
+/// euclidean (manhattan has no dot-product form and is refused).
+///
+/// `out` must be shaped (source.rows() x target.rows()) with capacity for
+/// source.rows() * min(num_candidates, target.rows()) entries. Entries come
+/// out column-ascending per row (CSR invariant); rows are processed with
+/// deterministic static chunking, so the result is bit-identical at every
+/// thread count.
+Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
+                                 const QuantizedMatrix& qsource,
+                                 const QuantizedMatrix& qtarget,
+                                 SimilarityMetric metric,
+                                 const SimilarityCache& cache,
+                                 size_t num_candidates,
+                                 const CandidateIndex* index, size_t nprobe,
+                                 SparseScores* out);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_INDEX_QUANTIZED_CANDIDATES_H_

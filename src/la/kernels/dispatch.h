@@ -1,0 +1,158 @@
+#ifndef ENTMATCHER_LA_KERNELS_DISPATCH_H_
+#define ENTMATCHER_LA_KERNELS_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace entmatcher {
+
+/// Vector-ISA tiers of the numeric kernel layer. The scalar tier is the
+/// original (pre-SIMD) C++ loops kept verbatim — it is the bit-exactness
+/// oracle every other tier is tested against. Vector tiers may reorder float
+/// accumulation (per-cell |Δ| ≤ 1e-5 against scalar, pinned by the `kernels`
+/// test label) but are individually deterministic: a given tier produces the
+/// same bits at every thread count, every run.
+enum class KernelTier {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+/// Number of KernelTier values (array sizing).
+inline constexpr size_t kNumKernelTiers = 4;
+
+/// The flat function table one tier exports. All pointers are non-null in a
+/// registered tier; callers pick ops off ActiveKernels() inside their own
+/// ParallelFor partitioning, so every op is thread-free and operates on raw
+/// row pointers.
+///
+/// Bit-exactness contracts (load-bearing — tests assert them):
+///  - `dot` and each cell of `matmul_tile` share one accumulation order per
+///    tier, so the candidate-index rerank (PairSimilarity → dot) emits entries
+///    bit-identical to the dense matmul cells at EVERY tier, not just scalar.
+///  - Elementwise ops (scale, scale_copy, cosine_scale_row, accumulate_max,
+///    accumulate_cols, mul_cols, max, argmax, mask_*) are bit-identical to
+///    scalar at every tier: same arithmetic per element, no reassociation.
+///  - Reductions (squared_norm, sum, manhattan) and the quantized bf16 dot may
+///    reassociate; int8 dot is integer arithmetic and therefore bit-identical
+///    across tiers.
+struct KernelOps {
+  KernelTier tier = KernelTier::kScalar;
+  const char* name = "scalar";
+
+  /// Inner product of two d-length rows, accumulated in float.
+  float (*dot)(const float* a, const float* b, size_t d);
+
+  /// C[r * c_stride + j] = dot(a + r * a_stride, b + j * b_stride) for
+  /// r < rows, j < cols. Register-blocked per tier; each output cell replays
+  /// `dot`'s accumulation order exactly.
+  void (*matmul_tile)(const float* a, size_t a_stride, size_t rows,
+                      const float* b, size_t b_stride, size_t cols, size_t d,
+                      float* c, size_t c_stride);
+
+  /// Sum of squares accumulated in double (norm caches, L2 normalization).
+  double (*squared_norm)(const float* v, size_t d);
+
+  /// Sum of |a[k] - b[k]| accumulated in float (Manhattan distance).
+  float (*manhattan)(const float* a, const float* b, size_t d);
+
+  /// v[k] *= factor.
+  void (*scale)(float* v, size_t d, float factor);
+
+  /// dst[k] = src[k] * factor (Sinkhorn row normalization into the buffer).
+  void (*scale_copy)(const float* src, float* dst, size_t d, float factor);
+
+  /// row[j] *= si * inv_tgt[j] — the fused cosine inverse-norm scaling, with
+  /// the source-side inverse norm hoisted into a broadcast operand.
+  void (*cosine_scale_row)(float* row, const float* inv_tgt, size_t m,
+                           float si);
+
+  /// Sum accumulated in double (Sinkhorn row sums).
+  double (*sum)(const float* v, size_t d);
+
+  /// Maximum element (first maximum; order-independent value).
+  float (*max)(const float* v, size_t d);
+
+  /// Index of the maximum element, ties to the lowest index.
+  size_t (*argmax)(const float* v, size_t d);
+
+  /// acc[j] = max(acc[j], row[j]) (streaming column max).
+  void (*accumulate_max)(float* acc, const float* row, size_t d);
+
+  /// acc[j] += row[j], double accumulators (Sinkhorn column sums).
+  void (*accumulate_cols)(double* acc, const float* row, size_t d);
+
+  /// dst[j] = float(double(src[j]) * col_inv[j]) (Sinkhorn column scaling).
+  void (*mul_cols)(float* dst, const float* src, const double* col_inv,
+                   size_t d);
+
+  /// Bit i set iff a[i] > b[i], for i < n <= 64. The compare-and-select
+  /// filter behind the partial top-k kernels: most score entries fail the
+  /// running threshold, so whole vector lanes are skipped per compare.
+  uint64_t (*mask_gt)(const float* a, const float* b, size_t n);
+
+  /// Bit i set iff a[i] > threshold, for i < n <= 64.
+  uint64_t (*mask_gt_scalar)(const float* a, float threshold, size_t n);
+
+  /// bf16 inner product: operands are float bit patterns truncated to their
+  /// high 16 bits; accumulated in float.
+  float (*dot_bf16)(const uint16_t* a, const uint16_t* b, size_t d);
+
+  /// int8 inner product accumulated in int32 — integer math, bit-identical
+  /// across tiers.
+  int32_t (*dot_i8)(const int8_t* a, const int8_t* b, size_t d);
+};
+
+/// Display name ("scalar", "avx2", "avx512", "neon").
+const char* KernelTierName(KernelTier tier);
+
+/// Parses "scalar" | "avx2" | "avx512" | "neon". "auto" is not a tier —
+/// resolve it with BestAvailableKernelTier().
+Result<KernelTier> ParseKernelTier(std::string_view name);
+
+/// True when `tier` was compiled in AND the running CPU supports it.
+bool KernelTierAvailable(KernelTier tier);
+
+/// The widest available tier on this CPU (what EM_KERNEL_TIER=auto picks).
+KernelTier BestAvailableKernelTier();
+
+/// The active tier's function table. On first use the tier is resolved from
+/// EM_KERNEL_TIER (scalar|avx2|avx512|neon|auto; unset or invalid values fall
+/// back to auto with a warning), making the choice a pure startup decision —
+/// steady-state reads are a single atomic load.
+const KernelOps& ActiveKernels();
+
+/// The active tier.
+KernelTier ActiveKernelTier();
+
+/// Forces a tier (tests, CLI --kernel-tier). Fails with kInvalidArgument when
+/// the tier is not available on this CPU/build. Not synchronized against
+/// kernels already running on other threads — switch tiers only between
+/// queries (the CLI does it before any engine exists).
+Status SetKernelTier(KernelTier tier);
+
+/// Space-separated vector features detected on this CPU at startup (e.g.
+/// "avx2 fma avx512f avx512bw avx512dq avx512vl"), independent of which tiers
+/// were compiled in. Empty string when none.
+std::string DetectedCpuFeatures();
+
+/// One JSON object for health/stats surfaces:
+/// {"tier": "avx512", "available": "scalar avx2 avx512", "cpu": "..."}.
+std::string KernelStatusJson();
+
+// Per-tier registration hooks (defined in the per-ISA translation units,
+// compiled with that ISA's -m flags; null when the build does not include
+// the tier). Only dispatch.cc calls these.
+const KernelOps* GetScalarKernels();
+const KernelOps* GetAvx2Kernels();   // null unless ENTMATCHER_HAVE_AVX2
+const KernelOps* GetAvx512Kernels(); // null unless ENTMATCHER_HAVE_AVX512
+const KernelOps* GetNeonKernels();   // null unless ENTMATCHER_HAVE_NEON
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_KERNELS_DISPATCH_H_

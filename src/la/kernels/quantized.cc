@@ -1,0 +1,113 @@
+#include "la/kernels/quantized.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace entmatcher {
+
+const char* ScorePrecisionName(ScorePrecision precision) {
+  switch (precision) {
+    case ScorePrecision::kFloat32:
+      return "float32";
+    case ScorePrecision::kBf16:
+      return "bf16";
+    case ScorePrecision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+Result<ScorePrecision> ParseScorePrecision(std::string_view name) {
+  if (name == "float32") return ScorePrecision::kFloat32;
+  if (name == "bf16") return ScorePrecision::kBf16;
+  if (name == "int8") return ScorePrecision::kInt8;
+  return Status::InvalidArgument("unknown score precision: '" +
+                                 std::string(name) +
+                                 "' (want float32|bf16|int8)");
+}
+
+Result<QuantizedMatrix> QuantizedMatrix::Create(const Matrix& source,
+                                                ScorePrecision precision) {
+  if (precision == ScorePrecision::kFloat32) {
+    return Status::InvalidArgument(
+        "QuantizedMatrix: float32 is the unquantized pipeline");
+  }
+  if (source.empty()) {
+    return Status::InvalidArgument("QuantizedMatrix: empty source matrix");
+  }
+  QuantizedMatrix q;
+  q.precision_ = precision;
+  q.rows_ = source.rows();
+  q.cols_ = source.cols();
+  const size_t d = q.cols_;
+  switch (precision) {
+    case ScorePrecision::kFloat32:
+      break;  // unreachable, rejected above
+    case ScorePrecision::kBf16: {
+      q.bf16_.resize(q.rows_ * d);
+      ParallelFor(0, q.rows_, 64, [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          const float* row = source.Row(r).data();
+          uint16_t* out = q.bf16_.data() + r * d;
+          for (size_t k = 0; k < d; ++k) {
+            out[k] = static_cast<uint16_t>(std::bit_cast<uint32_t>(row[k]) >>
+                                           16);
+          }
+        }
+      });
+      break;
+    }
+    case ScorePrecision::kInt8: {
+      q.i8_.resize(q.rows_ * d);
+      q.row_scales_.resize(q.rows_);
+      ParallelFor(0, q.rows_, 64, [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          const float* row = source.Row(r).data();
+          float max_abs = 0.0f;
+          for (size_t k = 0; k < d; ++k) {
+            const float a = std::fabs(row[k]);
+            if (a > max_abs) max_abs = a;
+          }
+          const float scale = max_abs / 127.0f;
+          q.row_scales_[r] = scale;
+          int8_t* out = q.i8_.data() + r * d;
+          if (scale == 0.0f) {
+            for (size_t k = 0; k < d; ++k) out[k] = 0;
+            continue;
+          }
+          const float inv = 1.0f / scale;
+          for (size_t k = 0; k < d; ++k) {
+            const float scaled = row[k] * inv;
+            const float clamped =
+                scaled > 127.0f ? 127.0f : (scaled < -127.0f ? -127.0f : scaled);
+            out[k] = static_cast<int8_t>(std::lrintf(clamped));
+          }
+        }
+      });
+      break;
+    }
+  }
+  MemoryTracker::Global().Add(q.ByteSize());
+  return q;
+}
+
+float QuantizedDot(const QuantizedMatrix& a, size_t i, const QuantizedMatrix& b,
+                   size_t j) {
+  assert(a.precision() == b.precision() && a.cols() == b.cols());
+  const KernelOps& ops = ActiveKernels();
+  const size_t d = a.cols();
+  switch (a.precision()) {
+    case ScorePrecision::kFloat32:
+      return 0.0f;  // no storage in this format; callers never reach here
+    case ScorePrecision::kBf16:
+      return ops.dot_bf16(a.Bf16Row(i), b.Bf16Row(j), d);
+    case ScorePrecision::kInt8:
+      return static_cast<float>(ops.dot_i8(a.I8Row(i), b.I8Row(j), d)) *
+             a.RowScale(i) * b.RowScale(j);
+  }
+  return 0.0f;
+}
+
+}  // namespace entmatcher

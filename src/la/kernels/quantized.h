@@ -1,0 +1,102 @@
+#ifndef ENTMATCHER_LA_KERNELS_QUANTIZED_H_
+#define ENTMATCHER_LA_KERNELS_QUANTIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "la/kernels/dispatch.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// Numeric format of the candidate-generation scoring pass. Mixed precision
+/// is candidate-generation only: the engine always reranks the surviving
+/// candidates with the exact float kernel, so the final scores that reach
+/// transforms and matchers are full-precision either way.
+enum class ScorePrecision : uint8_t {
+  kFloat32 = 0,  // dense float pipeline, no quantization
+  kBf16 = 1,     // bfloat16: float with the low 16 mantissa bits dropped
+  kInt8 = 2,     // int8 with one scale per row (symmetric, max-abs)
+};
+
+/// Display name ("float32", "bf16", "int8").
+const char* ScorePrecisionName(ScorePrecision precision);
+
+/// Parses "float32" | "bf16" | "int8".
+Result<ScorePrecision> ParseScorePrecision(std::string_view name);
+
+/// A row-major quantized copy of an embedding matrix, built once at load and
+/// reused across every query against the pair (the engine caches one per
+/// precision). Owned storage registers with MemoryTracker like Matrix does,
+/// so workspace reports include the quantized shadow copies.
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  QuantizedMatrix(const QuantizedMatrix&) = delete;
+  QuantizedMatrix& operator=(const QuantizedMatrix&) = delete;
+  QuantizedMatrix(QuantizedMatrix&& other) noexcept { *this = std::move(other); }
+  QuantizedMatrix& operator=(QuantizedMatrix&& other) noexcept {
+    if (this == &other) return *this;
+    MemoryTracker::Global().Sub(ByteSize());
+    precision_ = other.precision_;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    bf16_ = std::move(other.bf16_);
+    i8_ = std::move(other.i8_);
+    row_scales_ = std::move(other.row_scales_);
+    other.precision_ = ScorePrecision::kFloat32;
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.bf16_.clear();
+    other.i8_.clear();
+    other.row_scales_.clear();
+    return *this;
+  }
+
+  ~QuantizedMatrix() { MemoryTracker::Global().Sub(ByteSize()); }
+
+  /// Quantizes `source` to `precision`. kFloat32 is not a quantized format —
+  /// it returns kInvalidArgument, as does an empty input.
+  ///
+  /// bf16 truncates each float's low 16 bits (round-toward-zero: keeps the
+  /// encode branch-free and the decode a pure shift). int8 maps each row
+  /// through scale_r = max_abs(row) / 127 with round-to-nearest; an all-zero
+  /// row gets scale 0 and zero codes.
+  static Result<QuantizedMatrix> Create(const Matrix& source,
+                                        ScorePrecision precision);
+
+  ScorePrecision precision() const { return precision_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  size_t ByteSize() const {
+    return bf16_.size() * sizeof(uint16_t) + i8_.size() +
+           row_scales_.size() * sizeof(float);
+  }
+
+  const uint16_t* Bf16Row(size_t r) const { return bf16_.data() + r * cols_; }
+  const int8_t* I8Row(size_t r) const { return i8_.data() + r * cols_; }
+  float RowScale(size_t r) const { return row_scales_[r]; }
+
+ private:
+  ScorePrecision precision_ = ScorePrecision::kFloat32;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint16_t> bf16_;      // kBf16: rows*cols codes
+  std::vector<int8_t> i8_;          // kInt8: rows*cols codes
+  std::vector<float> row_scales_;   // kInt8: one scale per row
+};
+
+/// Approximate inner product of row i of `a` and row j of `b` under the
+/// matrices' shared precision, via the active kernel tier's quantized dot.
+/// For int8 the result is dot_i8 * scale_a[i] * scale_b[j].
+float QuantizedDot(const QuantizedMatrix& a, size_t i, const QuantizedMatrix& b,
+                   size_t j);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_KERNELS_QUANTIZED_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "la/kernels/dispatch.h"
 
 namespace entmatcher {
 
@@ -73,27 +74,16 @@ Status MatMulTransposedRange(const Matrix& a, const Matrix& b,
     return Status::InvalidArgument(
         "MatMulTransposedRange: output shape mismatch");
   }
-  // Row-blocked dot products; both operands are traversed row-wise, which is
-  // contiguous for the B^T formulation. Each output row depends only on its
-  // own inputs, so A's rows are split across the pool.
-  constexpr size_t kBlock = 32;
-  ParallelFor(0, count, kBlock, [&](size_t chunk_begin, size_t chunk_end) {
-    for (size_t ib = chunk_begin; ib < chunk_end; ib += kBlock) {
-      const size_t i_end = std::min(chunk_end, ib + kBlock);
-      for (size_t jb = 0; jb < m; jb += kBlock) {
-        const size_t j_end = std::min(m, jb + kBlock);
-        for (size_t i = ib; i < i_end; ++i) {
-          const float* arow = a.Row(row_begin + i).data();
-          float* crow = out->Row(i).data();
-          for (size_t j = jb; j < j_end; ++j) {
-            const float* brow = b.Row(j).data();
-            float acc = 0.0f;
-            for (size_t k = 0; k < d; ++k) acc += arow[k] * brow[k];
-            crow[j] = acc;
-          }
-        }
-      }
-    }
+  // The active tier's register-blocked micro-kernel runs per chunk; both
+  // operands are traversed row-wise, which is contiguous for the B^T
+  // formulation. Each output row depends only on its own inputs, so A's rows
+  // are split across the pool, and every cell is an independent dot product —
+  // chunk boundaries never change a value.
+  const KernelOps& ops = ActiveKernels();
+  ParallelFor(0, count, 32, [&](size_t chunk_begin, size_t chunk_end) {
+    ops.matmul_tile(a.Row(row_begin + chunk_begin).data(), a.cols(),
+                    chunk_end - chunk_begin, b.data(), b.cols(), m, d,
+                    out->Row(chunk_begin).data(), out->cols());
   });
   return Status::OK();
 }
@@ -108,14 +98,15 @@ Result<Matrix> MatMulTransposed(const Matrix& a, const Matrix& b) {
 }
 
 void L2NormalizeRows(Matrix* m) {
-  ParallelFor(0, m->rows(), 64, [m](size_t row_begin, size_t row_end) {
+  const KernelOps& ops = ActiveKernels();
+  const size_t d = m->cols();
+  ParallelFor(0, m->rows(), 64, [&](size_t row_begin, size_t row_end) {
     for (size_t r = row_begin; r < row_end; ++r) {
-      auto row = m->Row(r);
-      double sq = 0.0;
-      for (float v : row) sq += static_cast<double>(v) * v;
+      float* row = m->Row(r).data();
+      const double sq = ops.squared_norm(row, d);
       if (sq <= 0.0) continue;
       const float inv = static_cast<float>(1.0 / std::sqrt(sq));
-      for (float& v : row) v *= inv;
+      ops.scale(row, d, inv);
     }
   });
 }

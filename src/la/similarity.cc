@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "la/kernels/dispatch.h"
 
 namespace entmatcher {
 
@@ -13,11 +14,12 @@ namespace {
 // cosine scaling unchanged (their dot products are all zero anyway), which
 // matches L2NormalizeRows leaving zero rows untouched.
 std::vector<float> InverseRowNorms(const Matrix& m) {
+  const KernelOps& ops = ActiveKernels();
+  const size_t d = m.cols();
   std::vector<float> inv(m.rows());
   ParallelFor(0, m.rows(), 64, [&](size_t begin, size_t end) {
     for (size_t r = begin; r < end; ++r) {
-      double sq = 0.0;
-      for (float v : m.Row(r)) sq += static_cast<double>(v) * v;
+      const double sq = ops.squared_norm(m.Row(r).data(), d);
       inv[r] = sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(sq)) : 1.0f;
     }
   });
@@ -26,10 +28,12 @@ std::vector<float> InverseRowNorms(const Matrix& m) {
 
 // ||row||^2 in double precision (the Euclidean kernel accumulates in double).
 std::vector<double> SquaredRowNorms(const Matrix& m) {
+  const KernelOps& ops = ActiveKernels();
+  const size_t d = m.cols();
   std::vector<double> sq(m.rows(), 0.0);
   ParallelFor(0, m.rows(), 64, [&](size_t begin, size_t end) {
     for (size_t r = begin; r < end; ++r) {
-      for (float v : m.Row(r)) sq[r] += static_cast<double>(v) * v;
+      sq[r] = ops.squared_norm(m.Row(r).data(), d);
     }
   });
   return sq;
@@ -37,21 +41,23 @@ std::vector<double> SquaredRowNorms(const Matrix& m) {
 
 // Scales the raw dot products by both inverse norms instead of normalizing
 // copies of the inputs: saves two full embedding-matrix copies and two
-// normalization passes.
+// normalization passes. The inner loop lives in the kernel layer
+// (cosine_scale_row), which takes the column count by value — the old code
+// re-read `out->cols()` through the pointer every iteration, which the
+// compiler could not hoist past the row-pointer stores.
 Status CosineSimilarityRange(const Matrix& source, const Matrix& target,
                              const SimilarityCache& cache, size_t row_begin,
                              size_t row_end, Matrix* out) {
   EM_RETURN_NOT_OK(
       MatMulTransposedRange(source, target, row_begin, row_end, out));
   const std::vector<float>& inv_src = cache.inv_source_norms;
-  const std::vector<float>& inv_tgt = cache.inv_target_norms;
+  const float* inv_tgt = cache.inv_target_norms.data();
+  const size_t m = out->cols();
+  const KernelOps& ops = ActiveKernels();
   ParallelFor(0, out->rows(), 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      float* row = out->Row(i).data();
-      const float si = inv_src[row_begin + i];
-      for (size_t j = 0; j < out->cols(); ++j) {
-        row[j] *= si * inv_tgt[j];
-      }
+      ops.cosine_scale_row(out->Row(i).data(), inv_tgt, m,
+                           inv_src[row_begin + i]);
     }
   });
   return Status::OK();
@@ -83,15 +89,13 @@ Status NegManhattanRange(const Matrix& source, const Matrix& target,
   const size_t count = row_end - row_begin;
   const size_t m = target.rows();
   const size_t d = source.cols();
+  const KernelOps& ops = ActiveKernels();
   ParallelFor(0, count, 8, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const float* a = source.Row(row_begin + i).data();
       float* row = out->Row(i).data();
       for (size_t j = 0; j < m; ++j) {
-        const float* b = target.Row(j).data();
-        float dist = 0.0f;
-        for (size_t k = 0; k < d; ++k) dist += std::fabs(a[k] - b[k]);
-        row[j] = -dist;
+        row[j] = -ops.manhattan(a, target.Row(j).data(), d);
       }
     }
   });
@@ -181,27 +185,26 @@ float PairSimilarity(const Matrix& source, const Matrix& target, size_t i,
   const float* a = source.Row(i).data();
   const float* b = target.Row(j).data();
   const size_t d = source.cols();
+  // ops.dot is the same accumulation the dense matmul performs per cell at
+  // this tier, so a sparse rerank entry is bit-identical to the dense score
+  // it stands in for — at every tier, not just scalar.
+  const KernelOps& ops = ActiveKernels();
   switch (metric) {
     case SimilarityMetric::kCosine: {
-      float acc = 0.0f;
-      for (size_t k = 0; k < d; ++k) acc += a[k] * b[k];
       // Matches the dense post-scale `row[j] *= si * inv_tgt[j]`: the two
       // inverse norms are multiplied together first.
-      return acc * (cache.inv_source_norms[i] * cache.inv_target_norms[j]);
+      return ops.dot(a, b, d) *
+             (cache.inv_source_norms[i] * cache.inv_target_norms[j]);
     }
     case SimilarityMetric::kNegEuclidean: {
-      float acc = 0.0f;
-      for (size_t k = 0; k < d; ++k) acc += a[k] * b[k];
+      const float acc = ops.dot(a, b, d);
       double sq =
           cache.source_sq_norms[i] + cache.target_sq_norms[j] - 2.0 * acc;
       if (sq < 0.0) sq = 0.0;  // numeric guard
       return -static_cast<float>(std::sqrt(sq));
     }
-    case SimilarityMetric::kNegManhattan: {
-      float dist = 0.0f;
-      for (size_t k = 0; k < d; ++k) dist += std::fabs(a[k] - b[k]);
-      return -dist;
-    }
+    case SimilarityMetric::kNegManhattan:
+      return -ops.manhattan(a, b, d);
   }
   return 0.0f;
 }

@@ -1,26 +1,25 @@
 #include "la/topk.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "la/kernels/dispatch.h"
 
 namespace entmatcher {
 
 std::vector<uint32_t> RowArgmax(const Matrix& scores) {
   assert(scores.cols() > 0);
+  const KernelOps& ops = ActiveKernels();
+  const size_t m = scores.cols();
   std::vector<uint32_t> out(scores.rows());
   ParallelFor(0, scores.rows(), 32, [&](size_t begin, size_t end) {
     for (size_t r = begin; r < end; ++r) {
-      auto row = scores.Row(r);
-      size_t best = 0;
-      for (size_t c = 1; c < row.size(); ++c) {
-        if (row[c] > row[best]) best = c;
-      }
-      out[r] = static_cast<uint32_t>(best);
+      out[r] = static_cast<uint32_t>(ops.argmax(scores.Row(r).data(), m));
     }
   });
   return out;
@@ -28,11 +27,12 @@ std::vector<uint32_t> RowArgmax(const Matrix& scores) {
 
 std::vector<float> RowMax(const Matrix& scores) {
   assert(scores.cols() > 0);
+  const KernelOps& ops = ActiveKernels();
+  const size_t m = scores.cols();
   std::vector<float> out(scores.rows());
   ParallelFor(0, scores.rows(), 32, [&](size_t begin, size_t end) {
     for (size_t r = begin; r < end; ++r) {
-      auto row = scores.Row(r);
-      out[r] = *std::max_element(row.begin(), row.end());
+      out[r] = ops.max(scores.Row(r).data(), m);
     }
   });
   return out;
@@ -40,15 +40,15 @@ std::vector<float> RowMax(const Matrix& scores) {
 
 std::vector<float> ColMax(const Matrix& scores) {
   assert(scores.rows() > 0);
+  const KernelOps& ops = ActiveKernels();
   std::vector<float> out(scores.cols(), -std::numeric_limits<float>::infinity());
   // Partitioned by column so every worker owns a disjoint slice of `out` and
   // visits rows in the serial order (max is exact either way).
   ParallelFor(0, scores.cols(), 256, [&](size_t col_begin, size_t col_end) {
     for (size_t r = 0; r < scores.rows(); ++r) {
       const float* row = scores.Row(r).data();
-      for (size_t c = col_begin; c < col_end; ++c) {
-        if (row[c] > out[c]) out[c] = row[c];
-      }
+      ops.accumulate_max(out.data() + col_begin, row + col_begin,
+                         col_end - col_begin);
     }
   });
   return out;
@@ -64,16 +64,64 @@ void TopKValues(std::span<const float> row, size_t k, std::vector<float>* buf) {
   buf->resize(k);
 }
 
+// Vector-tier top-k values: a sorted-descending selection buffer guarded by a
+// SIMD threshold filter. Most elements fail `v > buf[kk-1]` and are skipped
+// 64 at a time via mask_gt_scalar; survivors are inserted by shifting — the
+// same multiset of values nth_element selects (ties at the threshold keep the
+// incumbent, which cannot change the multiset).
+void TopKValuesFiltered(const KernelOps& ops, const float* row, size_t m,
+                        size_t kk, std::vector<float>* buf) {
+  buf->resize(kk);
+  float* b = buf->data();
+  for (size_t i = 0; i < kk; ++i) {
+    const float v = row[i];
+    size_t pos = i;
+    while (pos > 0 && b[pos - 1] < v) {
+      b[pos] = b[pos - 1];
+      --pos;
+    }
+    b[pos] = v;
+  }
+  float threshold = b[kk - 1];
+  for (size_t base = kk; base < m; base += 64) {
+    const size_t len = std::min<size_t>(64, m - base);
+    uint64_t mask = ops.mask_gt_scalar(row + base, threshold, len);
+    while (mask != 0) {
+      const size_t bit = static_cast<size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const float v = row[base + bit];
+      if (!(v > threshold)) continue;  // threshold moved since the compare
+      size_t pos = kk - 1;
+      while (pos > 0 && b[pos - 1] < v) {
+        b[pos] = b[pos - 1];
+        --pos;
+      }
+      b[pos] = v;
+      threshold = b[kk - 1];
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<float> RowTopKMean(const Matrix& scores, size_t k) {
   assert(k >= 1);
   const size_t kk = std::min(k, scores.cols());
+  const size_t m = scores.cols();
+  const KernelOps& ops = ActiveKernels();
+  const bool scalar_tier = ops.tier == KernelTier::kScalar;
   std::vector<float> out(scores.rows());
   ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
     std::vector<float> buf;
     for (size_t r = begin; r < end; ++r) {
-      TopKValues(scores.Row(r), kk, &buf);
+      // The scalar tier keeps the original nth_element path (and with it the
+      // original summation order — bit-identical to pre-dispatch builds);
+      // vector tiers sum the same values in sorted order, within tolerance.
+      if (scalar_tier) {
+        TopKValues(scores.Row(r), kk, &buf);
+      } else {
+        TopKValuesFiltered(ops, scores.Row(r).data(), m, kk, &buf);
+      }
       double sum = std::accumulate(buf.begin(), buf.end(), 0.0);
       out[r] = static_cast<float>(sum / static_cast<double>(kk));
     }
@@ -85,31 +133,53 @@ std::vector<float> ColTopKMean(const Matrix& scores, size_t k) {
   assert(k >= 1);
   const size_t kk = std::min(k, scores.rows());
   const size_t m = scores.cols();
+  const KernelOps& ops = ActiveKernels();
+  const bool scalar_tier = ops.tier == KernelTier::kScalar;
   // Per-column min-heap of the k largest values seen so far, stored in one
   // flat (m x kk) buffer with heap[0] the smallest retained value. Workers
   // own disjoint column ranges and scan rows top-to-bottom, so each heap
-  // sees exactly the serial insertion sequence.
+  // sees exactly the serial insertion sequence. Vector tiers batch the
+  // `v > heap[0]` admission test through mask_gt against a contiguous
+  // shadow array of the heap roots — the surviving insertions (and therefore
+  // the heaps, sums, and output bits) are identical on every tier.
   std::vector<float> heaps(m * kk, -std::numeric_limits<float>::infinity());
+  std::vector<float> roots(m, -std::numeric_limits<float>::infinity());
   std::vector<float> out(m);
+  const auto heap_insert = [&heaps, kk](size_t c, float v) {
+    float* heap = heaps.data() + c * kk;
+    // Sift down the replaced root.
+    size_t i = 0;
+    heap[0] = v;
+    for (;;) {
+      size_t smallest = i;
+      const size_t left = 2 * i + 1;
+      const size_t right = 2 * i + 2;
+      if (left < kk && heap[left] < heap[smallest]) smallest = left;
+      if (right < kk && heap[right] < heap[smallest]) smallest = right;
+      if (smallest == i) break;
+      std::swap(heap[i], heap[smallest]);
+      i = smallest;
+    }
+    return heap[0];
+  };
   ParallelFor(0, m, 64, [&](size_t col_begin, size_t col_end) {
     for (size_t r = 0; r < scores.rows(); ++r) {
       const float* row = scores.Row(r).data();
-      for (size_t c = col_begin; c < col_end; ++c) {
-        float* heap = heaps.data() + c * kk;
-        const float v = row[c];
-        if (v <= heap[0]) continue;
-        // Sift down the replaced root.
-        size_t i = 0;
-        heap[0] = v;
-        for (;;) {
-          size_t smallest = i;
-          const size_t left = 2 * i + 1;
-          const size_t right = 2 * i + 2;
-          if (left < kk && heap[left] < heap[smallest]) smallest = left;
-          if (right < kk && heap[right] < heap[smallest]) smallest = right;
-          if (smallest == i) break;
-          std::swap(heap[i], heap[smallest]);
-          i = smallest;
+      if (scalar_tier) {
+        for (size_t c = col_begin; c < col_end; ++c) {
+          const float v = row[c];
+          if (v <= roots[c]) continue;
+          roots[c] = heap_insert(c, v);
+        }
+      } else {
+        for (size_t base = col_begin; base < col_end; base += 64) {
+          const size_t len = std::min<size_t>(64, col_end - base);
+          uint64_t mask = ops.mask_gt(row + base, roots.data() + base, len);
+          while (mask != 0) {
+            const size_t c = base + static_cast<size_t>(std::countr_zero(mask));
+            mask &= mask - 1;
+            roots[c] = heap_insert(c, row[c]);
+          }
         }
       }
     }
@@ -125,18 +195,67 @@ std::vector<float> ColTopKMean(const Matrix& scores, size_t k) {
 std::vector<uint32_t> RowTopKIndices(const Matrix& scores, size_t k) {
   assert(k >= 1);
   const size_t kk = std::min(k, scores.cols());
+  const size_t m = scores.cols();
+  const KernelOps& ops = ActiveKernels();
+  const bool scalar_tier = ops.tier == KernelTier::kScalar;
   std::vector<uint32_t> out(scores.rows() * kk);
   ParallelFor(0, scores.rows(), 16, [&](size_t begin, size_t end) {
     std::vector<uint32_t> idx(scores.cols());
+    std::vector<float> vals(kk);
+    std::vector<uint32_t> sel(kk);
     for (size_t r = begin; r < end; ++r) {
       auto row = scores.Row(r);
-      std::iota(idx.begin(), idx.end(), 0u);
-      std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
-                        [&row](uint32_t a, uint32_t b) {
-                          if (row[a] != row[b]) return row[a] > row[b];
-                          return a < b;
-                        });
-      std::copy(idx.begin(), idx.begin() + kk, out.begin() + r * kk);
+      if (scalar_tier) {
+        // Original path, kept verbatim for the reference tier.
+        std::iota(idx.begin(), idx.end(), 0u);
+        std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                          [&row](uint32_t a, uint32_t b) {
+                            if (row[a] != row[b]) return row[a] > row[b];
+                            return a < b;
+                          });
+        std::copy(idx.begin(), idx.begin() + kk, out.begin() + r * kk);
+        continue;
+      }
+      // Threshold-filtered selection. The buffer stays sorted by
+      // (value desc, index asc); because the scan runs in ascending index
+      // order and both the admission test and the insertion shift use strict
+      // comparisons, an element never displaces an equal-valued earlier
+      // index — exactly partial_sort's tie order, so the output indices are
+      // bit-identical to the scalar tier.
+      const float* rp = row.data();
+      for (size_t i = 0; i < kk; ++i) {
+        const float v = rp[i];
+        size_t pos = i;
+        while (pos > 0 && vals[pos - 1] < v) {
+          vals[pos] = vals[pos - 1];
+          sel[pos] = sel[pos - 1];
+          --pos;
+        }
+        vals[pos] = v;
+        sel[pos] = static_cast<uint32_t>(i);
+      }
+      float threshold = vals[kk - 1];
+      for (size_t base = kk; base < m; base += 64) {
+        const size_t len = std::min<size_t>(64, m - base);
+        uint64_t mask = ops.mask_gt_scalar(rp + base, threshold, len);
+        while (mask != 0) {
+          const size_t bit = static_cast<size_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          const size_t c = base + bit;
+          const float v = rp[c];
+          if (!(v > threshold)) continue;  // threshold moved since the compare
+          size_t pos = kk - 1;
+          while (pos > 0 && vals[pos - 1] < v) {
+            vals[pos] = vals[pos - 1];
+            sel[pos] = sel[pos - 1];
+            --pos;
+          }
+          vals[pos] = v;
+          sel[pos] = static_cast<uint32_t>(c);
+          threshold = vals[kk - 1];
+        }
+      }
+      std::copy(sel.begin(), sel.end(), out.begin() + r * kk);
     }
   });
   return out;
@@ -148,6 +267,8 @@ double MeanRowTopKStd(const Matrix& scores, size_t k) {
   if (kk < 2 || scores.rows() == 0) return 0.0;
   // Per-row partials accumulated by fixed 64-row blocks, then combined
   // serially, so the double summation order is independent of thread count.
+  // This is a reporting statistic off the hot path; it stays on the legacy
+  // loops at every tier.
   constexpr size_t kBlock = 64;
   const size_t num_blocks = (scores.rows() + kBlock - 1) / kBlock;
   std::vector<double> partial(num_blocks, 0.0);

@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "index/candidate_index.h"
+#include "index/quantized_candidates.h"
 #include "matching/pipeline.h"
 #include "matching/sparse_matchers.h"
 #include "matching/sparse_transforms.h"
@@ -53,27 +54,37 @@ size_t SparseNnzCap(const MatchOptions& options, size_t n, size_t m) {
   return n * std::min(options.num_candidates, m);
 }
 
-// Pre-lease validation of a candidate-index query against this engine's
-// target set. The transform check lives here too so an unsupported transform
-// fails before any buffer is touched, like an over-budget query.
+// Pre-lease validation of a sparse-path query (candidate index, quantized
+// candidate generation, or both) against this engine's target set. The
+// transform check lives here too so an unsupported transform fails before
+// any buffer is touched, like an over-budget query.
 Status ValidateSparseQuery(const MatchOptions& options, size_t num_targets) {
   if (options.num_candidates == 0) {
     return Status::InvalidArgument(
-        "candidate_index is set but num_candidates == 0; choose how many "
-        "candidates to keep per source row");
+        "a sparse query (candidate_index or score_precision) needs "
+        "num_candidates >= 1; choose how many candidates to keep per source "
+        "row");
   }
-  if (options.index_nprobe == 0) {
-    return Status::InvalidArgument("index_nprobe must be >= 1");
+  if (UsesCandidateIndex(options)) {
+    if (options.index_nprobe == 0) {
+      return Status::InvalidArgument("index_nprobe must be >= 1");
+    }
+    if (options.candidate_index->num_targets() != num_targets) {
+      return Status::InvalidArgument(
+          "candidate index was built over a different target set than this "
+          "engine's");
+    }
   }
-  if (options.candidate_index->num_targets() != num_targets) {
+  if (UsesQuantizedCandidates(options) &&
+      options.metric == SimilarityMetric::kNegManhattan) {
     return Status::InvalidArgument(
-        "candidate index was built over a different target set than this "
-        "engine's");
+        "manhattan has no quantized surrogate; use score_precision = float32 "
+        "with this metric");
   }
   if (!TransformSupportsSparse(options.transform)) {
     return Status::InvalidArgument(
         "Sinkhorn needs the full coupling matrix; it has no sparse variant — "
-        "drop the candidate index for this transform");
+        "drop the candidate index / quantized precision for this transform");
   }
   return Status::OK();
 }
@@ -107,10 +118,25 @@ const SimilarityCache& MatchEngine::EnsureCache(SimilarityMetric metric) {
   return *slot;
 }
 
+Result<const std::pair<QuantizedMatrix, QuantizedMatrix>*>
+MatchEngine::EnsureQuantized(ScorePrecision precision) {
+  const size_t slot_index = precision == ScorePrecision::kBf16 ? 0 : 1;
+  std::optional<std::pair<QuantizedMatrix, QuantizedMatrix>>& slot =
+      quantized_[slot_index];
+  if (!slot.has_value()) {
+    EM_ASSIGN_OR_RETURN(QuantizedMatrix qsource,
+                        QuantizedMatrix::Create(source_, precision));
+    EM_ASSIGN_OR_RETURN(QuantizedMatrix qtarget,
+                        QuantizedMatrix::Create(target_, precision));
+    slot.emplace(std::move(qsource), std::move(qtarget));
+  }
+  return &*slot;
+}
+
 size_t MatchEngine::DeclaredWorkspaceBytes(const MatchOptions& options) const {
   const size_t n = source_.rows();
   const size_t m = target_.rows();
-  if (UsesCandidateIndex(options)) {
+  if (UsesSparsePath(options)) {
     // O(n·c) entries instead of the O(n·m) matrix. Sparse matchers lease no
     // arena tables; greedy-1-to-1's nnz-sized order buffer is heap-allocated
     // and tracker-charged, matching the dense convention.
@@ -164,7 +190,7 @@ Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
     const MatchOptions& options) {
   const size_t n = source_.rows();
   const size_t m = target_.rows();
-  if (UsesCandidateIndex(options)) {
+  if (UsesSparsePath(options)) {
     EM_RETURN_NOT_OK(ValidateSparseQuery(options, m));
     const size_t nnz_cap = SparseNnzCap(options, n, m);
     EM_RETURN_NOT_OK(workspace_->CheckBudget(
@@ -181,9 +207,18 @@ Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
     // logical stage.
     EM_INJECT_FAULT("engine.scores", StatusCode::kInternal);
     const SimilarityCache& cache = EnsureCache(options.metric);
-    EM_RETURN_NOT_OK(options.candidate_index->FillSparseScores(
-        source_, target_, options.metric, cache, options.num_candidates,
-        options.index_nprobe, &sparse));
+    if (UsesQuantizedCandidates(options)) {
+      EM_ASSIGN_OR_RETURN(const auto* quantized,
+                          EnsureQuantized(options.score_precision));
+      EM_RETURN_NOT_OK(FillQuantizedSparseScores(
+          source_, target_, quantized->first, quantized->second,
+          options.metric, cache, options.num_candidates,
+          options.candidate_index, options.index_nprobe, &sparse));
+    } else {
+      EM_RETURN_NOT_OK(options.candidate_index->FillSparseScores(
+          source_, target_, options.metric, cache, options.num_candidates,
+          options.index_nprobe, &sparse));
+    }
     EM_RETURN_NOT_OK(CheckStageDeadline("transform"));
     EM_RETURN_NOT_OK(ApplySparseScoreTransformInPlace(&sparse, options,
                                                       workspace_.get()));
@@ -217,10 +252,10 @@ Result<Assignment> MatchEngine::ScoredBatch::Match(const MatchOptions& options) 
 }
 
 Result<Matrix> MatchEngine::TransformedScores(const MatchOptions& options) {
-  if (UsesCandidateIndex(options)) {
+  if (UsesSparsePath(options)) {
     return Status::InvalidArgument(
         "TransformedScores returns a dense matrix; use BeginBatch and "
-        "sparse_scores() for candidate-index queries");
+        "sparse_scores() for sparse (candidate-index or quantized) queries");
   }
   EM_ASSIGN_OR_RETURN(ScoredBatch batch, BeginBatch(options));
   return Matrix(batch.scores());  // deep owned copy; the lease is recycled

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "common/status.h"
 #include "la/matrix.h"
@@ -86,7 +87,8 @@ class MatchEngine {
     const Matrix& scores() const { return scores_->get(); }
 
     /// True when the batch was scored over candidate lists (the query
-    /// options carried a candidate_index).
+    /// options carried a candidate_index and/or a quantized
+    /// score_precision).
     bool is_sparse() const { return sparse_.has_value(); }
 
     /// The shared transformed candidate scores (sparse batches only).
@@ -170,6 +172,13 @@ class MatchEngine {
   /// Builds (once) and returns the similarity cache for `metric`.
   const SimilarityCache& EnsureCache(SimilarityMetric metric);
 
+  /// Builds (once) and returns the (source, target) quantizations for
+  /// `precision` (kBf16 or kInt8; kFloat32 is a caller bug). Quantization is
+  /// a per-session cost like the similarity caches — heap-owned and
+  /// tracker-charged, not arena workspace.
+  Result<const std::pair<QuantizedMatrix, QuantizedMatrix>*> EnsureQuantized(
+      ScorePrecision precision);
+
   /// Similarity + transform into `scores` (an arena lease of the right
   /// shape).
   Status ComputeScoresInto(Matrix* scores, const MatchOptions& options);
@@ -183,6 +192,10 @@ class MatchEngine {
   std::unique_ptr<Workspace> workspace_;
   // One memoized cache slot per SimilarityMetric value.
   std::array<std::optional<SimilarityCache>, 3> caches_;
+  // One memoized (source, target) quantization per non-float ScorePrecision
+  // (index: bf16 = 0, int8 = 1).
+  std::array<std::optional<std::pair<QuantizedMatrix, QuantizedMatrix>>, 2>
+      quantized_;
   std::optional<std::chrono::steady_clock::time_point> stage_deadline_;
 };
 

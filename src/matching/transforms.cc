@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "la/kernels/dispatch.h"
 #include "la/ranking.h"
 #include "la/topk.h"
 
@@ -46,11 +47,12 @@ Status CslsTransformInPlace(Matrix* scores, size_t k) {
   // which is what keeps it memory-feasible at DWY100K scale in the paper's
   // Table 6 while RInf is not.
   const std::vector<float> phi_t = ColTopKMean(*scores, k);
+  const size_t m = scores->cols();  // hoisted out of the inner loop
   ParallelFor(0, scores->rows(), 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       float* row = scores->Row(i).data();
       const float pi = phi_s[i];
-      for (size_t j = 0; j < scores->cols(); ++j) {
+      for (size_t j = 0; j < m; ++j) {
         row[j] = 2.0f * row[j] - pi - phi_t[j];
       }
     }
@@ -120,11 +122,12 @@ Status RinfWrTransformInPlace(Matrix* scores) {
   const std::vector<float> col_max = ColMax(*scores);
   // (P_st + P_ts^T) / 2 = S - (row_max[u] + col_max[v]) / 2 + 1, computed
   // in place — this is what makes the -wr variant cheap.
+  const size_t m = scores->cols();  // hoisted out of the inner loop
   ParallelFor(0, scores->rows(), 16, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       float* row = scores->Row(i).data();
       const float half_row_max = 0.5f * row_max[i];
-      for (size_t j = 0; j < scores->cols(); ++j) {
+      for (size_t j = 0; j < m; ++j) {
         row[j] = row[j] - half_row_max - 0.5f * col_max[j] + 1.0f;
       }
     }
@@ -241,17 +244,16 @@ Status SinkhornTransformInPlace(Matrix* scores, size_t iterations,
   EM_ASSIGN_OR_RETURN(ScratchMatrix buffer_lease,
                       ScratchMatrix::Acquire(workspace, n, m));
   Matrix& buffer = buffer_lease.get();
+  const KernelOps& ops = ActiveKernels();
   std::vector<double> col_sums(m);
   for (size_t it = 0; it < iterations; ++it) {
     // Row normalization: scores -> buffer.
     ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        auto src = scores->Row(i);
-        auto dst = buffer.Row(i);
-        double sum = 0.0;
-        for (float v : src) sum += v;
+        const float* src = scores->Row(i).data();
+        const double sum = ops.sum(src, m);
         const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
-        for (size_t j = 0; j < m; ++j) dst[j] = src[j] * inv;
+        ops.scale_copy(src, buffer.Row(i).data(), m, inv);
       }
     });
     // Column normalization: buffer -> scores. Column sums are partitioned by
@@ -261,7 +263,8 @@ Status SinkhornTransformInPlace(Matrix* scores, size_t iterations,
       std::fill(col_sums.begin() + col_begin, col_sums.begin() + col_end, 0.0);
       for (size_t i = 0; i < n; ++i) {
         const float* row = buffer.Row(i).data();
-        for (size_t j = col_begin; j < col_end; ++j) col_sums[j] += row[j];
+        ops.accumulate_cols(col_sums.data() + col_begin, row + col_begin,
+                            col_end - col_begin);
       }
       for (size_t j = col_begin; j < col_end; ++j) {
         col_sums[j] = col_sums[j] > 0.0 ? 1.0 / col_sums[j] : 0.0;
@@ -269,11 +272,8 @@ Status SinkhornTransformInPlace(Matrix* scores, size_t iterations,
     });
     ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        const float* src = buffer.Row(i).data();
-        float* dst = scores->Row(i).data();
-        for (size_t j = 0; j < m; ++j) {
-          dst[j] = static_cast<float>(src[j] * col_sums[j]);
-        }
+        ops.mul_cols(scores->Row(i).data(), buffer.Row(i).data(),
+                     col_sums.data(), m);
       }
     });
   }

@@ -73,6 +73,11 @@ ScoreSignature ScoreSignature::Of(const MatchOptions& options) {
     sig.num_candidates = options.num_candidates;
     sig.index_nprobe = options.index_nprobe;
   }
+  if (UsesQuantizedCandidates(options)) {
+    sig.score_precision = options.score_precision;
+    // The candidate width shapes coverage even without an index.
+    sig.num_candidates = options.num_candidates;
+  }
   return sig;
 }
 

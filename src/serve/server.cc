@@ -5,6 +5,7 @@
 
 #include "common/fault.h"
 #include "index/candidate_index.h"
+#include "la/kernels/dispatch.h"
 #include "la/topk.h"
 #include "matching/sparse_matchers.h"
 #include "matching/sparse_transforms.h"
@@ -123,25 +124,32 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
         "MatchServer: the RL matcher needs KG context and cannot be served");
   } else if (request.kind == ServeQueryKind::kTopK && request.topk == 0) {
     verdict = Status::InvalidArgument("MatchServer: topk must be >= 1");
-  } else if (UsesCandidateIndex(request.options) &&
+  } else if (UsesSparsePath(request.options) &&
              request.kind == ServeQueryKind::kTopK) {
     verdict = Status::InvalidArgument(
         "MatchServer: top-k serving needs the dense score path; drop the "
-        "candidate index for top-k queries");
-  } else if (UsesCandidateIndex(request.options) &&
+        "candidate index / quantized precision for top-k queries");
+  } else if (UsesSparsePath(request.options) &&
              request.options.num_candidates == 0) {
     verdict = Status::InvalidArgument(
-        "MatchServer: candidate_index is set but num_candidates == 0");
-  } else if (UsesCandidateIndex(request.options) &&
+        "MatchServer: a sparse query (candidate_index or score_precision) "
+        "needs num_candidates >= 1");
+  } else if (UsesQuantizedCandidates(request.options) &&
+             request.options.metric == SimilarityMetric::kNegManhattan) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: manhattan has no quantized surrogate; use "
+        "score_precision = float32 with this metric");
+  } else if (UsesSparsePath(request.options) &&
              !TransformSupportsSparse(request.options.transform)) {
     verdict = Status::InvalidArgument(
         "MatchServer: the requested transform has no sparse variant; drop "
-        "the candidate index for this query");
-  } else if (UsesCandidateIndex(request.options) &&
+        "the candidate index / quantized precision for this query");
+  } else if (UsesSparsePath(request.options) &&
              !MatcherSupportsSparse(request.options.matcher)) {
     verdict = Status::InvalidArgument(
         "MatchServer: the requested matcher cannot decide over candidate "
-        "lists; drop the candidate index for this query");
+        "lists; drop the candidate index / quantized precision for this "
+        "query");
   } else if (UsesCandidateIndex(request.options) &&
              request.options.candidate_index->num_targets() !=
                  engine->target().rows()) {
@@ -170,7 +178,7 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
   const bool degradable =
       verdict.ok() && config_.degrade_watermark > 0 &&
       degrade_index != nullptr && request.kind == ServeQueryKind::kMatch &&
-      !UsesCandidateIndex(request.options) &&
+      !UsesSparsePath(request.options) &&
       TransformSupportsSparse(request.options.transform) &&
       MatcherSupportsSparse(request.options.matcher);
 
@@ -281,6 +289,7 @@ std::string MatchServer::HealthJson() const {
   json += ", \"shed_rate\": " + std::to_string(shed_rate);
   json += ", \"fault_plan\": \"" + FaultInjector::Global().Fingerprint() +
           "\"";
+  json += ", \"kernels\": " + KernelStatusJson();
   json += "}";
   return json;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "la/kernels/dispatch.h"
+
 namespace entmatcher {
 
 namespace {
@@ -125,7 +127,8 @@ std::string ServerStatsSnapshot::ToJson() const {
       << ", \"latency_p50_micros\": " << latency_p50_micros
       << ", \"latency_p99_micros\": " << latency_p99_micros
       << ", \"latency_max_micros\": " << latency_max_micros
-      << ", \"latency_mean_micros\": " << latency_mean_micros << "}";
+      << ", \"latency_mean_micros\": " << latency_mean_micros
+      << ", \"kernels\": " << KernelStatusJson() << "}";
   return out.str();
 }
 

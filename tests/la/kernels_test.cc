@@ -1,0 +1,580 @@
+#include "la/kernels/dispatch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "index/quantized_candidates.h"
+#include "la/kernels/quantized.h"
+#include "la/matrix.h"
+#include "la/similarity.h"
+#include "la/topk.h"
+#include "matching/engine.h"
+#include "matching/pipeline.h"
+
+namespace entmatcher {
+namespace {
+
+// The kernel-tier contract (DESIGN.md "Kernel tiers & mixed precision"):
+//  - the scalar tier is the bit-exactness oracle (the pre-SIMD loops kept
+//    verbatim);
+//  - elementwise ops, argmax/max, the mask filters, RowTopKIndices,
+//    ColTopKMean, and dot_i8 are bit-identical to scalar at EVERY tier;
+//  - reassociating reductions (dot, squared_norm, sum, manhattan, dot_bf16,
+//    RowTopKMean) agree within 1e-5 per value;
+//  - each tier's matmul_tile cell replays that tier's `dot` exactly, which is
+//    what makes the sparse rerank bit-identical to dense cells at any tier.
+//
+// Adversarial lengths straddle every vector width in play: 8 (AVX2), 16
+// (AVX-512), 64 (mask chunks), each +/- the remainders 1..width-1.
+const size_t kLengths[] = {1,  2,  3,  5,  7,  8,  9,  15, 16, 17,
+                           23, 31, 32, 33, 48, 63, 64, 65, 67, 130};
+
+std::vector<KernelTier> AvailableVectorTiers() {
+  std::vector<KernelTier> tiers;
+  for (KernelTier tier :
+       {KernelTier::kAvx2, KernelTier::kAvx512, KernelTier::kNeon}) {
+    if (KernelTierAvailable(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+// Well-separated pair: target rows are cluster centers, source rows are the
+// same centers lightly perturbed — assignments are insensitive to <=1e-5
+// score wiggle, so every tier must produce identical decisions.
+void ClusteredPair(size_t n, size_t d, uint64_t seed, Matrix* src,
+                   Matrix* tgt) {
+  *tgt = RandomMatrix(n, d, seed);
+  *src = Matrix(n, d);
+  Rng rng(seed + 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      src->At(r, c) =
+          tgt->At(r, c) + 0.01f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data(), b.data(), a.ByteSize()) == 0;
+}
+
+// Restores the entry tier and thread count around every test, so a failing
+// assertion cannot leak a forced tier into the rest of the binary.
+class KernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_threads_ = GetNumThreads();
+    previous_tier_ = ActiveKernelTier();
+  }
+  void TearDown() override {
+    SetNumThreads(previous_threads_);
+    ASSERT_TRUE(SetKernelTier(previous_tier_).ok());
+  }
+
+ private:
+  size_t previous_threads_;
+  KernelTier previous_tier_;
+};
+
+TEST_F(KernelsTest, DispatchSurface) {
+  EXPECT_TRUE(KernelTierAvailable(KernelTier::kScalar));
+  EXPECT_EQ(ActiveKernels().tier, ActiveKernelTier());
+  EXPECT_STREQ(KernelTierName(KernelTier::kScalar), "scalar");
+  ASSERT_TRUE(ParseKernelTier("avx512").ok());
+  EXPECT_EQ(*ParseKernelTier("avx512"), KernelTier::kAvx512);
+  EXPECT_FALSE(ParseKernelTier("auto").ok());  // resolved by callers
+  EXPECT_FALSE(ParseKernelTier("sse9").ok());
+  // The best tier is always available (it is how auto resolves).
+  EXPECT_TRUE(KernelTierAvailable(BestAvailableKernelTier()));
+  ASSERT_TRUE(SetKernelTier(KernelTier::kScalar).ok());
+  EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
+  const std::string json = KernelStatusJson();
+  EXPECT_NE(json.find("\"tier\":\"scalar\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"available\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cpu\""), std::string::npos) << json;
+}
+
+TEST_F(KernelsTest, ElementwiseOpsBitIdenticalToScalar) {
+  const KernelOps& scalar = *GetScalarKernels();
+  for (KernelTier tier : AvailableVectorTiers()) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    const KernelOps& ops = ActiveKernels();
+    for (size_t d : kLengths) {
+      SCOPED_TRACE(std::string(ops.name) + " d=" + std::to_string(d));
+      const std::vector<float> a = RandomVec(d, 100 + d);
+      const std::vector<float> b = RandomVec(d, 200 + d);
+
+      std::vector<float> va = a, vb = a;
+      scalar.scale(va.data(), d, 1.7f);
+      ops.scale(vb.data(), d, 1.7f);
+      EXPECT_EQ(0, std::memcmp(va.data(), vb.data(), d * sizeof(float)));
+
+      std::vector<float> ca(d), cb(d);
+      scalar.scale_copy(a.data(), ca.data(), d, -0.3f);
+      ops.scale_copy(a.data(), cb.data(), d, -0.3f);
+      EXPECT_EQ(0, std::memcmp(ca.data(), cb.data(), d * sizeof(float)));
+
+      va = a;
+      vb = a;
+      scalar.cosine_scale_row(va.data(), b.data(), d, 0.77f);
+      ops.cosine_scale_row(vb.data(), b.data(), d, 0.77f);
+      EXPECT_EQ(0, std::memcmp(va.data(), vb.data(), d * sizeof(float)));
+
+      va = a;
+      vb = a;
+      scalar.accumulate_max(va.data(), b.data(), d);
+      ops.accumulate_max(vb.data(), b.data(), d);
+      EXPECT_EQ(0, std::memcmp(va.data(), vb.data(), d * sizeof(float)));
+
+      std::vector<double> da(d, 0.25), db(d, 0.25);
+      scalar.accumulate_cols(da.data(), a.data(), d);
+      ops.accumulate_cols(db.data(), a.data(), d);
+      EXPECT_EQ(0, std::memcmp(da.data(), db.data(), d * sizeof(double)));
+
+      const std::vector<double> inv(da.begin(), da.end());
+      scalar.mul_cols(ca.data(), a.data(), inv.data(), d);
+      ops.mul_cols(cb.data(), a.data(), inv.data(), d);
+      EXPECT_EQ(0, std::memcmp(ca.data(), cb.data(), d * sizeof(float)));
+
+      EXPECT_EQ(scalar.max(a.data(), d), ops.max(a.data(), d));
+      EXPECT_EQ(scalar.argmax(a.data(), d), ops.argmax(a.data(), d));
+      if (d <= 64) {
+        EXPECT_EQ(scalar.mask_gt(a.data(), b.data(), d),
+                  ops.mask_gt(a.data(), b.data(), d));
+        EXPECT_EQ(scalar.mask_gt_scalar(a.data(), 0.1f, d),
+                  ops.mask_gt_scalar(a.data(), 0.1f, d));
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, NanRejectionMatchesScalarStrictCompares) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const KernelOps& scalar = *GetScalarKernels();
+  for (KernelTier tier : AvailableVectorTiers()) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    const KernelOps& ops = ActiveKernels();
+    for (size_t d : {size_t(3), size_t(17), size_t(64), size_t(65)}) {
+      for (size_t where : {size_t(0), d / 2, d - 1}) {
+        SCOPED_TRACE(std::string(ops.name) + " d=" + std::to_string(d) +
+                     " nan@" + std::to_string(where));
+        std::vector<float> v = RandomVec(d, 300 + d);
+        v[where] = nan;
+        // Scalar strict `>` never selects a NaN (and an all-NaN prefix keeps
+        // the first element, NaN or not); every tier must agree bitwise.
+        const float smax = scalar.max(v.data(), d);
+        const float vmax = ops.max(v.data(), d);
+        EXPECT_TRUE((std::isnan(smax) && std::isnan(vmax)) || smax == vmax);
+        EXPECT_EQ(scalar.argmax(v.data(), d), ops.argmax(v.data(), d));
+
+        std::vector<float> acc_s = RandomVec(d, 400 + d), acc_v = acc_s;
+        scalar.accumulate_max(acc_s.data(), v.data(), d);
+        ops.accumulate_max(acc_v.data(), v.data(), d);
+        EXPECT_EQ(0,
+                  std::memcmp(acc_s.data(), acc_v.data(), d * sizeof(float)));
+        if (d <= 64) {
+          std::vector<float> thr = RandomVec(d, 500 + d);
+          EXPECT_EQ(scalar.mask_gt(v.data(), thr.data(), d),
+                    ops.mask_gt(v.data(), thr.data(), d));
+          EXPECT_EQ(scalar.mask_gt_scalar(v.data(), 0.0f, d),
+                    ops.mask_gt_scalar(v.data(), 0.0f, d));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, ReductionsWithinToleranceOfScalar) {
+  const KernelOps& scalar = *GetScalarKernels();
+  for (KernelTier tier : AvailableVectorTiers()) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    const KernelOps& ops = ActiveKernels();
+    for (size_t d : kLengths) {
+      SCOPED_TRACE(std::string(ops.name) + " d=" + std::to_string(d));
+      const std::vector<float> a = RandomVec(d, 600 + d);
+      const std::vector<float> b = RandomVec(d, 700 + d);
+      // Reassociated accumulation: tolerance is relative to the magnitude
+      // (an absolute 1e-5 is unreachable for sums of ~d unit-scale terms).
+      const auto near = [](float want, float got) {
+        EXPECT_NEAR(want, got, 1e-5 * std::max(1.0, std::abs(double{want})));
+      };
+      near(scalar.dot(a.data(), b.data(), d), ops.dot(a.data(), b.data(), d));
+      near(scalar.squared_norm(a.data(), d), ops.squared_norm(a.data(), d));
+      near(scalar.sum(a.data(), d), ops.sum(a.data(), d));
+      near(scalar.manhattan(a.data(), b.data(), d),
+           ops.manhattan(a.data(), b.data(), d));
+    }
+  }
+}
+
+TEST_F(KernelsTest, MatmulTileCellsReplayDotExactlyPerTier) {
+  for (KernelTier tier : AvailableVectorTiers()) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    const KernelOps& ops = ActiveKernels();
+    for (size_t d : {size_t(1), size_t(7), size_t(16), size_t(33),
+                     size_t(65)}) {
+      SCOPED_TRACE(std::string(ops.name) + " d=" + std::to_string(d));
+      const Matrix a = RandomMatrix(5, d, 800 + d);
+      const Matrix b = RandomMatrix(7, d, 900 + d);
+      Matrix c(5, 7);
+      ops.matmul_tile(a.data(), a.cols(), a.rows(), b.data(), b.cols(),
+                      b.rows(), d, c.data(), c.cols());
+      for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t j = 0; j < b.rows(); ++j) {
+          EXPECT_EQ(c.At(i, j), ops.dot(a.Row(i).data(), b.Row(j).data(), d))
+              << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, TopKOpsAgreeWithScalarTier) {
+  // Duplicate values in the data exercise the tie rules (lowest index wins).
+  Matrix scores = RandomMatrix(19, 67, 41);
+  for (size_t r = 0; r < scores.rows(); r += 3) {
+    for (size_t c = 1; c < scores.cols(); c += 5) {
+      scores.At(r, c) = scores.At(r, c - 1);
+    }
+  }
+  ASSERT_TRUE(SetKernelTier(KernelTier::kScalar).ok());
+  std::vector<std::vector<uint32_t>> want_idx;
+  std::vector<std::vector<float>> want_colmean, want_rowmean;
+  std::vector<uint32_t> want_argmax = RowArgmax(scores);
+  std::vector<float> want_rowmax = RowMax(scores);
+  std::vector<float> want_colmax = ColMax(scores);
+  for (size_t k : {size_t(1), size_t(2), size_t(7), size_t(64), size_t(67),
+                   size_t(100)}) {
+    want_idx.push_back(RowTopKIndices(scores, k));
+    want_colmean.push_back(ColTopKMean(scores, k));
+    want_rowmean.push_back(RowTopKMean(scores, k));
+  }
+  for (KernelTier tier : AvailableVectorTiers()) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    SCOPED_TRACE(KernelTierName(tier));
+    EXPECT_EQ(RowArgmax(scores), want_argmax);
+    EXPECT_EQ(RowMax(scores), want_rowmax);
+    EXPECT_EQ(ColMax(scores), want_colmax);
+    size_t ki = 0;
+    for (size_t k : {size_t(1), size_t(2), size_t(7), size_t(64), size_t(67),
+                     size_t(100)}) {
+      SCOPED_TRACE("k=" + std::to_string(k));
+      // Selection order is preserved exactly: indices and the column means
+      // are bit-identical, only the row-mean summation order may differ.
+      EXPECT_EQ(RowTopKIndices(scores, k), want_idx[ki]);
+      EXPECT_EQ(ColTopKMean(scores, k), want_colmean[ki]);
+      const std::vector<float> got = RowTopKMean(scores, k);
+      ASSERT_EQ(got.size(), want_rowmean[ki].size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], want_rowmean[ki][i], 1e-5) << "row " << i;
+      }
+      ++ki;
+    }
+  }
+}
+
+TEST_F(KernelsTest, SimilarityWithinTolerancePairExactPerTier) {
+  const Matrix src = RandomMatrix(13, 33, 51);
+  const Matrix tgt = RandomMatrix(17, 33, 52);
+  for (SimilarityMetric metric :
+       {SimilarityMetric::kCosine, SimilarityMetric::kNegEuclidean,
+        SimilarityMetric::kNegManhattan}) {
+    ASSERT_TRUE(SetKernelTier(KernelTier::kScalar).ok());
+    Result<Matrix> want = ComputeSimilarity(src, tgt, metric);
+    ASSERT_TRUE(want.ok());
+    for (KernelTier tier : AvailableVectorTiers()) {
+      ASSERT_TRUE(SetKernelTier(tier).ok());
+      SCOPED_TRACE(std::string(KernelTierName(tier)) + " " +
+                   SimilarityMetricName(metric));
+      Result<Matrix> got = ComputeSimilarity(src, tgt, metric);
+      ASSERT_TRUE(got.ok());
+      const SimilarityCache cache = BuildSimilarityCache(src, tgt, metric);
+      for (size_t i = 0; i < want->rows(); ++i) {
+        for (size_t j = 0; j < want->cols(); ++j) {
+          // Relative bound: manhattan cells sum d ~unit-scale terms, so an
+          // absolute 1e-5 is below the reassociation noise floor.
+          EXPECT_NEAR(want->At(i, j), got->At(i, j),
+                      1e-5 * std::max(1.0, std::abs(double{want->At(i, j)})))
+              << i << "," << j;
+        }
+      }
+      // The sparse-rerank identity: PairSimilarity must reproduce THIS
+      // tier's dense cells bit-for-bit (cosine/euclidean ride on `dot`
+      // replayed by matmul_tile; manhattan is the same kernel both ways).
+      for (size_t i = 0; i < src.rows(); i += 5) {
+        for (size_t j = 0; j < tgt.rows(); j += 3) {
+          EXPECT_EQ(got->At(i, j),
+                    PairSimilarity(src, tgt, i, j, metric, cache))
+              << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+// The cosine hoist satellite: the scalar tier must still be bit-identical to
+// the pre-dispatch algorithm (dot products scaled by si * inv_tgt[j] row by
+// row), re-derived here from first principles.
+TEST_F(KernelsTest, ScalarCosineBitIdenticalToLegacyFormulation) {
+  ASSERT_TRUE(SetKernelTier(KernelTier::kScalar).ok());
+  const Matrix src = RandomMatrix(9, 19, 61);
+  const Matrix tgt = RandomMatrix(11, 19, 62);
+  Result<Matrix> got =
+      ComputeSimilarity(src, tgt, SimilarityMetric::kCosine);
+  ASSERT_TRUE(got.ok());
+  const SimilarityCache cache =
+      BuildSimilarityCache(src, tgt, SimilarityMetric::kCosine);
+  Result<Matrix> reference = MatMulTransposed(src, tgt);
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < reference->rows(); ++i) {
+    const float si = cache.inv_source_norms[i];
+    float* row = reference->Row(i).data();
+    for (size_t j = 0; j < reference->cols(); ++j) {
+      row[j] *= si * cache.inv_target_norms[j];
+    }
+  }
+  EXPECT_TRUE(BitIdentical(*reference, *got));
+}
+
+TEST_F(KernelsTest, PresetAssignmentsIdenticalAcrossTiersAndThreads) {
+  Matrix src, tgt;
+  ClusteredPair(48, 24, 71, &src, &tgt);
+  std::vector<MatchOptions> presets;
+  for (AlgorithmPreset p :
+       {AlgorithmPreset::kDInf, AlgorithmPreset::kCsls, AlgorithmPreset::kRinf,
+        AlgorithmPreset::kRinfWr, AlgorithmPreset::kRinfPb,
+        AlgorithmPreset::kSinkhorn, AlgorithmPreset::kHungarian,
+        AlgorithmPreset::kStableMatch}) {
+    presets.push_back(MakePreset(p));
+  }
+  ASSERT_TRUE(SetKernelTier(KernelTier::kScalar).ok());
+  std::vector<Assignment> want;
+  std::vector<Matrix> want_scores;
+  for (const MatchOptions& options : presets) {
+    Result<Matrix> scores = ComputeScores(src, tgt, options);
+    ASSERT_TRUE(scores.ok());
+    want_scores.push_back(std::move(scores).value());
+    Result<Assignment> assignment = MatchEmbeddings(src, tgt, options);
+    ASSERT_TRUE(assignment.ok());
+    want.push_back(std::move(assignment).value());
+  }
+  for (KernelTier tier : AvailableVectorTiers()) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    for (size_t threads : {size_t(1), size_t(7)}) {
+      SetNumThreads(threads);
+      for (size_t p = 0; p < presets.size(); ++p) {
+        SCOPED_TRACE(std::string(KernelTierName(tier)) + " preset " +
+                     std::to_string(p) + " threads " +
+                     std::to_string(threads));
+        Result<Matrix> scores = ComputeScores(src, tgt, presets[p]);
+        ASSERT_TRUE(scores.ok());
+        for (size_t i = 0; i < scores->rows(); ++i) {
+          for (size_t j = 0; j < scores->cols(); ++j) {
+            ASSERT_NEAR(want_scores[p].At(i, j), scores->At(i, j), 1e-5)
+                << i << "," << j;
+          }
+        }
+        Result<Assignment> assignment = MatchEmbeddings(src, tgt, presets[p]);
+        ASSERT_TRUE(assignment.ok());
+        EXPECT_EQ(assignment->target_of_source, want[p].target_of_source);
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, QuantizedDotTracksFloatDot) {
+  for (size_t d : {size_t(8), size_t(33), size_t(130)}) {
+    const Matrix a = RandomMatrix(4, d, 81 + d);
+    const Matrix b = RandomMatrix(4, d, 82 + d);
+    for (ScorePrecision precision :
+         {ScorePrecision::kBf16, ScorePrecision::kInt8}) {
+      Result<QuantizedMatrix> qa = QuantizedMatrix::Create(a, precision);
+      Result<QuantizedMatrix> qb = QuantizedMatrix::Create(b, precision);
+      ASSERT_TRUE(qa.ok() && qb.ok());
+      for (size_t i = 0; i < a.rows(); ++i) {
+        const float exact =
+            ActiveKernels().dot(a.Row(i).data(), b.Row(i).data(), d);
+        const float approx = QuantizedDot(*qa, i, *qb, i);
+        // Relative error bounds: bf16 keeps 8 mantissa bits per operand;
+        // int8 has ~1/254 quantization noise per element, sqrt(d)-scaled
+        // after cancellation. Loose engineering bounds, not tight analysis.
+        const double scale =
+            std::sqrt(ActiveKernels().squared_norm(a.Row(i).data(), d) *
+                      ActiveKernels().squared_norm(b.Row(i).data(), d));
+        const double tolerance =
+            (precision == ScorePrecision::kBf16 ? 0.02 : 0.06) * scale;
+        EXPECT_NEAR(exact, approx, tolerance)
+            << ScorePrecisionName(precision) << " d=" << d << " row " << i;
+      }
+    }
+  }
+  EXPECT_FALSE(QuantizedMatrix::Create(RandomMatrix(2, 2, 1),
+                                       ScorePrecision::kFloat32)
+                   .ok());
+  EXPECT_FALSE(QuantizedMatrix::Create(Matrix(), ScorePrecision::kBf16).ok());
+}
+
+// Int8 dots are integer arithmetic — bit-identical across every tier.
+TEST_F(KernelsTest, Int8DotBitIdenticalAcrossTiers) {
+  const Matrix a = RandomMatrix(3, 67, 91);
+  Result<QuantizedMatrix> qa = QuantizedMatrix::Create(a, ScorePrecision::kInt8);
+  Result<QuantizedMatrix> qb = QuantizedMatrix::Create(a, ScorePrecision::kBf16);
+  ASSERT_TRUE(qa.ok() && qb.ok());
+  const KernelOps& scalar = *GetScalarKernels();
+  for (KernelTier tier : AvailableVectorTiers()) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    const KernelOps& ops = ActiveKernels();
+    for (size_t d : kLengths) {
+      if (d > a.cols()) continue;
+      // Integer accumulation has one exact answer: bit-identical across
+      // tiers, not merely close.
+      EXPECT_EQ(scalar.dot_i8(qa->I8Row(0), qa->I8Row(1), d),
+                ops.dot_i8(qa->I8Row(0), qa->I8Row(1), d))
+          << ops.name << " d=" << d;
+      const float want = scalar.dot_bf16(qb->Bf16Row(0), qb->Bf16Row(1), d);
+      EXPECT_NEAR(want, ops.dot_bf16(qb->Bf16Row(0), qb->Bf16Row(1), d),
+                  1e-5 * std::max(1.0, std::abs(double{want})))
+          << ops.name << " d=" << d;
+    }
+  }
+}
+
+TEST_F(KernelsTest, QuantizedCandidatesExactRerankAndRecall) {
+  Matrix src, tgt;
+  ClusteredPair(64, 32, 97, &src, &tgt);
+  const size_t c = 8;
+  std::vector<KernelTier> tiers = AvailableVectorTiers();
+  tiers.insert(tiers.begin(), KernelTier::kScalar);
+  for (KernelTier tier : tiers) {
+    ASSERT_TRUE(SetKernelTier(tier).ok());
+    for (SimilarityMetric metric :
+         {SimilarityMetric::kCosine, SimilarityMetric::kNegEuclidean}) {
+    // Reference scores and the exact top-c are computed at the SAME tier as
+    // the quantized fill: the rerank identity is a per-tier contract.
+    const SimilarityCache cache = BuildSimilarityCache(src, tgt, metric);
+    Result<Matrix> dense = ComputeSimilarity(src, tgt, metric);
+    ASSERT_TRUE(dense.ok());
+    const std::vector<uint32_t> exact_topc = RowTopKIndices(*dense, c);
+    for (ScorePrecision precision :
+         {ScorePrecision::kBf16, ScorePrecision::kInt8}) {
+      SCOPED_TRACE(std::string(KernelTierName(tier)) + " " +
+                   SimilarityMetricName(metric) + " " +
+                   ScorePrecisionName(precision));
+      Result<QuantizedMatrix> qs = QuantizedMatrix::Create(src, precision);
+      Result<QuantizedMatrix> qt = QuantizedMatrix::Create(tgt, precision);
+      ASSERT_TRUE(qs.ok() && qt.ok());
+      SparseScores sparse =
+          SparseScores::CreateOwned(src.rows(), tgt.rows(), src.rows() * c);
+      ASSERT_TRUE(FillQuantizedSparseScores(src, tgt, *qs, *qt, metric, cache,
+                                            c, nullptr, 0, &sparse)
+                      .ok());
+      ASSERT_TRUE(sparse.Validate().ok());
+      size_t hits = 0;
+      for (size_t i = 0; i < src.rows(); ++i) {
+        ASSERT_EQ(sparse.RowCols(i).size(), c);
+        for (size_t e = 0; e < sparse.RowCols(i).size(); ++e) {
+          const uint32_t j = sparse.RowCols(i)[e];
+          // Exact-rerank contract: every emitted entry is the dense cell.
+          EXPECT_EQ(sparse.RowValues(i)[e], dense->At(i, j))
+              << "row " << i << " col " << j;
+          for (size_t k = 0; k < c; ++k) {
+            if (exact_topc[i * c + k] == j) {
+              ++hits;
+              break;
+            }
+          }
+        }
+      }
+      const double recall = static_cast<double>(hits) /
+                            static_cast<double>(src.rows() * c);
+      EXPECT_GE(recall, 0.98) << "recall@" << c;
+    }
+    }
+  }
+}
+
+TEST_F(KernelsTest, EngineQuantizedPathValidationAndDeterminism) {
+  Matrix src, tgt;
+  ClusteredPair(40, 16, 103, &src, &tgt);
+  MatchOptions options;
+  options.score_precision = ScorePrecision::kBf16;
+
+  // num_candidates is mandatory on the quantized path.
+  Result<MatchEngine> engine = MatchEngine::Create(src, tgt, MatchOptions());
+  ASSERT_TRUE(engine.ok());
+  Result<Assignment> missing_c = engine->Match(options);
+  ASSERT_FALSE(missing_c.ok());
+  EXPECT_EQ(missing_c.status().code(), StatusCode::kInvalidArgument);
+
+  options.num_candidates = 6;
+  MatchOptions manhattan = options;
+  manhattan.metric = SimilarityMetric::kNegManhattan;
+  Result<Assignment> no_surrogate = engine->Match(manhattan);
+  ASSERT_FALSE(no_surrogate.ok());
+  EXPECT_EQ(no_surrogate.status().code(), StatusCode::kInvalidArgument);
+
+  MatchOptions sinkhorn = options;
+  sinkhorn.transform = ScoreTransformKind::kSinkhorn;
+  Result<Assignment> no_sparse_transform = engine->Match(sinkhorn);
+  ASSERT_FALSE(no_sparse_transform.ok());
+  EXPECT_EQ(no_sparse_transform.status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Signatures: quantized and float queries never share a batch.
+  EXPECT_FALSE(ScoreSignature::Of(options) == ScoreSignature::Of(MatchOptions()));
+  MatchOptions int8 = options;
+  int8.score_precision = ScorePrecision::kInt8;
+  EXPECT_FALSE(ScoreSignature::Of(options) == ScoreSignature::Of(int8));
+
+  // Clustered data: the quantized pre-rank keeps the true match in every
+  // candidate list, so the decisions equal the dense pipeline's, and the
+  // run is deterministic across thread counts.
+  Result<Assignment> dense = MatchEmbeddings(src, tgt, MatchOptions());
+  ASSERT_TRUE(dense.ok());
+  for (ScorePrecision precision :
+       {ScorePrecision::kBf16, ScorePrecision::kInt8}) {
+    options.score_precision = precision;
+    std::vector<int32_t> first;
+    for (size_t threads : {size_t(1), size_t(7)}) {
+      SetNumThreads(threads);
+      Result<Assignment> sparse = engine->Match(options);
+      ASSERT_TRUE(sparse.ok()) << ScorePrecisionName(precision);
+      EXPECT_EQ(sparse->target_of_source, dense->target_of_source)
+          << ScorePrecisionName(precision);
+      if (first.empty()) {
+        first = sparse->target_of_source;
+      } else {
+        EXPECT_EQ(first, sparse->target_of_source)
+            << ScorePrecisionName(precision) << " not thread-deterministic";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace entmatcher
