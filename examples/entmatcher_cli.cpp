@@ -39,28 +39,41 @@
 //   entmatcher_cli eval <dir> <links.tsv>
 //       Score previously saved predicted links against the test split.
 //   entmatcher_cli serve <src.emat> <tgt.emat> [--socket=PATH] [--threads=N]
-//                  [--kernel-tier=TIER]
+//                  [--kernel-tier=TIER] [--serve-workers=N] [--cache-bytes=N]
 //                  [--max-batch=N] [--flush-micros=N] [--queue-capacity=N]
 //                  [--workspace-budget-bytes=N] [--shed-watermark=N]
 //                  [--index=PATH [--degrade-watermark=N]
 //                   [--degrade-candidates=N] [--degrade-nprobe=N]]
-//       Hold the embedding pair in one warm MatchEngine and serve match /
+//       Hold the embedding pair as an immutable snapshot and serve match /
 //       top-k queries over a unix-domain socket (length-prefixed protocol,
 //       src/serve/protocol.h), micro-batching compatible queries into
-//       shared similarity passes. Runs until a client sends `shutdown`.
-//       --shed-watermark sheds new requests (kUnavailable + retry-after
-//       hint) once the queue is that deep; with --index attached,
-//       --degrade-watermark instead rewrites eligible dense matches onto
-//       the sparse candidate path under load. A fault plan in EM_FAULT_PLAN
-//       (seeded by EM_FAULT_SEED) is armed at startup — chaos builds only
-//       (-DENTMATCHER_FAULTS=ON); see src/common/fault.h for the grammar.
+//       shared similarity passes that run on a pool of --serve-workers=N
+//       execution threads (0/default: EM_SERVE_WORKERS, then hardware
+//       concurrency). --cache-bytes=N arms the cross-request result cache
+//       with an N-byte LRU budget (0/default: off). Runs until a client
+//       sends `shutdown`. --shed-watermark sheds new requests
+//       (kUnavailable + retry-after hint) once the queue is that deep;
+//       with --index attached, --degrade-watermark instead rewrites
+//       eligible dense matches onto the sparse candidate path under load.
+//       A fault plan in EM_FAULT_PLAN (seeded by EM_FAULT_SEED) is armed
+//       at startup — chaos builds only (-DENTMATCHER_FAULTS=ON); see
+//       src/common/fault.h for the grammar.
+//   entmatcher_cli swap <src.emat> <tgt.emat> [--pair=NAME] [--socket=PATH]
+//                  [--index=PATH]
+//       Hot-swap the embeddings of a pair on a running `serve` instance:
+//       sends the `swap` admin request; the server loads the files
+//       (server-side paths!), builds and warms a new snapshot, and
+//       atomically publishes it. In-flight batches finish on the old
+//       version; the old snapshot is reclaimed once they drain.
 //   entmatcher_cli query [--socket=PATH] [--retries=N]
 //                                        match <ALGO> [timeout_us=N]
 //                                      | topk <ALGO> <k> [timeout_us=N]
 //                                      | stats | health | shutdown
+//                                      | swap <pair> <src> <tgt> [index=PATH]
 //       One query against a running `serve` instance. --retries=N retries
 //       transient failures (kUnavailable sheds, transport drops, expired
-//       deadlines) up to N attempts with capped exponential backoff.
+//       deadlines) up to N attempts with capped exponential backoff (swap
+//       is never retried: it is not idempotent-safe over a flaky link).
 //
 // --threads=N overrides the worker count for this process (equivalent to
 // the EM_NUM_THREADS environment variable; the flag wins).
@@ -101,7 +114,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr << "usage: entmatcher_cli "
-               "generate|stats|embed|index|match|eval|serve|query ... "
+               "generate|stats|embed|index|match|eval|serve|swap|query ... "
                "(see source header)\n";
   return EXIT_FAILURE;
 }
@@ -508,6 +521,18 @@ int CmdServe(int argc, char** argv) {
       config.degrade_nprobe = static_cast<size_t>(value);
       continue;
     }
+    matched = MatchUintFlag(arg, "serve-workers", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.serve_workers = static_cast<size_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "cache-bytes", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.result_cache_bytes = static_cast<size_t>(value);
+      continue;
+    }
     return Usage();
   }
 
@@ -536,6 +561,10 @@ int CmdServe(int argc, char** argv) {
   if (!front.ok()) return Fail(front.status());
 
   std::cout << "serving on " << socket_path << " (threads=" << GetNumThreads()
+            << ", serve_workers=" << (*server)->serve_workers()
+            << ", cache=" << (config.result_cache_bytes == 0
+                                  ? std::string("off")
+                                  : FormatBytes(config.result_cache_bytes))
             << ", max_batch=" << config.max_batch
             << ", flush=" << config.flush_micros
             << " us, queue=" << config.queue_capacity << ", budget="
@@ -548,6 +577,44 @@ int CmdServe(int argc, char** argv) {
   (*front)->Stop();
   (*server)->Shutdown();
   std::cout << "final stats: " << (*server)->Stats().ToJson() << "\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdSwap(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  WireRequest request;
+  request.verb = WireRequest::Verb::kSwap;
+  request.pair = "default";
+  request.source_path = argv[2];
+  request.target_path = argv[3];
+  std::string socket_path = kDefaultSocketPath;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string socket_flag = "--socket=";
+    if (arg.rfind(socket_flag, 0) == 0) {
+      socket_path = arg.substr(socket_flag.size());
+      continue;
+    }
+    const std::string pair_flag = "--pair=";
+    if (arg.rfind(pair_flag, 0) == 0) {
+      request.pair = arg.substr(pair_flag.size());
+      continue;
+    }
+    const std::string index_flag = "--index=";
+    if (arg.rfind(index_flag, 0) == 0) {
+      request.index_path = arg.substr(index_flag.size());
+      continue;
+    }
+    return Usage();
+  }
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) return Fail(client.status());
+  // Plain Call, never CallWithRetry: a retry after an ambiguous transport
+  // failure could publish the swap twice.
+  Result<WireResponse> response = client->Call(request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->status.ok()) return Fail(response->status);
+  std::cout << response->text << "\n";
   return EXIT_SUCCESS;
 }
 
@@ -580,13 +647,18 @@ int CmdQuery(int argc, char** argv) {
   if (!request.ok()) return Fail(request.status());
   Result<ServeClient> client = ServeClient::Connect(socket_path);
   if (!client.ok()) return Fail(client.status());
-  Result<WireResponse> response = client->CallWithRetry(*request, policy);
+  // Swap is excluded from retry (see CmdSwap).
+  Result<WireResponse> response =
+      request->verb == WireRequest::Verb::kSwap
+          ? client->Call(*request)
+          : client->CallWithRetry(*request, policy);
   if (!response.ok()) return Fail(response.status());
   if (!response->status.ok()) return Fail(response->status);
 
   if (request->verb == WireRequest::Verb::kStats ||
       request->verb == WireRequest::Verb::kHealth ||
-      request->verb == WireRequest::Verb::kShutdown) {
+      request->verb == WireRequest::Verb::kShutdown ||
+      request->verb == WireRequest::Verb::kSwap) {
     std::cout << response->text << "\n";
     return EXIT_SUCCESS;
   }
@@ -637,6 +709,7 @@ int main(int argc, char** argv) {
   if (command == "match") return CmdMatch(argc, argv);
   if (command == "eval") return CmdEval(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
+  if (command == "swap") return CmdSwap(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
   return Usage();
 }

@@ -1,0 +1,109 @@
+#include "common/epoch.h"
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace entmatcher {
+
+EpochDomain::Guard EpochDomain::Enter() {
+  // Claim a free slot; guards are pass-granular and short-lived, so a full
+  // table means kMaxGuards passes are mid-flight — yield and rescan.
+  size_t slot = 0;
+  for (;;) {
+    bool claimed = false;
+    for (size_t i = 0; i < kMaxGuards; ++i) {
+      bool expected = false;
+      if (slots_[i].taken.compare_exchange_strong(
+              expected, true, std::memory_order_acquire)) {
+        slot = i;
+        claimed = true;
+        break;
+      }
+    }
+    if (claimed) break;
+    std::this_thread::yield();
+  }
+  // Publish the pinned epoch, then re-read the global: if an advance raced
+  // past between load and store, re-pin so the slot never holds an epoch the
+  // advancer already treated as drained.
+  for (;;) {
+    const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    slots_[slot].epoch.store(e, std::memory_order_seq_cst);
+    if (global_epoch_.load(std::memory_order_seq_cst) == e) break;
+  }
+  return Guard(this, slot);
+}
+
+void EpochDomain::Guard::Exit() {
+  if (domain_ == nullptr) return;
+  EpochDomain* domain = domain_;
+  const size_t slot = slot_;
+  domain_ = nullptr;
+  domain->slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+  domain->slots_[slot].taken.store(false, std::memory_order_release);
+  // Opportunistic reclaim: the guard that drains an epoch is the natural
+  // place to run its deferred frees (cheap no-op when nothing is retired).
+  if (domain->retired_count_.load(std::memory_order_acquire) > 0) {
+    domain->TryReclaim();
+  }
+}
+
+void EpochDomain::Retire(std::function<void()> reclaim) {
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.emplace_back(global_epoch_.load(std::memory_order_seq_cst),
+                          std::move(reclaim));
+    retired_count_.fetch_add(1, std::memory_order_release);
+  }
+  TryReclaim();
+}
+
+size_t EpochDomain::TryReclaim() {
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    // Minimum epoch pinned by any active guard (inactive slots read 0).
+    uint64_t min_active = std::numeric_limits<uint64_t>::max();
+    bool any_active = false;
+    for (const Slot& s : slots_) {
+      const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != 0) {
+        any_active = true;
+        if (e < min_active) min_active = e;
+      }
+    }
+    const uint64_t global = global_epoch_.load(std::memory_order_seq_cst);
+    // Advance once every active guard has observed the current epoch; new
+    // guards then enter at global+1 and the old epoch can drain.
+    if (!any_active || min_active >= global) {
+      global_epoch_.store(global + 1, std::memory_order_seq_cst);
+    }
+    // An entry retired at epoch e is safe once every guard that could have
+    // been active at retirement (epoch <= e) has exited: min_active > e.
+    // Guards entering *after* the retire cannot reach the displaced state
+    // (its publisher already swapped it out), so only the strict comparison
+    // matters.
+    while (!retired_.empty() &&
+           (!any_active || retired_.front().first < min_active)) {
+      ready.push_back(std::move(retired_.front().second));
+      retired_.pop_front();
+      retired_count_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  for (std::function<void()>& reclaim : ready) reclaim();
+  return ready.size();
+}
+
+EpochDomain::~EpochDomain() {
+  // All guard-taking threads must be joined by now; run whatever is left.
+  std::deque<std::pair<uint64_t, std::function<void()>>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    leftover.swap(retired_);
+    retired_count_.store(0, std::memory_order_release);
+  }
+  for (auto& [epoch, reclaim] : leftover) reclaim();
+}
+
+}  // namespace entmatcher

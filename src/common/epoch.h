@@ -1,0 +1,130 @@
+#ifndef ENTMATCHER_COMMON_EPOCH_H_
+#define ENTMATCHER_COMMON_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace entmatcher {
+
+/// Epoch-based reclamation for read-mostly shared state.
+///
+/// The serving core publishes immutable, ref-counted snapshots (embeddings +
+/// index + caches) that K worker threads read concurrently while an admin
+/// swap publishes version v+1. Refcounts alone are not enough: a pass may
+/// hold *raw* pointers into a snapshot (the degrade path's rewritten
+/// candidate_index, borrowed similarity-cache rows) without owning a
+/// reference of its own. An EpochDomain closes that window: workers wrap
+/// each scores pass in a Guard, a swap Retire()s the displaced snapshot's
+/// final reference instead of dropping it inline, and the deferred reclaim
+/// runs only once every guard that was active at retirement time has exited
+/// — i.e. once no thread can still observe the old version. The result is
+/// the RCU-shaped contract the snapshot engine needs: publish v+1
+/// immediately, drain in-flight passes on v, reclaim v afterwards, never
+/// mid-pass.
+///
+/// Mechanics (classic three-epoch scheme, guard-granular rather than
+/// thread-registered): a global epoch counter advances whenever every active
+/// guard has observed the current value; a retired object tagged with epoch
+/// e is reclaimed once the minimum epoch over active guards exceeds e.
+/// Guards are cheap (two atomic stores) and lock-free; Retire and reclaim
+/// take a mutex, which is fine because retirement happens per snapshot swap,
+/// not per query.
+///
+/// Reclaimers run on whichever thread calls TryReclaim (guard exits and
+/// retires call it opportunistically), never while the internal mutex is
+/// held, so a reclaimer may itself touch the domain. The destructor runs
+/// every outstanding reclaimer; the caller must have joined all guard-taking
+/// threads first.
+class EpochDomain {
+ public:
+  /// Concurrent guard capacity. Guards are per *pass*, not per thread, so
+  /// this bounds simultaneously executing passes across all workers — 128 is
+  /// far above any worker-pool size the scheduler will run.
+  static constexpr size_t kMaxGuards = 128;
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+  ~EpochDomain();
+
+  /// RAII pin: while alive, nothing retired at or after the guard's entry
+  /// epoch is reclaimed. Move-only; a moved-from guard is inert. Acquiring
+  /// spins only if kMaxGuards passes are already live (practically never).
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept
+        : domain_(other.domain_), slot_(other.slot_) {
+      other.domain_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this == &other) return *this;
+      Exit();
+      domain_ = other.domain_;
+      slot_ = other.slot_;
+      other.domain_ = nullptr;
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Exit(); }
+
+    bool active() const { return domain_ != nullptr; }
+
+   private:
+    friend class EpochDomain;
+    Guard(EpochDomain* domain, size_t slot) : domain_(domain), slot_(slot) {}
+    void Exit();
+
+    EpochDomain* domain_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  /// Pins the current epoch until the returned guard is destroyed.
+  Guard Enter();
+
+  /// Defers `reclaim` until every guard active right now has exited. Called
+  /// with the displaced state's final owning reference captured in the
+  /// closure; runs exactly once.
+  void Retire(std::function<void()> reclaim);
+
+  /// Advances the epoch if possible and runs every reclaimer whose retire
+  /// epoch has been fully drained. Returns how many reclaimers ran. Safe
+  /// from any thread; guard exits call it automatically.
+  size_t TryReclaim();
+
+  /// Retired reclaimers not yet run.
+  size_t retired_pending() const {
+    return retired_count_.load(std::memory_order_acquire);
+  }
+
+  /// Current global epoch (starts at 1; test observability).
+  uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    /// 0 = inactive; otherwise the epoch pinned by the occupying guard.
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> taken{false};
+  };
+
+  std::atomic<uint64_t> global_epoch_{1};
+  std::array<Slot, kMaxGuards> slots_;
+
+  mutable std::mutex retired_mu_;
+  /// (retire epoch, reclaimer), in retirement order.
+  std::deque<std::pair<uint64_t, std::function<void()>>> retired_;
+  std::atomic<size_t> retired_count_{0};
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_COMMON_EPOCH_H_

@@ -123,6 +123,13 @@ Status Workspace::CheckBudget(size_t additional_bytes) const {
   return Status::OK();
 }
 
+void Workspace::Rearm(size_t budget_bytes) {
+  if (!idle()) return;  // caller bug; keep the armed budget authoritative
+  budget_bytes_ = budget_bytes;
+  in_use_bytes_ = 0;
+  high_water_bytes_ = 0;
+}
+
 size_t Workspace::capacity_bytes() const {
   size_t total = 0;
   for (const Slab& slab : slabs_) total += slab.capacity;

@@ -77,6 +77,16 @@ class Workspace {
   /// Starts a new high-water measurement region (e.g. one engine query).
   void ResetHighWater() { high_water_bytes_ = in_use_bytes_; }
 
+  /// True when no leases are outstanding — the only state in which the arena
+  /// may be handed to a new owner (engine recycling across snapshot swaps).
+  bool idle() const { return leases_.empty(); }
+
+  /// Re-arms the budget for a new owning session (MatchEngine::Over's
+  /// workspace recycling: a worker rebuilding its engine for snapshot v+1
+  /// keeps the warm slabs instead of re-growing a fresh arena). Only legal
+  /// while idle(); the high-water region restarts at zero.
+  void Rearm(size_t budget_bytes);
+
   /// Total bytes of backing slabs held (leased or pooled). Stable across
   /// warm queries once the pool has seen the largest request.
   size_t capacity_bytes() const;

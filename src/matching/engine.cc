@@ -16,18 +16,6 @@ namespace entmatcher {
 
 namespace {
 
-size_t MetricIndex(SimilarityMetric metric) {
-  switch (metric) {
-    case SimilarityMetric::kCosine:
-      return 0;
-    case SimilarityMetric::kNegEuclidean:
-      return 1;
-    case SimilarityMetric::kNegManhattan:
-      return 2;
-  }
-  return 0;
-}
-
 // Matrix-scale buffers the decision stage leases beyond the score matrix.
 size_t MatcherWorkspaceBytes(const MatchOptions& options, size_t rows,
                              size_t cols) {
@@ -91,51 +79,44 @@ Status ValidateSparseQuery(const MatchOptions& options, size_t num_targets) {
 
 }  // namespace
 
-MatchEngine::MatchEngine(Matrix source, Matrix target,
-                         const MatchOptions& options)
-    : source_(std::move(source)), target_(std::move(target)),
-      options_(options),
-      workspace_(std::make_unique<Workspace>(options.workspace_budget_bytes)) {}
+MatchEngine::MatchEngine(std::shared_ptr<const PairSnapshot> snapshot,
+                         const MatchOptions& options,
+                         std::unique_ptr<Workspace> workspace)
+    : snapshot_(std::move(snapshot)), options_(options),
+      workspace_(std::move(workspace)) {}
 
 Result<MatchEngine> MatchEngine::Create(Matrix source, Matrix target,
                                         const MatchOptions& options) {
-  if (source.rows() == 0 || target.rows() == 0) {
-    return Status::InvalidArgument("MatchEngine: empty embedding matrix");
+  Result<std::shared_ptr<PairSnapshot>> snapshot =
+      PairSnapshot::Build(std::move(source), std::move(target));
+  if (!snapshot.ok()) {
+    // Preserve the classic error prefix for existing callers/tests.
+    return Status::InvalidArgument(
+        "MatchEngine: " + snapshot.status().message());
   }
-  if (source.cols() != target.cols()) {
-    return Status::InvalidArgument("MatchEngine: embedding dimensions differ");
+  return Over(std::move(snapshot).value(), options);
+}
+
+Result<MatchEngine> MatchEngine::Over(
+    std::shared_ptr<const PairSnapshot> snapshot, const MatchOptions& options,
+    std::unique_ptr<Workspace> recycled) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("MatchEngine: null snapshot");
   }
-  MatchEngine engine(std::move(source), std::move(target), options);
-  engine.EnsureCache(options.metric);
+  std::unique_ptr<Workspace> workspace;
+  if (recycled != nullptr && recycled->idle()) {
+    recycled->Rearm(options.workspace_budget_bytes);
+    workspace = std::move(recycled);
+  } else {
+    workspace = std::make_unique<Workspace>(options.workspace_budget_bytes);
+  }
+  MatchEngine engine(std::move(snapshot), options, std::move(workspace));
+  engine.snapshot_->EnsureCache(options.metric);
   return engine;
 }
 
-const SimilarityCache& MatchEngine::EnsureCache(SimilarityMetric metric) {
-  std::optional<SimilarityCache>& slot = caches_[MetricIndex(metric)];
-  if (!slot.has_value()) {
-    slot = BuildSimilarityCache(source_, target_, metric);
-  }
-  return *slot;
-}
-
-Result<const std::pair<QuantizedMatrix, QuantizedMatrix>*>
-MatchEngine::EnsureQuantized(ScorePrecision precision) {
-  const size_t slot_index = precision == ScorePrecision::kBf16 ? 0 : 1;
-  std::optional<std::pair<QuantizedMatrix, QuantizedMatrix>>& slot =
-      quantized_[slot_index];
-  if (!slot.has_value()) {
-    EM_ASSIGN_OR_RETURN(QuantizedMatrix qsource,
-                        QuantizedMatrix::Create(source_, precision));
-    EM_ASSIGN_OR_RETURN(QuantizedMatrix qtarget,
-                        QuantizedMatrix::Create(target_, precision));
-    slot.emplace(std::move(qsource), std::move(qtarget));
-  }
-  return &*slot;
-}
-
-size_t MatchEngine::DeclaredWorkspaceBytes(const MatchOptions& options) const {
-  const size_t n = source_.rows();
-  const size_t m = target_.rows();
+size_t MatchEngine::DeclaredWorkspaceBytesFor(size_t n, size_t m,
+                                              const MatchOptions& options) {
   if (UsesSparsePath(options)) {
     // O(n·c) entries instead of the O(n·m) matrix. Sparse matchers lease no
     // arena tables; greedy-1-to-1's nnz-sized order buffer is heap-allocated
@@ -166,9 +147,11 @@ Status MatchEngine::ComputeScoresInto(Matrix* scores,
   // Chaos point: a spurious internal error (or injected latency) in the
   // scores pass, the hot path a flaky kernel or allocator would hit first.
   EM_INJECT_FAULT("engine.scores", StatusCode::kInternal);
-  const SimilarityCache& cache = EnsureCache(options.metric);
-  EM_RETURN_NOT_OK(ComputeSimilarityRange(source_, target_, options.metric,
-                                          cache, 0, source_.rows(), scores));
+  const SimilarityCache& cache = snapshot_->EnsureCache(options.metric);
+  EM_RETURN_NOT_OK(ComputeSimilarityRange(snapshot_->source(),
+                                          snapshot_->target(), options.metric,
+                                          cache, 0, snapshot_->source().rows(),
+                                          scores));
   EM_RETURN_NOT_OK(CheckStageDeadline("transform"));
   return ApplyScoreTransformInPlace(scores, options, workspace_.get());
 }
@@ -188,8 +171,10 @@ Result<Assignment> MatchEngine::Match(const MatchOptions& options) {
 
 Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
     const MatchOptions& options) {
-  const size_t n = source_.rows();
-  const size_t m = target_.rows();
+  const Matrix& source = snapshot_->source();
+  const Matrix& target = snapshot_->target();
+  const size_t n = source.rows();
+  const size_t m = target.rows();
   if (UsesSparsePath(options)) {
     EM_RETURN_NOT_OK(ValidateSparseQuery(options, m));
     const size_t nnz_cap = SparseNnzCap(options, n, m);
@@ -206,17 +191,17 @@ Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
     // Mirror the dense arm's chaos point: sparse scoring is the same
     // logical stage.
     EM_INJECT_FAULT("engine.scores", StatusCode::kInternal);
-    const SimilarityCache& cache = EnsureCache(options.metric);
+    const SimilarityCache& cache = snapshot_->EnsureCache(options.metric);
     if (UsesQuantizedCandidates(options)) {
       EM_ASSIGN_OR_RETURN(const auto* quantized,
-                          EnsureQuantized(options.score_precision));
+                          snapshot_->EnsureQuantized(options.score_precision));
       EM_RETURN_NOT_OK(FillQuantizedSparseScores(
-          source_, target_, quantized->first, quantized->second,
-          options.metric, cache, options.num_candidates,
-          options.candidate_index, options.index_nprobe, &sparse));
+          source, target, quantized->first, quantized->second, options.metric,
+          cache, options.num_candidates, options.candidate_index,
+          options.index_nprobe, &sparse));
     } else {
       EM_RETURN_NOT_OK(options.candidate_index->FillSparseScores(
-          source_, target_, options.metric, cache, options.num_candidates,
+          source, target, options.metric, cache, options.num_candidates,
           options.index_nprobe, &sparse));
     }
     EM_RETURN_NOT_OK(CheckStageDeadline("transform"));

@@ -1,7 +1,6 @@
 #ifndef ENTMATCHER_MATCHING_ENGINE_H_
 #define ENTMATCHER_MATCHING_ENGINE_H_
 
-#include <array>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -12,6 +11,7 @@
 #include "la/similarity.h"
 #include "la/sparse.h"
 #include "la/workspace.h"
+#include "matching/snapshot.h"
 #include "matching/types.h"
 
 namespace entmatcher {
@@ -22,10 +22,20 @@ namespace entmatcher {
 /// The one-shot pipeline (ComputeScores → MatchScores) reallocates every
 /// similarity, transform, and decision buffer per call; repeated-evaluation
 /// workloads — preset sweeps, blocked matching, serving — pay that cost on
-/// every query. A MatchEngine is constructed once (embeddings owned, per-row
-/// similarity statistics cached, workspace arena sized by the first query)
-/// and queried many times: after the first query a warm engine performs no
-/// further allocation.
+/// every query. A MatchEngine is constructed once and queried many times:
+/// after the first query a warm engine performs no further allocation.
+///
+/// Since the snapshot refactor the engine splits into two halves with very
+/// different mutability:
+///   - the *read path* — embeddings, candidate index, per-metric similarity
+///     caches, quantization arms — lives in an immutable, ref-counted
+///     PairSnapshot that any number of engines (on any number of threads)
+///     share without synchronization;
+///   - the *per-session state* — the workspace arena and the stage deadline
+///     — stays private to this engine, which is why an engine itself is
+///     still single-threaded.
+/// `Create` keeps the classic owning constructor (it builds a private
+/// snapshot); `Over` is the serving path: one snapshot, K worker engines.
 ///
 /// Hard invariant: every query is bit-identical to the one-shot
 /// MatchEmbeddings path at every thread count (pinned by the engine-reuse
@@ -39,14 +49,28 @@ namespace entmatcher {
 /// partial output.
 ///
 /// Not thread-safe; one engine per thread. Parallel block matching
-/// (PartitionedMatch) builds one engine per block.
+/// (PartitionedMatch) builds one engine per block; the serving worker pool
+/// builds one engine per (worker, pair) over the shared snapshot.
 class MatchEngine {
  public:
-  /// Prepares a session: takes ownership of the embeddings, validates
-  /// shapes, precomputes options.metric's similarity statistics, and arms the
-  /// workspace budget from options.workspace_budget_bytes (0 = unlimited).
+  /// Prepares a session: takes ownership of the embeddings (wrapping them in
+  /// a private snapshot), validates shapes, precomputes options.metric's
+  /// similarity statistics, and arms the workspace budget from
+  /// options.workspace_budget_bytes (0 = unlimited).
   static Result<MatchEngine> Create(Matrix source, Matrix target,
                                     const MatchOptions& options);
+
+  /// Prepares a session over a shared snapshot — the multi-worker serving
+  /// path. The snapshot's embeddings and derived caches are read in place
+  /// (and shared with every other engine over the same snapshot); only the
+  /// workspace arena is private. `recycled` optionally donates a previous
+  /// engine's arena so a worker rebuilding for snapshot v+1 keeps its warm
+  /// slabs: it is reused when idle (no outstanding leases), re-armed to
+  /// options.workspace_budget_bytes, and otherwise replaced by a fresh one.
+  static Result<MatchEngine> Over(std::shared_ptr<const PairSnapshot> snapshot,
+                                  const MatchOptions& options,
+                                  std::unique_ptr<Workspace> recycled =
+                                      nullptr);
 
   MatchEngine(MatchEngine&&) = default;
   MatchEngine& operator=(MatchEngine&&) = default;
@@ -59,8 +83,8 @@ class MatchEngine {
 
   /// Same, with per-query options — e.g. several presets through one
   /// session. Similarity statistics for metrics not yet seen are built and
-  /// memoized; the budget is the one armed at Create. Not usable with
-  /// matcher == kRl (needs KG context; see RunMatching).
+  /// memoized on the snapshot; the budget is the one armed at Create. Not
+  /// usable with matcher == kRl (needs KG context; see RunMatching).
   Result<Assignment> Match(const MatchOptions& options);
 
   /// A leased, transformed score matrix shared by a batch of queries with
@@ -72,8 +96,9 @@ class MatchEngine {
   /// (both run MatchScores on bit-identical scores).
   ///
   /// Move-only; destruction returns the score lease to the engine's arena.
-  /// The engine must outlive the batch, and no other engine query may run
-  /// while a batch is open (the arena is single-threaded by design).
+  /// The engine must outlive the batch, and no other query may run on *this
+  /// engine* while a batch is open (the arena is single-threaded by design;
+  /// other engines over the same snapshot are unaffected).
   class ScoredBatch {
    public:
     ScoredBatch(ScoredBatch&&) = default;
@@ -141,7 +166,15 @@ class MatchEngine {
   /// the score matrix plus the larger of the transform scratch and the
   /// decision-stage tables. This is what Match pre-checks against the
   /// budget.
-  size_t DeclaredWorkspaceBytes(const MatchOptions& options) const;
+  size_t DeclaredWorkspaceBytes(const MatchOptions& options) const {
+    return DeclaredWorkspaceBytesFor(snapshot_->source().rows(),
+                                     snapshot_->target().rows(), options);
+  }
+
+  /// The same declaration for an (n × m) pair without an engine — what the
+  /// serving layer's admission check uses before any engine exists.
+  static size_t DeclaredWorkspaceBytesFor(size_t n, size_t m,
+                                          const MatchOptions& options);
 
   /// Arms a deadline checked *between* pipeline stages (after similarity /
   /// sparse fill, before transform; and before the decision stage): work on
@@ -157,27 +190,28 @@ class MatchEngine {
   }
   void ClearStageDeadline() { stage_deadline_.reset(); }
 
-  const Matrix& source() const { return source_; }
-  const Matrix& target() const { return target_; }
+  const Matrix& source() const { return snapshot_->source(); }
+  const Matrix& target() const { return snapshot_->target(); }
   const MatchOptions& options() const { return options_; }
+
+  /// The immutable snapshot this engine reads (never null).
+  const std::shared_ptr<const PairSnapshot>& snapshot() const {
+    return snapshot_;
+  }
 
   /// The session arena; high_water_bytes() after a query is that query's
   /// matrix-scale peak (reset at query start).
   const Workspace& workspace() const { return *workspace_; }
   Workspace* mutable_workspace() { return workspace_.get(); }
 
+  /// Surrenders the arena for recycling into a successor engine (see Over).
+  /// The engine is unusable afterwards; destroy it.
+  std::unique_ptr<Workspace> TakeWorkspace() { return std::move(workspace_); }
+
  private:
-  MatchEngine(Matrix source, Matrix target, const MatchOptions& options);
-
-  /// Builds (once) and returns the similarity cache for `metric`.
-  const SimilarityCache& EnsureCache(SimilarityMetric metric);
-
-  /// Builds (once) and returns the (source, target) quantizations for
-  /// `precision` (kBf16 or kInt8; kFloat32 is a caller bug). Quantization is
-  /// a per-session cost like the similarity caches — heap-owned and
-  /// tracker-charged, not arena workspace.
-  Result<const std::pair<QuantizedMatrix, QuantizedMatrix>*> EnsureQuantized(
-      ScorePrecision precision);
+  MatchEngine(std::shared_ptr<const PairSnapshot> snapshot,
+              const MatchOptions& options,
+              std::unique_ptr<Workspace> workspace);
 
   /// Similarity + transform into `scores` (an arena lease of the right
   /// shape).
@@ -186,16 +220,9 @@ class MatchEngine {
   /// kDeadlineExceeded when an armed stage deadline has passed.
   Status CheckStageDeadline(const char* stage) const;
 
-  Matrix source_;
-  Matrix target_;
+  std::shared_ptr<const PairSnapshot> snapshot_;
   MatchOptions options_;
   std::unique_ptr<Workspace> workspace_;
-  // One memoized cache slot per SimilarityMetric value.
-  std::array<std::optional<SimilarityCache>, 3> caches_;
-  // One memoized (source, target) quantization per non-float ScorePrecision
-  // (index: bf16 = 0, int8 = 1).
-  std::array<std::optional<std::pair<QuantizedMatrix, QuantizedMatrix>>, 2>
-      quantized_;
   std::optional<std::chrono::steady_clock::time_point> stage_deadline_;
 };
 

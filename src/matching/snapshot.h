@@ -1,0 +1,170 @@
+#ifndef ENTMATCHER_MATCHING_SNAPSHOT_H_
+#define ENTMATCHER_MATCHING_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/status.h"
+#include "la/kernels/quantized.h"
+#include "la/matrix.h"
+#include "la/similarity.h"
+
+namespace entmatcher {
+
+class CandidateIndex;
+
+/// An immutable, versioned bundle of everything the read path of matching
+/// needs for one (source, target) embedding pair: the embedding matrices, an
+/// optional candidate index, the per-metric similarity caches, and the
+/// bf16/int8 quantization arms.
+///
+/// PairSnapshot is the unit of publication in the read-mostly serving
+/// architecture: K worker threads execute scores passes against a snapshot
+/// concurrently with zero synchronization, because nothing in it ever
+/// changes after Build. A hot swap builds a *new* snapshot and publishes it
+/// through a SnapshotRegistry; in-flight passes keep reading the version
+/// they pinned, so a batch never mixes v and v+1 data.
+///
+/// The similarity caches and quantization arms are derived data: logically
+/// part of the immutable state, but built lazily on first use (a pair served
+/// only with cosine never pays for the euclidean cache). Laziness is hidden
+/// behind std::call_once, so concurrent first readers race benignly — one
+/// builds, the rest wait, every later read is a plain const load. Derived
+/// state lives in a Core shared between snapshots of the same pair, so
+/// WithIndex (and any future derivation that keeps the embeddings) costs two
+/// shared_ptr copies, not a matrix copy or a cache rebuild.
+///
+/// Lifetime: always held as std::shared_ptr<const PairSnapshot>. The
+/// refcount covers owners (registry, scheduler groups, worker engines); the
+/// registry's EpochDomain covers *raw borrows* — pointers into the snapshot
+/// (the degrade path's rewritten candidate_index, borrowed cache rows) held
+/// by passes that own no reference — by deferring the displaced snapshot's
+/// release until every pass active at publish time has drained.
+class PairSnapshot {
+ public:
+  /// Validates shapes and wraps the embeddings into version-0 (unpublished)
+  /// snapshot. Derived caches start empty.
+  static Result<std::shared_ptr<PairSnapshot>> Build(Matrix source,
+                                                     Matrix target);
+
+  PairSnapshot(const PairSnapshot&) = delete;
+  PairSnapshot& operator=(const PairSnapshot&) = delete;
+
+  /// A sibling snapshot sharing this one's Core (embeddings + derived
+  /// caches) with `index` attached (null detaches). Cheap: no matrix copy,
+  /// already-built caches stay built.
+  std::shared_ptr<PairSnapshot> WithIndex(
+      std::shared_ptr<const CandidateIndex> index) const;
+
+  const Matrix& source() const { return core_->source; }
+  const Matrix& target() const { return core_->target; }
+
+  /// The attached candidate index, or nullptr. The raw pointer is valid for
+  /// the snapshot's lifetime — exactly what MatchOptions::candidate_index
+  /// wants, provided the caller pins the snapshot for the query's duration.
+  const CandidateIndex* index() const { return index_.get(); }
+  const std::shared_ptr<const CandidateIndex>& shared_index() const {
+    return index_;
+  }
+
+  /// Version stamped at publication (0 = never published). Monotonic per
+  /// registry name; the result-cache key and the mixed-batch assertions hang
+  /// off it.
+  uint64_t version() const { return version_; }
+
+  /// The similarity cache for `metric`, building it on first use. Safe from
+  /// any number of threads; after the first call for a metric this is a
+  /// wait-free const read.
+  const SimilarityCache& EnsureCache(SimilarityMetric metric) const;
+
+  /// The (source, target) quantization pair for `precision` (kBf16 or
+  /// kInt8; kFloat32 is a caller bug), building it on first use. A build
+  /// failure is sticky: every caller sees the same status.
+  Result<const std::pair<QuantizedMatrix, QuantizedMatrix>*> EnsureQuantized(
+      ScorePrecision precision) const;
+
+ private:
+  friend class SnapshotRegistry;
+
+  /// Embeddings + lazily built derived state, shared between sibling
+  /// snapshots (WithIndex). `mutable` + call_once keeps the lazy build
+  /// behind a const, thread-safe facade: a PairSnapshot is immutable in the
+  /// sense that matters — every read of the same field returns the same
+  /// bytes forever.
+  struct Core {
+    Matrix source;
+    Matrix target;
+
+    // One slot per SimilarityMetric value.
+    mutable std::array<std::once_flag, 3> cache_once;
+    mutable std::array<std::optional<SimilarityCache>, 3> caches;
+
+    // One slot per non-float ScorePrecision (bf16 = 0, int8 = 1).
+    mutable std::array<std::once_flag, 2> quantized_once;
+    mutable std::array<
+        std::optional<std::pair<QuantizedMatrix, QuantizedMatrix>>, 2>
+        quantized;
+    mutable std::array<Status, 2> quantized_status;
+  };
+
+  explicit PairSnapshot(std::shared_ptr<const Core> core,
+                        std::shared_ptr<const CandidateIndex> index)
+      : core_(std::move(core)), index_(std::move(index)) {}
+
+  std::shared_ptr<const Core> core_;
+  std::shared_ptr<const CandidateIndex> index_;
+  uint64_t version_ = 0;  // stamped by SnapshotRegistry::Publish
+};
+
+/// The publication point of the snapshot architecture: name → current
+/// snapshot, with RCU-style retirement of displaced versions.
+///
+/// Readers Acquire() a shared_ptr under a brief mutex — their batches run
+/// entirely against that pinned version. Publish() stamps the next version
+/// number, swaps the current pointer, and *retires* its previous reference
+/// into the registry's EpochDomain instead of dropping it inline: the
+/// displaced snapshot is destroyed only after every pass that was active at
+/// publish time (and could hold raw borrows into it) has exited its epoch
+/// guard. Build v+1 → publish → drain v → reclaim v, never mid-pass.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Atomically installs `snapshot` as the current version of `name`,
+  /// stamping version = previous + 1 (1 for a new name), and retires the
+  /// displaced snapshot into the epoch domain. Fault point
+  /// "snapshot.publish" fires *before* the swap, so a failed publish leaves
+  /// the old snapshot serving untouched. Returns the stamped version.
+  Result<uint64_t> Publish(const std::string& name,
+                           std::shared_ptr<PairSnapshot> snapshot);
+
+  /// The current snapshot of `name`, or nullptr. The returned reference
+  /// keeps the snapshot alive regardless of later publishes.
+  std::shared_ptr<const PairSnapshot> Acquire(const std::string& name) const;
+
+  /// Loaded pair names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The reclamation domain guarding raw borrows into published snapshots.
+  /// Workers wrap each batch execution in domain().Enter().
+  EpochDomain& domain() { return domain_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const PairSnapshot>> current_;
+  EpochDomain domain_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_MATCHING_SNAPSHOT_H_

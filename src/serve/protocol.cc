@@ -170,6 +170,13 @@ std::string EncodeRequest(const WireRequest& request) {
       return "health";
     case WireRequest::Verb::kShutdown:
       return "shutdown";
+    case WireRequest::Verb::kSwap:
+      line = "swap " + request.pair + " " + request.source_path + " " +
+             request.target_path;
+      if (!request.index_path.empty()) {
+        line += " index=" + request.index_path;
+      }
+      return line;
   }
   if (request.timeout_micros > 0) {
     line += " timeout_us=" + std::to_string(request.timeout_micros);
@@ -188,6 +195,28 @@ Result<WireRequest> ParseRequest(std::string_view payload) {
     request.verb = WireRequest::Verb::kHealth;
   } else if (tokens[0] == "shutdown") {
     request.verb = WireRequest::Verb::kShutdown;
+  } else if (tokens[0] == "swap") {
+    request.verb = WireRequest::Verb::kSwap;
+    if (tokens.size() < 4) {
+      return Status::InvalidArgument(
+          "swap needs: swap <pair> <source_path> <target_path> [index=PATH]");
+    }
+    request.pair = std::string(tokens[1]);
+    request.source_path = std::string(tokens[2]);
+    request.target_path = std::string(tokens[3]);
+    next = 4;
+    if (next < tokens.size()) {
+      const std::string_view kIndex = "index=";
+      if (!StartsWith(tokens[next], kIndex)) {
+        return Status::InvalidArgument("unknown option: " +
+                                       std::string(tokens[next]));
+      }
+      request.index_path = std::string(tokens[next].substr(kIndex.size()));
+      if (request.index_path.empty()) {
+        return Status::InvalidArgument("index= needs a path");
+      }
+      next = 5;
+    }
   } else if (tokens[0] == "match" || tokens[0] == "topk") {
     request.verb = tokens[0] == "match" ? WireRequest::Verb::kMatch
                                         : WireRequest::Verb::kTopK;

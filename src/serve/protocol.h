@@ -26,6 +26,15 @@ namespace entmatcher {
 //   "health"                           liveness JSON (queue depth, shed
 //                                      rate, fault-plan fingerprint)
 //   "shutdown"                         stop the server after responding
+//   "swap <PAIR> <SRC> <TGT> [index=PATH]"
+//                                      admin: hot-swap pair PAIR to the
+//                                      embeddings at server-side paths
+//                                      SRC/TGT (WriteMatrixBinary format),
+//                                      optionally attaching the candidate
+//                                      index saved at PATH; responds
+//                                      "swapped <PAIR> v<N>". Names and
+//                                      paths cannot contain spaces (the
+//                                      request line is space-tokenized).
 // <ALGO> is a paper preset name (DInf, CSLS, RInf, RInf-wr, RInf-pb, Sink.,
 // Hun., SMat). timeout_us carries the client's end-to-end deadline onto the
 // wire; the scheduler drops expired work before scoring and the engine
@@ -53,11 +62,16 @@ Result<std::string> ReadFrame(int fd);
 
 /// A parsed request line.
 struct WireRequest {
-  enum class Verb { kMatch, kTopK, kStats, kHealth, kShutdown };
+  enum class Verb { kMatch, kTopK, kStats, kHealth, kShutdown, kSwap };
   Verb verb = Verb::kMatch;
   AlgorithmPreset algorithm = AlgorithmPreset::kDInf;  // match/topk
   size_t k = 0;                                        // topk
   uint64_t timeout_micros = 0;                         // 0 = no deadline
+  /// swap only: the pair to republish and the server-side files to load.
+  std::string pair;
+  std::string source_path;
+  std::string target_path;
+  std::string index_path;  // empty = no index on the new snapshot
 };
 
 std::string EncodeRequest(const WireRequest& request);

@@ -1,0 +1,96 @@
+#include "serve/result_cache.h"
+
+namespace entmatcher {
+
+ResultCache::ResultCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+std::string ResultCache::PairPrefix(const std::string& pair) {
+  // '\n' cannot appear in a pair name (the wire protocol is line-delimited),
+  // so "pair\n" is prefix-free across pairs: "ab" never shadows "abc".
+  return pair + '\n';
+}
+
+size_t ResultCache::EntryBytes(const std::string& key, const Entry& entry) {
+  // Charge what dominates: key characters and payload elements, plus a flat
+  // overhead for the node + index slot. Exact malloc accounting is not the
+  // point; monotone-in-payload is, so the budget actually bounds memory.
+  constexpr size_t kNodeOverhead = 128;
+  return kNodeOverhead + key.size() +
+         entry.assignment.target_of_source.size() * sizeof(int32_t) +
+         entry.topk.size() * sizeof(uint32_t);
+}
+
+bool ResultCache::Lookup(const std::string& key, Entry* out) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to hottest
+  *out = it->second->entry;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, Entry entry) {
+  if (!enabled()) return;
+  const size_t bytes = EntryBytes(key, entry);
+  if (bytes > budget_bytes_) return;  // can never fit; don't thrash the tail
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (same key => same deterministic answer, but a
+    // re-insert after an invalidation race must not double-count bytes).
+    bytes_ -= it->second->bytes;
+    it->second->entry = std::move(entry);
+    it->second->bytes = bytes;
+    bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (bytes_ + bytes > budget_bytes_ && !lru_.empty()) EvictTailLocked();
+  lru_.push_front(Node{key, std::move(entry), bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+}
+
+void ResultCache::EvictTailLocked() {
+  const Node& tail = lru_.back();
+  bytes_ -= tail.bytes;
+  index_.erase(tail.key);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+size_t ResultCache::InvalidatePair(const std::string& pair) {
+  if (!enabled()) return 0;
+  const std::string prefix = PairPrefix(pair);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace entmatcher

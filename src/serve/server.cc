@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "common/fault.h"
@@ -19,10 +21,63 @@ double MicrosBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+// config 0 -> EM_SERVE_WORKERS -> hardware concurrency (>= 1). Mirrors the
+// EM_NUM_THREADS convention of the kernel thread pool.
+size_t ResolveServeWorkers(size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("EM_SERVE_WORKERS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<size_t>(value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+// Result-cache key: everything that determines the answer bytes. The
+// snapshot version makes stale hits structurally impossible; the
+// ScoreSignature (already canonicalized — parameters the transform does not
+// read are zeroed) covers stages 1+2; matcher/kind/topk cover the decision.
+std::string MakeResultKey(const std::string& pair, uint64_t version,
+                          const ServeRequest& request) {
+  std::string key = ResultCache::PairPrefix(pair);
+  AppendU64(&key, version);
+  const ScoreSignature sig = ScoreSignature::Of(request.options);
+  AppendU64(&key, static_cast<uint64_t>(sig.metric));
+  AppendU64(&key, static_cast<uint64_t>(sig.transform));
+  AppendU64(&key, sig.csls_k);
+  AppendU64(&key, sig.rinf_k);
+  AppendU64(&key, sig.sinkhorn_iterations);
+  uint64_t temperature_bits = 0;
+  static_assert(sizeof(temperature_bits) == sizeof(sig.sinkhorn_temperature));
+  std::memcpy(&temperature_bits, &sig.sinkhorn_temperature,
+              sizeof(temperature_bits));
+  AppendU64(&key, temperature_bits);
+  AppendU64(&key, sig.rinf_pb_candidates);
+  AppendU64(&key, static_cast<uint64_t>(
+                      reinterpret_cast<uintptr_t>(sig.candidate_index)));
+  AppendU64(&key, sig.num_candidates);
+  AppendU64(&key, sig.index_nprobe);
+  AppendU64(&key, static_cast<uint64_t>(sig.score_precision));
+  AppendU64(&key, static_cast<uint64_t>(request.kind));
+  AppendU64(&key, static_cast<uint64_t>(request.options.matcher));
+  AppendU64(&key, request.kind == ServeQueryKind::kTopK ? request.topk : 0);
+  return key;
+}
+
 }  // namespace
 
 MatchServer::MatchServer(const MatchServerConfig& config)
-    : config_(config), stats_(config.max_batch) {}
+    : config_(config), num_workers_(ResolveServeWorkers(config.serve_workers)),
+      stats_(config.max_batch), cache_(config.result_cache_bytes) {}
 
 Result<std::unique_ptr<MatchServer>> MatchServer::Create(
     const MatchServerConfig& config) {
@@ -49,16 +104,23 @@ Status MatchServer::LoadPair(const std::string& name, Matrix source,
                              Matrix target, const MatchOptions& base) {
   MatchOptions options = base;
   options.workspace_budget_bytes = config_.workspace_budget_bytes;
-  Result<MatchEngine> engine =
-      MatchEngine::Create(std::move(source), std::move(target), options);
-  if (!engine.ok()) return engine.status();
-  std::lock_guard<std::mutex> lock(engines_mu_);
-  auto [it, inserted] = engines_.emplace(
-      name, std::make_unique<MatchEngine>(std::move(engine).value()));
-  (void)it;
-  if (!inserted) {
+  Result<std::shared_ptr<PairSnapshot>> snapshot =
+      PairSnapshot::Build(std::move(source), std::move(target));
+  if (!snapshot.ok()) {
+    return Status(snapshot.status().code(),
+                  "MatchServer: " + snapshot.status().message());
+  }
+  // Warm the session metric's similarity cache before publishing, so the
+  // first query (on any worker) runs allocation-light.
+  (*snapshot)->EnsureCache(options.metric);
+  std::lock_guard<std::mutex> lock(pairs_mu_);
+  if (base_options_.count(name) > 0) {
     return Status::AlreadyExists("MatchServer: pair already loaded: " + name);
   }
+  EM_ASSIGN_OR_RETURN(const uint64_t version,
+                      registry_.Publish(name, std::move(snapshot).value()));
+  (void)version;
+  base_options_[name] = options;
   return Status::OK();
 }
 
@@ -67,23 +129,71 @@ Status MatchServer::AttachIndex(const std::string& name,
   if (index == nullptr) {
     return Status::InvalidArgument("MatchServer: AttachIndex: null index");
   }
-  std::lock_guard<std::mutex> lock(engines_mu_);
-  auto it = engines_.find(name);
-  if (it == engines_.end()) {
+  std::lock_guard<std::mutex> lock(pairs_mu_);
+  std::shared_ptr<const PairSnapshot> current = registry_.Acquire(name);
+  if (current == nullptr) {
     return Status::NotFound("MatchServer: unknown pair: " + name);
   }
-  if (index->num_targets() != it->second->target().rows()) {
+  if (current->index() != nullptr) {
+    return Status::AlreadyExists("MatchServer: pair already has an index: " +
+                                 name);
+  }
+  if (index->num_targets() != current->target().rows()) {
     return Status::InvalidArgument(
         "MatchServer: candidate index was built over a different target set "
         "than pair '" + name + "'");
   }
-  auto [idx_it, inserted] = indexes_.emplace(name, std::move(index));
-  (void)idx_it;
-  if (!inserted) {
-    return Status::AlreadyExists("MatchServer: pair already has an index: " +
-                                 name);
-  }
+  // Sibling snapshot: shares the embeddings and every built cache, so the
+  // publish is cheap and nothing warm is lost.
+  std::shared_ptr<PairSnapshot> with_index = current->WithIndex(
+      std::shared_ptr<const CandidateIndex>(std::move(index)));
+  EM_ASSIGN_OR_RETURN(const uint64_t version,
+                      registry_.Publish(name, std::move(with_index)));
+  (void)version;
   return Status::OK();
+}
+
+Result<uint64_t> MatchServer::SwapPair(const std::string& name, Matrix source,
+                                       Matrix target,
+                                       std::unique_ptr<CandidateIndex> index) {
+  std::lock_guard<std::mutex> lock(pairs_mu_);
+  auto base_it = base_options_.find(name);
+  if (base_it == base_options_.end()) {
+    return Status::NotFound("MatchServer: unknown pair: " + name +
+                            " (SwapPair replaces; LoadPair introduces)");
+  }
+  Result<std::shared_ptr<PairSnapshot>> built =
+      PairSnapshot::Build(std::move(source), std::move(target));
+  if (!built.ok()) {
+    return Status(built.status().code(),
+                  "MatchServer: " + built.status().message());
+  }
+  std::shared_ptr<PairSnapshot> snapshot = std::move(built).value();
+  if (index != nullptr) {
+    if (index->num_targets() != snapshot->target().rows()) {
+      return Status::InvalidArgument(
+          "MatchServer: candidate index was built over a different target "
+          "set than the new embeddings of pair '" + name + "'");
+    }
+    snapshot = snapshot->WithIndex(
+        std::shared_ptr<const CandidateIndex>(std::move(index)));
+  }
+  // Build-then-flip: warm the new version's similarity cache *before*
+  // publishing so the swap never serves a cold cache build from the hot
+  // path.
+  snapshot->EnsureCache(base_it->second.metric);
+  EM_ASSIGN_OR_RETURN(const uint64_t version,
+                      registry_.Publish(name, std::move(snapshot)));
+  stats_.RecordSwap();
+  // Correctness does not need this (the version is in every cache key);
+  // reclaiming the dead entries' bytes eagerly does.
+  cache_.InvalidatePair(name);
+  return version;
+}
+
+std::shared_ptr<const PairSnapshot> MatchServer::CurrentSnapshot(
+    const std::string& name) const {
+  return registry_.Acquire(name);
 }
 
 Status MatchServer::Start() {
@@ -98,6 +208,10 @@ Status MatchServer::Start() {
     }
   }
   scheduler_ = std::thread(&MatchServer::SchedulerLoop, this);
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back(&MatchServer::WorkerLoop, this);
+  }
   return Status::OK();
 }
 
@@ -105,18 +219,12 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
   std::promise<ServeResponse> promise;
   std::future<ServeResponse> future = promise.get_future();
   // Admission control: answer doomed or unservable requests now, on the
-  // submitting thread, instead of letting them queue behind real work.
+  // submitting thread, instead of letting them queue behind real work. The
+  // acquired snapshot is only consulted — execution pins its own later.
   Status verdict = Status::OK();
-  MatchEngine* engine = nullptr;
-  const CandidateIndex* degrade_index = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(engines_mu_);
-    auto it = engines_.find(request.pair);
-    if (it != engines_.end()) engine = it->second.get();
-    auto idx_it = indexes_.find(request.pair);
-    if (idx_it != indexes_.end()) degrade_index = idx_it->second.get();
-  }
-  if (engine == nullptr) {
+  const std::shared_ptr<const PairSnapshot> snapshot =
+      registry_.Acquire(request.pair);
+  if (snapshot == nullptr) {
     verdict = Status::NotFound("MatchServer: unknown pair: " + request.pair);
   } else if (request.kind == ServeQueryKind::kMatch &&
              request.options.matcher == MatcherKind::kRl) {
@@ -152,7 +260,7 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
         "query");
   } else if (UsesCandidateIndex(request.options) &&
              request.options.candidate_index->num_targets() !=
-                 engine->target().rows()) {
+                 snapshot->target().rows()) {
     verdict = Status::InvalidArgument(
         "MatchServer: candidate index was built over a different target set "
         "than pair '" + request.pair + "'");
@@ -162,7 +270,8 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
     if (request.kind == ServeQueryKind::kTopK) {
       declared.matcher = MatcherKind::kGreedy;
     }
-    const size_t bytes = engine->DeclaredWorkspaceBytes(declared);
+    const size_t bytes = MatchEngine::DeclaredWorkspaceBytesFor(
+        snapshot->source().rows(), snapshot->target().rows(), declared);
     if (bytes > config_.workspace_budget_bytes) {
       verdict = Status::ResourceExhausted(
           "MatchServer: declared workspace of " + std::to_string(bytes) +
@@ -172,12 +281,14 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
   }
 
   // Degrade-to-sparse eligibility: a dense full-match whose stages all have
-  // sparse variants, against a pair that has an attached index. Decided
-  // outside the queue lock; *whether* to degrade is decided at the observed
-  // depth below.
+  // sparse variants, against a pair whose snapshot carries an index. Only
+  // the *flag* is set here — the scheduler rewrites the options from the
+  // snapshot it pins for the group, so the index pointer in the rewritten
+  // options can never outlive its snapshot across a swap.
   const bool degradable =
       verdict.ok() && config_.degrade_watermark > 0 &&
-      degrade_index != nullptr && request.kind == ServeQueryKind::kMatch &&
+      snapshot->index() != nullptr &&
+      request.kind == ServeQueryKind::kMatch &&
       !UsesSparsePath(request.options) &&
       TransformSupportsSparse(request.options.transform) &&
       MatcherSupportsSparse(request.options.matcher);
@@ -210,11 +321,6 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
           std::to_string(config_.queue_capacity) + ")");
     } else {
       if (degradable && depth >= config_.degrade_watermark) {
-        pending.request.options.candidate_index = degrade_index;
-        pending.request.options.num_candidates =
-            config_.degrade_num_candidates;
-        pending.request.options.index_nprobe =
-            std::max<size_t>(1, config_.degrade_nprobe);
         pending.degraded = true;
         degraded = true;
       } else if (config_.shed_watermark > 0 &&
@@ -267,7 +373,7 @@ ServerStatsSnapshot MatchServer::Stats() const {
     std::lock_guard<std::mutex> lock(queue_mu_);
     depth = queue_.size();
   }
-  return stats_.Snapshot(depth);
+  return stats_.Snapshot(depth, cache_.evictions(), cache_.bytes());
 }
 
 std::string MatchServer::HealthJson() const {
@@ -283,10 +389,13 @@ std::string MatchServer::HealthJson() const {
   json += ", \"shed_watermark\": " + std::to_string(config_.shed_watermark);
   json +=
       ", \"degrade_watermark\": " + std::to_string(config_.degrade_watermark);
+  json += ", \"serve_workers\": " + std::to_string(num_workers_);
   json += ", \"submitted\": " + std::to_string(snapshot.submitted);
   json += ", \"shed\": " + std::to_string(snapshot.shed);
   json += ", \"degraded\": " + std::to_string(snapshot.degraded);
   json += ", \"shed_rate\": " + std::to_string(shed_rate);
+  json += ", \"snapshot_swaps\": " + std::to_string(snapshot.snapshot_swaps);
+  json += ", \"cache_hits\": " + std::to_string(snapshot.cache_hits);
   json += ", \"fault_plan\": \"" + FaultInjector::Global().Fingerprint() +
           "\"";
   json += ", \"kernels\": " + KernelStatusJson();
@@ -301,7 +410,19 @@ void MatchServer::Shutdown() {
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  // Order matters for definite termination: the scheduler drains the queue
+  // into the task deque and exits; only then do the workers get their stop
+  // flag, so every dispatched group is executed before they exit.
   if (scheduler_.joinable()) scheduler_.join();
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_stopping_ = true;
+  }
+  tasks_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
   // Only reachable with a non-empty queue when the scheduler never started:
   // a running scheduler drains everything before exiting.
   std::deque<Pending> leftover;
@@ -348,35 +469,134 @@ void MatchServer::SchedulerLoop() {
   for (;;) {
     std::vector<Pending> cycle = NextCycle();
     if (cycle.empty()) return;
-    // Split the cycle into compatible groups — queries sharing a pair and a
-    // ScoreSignature — preserving arrival order; each group is one batch.
-    while (!cycle.empty()) {
-      const std::string pair = cycle.front().request.pair;
+
+    // Pin one snapshot per pair for this whole cycle — every group formed
+    // below carries it, so a concurrent SwapPair cannot split a batch
+    // across versions.
+    std::map<std::string, std::shared_ptr<const PairSnapshot>> snapshots;
+    std::map<std::string, MatchOptions> bases;
+    for (const Pending& pending : cycle) {
+      const std::string& pair = pending.request.pair;
+      if (snapshots.count(pair) > 0) continue;
+      snapshots[pair] = registry_.Acquire(pair);
+      std::lock_guard<std::mutex> lock(pairs_mu_);
+      auto it = base_options_.find(pair);
+      if (it != base_options_.end()) bases[pair] = it->second;
+    }
+
+    const Clock::time_point now = Clock::now();
+    std::vector<Pending> runnable;
+    runnable.reserve(cycle.size());
+    for (Pending& pending : cycle) {
+      const std::shared_ptr<const PairSnapshot>& snapshot =
+          snapshots[pending.request.pair];
+      if (snapshot == nullptr) {
+        // Admitted against a pair that no longer resolves — cannot happen
+        // through the public API (pairs are never removed), but fail closed.
+        ServeResponse response;
+        response.status = Status::Internal(
+            "MatchServer: pair vanished after admission");
+        Respond(&pending, std::move(response));
+        continue;
+      }
+      if (pending.degraded) {
+        // Rewrite from the pinned snapshot: the index pointer lives exactly
+        // as long as the snapshot the group holds. A swap may have dropped
+        // the index since admission — serve dense, honestly undegraded.
+        const CandidateIndex* index = snapshot->index();
+        if (index != nullptr) {
+          pending.request.options.candidate_index = index;
+          pending.request.options.num_candidates =
+              config_.degrade_num_candidates;
+          pending.request.options.index_nprobe =
+              std::max<size_t>(1, config_.degrade_nprobe);
+        } else {
+          pending.degraded = false;
+        }
+      } else if (cache_.enabled() && pending.deadline > now) {
+        ResultCache::Entry entry;
+        const std::string key = MakeResultKey(pending.request.pair,
+                                              snapshot->version(),
+                                              pending.request);
+        if (cache_.Lookup(key, &entry)) {
+          stats_.RecordCacheHit();
+          ServeResponse response;
+          response.cached = true;
+          response.snapshot_version = snapshot->version();
+          if (pending.request.kind == ServeQueryKind::kMatch) {
+            response.assignment = std::move(entry.assignment);
+          } else {
+            response.topk = std::move(entry.topk);
+          }
+          Respond(&pending, std::move(response));
+          continue;
+        }
+        stats_.RecordCacheMiss();
+      }
+      runnable.push_back(std::move(pending));
+    }
+
+    // Split into compatible groups — queries sharing a pair and a
+    // ScoreSignature (computed after any degrade rewrite) — preserving
+    // arrival order; each group is one batch, dispatched to the pool.
+    while (!runnable.empty()) {
+      const std::string pair = runnable.front().request.pair;
       const ScoreSignature signature =
-          ScoreSignature::Of(cycle.front().request.options);
-      std::vector<Pending> group;
+          ScoreSignature::Of(runnable.front().request.options);
+      GroupTask task;
+      task.pair = pair;
+      task.snapshot = snapshots[pair];
+      task.base_options = bases[pair];
       std::vector<Pending> rest;
-      for (Pending& pending : cycle) {
+      for (Pending& pending : runnable) {
         if (pending.request.pair == pair &&
             ScoreSignature::Of(pending.request.options) == signature) {
-          group.push_back(std::move(pending));
+          task.group.push_back(std::move(pending));
         } else {
           rest.push_back(std::move(pending));
         }
       }
-      cycle = std::move(rest);
-      ExecuteGroup(std::move(group));
+      runnable = std::move(rest);
+      {
+        std::lock_guard<std::mutex> lock(tasks_mu_);
+        tasks_.push_back(std::move(task));
+      }
+      tasks_cv_.notify_one();
     }
   }
 }
 
-void MatchServer::ExecuteGroup(std::vector<Pending> group) {
+void MatchServer::WorkerLoop() {
+  // Each worker keeps one warm engine per pair over the current snapshot;
+  // the arena is recycled across snapshot versions (TakeWorkspace), so a
+  // swap does not re-grow slabs.
+  std::map<std::string, WorkerEngine> engines;
+  for (;;) {
+    GroupTask task;
+    {
+      std::unique_lock<std::mutex> lock(tasks_mu_);
+      tasks_cv_.wait(lock, [&] { return tasks_stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping, fully drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    ExecuteGroup(std::move(task), &engines);
+  }
+}
+
+void MatchServer::ExecuteGroup(GroupTask task,
+                               std::map<std::string, WorkerEngine>* engines) {
+  // Epoch guard around the whole pass: any raw borrow into the snapshot
+  // (degrade index pointer, cache rows) stays valid until this guard exits,
+  // even if a swap retires the snapshot mid-batch.
+  EpochDomain::Guard guard = registry_.domain().Enter();
+
   // Requests whose deadline passed while queued are answered without paying
   // for any kernel work.
   const Clock::time_point now = Clock::now();
   std::vector<Pending> live;
-  live.reserve(group.size());
-  for (Pending& pending : group) {
+  live.reserve(task.group.size());
+  for (Pending& pending : task.group) {
     if (pending.deadline <= now) {
       ServeResponse response;
       response.status = Status::DeadlineExceeded(
@@ -391,14 +611,29 @@ void MatchServer::ExecuteGroup(std::vector<Pending> group) {
   }
   if (live.empty()) return;
 
-  MatchEngine* engine = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(engines_mu_);
-    auto it = engines_.find(live.front().request.pair);
-    if (it != engines_.end()) engine = it->second.get();
+  const uint64_t version = task.snapshot->version();
+  WorkerEngine& slot = (*engines)[task.pair];
+  if (slot.engine == nullptr || slot.version != version ||
+      slot.engine->snapshot() != task.snapshot) {
+    std::unique_ptr<Workspace> recycled =
+        slot.engine != nullptr ? slot.engine->TakeWorkspace() : nullptr;
+    slot.engine.reset();
+    Result<MatchEngine> rebuilt = MatchEngine::Over(
+        task.snapshot, task.base_options, std::move(recycled));
+    if (!rebuilt.ok()) {
+      for (Pending& pending : live) {
+        ServeResponse response;
+        response.status = rebuilt.status();
+        Respond(&pending, std::move(response));
+      }
+      return;
+    }
+    slot.engine = std::make_unique<MatchEngine>(std::move(rebuilt).value());
+    slot.version = version;
   }
+  MatchEngine* engine = slot.engine.get();
 
-  stats_.RecordBatch(live.size());
+  const uint64_t batch_id = stats_.RecordBatch(live.size());
   // The shared scores pass runs under the *latest* live deadline: a
   // short-deadline rider must not abort a batch that other requests can
   // still use. Each decision stage then runs under its own request's
@@ -407,24 +642,21 @@ void MatchServer::ExecuteGroup(std::vector<Pending> group) {
   for (const Pending& pending : live) {
     group_deadline = std::max(group_deadline, pending.deadline);
   }
-  if (engine != nullptr && group_deadline != Clock::time_point::max()) {
+  if (group_deadline != Clock::time_point::max()) {
     engine->SetStageDeadline(group_deadline);
   }
   Result<MatchEngine::ScoredBatch> batch =
-      engine != nullptr
-          ? engine->BeginBatch(live.front().request.options)
-          : Result<MatchEngine::ScoredBatch>(Status::Internal(
-                "MatchServer: pair vanished after admission"));
+      engine->BeginBatch(live.front().request.options);
   for (Pending& pending : live) {
     ServeResponse response;
     response.batch_size = live.size();
     response.degraded = pending.degraded;
-    if (engine != nullptr) {
-      if (pending.deadline != Clock::time_point::max()) {
-        engine->SetStageDeadline(pending.deadline);
-      } else {
-        engine->ClearStageDeadline();
-      }
+    response.snapshot_version = version;
+    response.batch_id = batch_id;
+    if (pending.deadline != Clock::time_point::max()) {
+      engine->SetStageDeadline(pending.deadline);
+    } else {
+      engine->ClearStageDeadline();
     }
     if (!batch.ok()) {
       response.status = batch.status();
@@ -442,9 +674,19 @@ void MatchServer::ExecuteGroup(std::vector<Pending> group) {
     } else {
       response.topk = RowTopKIndices(batch->scores(), pending.request.topk);
     }
+    if (cache_.enabled() && response.status.ok() && !pending.degraded) {
+      ResultCache::Entry entry;
+      if (pending.request.kind == ServeQueryKind::kMatch) {
+        entry.assignment = response.assignment;
+      } else {
+        entry.topk = response.topk;
+      }
+      cache_.Insert(MakeResultKey(task.pair, version, pending.request),
+                    std::move(entry));
+    }
     Respond(&pending, std::move(response));
   }
-  if (engine != nullptr) engine->ClearStageDeadline();
+  engine->ClearStageDeadline();
 }
 
 void MatchServer::Respond(Pending* pending, ServeResponse response) {

@@ -16,7 +16,9 @@
 #include "common/status.h"
 #include "la/matrix.h"
 #include "matching/engine.h"
+#include "matching/snapshot.h"
 #include "matching/types.h"
+#include "serve/result_cache.h"
 #include "serve/stats.h"
 
 namespace entmatcher {
@@ -55,6 +57,17 @@ struct MatchServerConfig {
   /// Candidates per source row / probes used for degraded requests.
   size_t degrade_num_candidates = 32;
   size_t degrade_nprobe = 4;
+  /// Execution worker threads. Batch groups formed by the scheduler are
+  /// dispatched to this pool; groups over different pairs or signatures run
+  /// truly concurrently. 0 = resolve from EM_SERVE_WORKERS, falling back to
+  /// std::thread::hardware_concurrency(). Responses are bit-identical at
+  /// every worker count (groups are formed by one scheduler and each group
+  /// executes sequentially on one worker).
+  size_t serve_workers = 0;
+  /// Byte budget of the cross-request LRU result cache (0 = disabled). A
+  /// cached answer is returned without any pipeline work; keys include the
+  /// snapshot version, so hot swaps can never serve stale bytes.
+  size_t result_cache_bytes = 0;
 };
 
 /// What a ServeRequest asks of the engine.
@@ -86,38 +99,68 @@ struct ServeResponse {
   Assignment assignment;
   /// kTopK payload: flattened (rows × k') indices, k' = min(k, target rows).
   std::vector<uint32_t> topk;
-  /// How many queries shared this response's scores pass (1 = ran alone).
+  /// How many queries shared this response's scores pass (1 = ran alone; 0 =
+  /// no pass ran: admission failure, expiry, or a result-cache hit).
   size_t batch_size = 0;
   /// Backoff hint accompanying a shed (kUnavailable) status; 0 = none.
   uint64_t retry_after_micros = 0;
   /// True when overload rewrote this request onto the sparse candidate path
   /// (the answer is approximate relative to the dense request submitted).
   bool degraded = false;
+  /// Version of the PairSnapshot the answer was computed against (0 when no
+  /// snapshot was touched). With batch_id this is what lets tests assert
+  /// that no batch ever mixed snapshot versions.
+  uint64_t snapshot_version = 0;
+  /// Id of the executed batch this response rode in (ServerStats ids,
+  /// 1-based; 0 = no batch executed for this response).
+  uint64_t batch_id = 0;
+  /// True when the answer came from the cross-request result cache.
+  bool cached = false;
 };
 
-/// A long-lived, multi-client serving layer over MatchEngine sessions.
+/// A long-lived, multi-client serving layer over immutable PairSnapshots.
 ///
-/// One warm engine per loaded embedding pair; clients submit queries from
-/// any thread into a bounded queue and a single scheduler thread drains it,
-/// coalescing queries with equal (pair, ScoreSignature) into one scores pass
-/// (MatchEngine::BeginBatch) of at most max_batch queries — the decision
-/// stage still runs per query, so every response is bit-identical to a solo
-/// MatchEngine::Match/TransformedScores with the same options (pinned by
-/// tests/serve/serve_test.cc). Incompatible queries in a cycle simply form
-/// their own (possibly singleton) groups: per-request execution is the
-/// natural fallback, not a separate code path.
+/// Architecture (the read-mostly concurrency refactor): every loaded pair is
+/// an immutable, ref-counted PairSnapshot in a SnapshotRegistry. Clients
+/// submit queries from any thread into a bounded queue; ONE scheduler thread
+/// drains it and — exactly as before the refactor — coalesces queries with
+/// equal (pair, ScoreSignature) into batch groups of at most max_batch
+/// queries. What changed is execution: groups are dispatched to a pool of
+/// `serve_workers` worker threads, each owning a private MatchEngine per
+/// pair over the shared snapshot (embeddings and similarity caches are read
+/// in place; only the workspace arena is per-worker). Groups over different
+/// pairs or signatures therefore run truly concurrently, while each group
+/// still executes sequentially on one worker — which is why every response
+/// stays bit-identical to a solo MatchEngine::Match/TransformedScores with
+/// the same options at EVERY worker count (pinned by
+/// tests/serve/serve_concurrency_test.cc).
+///
+/// Hot swap: SwapPair builds a new snapshot (warming its caches first) and
+/// atomically publishes it; in-flight groups keep the version they pinned
+/// when scheduled, so a batch never mixes v and v+1 data, and the displaced
+/// snapshot is reclaimed through the registry's EpochDomain only after every
+/// pass active at the swap has drained.
+///
+/// Result cache: with result_cache_bytes > 0, the scheduler probes an LRU
+/// cache keyed by (pair, snapshot version, ScoreSignature, matcher, kind,
+/// topk) before grouping; hits answer immediately with the stored bytes
+/// (bit-identical — the pipeline is deterministic), misses execute and
+/// insert. Degraded answers are never cached.
 ///
 /// Admission control happens on the submitting thread, before queueing:
 /// unknown pair (kNotFound), RL matcher (kInvalidArgument: no KG context in
 /// the serving layer), a DeclaredWorkspaceBytes above the arena budget
 /// (kResourceExhausted — the query is doomed, reject it now, not after it
 /// queued behind real work), and a full queue (kUnavailable + retry hint).
+/// Under degrade_watermark pressure an eligible request is only *marked*
+/// degraded at admission; the scheduler rewrites its options from the
+/// snapshot it pins for the group, so the rewritten candidate_index pointer
+/// can never dangle across a swap.
 ///
 /// Lifecycle: Create -> LoadPair (any number) -> Start -> Submit/Query ...
-/// -> Shutdown (drains the queue, answering still-pending requests with
-/// kFailedPrecondition). LoadPair is allowed while running; engines are only
-/// ever *queried* by the scheduler thread, so MatchEngine's single-thread
-/// contract holds.
+/// -> Shutdown (drains the queue and the task pool, answering requests that
+/// never reached a scheduler with kFailedPrecondition). LoadPair, SwapPair,
+/// and AttachIndex are allowed while running.
 class MatchServer {
  public:
   static Result<std::unique_ptr<MatchServer>> Create(
@@ -129,13 +172,15 @@ class MatchServer {
   MatchServer(const MatchServer&) = delete;
   MatchServer& operator=(const MatchServer&) = delete;
 
-  /// Prepares a warm engine for (source, target) under `name`. `base`
-  /// provides session defaults; its workspace_budget_bytes is overridden by
-  /// the server-level config. kAlreadyExists if the name is taken.
+  /// Publishes version 1 of (source, target) under `name` and warms its
+  /// similarity cache. `base` provides session defaults; its
+  /// workspace_budget_bytes is overridden by the server-level config.
+  /// kAlreadyExists if the name is taken (use SwapPair to replace).
   Status LoadPair(const std::string& name, Matrix source, Matrix target,
                   const MatchOptions& base = MatchOptions());
 
-  /// Attaches a candidate index to pair `name` for degrade-to-sparse: under
+  /// Attaches a candidate index to pair `name` (publishing a sibling
+  /// snapshot that shares the embeddings) for degrade-to-sparse: under
   /// overload (degrade_watermark) eligible dense requests are served from it
   /// instead of being shed. The server takes ownership. kNotFound for an
   /// unloaded pair, kInvalidArgument when the index was built over a
@@ -143,9 +188,26 @@ class MatchServer {
   Status AttachIndex(const std::string& name,
                      std::unique_ptr<CandidateIndex> index);
 
-  /// Spawns the scheduler thread. Requests submitted before Start wait in
-  /// the queue (handy for tests and warm-up scripts). kFailedPrecondition
-  /// if already started or shut down.
+  /// Hot swap: builds a fresh snapshot from (source, target) — with `index`
+  /// attached when non-null — warms its similarity cache, and atomically
+  /// publishes it as the next version of `name`. In-flight batches finish on
+  /// the version they pinned; new batches see the new one; the result cache
+  /// drops the pair's entries. On failure (including an armed
+  /// "snapshot.publish" fault) the previous snapshot keeps serving
+  /// untouched. Returns the published version. kNotFound for a pair never
+  /// loaded — swap replaces, LoadPair introduces.
+  Result<uint64_t> SwapPair(const std::string& name, Matrix source,
+                            Matrix target,
+                            std::unique_ptr<CandidateIndex> index = nullptr);
+
+  /// The current snapshot of `name` (nullptr if unknown) — observability
+  /// and tests; queries pin their own reference internally.
+  std::shared_ptr<const PairSnapshot> CurrentSnapshot(
+      const std::string& name) const;
+
+  /// Spawns the scheduler and the worker pool. Requests submitted before
+  /// Start wait in the queue (handy for tests and warm-up scripts).
+  /// kFailedPrecondition if already started or shut down.
   Status Start();
 
   /// Admission-checks `request` and enqueues it; the future resolves when
@@ -156,20 +218,26 @@ class MatchServer {
   /// Blocking convenience: Submit + wait.
   ServeResponse Query(ServeRequest request);
 
-  /// Current counters; `queue_depth` is sampled at the call.
+  /// Current counters; `queue_depth` and the cache gauges are sampled at the
+  /// call.
   ServerStatsSnapshot Stats() const;
 
   /// Liveness summary as JSON: queue depth vs capacity/watermarks, shed and
-  /// degrade counts + shed rate, and the armed fault-plan fingerprint —
-  /// what a probe needs to tell "slow" from "dying" without the full stats.
+  /// degrade counts + shed rate, worker count, swap count, and the armed
+  /// fault-plan fingerprint — what a probe needs to tell "slow" from
+  /// "dying" without the full stats.
   std::string HealthJson() const;
 
-  /// Stops accepting new work, lets the scheduler drain everything already
-  /// queued (executing live requests, failing the rest only if the scheduler
-  /// never started), and joins it. Idempotent.
+  /// Stops accepting new work, lets the scheduler and workers drain
+  /// everything already queued (executing live requests, failing the rest
+  /// only if the scheduler never started), and joins them. Idempotent.
   void Shutdown();
 
   const MatchServerConfig& config() const { return config_; }
+
+  /// The resolved worker-pool size (config.serve_workers after the
+  /// EM_SERVE_WORKERS / hardware-concurrency fallback).
+  size_t serve_workers() const { return num_workers_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -179,20 +247,42 @@ class MatchServer {
     std::promise<ServeResponse> promise;
     Clock::time_point enqueued;
     Clock::time_point deadline;  // time_point::max() when none
-    bool degraded = false;       // overload rewrote it onto the sparse path
+    bool degraded = false;       // overload marked it for the sparse path
+  };
+
+  /// One compatible batch group, ready for a worker: the requests plus the
+  /// snapshot pinned for them. Pinning here — not at execution — is what
+  /// makes a mixed-version batch structurally impossible.
+  struct GroupTask {
+    std::string pair;
+    std::shared_ptr<const PairSnapshot> snapshot;
+    MatchOptions base_options;
+    std::vector<Pending> group;
+  };
+
+  /// A worker's warm engine over one pair's snapshot.
+  struct WorkerEngine {
+    uint64_t version = 0;
+    std::unique_ptr<MatchEngine> engine;
   };
 
   explicit MatchServer(const MatchServerConfig& config);
 
-  /// Scheduler body: pop a cycle's worth of requests, group, execute.
+  /// Scheduler body: pop a cycle's worth of requests, resolve snapshots,
+  /// probe the result cache, group, dispatch to the pool.
   void SchedulerLoop();
+
+  /// Worker body: execute dispatched groups until drained and stopping.
+  void WorkerLoop();
 
   /// Blocks for the next cycle of at most max_batch requests (waiting up to
   /// flush_micros after the first arrival). Empty result means shutdown.
   std::vector<Pending> NextCycle();
 
-  /// Executes one compatible group (same pair + signature) as one batch.
-  void ExecuteGroup(std::vector<Pending> group);
+  /// Executes one compatible group as one batch on the calling worker's
+  /// engines.
+  void ExecuteGroup(GroupTask task,
+                    std::map<std::string, WorkerEngine>* engines);
 
   /// Answers `pending` and updates outcome/latency stats.
   void Respond(Pending* pending, ServeResponse response);
@@ -202,23 +292,35 @@ class MatchServer {
   uint64_t RetryAfterHintMicros(size_t queue_depth) const;
 
   MatchServerConfig config_;
+  size_t num_workers_ = 1;
   ServerStats stats_;
+  ResultCache cache_;
 
-  mutable std::mutex engines_mu_;
-  std::map<std::string, std::unique_ptr<MatchEngine>> engines_;
-  // Degrade-to-sparse indexes, keyed by pair name; owned here so rewritten
-  // options' raw pointers stay valid for the server's lifetime.
-  std::map<std::string, std::unique_ptr<CandidateIndex>> indexes_;
+  /// name -> current immutable snapshot; owns the epoch domain that guards
+  /// in-flight passes across swaps.
+  SnapshotRegistry registry_;
+
+  /// Per-pair session defaults (LoadPair's `base` with the server budget);
+  /// worker engines are built from these.
+  mutable std::mutex pairs_mu_;
+  std::map<std::string, MatchOptions> base_options_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
 
+  /// Dispatched batch groups awaiting a worker.
+  std::mutex tasks_mu_;
+  std::condition_variable tasks_cv_;
+  std::deque<GroupTask> tasks_;
+  bool tasks_stopping_ = false;
+
   // Serializes Start/Shutdown (thread spawn + join); never taken by the
-  // scheduler itself.
+  // scheduler or workers.
   std::mutex lifecycle_mu_;
   std::thread scheduler_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace entmatcher

@@ -8,9 +8,34 @@
 #include <cerrno>
 #include <cstring>
 
+#include "index/candidate_index.h"
+#include "la/matrix_io.h"
 #include "serve/protocol.h"
 
 namespace entmatcher {
+
+namespace {
+
+// "swap" admin verb: load the new embeddings (and optional index) from
+// server-side files and republish the pair. Returns the confirmation text.
+Result<std::string> HandleSwap(MatchServer* server,
+                               const WireRequest& request) {
+  EM_ASSIGN_OR_RETURN(Matrix source, ReadMatrixBinary(request.source_path));
+  EM_ASSIGN_OR_RETURN(Matrix target, ReadMatrixBinary(request.target_path));
+  std::unique_ptr<CandidateIndex> index;
+  if (!request.index_path.empty()) {
+    EM_ASSIGN_OR_RETURN(CandidateIndex loaded,
+                        CandidateIndex::Load(request.index_path));
+    index = std::make_unique<CandidateIndex>(std::move(loaded));
+  }
+  EM_ASSIGN_OR_RETURN(
+      const uint64_t version,
+      server->SwapPair(request.pair, std::move(source), std::move(target),
+                       std::move(index)));
+  return "swapped " + request.pair + " v" + std::to_string(version);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SocketServer>> SocketServer::Start(
     MatchServer* server, const std::string& socket_path) {
@@ -131,6 +156,13 @@ bool SocketServer::HandleFrame(int fd, const std::string& payload) {
       }
       shutdown_cv_.notify_all();
       return false;
+    }
+    case WireRequest::Verb::kSwap: {
+      Result<std::string> swapped = HandleSwap(server_, *parsed);
+      if (!swapped.ok()) {
+        return WriteFrame(fd, EncodeErrorResponse(swapped.status())).ok();
+      }
+      return WriteFrame(fd, EncodeTextResponse(*swapped)).ok();
     }
     case WireRequest::Verb::kMatch:
     case WireRequest::Verb::kTopK:

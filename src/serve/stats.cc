@@ -10,6 +10,14 @@ namespace entmatcher {
 
 namespace {
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+// Ledger counters with a prerequisite (admitted/rejected after submitted,
+// terminal outcomes after admitted) are bumped with release and read with
+// acquire in reverse-dependency order, so a mid-flight Snapshot can never
+// observe e.g. admitted > submitted (see the class comment).
+constexpr auto kRelease = std::memory_order_release;
+constexpr auto kAcquire = std::memory_order_acquire;
+
 // Index of the log2 bucket covering `micros`.
 size_t LatencyBucket(double micros, size_t num_buckets) {
   if (micros < 1.0) return 0;
@@ -36,75 +44,113 @@ double HistogramQuantile(const std::array<uint64_t, 32>& hist, uint64_t total,
 }  // namespace
 
 ServerStats::ServerStats(size_t max_batch)
-    : batch_size_hist_(std::max<size_t>(max_batch, 1), 0) {}
+    : batch_hist_size_(std::max<size_t>(max_batch, 1)),
+      batch_size_hist_(new std::atomic<uint64_t>[batch_hist_size_]) {
+  for (size_t i = 0; i < batch_hist_size_; ++i) {
+    batch_size_hist_[i].store(0, kRelaxed);
+  }
+}
+
+void ServerStats::UpdateMax(std::atomic<double>* target, double value) {
+  double observed = target->load(kRelaxed);
+  while (value > observed &&
+         !target->compare_exchange_weak(observed, value, kRelaxed)) {
+  }
+}
 
 void ServerStats::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_.submitted;
-  ++counts_.rejected;
+  submitted_.fetch_add(1, kRelaxed);
+  rejected_.fetch_add(1, kRelease);
 }
 
 void ServerStats::RecordAdmitted(size_t queue_depth_after) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_.submitted;
-  ++counts_.admitted;
-  counts_.max_queue_depth =
-      std::max<uint64_t>(counts_.max_queue_depth, queue_depth_after);
+  submitted_.fetch_add(1, kRelaxed);
+  admitted_.fetch_add(1, kRelease);
+  uint64_t observed = max_queue_depth_.load(kRelaxed);
+  while (queue_depth_after > observed &&
+         !max_queue_depth_.compare_exchange_weak(observed, queue_depth_after,
+                                                 kRelaxed)) {
+  }
 }
 
-void ServerStats::RecordShed() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_.shed;
-}
+void ServerStats::RecordShed() { shed_.fetch_add(1, kRelaxed); }
 
-void ServerStats::RecordDegraded() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_.degraded;
-}
+void ServerStats::RecordDegraded() { degraded_.fetch_add(1, kRelaxed); }
 
-void ServerStats::RecordTimedOut() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_.timed_out;
-}
+void ServerStats::RecordTimedOut() { timed_out_.fetch_add(1, kRelease); }
 
-void ServerStats::RecordBatch(size_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_.batches;
-  if (size > 1) counts_.batched_queries += size;
-  const size_t bucket = std::min(size, batch_size_hist_.size()) - 1;
-  ++batch_size_hist_[bucket];
+uint64_t ServerStats::RecordBatch(size_t size) {
+  const uint64_t id = batches_.fetch_add(1, kRelaxed) + 1;
+  if (size > 1) batched_queries_.fetch_add(size, kRelaxed);
+  const size_t bucket = std::min(size, batch_hist_size_) - 1;
+  batch_size_hist_[bucket].fetch_add(1, kRelaxed);
+  return id;
 }
 
 void ServerStats::RecordDone(bool ok, double latency_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ok) {
-    ++counts_.completed;
-  } else {
-    ++counts_.failed;
+  (ok ? completed_ : failed_).fetch_add(1, kRelease);
+  latency_samples_.fetch_add(1, kRelaxed);
+  latency_hist_[LatencyBucket(latency_micros, kLatencyBuckets)].fetch_add(
+      1, kRelaxed);
+  UpdateMax(&latency_max_micros_, latency_micros);
+  double sum = latency_sum_micros_.load(kRelaxed);
+  while (!latency_sum_micros_.compare_exchange_weak(sum, sum + latency_micros,
+                                                    kRelaxed)) {
   }
-  ++counts_.latency_samples;
-  ++latency_hist_[LatencyBucket(latency_micros, kLatencyBuckets)];
-  latency_max_micros_ = std::max(latency_max_micros_, latency_micros);
-  latency_sum_micros_ += latency_micros;
 }
 
-ServerStatsSnapshot ServerStats::Snapshot(size_t queue_depth_now) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServerStatsSnapshot snap = counts_;
+void ServerStats::RecordCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
+
+void ServerStats::RecordCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
+
+void ServerStats::RecordSwap() { snapshot_swaps_.fetch_add(1, kRelaxed); }
+
+ServerStatsSnapshot ServerStats::Snapshot(size_t queue_depth_now,
+                                          uint64_t cache_evictions,
+                                          size_t cache_bytes) const {
+  ServerStatsSnapshot snap;
+  // Reverse-dependency order: terminal outcomes, then admitted/rejected,
+  // then submitted. Acquire on a counter makes every prerequisite
+  // increment that happens-before it visible to the later loads, so the
+  // directional ledger inequalities hold even mid-flight.
+  snap.timed_out = timed_out_.load(kAcquire);
+  snap.completed = completed_.load(kAcquire);
+  snap.failed = failed_.load(kAcquire);
+  snap.admitted = admitted_.load(kAcquire);
+  snap.rejected = rejected_.load(kAcquire);
+  snap.submitted = submitted_.load(kRelaxed);
+  snap.shed = shed_.load(kRelaxed);
+  snap.degraded = degraded_.load(kRelaxed);
   snap.queue_depth = queue_depth_now;
-  snap.batch_size_hist = batch_size_hist_;
+  snap.max_queue_depth = max_queue_depth_.load(kRelaxed);
+  snap.batches = batches_.load(kRelaxed);
+  snap.batched_queries = batched_queries_.load(kRelaxed);
+  snap.cache_hits = cache_hits_.load(kRelaxed);
+  snap.cache_misses = cache_misses_.load(kRelaxed);
+  snap.cache_evictions = cache_evictions;
+  snap.result_cache_bytes = cache_bytes;
+  snap.snapshot_swaps = snapshot_swaps_.load(kRelaxed);
+  snap.batch_size_hist.resize(batch_hist_size_);
+  for (size_t i = 0; i < batch_hist_size_; ++i) {
+    snap.batch_size_hist[i] = batch_size_hist_[i].load(kRelaxed);
+  }
+  std::array<uint64_t, kLatencyBuckets> hist;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    hist[i] = latency_hist_[i].load(kRelaxed);
+  }
+  snap.latency_samples = latency_samples_.load(kRelaxed);
+  const double max_micros = latency_max_micros_.load(kRelaxed);
   // Quantiles report the log2 bucket's upper bound; clamp to the observed
   // max so p50/p99 never exceed it.
   snap.latency_p50_micros = std::min(
-      HistogramQuantile(latency_hist_, snap.latency_samples, 0.50),
-      latency_max_micros_);
+      HistogramQuantile(hist, snap.latency_samples, 0.50), max_micros);
   snap.latency_p99_micros = std::min(
-      HistogramQuantile(latency_hist_, snap.latency_samples, 0.99),
-      latency_max_micros_);
-  snap.latency_max_micros = latency_max_micros_;
+      HistogramQuantile(hist, snap.latency_samples, 0.99), max_micros);
+  snap.latency_max_micros = max_micros;
   snap.latency_mean_micros =
       snap.latency_samples > 0
-          ? latency_sum_micros_ / static_cast<double>(snap.latency_samples)
+          ? latency_sum_micros_.load(kRelaxed) /
+                static_cast<double>(snap.latency_samples)
           : 0.0;
   return snap;
 }
@@ -123,7 +169,12 @@ std::string ServerStatsSnapshot::ToJson() const {
   for (size_t i = 0; i < batch_size_hist.size(); ++i) {
     out << (i > 0 ? ", " : "") << batch_size_hist[i];
   }
-  out << "], \"latency_samples\": " << latency_samples
+  out << "], \"cache_hits\": " << cache_hits
+      << ", \"cache_misses\": " << cache_misses
+      << ", \"cache_evictions\": " << cache_evictions
+      << ", \"result_cache_bytes\": " << result_cache_bytes
+      << ", \"snapshot_swaps\": " << snapshot_swaps
+      << ", \"latency_samples\": " << latency_samples
       << ", \"latency_p50_micros\": " << latency_p50_micros
       << ", \"latency_p99_micros\": " << latency_p99_micros
       << ", \"latency_max_micros\": " << latency_max_micros

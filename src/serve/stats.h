@@ -2,8 +2,9 @@
 #define ENTMATCHER_SERVE_STATS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,18 @@ struct ServerStatsSnapshot {
   /// anything larger.
   std::vector<uint64_t> batch_size_hist;
 
+  /// Cross-request result cache: answers served without any pipeline work,
+  /// probes that fell through to execution, entries evicted by the byte
+  /// budget, and the bytes held when the snapshot was taken. All zero when
+  /// the cache is disabled (result_cache_bytes budget 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t result_cache_bytes = 0;
+
+  /// Successful snapshot publications after the initial load (SwapPair).
+  uint64_t snapshot_swaps = 0;
+
   /// End-to-end latency (enqueue to response) percentiles, from a log-scale
   /// histogram: values are upper bucket bounds, exact to within 2x.
   uint64_t latency_samples = 0;
@@ -59,8 +72,21 @@ struct ServerStatsSnapshot {
 
 /// Thread-safe serving counters: admission outcomes, batch-size histogram,
 /// and a log2-bucketed latency histogram for p50/p99 without storing samples.
-/// Writers are the admission path (any client thread) and the scheduler;
-/// Snapshot() may be called from anywhere.
+///
+/// Lock-free by construction: every counter is an atomic, so the writers —
+/// admission on any client thread, the scheduler, K pool workers — and a
+/// concurrent `stats` query never contend and never race (the pre-refactor
+/// implementation guarded a plain struct with a mutex that the read path
+/// could bypass; the stats read-storm regression test pins this under
+/// TSan). The ledger invariants (submitted == admitted + rejected,
+/// admitted == timed_out + completed + failed) are exact at quiescent
+/// points — after Shutdown, when all writers are joined. A mid-flight
+/// Snapshot additionally never violates them *directionally* (submitted >=
+/// admitted + rejected, admitted >= terminal outcomes): each record method
+/// bumps the dependent counter with release ordering after its
+/// prerequisite, and Snapshot loads in reverse-dependency order with
+/// acquire — seeing the Nth admitted increment therefore guarantees seeing
+/// at least N submitted increments. Everything else stays relaxed.
 class ServerStats {
  public:
   /// `max_batch` sizes the batch histogram (one bucket per size 1..max).
@@ -74,23 +100,55 @@ class ServerStats {
   /// An admitted request degraded to the sparse path (paired with
   /// RecordAdmitted).
   void RecordDegraded();
-  /// One executed batch of `size` queries (one scores pass).
-  void RecordBatch(size_t size);
+  /// One executed batch of `size` queries (one scores pass). Returns the
+  /// batch's 1-based id — unique across workers, surfaced as
+  /// ServeResponse::batch_id so tests can assert batch membership (e.g. no
+  /// mixed-snapshot batch) from responses alone.
+  uint64_t RecordBatch(size_t size);
   /// One finished query: outcome plus its enqueue-to-response latency.
   void RecordDone(bool ok, double latency_micros);
+  /// A result-cache probe outcome.
+  void RecordCacheHit();
+  void RecordCacheMiss();
+  /// A successful hot swap (snapshot publish after the initial load).
+  void RecordSwap();
 
-  ServerStatsSnapshot Snapshot(size_t queue_depth_now) const;
+  /// `cache_evictions`/`cache_bytes` are sampled by the caller (the cache
+  /// owns them), like `queue_depth_now`.
+  ServerStatsSnapshot Snapshot(size_t queue_depth_now,
+                               uint64_t cache_evictions = 0,
+                               size_t cache_bytes = 0) const;
 
  private:
   // Buckets cover [2^i, 2^(i+1)) microseconds; 32 buckets reach ~1.2 hours.
   static constexpr size_t kLatencyBuckets = 32;
 
-  mutable std::mutex mu_;
-  ServerStatsSnapshot counts_;  // histogram/percentile fields stay empty
-  std::vector<uint64_t> batch_size_hist_;
-  std::array<uint64_t, kLatencyBuckets> latency_hist_{};
-  double latency_max_micros_ = 0.0;
-  double latency_sum_micros_ = 0.0;
+  /// fetch_max for an atomic double via compare-exchange (no std::atomic
+  /// fetch_max; relaxed is fine, see class comment).
+  static void UpdateMax(std::atomic<double>* target, double value);
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> snapshot_swaps_{0};
+
+  const size_t batch_hist_size_;
+  std::unique_ptr<std::atomic<uint64_t>[]> batch_size_hist_;
+
+  std::atomic<uint64_t> latency_samples_{0};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_hist_{};
+  std::atomic<double> latency_max_micros_{0.0};
+  std::atomic<double> latency_sum_micros_{0.0};
 };
 
 }  // namespace entmatcher

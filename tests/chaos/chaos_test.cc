@@ -367,6 +367,91 @@ TEST_F(ChaosTest, CombinedPlanUnderThirtyPercentHoldsAllInvariants) {
   EXPECT_GT(FaultInjector::Global().total_fires(), 0u);
 }
 
+TEST_F(ChaosTest, FailedSnapshotPublishLeavesOldVersionServing) {
+  const Assignment reference = Reference(AlgorithmPreset::kCsls);
+  MatchServerConfig config;
+  config.serve_workers = 2;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/true);
+
+  // Every publish attempt fails at the swap point; the already-published v1
+  // must keep serving, bit-identical, as if the swap was never attempted.
+  Arm("snapshot.publish:p=1.0,code=Unavailable", /*seed=*/31);
+  Result<uint64_t> swapped = server->SwapPair(
+      "default", RandomEmbeddings(24, 101), RandomEmbeddings(30, 202));
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server->Stats().snapshot_swaps, 0u);
+  ASSERT_NE(server->CurrentSnapshot("default"), nullptr);
+  EXPECT_EQ(server->CurrentSnapshot("default")->version(), 1u);
+
+  ServeResponse response = server->Query(MatchRequest());
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.snapshot_version, 1u);
+  EXPECT_EQ(response.assignment.target_of_source, reference.target_of_source);
+
+  // Disarm: the retried swap goes through and v2 serves.
+  FaultInjector::Global().Disarm();
+  Result<uint64_t> retried = server->SwapPair(
+      "default", RandomEmbeddings(24, 101), RandomEmbeddings(30, 202));
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, 2u);
+  ServeResponse fresh = server->Query(MatchRequest());
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_EQ(fresh.snapshot_version, 2u);
+  server->Shutdown();
+}
+
+// The shed storm of ShedStormUnderFaultsKeepsTheLedgerExact, at a full
+// 8-worker pool: whatever the interleaving of shedding, injected engine
+// faults, and worker dispatch, every submitted request terminates with a
+// definite status and the ledger stays exact.
+TEST_F(ChaosTest, EightWorkerShedStormTerminatesDefinitely) {
+  const Assignment reference = Reference(AlgorithmPreset::kCsls);
+  MatchServerConfig config;
+  config.queue_capacity = 8;
+  config.shed_watermark = 6;
+  config.serve_workers = 8;
+  std::unique_ptr<MatchServer> server = MakeServer(config, /*start=*/false);
+  EXPECT_EQ(server->serve_workers(), 8u);
+  Arm("engine.scores:p=0.25,code=Internal", /*seed=*/37);
+
+  std::vector<std::future<ServeResponse>> inflight;
+  for (size_t i = 0; i < 16; ++i) {
+    inflight.push_back(server->Submit(MatchRequest()));
+  }
+  ASSERT_TRUE(server->Start().ok());
+
+  size_t ok_count = 0;
+  size_t shed_count = 0;
+  size_t injected = 0;
+  for (std::future<ServeResponse>& f : inflight) {
+    ServeResponse response = f.get();
+    switch (response.status.code()) {
+      case StatusCode::kOk:
+        EXPECT_EQ(response.assignment.target_of_source,
+                  reference.target_of_source);
+        ++ok_count;
+        break;
+      case StatusCode::kUnavailable:
+        ++shed_count;
+        break;
+      case StatusCode::kInternal:
+        ++injected;
+        break;
+      default:
+        FAIL() << "unexpected status: " << response.status.ToString();
+    }
+  }
+  server->Shutdown();
+
+  EXPECT_EQ(ok_count + shed_count + injected, 16u);
+  EXPECT_EQ(shed_count, 10u);
+  const ServerStatsSnapshot stats = server->Stats();
+  CheckStatsLedger(stats);
+  EXPECT_EQ(stats.failed, injected);
+  EXPECT_EQ(stats.completed, ok_count);
+}
+
 TEST_F(ChaosTest, HealthJsonCarriesTheArmedFingerprint) {
   std::unique_ptr<MatchServer> server =
       MakeServer(MatchServerConfig(), /*start=*/true);

@@ -1,0 +1,118 @@
+// ResultCache unit tests: LRU order, byte budget + evictions, refresh
+// without double-counting, per-pair invalidation with prefix-free keys, and
+// the disabled (budget 0) mode.
+
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace entmatcher {
+namespace {
+
+ResultCache::Entry TopKEntry(size_t values) {
+  ResultCache::Entry entry;
+  entry.topk.resize(values, 7);
+  return entry;
+}
+
+std::string Key(const std::string& pair, const std::string& suffix) {
+  return ResultCache::PairPrefix(pair) + suffix;
+}
+
+TEST(ResultCacheTest, BudgetZeroDisablesEverything) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(Key("p", "a"), TopKEntry(4));
+  ResultCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(Key("p", "a"), &out));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, RoundTripsBothPayloadKinds) {
+  ResultCache cache(1 << 20);
+  ResultCache::Entry match;
+  match.assignment.target_of_source = {2, -1, 0};
+  cache.Insert(Key("p", "match"), match);
+  ResultCache::Entry topk = TopKEntry(6);
+  topk.topk = {1, 2, 3, 4, 5, 6};
+  cache.Insert(Key("p", "topk"), topk);
+
+  ResultCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(Key("p", "match"), &out));
+  EXPECT_EQ(out.assignment.target_of_source, match.assignment.target_of_source);
+  ASSERT_TRUE(cache.Lookup(Key("p", "topk"), &out));
+  EXPECT_EQ(out.topk, topk.topk);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_GT(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, EvictsColdestWhenOverBudget) {
+  // Room for two small entries, not three.
+  ResultCache cache(2 * (128 + 8 + 16 * sizeof(uint32_t)));
+  cache.Insert(Key("p", "a"), TopKEntry(16));
+  cache.Insert(Key("p", "b"), TopKEntry(16));
+  cache.Insert(Key("p", "c"), TopKEntry(16));
+  ResultCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(Key("p", "a"), &out)) << "coldest survived";
+  EXPECT_TRUE(cache.Lookup(Key("p", "b"), &out));
+  EXPECT_TRUE(cache.Lookup(Key("p", "c"), &out));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCacheTest, LookupPromotesAgainstEviction) {
+  ResultCache cache(2 * (128 + 8 + 16 * sizeof(uint32_t)));
+  cache.Insert(Key("p", "a"), TopKEntry(16));
+  cache.Insert(Key("p", "b"), TopKEntry(16));
+  ResultCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(Key("p", "a"), &out));  // a is now hottest
+  cache.Insert(Key("p", "c"), TopKEntry(16));
+  EXPECT_TRUE(cache.Lookup(Key("p", "a"), &out));
+  EXPECT_FALSE(cache.Lookup(Key("p", "b"), &out)) << "LRU order ignored";
+}
+
+TEST(ResultCacheTest, OversizedEntryIsDroppedSilently) {
+  ResultCache cache(256);
+  cache.Insert(Key("p", "big"), TopKEntry(4096));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u) << "an unfittable entry thrashed the tail";
+}
+
+TEST(ResultCacheTest, ReInsertRefreshesWithoutDoubleCounting) {
+  ResultCache cache(1 << 20);
+  cache.Insert(Key("p", "a"), TopKEntry(16));
+  const size_t bytes_once = cache.bytes();
+  cache.Insert(Key("p", "a"), TopKEntry(16));
+  EXPECT_EQ(cache.bytes(), bytes_once);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCacheTest, InvalidatePairIsExactOnPrefixes) {
+  ResultCache cache(1 << 20);
+  // "ab" must not shadow "abc": PairPrefix keys are prefix-free.
+  cache.Insert(Key("ab", "x"), TopKEntry(4));
+  cache.Insert(Key("ab", "y"), TopKEntry(4));
+  cache.Insert(Key("abc", "x"), TopKEntry(4));
+  EXPECT_EQ(cache.InvalidatePair("ab"), 2u);
+  ResultCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(Key("ab", "x"), &out));
+  EXPECT_TRUE(cache.Lookup(Key("abc", "x"), &out));
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCacheTest, InvalidateReturnsBytesToBudget) {
+  ResultCache cache(2 * (128 + 8 + 16 * sizeof(uint32_t)));
+  cache.Insert(Key("p", "a"), TopKEntry(16));
+  cache.Insert(Key("p", "b"), TopKEntry(16));
+  EXPECT_EQ(cache.InvalidatePair("p"), 2u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  // The freed budget is usable again without evictions.
+  cache.Insert(Key("p", "c"), TopKEntry(16));
+  cache.Insert(Key("p", "d"), TopKEntry(16));
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace entmatcher

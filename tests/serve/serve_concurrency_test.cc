@@ -1,0 +1,350 @@
+// Multi-worker serving contracts (runs under TSan and ASan in CI):
+//   - the SAME mixed-preset storm produces byte-identical responses and
+//     identical admission/outcome ledgers at serve_workers 1, 4, and 8, and
+//     every answer equals the solo MatchEngine answer;
+//   - a hot swap under load never yields a batch that mixes snapshot
+//     versions (asserted from (batch_id, snapshot_version) on responses)
+//     and the displaced snapshot is reclaimed once in-flight passes drain;
+//   - the cross-request result cache serves identical bytes, counts
+//     hits/misses, and is invalidated by a swap;
+//   - concurrent Stats()/HealthJson() readers race no writer (regression
+//     for the pre-refactor mutex-bypassing stats read path).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/candidate_index.h"
+#include "matching/engine.h"
+#include "serve/server.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 16;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+std::vector<AlgorithmPreset> StormPresets() {
+  return {AlgorithmPreset::kCsls, AlgorithmPreset::kDInf,
+          AlgorithmPreset::kSinkhorn, AlgorithmPreset::kStableMatch};
+}
+
+/// Everything about a storm that must not depend on the worker count.
+struct StormOutcome {
+  std::vector<std::vector<int32_t>> assignments;
+  std::vector<std::vector<uint32_t>> topks;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t timed_out = 0;
+
+  bool operator==(const StormOutcome& other) const {
+    return assignments == other.assignments && topks == other.topks &&
+           submitted == other.submitted && admitted == other.admitted &&
+           rejected == other.rejected && completed == other.completed &&
+           failed == other.failed && timed_out == other.timed_out;
+  }
+};
+
+class ServeConcurrencyTest : public ::testing::Test {
+ protected:
+  ServeConcurrencyTest()
+      : source_(RandomEmbeddings(24, /*seed=*/5)),
+        target_(RandomEmbeddings(30, /*seed=*/8)) {}
+
+  std::unique_ptr<MatchServer> MakeServer(MatchServerConfig config,
+                                          uint64_t source_seed = 5,
+                                          uint64_t target_seed = 8) {
+    Result<std::unique_ptr<MatchServer>> server = MatchServer::Create(config);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    Status loaded = (*server)->LoadPair("default",
+                                        RandomEmbeddings(24, source_seed),
+                                        RandomEmbeddings(30, target_seed));
+    EXPECT_TRUE(loaded.ok()) << loaded.ToString();
+    Status started = (*server)->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return std::move(server).value();
+  }
+
+  Assignment SoloMatch(AlgorithmPreset preset, uint64_t source_seed = 5,
+                       uint64_t target_seed = 8) {
+    Result<MatchEngine> engine = MatchEngine::Create(
+        RandomEmbeddings(24, source_seed), RandomEmbeddings(30, target_seed),
+        MakePreset(preset));
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    Result<Assignment> assignment = engine->Match();
+    EXPECT_TRUE(assignment.ok()) << assignment.status().ToString();
+    return std::move(assignment).value();
+  }
+
+  static ServeRequest MatchRequest(AlgorithmPreset preset) {
+    ServeRequest request;
+    request.options = MakePreset(preset);
+    return request;
+  }
+
+  /// Runs the canonical mixed-preset storm at `workers` and collects the
+  /// worker-count-independent outcome.
+  StormOutcome RunStorm(size_t workers) {
+    MatchServerConfig config;
+    config.queue_capacity = 512;
+    config.serve_workers = workers;
+    std::unique_ptr<MatchServer> server = MakeServer(config);
+    EXPECT_EQ(server->serve_workers(), workers);
+
+    constexpr int kRepeats = 5;
+    constexpr size_t kTopK = 3;
+    std::vector<std::future<ServeResponse>> match_futures;
+    std::vector<std::future<ServeResponse>> topk_futures;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      for (AlgorithmPreset preset : StormPresets()) {
+        match_futures.push_back(server->Submit(MatchRequest(preset)));
+      }
+      ServeRequest topk = MatchRequest(AlgorithmPreset::kCsls);
+      topk.kind = ServeQueryKind::kTopK;
+      topk.topk = kTopK;
+      topk_futures.push_back(server->Submit(std::move(topk)));
+    }
+
+    StormOutcome outcome;
+    for (std::future<ServeResponse>& future : match_futures) {
+      ServeResponse response = future.get();
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_EQ(response.snapshot_version, 1u);
+      outcome.assignments.push_back(response.assignment.target_of_source);
+    }
+    for (std::future<ServeResponse>& future : topk_futures) {
+      ServeResponse response = future.get();
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      outcome.topks.push_back(response.topk);
+    }
+    server->Shutdown();
+    const ServerStatsSnapshot stats = server->Stats();
+    outcome.submitted = stats.submitted;
+    outcome.admitted = stats.admitted;
+    outcome.rejected = stats.rejected;
+    outcome.completed = stats.completed;
+    outcome.failed = stats.failed;
+    outcome.timed_out = stats.timed_out;
+    // Ledger invariants hold at the quiescent post-Shutdown point.
+    EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+    EXPECT_EQ(stats.admitted,
+              stats.completed + stats.failed + stats.timed_out);
+    return outcome;
+  }
+
+  Matrix source_;
+  Matrix target_;
+};
+
+TEST_F(ServeConcurrencyTest, StormIsBitIdenticalAtEveryWorkerCount) {
+  const StormOutcome one = RunStorm(1);
+  const StormOutcome four = RunStorm(4);
+  const StormOutcome eight = RunStorm(8);
+  EXPECT_TRUE(one == four) << "workers=4 diverged from workers=1";
+  EXPECT_TRUE(one == eight) << "workers=8 diverged from workers=1";
+
+  // And the served bytes are the solo-engine bytes, not merely stable.
+  const std::vector<AlgorithmPreset> presets = StormPresets();
+  for (size_t i = 0; i < one.assignments.size(); ++i) {
+    const Assignment solo = SoloMatch(presets[i % presets.size()]);
+    EXPECT_EQ(one.assignments[i], solo.target_of_source)
+        << "served answer diverged from solo engine for request " << i;
+  }
+}
+
+TEST_F(ServeConcurrencyTest, SwapUnderLoadNeverMixesBatchVersions) {
+  MatchServerConfig config;
+  config.queue_capacity = 1024;
+  config.serve_workers = 4;
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+
+  std::weak_ptr<const PairSnapshot> displaced =
+      server->CurrentSnapshot("default");
+  ASSERT_FALSE(displaced.expired());
+
+  // Two submitters keep a mixed storm in flight while the main thread
+  // swaps the pair three times.
+  struct Tagged {
+    uint64_t batch_id;
+    uint64_t version;
+    Status status;
+  };
+  std::vector<std::vector<Tagged>> collected(2);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&, t] {
+      const std::vector<AlgorithmPreset> presets = StormPresets();
+      size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ServeResponse response =
+            server->Query(MatchRequest(presets[i++ % presets.size()]));
+        collected[t].push_back(
+            {response.batch_id, response.snapshot_version, response.status});
+      }
+    });
+  }
+  constexpr uint64_t kSwaps = 3;
+  for (uint64_t swap = 0; swap < kSwaps; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Result<uint64_t> version = server->SwapPair(
+        "default", RandomEmbeddings(24, 100 + swap),
+        RandomEmbeddings(30, 200 + swap));
+    ASSERT_TRUE(version.ok()) << version.status().ToString();
+    EXPECT_EQ(*version, swap + 2);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& submitter : submitters) submitter.join();
+
+  // No batch may span a swap: every response that rode batch B must report
+  // the same snapshot version.
+  std::map<uint64_t, std::set<uint64_t>> versions_by_batch;
+  size_t executed = 0;
+  for (const std::vector<Tagged>& thread_responses : collected) {
+    for (const Tagged& tagged : thread_responses) {
+      ASSERT_TRUE(tagged.status.ok()) << tagged.status.ToString();
+      ASSERT_GE(tagged.version, 1u);
+      ASSERT_LE(tagged.version, kSwaps + 1);
+      if (tagged.batch_id != 0) {
+        versions_by_batch[tagged.batch_id].insert(tagged.version);
+        ++executed;
+      }
+    }
+  }
+  ASSERT_GT(executed, 0u);
+  for (const auto& [batch_id, versions] : versions_by_batch) {
+    EXPECT_EQ(versions.size(), 1u)
+        << "batch " << batch_id << " mixed snapshot versions";
+  }
+  EXPECT_EQ(server->Stats().snapshot_swaps, kSwaps);
+
+  // Post-swap answers come from the new embeddings.
+  ServeResponse fresh = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_EQ(fresh.snapshot_version, kSwaps + 1);
+  EXPECT_EQ(fresh.assignment.target_of_source,
+            SoloMatch(AlgorithmPreset::kCsls, 100 + kSwaps - 1,
+                      200 + kSwaps - 1)
+                .target_of_source);
+
+  // Epoch reclamation: once in-flight passes drain (each query turns the
+  // epoch), the displaced v1 snapshot must be destroyed — no leak.
+  for (int attempt = 0; attempt < 100 && !displaced.expired(); ++attempt) {
+    (void)server->Query(MatchRequest(AlgorithmPreset::kDInf));
+  }
+  EXPECT_TRUE(displaced.expired()) << "displaced snapshot never reclaimed";
+  server->Shutdown();
+}
+
+TEST_F(ServeConcurrencyTest, ResultCacheServesIdenticalBytesAndInvalidates) {
+  MatchServerConfig config;
+  config.serve_workers = 2;
+  config.result_cache_bytes = 1 << 20;
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+
+  ServeResponse first = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cached);
+  ServeResponse second = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.batch_size, 0u) << "a cache hit ran a scores pass";
+  EXPECT_EQ(second.assignment.target_of_source,
+            first.assignment.target_of_source);
+  EXPECT_EQ(second.snapshot_version, first.snapshot_version);
+
+  ServerStatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_GE(stats.cache_misses, 1u);
+  EXPECT_GT(stats.result_cache_bytes, 0u);
+
+  // A different signature is a different key.
+  ServeResponse other = server->Query(MatchRequest(AlgorithmPreset::kDInf));
+  ASSERT_TRUE(other.status.ok());
+  EXPECT_FALSE(other.cached);
+
+  // A swap invalidates: same request misses and recomputes on v2.
+  ASSERT_TRUE(server
+                  ->SwapPair("default", RandomEmbeddings(24, 50),
+                             RandomEmbeddings(30, 60))
+                  .ok());
+  ServeResponse after = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cached);
+  EXPECT_EQ(after.snapshot_version, 2u);
+  EXPECT_EQ(after.assignment.target_of_source,
+            SoloMatch(AlgorithmPreset::kCsls, 50, 60).target_of_source);
+  server->Shutdown();
+}
+
+TEST_F(ServeConcurrencyTest, CacheIsOffByDefault) {
+  MatchServerConfig config;
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+  (void)server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  ServeResponse second = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  EXPECT_FALSE(second.cached);
+  EXPECT_EQ(server->Stats().cache_hits, 0u);
+  EXPECT_EQ(server->Stats().cache_misses, 0u);
+}
+
+// The old ServerStats kept a plain struct behind a mutex the read path
+// bypassed; this read-storm + write-storm is the TSan regression for it.
+TEST_F(ServeConcurrencyTest, StatsReadersRaceNoWriters) {
+  MatchServerConfig config;
+  config.serve_workers = 2;
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const ServerStatsSnapshot snapshot = server->Stats();
+        // Directional ledger sanity under concurrency (exactness is only
+        // guaranteed at quiescent points): a mid-flight reader must never
+        // see a dependent counter ahead of its prerequisite.
+        EXPECT_GE(snapshot.submitted, snapshot.admitted + snapshot.rejected);
+        EXPECT_GE(snapshot.admitted, snapshot.completed + snapshot.failed +
+                                         snapshot.timed_out);
+        (void)server->HealthJson();
+      }
+    });
+  }
+  const std::vector<AlgorithmPreset> presets = StormPresets();
+  for (int i = 0; i < 40; ++i) {
+    ServeResponse response =
+        server->Query(MatchRequest(presets[i % presets.size()]));
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  server->Shutdown();
+  const ServerStatsSnapshot final_stats = server->Stats();
+  EXPECT_EQ(final_stats.submitted,
+            final_stats.admitted + final_stats.rejected);
+  EXPECT_EQ(final_stats.admitted, final_stats.completed + final_stats.failed +
+                                      final_stats.timed_out);
+}
+
+}  // namespace
+}  // namespace entmatcher
