@@ -1,0 +1,325 @@
+// Fleet benchmark: the same mixed match/topk storm is routed through a
+// 1-shard and a 4-shard fleet of REAL shard processes (ShardManager forks
+// the entmatcher_cli binary; the router scatter-gathers over unix sockets),
+// and the harness reports aggregate QPS plus client-observed p50/p99 per
+// shard count. Writes BENCH_fleet.json.
+//
+// Hard gates (correctness, not speed — a 1-core CI container cannot
+// demonstrate multi-process speedup, so there is deliberately no QPS-ratio
+// gate):
+//   1. every merged answer is bit-identical to a solo MatchEngine run,
+//   2. the router ledger is exact: queries == ok + failed, failed == 0,
+//   3. zero mixed-version merges (no swap runs during the storm),
+//   4. definite termination: every storm query returns, StopAll reaps all.
+//
+// Usage:
+//   ./bench_fleet                     # sizes scaled by EM_BENCH_SCALE
+//   EM_BENCH_SCALE=0.2 ./bench_fleet  # CI smoke run
+// The shard binary is located via EM_CLI_PATH, falling back to
+// <bench dir>/../examples/entmatcher_cli in the build tree.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "fleet/plan.h"
+#include "fleet/router.h"
+#include "fleet/shard_manager.h"
+#include "la/matrix_io.h"
+#include "la/topk.h"
+#include "matching/engine.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 32;
+constexpr size_t kClients = 4;
+constexpr size_t kTopK = 5;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+/// The shard binary: EM_CLI_PATH, else ../examples/entmatcher_cli next to
+/// this bench in the build tree.
+std::string LocateCli() {
+  const char* env = std::getenv("EM_CLI_PATH");
+  if (env != nullptr) return env;
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len <= 0) return "";
+  buf[len] = '\0';
+  std::string self(buf);
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "";
+  return self.substr(0, slash) + "/../examples/entmatcher_cli";
+}
+
+struct FleetResult {
+  int shards = 0;
+  size_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  uint64_t failed = 0;
+  uint64_t failovers = 0;
+  uint64_t version_mismatches = 0;
+  bool ledger_exact = false;
+  bool identical = true;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5));
+  return values[index];
+}
+
+}  // namespace
+}  // namespace entmatcher
+
+int main() {
+  using namespace entmatcher;
+
+  const double scale = bench::GlobalScale();
+  const size_t rows = std::max<size_t>(32, static_cast<size_t>(600.0 * scale));
+  const size_t per_client =
+      std::max<size_t>(4, static_cast<size_t>(20.0 * scale));
+  const std::string cli = LocateCli();
+
+  bench::PrintBanner(
+      "Fleet — sharded multi-process serving: 1-shard vs 4-shard QPS + p99",
+      "ShardManager forks real shard processes; the Router scatter-gathers\n"
+      "the same mixed match/topk storm over unix sockets at 1 and 4 shards.\n"
+      "Gates are correctness only: bit-identity to a solo engine run, an\n"
+      "exact router ledger, zero mixed-version merges.");
+
+  if (cli.empty() || ::access(cli.c_str(), X_OK) != 0) {
+    std::cerr << "FATAL: shard binary not found (EM_CLI_PATH unset and no "
+              << "../examples/entmatcher_cli next to bench_fleet): " << cli
+              << "\n";
+    return 1;
+  }
+
+  const std::string dir = "/tmp/em_bench_fleet_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const Matrix source = RandomEmbeddings(rows, /*seed=*/21);
+  const Matrix target = RandomEmbeddings(rows + rows / 4, /*seed=*/22);
+  if (!WriteMatrixBinary(source, dir + "/src.emat").ok() ||
+      !WriteMatrixBinary(target, dir + "/tgt.emat").ok()) {
+    std::cerr << "FATAL: cannot write embeddings under " << dir << "\n";
+    return 1;
+  }
+
+  // Solo references: the merged fleet answers must reproduce these exactly.
+  Result<MatchEngine> engine =
+      MatchEngine::Create(Matrix(source), Matrix(target),
+                          MakePreset(AlgorithmPreset::kCsls));
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  Result<Assignment> solo_match = engine->Match();
+  Result<Matrix> solo_scores =
+      engine->TransformedScores(MakePreset(AlgorithmPreset::kCsls));
+  if (!solo_match.ok() || !solo_scores.ok()) {
+    std::cerr << "FATAL: solo reference failed\n";
+    return 1;
+  }
+  const std::vector<int32_t>& match_reference = solo_match->target_of_source;
+  const std::vector<uint32_t> topk_reference =
+      RowTopKIndices(*solo_scores, kTopK);
+
+  std::vector<FleetResult> results;
+  bool ok = true;
+  for (int shards : {1, 4}) {
+    Result<ShardPlan> made = ShardPlan::EvenSplit(
+        "p", dir + "/src.emat", dir + "/tgt.emat", "", rows, shards, dir,
+        /*replicas=*/0);
+    if (!made.ok()) {
+      std::cerr << made.status().ToString() << "\n";
+      return 1;
+    }
+    const std::string plan_path =
+        dir + "/plan_" + std::to_string(shards) + ".json";
+    if (!made->Save(plan_path).ok()) {
+      std::cerr << "FATAL: cannot save " << plan_path << "\n";
+      return 1;
+    }
+
+    ShardManager manager;
+    Status started =
+        manager.Start(*made, ShardCommand::SelfServe(plan_path, cli));
+    if (!started.ok()) {
+      std::cerr << started.ToString() << "\n";
+      return 1;
+    }
+    Status healthy = manager.WaitHealthy(30'000'000);
+    if (!healthy.ok()) {
+      std::cerr << healthy.ToString() << "\n";
+      manager.StopAll();
+      return 1;
+    }
+    Result<std::unique_ptr<Router>> router = Router::Create(*made, {});
+    if (!router.ok()) {
+      std::cerr << router.status().ToString() << "\n";
+      manager.StopAll();
+      return 1;
+    }
+
+    FleetResult result;
+    result.shards = shards;
+    result.queries = kClients * per_client;
+    std::atomic<bool> identical{true};
+    std::atomic<uint64_t> answered{0};
+    std::mutex latency_mu;
+    std::vector<double> latencies_micros;
+    std::vector<std::thread> storm;
+    Timer wall;
+    for (size_t c = 0; c < kClients; ++c) {
+      storm.emplace_back([&, c] {
+        for (size_t q = 0; q < per_client; ++q) {
+          WireRequest request;
+          request.pair = "p";
+          request.algorithm = AlgorithmPreset::kCsls;
+          const bool topk = (c + q) % 2 == 1;  // alternate match / topk
+          if (topk) {
+            request.verb = WireRequest::Verb::kTopK;
+            request.k = kTopK;
+          } else {
+            request.verb = WireRequest::Verb::kMatch;
+          }
+          Timer per_query;
+          Result<WireResponse> answer = (*router)->Query(request);
+          const double micros = per_query.ElapsedSeconds() * 1e6;
+          answered.fetch_add(1);
+          {
+            std::lock_guard<std::mutex> lock(latency_mu);
+            latencies_micros.push_back(micros);
+          }
+          if (!answer.ok()) {
+            identical.store(false, std::memory_order_relaxed);
+            continue;
+          }
+          bool same;
+          if (topk) {
+            same = answer->values.size() == topk_reference.size();
+            for (size_t i = 0; same && i < topk_reference.size(); ++i) {
+              same = answer->values[i] ==
+                     static_cast<int32_t>(topk_reference[i]);
+            }
+          } else {
+            same = answer->values.size() == match_reference.size();
+            for (size_t i = 0; same && i < match_reference.size(); ++i) {
+              same = answer->values[i] == match_reference[i];
+            }
+          }
+          if (!same) identical.store(false, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& thread : storm) thread.join();
+    result.seconds = wall.ElapsedSeconds();
+    result.qps = result.seconds > 0.0
+                     ? static_cast<double>(result.queries) / result.seconds
+                     : 0.0;
+    result.p50_micros = Percentile(latencies_micros, 0.50);
+    result.p99_micros = Percentile(latencies_micros, 0.99);
+    result.identical = identical.load();
+
+    const RouterStatsSnapshot stats = (*router)->Stats();
+    result.failed = stats.failed;
+    result.failovers = stats.failovers;
+    result.version_mismatches = stats.version_mismatches;
+    result.ledger_exact = stats.queries == answered.load() &&
+                          stats.queries == stats.ok + stats.failed;
+
+    router->reset();
+    manager.StopAll();
+    for (const ShardProcessStatus& status : manager.Status_()) {
+      if (status.running) {
+        std::cerr << "FATAL: shard " << status.shard_id
+                  << " survived StopAll\n";
+        ok = false;
+      }
+    }
+
+    std::cout << "shards=" << result.shards << ": " << result.queries
+              << " queries in " << FormatDouble(result.seconds * 1e3, 1)
+              << " ms  (" << FormatDouble(result.qps, 1) << " q/s)  p50="
+              << FormatDouble(result.p50_micros, 0) << " us  p99="
+              << FormatDouble(result.p99_micros, 0) << " us  failed="
+              << result.failed << "  mixed_version_merges="
+              << result.version_mismatches << "  identical="
+              << (result.identical ? "yes" : "NO") << "  ledger="
+              << (result.ledger_exact ? "exact" : "INEXACT") << "\n";
+    results.push_back(result);
+  }
+
+  // --- Gates. ---
+  for (const FleetResult& result : results) {
+    if (!result.identical) {
+      std::cerr << "FATAL: shards=" << result.shards
+                << " merged answers diverged from the solo engine run\n";
+      ok = false;
+    }
+    if (!result.ledger_exact || result.failed != 0) {
+      std::cerr << "FATAL: shards=" << result.shards
+                << " router ledger inexact or queries failed\n";
+      ok = false;
+    }
+    if (result.version_mismatches != 0) {
+      std::cerr << "FATAL: shards=" << result.shards
+                << " saw mixed-version merges with no swap in flight\n";
+      ok = false;
+    }
+  }
+  const double qps1 = results[0].qps;
+  const double qps4 = results[1].qps;
+  std::cout << "shards=4 vs shards=1: "
+            << FormatDouble(qps1 > 0.0 ? qps4 / qps1 : 0.0, 2)
+            << "x QPS (informational — no speed gate on shared-core CI)\n";
+
+  std::ofstream json("BENCH_fleet.json");
+  json << "{\n  \"rows\": " << rows << ",\n  \"dim\": " << kDim
+       << ",\n  \"clients\": " << kClients
+       << ",\n  \"queries_per_client\": " << per_client
+       << ",\n  \"fleets\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const FleetResult& r = results[i];
+    json << "    {\"shards\": " << r.shards << ", \"queries\": " << r.queries
+         << ", \"seconds\": " << r.seconds << ", \"qps\": " << r.qps
+         << ", \"latency_p50_micros\": " << r.p50_micros
+         << ", \"latency_p99_micros\": " << r.p99_micros
+         << ", \"failed\": " << r.failed
+         << ", \"failovers\": " << r.failovers
+         << ", \"version_mismatches\": " << r.version_mismatches
+         << ", \"ledger_exact\": " << (r.ledger_exact ? "true" : "false")
+         << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"qps_shards4_vs_1\": "
+       << (qps1 > 0.0 ? qps4 / qps1 : 0.0) << "\n}\n";
+  std::cout << "wrote BENCH_fleet.json\n";
+  return ok ? 0 : 1;
+}

@@ -74,10 +74,44 @@
 //       transient failures (kUnavailable sheds, transport drops, expired
 //       deadlines) up to N attempts with capped exponential backoff (swap
 //       is never retried: it is not idempotent-safe over a flaky link).
+//   entmatcher_cli fleet plan <name> <src.emat> <tgt.emat> --shards=N
+//                  --out=PLAN [--replicas=R] [--socket-dir=DIR] [--index=PATH]
+//       Write a v1 shard-plan JSON: the pair's source rows split evenly
+//       into N ranges, each owned by its primary shard plus R replicas
+//       (round-robin). Every shard loads the full pair (CSLS/RInf
+//       normalize globally); the plan partitions the ANSWER space.
+//   entmatcher_cli fleet serve --plan=PLAN [--shard=K] [--socket=PATH]
+//                  [--no-spawn] [--hedge-micros=N] [--retries=N]
+//                  [shard flags: --serve-workers=N --cache-bytes=N
+//                   --threads=N --max-batch=N --flush-micros=N
+//                   --queue-capacity=N --shed-watermark=N]
+//       With --shard=K: run ONE shard — a normal MatchServer loading every
+//       pair the plan assigns to shard K, listening on the plan's socket
+//       for that shard. Without --shard: run the ROUTER — spawn one child
+//       process per plan shard (self-exec; --no-spawn skips this and
+//       expects the shards to already be up), wait for them to get
+//       healthy, then serve the same wire protocol on --socket,
+//       scatter-gathering match/topk across shards with per-range
+//       failover (and hedging when --hedge-micros > 0). Shard flags are
+//       forwarded to spawned shards verbatim. `query shutdown` on the
+//       router stops the whole fleet.
+//   entmatcher_cli fleet query [--socket=PATH] [--retries=N] <request...>
+//       One query against the fleet front end (same grammar as `query`,
+//       plus `shards` for the plan + channel states).
+//   entmatcher_cli fleet swap <pair> <src.emat> <tgt.emat> [index=PATH]
+//                  [--socket=PATH]
+//       All-or-nothing swap fan-out: the router forwards the swap to every
+//       shard owning <pair>; success requires every owner to confirm the
+//       same new version. On partial failure reads spanning diverged
+//       shards refuse to merge until a repair swap converges the fleet.
+//   entmatcher_cli fleet status [--socket=PATH]
+//       The router's fleet health aggregate (per-shard channel state +
+//       live health payloads).
 //
 // --threads=N overrides the worker count for this process (equivalent to
 // the EM_NUM_THREADS environment variable; the flag wins).
 
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -85,6 +119,9 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "fleet/plan.h"
+#include "fleet/router.h"
+#include "fleet/shard_manager.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "datagen/benchmarks.h"
@@ -114,8 +151,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr << "usage: entmatcher_cli "
-               "generate|stats|embed|index|match|eval|serve|swap|query ... "
-               "(see source header)\n";
+               "generate|stats|embed|index|match|eval|serve|swap|query|fleet "
+               "... (see source header)\n";
   return EXIT_FAILURE;
 }
 
@@ -443,6 +480,9 @@ int CmdMatch(int argc, char** argv) {
 
 int CmdServe(int argc, char** argv) {
   if (argc < 4) return Usage();
+  // A client vanishing mid-write must surface as EPIPE on the frame layer
+  // (mapped to kUnavailable), never kill the server process.
+  std::signal(SIGPIPE, SIG_IGN);
   Result<Matrix> src = ReadMatrixBinary(argv[2]);
   if (!src.ok()) return Fail(src.status());
   Result<Matrix> tgt = ReadMatrixBinary(argv[3]);
@@ -618,12 +658,12 @@ int CmdSwap(int argc, char** argv) {
   return EXIT_SUCCESS;
 }
 
-int CmdQuery(int argc, char** argv) {
+int CmdQuery(int argc, char** argv, int first = 2) {
   std::string socket_path = kDefaultSocketPath;
   RetryPolicy policy;
   policy.max_attempts = 1;  // retries are opt-in on the CLI
   std::vector<std::string> words;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string socket_flag = "--socket=";
     if (arg.rfind(socket_flag, 0) == 0) {
@@ -658,7 +698,9 @@ int CmdQuery(int argc, char** argv) {
   if (request->verb == WireRequest::Verb::kStats ||
       request->verb == WireRequest::Verb::kHealth ||
       request->verb == WireRequest::Verb::kShutdown ||
-      request->verb == WireRequest::Verb::kSwap) {
+      request->verb == WireRequest::Verb::kSwap ||
+      request->verb == WireRequest::Verb::kShards ||
+      request->verb == WireRequest::Verb::kHello) {
     std::cout << response->text << "\n";
     return EXIT_SUCCESS;
   }
@@ -681,6 +723,339 @@ int CmdQuery(int argc, char** argv) {
     std::cout << (response->values.size() > preview ? " ...\n" : "\n");
   }
   return EXIT_SUCCESS;
+}
+
+int CmdFleetPlan(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const std::string name = argv[3];
+  const std::string source_path = argv[4];
+  const std::string target_path = argv[5];
+  std::string out_path;
+  std::string socket_dir = ".";
+  std::string index_path;
+  unsigned long long num_shards = 0;
+  unsigned long long replicas = 0;
+  for (int i = 6; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string out_flag = "--out=";
+    if (arg.rfind(out_flag, 0) == 0) {
+      out_path = arg.substr(out_flag.size());
+      continue;
+    }
+    const std::string dir_flag = "--socket-dir=";
+    if (arg.rfind(dir_flag, 0) == 0) {
+      socket_dir = arg.substr(dir_flag.size());
+      continue;
+    }
+    const std::string index_flag = "--index=";
+    if (arg.rfind(index_flag, 0) == 0) {
+      index_path = arg.substr(index_flag.size());
+      continue;
+    }
+    unsigned long long value = 0;
+    int matched = MatchUintFlag(arg, "shards", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      num_shards = value;
+      continue;
+    }
+    matched = MatchUintFlag(arg, "replicas", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      replicas = value;
+      continue;
+    }
+    return Usage();
+  }
+  if (out_path.empty() || num_shards == 0) return Usage();
+  // The decision space is the pair's source rows — read the header-bearing
+  // matrix to size the ranges.
+  Result<Matrix> src = ReadMatrixBinary(source_path);
+  if (!src.ok()) return Fail(src.status());
+  Result<ShardPlan> plan = ShardPlan::EvenSplit(
+      name, source_path, target_path, index_path, src->rows(),
+      static_cast<int>(num_shards), socket_dir, static_cast<int>(replicas));
+  if (!plan.ok()) return Fail(plan.status());
+  Status saved = plan->Save(out_path);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "plan: " << out_path << " (" << num_shards << " shards, "
+            << src->rows() << " rows, replicas=" << replicas << ")\n";
+  return EXIT_SUCCESS;
+}
+
+/// One shard of the fleet: a plain MatchServer that loads every pair the
+/// plan assigns to it (FULL pair — the plan partitions answers, not data)
+/// and listens on the plan's socket for this shard.
+int RunFleetShard(const ShardPlan& plan, int shard_id,
+                  const MatchServerConfig& config) {
+  const ShardSpec* shard = plan.FindShard(shard_id);
+  if (shard == nullptr) {
+    return Fail(Status::NotFound("plan defines no shard " +
+                                 std::to_string(shard_id)));
+  }
+  Result<std::unique_ptr<MatchServer>> server = MatchServer::Create(config);
+  if (!server.ok()) return Fail(server.status());
+  const std::vector<std::string> owned = plan.PairsOwnedBy(shard_id);
+  if (owned.empty()) {
+    return Fail(Status::FailedPrecondition(
+        "shard " + std::to_string(shard_id) + " owns no ranges in the plan"));
+  }
+  for (const std::string& name : owned) {
+    const PairSpec* pair = plan.FindPair(name);
+    Result<Matrix> src = ReadMatrixBinary(pair->source_path);
+    if (!src.ok()) return Fail(src.status());
+    Result<Matrix> tgt = ReadMatrixBinary(pair->target_path);
+    if (!tgt.ok()) return Fail(tgt.status());
+    if (src->rows() != pair->rows) {
+      return Fail(Status::FailedPrecondition(
+          "plan says pair '" + name + "' has " + std::to_string(pair->rows) +
+          " rows but " + pair->source_path + " has " +
+          std::to_string(src->rows())));
+    }
+    Status loaded = (*server)->LoadPair(name, std::move(src).value(),
+                                        std::move(tgt).value());
+    if (!loaded.ok()) return Fail(loaded);
+    if (!pair->index_path.empty()) {
+      Result<CandidateIndex> index = CandidateIndex::Load(pair->index_path);
+      if (!index.ok()) return Fail(index.status());
+      Status attached = (*server)->AttachIndex(
+          name, std::make_unique<CandidateIndex>(std::move(index).value()));
+      if (!attached.ok()) return Fail(attached);
+    }
+  }
+  Status started = (*server)->Start();
+  if (!started.ok()) return Fail(started);
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(server->get(), shard->socket_path);
+  if (!front.ok()) return Fail(front.status());
+  std::cout << "shard " << shard_id << " serving " << owned.size()
+            << " pair(s) on " << shard->socket_path << "\n";
+  (*front)->WaitForShutdown();
+  (*front)->Stop();
+  (*server)->Shutdown();
+  return EXIT_SUCCESS;
+}
+
+int CmdFleetServe(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  std::string plan_path;
+  std::string socket_path = kDefaultSocketPath;
+  bool have_shard = false;
+  bool spawn = true;
+  unsigned long long shard_id = 0;
+  unsigned long long hedge_micros = 0;
+  std::optional<unsigned long long> retries;
+  MatchServerConfig config;
+  std::vector<std::string> shard_flags;  // forwarded to spawned shards
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string plan_flag = "--plan=";
+    if (arg.rfind(plan_flag, 0) == 0) {
+      plan_path = arg.substr(plan_flag.size());
+      continue;
+    }
+    const std::string socket_flag = "--socket=";
+    if (arg.rfind(socket_flag, 0) == 0) {
+      socket_path = arg.substr(socket_flag.size());
+      continue;
+    }
+    if (arg == "--no-spawn") {
+      spawn = false;
+      continue;
+    }
+    unsigned long long value = 0;
+    int matched = MatchUintFlag(arg, "shard", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      have_shard = true;
+      shard_id = value;
+      continue;
+    }
+    matched = MatchUintFlag(arg, "hedge-micros", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      hedge_micros = value;
+      continue;
+    }
+    matched = MatchUintFlag(arg, "retries", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      retries = value;
+      continue;
+    }
+    // Shard-side tuning: applied directly in --shard mode, forwarded
+    // verbatim to spawned children in router mode.
+    matched = MatchUintFlag(arg, "threads", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      SetNumThreads(static_cast<size_t>(value));
+      shard_flags.push_back(arg);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "serve-workers", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.serve_workers = static_cast<size_t>(value);
+      shard_flags.push_back(arg);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "cache-bytes", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.result_cache_bytes = static_cast<size_t>(value);
+      shard_flags.push_back(arg);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "max-batch", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.max_batch = static_cast<size_t>(value);
+      shard_flags.push_back(arg);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "flush-micros", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.flush_micros = value;
+      shard_flags.push_back(arg);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "queue-capacity", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.queue_capacity = static_cast<size_t>(value);
+      shard_flags.push_back(arg);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "shed-watermark", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.shed_watermark = static_cast<size_t>(value);
+      shard_flags.push_back(arg);
+      continue;
+    }
+    return Usage();
+  }
+  if (plan_path.empty()) return Usage();
+  Result<ShardPlan> plan = ShardPlan::Load(plan_path);
+  if (!plan.ok()) return Fail(plan.status());
+
+  // Chaos plans arm per process: a shard inherits EM_FAULT_PLAN through the
+  // environment, so injected faults hit shards, not the router.
+  Status faults = ArmFaultInjectionFromEnv();
+  if (!faults.ok()) return Fail(faults);
+
+  if (have_shard) {
+    return RunFleetShard(*plan, static_cast<int>(shard_id), config);
+  }
+
+  ShardManager manager;
+  if (spawn) {
+    ShardCommand command = ShardCommand::SelfServe(plan_path);
+    for (const std::string& flag : shard_flags) command.argv.push_back(flag);
+    Status started = manager.Start(*plan, command);
+    if (!started.ok()) return Fail(started);
+    Status healthy = manager.WaitHealthy(15'000'000);
+    if (!healthy.ok()) {
+      manager.StopAll();
+      return Fail(healthy);
+    }
+  }
+  RouterConfig router_config;
+  if (retries.has_value()) {
+    router_config.retry.max_attempts = static_cast<uint32_t>(*retries) + 1;
+  }
+  router_config.hedge_micros = hedge_micros;
+  Result<std::unique_ptr<Router>> router =
+      Router::Create(*plan, router_config);
+  if (!router.ok()) {
+    manager.StopAll();
+    return Fail(router.status());
+  }
+  RouterHandler handler(router->get());
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(&handler, socket_path);
+  if (!front.ok()) {
+    manager.StopAll();
+    return Fail(front.status());
+  }
+  std::cout << "fleet: routing " << plan->shards.size() << " shard(s), "
+            << plan->pairs.size() << " pair(s) on " << socket_path
+            << (spawn ? "" : " (no-spawn)") << ", hedge="
+            << hedge_micros
+            << " us; send `entmatcher_cli fleet query shutdown` to stop\n";
+  (*front)->WaitForShutdown();
+  (*front)->Stop();
+  std::cout << "router stats: " << (*router)->Stats().ToJson() << "\n";
+  router->reset();  // drain stragglers before tearing down shards
+  manager.StopAll();
+  return EXIT_SUCCESS;
+}
+
+int CmdFleetSwap(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  WireRequest request;
+  request.verb = WireRequest::Verb::kSwap;
+  request.pair = argv[3];
+  request.source_path = argv[4];
+  request.target_path = argv[5];
+  std::string socket_path = kDefaultSocketPath;
+  for (int i = 6; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string socket_flag = "--socket=";
+    if (arg.rfind(socket_flag, 0) == 0) {
+      socket_path = arg.substr(socket_flag.size());
+      continue;
+    }
+    const std::string index_flag = "index=";
+    if (arg.rfind(index_flag, 0) == 0) {
+      request.index_path = arg.substr(index_flag.size());
+      continue;
+    }
+    return Usage();
+  }
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) return Fail(client.status());
+  // Never retried — the router fans out sequentially and reports exactly
+  // which shards confirmed (see Router::Swap).
+  Result<WireResponse> response = client->Call(request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->status.ok()) return Fail(response->status);
+  std::cout << response->text << "\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdFleetStatus(int argc, char** argv) {
+  std::string socket_path = kDefaultSocketPath;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string socket_flag = "--socket=";
+    if (arg.rfind(socket_flag, 0) == 0) {
+      socket_path = arg.substr(socket_flag.size());
+      continue;
+    }
+    return Usage();
+  }
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) return Fail(client.status());
+  WireRequest request;
+  request.verb = WireRequest::Verb::kHealth;
+  Result<WireResponse> response = client->Call(request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->status.ok()) return Fail(response->status);
+  std::cout << response->text << "\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdFleet(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  if (sub == "plan") return CmdFleetPlan(argc, argv);
+  if (sub == "serve") return CmdFleetServe(argc, argv);
+  if (sub == "query") return CmdQuery(argc, argv, /*first=*/3);
+  if (sub == "swap") return CmdFleetSwap(argc, argv);
+  if (sub == "status") return CmdFleetStatus(argc, argv);
+  return Usage();
 }
 
 int CmdEval(int argc, char** argv) {
@@ -711,5 +1086,6 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "swap") return CmdSwap(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
+  if (command == "fleet") return CmdFleet(argc, argv);
   return Usage();
 }

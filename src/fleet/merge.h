@@ -1,0 +1,54 @@
+#ifndef ENTMATCHER_FLEET_MERGE_H_
+#define ENTMATCHER_FLEET_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace entmatcher {
+
+/// One shard's answer to a routed sub-query: the row range it covered, the
+/// snapshot version that answered, the payload rows, and — for top-k — the
+/// bit-exact scores parallel to `values`.
+struct RangePart {
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  uint64_t version = 0;
+  std::vector<int32_t> values;
+  std::vector<float> scores;
+};
+
+/// The router's gather step. Both merges enforce the fleet's two hard
+/// guarantees before touching payload bytes:
+///
+///  1. No mixed-version answers: every part must carry the same snapshot
+///     version — a fleet mid-swap (or a failed swap fan-out) yields parts
+///     from different versions, which MUST be refused (kUnavailable; the
+///     client retries after the swap settles) rather than silently spliced
+///     into an answer no single version ever produced.
+///  2. Determinism: parts are merged by position (assignments) or by the
+///     stable order (score desc, id asc) with duplicate-id dedup (top-k) —
+///     the exact order RowTopKIndices emits — so the merged answer is
+///     bit-identical to a single process serving the union, independent of
+///     which replicas answered or in what order parts arrived.
+///
+/// Rows covered by more than one part (hedged replicas both answered) must
+/// agree; a disagreement at the same snapshot version means a shard is
+/// corrupt and surfaces as kInternal, never as a silently chosen side.
+
+/// Merges assignment parts into the full target_of_source vector of
+/// `total_rows` rows. kUnavailable when versions are mixed or rows are
+/// uncovered; kInternal on replica disagreement.
+Result<std::vector<int32_t>> MergeAssignments(
+    size_t total_rows, const std::vector<RangePart>& parts);
+
+/// Merges per-row top-k parts into the full flattened (total_rows × k_eff)
+/// index vector. Every part must carry scores (k_eff = values per covered
+/// row, uniform across parts). Same refusal rules as MergeAssignments.
+Result<std::vector<int32_t>> MergeTopK(size_t total_rows,
+                                       const std::vector<RangePart>& parts);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_FLEET_MERGE_H_

@@ -1,0 +1,539 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "common/json.h"
+
+namespace entmatcher {
+
+namespace {
+
+const char* ChannelStateName(int state) {
+  switch (state) {
+    case 0: return "unknown";
+    case 1: return "up";
+    case 2: return "down";
+    case 3: return "incompatible";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RouterStatsSnapshot::ToJson() const {
+  std::string json = "{";
+  json += "\"queries\": " + std::to_string(queries);
+  json += ", \"ok\": " + std::to_string(ok);
+  json += ", \"failed\": " + std::to_string(failed);
+  json += ", \"subqueries\": " + std::to_string(subqueries);
+  json += ", \"hedges\": " + std::to_string(hedges);
+  json += ", \"failovers\": " + std::to_string(failovers);
+  json += ", \"version_mismatches\": " + std::to_string(version_mismatches);
+  json += ", \"swap_fanouts\": " + std::to_string(swap_fanouts);
+  json += ", \"swap_failures\": " + std::to_string(swap_failures);
+  json += "}";
+  return json;
+}
+
+Result<std::unique_ptr<Router>> Router::Create(ShardPlan plan,
+                                               RouterConfig config) {
+  EM_RETURN_NOT_OK(plan.Validate());
+  return std::unique_ptr<Router>(new Router(std::move(plan), config));
+}
+
+Router::Router(ShardPlan plan, RouterConfig config)
+    : plan_(std::move(plan)), config_(config) {
+  channels_.reserve(plan_.shards.size());
+  for (const ShardSpec& shard : plan_.shards) {
+    auto channel = std::make_unique<Channel>();
+    channel->id = shard.id;
+    channel->socket_path = shard.socket_path;
+    channels_.push_back(std::move(channel));
+  }
+}
+
+Router::~Router() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+Router::Channel* Router::FindChannel(int shard_id) {
+  for (const std::unique_ptr<Channel>& channel : channels_) {
+    if (channel->id == shard_id) return channel.get();
+  }
+  return nullptr;
+}
+
+Result<WireResponse> Router::Attempt(Channel* channel,
+                                     const WireRequest& request) {
+  std::lock_guard<std::mutex> lock(channel->mu);
+  if (channel->state.load() == ChannelState::kIncompatible) {
+    return Status::FailedPrecondition("shard " + std::to_string(channel->id) +
+                                      ": " + channel->last_error);
+  }
+  if (!channel->client.has_value()) {
+    Result<ServeClient> connected = ServeClient::Connect(channel->socket_path);
+    if (!connected.ok()) {
+      channel->state.store(ChannelState::kDown);
+      channel->last_error = connected.status().message();
+      return connected.status();
+    }
+    channel->client.emplace(std::move(connected).value());
+    channel->hello_checked = false;
+  }
+  if (!channel->hello_checked) {
+    // Version handshake before the first real frame: a peer speaking a
+    // different protocol must be refused with a clear error, not allowed to
+    // produce undefined framing behavior mid-query.
+    WireRequest hello;
+    hello.verb = WireRequest::Verb::kHello;
+    Result<WireResponse> greeted =
+        channel->client->CallWithRetry(hello, config_.retry);
+    if (!greeted.ok() || !greeted->status.ok()) {
+      const Status status = greeted.ok() ? greeted->status : greeted.status();
+      channel->client.reset();
+      channel->state.store(ChannelState::kDown);
+      channel->last_error = "hello: " + status.message();
+      return Status(status.code(), channel->last_error);
+    }
+    const Status compatible = CheckHello(
+        greeted->text, "shard " + std::to_string(channel->id));
+    if (!compatible.ok()) {
+      channel->client.reset();
+      channel->state.store(ChannelState::kIncompatible);
+      channel->last_error = compatible.message();
+      return compatible;
+    }
+    channel->hello_checked = true;
+  }
+  Result<WireResponse> response =
+      channel->client->CallWithRetry(request, config_.retry);
+  if (!response.ok()) {
+    // CallWithRetry exhausted its budget against a dead transport; drop the
+    // connection so the next attempt redials, and let the caller fail over.
+    channel->client.reset();
+    channel->hello_checked = false;
+    channel->state.store(ChannelState::kDown);
+    channel->last_error = response.status().message();
+  } else {
+    channel->state.store(ChannelState::kUp);
+  }
+  return response;
+}
+
+Result<WireResponse> Router::AttemptOnce(Channel* channel,
+                                         const WireRequest& request) {
+  std::lock_guard<std::mutex> lock(channel->mu);
+  if (!channel->client.has_value()) {
+    Result<ServeClient> connected = ServeClient::Connect(channel->socket_path);
+    if (!connected.ok()) {
+      channel->state.store(ChannelState::kDown);
+      channel->last_error = connected.status().message();
+      return connected.status();
+    }
+    channel->client.emplace(std::move(connected).value());
+    channel->hello_checked = false;
+  }
+  Result<WireResponse> response = channel->client->Call(request);
+  if (!response.ok()) {
+    channel->client.reset();
+    channel->hello_checked = false;
+    channel->state.store(ChannelState::kDown);
+    channel->last_error = response.status().message();
+  }
+  return response;
+}
+
+void Router::LaunchAttempt(std::shared_ptr<RangeRace> race, int shard_id,
+                           WireRequest subrequest) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(race->mu);
+    ++race->launched;
+  }
+  subqueries_.fetch_add(1);
+  // Detached rather than joined: a hedged loser must not hold the range's
+  // answer hostage. The inflight counter keeps the Router alive past every
+  // straggler (see ~Router).
+  std::thread([this, race = std::move(race), shard_id,
+               subrequest = std::move(subrequest)]() mutable {
+    Channel* channel = FindChannel(shard_id);
+    Result<WireResponse> response =
+        channel != nullptr
+            ? Attempt(channel, subrequest)
+            : Result<WireResponse>(Status::Internal(
+                  "router: no channel for shard " + std::to_string(shard_id)));
+    {
+      std::lock_guard<std::mutex> lock(race->mu);
+      ++race->finished;
+      if (response.ok() && response->status.ok()) {
+        if (!race->winner.has_value()) {
+          RangePart part;
+          part.row_begin = subrequest.row_begin;
+          part.row_end = subrequest.row_end;
+          part.version = response->version;
+          part.values = std::move(response->values);
+          part.scores = std::move(response->scores);
+          race->winner = std::move(part);
+        }
+      } else {
+        race->last_failure =
+            response.ok() ? response->status : response.status();
+      }
+    }
+    race->cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_;
+    }
+    inflight_cv_.notify_all();
+  }).detach();
+}
+
+Result<RangePart> Router::QueryRange(const WireRequest& request,
+                                     const RangeSpec& range) {
+  WireRequest subrequest = request;
+  subrequest.route = true;
+  subrequest.row_begin = range.begin;
+  subrequest.row_end = range.end;
+
+  // Failover order: the plan's owner order (primary first), with channels
+  // currently known Down demoted to the back — they still get a chance
+  // (maybe the shard came back), but never before a live replica.
+  std::vector<int> order;
+  order.reserve(range.shards.size());
+  for (int id : range.shards) {
+    Channel* channel = FindChannel(id);
+    if (channel != nullptr && channel->state.load() != ChannelState::kDown) {
+      order.push_back(id);
+    }
+  }
+  for (int id : range.shards) {
+    Channel* channel = FindChannel(id);
+    if (channel != nullptr && channel->state.load() == ChannelState::kDown) {
+      order.push_back(id);
+    }
+  }
+  if (order.empty()) {
+    return Status::Internal("router: range has no owners");
+  }
+
+  auto race = std::make_shared<RangeRace>();
+  size_t next_owner = 0;
+  LaunchAttempt(race, order[next_owner++], subrequest);
+
+  const bool hedging = config_.hedge_micros > 0;
+  std::unique_lock<std::mutex> lock(race->mu);
+  for (;;) {
+    const size_t seen_finished = race->finished;
+    if (race->winner.has_value()) return std::move(*race->winner);
+    if (race->finished == race->launched && next_owner >= order.size()) {
+      // Every owner tried, every attempt failed.
+      return race->last_failure;
+    }
+    const bool all_launched_failed = race->finished == race->launched;
+    if (all_launched_failed && next_owner < order.size()) {
+      // Straight failover: the previous attempt(s) failed definitively.
+      failovers_.fetch_add(1);
+      const int id = order[next_owner++];
+      lock.unlock();
+      LaunchAttempt(race, id, subrequest);
+      lock.lock();
+      continue;
+    }
+    if (hedging && next_owner < order.size()) {
+      // Race a slow in-flight attempt with the next replica.
+      if (!race->cv.wait_for(
+              lock, std::chrono::microseconds(config_.hedge_micros), [&] {
+                return race->winner.has_value() ||
+                       race->finished > seen_finished;
+              })) {
+        hedges_.fetch_add(1);
+        const int id = order[next_owner++];
+        lock.unlock();
+        LaunchAttempt(race, id, subrequest);
+        lock.lock();
+      }
+      continue;
+    }
+    race->cv.wait(lock, [&] {
+      return race->winner.has_value() || race->finished > seen_finished;
+    });
+  }
+}
+
+Result<WireResponse> Router::Query(const WireRequest& request) {
+  queries_.fetch_add(1);
+  if (request.route) {
+    failed_.fetch_add(1);
+    return Status::InvalidArgument(
+        "router: route is a shard-side verb; send match/topk");
+  }
+  // An unnamed query on a single-pair plan means that pair (mirrors the
+  // solo server's "default"); multi-pair plans require pair=NAME.
+  std::string pair_name = request.pair;
+  if (pair_name.empty()) {
+    pair_name = plan_.pairs.size() == 1 ? plan_.pairs[0].name : "default";
+  }
+  const PairSpec* pair = plan_.FindPair(pair_name);
+  if (pair == nullptr) {
+    failed_.fetch_add(1);
+    return Status::NotFound("router: pair '" + pair_name +
+                            "' is not in the shard plan");
+  }
+
+  // Scatter: one task per range (the per-range failover/hedging lives in
+  // QueryRange). Gather joins all of them — a merge needs every range.
+  std::vector<std::future<Result<RangePart>>> futures;
+  futures.reserve(pair->ranges.size());
+  WireRequest subrequest = request;
+  subrequest.pair = pair_name;
+  for (const RangeSpec& range : pair->ranges) {
+    futures.push_back(std::async(std::launch::async, [this, subrequest,
+                                                      &range] {
+      return QueryRange(subrequest, range);
+    }));
+  }
+  std::vector<RangePart> parts;
+  parts.reserve(futures.size());
+  Status first_failure = Status::OK();
+  for (std::future<Result<RangePart>>& future : futures) {
+    Result<RangePart> part = future.get();
+    if (part.ok()) {
+      parts.push_back(std::move(part).value());
+    } else if (first_failure.ok()) {
+      first_failure = part.status();
+    }
+  }
+  if (!first_failure.ok()) {
+    failed_.fetch_add(1);
+    return first_failure;
+  }
+
+  // The no-mixed-merge guarantee: count refusals so chaos tests can assert
+  // zero outside swap windows (merge re-checks and produces the error).
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].version != parts[0].version) {
+      version_mismatches_.fetch_add(1);
+      break;
+    }
+  }
+  Result<std::vector<int32_t>> merged =
+      request.verb == WireRequest::Verb::kMatch
+          ? MergeAssignments(pair->rows, parts)
+          : MergeTopK(pair->rows, parts);
+  if (!merged.ok()) {
+    failed_.fetch_add(1);
+    return merged.status();
+  }
+  WireResponse response;
+  response.values = std::move(merged).value();
+  response.version = parts.empty() ? 0 : parts[0].version;
+  ok_.fetch_add(1);
+  return response;
+}
+
+Result<std::string> Router::Swap(const WireRequest& request) {
+  swap_fanouts_.fetch_add(1);
+  const PairSpec* pair = plan_.FindPair(request.pair);
+  if (pair == nullptr) {
+    swap_failures_.fetch_add(1);
+    return Status::NotFound("router: pair '" + request.pair +
+                            "' is not in the shard plan");
+  }
+  // Phase 0 — pick ONE target version for the whole fan-out: probe every
+  // owner's health for its current version of the pair and pin
+  // max(current) + 1 via the swap's version= floor. Shards whose counters
+  // skewed (a previous partial fan-out, a direct shard-side swap) all
+  // publish the same pinned version, which is what lets a repair swap
+  // re-converge a diverged fleet. An unreachable owner fails the swap
+  // BEFORE anything mutates — all-or-nothing starts at the probe.
+  std::vector<int> owners;
+  uint64_t target_version = request.swap_min_version;
+  for (const ShardSpec& shard : plan_.shards) {
+    const std::vector<std::string> owned = plan_.PairsOwnedBy(shard.id);
+    if (std::find(owned.begin(), owned.end(), request.pair) == owned.end()) {
+      continue;
+    }
+    owners.push_back(shard.id);
+    Channel* channel = FindChannel(shard.id);
+    WireRequest health;
+    health.verb = WireRequest::Verb::kHealth;
+    Result<WireResponse> probed = AttemptOnce(channel, health);
+    if (!probed.ok() || !probed->status.ok()) {
+      swap_failures_.fetch_add(1);
+      const Status status = probed.ok() ? probed->status : probed.status();
+      return Status::Unavailable(
+          "router: swap aborted before any shard mutated — shard " +
+          std::to_string(shard.id) + " is unreachable: " + status.message());
+    }
+    Result<JsonValue> doc = JsonValue::Parse(probed->text);
+    if (doc.ok()) {
+      const JsonValue* pairs = doc->Find("pairs");
+      const JsonValue* current =
+          pairs != nullptr ? pairs->Find(request.pair) : nullptr;
+      if (current != nullptr &&
+          static_cast<uint64_t>(current->AsInt()) + 1 > target_version) {
+        target_version = static_cast<uint64_t>(current->AsInt()) + 1;
+      }
+    }
+  }
+  if (owners.empty()) {
+    swap_failures_.fetch_add(1);
+    return Status::Internal("router: no shard owns pair '" + request.pair +
+                            "'");
+  }
+
+  // Phase 1 — sequential fan-out, never retried (a replayed swap
+  // double-publishes). Every owner must confirm the pinned version. On
+  // divergence the fleet is left mixed — reads stay safe (the merge refuses
+  // mixed versions) and the error names exactly which shards need the
+  // repair re-swap.
+  WireRequest pinned = request;
+  pinned.swap_min_version = target_version;
+  std::vector<std::string> outcomes;
+  bool uniform = true;
+  size_t failures = 0;
+  for (const int shard_id : owners) {
+    Channel* channel = FindChannel(shard_id);
+    Result<WireResponse> response = AttemptOnce(channel, pinned);
+    const std::string label = "shard " + std::to_string(shard_id);
+    if (!response.ok()) {
+      ++failures;
+      outcomes.push_back(label + ": " + response.status().message());
+      continue;
+    }
+    if (!response->status.ok()) {
+      ++failures;
+      outcomes.push_back(label + ": " + response->status.message());
+      continue;
+    }
+    // "swapped <pair> v<N>"
+    const std::string& text = response->text;
+    const size_t v = text.rfind(" v");
+    uint64_t shard_version = 0;
+    if (v != std::string::npos) {
+      shard_version = std::strtoull(text.c_str() + v + 2, nullptr, 10);
+    }
+    if (shard_version != target_version) uniform = false;
+    outcomes.push_back(label + ": " + text);
+  }
+  const uint64_t version = target_version;
+  if (failures > 0 || !uniform) {
+    swap_failures_.fetch_add(1);
+    std::string detail;
+    for (const std::string& outcome : outcomes) {
+      detail += (detail.empty() ? "" : "; ") + outcome;
+    }
+    return Status::Internal(
+        "router: swap fan-out did not converge (" +
+        std::to_string(failures) + " failures); reads that span diverged "
+        "shards will refuse to merge until a repair swap converges the "
+        "fleet. Outcomes: " + detail);
+  }
+  return "swapped " + request.pair + " v" + std::to_string(version) + " on " +
+         std::to_string(outcomes.size()) + " shards";
+}
+
+std::string Router::FleetHealthJson() {
+  std::string json = "{\"role\": \"router\", \"protocol\": " +
+                     std::to_string(kProtocolVersion);
+  json += ", \"router_stats\": " + Stats().ToJson();
+  json += ", \"shards\": [";
+  WireRequest health;
+  health.verb = WireRequest::Verb::kHealth;
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    Channel* channel = channels_[i].get();
+    Result<WireResponse> response = AttemptOnce(channel, health);
+    json += (i > 0 ? ", " : "");
+    json += "{\"id\": " + std::to_string(channel->id);
+    json += ", \"socket\": " + JsonEscape(channel->socket_path);
+    json += ", \"state\": \"" +
+            std::string(ChannelStateName(
+                static_cast<int>(channel->state.load()))) + "\"";
+    if (response.ok() && response->status.ok() &&
+        JsonValue::Parse(response->text).ok()) {
+      json += ", \"health\": " + response->text;
+    } else {
+      const Status status = !response.ok() ? response.status()
+                            : !response->status.ok()
+                                ? response->status
+                                : Status::Internal("unparseable health JSON");
+      json += ", \"error\": " + JsonEscape(status.message());
+    }
+    json += "}";
+  }
+  json += "]}";
+  return json;
+}
+
+std::string Router::ShardsJson() const {
+  std::string json = "{\"plan\": ";
+  json += plan_.ToJson();
+  json += ", \"channels\": [";
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    const Channel* channel = channels_[i].get();
+    json += (i > 0 ? ", " : "");
+    json += "{\"id\": " + std::to_string(channel->id);
+    json += ", \"socket\": " + JsonEscape(channel->socket_path);
+    json += ", \"state\": \"" +
+            std::string(ChannelStateName(
+                static_cast<int>(channel->state.load()))) + "\"}";
+  }
+  json += "]}";
+  return json;
+}
+
+RouterStatsSnapshot Router::Stats() const {
+  RouterStatsSnapshot snap;
+  snap.ok = ok_.load();
+  snap.failed = failed_.load();
+  snap.queries = queries_.load();
+  snap.subqueries = subqueries_.load();
+  snap.hedges = hedges_.load();
+  snap.failovers = failovers_.load();
+  snap.version_mismatches = version_mismatches_.load();
+  snap.swap_fanouts = swap_fanouts_.load();
+  snap.swap_failures = swap_failures_.load();
+  return snap;
+}
+
+std::string RouterHandler::Handle(const std::string& payload,
+                                  bool* shutdown) {
+  Result<WireRequest> parsed = ParseRequest(payload);
+  if (!parsed.ok()) return EncodeErrorResponse(parsed.status());
+  switch (parsed->verb) {
+    case WireRequest::Verb::kHello:
+      return EncodeTextResponse(HelloJson("router"));
+    case WireRequest::Verb::kStats:
+      return EncodeTextResponse(router_->Stats().ToJson());
+    case WireRequest::Verb::kHealth:
+      return EncodeTextResponse(router_->FleetHealthJson());
+    case WireRequest::Verb::kShards:
+      return EncodeTextResponse(router_->ShardsJson());
+    case WireRequest::Verb::kShutdown:
+      *shutdown = true;
+      return EncodeTextResponse("shutting down");
+    case WireRequest::Verb::kSwap: {
+      Result<std::string> swapped = router_->Swap(*parsed);
+      if (!swapped.ok()) return EncodeErrorResponse(swapped.status());
+      return EncodeTextResponse(*swapped);
+    }
+    case WireRequest::Verb::kMatch:
+    case WireRequest::Verb::kTopK:
+      break;
+  }
+  Result<WireResponse> response = router_->Query(*parsed);
+  if (!response.ok()) return EncodeErrorResponse(response.status());
+  if (!response->status.ok()) return EncodeErrorResponse(response->status);
+  return EncodeValuesResponse(response->values, response->version);
+}
+
+}  // namespace entmatcher

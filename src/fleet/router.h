@@ -1,0 +1,200 @@
+#ifndef ENTMATCHER_FLEET_ROUTER_H_
+#define ENTMATCHER_FLEET_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/merge.h"
+#include "fleet/plan.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/socket_server.h"
+
+namespace entmatcher {
+
+/// Router tuning knobs.
+struct RouterConfig {
+  /// Per-sub-query retry discipline (idempotent reads only — swap fan-out
+  /// never retries). Honors shard retry-after hints via ServeClient.
+  RetryPolicy retry;
+  /// Hedging: after a range's primary has been in flight this long without
+  /// answering, launch the same sub-query on the next replica and take
+  /// whichever succeeds first. 0 disables (replicas then serve failover
+  /// only). Safe because sub-queries are idempotent reads.
+  uint64_t hedge_micros = 0;
+};
+
+/// Point-in-time router counters. The query ledger is exact once in-flight
+/// work drains: queries == ok + failed, and every sub-query outcome is one
+/// of ok / hedged-away / failed-over / failed.
+struct RouterStatsSnapshot {
+  uint64_t queries = 0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t subqueries = 0;
+  /// Hedge launches (a second replica raced a slow primary).
+  uint64_t hedges = 0;
+  /// Failovers: a sub-query attempt failed and another owner was tried.
+  uint64_t failovers = 0;
+  /// Merges refused because shards answered from different snapshot
+  /// versions. Must stay 0 outside a swap window.
+  uint64_t version_mismatches = 0;
+  uint64_t swap_fanouts = 0;
+  uint64_t swap_failures = 0;
+
+  std::string ToJson() const;
+};
+
+/// The fleet's client-facing front end. Speaks the identical length-prefixed
+/// protocol as a shard (through RouterHandler + SocketServer), but answers
+/// match/topk by scatter-gather: each range of the queried pair becomes a
+/// `route` sub-query to an owning shard, partial answers are merged
+/// deterministically (fleet/merge.h), and the merged payload is returned as
+/// if one process had served the union — bit-identical, by construction.
+///
+/// Failure discipline per range: owners are tried in plan order (primary
+/// first, currently-Down channels demoted to the back), each attempt runs
+/// under the RetryPolicy, a transport failure marks the channel Down and
+/// fails over to the next owner. With hedge_micros > 0, a slow primary is
+/// raced by the next replica instead of waited out. A shard whose `hello`
+/// handshake reports a different protocol version is marked incompatible
+/// and refused permanently (kFailedPrecondition — config error, not a
+/// transient).
+///
+/// Swap fan-out (all-or-nothing): `swap` on the router forwards to every
+/// shard owning the pair, sequentially, never retrying (swap is not
+/// idempotent-safe). Success requires every owner to confirm the same new
+/// version. On partial failure the router reports which shards diverged —
+/// and the no-mixed-version merge guarantee means reads refuse to splice
+/// old and new answers until a repair swap converges the fleet (re-issue
+/// the same swap; converged shards just republish the same files).
+class Router {
+ public:
+  /// Validates `plan` and builds the channel set. Connections are dialed
+  /// lazily on first use, so a router can start before its shards.
+  static Result<std::unique_ptr<Router>> Create(ShardPlan plan,
+                                                RouterConfig config);
+
+  /// Waits for in-flight sub-queries (including hedged stragglers) to
+  /// drain.
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Scatter-gather for a client match/topk request (request.route must be
+  /// false — the router issues route sub-queries, it does not accept them).
+  /// On success the response carries the merged values and the uniform
+  /// snapshot version.
+  Result<WireResponse> Query(const WireRequest& request);
+
+  /// Fan-out swap (see class comment). Returns the confirmation text.
+  Result<std::string> Swap(const WireRequest& request);
+
+  /// Aggregated fleet health: router role/protocol + stats, and every
+  /// shard's channel state with its live `health` payload (or the error
+  /// string).
+  std::string FleetHealthJson();
+
+  /// The plan plus per-shard channel state, without touching the network.
+  std::string ShardsJson() const;
+
+  RouterStatsSnapshot Stats() const;
+
+  const ShardPlan& plan() const { return plan_; }
+
+ private:
+  enum class ChannelState { kUnknown, kUp, kDown, kIncompatible };
+
+  /// One shard's long-lived connection: lazily dialed, handshake-checked,
+  /// serialized by a per-channel mutex (the protocol is one frame out, one
+  /// frame in — concurrent callers must not interleave frames).
+  struct Channel {
+    int id = 0;
+    std::string socket_path;
+    std::mutex mu;
+    std::optional<ServeClient> client;
+    bool hello_checked = false;
+    std::atomic<ChannelState> state{ChannelState::kUnknown};
+    std::string last_error;  // guarded by mu
+  };
+
+  /// Shared slot for one range's racing attempts (hedging): attempts write
+  /// results in, the coordinator waits for the first success.
+  struct RangeRace {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t launched = 0;
+    size_t finished = 0;
+    std::optional<RangePart> winner;
+    Status last_failure = Status::Unavailable("no attempt ran");
+  };
+
+  Router(ShardPlan plan, RouterConfig config);
+
+  Channel* FindChannel(int shard_id);
+
+  /// One attempt against one shard: connect + hello if needed, then
+  /// CallWithRetry. Marks the channel Up/Down/Incompatible by outcome.
+  Result<WireResponse> Attempt(Channel* channel, const WireRequest& request);
+
+  /// Blocking per-range scatter: owners in failover order, hedged per
+  /// config. Returns the winning part.
+  Result<RangePart> QueryRange(const WireRequest& request,
+                               const RangeSpec& range);
+
+  /// Launches one owner attempt on a detached tracked thread writing into
+  /// `race`.
+  void LaunchAttempt(std::shared_ptr<RangeRace> race, int shard_id,
+                     WireRequest subrequest);
+
+  /// Plain single-shot call used by health aggregation (no retry, short
+  /// path).
+  Result<WireResponse> AttemptOnce(Channel* channel,
+                                   const WireRequest& request);
+
+  ShardPlan plan_;
+  RouterConfig config_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+
+  /// Detached attempt threads still running; the destructor waits for zero
+  /// so a straggler can never touch a dead channel.
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> subqueries_{0};
+  std::atomic<uint64_t> hedges_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> version_mismatches_{0};
+  std::atomic<uint64_t> swap_fanouts_{0};
+  std::atomic<uint64_t> swap_failures_{0};
+};
+
+/// WireHandler over a Router: the fleet front end behind a SocketServer.
+/// Dispatches hello (role "router"), match/topk (scatter-gather), swap
+/// (fan-out), health (fleet aggregate), shards, stats, shutdown; refuses
+/// `route` (a shard-side verb — clients never address ranges directly).
+class RouterHandler : public WireHandler {
+ public:
+  explicit RouterHandler(Router* router) : router_(router) {}
+
+  std::string Handle(const std::string& payload, bool* shutdown) override;
+
+ private:
+  Router* router_;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_FLEET_ROUTER_H_

@@ -1,0 +1,306 @@
+#include "fleet/shard_manager.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "common/json.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace entmatcher {
+
+namespace {
+
+std::string Substitute(std::string token, const std::string& plan_path,
+                       int shard_id, const std::string& socket_path) {
+  const auto replace_all = [&token](const std::string& from,
+                                    const std::string& to) {
+    size_t pos = 0;
+    while ((pos = token.find(from, pos)) != std::string::npos) {
+      token.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+  };
+  replace_all("{plan}", plan_path);
+  replace_all("{shard}", std::to_string(shard_id));
+  replace_all("{socket}", socket_path);
+  return token;
+}
+
+/// One protocol-level health probe with a tight budget (no retry — the
+/// caller loops).
+bool HealthAnswers(const std::string& socket_path) {
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) return false;
+  WireRequest health;
+  health.verb = WireRequest::Verb::kHealth;
+  Result<WireResponse> response = client->Call(health);
+  return response.ok() && response->status.ok();
+}
+
+}  // namespace
+
+ShardCommand ShardCommand::SelfServe(const std::string& plan_path,
+                                     const std::string& self_exe) {
+  ShardCommand command;
+  command.argv = {self_exe.empty() ? "/proc/self/exe" : self_exe,
+                  "fleet",
+                  "serve",
+                  "--plan={plan}",
+                  "--shard={shard}"};
+  command.plan_path = plan_path;
+  return command;
+}
+
+ShardManager::~ShardManager() { StopAll(); }
+
+Status ShardManager::Spawn(Child& child,
+                           const std::vector<std::string>& argv) {
+  // Prepare the exec vector BEFORE forking: between fork and exec only
+  // async-signal-safe calls are allowed (another thread may hold the
+  // allocator lock at fork time).
+  std::vector<char*> exec_argv;
+  exec_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    exec_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  exec_argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. execv or die — _exit, never exit (no atexit handlers from the
+    // parent's state).
+    execv(exec_argv[0], exec_argv.data());
+    _exit(127);
+  }
+  child.pid = pid;
+  child.running = true;
+  return Status::OK();
+}
+
+Status ShardManager::Start(const ShardPlan& plan,
+                           const ShardCommand& command) {
+  EM_RETURN_NOT_OK(plan.Validate());
+  if (command.argv.empty()) {
+    return Status::InvalidArgument("shard command has no argv");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("shard manager already started");
+  }
+  for (const ShardSpec& shard : plan.shards) {
+    ::unlink(shard.socket_path.c_str());
+    Child child;
+    child.shard_id = shard.id;
+    child.socket_path = shard.socket_path;
+    std::vector<std::string> argv;
+    argv.reserve(command.argv.size());
+    for (const std::string& token : command.argv) {
+      argv.push_back(
+          Substitute(token, command.plan_path, shard.id, shard.socket_path));
+    }
+    const Status spawned = Spawn(child, argv);
+    if (!spawned.ok()) {
+      // Roll back the children already launched.
+      for (Child& launched : children_) {
+        if (launched.running) ::kill(launched.pid, SIGKILL);
+      }
+      children_.clear();
+      return spawned;
+    }
+    children_.push_back(std::move(child));
+  }
+  started_ = true;
+  stop_.store(false);
+  reaper_ = std::thread([this] { ReapLoop(); });
+  return Status::OK();
+}
+
+void ShardManager::ReapLoop() {
+  while (!stop_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Child& child : children_) {
+        if (!child.running) continue;
+        int wstatus = 0;
+        const pid_t reaped = ::waitpid(child.pid, &wstatus, WNOHANG);
+        if (reaped == child.pid) {
+          child.running = false;
+          ++child.exits;
+          if (WIFEXITED(wstatus)) {
+            child.last_exit_code = WEXITSTATUS(wstatus);
+          } else if (WIFSIGNALED(wstatus)) {
+            child.last_term_signal = WTERMSIG(wstatus);
+          }
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Status ShardManager::WaitHealthy(uint64_t budget_micros) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(budget_micros);
+  for (;;) {
+    std::vector<std::pair<int, std::string>> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Child& child : children_) {
+        if (!child.running) {
+          return Status::Internal(
+              "shard " + std::to_string(child.shard_id) +
+              " exited before becoming healthy (exit code " +
+              std::to_string(child.last_exit_code) + ", signal " +
+              std::to_string(child.last_term_signal) + ")");
+        }
+        pending.push_back({child.shard_id, child.socket_path});
+      }
+    }
+    std::string unhealthy;
+    for (const auto& [id, socket] : pending) {
+      if (!HealthAnswers(socket)) {
+        unhealthy += (unhealthy.empty() ? "" : ", ") + std::to_string(id);
+      }
+    }
+    if (unhealthy.empty()) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("shards not healthy in time: " +
+                                      unhealthy);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+Status ShardManager::Kill(int shard_id, int sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Child& child : children_) {
+    if (child.shard_id != shard_id) continue;
+    if (!child.running) {
+      return Status::NotFound("shard " + std::to_string(shard_id) +
+                              " is not running");
+    }
+    if (::kill(child.pid, sig) != 0) {
+      return Status::Internal(std::string("kill: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("no shard " + std::to_string(shard_id));
+}
+
+void ShardManager::StopAll() {
+  std::vector<std::pair<pid_t, std::string>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    for (const Child& child : children_) {
+      if (child.running) live.push_back({child.pid, child.socket_path});
+    }
+  }
+  // Phase 1: polite — the shutdown verb lets a shard drain its queue.
+  for (const auto& [pid, socket] : live) {
+    Result<ServeClient> client = ServeClient::Connect(socket);
+    if (!client.ok()) continue;
+    WireRequest request;
+    request.verb = WireRequest::Verb::kShutdown;
+    (void)client->Call(request);
+  }
+  // Phase 2: SIGTERM stragglers, grace, then SIGKILL. The reaper thread is
+  // still running and does the waitpid bookkeeping.
+  const auto grace_end = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(2000);
+  for (;;) {
+    bool any_running = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Child& child : children_) {
+        if (child.running) any_running = true;
+      }
+    }
+    if (!any_running) break;
+    if (std::chrono::steady_clock::now() >= grace_end) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Child& child : children_) {
+      if (child.running) {
+        ::kill(child.pid, SIGTERM);
+      }
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Child& child : children_) {
+      if (child.running) {
+        ::kill(child.pid, SIGKILL);
+      }
+    }
+  }
+  // Final blocking reap so no zombie outlives the manager.
+  stop_.store(true);
+  if (reaper_.joinable()) reaper_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Child& child : children_) {
+      if (!child.running) continue;
+      int wstatus = 0;
+      if (::waitpid(child.pid, &wstatus, 0) == child.pid) {
+        child.running = false;
+        ++child.exits;
+        if (WIFEXITED(wstatus)) {
+          child.last_exit_code = WEXITSTATUS(wstatus);
+        } else if (WIFSIGNALED(wstatus)) {
+          child.last_term_signal = WTERMSIG(wstatus);
+        }
+      }
+    }
+    started_ = false;
+  }
+}
+
+std::vector<ShardProcessStatus> ShardManager::Status_() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ShardProcessStatus> out;
+  out.reserve(children_.size());
+  for (const Child& child : children_) {
+    ShardProcessStatus status;
+    status.shard_id = child.shard_id;
+    status.pid = child.pid;
+    status.running = child.running;
+    status.exits = child.exits;
+    status.last_exit_code = child.last_exit_code;
+    status.last_term_signal = child.last_term_signal;
+    out.push_back(status);
+  }
+  return out;
+}
+
+std::string ShardManager::StatusJson() const {
+  const std::vector<ShardProcessStatus> statuses = Status_();
+  std::string json = "{\"shards\": [";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const ShardProcessStatus& s = statuses[i];
+    json += (i > 0 ? ", " : "");
+    json += "{\"id\": " + std::to_string(s.shard_id);
+    json += ", \"pid\": " + std::to_string(s.pid);
+    json += ", \"running\": " + std::string(s.running ? "true" : "false");
+    json += ", \"exits\": " + std::to_string(s.exits);
+    json += ", \"last_exit_code\": " + std::to_string(s.last_exit_code);
+    json += ", \"last_term_signal\": " + std::to_string(s.last_term_signal);
+    json += "}";
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,114 @@
+#ifndef ENTMATCHER_FLEET_SHARD_MANAGER_H_
+#define ENTMATCHER_FLEET_SHARD_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/plan.h"
+
+namespace entmatcher {
+
+/// How the manager launches one shard process. The argv template is a list
+/// of tokens; each token has `{plan}`, `{shard}`, and `{socket}` substituted
+/// before exec. The default template self-execs the current binary
+/// (/proc/self/exe) as `fleet serve --plan={plan} --shard={shard}`, which is
+/// how the CLI's router mode spawns its own shards.
+struct ShardCommand {
+  std::vector<std::string> argv;
+  /// What `{plan}` expands to (SelfServe sets it; custom templates may too).
+  std::string plan_path;
+
+  /// The self-exec default described above. `self_exe` defaults to
+  /// /proc/self/exe resolved at call time.
+  static ShardCommand SelfServe(const std::string& plan_path,
+                                const std::string& self_exe = "");
+};
+
+/// One managed shard's view: last known pid, liveness, exit accounting.
+struct ShardProcessStatus {
+  int shard_id = 0;
+  pid_t pid = -1;
+  bool running = false;
+  /// Times this shard exited (crash or kill) since Start.
+  uint64_t exits = 0;
+  int last_exit_code = 0;     ///< valid when exited normally
+  int last_term_signal = 0;   ///< valid when killed by a signal
+};
+
+/// Spawns and supervises the shard processes of a plan. Each shard is a
+/// child process running a MatchServer behind the plan's unix socket; the
+/// manager forks/execs them, reaps exits on a monitor thread (waitpid
+/// WNOHANG), and exposes liveness both at the process level (running?) and
+/// the protocol level (does `health` answer?).
+///
+/// The manager deliberately does NOT auto-restart crashed shards: restart
+/// policy belongs to the operator (or the chaos test asserting definite
+/// termination). It gives the building blocks — Kill for fault injection,
+/// StatusJson for observation, StopAll for orderly teardown (shutdown verb,
+/// then SIGTERM, then SIGKILL).
+class ShardManager {
+ public:
+  ShardManager() = default;
+  ~ShardManager();
+
+  ShardManager(const ShardManager&) = delete;
+  ShardManager& operator=(const ShardManager&) = delete;
+
+  /// Forks one child per plan shard using `command` (tokens expanded per
+  /// shard) and starts the reaper thread. Pre-existing socket files are
+  /// unlinked first so a stale socket never shadows a fresh shard.
+  Status Start(const ShardPlan& plan, const ShardCommand& command);
+
+  /// Blocks until every shard's socket answers `health`, or the budget runs
+  /// out (kDeadlineExceeded listing the shards still unhealthy). A shard
+  /// that already exited fails fast (kInternal) — it will never get healthy.
+  Status WaitHealthy(uint64_t budget_micros);
+
+  /// Sends `sig` to one shard's process — the chaos tests' fault injector
+  /// (SIGKILL mid-storm). kNotFound if the shard is not running.
+  Status Kill(int shard_id, int sig);
+
+  /// Orderly teardown: `shutdown` over the socket where it still answers,
+  /// SIGTERM for the rest, SIGKILL after a grace period, then reap
+  /// everything. Idempotent.
+  void StopAll();
+
+  /// Process-level status for every managed shard.
+  std::vector<ShardProcessStatus> Status_() const;
+
+  /// `{"shards": [{id, pid, running, exits, ...}, ...]}`.
+  std::string StatusJson() const;
+
+ private:
+  struct Child {
+    int shard_id = 0;
+    std::string socket_path;
+    pid_t pid = -1;
+    bool running = false;
+    uint64_t exits = 0;
+    int last_exit_code = 0;
+    int last_term_signal = 0;
+  };
+
+  /// fork + exec one shard. Only async-signal-safe calls between fork and
+  /// exec (no allocation — argv is prepared before the fork).
+  Status Spawn(Child& child, const std::vector<std::string>& argv);
+
+  void ReapLoop();
+
+  mutable std::mutex mu_;
+  std::vector<Child> children_;
+  std::thread reaper_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_FLEET_SHARD_MANAGER_H_

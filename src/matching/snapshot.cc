@@ -81,7 +81,8 @@ PairSnapshot::EnsureQuantized(ScorePrecision precision) const {
 }
 
 Result<uint64_t> SnapshotRegistry::Publish(
-    const std::string& name, std::shared_ptr<PairSnapshot> snapshot) {
+    const std::string& name, std::shared_ptr<PairSnapshot> snapshot,
+    uint64_t min_version) {
   if (snapshot == nullptr) {
     return Status::InvalidArgument("SnapshotRegistry: null snapshot");
   }
@@ -95,6 +96,7 @@ Result<uint64_t> SnapshotRegistry::Publish(
     std::lock_guard<std::mutex> lock(mu_);
     std::shared_ptr<const PairSnapshot>& slot = current_[name];
     version = (slot != nullptr ? slot->version() : 0) + 1;
+    if (version < min_version) version = min_version;
     snapshot->version_ = version;
     displaced = std::move(slot);
     slot = std::move(snapshot);

@@ -141,12 +141,16 @@ class SnapshotRegistry {
   SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
 
   /// Atomically installs `snapshot` as the current version of `name`,
-  /// stamping version = previous + 1 (1 for a new name), and retires the
-  /// displaced snapshot into the epoch domain. Fault point
-  /// "snapshot.publish" fires *before* the swap, so a failed publish leaves
-  /// the old snapshot serving untouched. Returns the stamped version.
+  /// stamping version = max(previous + 1, min_version) (previous = 0 for a
+  /// new name), and retires the displaced snapshot into the epoch domain.
+  /// The floor lets a fleet-wide swap pin one target version across shards
+  /// whose local counters have skewed (e.g. after a partial fan-out), so a
+  /// repair swap can re-converge them. Fault point "snapshot.publish" fires
+  /// *before* the swap, so a failed publish leaves the old snapshot serving
+  /// untouched. Returns the stamped version.
   Result<uint64_t> Publish(const std::string& name,
-                           std::shared_ptr<PairSnapshot> snapshot);
+                           std::shared_ptr<PairSnapshot> snapshot,
+                           uint64_t min_version = 0);
 
   /// The current snapshot of `name`, or nullptr. The returned reference
   /// keeps the snapshot alive regardless of later publishes.

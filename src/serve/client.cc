@@ -28,14 +28,33 @@ Result<int> Dial(const std::string& socket_path) {
   }
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status status = Status::IoError("connect " + socket_path + ": " +
-                                          std::strerror(errno));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    // kUnavailable, not kIoError: a refused/absent socket is the transient
+    // "shard not up (yet/anymore)" condition retry and failover handle.
+    const Status status = Status::Unavailable("connect " + socket_path + ": " +
+                                              std::strerror(errno));
     ::close(fd);
     return status;
   }
   return fd;
+}
+
+// The frame layer reports peer trouble as kIoError (EPIPE, reset, truncated
+// frame) or kNotFound (clean close between frames). Both mean the same thing
+// to a caller: this connection is gone and the request may be replayed
+// elsewhere — surface them uniformly as kUnavailable so routers and retry
+// loops treat a dying shard like a shedding one, not like a protocol bug.
+Status AsTransportFailure(const Status& status) {
+  if (status.code() == StatusCode::kIoError ||
+      status.code() == StatusCode::kNotFound) {
+    return Status::Unavailable("peer closed or transport failed: " +
+                               status.message());
+  }
+  return status;
 }
 
 }  // namespace
@@ -69,9 +88,11 @@ Status ServeClient::Reconnect() {
 
 Result<WireResponse> ServeClient::Call(const WireRequest& request) {
   if (fd_ < 0) return Status::FailedPrecondition("ServeClient: not connected");
-  EM_RETURN_NOT_OK(WriteFrame(fd_, EncodeRequest(request)));
-  EM_ASSIGN_OR_RETURN(const std::string payload, ReadFrame(fd_));
-  return ParseResponse(payload);
+  const Status wrote = WriteFrame(fd_, EncodeRequest(request));
+  if (!wrote.ok()) return AsTransportFailure(wrote);
+  auto payload = ReadFrame(fd_);
+  if (!payload.ok()) return AsTransportFailure(payload.status());
+  return ParseResponse(payload.value());
 }
 
 Result<WireResponse> ServeClient::CallWithRetry(const WireRequest& request,

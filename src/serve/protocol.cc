@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/fault.h"
+#include "common/json.h"
 #include "common/string_util.h"
 
 namespace entmatcher {
@@ -110,6 +111,25 @@ std::vector<std::string_view> Tokens(std::string_view line) {
   return out;
 }
 
+// Parses "LO:HI" with LO < HI — an empty routed range answers nothing and
+// only ever signals a router bug, so it is refused at parse time.
+Status ParseRange(std::string_view text, size_t* begin, size_t* end) {
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("range must be LO:HI, got " +
+                                   std::string(text));
+  }
+  EM_ASSIGN_OR_RETURN(const uint64_t lo, ParseUint(text.substr(0, colon)));
+  EM_ASSIGN_OR_RETURN(const uint64_t hi, ParseUint(text.substr(colon + 1)));
+  if (lo >= hi) {
+    return Status::InvalidArgument("range is empty or inverted: " +
+                                   std::string(text));
+  }
+  *begin = static_cast<size_t>(lo);
+  *end = static_cast<size_t>(hi);
+  return Status::OK();
+}
+
 }  // namespace
 
 Status WriteFrame(int fd, std::string_view payload) {
@@ -168,6 +188,10 @@ std::string EncodeRequest(const WireRequest& request) {
       return "stats";
     case WireRequest::Verb::kHealth:
       return "health";
+    case WireRequest::Verb::kHello:
+      return "hello";
+    case WireRequest::Verb::kShards:
+      return "shards";
     case WireRequest::Verb::kShutdown:
       return "shutdown";
     case WireRequest::Verb::kSwap:
@@ -176,7 +200,19 @@ std::string EncodeRequest(const WireRequest& request) {
       if (!request.index_path.empty()) {
         line += " index=" + request.index_path;
       }
+      if (request.swap_min_version > 0) {
+        line += " version=" + std::to_string(request.swap_min_version);
+      }
       return line;
+  }
+  if (request.route) {
+    // Routed sub-queries front-load the pair and range so the shard grammar
+    // stays prefix-decodable: "route <pair> <lo>:<hi> <match|topk> ...".
+    line = "route " + (request.pair.empty() ? "default" : request.pair) + " " +
+           std::to_string(request.row_begin) + ":" +
+           std::to_string(request.row_end) + " " + line;
+  } else if (!request.pair.empty()) {
+    line += " pair=" + request.pair;
   }
   if (request.timeout_micros > 0) {
     line += " timeout_us=" + std::to_string(request.timeout_micros);
@@ -185,14 +221,35 @@ std::string EncodeRequest(const WireRequest& request) {
 }
 
 Result<WireRequest> ParseRequest(std::string_view payload) {
-  const std::vector<std::string_view> tokens = Tokens(payload);
+  std::vector<std::string_view> tokens = Tokens(payload);
   if (tokens.empty()) return Status::InvalidArgument("empty request");
   WireRequest request;
+  if (tokens[0] == "route") {
+    // "route <pair> <lo>:<hi> <match|topk> ..." — strip the routing prefix
+    // and fall through to the ordinary match/topk grammar below.
+    if (tokens.size() < 4) {
+      return Status::InvalidArgument(
+          "route needs: route <pair> <lo>:<hi> <match|topk> ...");
+    }
+    request.route = true;
+    request.pair = std::string(tokens[1]);
+    EM_RETURN_NOT_OK(
+        ParseRange(tokens[2], &request.row_begin, &request.row_end));
+    tokens.erase(tokens.begin(), tokens.begin() + 3);
+    if (tokens[0] != "match" && tokens[0] != "topk") {
+      return Status::InvalidArgument("route wraps match or topk, got " +
+                                     std::string(tokens[0]));
+    }
+  }
   size_t next = 1;
   if (tokens[0] == "stats") {
     request.verb = WireRequest::Verb::kStats;
   } else if (tokens[0] == "health") {
     request.verb = WireRequest::Verb::kHealth;
+  } else if (tokens[0] == "hello") {
+    request.verb = WireRequest::Verb::kHello;
+  } else if (tokens[0] == "shards") {
+    request.verb = WireRequest::Verb::kShards;
   } else if (tokens[0] == "shutdown") {
     request.verb = WireRequest::Verb::kShutdown;
   } else if (tokens[0] == "swap") {
@@ -205,17 +262,25 @@ Result<WireRequest> ParseRequest(std::string_view payload) {
     request.source_path = std::string(tokens[2]);
     request.target_path = std::string(tokens[3]);
     next = 4;
-    if (next < tokens.size()) {
+    while (next < tokens.size()) {
       const std::string_view kIndex = "index=";
-      if (!StartsWith(tokens[next], kIndex)) {
-        return Status::InvalidArgument("unknown option: " +
-                                       std::string(tokens[next]));
+      const std::string_view kVersion = "version=";
+      if (StartsWith(tokens[next], kIndex)) {
+        request.index_path = std::string(tokens[next].substr(kIndex.size()));
+        if (request.index_path.empty()) {
+          return Status::InvalidArgument("index= needs a path");
+        }
+        ++next;
+        continue;
       }
-      request.index_path = std::string(tokens[next].substr(kIndex.size()));
-      if (request.index_path.empty()) {
-        return Status::InvalidArgument("index= needs a path");
+      if (StartsWith(tokens[next], kVersion)) {
+        EM_ASSIGN_OR_RETURN(
+            request.swap_min_version,
+            ParseUint(tokens[next].substr(kVersion.size())));
+        ++next;
+        continue;
       }
-      next = 5;
+      break;
     }
   } else if (tokens[0] == "match" || tokens[0] == "topk") {
     request.verb = tokens[0] == "match" ? WireRequest::Verb::kMatch
@@ -239,9 +304,21 @@ Result<WireRequest> ParseRequest(std::string_view payload) {
   for (; next < tokens.size(); ++next) {
     const std::string_view token = tokens[next];
     const std::string_view kTimeout = "timeout_us=";
+    const std::string_view kPair = "pair=";
     if (StartsWith(token, kTimeout)) {
       EM_ASSIGN_OR_RETURN(request.timeout_micros,
                           ParseUint(token.substr(kTimeout.size())));
+    } else if (StartsWith(token, kPair) &&
+               (request.verb == WireRequest::Verb::kMatch ||
+                request.verb == WireRequest::Verb::kTopK)) {
+      if (request.route) {
+        return Status::InvalidArgument(
+            "route already names the pair; pair= is not allowed");
+      }
+      request.pair = std::string(token.substr(kPair.size()));
+      if (request.pair.empty()) {
+        return Status::InvalidArgument("pair= needs a name");
+      }
     } else {
       return Status::InvalidArgument("unknown option: " + std::string(token));
     }
@@ -249,11 +326,28 @@ Result<WireRequest> ParseRequest(std::string_view payload) {
   return request;
 }
 
-std::string EncodeValuesResponse(const std::vector<int32_t>& values) {
-  std::string payload = "ok values " + std::to_string(values.size()) + "\n";
-  payload.reserve(payload.size() + values.size() * 4);
+std::string EncodeValuesResponse(const std::vector<int32_t>& values,
+                                 uint64_t version, bool has_range,
+                                 size_t row_begin, size_t row_end,
+                                 const std::vector<float>& scores) {
+  std::string payload = "ok values " + std::to_string(values.size());
+  if (version > 0) payload += " version=" + std::to_string(version);
+  if (has_range) {
+    payload += " range=" + std::to_string(row_begin) + ":" +
+               std::to_string(row_end);
+  }
+  if (!scores.empty()) payload += " scores=" + std::to_string(scores.size());
+  payload += "\n";
+  payload.reserve(payload.size() + values.size() * 4 + scores.size() * 4);
   for (int32_t value : values) {
     AppendUint32Le(&payload, static_cast<uint32_t>(value));
+  }
+  for (float score : scores) {
+    // Bit pattern, not a decimal rendering: routed topk merges must compare
+    // exactly the floats the shard computed.
+    uint32_t bits;
+    std::memcpy(&bits, &score, sizeof(bits));
+    AppendUint32Le(&payload, bits);
   }
   return payload;
 }
@@ -311,21 +405,80 @@ Result<WireResponse> ParseResponse(std::string_view payload) {
     return response;
   }
   if (StartsWith(header, "ok values ")) {
-    EM_ASSIGN_OR_RETURN(const uint64_t count, ParseUint(header.substr(10)));
-    if (body.size() != count * 4) {
+    const std::vector<std::string_view> fields = Tokens(header.substr(10));
+    if (fields.empty()) {
+      return Status::InvalidArgument("values header missing count");
+    }
+    EM_ASSIGN_OR_RETURN(const uint64_t count, ParseUint(fields[0]));
+    uint64_t score_count = 0;
+    for (size_t i = 1; i < fields.size(); ++i) {
+      const std::string_view kVersion = "version=";
+      const std::string_view kRange = "range=";
+      const std::string_view kScores = "scores=";
+      if (StartsWith(fields[i], kVersion)) {
+        EM_ASSIGN_OR_RETURN(response.version,
+                            ParseUint(fields[i].substr(kVersion.size())));
+      } else if (StartsWith(fields[i], kRange)) {
+        EM_RETURN_NOT_OK(ParseRange(fields[i].substr(kRange.size()),
+                                    &response.row_begin, &response.row_end));
+        response.has_range = true;
+      } else if (StartsWith(fields[i], kScores)) {
+        EM_ASSIGN_OR_RETURN(score_count,
+                            ParseUint(fields[i].substr(kScores.size())));
+      } else {
+        return Status::InvalidArgument("unknown values header field: " +
+                                       std::string(fields[i]));
+      }
+    }
+    if (body.size() != (count + score_count) * 4) {
       return Status::InvalidArgument(
           "values payload is " + std::to_string(body.size()) +
-          " B, expected " + std::to_string(count * 4));
+          " B, expected " + std::to_string((count + score_count) * 4));
     }
     response.values.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       response.values.push_back(
           static_cast<int32_t>(ReadUint32Le(body.data() + i * 4)));
     }
+    response.scores.reserve(score_count);
+    for (uint64_t i = 0; i < score_count; ++i) {
+      const uint32_t bits = ReadUint32Le(body.data() + (count + i) * 4);
+      float score;
+      std::memcpy(&score, &bits, sizeof(score));
+      response.scores.push_back(score);
+    }
     return response;
   }
   return Status::InvalidArgument("unparseable response header: " +
                                  std::string(header));
+}
+
+std::string HelloJson(std::string_view role) {
+  return "{\"protocol\":" + std::to_string(kProtocolVersion) +
+         ",\"build\":" + JsonEscape(EM_BUILD_VERSION) +
+         ",\"role\":" + JsonEscape(role) + "}";
+}
+
+Status CheckHello(std::string_view hello_json, std::string_view peer_name) {
+  auto parsed = JsonValue::Parse(hello_json);
+  if (!parsed.ok()) {
+    return Status::FailedPrecondition(
+        std::string(peer_name) +
+        ": unparseable hello payload (pre-v2 peer?): " +
+        parsed.status().message());
+  }
+  auto protocol = parsed.value().GetInt("protocol");
+  if (!protocol.ok()) {
+    return Status::FailedPrecondition(std::string(peer_name) +
+                                      ": hello carries no protocol field");
+  }
+  if (protocol.value() != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        std::string(peer_name) + ": protocol mismatch: peer speaks v" +
+        std::to_string(protocol.value()) + ", this build speaks v" +
+        std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
 }
 
 }  // namespace entmatcher

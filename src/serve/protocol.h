@@ -19,20 +19,51 @@ namespace entmatcher {
 // array. Deliberately dependency-free and greppable — `xxd` on a capture
 // shows the whole conversation.
 //
-// Requests:
-//   "match <ALGO> [timeout_us=N]"      full pipeline -> assignment
-//   "topk <ALGO> <k> [timeout_us=N]"   transformed scores -> top-k indices
+// Requests (protocol v2):
+//   "hello"                            version handshake: responds with a
+//                                      text JSON payload carrying protocol
+//                                      and build versions plus the peer's
+//                                      role ("shard" or "router"); the
+//                                      router refuses shards whose protocol
+//                                      differs from its own.
+//   "match <ALGO> [pair=NAME] [timeout_us=N]"
+//                                      full pipeline -> assignment
+//   "topk <ALGO> <k> [pair=NAME] [timeout_us=N]"
+//                                      transformed scores -> top-k indices
+//   "route <PAIR> <LO>:<HI> match <ALGO> [timeout_us=N]"
+//   "route <PAIR> <LO>:<HI> topk <ALGO> <k> [timeout_us=N]"
+//                                      a router-issued sub-query: answer
+//                                      only source rows [LO, HI) of PAIR.
+//                                      The shard still runs the full
+//                                      deterministic pipeline (transforms
+//                                      are globally normalized, so answers
+//                                      cannot depend on the split) and
+//                                      slices the response rows. Routed
+//                                      topk responses additionally carry
+//                                      the per-entry scores so the router
+//                                      can merge by (score desc, id asc).
 //   "stats"                            serving counters as JSON
 //   "health"                           liveness JSON (queue depth, shed
-//                                      rate, fault-plan fingerprint)
+//                                      rate, per-pair snapshot versions,
+//                                      cache counters, fault-plan
+//                                      fingerprint)
+//   "shards"                           router only: shard plan + per-shard
+//                                      channel state as JSON
 //   "shutdown"                         stop the server after responding
-//   "swap <PAIR> <SRC> <TGT> [index=PATH]"
+//   "swap <PAIR> <SRC> <TGT> [index=PATH] [version=N]"
 //                                      admin: hot-swap pair PAIR to the
 //                                      embeddings at server-side paths
 //                                      SRC/TGT (WriteMatrixBinary format),
 //                                      optionally attaching the candidate
 //                                      index saved at PATH; responds
-//                                      "swapped <PAIR> v<N>". Names and
+//                                      "swapped <PAIR> v<N>". version=N
+//                                      floors the published snapshot
+//                                      version — the router pins one target
+//                                      version across its fan-out so a
+//                                      repair swap re-converges shards with
+//                                      skewed counters. On a router this
+//                                      fans out to every owning shard with
+//                                      all-or-nothing semantics. Names and
 //                                      paths cannot contain spaces (the
 //                                      request line is space-tokenized).
 // <ALGO> is a paper preset name (DInf, CSLS, RInf, RInf-wr, RInf-pb, Sink.,
@@ -41,12 +72,23 @@ namespace entmatcher {
 // checks the deadline between stages.
 //
 // Responses:
-//   "ok values <n>\n" + n little-endian int32s   (match / topk payload)
-//   "ok text\n" + UTF-8 text                     (stats / health payload)
+//   "ok values <n> [version=V] [range=LO:HI] [scores=M]\n"
+//       + n little-endian int32s + M little-endian float32 bit patterns
+//                                    (match / topk payload; version tags the
+//                                     pair snapshot that answered, range
+//                                     echoes a routed sub-query's rows, and
+//                                     scores carries bit-exact float scores
+//                                     for routed topk merging)
+//   "ok text\n" + UTF-8 text         (stats / health / hello payload)
 //   "error <CODE> [retry_after_us=N] <message>"  (any failure)
 // retry_after_us is the server's backoff hint on kUnavailable shed
 // responses; well-behaved clients (ServeClient's RetryPolicy) wait at least
 // that long before retrying.
+
+/// Wire protocol version, carried in the `hello` handshake. v2 added hello,
+/// shards, route, pair= on match/topk, and the version/range/scores fields
+/// of values responses.
+inline constexpr int kProtocolVersion = 2;
 
 /// Hard cap on accepted frame payloads (1 GiB would be a corrupt length
 /// prefix long before it is a real workload).
@@ -62,16 +104,35 @@ Result<std::string> ReadFrame(int fd);
 
 /// A parsed request line.
 struct WireRequest {
-  enum class Verb { kMatch, kTopK, kStats, kHealth, kShutdown, kSwap };
+  enum class Verb {
+    kMatch,
+    kTopK,
+    kStats,
+    kHealth,
+    kShutdown,
+    kSwap,
+    kHello,
+    kShards,
+  };
   Verb verb = Verb::kMatch;
   AlgorithmPreset algorithm = AlgorithmPreset::kDInf;  // match/topk
   size_t k = 0;                                        // topk
   uint64_t timeout_micros = 0;                         // 0 = no deadline
-  /// swap only: the pair to republish and the server-side files to load.
+  /// The served pair a match/topk addresses (pair=NAME; empty = the default
+  /// pair), or — for swap — the pair to republish, together with the
+  /// server-side files to load.
   std::string pair;
   std::string source_path;
   std::string target_path;
   std::string index_path;  // empty = no index on the new snapshot
+  /// swap only (version=N): floor for the published snapshot version. The
+  /// router pins one target version across a fan-out so shards whose local
+  /// counters skewed (after a partial swap) re-converge; 0 = local counter.
+  uint64_t swap_min_version = 0;
+  /// route sub-query: answer only source rows [row_begin, row_end).
+  bool route = false;
+  size_t row_begin = 0;
+  size_t row_end = 0;
 };
 
 std::string EncodeRequest(const WireRequest& request);
@@ -85,9 +146,24 @@ struct WireResponse {
   std::string text;
   /// Server backoff hint on shed (kUnavailable) errors; 0 = none.
   uint64_t retry_after_micros = 0;
+  /// Snapshot version of the pair that answered (version=; 0 = untagged).
+  uint64_t version = 0;
+  /// Echo of a routed sub-query's row range (range=LO:HI).
+  bool has_range = false;
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  /// Bit-exact scores parallel to `values` on routed topk responses.
+  std::vector<float> scores;
 };
 
-std::string EncodeValuesResponse(const std::vector<int32_t>& values);
+/// Encodes a values response. `version` tags the answering snapshot (0 =
+/// omit), the range fields echo a routed sub-query (has_range = false =
+/// omit), and `scores` rides along for routed topk (empty = omit) — the v1
+/// one-argument form stays valid for un-routed responses.
+std::string EncodeValuesResponse(const std::vector<int32_t>& values,
+                                 uint64_t version = 0, bool has_range = false,
+                                 size_t row_begin = 0, size_t row_end = 0,
+                                 const std::vector<float>& scores = {});
 std::string EncodeTextResponse(std::string_view text);
 std::string EncodeErrorResponse(const Status& status,
                                 uint64_t retry_after_micros = 0);
@@ -97,6 +173,15 @@ Result<WireResponse> ParseResponse(std::string_view payload);
 /// kInvalidArgument for unknown names. RL is rejected here: the serving
 /// layer has no KG context to run it.
 Result<AlgorithmPreset> ParseServableAlgorithm(std::string_view name);
+
+/// The `hello` handshake payload for a peer serving in `role` ("shard" or
+/// "router"): {"protocol":2,"build":"...","role":"..."}.
+std::string HelloJson(std::string_view role);
+
+/// Parses a `hello` payload and checks the peer speaks kProtocolVersion.
+/// kFailedPrecondition (not retryable) on a mismatch or unparseable payload
+/// — the caller must refuse the peer, not retry it.
+Status CheckHello(std::string_view hello_json, std::string_view peer_name);
 
 }  // namespace entmatcher
 

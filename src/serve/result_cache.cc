@@ -17,7 +17,8 @@ size_t ResultCache::EntryBytes(const std::string& key, const Entry& entry) {
   constexpr size_t kNodeOverhead = 128;
   return kNodeOverhead + key.size() +
          entry.assignment.target_of_source.size() * sizeof(int32_t) +
-         entry.topk.size() * sizeof(uint32_t);
+         entry.topk.size() * sizeof(uint32_t) +
+         entry.topk_scores.size() * sizeof(float);
 }
 
 bool ResultCache::Lookup(const std::string& key, Entry* out) {

@@ -40,10 +40,14 @@ namespace entmatcher {
 class ResultCache {
  public:
   /// The answer payload of one finished query (exactly one field is
-  /// meaningful, per the request kind folded into the key).
+  /// meaningful, per the request kind folded into the key). Entries always
+  /// hold the FULL pair's answer; row-ranged (routed) requests are sliced
+  /// from it after the hit, so every shard range shares one entry.
   struct Entry {
     Assignment assignment;
     std::vector<uint32_t> topk;
+    /// Parallel to topk when the keyed request asked for scores.
+    std::vector<float> topk_scores;
   };
 
   /// `budget_bytes` = 0 disables the cache (every Lookup misses, Insert is a

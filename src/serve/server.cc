@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "common/json.h"
 #include "index/candidate_index.h"
 #include "la/kernels/dispatch.h"
 #include "la/topk.h"
@@ -70,7 +71,42 @@ std::string MakeResultKey(const std::string& pair, uint64_t version,
   AppendU64(&key, static_cast<uint64_t>(request.kind));
   AppendU64(&key, static_cast<uint64_t>(request.options.matcher));
   AppendU64(&key, request.kind == ServeQueryKind::kTopK ? request.topk : 0);
+  // want_scores widens the stored payload, so it gets its own entry. The row
+  // range deliberately does NOT key: entries hold the full pair's answer and
+  // ranged requests slice after the hit, so every shard range shares one
+  // entry.
+  AppendU64(&key, request.kind == ServeQueryKind::kTopK && request.want_scores
+                      ? 1
+                      : 0);
   return key;
+}
+
+bool HasRowRange(const ServeRequest& request) {
+  return request.row_begin > 0 || request.row_end > 0;
+}
+
+// Cuts a full-pair payload down to the request's row range, in place.
+// `total_rows` is the snapshot's source row count (needed to recover the
+// effective k of a flattened top-k payload).
+void SliceRowRange(const ServeRequest& request, size_t total_rows,
+                   ServeResponse* response) {
+  if (!HasRowRange(request)) return;
+  const size_t begin = request.row_begin;
+  const size_t end = request.row_end;
+  if (request.kind == ServeQueryKind::kMatch) {
+    std::vector<int32_t>& full = response->assignment.target_of_source;
+    full = std::vector<int32_t>(full.begin() + begin, full.begin() + end);
+    return;
+  }
+  const size_t k_eff = total_rows > 0 ? response->topk.size() / total_rows : 0;
+  response->topk = std::vector<uint32_t>(
+      response->topk.begin() + begin * k_eff,
+      response->topk.begin() + end * k_eff);
+  if (!response->topk_scores.empty()) {
+    response->topk_scores = std::vector<float>(
+        response->topk_scores.begin() + begin * k_eff,
+        response->topk_scores.begin() + end * k_eff);
+  }
 }
 
 }  // namespace
@@ -155,7 +191,8 @@ Status MatchServer::AttachIndex(const std::string& name,
 
 Result<uint64_t> MatchServer::SwapPair(const std::string& name, Matrix source,
                                        Matrix target,
-                                       std::unique_ptr<CandidateIndex> index) {
+                                       std::unique_ptr<CandidateIndex> index,
+                                       uint64_t min_version) {
   std::lock_guard<std::mutex> lock(pairs_mu_);
   auto base_it = base_options_.find(name);
   if (base_it == base_options_.end()) {
@@ -183,7 +220,8 @@ Result<uint64_t> MatchServer::SwapPair(const std::string& name, Matrix source,
   // path.
   snapshot->EnsureCache(base_it->second.metric);
   EM_ASSIGN_OR_RETURN(const uint64_t version,
-                      registry_.Publish(name, std::move(snapshot)));
+                      registry_.Publish(name, std::move(snapshot),
+                                        min_version));
   stats_.RecordSwap();
   // Correctness does not need this (the version is in every cache key);
   // reclaiming the dead entries' bytes eagerly does.
@@ -232,6 +270,17 @@ std::future<ServeResponse> MatchServer::Submit(ServeRequest request) {
         "MatchServer: the RL matcher needs KG context and cannot be served");
   } else if (request.kind == ServeQueryKind::kTopK && request.topk == 0) {
     verdict = Status::InvalidArgument("MatchServer: topk must be >= 1");
+  } else if (request.kind == ServeQueryKind::kMatch && request.want_scores) {
+    verdict = Status::InvalidArgument(
+        "MatchServer: want_scores applies to top-k queries only");
+  } else if (HasRowRange(request) &&
+             (request.row_begin >= request.row_end ||
+              request.row_end > snapshot->source().rows())) {
+    verdict = Status::OutOfRange(
+        "MatchServer: row range [" + std::to_string(request.row_begin) + ", " +
+        std::to_string(request.row_end) + ") is empty or exceeds the " +
+        std::to_string(snapshot->source().rows()) + " source rows of pair '" +
+        request.pair + "'");
   } else if (UsesSparsePath(request.options) &&
              request.kind == ServeQueryKind::kTopK) {
     verdict = Status::InvalidArgument(
@@ -373,7 +422,16 @@ ServerStatsSnapshot MatchServer::Stats() const {
     std::lock_guard<std::mutex> lock(queue_mu_);
     depth = queue_.size();
   }
-  return stats_.Snapshot(depth, cache_.evictions(), cache_.bytes());
+  ServerStatsSnapshot snap =
+      stats_.Snapshot(depth, cache_.evictions(), cache_.bytes());
+  for (const std::string& name : registry_.Names()) {
+    const std::shared_ptr<const PairSnapshot> snapshot =
+        registry_.Acquire(name);
+    if (snapshot != nullptr) {
+      snap.pair_versions.emplace_back(name, snapshot->version());
+    }
+  }
+  return snap;
 }
 
 std::string MatchServer::HealthJson() const {
@@ -396,6 +454,17 @@ std::string MatchServer::HealthJson() const {
   json += ", \"shed_rate\": " + std::to_string(shed_rate);
   json += ", \"snapshot_swaps\": " + std::to_string(snapshot.snapshot_swaps);
   json += ", \"cache_hits\": " + std::to_string(snapshot.cache_hits);
+  json += ", \"cache_misses\": " + std::to_string(snapshot.cache_misses);
+  json +=
+      ", \"cache_evictions\": " + std::to_string(snapshot.cache_evictions);
+  json += ", \"result_cache_bytes\": " +
+          std::to_string(snapshot.result_cache_bytes);
+  json += ", \"pairs\": {";
+  for (size_t i = 0; i < snapshot.pair_versions.size(); ++i) {
+    json += (i > 0 ? ", " : "") + JsonEscape(snapshot.pair_versions[i].first) +
+            ": " + std::to_string(snapshot.pair_versions[i].second);
+  }
+  json += "}";
   json += ", \"fault_plan\": \"" + FaultInjector::Global().Fingerprint() +
           "\"";
   json += ", \"kernels\": " + KernelStatusJson();
@@ -527,7 +596,9 @@ void MatchServer::SchedulerLoop() {
             response.assignment = std::move(entry.assignment);
           } else {
             response.topk = std::move(entry.topk);
+            response.topk_scores = std::move(entry.topk_scores);
           }
+          SliceRowRange(pending.request, snapshot->source().rows(), &response);
           Respond(&pending, std::move(response));
           continue;
         }
@@ -673,16 +744,37 @@ void MatchServer::ExecuteGroup(GroupTask task,
       }
     } else {
       response.topk = RowTopKIndices(batch->scores(), pending.request.topk);
+      if (pending.request.want_scores) {
+        // Gather the selected entries' transformed scores, bit-exact from
+        // the same matrix the indices came from.
+        const Matrix& scores = batch->scores();
+        const size_t rows = scores.rows();
+        const size_t k_eff = rows > 0 ? response.topk.size() / rows : 0;
+        response.topk_scores.reserve(response.topk.size());
+        for (size_t r = 0; r < rows; ++r) {
+          for (size_t j = 0; j < k_eff; ++j) {
+            response.topk_scores.push_back(
+                scores.At(r, response.topk[r * k_eff + j]));
+          }
+        }
+      }
     }
     if (cache_.enabled() && response.status.ok() && !pending.degraded) {
+      // The full-pair answer goes in (before any range slicing below), so
+      // one entry serves every shard range of this request shape.
       ResultCache::Entry entry;
       if (pending.request.kind == ServeQueryKind::kMatch) {
         entry.assignment = response.assignment;
       } else {
         entry.topk = response.topk;
+        entry.topk_scores = response.topk_scores;
       }
       cache_.Insert(MakeResultKey(task.pair, version, pending.request),
                     std::move(entry));
+    }
+    if (response.status.ok()) {
+      SliceRowRange(pending.request, task.snapshot->source().rows(),
+                    &response);
     }
     Respond(&pending, std::move(response));
   }

@@ -90,6 +90,16 @@ struct ServeRequest {
   /// End-to-end deadline measured from Submit; a request still queued when
   /// it expires is answered kDeadlineExceeded without executing. 0 = none.
   uint64_t timeout_micros = 0;
+  /// Routed sub-query: answer only source rows [row_begin, row_end). The
+  /// full deterministic pipeline still runs (transforms are globally
+  /// normalized, so a row's answer cannot depend on which rows were asked
+  /// for) — only the response payload is sliced. (0, 0) = all rows.
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  /// kTopK only: also return the transformed score of every returned
+  /// candidate (bit-exact), so a router can merge partial lists by
+  /// (score desc, id asc).
+  bool want_scores = false;
 };
 
 /// The server's answer. Exactly one payload field is filled on success.
@@ -98,7 +108,10 @@ struct ServeResponse {
   /// kMatch payload.
   Assignment assignment;
   /// kTopK payload: flattened (rows × k') indices, k' = min(k, target rows).
+  /// For a row-ranged request, rows = row_end - row_begin.
   std::vector<uint32_t> topk;
+  /// kTopK with want_scores: transformed scores parallel to `topk`.
+  std::vector<float> topk_scores;
   /// How many queries shared this response's scores pass (1 = ran alone; 0 =
   /// no pass ran: admission failure, expiry, or a result-cache hit).
   size_t batch_size = 0;
@@ -195,10 +208,13 @@ class MatchServer {
   /// drops the pair's entries. On failure (including an armed
   /// "snapshot.publish" fault) the previous snapshot keeps serving
   /// untouched. Returns the published version. kNotFound for a pair never
-  /// loaded — swap replaces, LoadPair introduces.
+  /// loaded — swap replaces, LoadPair introduces. min_version > 0 floors
+  /// the published version (SnapshotRegistry::Publish) so a fleet-wide
+  /// fan-out can pin one target version across shards with skewed counters.
   Result<uint64_t> SwapPair(const std::string& name, Matrix source,
                             Matrix target,
-                            std::unique_ptr<CandidateIndex> index = nullptr);
+                            std::unique_ptr<CandidateIndex> index = nullptr,
+                            uint64_t min_version = 0);
 
   /// The current snapshot of `name` (nullptr if unknown) — observability
   /// and tests; queries pin their own reference internally.

@@ -31,16 +31,76 @@ Result<std::string> HandleSwap(MatchServer* server,
   EM_ASSIGN_OR_RETURN(
       const uint64_t version,
       server->SwapPair(request.pair, std::move(source), std::move(target),
-                       std::move(index)));
+                       std::move(index), request.swap_min_version));
   return "swapped " + request.pair + " v" + std::to_string(version);
 }
 
 }  // namespace
 
+std::string MatchServerHandler::Handle(const std::string& payload,
+                                       bool* shutdown) {
+  Result<WireRequest> parsed = ParseRequest(payload);
+  if (!parsed.ok()) return EncodeErrorResponse(parsed.status());
+  switch (parsed->verb) {
+    case WireRequest::Verb::kHello:
+      return EncodeTextResponse(HelloJson("shard"));
+    case WireRequest::Verb::kStats:
+      return EncodeTextResponse(server_->Stats().ToJson());
+    case WireRequest::Verb::kHealth:
+      return EncodeTextResponse(server_->HealthJson());
+    case WireRequest::Verb::kShards:
+      return EncodeErrorResponse(Status::Unimplemented(
+          "shards is a router verb; this peer is a shard"));
+    case WireRequest::Verb::kShutdown:
+      *shutdown = true;
+      return EncodeTextResponse("shutting down");
+    case WireRequest::Verb::kSwap: {
+      Result<std::string> swapped = HandleSwap(server_, *parsed);
+      if (!swapped.ok()) return EncodeErrorResponse(swapped.status());
+      return EncodeTextResponse(*swapped);
+    }
+    case WireRequest::Verb::kMatch:
+    case WireRequest::Verb::kTopK:
+      break;
+  }
+
+  ServeRequest request;
+  if (!parsed->pair.empty()) request.pair = parsed->pair;
+  request.options = MakePreset(parsed->algorithm);
+  request.timeout_micros = parsed->timeout_micros;
+  if (parsed->verb == WireRequest::Verb::kTopK) {
+    request.kind = ServeQueryKind::kTopK;
+    request.topk = parsed->k;
+  }
+  if (parsed->route) {
+    request.row_begin = parsed->row_begin;
+    request.row_end = parsed->row_end;
+    // Routed topk always carries scores: the router merges partial lists by
+    // (score desc, id asc) and needs the exact floats to do it.
+    request.want_scores = parsed->verb == WireRequest::Verb::kTopK;
+  }
+  ServeResponse response = server_->Query(std::move(request));
+  if (!response.status.ok()) {
+    return EncodeErrorResponse(response.status, response.retry_after_micros);
+  }
+  std::vector<int32_t> values;
+  if (parsed->verb == WireRequest::Verb::kMatch) {
+    values = response.assignment.target_of_source;
+  } else {
+    values.reserve(response.topk.size());
+    for (uint32_t index : response.topk) {
+      values.push_back(static_cast<int32_t>(index));
+    }
+  }
+  return EncodeValuesResponse(values, response.snapshot_version,
+                              parsed->route, parsed->row_begin,
+                              parsed->row_end, response.topk_scores);
+}
+
 Result<std::unique_ptr<SocketServer>> SocketServer::Start(
-    MatchServer* server, const std::string& socket_path) {
-  if (server == nullptr) {
-    return Status::InvalidArgument("SocketServer: null MatchServer");
+    WireHandler* handler, const std::string& socket_path) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("SocketServer: null handler");
   }
   sockaddr_un addr{};
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
@@ -67,14 +127,26 @@ Result<std::unique_ptr<SocketServer>> SocketServer::Start(
     return status;
   }
   std::unique_ptr<SocketServer> out(
-      new SocketServer(server, socket_path, fd));
+      new SocketServer(handler, socket_path, fd));
   out->accept_thread_ = std::thread(&SocketServer::AcceptLoop, out.get());
   return out;
 }
 
-SocketServer::SocketServer(MatchServer* server, std::string socket_path,
+Result<std::unique_ptr<SocketServer>> SocketServer::Start(
+    MatchServer* server, const std::string& socket_path) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("SocketServer: null MatchServer");
+  }
+  auto handler = std::make_unique<MatchServerHandler>(server);
+  EM_ASSIGN_OR_RETURN(std::unique_ptr<SocketServer> out,
+                      Start(handler.get(), socket_path));
+  out->owned_handler_ = std::move(handler);
+  return out;
+}
+
+SocketServer::SocketServer(WireHandler* handler, std::string socket_path,
                            int listen_fd)
-    : server_(server), socket_path_(std::move(socket_path)),
+    : handler_(handler), socket_path_(std::move(socket_path)),
       listen_fd_(listen_fd) {}
 
 SocketServer::~SocketServer() { Stop(); }
@@ -138,60 +210,18 @@ void SocketServer::ServeConnection(int fd) {
 }
 
 bool SocketServer::HandleFrame(int fd, const std::string& payload) {
-  Result<WireRequest> parsed = ParseRequest(payload);
-  if (!parsed.ok()) {
-    return WriteFrame(fd, EncodeErrorResponse(parsed.status())).ok();
-  }
-  switch (parsed->verb) {
-    case WireRequest::Verb::kStats:
-      return WriteFrame(fd, EncodeTextResponse(server_->Stats().ToJson()))
-          .ok();
-    case WireRequest::Verb::kHealth:
-      return WriteFrame(fd, EncodeTextResponse(server_->HealthJson())).ok();
-    case WireRequest::Verb::kShutdown: {
-      (void)WriteFrame(fd, EncodeTextResponse("shutting down"));
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        shutdown_requested_ = true;
-      }
-      shutdown_cv_.notify_all();
-      return false;
+  bool shutdown = false;
+  const std::string response = handler_->Handle(payload, &shutdown);
+  const bool wrote = WriteFrame(fd, response).ok();
+  if (shutdown) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_requested_ = true;
     }
-    case WireRequest::Verb::kSwap: {
-      Result<std::string> swapped = HandleSwap(server_, *parsed);
-      if (!swapped.ok()) {
-        return WriteFrame(fd, EncodeErrorResponse(swapped.status())).ok();
-      }
-      return WriteFrame(fd, EncodeTextResponse(*swapped)).ok();
-    }
-    case WireRequest::Verb::kMatch:
-    case WireRequest::Verb::kTopK:
-      break;
+    shutdown_cv_.notify_all();
+    return false;
   }
-
-  ServeRequest request;
-  request.options = MakePreset(parsed->algorithm);
-  request.timeout_micros = parsed->timeout_micros;
-  if (parsed->verb == WireRequest::Verb::kTopK) {
-    request.kind = ServeQueryKind::kTopK;
-    request.topk = parsed->k;
-  }
-  ServeResponse response = server_->Query(std::move(request));
-  if (!response.status.ok()) {
-    return WriteFrame(fd, EncodeErrorResponse(response.status,
-                                              response.retry_after_micros))
-        .ok();
-  }
-  std::vector<int32_t> values;
-  if (parsed->verb == WireRequest::Verb::kMatch) {
-    values = response.assignment.target_of_source;
-  } else {
-    values.reserve(response.topk.size());
-    for (uint32_t index : response.topk) {
-      values.push_back(static_cast<int32_t>(index));
-    }
-  }
-  return WriteFrame(fd, EncodeValuesResponse(values)).ok();
+  return wrote;
 }
 
 }  // namespace entmatcher

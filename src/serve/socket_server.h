@@ -13,14 +13,45 @@
 
 namespace entmatcher {
 
-/// Local front-end for a MatchServer: listens on a unix-domain socket and
-/// forwards framed protocol requests (serve/protocol.h) to the server.
+/// What a SocketServer serves: one framed request payload in, one framed
+/// response payload out. Implementations are called concurrently from every
+/// connection thread and must be thread-safe. Setting `*shutdown` requests
+/// front-end shutdown after the response is written (the `shutdown` verb).
+///
+/// The indirection is what lets the shard MatchServer front end and the
+/// fleet Router speak the identical wire protocol through the identical
+/// accept loop — and lets tests wrap a handler to delay or fail specific
+/// verbs (hedging and failover coverage) without touching socket code.
+class WireHandler {
+ public:
+  virtual ~WireHandler() = default;
+
+  /// Handles one request payload and returns the encoded response payload.
+  virtual std::string Handle(const std::string& payload, bool* shutdown) = 0;
+};
+
+/// WireHandler over a MatchServer: the shard-side dispatch of every protocol
+/// verb (hello/match/topk/route/stats/health/shutdown/swap). `shards` is
+/// refused here — it is a router verb.
+class MatchServerHandler : public WireHandler {
+ public:
+  /// `server` must outlive the handler and should already be Start()ed.
+  explicit MatchServerHandler(MatchServer* server) : server_(server) {}
+
+  std::string Handle(const std::string& payload, bool* shutdown) override;
+
+ private:
+  MatchServer* server_;
+};
+
+/// Local front-end: listens on a unix-domain socket and forwards framed
+/// protocol requests (serve/protocol.h) to a WireHandler.
 ///
 /// One accept thread plus one thread per live connection, each connection
 /// serving frames sequentially until the peer closes. The heavy lifting —
-/// queueing, admission, batching — all happens inside MatchServer; a
-/// connection thread is just a blocking Query() caller, so N concurrent
-/// connections exercise exactly the in-process multi-client path.
+/// queueing, admission, batching — all happens behind the handler; a
+/// connection thread is just a blocking caller, so N concurrent connections
+/// exercise exactly the in-process multi-client path.
 ///
 /// A `shutdown` request answers "ok" and then releases WaitForShutdown();
 /// the owner is expected to Stop() (also called by the destructor), which
@@ -28,7 +59,12 @@ namespace entmatcher {
 class SocketServer {
  public:
   /// Binds and listens on `socket_path` (unlinking any stale socket file)
-  /// and starts accepting. `server` must outlive this object and should
+  /// and starts accepting. `handler` must outlive this object.
+  static Result<std::unique_ptr<SocketServer>> Start(
+      WireHandler* handler, const std::string& socket_path);
+
+  /// Convenience: serve `server` through an internally owned
+  /// MatchServerHandler. `server` must outlive this object and should
   /// already be Start()ed.
   static Result<std::unique_ptr<SocketServer>> Start(
       MatchServer* server, const std::string& socket_path);
@@ -48,7 +84,7 @@ class SocketServer {
   const std::string& socket_path() const { return socket_path_; }
 
  private:
-  SocketServer(MatchServer* server, std::string socket_path, int listen_fd);
+  SocketServer(WireHandler* handler, std::string socket_path, int listen_fd);
 
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -56,7 +92,9 @@ class SocketServer {
   /// whole front-end, on `shutdown`) should close.
   bool HandleFrame(int fd, const std::string& payload);
 
-  MatchServer* server_;
+  WireHandler* handler_;
+  /// Set by the MatchServer convenience Start; handler_ points at it.
+  std::unique_ptr<WireHandler> owned_handler_;
   std::string socket_path_;
   int listen_fd_;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/json.h"
 #include "la/kernels/dispatch.h"
 
 namespace entmatcher {
@@ -174,6 +175,12 @@ std::string ServerStatsSnapshot::ToJson() const {
       << ", \"cache_evictions\": " << cache_evictions
       << ", \"result_cache_bytes\": " << result_cache_bytes
       << ", \"snapshot_swaps\": " << snapshot_swaps
+      << ", \"pairs\": {";
+  for (size_t i = 0; i < pair_versions.size(); ++i) {
+    out << (i > 0 ? ", " : "") << JsonEscape(pair_versions[i].first) << ": "
+        << pair_versions[i].second;
+  }
+  out << "}"
       << ", \"latency_samples\": " << latency_samples
       << ", \"latency_p50_micros\": " << latency_p50_micros
       << ", \"latency_p99_micros\": " << latency_p99_micros

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace entmatcher {
@@ -56,6 +57,11 @@ struct ServerStatsSnapshot {
 
   /// Successful snapshot publications after the initial load (SwapPair).
   uint64_t snapshot_swaps = 0;
+
+  /// (pair name, current snapshot version), sorted by name — sampled from
+  /// the registry by MatchServer::Stats so routers and tests can assert
+  /// version state remotely.
+  std::vector<std::pair<std::string, uint64_t>> pair_versions;
 
   /// End-to-end latency (enqueue to response) percentiles, from a log-scale
   /// histogram: values are upper bucket bounds, exact to within 2x.

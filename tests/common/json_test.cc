@@ -1,0 +1,92 @@
+// JsonValue parser/dumper: the shard-plan file format and the router's
+// health aggregation both lean on it, so malformed-input behavior is
+// contract, not detail.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace entmatcher {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("true")->AsBool(), true);
+  EXPECT_EQ(JsonValue::Parse("false")->AsBool(), false);
+  EXPECT_EQ(JsonValue::Parse("42")->AsInt(), 42);
+  EXPECT_EQ(JsonValue::Parse("-7")->AsInt(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("2.5")->AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  Result<JsonValue> doc = JsonValue::Parse(
+      R"({"shards": [{"id": 0}, {"id": 1}], "name": "p", "rows": 10})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->GetInt("rows").value(), 10);
+  EXPECT_EQ(doc->GetString("name").value(), "p");
+  const JsonValue::Array* shards = doc->GetArray("shards").value();
+  ASSERT_EQ(shards->size(), 2u);
+  EXPECT_EQ((*shards)[1].GetInt("id").value(), 1);
+}
+
+TEST(JsonTest, StringEscapes) {
+  Result<JsonValue> parsed =
+      JsonValue::Parse("\"a\\n\\t\\\"b\\\\\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), "a\n\t\"b\\A\xc3\xa9");
+}
+
+TEST(JsonTest, SurrogatePairDecodesToUtf8) {
+  Result<JsonValue> parsed = JsonValue::Parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nulL").ok());
+  // Trailing garbage after a complete document is an error, not ignored.
+  EXPECT_FALSE(JsonValue::Parse("{} x").ok());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, TypedAccessorsNameTheOffendingKey) {
+  Result<JsonValue> doc = JsonValue::Parse(R"({"rows": "ten"})");
+  ASSERT_TRUE(doc.ok());
+  Result<int64_t> rows = doc->GetInt("rows");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("rows"), std::string::npos);
+  EXPECT_FALSE(doc->GetInt("absent").ok());
+  EXPECT_EQ(doc->GetStringOr("absent", "dflt").value(), "dflt");
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const std::string text =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":-3})";
+  Result<JsonValue> doc = JsonValue::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  Result<JsonValue> again = JsonValue::Parse(doc->Dump());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->Dump(), doc->Dump());
+}
+
+TEST(JsonTest, JsonEscapeQuotesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+}  // namespace
+}  // namespace entmatcher

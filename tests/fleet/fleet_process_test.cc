@@ -1,0 +1,152 @@
+// Process-level fleet test: ShardManager forks REAL shard processes (the
+// built entmatcher_cli, located via EM_CLI_PATH), a Router scatter-gathers
+// across them over real unix sockets, and a SIGKILLed shard is observed,
+// failed over, and reaped. This is the layer the in-process router tests
+// cannot cover: fork/exec, waitpid bookkeeping, and orderly StopAll.
+
+#include "fleet/shard_manager.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fleet/plan.h"
+#include "fleet/router.h"
+#include "la/matrix_io.h"
+#include "matching/engine.h"
+#include "serve/client.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kRows = 20;
+constexpr size_t kDim = 12;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+class FleetProcessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* cli = std::getenv("EM_CLI_PATH");
+    if (cli == nullptr) {
+      GTEST_SKIP() << "EM_CLI_PATH not set (run through ctest)";
+    }
+    cli_path_ = cli;
+    dir_ = "/tmp/em_fleet_proc_" + std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
+    source_ = RandomEmbeddings(kRows, 3);
+    target_ = RandomEmbeddings(kRows + 6, 4);
+    ASSERT_TRUE(WriteMatrixBinary(source_, dir_ + "/src.emat").ok());
+    ASSERT_TRUE(WriteMatrixBinary(target_, dir_ + "/tgt.emat").ok());
+  }
+
+  /// An EvenSplit plan over the written files, saved to disk for the
+  /// spawned shard processes to load.
+  ShardPlan MakePlan(int shards, int replicas) {
+    Result<ShardPlan> plan = ShardPlan::EvenSplit(
+        "p", dir_ + "/src.emat", dir_ + "/tgt.emat", "", kRows, shards, dir_,
+        replicas);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_path_ = dir_ + "/plan.json";
+    EXPECT_TRUE(plan->Save(plan_path_).ok());
+    return std::move(plan).value();
+  }
+
+  std::string cli_path_;
+  std::string dir_;
+  std::string plan_path_;
+  Matrix source_;
+  Matrix target_;
+};
+
+TEST_F(FleetProcessTest, SpawnQueryKillFailoverAndStop) {
+  const ShardPlan plan = MakePlan(/*shards=*/2, /*replicas=*/1);
+  ShardManager manager;
+  ASSERT_TRUE(
+      manager.Start(plan, ShardCommand::SelfServe(plan_path_, cli_path_))
+          .ok());
+  Status healthy = manager.WaitHealthy(20'000'000);
+  ASSERT_TRUE(healthy.ok()) << healthy.ToString();
+
+  Result<std::unique_ptr<Router>> router = Router::Create(plan, {});
+  ASSERT_TRUE(router.ok());
+  WireRequest request;
+  request.verb = WireRequest::Verb::kMatch;
+  request.algorithm = AlgorithmPreset::kCsls;
+  request.pair = "p";
+  Result<WireResponse> answer = (*router)->Query(request);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+
+  // The merged answer equals a plain in-process engine run over the union.
+  Result<MatchEngine> engine = MatchEngine::Create(
+      Matrix(source_), Matrix(target_), MakePreset(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(engine.ok());
+  Result<Assignment> solo = engine->Match();
+  ASSERT_TRUE(solo.ok());
+  ASSERT_EQ(answer->values.size(), solo->target_of_source.size());
+  for (size_t i = 0; i < answer->values.size(); ++i) {
+    EXPECT_EQ(answer->values[i], solo->target_of_source[i]) << "row " << i;
+  }
+
+  // SIGKILL shard 0: the reaper must observe the death, and reads must
+  // fail over to the replica with the same bit-identical answer.
+  ASSERT_TRUE(manager.Kill(0, SIGKILL).ok());
+  bool observed = false;
+  for (int i = 0; i < 200 && !observed; ++i) {
+    for (const ShardProcessStatus& status : manager.Status_()) {
+      if (status.shard_id == 0 && !status.running) {
+        observed = true;
+        EXPECT_EQ(status.last_term_signal, SIGKILL);
+      }
+    }
+    if (!observed) ::usleep(20'000);
+  }
+  EXPECT_TRUE(observed) << "reaper never observed the SIGKILL";
+  Result<WireResponse> after = (*router)->Query(request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->values, answer->values);
+  EXPECT_GE((*router)->Stats().failovers, 1u);
+
+  // A second kill on the dead shard reports kNotFound, not a stray signal.
+  EXPECT_EQ(manager.Kill(0, SIGKILL).code(), StatusCode::kNotFound);
+
+  router->reset();
+  manager.StopAll();
+  for (const ShardProcessStatus& status : manager.Status_()) {
+    EXPECT_FALSE(status.running) << "shard " << status.shard_id;
+  }
+  EXPECT_NE(manager.StatusJson().find("\"running\": false"),
+            std::string::npos);
+}
+
+TEST_F(FleetProcessTest, WaitHealthyFailsFastWhenAShardDiesAtBoot) {
+  ShardPlan plan = MakePlan(2, 0);
+  // Poison shard 1's pair file path so its process exits at load.
+  plan.pairs[0].source_path = dir_ + "/missing.emat";
+  ASSERT_TRUE(plan.Save(plan_path_).ok());
+  ShardManager manager;
+  ASSERT_TRUE(
+      manager.Start(plan, ShardCommand::SelfServe(plan_path_, cli_path_))
+          .ok());
+  Status healthy = manager.WaitHealthy(20'000'000);
+  EXPECT_FALSE(healthy.ok());
+  EXPECT_EQ(healthy.code(), StatusCode::kInternal);
+  manager.StopAll();
+}
+
+}  // namespace
+}  // namespace entmatcher

@@ -1,0 +1,463 @@
+// Router scatter-gather contract, tested against in-process shards (real
+// MatchServers behind real unix sockets):
+//   - the headline merge property: router-merged match/topk answers are
+//     bit-identical to a single-process server over the union, for every
+//     sparse-capable preset, at 2 and 4 shards, at serve workers 1 and 4;
+//   - the no-mixed-version guarantee (a half-swapped fleet refuses reads);
+//   - protocol handshake refusal (a shard speaking another version is
+//     marked incompatible, kFailedPrecondition);
+//   - failover to a replica when an owner is down;
+//   - hedged requests winning against a slow primary;
+//   - all-or-nothing swap fan-out with partial-failure reporting + repair.
+
+#include "fleet/router.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fleet/plan.h"
+#include "la/matrix_io.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kRows = 24;
+constexpr size_t kTargets = 30;
+constexpr size_t kDim = 16;
+
+Matrix RandomEmbeddings(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+std::vector<AlgorithmPreset> SparseCapablePresets() {
+  return {AlgorithmPreset::kDInf, AlgorithmPreset::kCsls,
+          AlgorithmPreset::kRinf, AlgorithmPreset::kRinfWr,
+          AlgorithmPreset::kRinfPb};
+}
+
+/// A WireHandler decorator that delays routed sub-queries — the "slow
+/// shard" a hedge should race past.
+class SlowHandler : public WireHandler {
+ public:
+  SlowHandler(WireHandler* inner, uint64_t delay_micros)
+      : inner_(inner), delay_micros_(delay_micros) {}
+
+  std::string Handle(const std::string& payload, bool* shutdown) override {
+    if (payload.rfind("route ", 0) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros_));
+    }
+    return inner_->Handle(payload, shutdown);
+  }
+
+ private:
+  WireHandler* inner_;
+  uint64_t delay_micros_;
+};
+
+/// A WireHandler decorator that fails swap requests while armed — the
+/// diverging shard of a partial swap fan-out.
+class FailSwapHandler : public WireHandler {
+ public:
+  explicit FailSwapHandler(WireHandler* inner) : inner_(inner) {}
+
+  void Arm(bool on) { armed_.store(on); }
+
+  std::string Handle(const std::string& payload, bool* shutdown) override {
+    if (armed_.load() && payload.rfind("swap ", 0) == 0) {
+      return EncodeErrorResponse(Status::Internal("injected swap failure"));
+    }
+    return inner_->Handle(payload, shutdown);
+  }
+
+ private:
+  WireHandler* inner_;
+  std::atomic<bool> armed_{false};
+};
+
+/// A fake peer whose hello reports an alien protocol version.
+class AlienHelloHandler : public WireHandler {
+ public:
+  std::string Handle(const std::string& payload, bool*) override {
+    if (payload == "hello") {
+      return EncodeTextResponse(
+          "{\"protocol\": 99, \"build\": \"x\", \"role\": \"shard\"}");
+    }
+    return EncodeErrorResponse(Status::Internal("alien peer"));
+  }
+};
+
+/// An in-process fleet: one full-pair MatchServer + SocketServer per shard,
+/// fronted by a Router built from an EvenSplit plan.
+class Fleet {
+ public:
+  Fleet(const Matrix& source, const Matrix& target, int num_shards,
+        size_t serve_workers, int replicas, RouterConfig router_config = {},
+        const std::string& pair_name = "p") {
+    const std::string dir =
+        "/tmp/em_fleet_" + std::to_string(::getpid()) + "_" +
+        std::to_string(instance_counter_++);
+    Result<ShardPlan> plan = ShardPlan::EvenSplit(
+        pair_name, "unused.src", "unused.tgt", "", source.rows(), num_shards,
+        dir, replicas);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_ = std::move(plan).value();
+    // mkdir for the sockets (EvenSplit only names them).
+    std::string cmd_path = dir;
+    ::mkdir(cmd_path.c_str(), 0755);
+    for (int i = 0; i < num_shards; ++i) {
+      MatchServerConfig config;
+      config.serve_workers = serve_workers;
+      Result<std::unique_ptr<MatchServer>> server =
+          MatchServer::Create(config);
+      EXPECT_TRUE(server.ok()) << server.status().ToString();
+      EXPECT_TRUE((*server)
+                      ->LoadPair(pair_name, Matrix(source), Matrix(target))
+                      .ok());
+      EXPECT_TRUE((*server)->Start().ok());
+      servers_.push_back(std::move(server).value());
+      handlers_.push_back(
+          std::make_unique<MatchServerHandler>(servers_.back().get()));
+    }
+    StartSockets();
+    Result<std::unique_ptr<Router>> router =
+        Router::Create(plan_, router_config);
+    EXPECT_TRUE(router.ok()) << router.status().ToString();
+    router_ = std::move(router).value();
+  }
+
+  ~Fleet() {
+    router_.reset();  // drain stragglers before sockets die
+    for (std::unique_ptr<SocketServer>& front : fronts_) {
+      if (front) front->Stop();
+    }
+    for (std::unique_ptr<MatchServer>& server : servers_) {
+      server->Shutdown();
+    }
+  }
+
+  /// Replaces shard `i`'s wire handler (decorators) — call before queries.
+  void WrapHandler(size_t i, WireHandler* handler) {
+    fronts_[i]->Stop();
+    Result<std::unique_ptr<SocketServer>> front =
+        SocketServer::Start(handler, plan_.shards[i].socket_path);
+    EXPECT_TRUE(front.ok()) << front.status().ToString();
+    fronts_[i] = std::move(front).value();
+  }
+
+  /// Stops shard `i`'s socket front end (simulates a dead shard).
+  void StopShard(size_t i) {
+    fronts_[i]->Stop();
+    fronts_[i].reset();
+    ::unlink(plan_.shards[i].socket_path.c_str());
+  }
+
+  Router& router() { return *router_; }
+  const ShardPlan& plan() const { return plan_; }
+  MatchServer& server(size_t i) { return *servers_[i]; }
+  WireHandler* handler(size_t i) { return handlers_[i].get(); }
+
+ private:
+  void StartSockets() {
+    for (size_t i = 0; i < servers_.size(); ++i) {
+      Result<std::unique_ptr<SocketServer>> front =
+          SocketServer::Start(handlers_[i].get(),
+                              plan_.shards[i].socket_path);
+      EXPECT_TRUE(front.ok()) << front.status().ToString();
+      fronts_.push_back(std::move(front).value());
+    }
+  }
+
+  static std::atomic<int> instance_counter_;
+  ShardPlan plan_;
+  std::vector<std::unique_ptr<MatchServer>> servers_;
+  std::vector<std::unique_ptr<MatchServerHandler>> handlers_;
+  std::vector<std::unique_ptr<SocketServer>> fronts_;
+  std::unique_ptr<Router> router_;
+};
+
+std::atomic<int> Fleet::instance_counter_{0};
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest()
+      : source_(RandomEmbeddings(kRows, /*seed=*/5)),
+        target_(RandomEmbeddings(kTargets, /*seed=*/8)) {}
+
+  /// The same query answered by a dedicated single-process server.
+  std::vector<int32_t> SoloAnswer(const WireRequest& request,
+                                  size_t serve_workers) {
+    MatchServerConfig config;
+    config.serve_workers = serve_workers;
+    Result<std::unique_ptr<MatchServer>> server = MatchServer::Create(config);
+    EXPECT_TRUE(server.ok());
+    EXPECT_TRUE(
+        (*server)->LoadPair("p", Matrix(source_), Matrix(target_)).ok());
+    EXPECT_TRUE((*server)->Start().ok());
+    const std::string socket =
+        "/tmp/em_solo_" + std::to_string(::getpid()) + ".sock";
+    Result<std::unique_ptr<SocketServer>> front =
+        SocketServer::Start(server->get(), socket);
+    EXPECT_TRUE(front.ok());
+    Result<ServeClient> client = ServeClient::Connect(socket);
+    EXPECT_TRUE(client.ok());
+    Result<WireResponse> response = client->Call(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->status.ok()) << response->status.ToString();
+    (*front)->Stop();
+    (*server)->Shutdown();
+    return response->values;
+  }
+
+  static WireRequest MatchRequest(AlgorithmPreset preset) {
+    WireRequest request;
+    request.verb = WireRequest::Verb::kMatch;
+    request.algorithm = preset;
+    request.pair = "p";
+    return request;
+  }
+
+  static WireRequest TopKRequest(AlgorithmPreset preset, size_t k) {
+    WireRequest request;
+    request.verb = WireRequest::Verb::kTopK;
+    request.algorithm = preset;
+    request.k = k;
+    request.pair = "p";
+    return request;
+  }
+
+  Matrix source_;
+  Matrix target_;
+};
+
+// The tentpole acceptance property: for every sparse-capable preset, at
+// every tested shard count and worker count, the router's merged answer is
+// bit-identical to the single-process answer over the union.
+TEST_F(RouterTest, MergedAnswersBitIdenticalToSingleProcess) {
+  for (const size_t workers : {size_t{1}, size_t{4}}) {
+    for (const int shards : {2, 4}) {
+      Fleet fleet(source_, target_, shards, workers, /*replicas=*/0);
+      for (const AlgorithmPreset preset : SparseCapablePresets()) {
+        SCOPED_TRACE(std::string("preset=") + PresetName(preset) +
+                     " shards=" + std::to_string(shards) +
+                     " workers=" + std::to_string(workers));
+        const WireRequest match = MatchRequest(preset);
+        Result<WireResponse> routed = fleet.router().Query(match);
+        ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+        EXPECT_EQ(routed->values, SoloAnswer(match, workers));
+
+        const WireRequest topk = TopKRequest(preset, 5);
+        Result<WireResponse> routed_topk = fleet.router().Query(topk);
+        ASSERT_TRUE(routed_topk.ok()) << routed_topk.status().ToString();
+        EXPECT_EQ(routed_topk->values, SoloAnswer(topk, workers));
+      }
+      const RouterStatsSnapshot stats = fleet.router().Stats();
+      EXPECT_EQ(stats.version_mismatches, 0u);
+      EXPECT_EQ(stats.failed, 0u);
+      EXPECT_EQ(stats.queries, stats.ok + stats.failed);
+    }
+  }
+}
+
+TEST_F(RouterTest, RefusesRouteVerbAndUnknownPair) {
+  Fleet fleet(source_, target_, 2, 1, 0);
+  WireRequest routed = MatchRequest(AlgorithmPreset::kDInf);
+  routed.route = true;
+  routed.row_begin = 0;
+  routed.row_end = 4;
+  EXPECT_EQ(fleet.router().Query(routed).status().code(),
+            StatusCode::kInvalidArgument);
+  WireRequest unknown = MatchRequest(AlgorithmPreset::kDInf);
+  unknown.pair = "nope";
+  EXPECT_EQ(fleet.router().Query(unknown).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RouterTest, MixedVersionsRefusedAfterDirectShardSwap) {
+  Fleet fleet(source_, target_, 2, 1, 0);
+  // Swap ONE shard behind the router's back: the fleet now has v1 and v2.
+  const std::string prefix =
+      "/tmp/em_mixed_" + std::to_string(::getpid());
+  ASSERT_TRUE(WriteMatrixBinary(source_, prefix + ".src.emat").ok());
+  ASSERT_TRUE(WriteMatrixBinary(target_, prefix + ".tgt.emat").ok());
+  Result<ServeClient> direct =
+      ServeClient::Connect(fleet.plan().shards[0].socket_path);
+  ASSERT_TRUE(direct.ok());
+  WireRequest swap;
+  swap.verb = WireRequest::Verb::kSwap;
+  swap.pair = "p";
+  swap.source_path = prefix + ".src.emat";
+  swap.target_path = prefix + ".tgt.emat";
+  Result<WireResponse> swapped = direct->Call(swap);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  ASSERT_TRUE(swapped->status.ok()) << swapped->status.ToString();
+
+  Result<WireResponse> read =
+      fleet.router().Query(MatchRequest(AlgorithmPreset::kDInf));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(read.status().message().find("mixed snapshot versions"),
+            std::string::npos);
+  EXPECT_GE(fleet.router().Stats().version_mismatches, 1u);
+
+  // Repair: converge the lagging shard through the router's fan-out, after
+  // which reads flow again.
+  Result<std::string> repair = fleet.router().Swap(swap);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  EXPECT_TRUE(fleet.router().Query(MatchRequest(AlgorithmPreset::kDInf)).ok());
+}
+
+TEST_F(RouterTest, IncompatibleHelloRefusedPermanently) {
+  Fleet fleet(source_, target_, 2, 1, 0);
+  AlienHelloHandler alien;
+  fleet.WrapHandler(0, &alien);
+  Result<WireResponse> read =
+      fleet.router().Query(MatchRequest(AlgorithmPreset::kDInf));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(read.status().message().find("protocol"), std::string::npos);
+  // Still refused without re-dialing (the channel is poisoned, not Down).
+  EXPECT_EQ(fleet.router()
+                .Query(MatchRequest(AlgorithmPreset::kDInf))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RouterTest, FailsOverToReplicaWhenOwnerIsDown) {
+  Fleet fleet(source_, target_, 2, 1, /*replicas=*/1);
+  const WireRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  const std::vector<int32_t> expected = SoloAnswer(request, 1);
+  fleet.StopShard(0);
+  Result<WireResponse> read = fleet.router().Query(request);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->values, expected);
+  EXPECT_GE(fleet.router().Stats().failovers, 1u);
+  // With every owner of a range gone, the query fails cleanly instead of
+  // hanging.
+  fleet.StopShard(1);
+  EXPECT_FALSE(fleet.router().Query(request).ok());
+}
+
+TEST_F(RouterTest, HedgeRacesSlowPrimary) {
+  RouterConfig config;
+  config.hedge_micros = 20'000;
+  Fleet fleet(source_, target_, 2, 1, /*replicas=*/1, config);
+  // Shard 0 answers routed sub-queries only after 400ms; the hedge to the
+  // replica should win long before that.
+  SlowHandler slow(fleet.handler(0), /*delay_micros=*/400'000);
+  fleet.WrapHandler(0, &slow);
+  const WireRequest request = MatchRequest(AlgorithmPreset::kDInf);
+  const std::vector<int32_t> expected = SoloAnswer(request, 1);
+  const auto start = std::chrono::steady_clock::now();
+  Result<WireResponse> read = fleet.router().Query(request);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->values, expected);
+  EXPECT_GE(fleet.router().Stats().hedges, 1u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            390);
+}
+
+TEST_F(RouterTest, SwapFanOutIsAllOrNothingWithRepair) {
+  Fleet fleet(source_, target_, 2, 1, 0);
+  const std::string prefix = "/tmp/em_fan_" + std::to_string(::getpid());
+  ASSERT_TRUE(WriteMatrixBinary(source_, prefix + ".src.emat").ok());
+  ASSERT_TRUE(WriteMatrixBinary(target_, prefix + ".tgt.emat").ok());
+  WireRequest swap;
+  swap.verb = WireRequest::Verb::kSwap;
+  swap.pair = "p";
+  swap.source_path = prefix + ".src.emat";
+  swap.target_path = prefix + ".tgt.emat";
+
+  FailSwapHandler flaky(fleet.handler(1));
+  fleet.WrapHandler(1, &flaky);
+  flaky.Arm(true);
+  Result<std::string> diverged = fleet.router().Swap(swap);
+  ASSERT_FALSE(diverged.ok());
+  EXPECT_NE(diverged.status().message().find("did not converge"),
+            std::string::npos);
+  EXPECT_NE(diverged.status().message().find("injected swap failure"),
+            std::string::npos);
+  // The guarantee while diverged: reads spanning both shards refuse.
+  EXPECT_EQ(fleet.router()
+                .Query(MatchRequest(AlgorithmPreset::kDInf))
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+
+  // Repair swap: converged shards republish, the laggard catches up.
+  flaky.Arm(false);
+  Result<std::string> repaired = fleet.router().Swap(swap);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_TRUE(fleet.router().Query(MatchRequest(AlgorithmPreset::kDInf)).ok());
+  const RouterStatsSnapshot stats = fleet.router().Stats();
+  EXPECT_EQ(stats.swap_fanouts, 2u);
+  EXPECT_EQ(stats.swap_failures, 1u);
+}
+
+TEST_F(RouterTest, RouterHandlerSpeaksTheWireProtocol) {
+  Fleet fleet(source_, target_, 2, 1, 0);
+  RouterHandler handler(&fleet.router());
+  bool shutdown = false;
+  // hello: role router, current protocol.
+  Result<WireResponse> hello =
+      ParseResponse(handler.Handle("hello", &shutdown));
+  ASSERT_TRUE(hello.ok());
+  ASSERT_TRUE(hello->status.ok()) << hello->status.ToString();
+  EXPECT_NE(hello->text.find("\"role\":\"router\""), std::string::npos);
+  EXPECT_TRUE(CheckHello(hello->text, "router").ok());
+  // shards: plan + channel states.
+  Result<WireResponse> shards =
+      ParseResponse(handler.Handle("shards", &shutdown));
+  ASSERT_TRUE(shards.ok());
+  ASSERT_TRUE(shards->status.ok());
+  EXPECT_NE(shards->text.find("\"plan\""), std::string::npos);
+  // match through the handler merges like Router::Query.
+  Result<WireResponse> match =
+      ParseResponse(handler.Handle("match DInf pair=p", &shutdown));
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->status.ok()) << match->status.ToString();
+  EXPECT_EQ(match->values.size(), kRows);
+  // route is refused client-side.
+  Result<WireResponse> route =
+      ParseResponse(handler.Handle("route p 0:4 match DInf", &shutdown));
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(shutdown);
+  handler.Handle("shutdown", &shutdown);
+  EXPECT_TRUE(shutdown);
+}
+
+TEST_F(RouterTest, FleetHealthAggregatesShardHealth) {
+  Fleet fleet(source_, target_, 2, 1, 0);
+  // Prime the channels.
+  ASSERT_TRUE(fleet.router().Query(MatchRequest(AlgorithmPreset::kDInf)).ok());
+  const std::string health = fleet.router().FleetHealthJson();
+  EXPECT_NE(health.find("\"role\": \"router\""), std::string::npos);
+  EXPECT_NE(health.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(health.find("\"pairs\""), std::string::npos);
+  fleet.StopShard(1);
+  const std::string degraded = fleet.router().FleetHealthJson();
+  EXPECT_NE(degraded.find("\"error\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace entmatcher

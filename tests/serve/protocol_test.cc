@@ -230,5 +230,113 @@ TEST(ProtocolResponse, GarbageHeaderRejected) {
   }
 }
 
+// -------------------------------------------------------------------- v2 --
+
+TEST(ProtocolRequest, HelloAndShardsRoundTrip) {
+  for (const auto verb :
+       {WireRequest::Verb::kHello, WireRequest::Verb::kShards}) {
+    WireRequest request;
+    request.verb = verb;
+    Result<WireRequest> parsed = ParseRequest(EncodeRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->verb, verb);
+  }
+}
+
+TEST(ProtocolRequest, HelloHandshakeChecksProtocolVersion) {
+  const std::string hello = HelloJson("shard");
+  EXPECT_NE(hello.find("\"role\":\"shard\""), std::string::npos);
+  EXPECT_TRUE(CheckHello(hello, "peer").ok());
+  // A peer speaking another protocol version is refused with a clear,
+  // permanent error.
+  Status alien = CheckHello("{\"protocol\":99}", "shard 3");
+  EXPECT_EQ(alien.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(alien.message().find("shard 3"), std::string::npos);
+  // A pre-v2 peer (no JSON hello at all) is also kFailedPrecondition.
+  EXPECT_EQ(CheckHello("not json", "peer").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(CheckHello("{}", "peer").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolRequest, PairOptionRoundTrip) {
+  Result<WireRequest> parsed = ParseRequest("match CSLS pair=dz");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->pair, "dz");
+  WireRequest request = *parsed;
+  EXPECT_EQ(ParseRequest(EncodeRequest(request))->pair, "dz");
+}
+
+TEST(ProtocolRequest, RouteRoundTrip) {
+  Result<WireRequest> parsed = ParseRequest("route dz 4:9 topk RInf 5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->route);
+  EXPECT_EQ(parsed->pair, "dz");
+  EXPECT_EQ(parsed->row_begin, 4u);
+  EXPECT_EQ(parsed->row_end, 9u);
+  EXPECT_EQ(parsed->verb, WireRequest::Verb::kTopK);
+  EXPECT_EQ(parsed->k, 5u);
+  Result<WireRequest> again = ParseRequest(EncodeRequest(*parsed));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->route);
+  EXPECT_EQ(again->row_begin, 4u);
+  EXPECT_EQ(again->row_end, 9u);
+}
+
+TEST(ProtocolRequest, MalformedRoutesRejected) {
+  for (const char* line :
+       {"route", "route dz", "route dz 0:4", "route dz 4:4 match DInf",
+        "route dz 9:4 match DInf", "route dz 0:x match DInf",
+        "route dz 0:4 stats", "route dz 0:4 match DInf pair=other"}) {
+    SCOPED_TRACE(line);
+    EXPECT_FALSE(ParseRequest(line).ok());
+  }
+}
+
+TEST(ProtocolRequest, SwapVersionFloorRoundTrip) {
+  Result<WireRequest> parsed =
+      ParseRequest("swap dz /a.emat /b.emat index=/c.eidx version=7");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->swap_min_version, 7u);
+  EXPECT_EQ(parsed->index_path, "/c.eidx");
+  Result<WireRequest> again = ParseRequest(EncodeRequest(*parsed));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->swap_min_version, 7u);
+}
+
+TEST(ProtocolResponse, VersionedRangedScoredValuesRoundTrip) {
+  const std::vector<int32_t> values = {7, -1, 42};
+  const std::vector<float> scores = {0.25f, -1.5f, 3.0e-7f};
+  Result<WireResponse> parsed = ParseResponse(EncodeValuesResponse(
+      values, /*version=*/9, /*has_range=*/true, /*row_begin=*/4,
+      /*row_end=*/7, scores));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->values, values);
+  EXPECT_EQ(parsed->version, 9u);
+  EXPECT_TRUE(parsed->has_range);
+  EXPECT_EQ(parsed->row_begin, 4u);
+  EXPECT_EQ(parsed->row_end, 7u);
+  ASSERT_EQ(parsed->scores.size(), scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    // Bit-exact, not approximately-equal: the router merges on these.
+    EXPECT_EQ(std::memcmp(&parsed->scores[i], &scores[i], sizeof(float)), 0);
+  }
+}
+
+TEST(ProtocolResponse, V1ValuesResponseStillParses) {
+  Result<WireResponse> parsed = ParseResponse(EncodeValuesResponse({1, 2}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->version, 0u);
+  EXPECT_FALSE(parsed->has_range);
+  EXPECT_TRUE(parsed->scores.empty());
+}
+
+TEST(ProtocolResponse, TruncatedScoresPayloadRejected) {
+  std::string wire =
+      EncodeValuesResponse({1}, 1, true, 0, 1, {0.5f});
+  wire.resize(wire.size() - 2);
+  EXPECT_FALSE(ParseResponse(wire).ok());
+}
+
 }  // namespace
 }  // namespace entmatcher

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <future>
 #include <string>
 #include <thread>
@@ -643,6 +644,142 @@ TEST_F(ServeTest, CallWithRetrySucceedsOnceTheServerDrains) {
   ASSERT_EQ(wire->values.size(), reference.target_of_source.size());
   EXPECT_TRUE(parked.get().status.ok());
   EXPECT_GT(server->Stats().shed, 0u);  // it really was shed at least once
+
+  (*front)->Stop();
+  server->Shutdown();
+}
+
+// Fleet satellite — routed sub-queries. A row-ranged request must return
+// exactly the slice of the full answer: transforms are globally normalized,
+// so the shard runs the whole pipeline and slices rows. This is the
+// property the router's bit-identical merge is built on.
+TEST_F(ServeTest, RoutedRangeSlicesRowsBitIdentically) {
+  std::unique_ptr<MatchServer> server = MakeServer(MatchServerConfig());
+
+  const Assignment full = SoloMatch(AlgorithmPreset::kCsls);
+  ServeRequest ranged = MatchRequest(AlgorithmPreset::kCsls);
+  ranged.row_begin = 4;
+  ranged.row_end = 9;
+  ServeResponse response = server->Query(std::move(ranged));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.assignment.target_of_source.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(response.assignment.target_of_source[i],
+              full.target_of_source[4 + i]);
+  }
+
+  // Ranged topk with want_scores: indices AND bit-exact scores sliced from
+  // the full per-row lists (the router merges partial lists by score).
+  constexpr size_t kK = 3;
+  ServeRequest full_topk = MatchRequest(AlgorithmPreset::kCsls);
+  full_topk.kind = ServeQueryKind::kTopK;
+  full_topk.topk = kK;
+  full_topk.want_scores = true;
+  ServeResponse full_response = server->Query(std::move(full_topk));
+  ASSERT_TRUE(full_response.status.ok()) << full_response.status.ToString();
+  ASSERT_EQ(full_response.topk.size(), source_.rows() * kK);
+  ASSERT_EQ(full_response.topk_scores.size(), full_response.topk.size());
+
+  ServeRequest ranged_topk = MatchRequest(AlgorithmPreset::kCsls);
+  ranged_topk.kind = ServeQueryKind::kTopK;
+  ranged_topk.topk = kK;
+  ranged_topk.want_scores = true;
+  ranged_topk.row_begin = 4;
+  ranged_topk.row_end = 9;
+  ServeResponse sliced = server->Query(std::move(ranged_topk));
+  ASSERT_TRUE(sliced.status.ok()) << sliced.status.ToString();
+  ASSERT_EQ(sliced.topk.size(), 5 * kK);
+  ASSERT_EQ(sliced.topk_scores.size(), sliced.topk.size());
+  for (size_t i = 0; i < sliced.topk.size(); ++i) {
+    EXPECT_EQ(sliced.topk[i], full_response.topk[4 * kK + i]);
+    // Bit-exact, not approximately equal: the merge compares raw floats.
+    EXPECT_EQ(std::memcmp(&sliced.topk_scores[i],
+                          &full_response.topk_scores[4 * kK + i],
+                          sizeof(float)),
+              0);
+  }
+
+  // Degenerate ranges are refused at admission, not served empty.
+  ServeRequest empty = MatchRequest(AlgorithmPreset::kCsls);
+  empty.row_begin = 9;
+  empty.row_end = 4;
+  EXPECT_EQ(server->Query(std::move(empty)).status.code(),
+            StatusCode::kOutOfRange);
+  ServeRequest beyond = MatchRequest(AlgorithmPreset::kCsls);
+  beyond.row_begin = 0;
+  beyond.row_end = source_.rows() + 1;
+  EXPECT_EQ(server->Query(std::move(beyond)).status.code(),
+            StatusCode::kOutOfRange);
+}
+
+// Fleet satellite — observability: the health JSON carries the result-cache
+// counters and the per-pair snapshot-version map the router keys its
+// mixed-version refusal on.
+TEST_F(ServeTest, HealthJsonCarriesCacheCountersAndPairVersions) {
+  MatchServerConfig config;
+  config.result_cache_bytes = 1 << 20;
+  std::unique_ptr<MatchServer> server = MakeServer(config);
+
+  // Identical back-to-back queries: the first misses, the second hits.
+  ASSERT_TRUE(server->Query(MatchRequest(AlgorithmPreset::kCsls)).status.ok());
+  ServeResponse second = server->Query(MatchRequest(AlgorithmPreset::kCsls));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cached);
+
+  const std::string health = server->HealthJson();
+  EXPECT_NE(health.find("\"cache_hits\": 1"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"cache_misses\": 1"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"cache_evictions\": 0"), std::string::npos);
+  EXPECT_NE(health.find("\"result_cache_bytes\""), std::string::npos);
+  EXPECT_NE(health.find("\"pairs\": {\"default\": 1}"), std::string::npos)
+      << health;
+
+  // The same fields surface in the stats JSON.
+  const std::string stats = server->Stats().ToJson();
+  EXPECT_NE(stats.find("\"cache_hits\": 1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cache_misses\": 1"), std::string::npos) << stats;
+}
+
+// Fleet satellite — the route verb over the socket: the response echoes the
+// row range, tags the snapshot version, and (for topk) carries scores.
+TEST_F(ServeTest, RoutedWireQueryEchoesRangeVersionAndScores) {
+  const std::string socket_path =
+      "/tmp/em_serve_route_" + std::to_string(::getpid()) + ".sock";
+  std::unique_ptr<MatchServer> server = MakeServer(MatchServerConfig());
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(server.get(), socket_path);
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  WireRequest request;
+  request.verb = WireRequest::Verb::kMatch;
+  request.algorithm = AlgorithmPreset::kCsls;
+  request.pair = "default";
+  request.route = true;
+  request.row_begin = 2;
+  request.row_end = 7;
+  Result<WireResponse> wire = client->Call(request);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ASSERT_TRUE(wire->status.ok()) << wire->status.ToString();
+  EXPECT_TRUE(wire->has_range);
+  EXPECT_EQ(wire->row_begin, 2u);
+  EXPECT_EQ(wire->row_end, 7u);
+  EXPECT_EQ(wire->version, 1u);  // first published snapshot of the pair
+  const Assignment reference = SoloMatch(AlgorithmPreset::kCsls);
+  ASSERT_EQ(wire->values.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(wire->values[i], reference.target_of_source[2 + i]);
+  }
+
+  // Routed topk always carries scores (the merge needs them).
+  request.verb = WireRequest::Verb::kTopK;
+  request.k = 4;
+  Result<WireResponse> topk = client->Call(request);
+  ASSERT_TRUE(topk.ok()) << topk.status().ToString();
+  ASSERT_TRUE(topk->status.ok()) << topk->status.ToString();
+  EXPECT_EQ(topk->values.size(), 5u * 4u);
+  EXPECT_EQ(topk->scores.size(), topk->values.size());
 
   (*front)->Stop();
   server->Shutdown();
