@@ -1,0 +1,507 @@
+// ANN backend benchmark: what the HNSW graph buys over IVF blocking, and
+// what the out-of-core store makes reachable.
+//
+//   1. Recall/cost sweep, IVF (nprobe) vs HNSW (ef), at two synthetic sizes
+//      (15k and 100k rows, scaled by EM_BENCH_SCALE). Recall@c is measured
+//      against the pair's identity alignment (source row i gold-matches
+//      target row i — the synthetic generator's convention); cost is the
+//      number of exact-rerank comparisons the probe proposes, the currency
+//      every backend spends (CollectCandidates' contract).
+//   2. Sparse-vs-dense crossover: warm CSLS+greedy wall-clock, dense vs the
+//      HNSW-backed sparse path, across rising n — where the O(n*c) pipeline
+//      overtakes the O(n^2) one.
+//   3. (EM_BENCH_ANN_MMAP=1 only) The 1M-row out-of-core smoke: stream a
+//      synthetic EMBF pair to disk, mmap both sides, build the HNSW index
+//      over the borrowed matrix, and match end-to-end under a fixed
+//      workspace budget. Reports wall-clock per stage, identity accuracy,
+//      MemoryTracker peak, and peak RSS (getrusage). EM_BENCH_ANN_ROWS /
+//      EM_BENCH_ANN_DIM / EM_BENCH_ANN_DIR / EM_BENCH_ANN_RSS_BUDGET_MB
+//      tune the fixture, and EM_BENCH_ANN_M / _EFC / _EF / _CANDIDATES the
+//      graph operating point (a 1M-node graph needs wider links than the
+//      50k default). The CI job drives a 1M x 32d pair against a 512 MB
+//      RSS budget.
+//
+// Writes BENCH_ann.json.
+//
+// Headline gates:
+//   - HNSW reaches recall >= 0.98 at some swept ef, and does so spending
+//     >= 2x fewer exact-rerank comparisons than the cheapest IVF config of
+//     equal (>= 0.98) recall. Enforced at full scale on multi-core hosts;
+//     smoke runs (EM_BENCH_SCALE < 1) and 1-core CI enforce only the
+//     correctness gate (recall itself).
+//   - The mmap section, when enabled, must match with identity accuracy
+//     >= 0.95 and stay under the RSS budget when one is set.
+//
+// Usage:
+//   ./bench_ann                        # full sweep
+//   EM_BENCH_SCALE=0.2 ./bench_ann     # CI smoke
+//   EM_BENCH_ANN_MMAP=1 ./bench_ann    # adds the out-of-core section
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "datagen/embf_synth.h"
+#include "index/candidate_index.h"
+#include "la/mmap_store.h"
+#include "matching/engine.h"
+
+namespace entmatcher {
+namespace {
+
+constexpr size_t kDim = 64;
+constexpr size_t kClusters = 32;
+constexpr size_t kCandidates = 10;
+constexpr double kRecallGate = 0.98;
+constexpr double kComparisonAdvantageGate = 2.0;
+
+/// Same construction as bench_index: targets from a mixture of Gaussians,
+/// sources as noisy copies of their aligned targets.
+void MakeClusteredPair(size_t rows, uint64_t seed, Matrix* src, Matrix* tgt) {
+  Rng rng(seed);
+  Matrix centers(kClusters, kDim);
+  for (size_t c = 0; c < kClusters; ++c) {
+    for (float& v : centers.Row(c)) v = static_cast<float>(rng.NextGaussian());
+  }
+  *tgt = Matrix(rows, kDim);
+  *src = Matrix(rows, kDim);
+  for (size_t r = 0; r < rows; ++r) {
+    const auto center = centers.Row(r % kClusters);
+    auto t = tgt->Row(r);
+    auto s = src->Row(r);
+    for (size_t d = 0; d < kDim; ++d) {
+      t[d] = center[d] + 0.25f * static_cast<float>(rng.NextGaussian());
+      s[d] = t[d] + 0.1f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+}
+
+double PeakRssMb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KB
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+struct SweepPoint {
+  std::string backend;
+  size_t n = 0;
+  size_t knob = 0;         // nprobe (IVF) or ef (HNSW)
+  double recall = 0.0;     // identity-alignment recall@c
+  double comparisons = 0;  // exact-rerank comparisons per source row
+  double millis = 0.0;     // one full sparse scoring pass
+};
+
+/// One (backend, knob) measurement: identity recall of the emitted entries,
+/// probe cost in comparisons/row, and the wall-clock of the scoring pass.
+SweepPoint MeasurePoint(const CandidateIndex& index, const Matrix& src,
+                        const Matrix& tgt, const ProbeParams& params,
+                        size_t knob) {
+  const size_t n = src.rows();
+  SweepPoint point;
+  point.backend = CandidateBackendName(index.backend());
+  point.n = n;
+  point.knob = knob;
+
+  const SimilarityCache cache =
+      BuildSimilarityCache(src, tgt, SimilarityMetric::kCosine);
+  const size_t stride = std::min(kCandidates, index.num_targets());
+  SparseScores sparse =
+      SparseScores::CreateOwned(n, index.num_targets(), n * stride);
+  Timer timer;
+  const Status filled = index.FillSparseScores(
+      src, tgt, SimilarityMetric::kCosine, cache, kCandidates, params,
+      &sparse);
+  point.millis = timer.ElapsedMillis();
+  if (!filled.ok()) {
+    std::cerr << "FillSparseScores: " << filled.ToString() << "\n";
+    std::abort();
+  }
+
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto cols = sparse.RowCols(i);
+    hits += std::binary_search(cols.begin(), cols.end(),
+                               static_cast<uint32_t>(i));
+  }
+  point.recall = static_cast<double>(hits) / static_cast<double>(n);
+
+  // The probe stage alone: |CollectCandidates| per row is exactly the
+  // number of exact dot products the rerank pays for that row.
+  CandidateScratch scratch;
+  std::vector<uint32_t> candidates;
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    candidates.clear();
+    index.CollectCandidates(tgt, src.Row(i).data(), params, &scratch,
+                            &candidates);
+    total += candidates.size();
+  }
+  point.comparisons = static_cast<double>(total) / static_cast<double>(n);
+  return point;
+}
+
+struct CrossoverPoint {
+  size_t n = 0;
+  double dense_ms = 0.0;
+  double sparse_ms = 0.0;
+};
+
+}  // namespace
+}  // namespace entmatcher
+
+int main() {
+  using namespace entmatcher;
+
+  const double scale = bench::GlobalScale();
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  // Smoke runs and 1-core CI hosts check correctness (recall) only; the
+  // cost-advantage and timing gates need the full-size sweep to be fair.
+  const bool full_gates = scale >= 1.0 && cores > 1;
+
+  bench::PrintBanner(
+      "ANN backends — IVF vs HNSW recall/cost, and the out-of-core path",
+      "Identity recall@" + std::to_string(kCandidates) +
+          " vs exact-rerank comparisons across nprobe/ef, the sparse-vs-\n"
+          "dense crossover, and (EM_BENCH_ANN_MMAP=1) the mmap 1M smoke.\n"
+          "Gate: HNSW recall >= 0.98 at >= 2x fewer comparisons than IVF.");
+
+  // ---------------------------------------------------------------- sweep
+  const std::vector<size_t> sweep_sizes = {
+      std::max<size_t>(256, static_cast<size_t>(15000.0 * scale)),
+      std::max<size_t>(512, static_cast<size_t>(100000.0 * scale))};
+  const std::vector<size_t> probe_counts = {1, 2, 4, 8, 16};
+  const std::vector<size_t> beam_widths = {16, 32, 64, 128};
+
+  std::vector<SweepPoint> sweep;
+  // Best (fewest comparisons) config per backend that clears the recall
+  // gate, at the LARGEST size — the headline the JSON gates on.
+  double ivf_cost_at_gate = 0.0;
+  double hnsw_cost_at_gate = 0.0;
+  double hnsw_best_recall = 0.0;
+
+  for (size_t n : sweep_sizes) {
+    Matrix src;
+    Matrix tgt;
+    MakeClusteredPair(n, /*seed=*/31, &src, &tgt);
+
+    Result<CandidateIndex> ivf =
+        CandidateIndex::Build(tgt, CandidateIndexOptions());
+    CandidateIndexOptions hnsw_options;
+    hnsw_options.backend = CandidateBackendKind::kHnsw;
+    hnsw_options.hnsw_max_links = 16;
+    hnsw_options.hnsw_ef_construction = 96;
+    Timer hnsw_build_timer;
+    Result<CandidateIndex> hnsw = CandidateIndex::Build(tgt, hnsw_options);
+    const double hnsw_build_ms = hnsw_build_timer.ElapsedMillis();
+    if (!ivf.ok() || !hnsw.ok()) {
+      std::cerr << "index build failed at n=" << n << "\n";
+      return 1;
+    }
+    std::cout << "n=" << n << ": IVF " << ivf->Stats().num_lists
+              << " lists; HNSW " << hnsw->Stats().num_lists
+              << " levels, built in " << FormatDouble(hnsw_build_ms, 0)
+              << " ms\n";
+
+    const bool largest = n == sweep_sizes.back();
+    for (size_t nprobe : probe_counts) {
+      ProbeParams params;
+      params.nprobe = nprobe;
+      SweepPoint point = MeasurePoint(*ivf, src, tgt, params, nprobe);
+      std::cout << "  ivf  nprobe=" << nprobe << ": recall "
+                << FormatDouble(point.recall, 3) << ", "
+                << FormatDouble(point.comparisons, 1) << " cmp/row, "
+                << FormatDouble(point.millis, 1) << " ms\n";
+      if (largest && point.recall >= kRecallGate &&
+          (ivf_cost_at_gate == 0.0 || point.comparisons < ivf_cost_at_gate)) {
+        ivf_cost_at_gate = point.comparisons;
+      }
+      sweep.push_back(std::move(point));
+    }
+    for (size_t ef : beam_widths) {
+      ProbeParams params;
+      params.ef_search = ef;
+      SweepPoint point = MeasurePoint(*hnsw, src, tgt, params, ef);
+      std::cout << "  hnsw ef=" << ef << ": recall "
+                << FormatDouble(point.recall, 3) << ", "
+                << FormatDouble(point.comparisons, 1) << " cmp/row, "
+                << FormatDouble(point.millis, 1) << " ms\n";
+      if (largest) {
+        hnsw_best_recall = std::max(hnsw_best_recall, point.recall);
+        if (point.recall >= kRecallGate &&
+            (hnsw_cost_at_gate == 0.0 ||
+             point.comparisons < hnsw_cost_at_gate)) {
+          hnsw_cost_at_gate = point.comparisons;
+        }
+      }
+      sweep.push_back(std::move(point));
+    }
+  }
+  const double advantage =
+      (hnsw_cost_at_gate > 0.0 && ivf_cost_at_gate > 0.0)
+          ? ivf_cost_at_gate / hnsw_cost_at_gate
+          : 0.0;
+  std::cout << "\nheadline at n=" << sweep_sizes.back() << ": HNSW "
+            << (hnsw_cost_at_gate > 0.0
+                    ? FormatDouble(hnsw_cost_at_gate, 1)
+                    : std::string("-"))
+            << " cmp/row vs IVF "
+            << (ivf_cost_at_gate > 0.0 ? FormatDouble(ivf_cost_at_gate, 1)
+                                       : std::string("-"))
+            << " cmp/row at recall >= " << kRecallGate << " ("
+            << FormatDouble(advantage, 2) << "x advantage)\n";
+
+  // ------------------------------------------------------------ crossover
+  std::cout << "\nsparse-vs-dense crossover (CSLS+greedy, warm):\n";
+  const std::vector<size_t> crossover_sizes = {
+      std::max<size_t>(128, static_cast<size_t>(1000.0 * scale)),
+      std::max<size_t>(192, static_cast<size_t>(2000.0 * scale)),
+      std::max<size_t>(256, static_cast<size_t>(4000.0 * scale)),
+      std::max<size_t>(384, static_cast<size_t>(8000.0 * scale))};
+  std::vector<CrossoverPoint> crossover;
+  size_t crossover_n = 0;
+  for (size_t n : crossover_sizes) {
+    Matrix src;
+    Matrix tgt;
+    MakeClusteredPair(n, /*seed=*/47, &src, &tgt);
+    CandidateIndexOptions hnsw_options;
+    hnsw_options.backend = CandidateBackendKind::kHnsw;
+    hnsw_options.hnsw_max_links = 16;
+    hnsw_options.hnsw_ef_construction = 96;
+    Result<CandidateIndex> index = CandidateIndex::Build(tgt, hnsw_options);
+    if (!index.ok()) {
+      std::cerr << "crossover index build failed at n=" << n << "\n";
+      return 1;
+    }
+    const MatchOptions dense_options = MakePreset(AlgorithmPreset::kCsls);
+    MatchOptions sparse_options = dense_options;
+    sparse_options.candidate_index = &*index;
+    sparse_options.num_candidates = kCandidates;
+    sparse_options.index_ef = 64;
+
+    Result<MatchEngine> dense_engine =
+        MatchEngine::Create(src, tgt, dense_options);
+    Result<MatchEngine> sparse_engine =
+        MatchEngine::Create(src, tgt, sparse_options);
+    if (!dense_engine.ok() || !sparse_engine.ok() ||
+        !dense_engine->Match().ok() || !sparse_engine->Match().ok()) {
+      std::cerr << "crossover warmup failed at n=" << n << "\n";
+      return 1;
+    }
+    CrossoverPoint point;
+    point.n = n;
+    Timer dense_timer;
+    if (!dense_engine->Match().ok()) return 1;
+    point.dense_ms = dense_timer.ElapsedMillis();
+    Timer sparse_timer;
+    if (!sparse_engine->Match().ok()) return 1;
+    point.sparse_ms = sparse_timer.ElapsedMillis();
+    std::cout << "  n=" << n << ": dense "
+              << FormatDouble(point.dense_ms, 1) << " ms, sparse "
+              << FormatDouble(point.sparse_ms, 1) << " ms\n";
+    if (crossover_n == 0 && point.sparse_ms < point.dense_ms) {
+      crossover_n = n;
+    }
+    crossover.push_back(point);
+  }
+  if (crossover_n != 0) {
+    std::cout << "  sparse overtakes dense at n=" << crossover_n << "\n";
+  }
+
+  // ----------------------------------------------------------- mmap smoke
+  const char* mmap_env = std::getenv("EM_BENCH_ANN_MMAP");
+  const bool run_mmap = mmap_env != nullptr && std::string(mmap_env) == "1";
+  double mmap_synth_s = 0.0, mmap_build_s = 0.0, mmap_match_s = 0.0;
+  double mmap_identity = 0.0;
+  size_t mmap_rows = 0, mmap_dim = 0, mmap_tracker_peak = 0;
+  size_t mmap_m = 0, mmap_efc = 0, mmap_ef = 0, mmap_c = 0;
+  bool mmap_ok = true;
+  const double rss_budget_mb =
+      static_cast<double>(EnvSize("EM_BENCH_ANN_RSS_BUDGET_MB", 0));
+  if (run_mmap) {
+    mmap_rows = EnvSize("EM_BENCH_ANN_ROWS", 1000000);
+    mmap_dim = EnvSize("EM_BENCH_ANN_DIM", 64);
+    const char* dir_env = std::getenv("EM_BENCH_ANN_DIR");
+    const std::string prefix =
+        std::string(dir_env != nullptr ? dir_env : "/tmp") + "/bench_ann";
+    const std::string src_path = prefix + ".src.embf";
+    const std::string tgt_path = prefix + ".tgt.embf";
+
+    std::cout << "\nout-of-core smoke: " << mmap_rows << " x " << mmap_dim
+              << "d pair under mmap\n";
+    EmbfSynthOptions synth;
+    synth.rows = mmap_rows;
+    synth.dim = mmap_dim;
+    // Constant per-cluster population (~64 rows): identity accuracy is set
+    // by cluster density, so a fixed cluster count would make the 1M run an
+    // unfairly harder problem than the 50k one.
+    synth.clusters = std::max<size_t>(256, mmap_rows / 64);
+    synth.noise = 0.05;
+    Timer synth_timer;
+    const Status synthed = SynthEmbfPair(synth, src_path, tgt_path);
+    mmap_synth_s = synth_timer.ElapsedSeconds();
+    if (!synthed.ok()) {
+      std::cerr << "synth: " << synthed.ToString() << "\n";
+      return 1;
+    }
+
+    MemoryTracker::Global().ResetPeak();
+    {
+      Result<MmapStore> src_store = MmapStore::Open(src_path);
+      Result<MmapStore> tgt_store = MmapStore::Open(tgt_path);
+      if (!src_store.ok() || !tgt_store.ok()) {
+        std::cerr << "mmap open failed\n";
+        return 1;
+      }
+      // Graph knobs scale with the node count: a 1M-node graph needs wider
+      // links and a deeper construction beam than the 50k smoke to hold
+      // recall. Overridable so CI jobs can pin their own operating point.
+      mmap_m = EnvSize("EM_BENCH_ANN_M", 8);
+      mmap_efc = EnvSize("EM_BENCH_ANN_EFC", 32);
+      mmap_ef = EnvSize("EM_BENCH_ANN_EF", 64);
+      mmap_c = EnvSize("EM_BENCH_ANN_CANDIDATES", 8);
+      CandidateIndexOptions hnsw_options;
+      hnsw_options.backend = CandidateBackendKind::kHnsw;
+      hnsw_options.hnsw_max_links = mmap_m;
+      hnsw_options.hnsw_ef_construction = mmap_efc;
+      Timer build_timer;
+      Result<CandidateIndex> index =
+          CandidateIndex::Build(tgt_store->AsMatrix(), hnsw_options);
+      mmap_build_s = build_timer.ElapsedSeconds();
+      if (!index.ok()) {
+        std::cerr << "1M HNSW build: " << index.status().ToString() << "\n";
+        return 1;
+      }
+
+      MatchOptions options = MakePreset(AlgorithmPreset::kCsls);
+      options.candidate_index = &*index;
+      options.num_candidates = mmap_c;
+      options.index_ef = mmap_ef;
+      // The fixed workspace budget the acceptance criterion names: scratch
+      // for the whole 1M-row match must fit in 256 MB of tracked arena.
+      options.workspace_budget_bytes = 256ull << 20;
+      Timer match_timer;
+      Result<MatchEngine> engine = MatchEngine::Create(
+          src_store->AsMatrix(), tgt_store->AsMatrix(), options);
+      if (!engine.ok()) {
+        std::cerr << "1M engine: " << engine.status().ToString() << "\n";
+        return 1;
+      }
+      Result<Assignment> assignment = engine->Match();
+      mmap_match_s = match_timer.ElapsedSeconds();
+      if (!assignment.ok()) {
+        std::cerr << "1M match: " << assignment.status().ToString() << "\n";
+        return 1;
+      }
+      size_t hits = 0;
+      for (size_t i = 0; i < mmap_rows; ++i) {
+        hits += assignment->target_of_source[i] == static_cast<int32_t>(i);
+      }
+      mmap_identity =
+          static_cast<double>(hits) / static_cast<double>(mmap_rows);
+      mmap_tracker_peak = MemoryTracker::Global().stats().peak_bytes;
+    }
+    std::remove(src_path.c_str());
+    std::remove(tgt_path.c_str());
+
+    std::cout << "  synth " << FormatDouble(mmap_synth_s, 1) << " s, build "
+              << FormatDouble(mmap_build_s, 1) << " s, match "
+              << FormatDouble(mmap_match_s, 1) << " s\n"
+              << "  identity acc " << FormatDouble(mmap_identity, 4)
+              << ", tracked peak " << FormatBytes(mmap_tracker_peak)
+              << ", peak RSS " << FormatDouble(PeakRssMb(), 0) << " MB\n";
+    if (mmap_identity < 0.95) {
+      std::cerr << "FATAL: out-of-core identity accuracy " << mmap_identity
+                << " < 0.95\n";
+      mmap_ok = false;
+    }
+    if (rss_budget_mb > 0.0 && PeakRssMb() > rss_budget_mb) {
+      std::cerr << "FATAL: peak RSS " << FormatDouble(PeakRssMb(), 0)
+                << " MB exceeds the " << rss_budget_mb << " MB budget\n";
+      mmap_ok = false;
+    }
+  }
+
+  // ----------------------------------------------------------------- gates
+  bool ok = mmap_ok;
+  if (hnsw_best_recall < kRecallGate) {
+    std::cerr << "FATAL: best HNSW recall " << hnsw_best_recall << " < "
+              << kRecallGate << " at n=" << sweep_sizes.back() << "\n";
+    ok = false;
+  }
+  if (full_gates) {
+    if (ivf_cost_at_gate == 0.0) {
+      std::cerr << "FATAL: no IVF config reached recall " << kRecallGate
+                << "\n";
+      ok = false;
+    } else if (advantage < kComparisonAdvantageGate) {
+      std::cerr << "FATAL: HNSW comparison advantage "
+                << FormatDouble(advantage, 2) << "x < "
+                << kComparisonAdvantageGate << "x\n";
+      ok = false;
+    }
+  } else {
+    std::cout << "(cost-advantage gate skipped: scale=" << scale << ", "
+              << cores << " core(s) — correctness-only mode)\n";
+  }
+
+  std::ofstream json("BENCH_ann.json");
+  json << "{\n  \"dim\": " << kDim << ",\n  \"candidates\": " << kCandidates
+       << ",\n  \"scale\": " << scale
+       << ",\n  \"full_gates\": " << (full_gates ? "true" : "false")
+       << ",\n  \"recall_gate\": " << kRecallGate
+       << ",\n  \"advantage_gate\": " << kComparisonAdvantageGate
+       << ",\n  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    json << "    {\"backend\": \"" << p.backend << "\", \"n\": " << p.n
+         << ", \"knob\": " << p.knob << ", \"recall\": " << p.recall
+         << ", \"comparisons_per_row\": " << p.comparisons
+         << ", \"millis\": " << p.millis << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"headline\": {\"ivf_comparisons\": " << ivf_cost_at_gate
+       << ", \"hnsw_comparisons\": " << hnsw_cost_at_gate
+       << ", \"advantage\": " << advantage
+       << ", \"hnsw_best_recall\": " << hnsw_best_recall
+       << "},\n  \"crossover\": [\n";
+  for (size_t i = 0; i < crossover.size(); ++i) {
+    json << "    {\"n\": " << crossover[i].n
+         << ", \"dense_ms\": " << crossover[i].dense_ms
+         << ", \"sparse_ms\": " << crossover[i].sparse_ms << "}"
+         << (i + 1 < crossover.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"crossover_n\": " << crossover_n
+       << ",\n  \"mmap\": {\"enabled\": " << (run_mmap ? "true" : "false")
+       << ", \"rows\": " << mmap_rows << ", \"dim\": " << mmap_dim
+       << ", \"synth_seconds\": " << mmap_synth_s
+       << ", \"build_seconds\": " << mmap_build_s
+       << ", \"match_seconds\": " << mmap_match_s
+       << ", \"max_links\": " << mmap_m << ", \"ef_construction\": " << mmap_efc
+       << ", \"ef_search\": " << mmap_ef << ", \"candidates\": " << mmap_c
+       << ", \"identity_accuracy\": " << mmap_identity
+       << ", \"tracked_peak_bytes\": " << mmap_tracker_peak
+       << ", \"rss_budget_mb\": " << rss_budget_mb
+       << "},\n  \"peak_rss_mb\": " << PeakRssMb()
+       << ",\n  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+
+  std::cout << (ok ? "\nPASS" : "\nFAIL") << " — wrote BENCH_ann.json (peak RSS "
+            << FormatDouble(PeakRssMb(), 0) << " MB)\n";
+  return ok ? 0 : 1;
+}

@@ -10,19 +10,37 @@
 //       Compute unified embeddings and write <out_prefix>.src.emat /
 //       <out_prefix>.tgt.emat.
 //   entmatcher_cli index build <tgt.emat> <out.eidx>
-//                  [--dataset=DIR] [--lists=N] [--kmeans-iters=N] [--seed=N]
-//       Build an IVF candidate index over the target embeddings and
-//       serialize it (EIDX binary). --lists=0 (default) auto-sizes to
-//       ~sqrt(num_targets). --dataset=DIR slices the matrix to the
-//       dataset's test-split target rows first — required when the index
-//       will be used with `match`, which scores over exactly those rows.
+//                  [--backend=ivf|hnsw|exact] [--dataset=DIR] [--mmap]
+//                  [--lists=N] [--kmeans-iters=N] [--seed=N]
+//                  [--M=N] [--ef-construction=N]
+//       Build a candidate index over the target embeddings and serialize
+//       it (EIDX2 binary; EIDX1 files still load as IVF). --backend picks
+//       the candidate-generation strategy: ivf (default; --lists=0
+//       auto-sizes to ~sqrt(num_targets), --kmeans-iters), hnsw (graph
+//       index; --M link budget, --ef-construction build beam), or exact.
+//       --mmap reads <tgt.emat> as an EMBF store via mmap instead of a
+//       heap matrix, which is how a 1M-row index is built in-budget.
+//       --dataset=DIR slices the matrix to the dataset's test-split
+//       target rows first — required when the index will be used with
+//       `match` over a dataset, which scores over exactly those rows.
 //   entmatcher_cli index stats <index.eidx>
-//       Print the inverted-list occupancy of a saved index.
+//       Print the list/level occupancy of a saved index.
+//   entmatcher_cli mmap pack <in.emat> <out.embf>
+//       Convert a binary matrix into an EMBF store (the mmap-able
+//       row-major format `match --mmap` and `serve --mmap` read).
+//   entmatcher_cli mmap synth-pair <out_prefix> --rows=N --dim=N
+//                  [--clusters=N] [--seed=N] [--noise=F] [--spread=F]
+//       Stream a synthetic identity-aligned embedding pair to
+//       <out_prefix>.src.embf / <out_prefix>.tgt.embf with O(dim) live
+//       memory — the 1M-entity fixture generator.
+//   entmatcher_cli mmap info <store.embf>
+//       Print an EMBF store's shape and byte accounting.
 //   entmatcher_cli match <dir> <src.emat> <tgt.emat> <algo>
 //                  [--workspace-budget-bytes=N] [--threads=N]
 //                  [--kernel-tier=scalar|avx2|avx512|neon|auto]
-//                  [--precision=float32|bf16|int8]
-//                  [--index=PATH --candidates=N [--nprobe=N]] [out_links.tsv]
+//                  [--precision=float32|bf16|int8] [--mmap]
+//                  [--index=PATH --candidates=N [--nprobe=N] [--ef=N]]
+//                  [out_links.tsv]
 //       Run one matching algorithm (DInf, CSLS, RInf, RInf-wr, RInf-pb,
 //       Sink., Hun., SMat, RL) and report P/R/F1 plus the peak tracked
 //       workspace of the run; optionally save the predicted links. With a
@@ -36,14 +54,24 @@
 //       the CPU or build lacks it. --precision=bf16|int8 quantizes the
 //       embeddings for candidate generation with exact float rerank of the
 //       top --candidates=N survivors (works with or without --index).
+//       --nprobe tunes the IVF probe width and --ef the HNSW layer-0 beam;
+//       each backend reads only its own knob. With <dir> = "-" the dataset
+//       is skipped entirely: the engine matches the raw pair and reports
+//       identity-alignment accuracy (row i of the source gold-matches row
+//       i of the target — the synthetic EMBF pairs' convention) instead of
+//       test-split P/R/F1. --mmap reads <src>/<tgt> as EMBF stores via
+//       mmap, so a 1M x 128d pair matches without materializing either
+//       matrix on the heap.
 //   entmatcher_cli eval <dir> <links.tsv>
 //       Score previously saved predicted links against the test split.
-//   entmatcher_cli serve <src.emat> <tgt.emat> [--socket=PATH] [--threads=N]
+//   entmatcher_cli serve <src.emat> <tgt.emat> [--mmap] [--socket=PATH]
+//                  [--threads=N]
 //                  [--kernel-tier=TIER] [--serve-workers=N] [--cache-bytes=N]
 //                  [--max-batch=N] [--flush-micros=N] [--queue-capacity=N]
 //                  [--workspace-budget-bytes=N] [--shed-watermark=N]
 //                  [--index=PATH [--degrade-watermark=N]
-//                   [--degrade-candidates=N] [--degrade-nprobe=N]]
+//                   [--degrade-candidates=N] [--degrade-nprobe=N]
+//                   [--degrade-ef=N]]
 //       Hold the embedding pair as an immutable snapshot and serve match /
 //       top-k queries over a unix-domain socket (length-prefixed protocol,
 //       src/serve/protocol.h), micro-batching compatible queries into
@@ -51,7 +79,9 @@
 //       execution threads (0/default: EM_SERVE_WORKERS, then hardware
 //       concurrency). --cache-bytes=N arms the cross-request result cache
 //       with an N-byte LRU budget (0/default: off). Runs until a client
-//       sends `shutdown`. --shed-watermark sheds new requests
+//       sends `shutdown`. --mmap reads <src>/<tgt> as EMBF stores via
+//       mmap and serves over the page cache instead of heap matrices.
+//       --shed-watermark sheds new requests
 //       (kUnavailable + retry-after hint) once the queue is that deep;
 //       with --index attached, --degrade-watermark instead rewrites
 //       eligible dense matches onto the sparse candidate path under load.
@@ -111,8 +141,10 @@
 // --threads=N overrides the worker count for this process (equivalent to
 // the EM_NUM_THREADS environment variable; the flag wins).
 
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -122,9 +154,11 @@
 #include "fleet/plan.h"
 #include "fleet/router.h"
 #include "fleet/shard_manager.h"
+#include "common/memory_tracker.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "datagen/benchmarks.h"
+#include "datagen/embf_synth.h"
 #include "embedding/embedding.h"
 #include "embedding/provider.h"
 #include "eval/metrics.h"
@@ -134,6 +168,8 @@
 #include "la/kernels/dispatch.h"
 #include "la/kernels/quantized.h"
 #include "la/matrix_io.h"
+#include "la/mmap_store.h"
+#include "matching/engine.h"
 #include "matching/pipeline.h"
 #include "serve/client.h"
 #include "serve/socket_server.h"
@@ -151,8 +187,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr << "usage: entmatcher_cli "
-               "generate|stats|embed|index|match|eval|serve|swap|query|fleet "
-               "... (see source header)\n";
+               "generate|stats|embed|index|mmap|match|eval|serve|swap|query|"
+               "fleet ... (see source header)\n";
   return EXIT_FAILURE;
 }
 
@@ -274,9 +310,12 @@ int CmdEmbed(int argc, char** argv) {
 
 void PrintIndexStats(const CandidateIndex& index) {
   const CandidateListStats stats = index.Stats();
-  std::cout << "targets:     " << stats.num_targets << "\n"
+  std::cout << "backend:     " << CandidateBackendName(stats.backend) << "\n"
+            << "targets:     " << stats.num_targets << "\n"
             << "dim:         " << index.dim() << "\n"
-            << "lists:       " << stats.num_lists << "\n"
+            << (stats.backend == CandidateBackendKind::kHnsw ? "levels:      "
+                                                             : "lists:       ")
+            << stats.num_lists << "\n"
             << "list sizes:  min " << stats.min_list_size << " / mean "
             << FormatDouble(stats.mean_list_size, 1) << " / max "
             << stats.max_list_size << "\n";
@@ -293,15 +332,26 @@ int CmdIndex(int argc, char** argv) {
   const std::string sub = argv[2];
   if (sub == "build") {
     if (argc < 5) return Usage();
-    Result<Matrix> target = ReadMatrixBinary(argv[3]);
-    if (!target.ok()) return Fail(target.status());
     CandidateIndexOptions options;
     std::string dataset_dir;
+    bool use_mmap = false;
     for (int i = 5; i < argc; ++i) {
       const std::string arg = argv[i];
       const std::string dataset_flag = "--dataset=";
       if (arg.rfind(dataset_flag, 0) == 0) {
         dataset_dir = arg.substr(dataset_flag.size());
+        continue;
+      }
+      const std::string backend_flag = "--backend=";
+      if (arg.rfind(backend_flag, 0) == 0) {
+        Result<CandidateBackendKind> parsed =
+            ParseCandidateBackend(arg.substr(backend_flag.size()));
+        if (!parsed.ok()) return Fail(parsed.status());
+        options.backend = *parsed;
+        continue;
+      }
+      if (arg == "--mmap") {
+        use_mmap = true;
         continue;
       }
       unsigned long long value = 0;
@@ -323,7 +373,35 @@ int CmdIndex(int argc, char** argv) {
         options.seed = value;
         continue;
       }
+      matched = MatchUintFlag(arg, "M", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.hnsw_max_links = static_cast<size_t>(value);
+        continue;
+      }
+      matched = MatchUintFlag(arg, "ef-construction", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.hnsw_ef_construction = static_cast<size_t>(value);
+        continue;
+      }
       return Usage();
+    }
+    // The store (when mmapped) must outlive Build: backends read target rows
+    // through the borrowed view while constructing.
+    std::optional<MmapStore> store;
+    Matrix target;
+    if (use_mmap) {
+      MmapStoreOptions store_options;
+      store_options.hint = MmapAccessHint::kSequential;
+      Result<MmapStore> opened = MmapStore::Open(argv[3], store_options);
+      if (!opened.ok()) return Fail(opened.status());
+      store = std::move(opened).value();
+      target = store->AsMatrix();
+    } else {
+      Result<Matrix> read = ReadMatrixBinary(argv[3]);
+      if (!read.ok()) return Fail(read.status());
+      target = std::move(read).value();
     }
     if (!dataset_dir.empty()) {
       // `match` scores over the dataset's test-target rows, not the full
@@ -335,16 +413,17 @@ int CmdIndex(int argc, char** argv) {
         std::cerr << "error: dataset has no test split to slice targets by\n";
         return EXIT_FAILURE;
       }
-      *target = ExtractRows(*target, dataset->test_target_entities);
-      std::cout << "sliced to " << target->rows()
+      target = ExtractRows(target, dataset->test_target_entities);
+      std::cout << "sliced to " << target.rows()
                 << " test-split target rows from " << dataset_dir << "\n";
     }
-    Result<CandidateIndex> index = CandidateIndex::Build(*target, options);
+    Result<CandidateIndex> index = CandidateIndex::Build(target, options);
     if (!index.ok()) return Fail(index.status());
     Status saved = index->Save(argv[4]);
     if (!saved.ok()) return Fail(saved);
-    std::cout << "wrote " << argv[4] << " (" << index->num_lists()
-              << " lists over " << index->num_targets() << " targets)\n";
+    std::cout << "wrote " << argv[4] << " ("
+              << CandidateBackendName(index->backend()) << " over "
+              << index->num_targets() << " targets)\n";
     PrintIndexStats(*index);
     return EXIT_SUCCESS;
   }
@@ -358,26 +437,127 @@ int CmdIndex(int argc, char** argv) {
   return Usage();
 }
 
+/// Parses "--<name>=<double>" like MatchUintFlag.
+int MatchDoubleFlag(const std::string& arg, const std::string& name,
+                    double* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return 0;
+  const std::string text = arg.substr(prefix.size());
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    std::cerr << "error: bad " << prefix << " value: " << text << "\n";
+    return -1;
+  }
+  return 1;
+}
+
+int CmdMmap(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string sub = argv[2];
+  if (sub == "pack") {
+    if (argc < 5) return Usage();
+    Result<Matrix> matrix = ReadMatrixBinary(argv[3]);
+    if (!matrix.ok()) return Fail(matrix.status());
+    Status written = MmapStore::Write(*matrix, argv[4]);
+    if (!written.ok()) return Fail(written);
+    std::cout << "wrote " << argv[4] << " (" << matrix->rows() << " x "
+              << matrix->cols() << ", "
+              << FormatBytes(kEmbfHeaderBytes + matrix->ByteSize()) << ")\n";
+    return EXIT_SUCCESS;
+  }
+  if (sub == "synth-pair") {
+    EmbfSynthOptions options;
+    const std::string prefix = argv[3];
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      unsigned long long value = 0;
+      int matched = MatchUintFlag(arg, "rows", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.rows = static_cast<size_t>(value);
+        continue;
+      }
+      matched = MatchUintFlag(arg, "dim", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.dim = static_cast<size_t>(value);
+        continue;
+      }
+      matched = MatchUintFlag(arg, "clusters", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.clusters = static_cast<size_t>(value);
+        continue;
+      }
+      matched = MatchUintFlag(arg, "seed", &value);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.seed = value;
+        continue;
+      }
+      double noise = 0.0;
+      matched = MatchDoubleFlag(arg, "noise", &noise);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.noise = noise;
+        continue;
+      }
+      double spread = 0.0;
+      matched = MatchDoubleFlag(arg, "spread", &spread);
+      if (matched < 0) return EXIT_FAILURE;
+      if (matched > 0) {
+        options.spread = spread;
+        continue;
+      }
+      return Usage();
+    }
+    const std::string source_path = prefix + ".src.embf";
+    const std::string target_path = prefix + ".tgt.embf";
+    Status written = SynthEmbfPair(options, source_path, target_path);
+    if (!written.ok()) return Fail(written);
+    std::cout << "wrote " << source_path << " and " << target_path << " ("
+              << options.rows << " x " << options.dim << " each, "
+              << options.clusters << " clusters, seed " << options.seed
+              << ")\n";
+    return EXIT_SUCCESS;
+  }
+  if (sub == "info") {
+    MmapStoreOptions options;
+    options.resident_budget_bytes = 0;  // inspection touches no payload rows
+    Result<MmapStore> store = MmapStore::Open(argv[3], options);
+    if (!store.ok()) return Fail(store.status());
+    std::cout << "rows:          " << store->rows() << "\n"
+              << "cols:          " << store->cols() << "\n"
+              << "logical bytes: " << store->logical_bytes() << " ("
+              << FormatBytes(store->logical_bytes()) << ")\n"
+              << "tracked bytes: " << store->tracked_bytes() << "\n";
+    return EXIT_SUCCESS;
+  }
+  return Usage();
+}
+
 int CmdMatch(int argc, char** argv) {
   if (argc < 6) return Usage();
-  Result<KgPairDataset> dataset = LoadDatasetDir(argv[2]);
-  if (!dataset.ok()) return Fail(dataset.status());
-  Result<Matrix> src = ReadMatrixBinary(argv[3]);
-  if (!src.ok()) return Fail(src.status());
-  Result<Matrix> tgt = ReadMatrixBinary(argv[4]);
-  if (!tgt.ok()) return Fail(tgt.status());
+  const std::string dataset_dir = argv[2];
+  const bool raw_pair = dataset_dir == "-";
   Result<AlgorithmPreset> algorithm = ParseAlgorithm(argv[5]);
   if (!algorithm.ok()) return Fail(algorithm.status());
 
   MatchOptions options = MakePreset(*algorithm);
   std::string out_path;
   std::string index_path;
+  bool use_mmap = false;
   std::optional<CandidateIndex> index;  // must outlive the run
   for (int i = 6; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string index_flag = "--index=";
     if (arg.rfind(index_flag, 0) == 0) {
       index_path = arg.substr(index_flag.size());
+      continue;
+    }
+    if (arg == "--mmap") {
+      use_mmap = true;
       continue;
     }
     const int tier_matched = MatchKernelTierFlag(arg);
@@ -416,6 +596,12 @@ int CmdMatch(int argc, char** argv) {
       options.index_nprobe = static_cast<size_t>(value);
       continue;
     }
+    matched = MatchUintFlag(arg, "ef", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      options.index_ef = static_cast<size_t>(value);
+      continue;
+    }
     if (out_path.empty()) {
       out_path = arg;
     } else {
@@ -445,9 +631,87 @@ int CmdMatch(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
+  // With --mmap the stores back every row read of the run, so they must
+  // outlive the engine (and any snapshot built over the borrowed views).
+  std::optional<MmapStore> src_store;
+  std::optional<MmapStore> tgt_store;
+  Matrix src;
+  Matrix tgt;
+  if (use_mmap) {
+    Result<MmapStore> s = MmapStore::Open(argv[3]);
+    if (!s.ok()) return Fail(s.status());
+    src_store = std::move(s).value();
+    src = src_store->AsMatrix();
+    Result<MmapStore> t = MmapStore::Open(argv[4]);
+    if (!t.ok()) return Fail(t.status());
+    tgt_store = std::move(t).value();
+    tgt = tgt_store->AsMatrix();
+  } else {
+    Result<Matrix> s = ReadMatrixBinary(argv[3]);
+    if (!s.ok()) return Fail(s.status());
+    src = std::move(s).value();
+    Result<Matrix> t = ReadMatrixBinary(argv[4]);
+    if (!t.ok()) return Fail(t.status());
+    tgt = std::move(t).value();
+  }
+
+  if (raw_pair) {
+    // Dataset-less mode: drive the engine over the raw pair. Row i of the
+    // source is gold-matched to row i of the target (the synthetic EMBF
+    // convention), so identity hits stand in for test-split metrics.
+    const size_t n = src.rows();
+    MemoryTracker::Global().ResetPeak();
+    const auto start = std::chrono::steady_clock::now();
+    Result<MatchEngine> engine =
+        MatchEngine::Create(std::move(src), std::move(tgt), options);
+    if (!engine.ok()) return Fail(engine.status());
+    Result<Assignment> assignment = engine->Match();
+    if (!assignment.ok()) {
+      if (assignment.status().code() == StatusCode::kResourceExhausted) {
+        std::cerr << PresetName(*algorithm)
+                  << ": does not fit the workspace budget of "
+                  << FormatBytes(options.workspace_budget_bytes) << " ("
+                  << assignment.status().message() << ")\n";
+        return EXIT_FAILURE;
+      }
+      return Fail(assignment.status());
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    size_t identity_hits = 0;
+    for (size_t i = 0; i < assignment->size(); ++i) {
+      identity_hits +=
+          assignment->target_of_source[i] == static_cast<int32_t>(i);
+    }
+    const MemoryTracker::Stats tracked = MemoryTracker::Global().stats();
+    std::cout << PresetName(*algorithm) << ": matched "
+              << assignment->NumMatched() << "/" << n << ", identity acc="
+              << FormatDouble(n > 0 ? static_cast<double>(identity_hits) /
+                                          static_cast<double>(n)
+                                    : 0.0,
+                              3)
+              << " (" << FormatDouble(seconds, 2) << "s)\n";
+    std::cout << "peak tracked workspace: " << tracked.peak_bytes
+              << " bytes (" << FormatBytes(tracked.peak_bytes) << ")\n";
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) return Fail(Status::IoError("cannot write: " + out_path));
+      for (size_t i = 0; i < assignment->size(); ++i) {
+        if (assignment->target_of_source[i] == Assignment::kUnmatched) continue;
+        out << i << "\t" << assignment->target_of_source[i] << "\n";
+      }
+      std::cout << "wrote " << assignment->NumMatched() << " links to "
+                << out_path << "\n";
+    }
+    return EXIT_SUCCESS;
+  }
+
+  Result<KgPairDataset> dataset = LoadDatasetDir(dataset_dir);
+  if (!dataset.ok()) return Fail(dataset.status());
   EmbeddingPair embeddings;
-  embeddings.source = std::move(src).value();
-  embeddings.target = std::move(tgt).value();
+  embeddings.source = std::move(src);
+  embeddings.target = std::move(tgt);
   Result<MatchRun> run = RunMatching(*dataset, embeddings, options);
   if (!run.ok()) {
     if (run.status().code() == StatusCode::kResourceExhausted) {
@@ -483,13 +747,10 @@ int CmdServe(int argc, char** argv) {
   // A client vanishing mid-write must surface as EPIPE on the frame layer
   // (mapped to kUnavailable), never kill the server process.
   std::signal(SIGPIPE, SIG_IGN);
-  Result<Matrix> src = ReadMatrixBinary(argv[2]);
-  if (!src.ok()) return Fail(src.status());
-  Result<Matrix> tgt = ReadMatrixBinary(argv[3]);
-  if (!tgt.ok()) return Fail(tgt.status());
 
   std::string socket_path = kDefaultSocketPath;
   std::string index_path;
+  bool use_mmap = false;
   MatchServerConfig config;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -501,6 +762,10 @@ int CmdServe(int argc, char** argv) {
     const std::string index_flag = "--index=";
     if (arg.rfind(index_flag, 0) == 0) {
       index_path = arg.substr(index_flag.size());
+      continue;
+    }
+    if (arg == "--mmap") {
+      use_mmap = true;
       continue;
     }
     const int tier_matched = MatchKernelTierFlag(arg);
@@ -561,6 +826,12 @@ int CmdServe(int argc, char** argv) {
       config.degrade_nprobe = static_cast<size_t>(value);
       continue;
     }
+    matched = MatchUintFlag(arg, "degrade-ef", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      config.degrade_ef = static_cast<size_t>(value);
+      continue;
+    }
     matched = MatchUintFlag(arg, "serve-workers", &value);
     if (matched < 0) return EXIT_FAILURE;
     if (matched > 0) {
@@ -581,10 +852,33 @@ int CmdServe(int argc, char** argv) {
   Status faults = ArmFaultInjectionFromEnv();
   if (!faults.ok()) return Fail(faults);
 
+  // With --mmap the stores back every similarity pass the server runs, so
+  // they live for the whole serving session (until after Shutdown below).
+  std::optional<MmapStore> src_store;
+  std::optional<MmapStore> tgt_store;
+  Matrix src;
+  Matrix tgt;
+  if (use_mmap) {
+    Result<MmapStore> s = MmapStore::Open(argv[2]);
+    if (!s.ok()) return Fail(s.status());
+    src_store = std::move(s).value();
+    src = src_store->AsMatrix();
+    Result<MmapStore> t = MmapStore::Open(argv[3]);
+    if (!t.ok()) return Fail(t.status());
+    tgt_store = std::move(t).value();
+    tgt = tgt_store->AsMatrix();
+  } else {
+    Result<Matrix> s = ReadMatrixBinary(argv[2]);
+    if (!s.ok()) return Fail(s.status());
+    src = std::move(s).value();
+    Result<Matrix> t = ReadMatrixBinary(argv[3]);
+    if (!t.ok()) return Fail(t.status());
+    tgt = std::move(t).value();
+  }
+
   Result<std::unique_ptr<MatchServer>> server = MatchServer::Create(config);
   if (!server.ok()) return Fail(server.status());
-  Status loaded = (*server)->LoadPair("default", std::move(src).value(),
-                                      std::move(tgt).value());
+  Status loaded = (*server)->LoadPair("default", std::move(src), std::move(tgt));
   if (!loaded.ok()) return Fail(loaded);
   if (!index_path.empty()) {
     Result<CandidateIndex> index = CandidateIndex::Load(index_path);
@@ -1081,6 +1375,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(argc, argv);
   if (command == "embed") return CmdEmbed(argc, argv);
   if (command == "index") return CmdIndex(argc, argv);
+  if (command == "mmap") return CmdMmap(argc, argv);
   if (command == "match") return CmdMatch(argc, argv);
   if (command == "eval") return CmdEval(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);

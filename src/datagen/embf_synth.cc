@@ -1,0 +1,75 @@
+#include "datagen/embf_synth.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/mmap_store.h"
+
+namespace entmatcher {
+
+namespace {
+
+void NormalizeRow(std::vector<float>* row) {
+  double sq = 0.0;
+  for (float v : *row) sq += static_cast<double>(v) * v;
+  if (sq == 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+  for (float& v : *row) v *= inv;
+}
+
+}  // namespace
+
+Status SynthEmbfPair(const EmbfSynthOptions& options,
+                     const std::string& source_path,
+                     const std::string& target_path) {
+  if (options.rows == 0 || options.dim == 0 || options.clusters == 0) {
+    return Status::InvalidArgument(
+        "SynthEmbfPair needs rows, dim, and clusters >= 1");
+  }
+  const Rng root(options.seed);
+
+  // Cluster centers: fork 0 of the root, one Gaussian vector per center.
+  std::vector<std::vector<float>> centers(options.clusters);
+  {
+    Rng center_rng = root.Fork(0);
+    for (std::vector<float>& center : centers) {
+      center.resize(options.dim);
+      for (float& v : center) {
+        v = static_cast<float>(center_rng.NextGaussian());
+      }
+    }
+  }
+
+  EM_ASSIGN_OR_RETURN(
+      EmbfWriter source,
+      EmbfWriter::Create(source_path, options.rows, options.dim));
+  EM_ASSIGN_OR_RETURN(
+      EmbfWriter target,
+      EmbfWriter::Create(target_path, options.rows, options.dim));
+
+  std::vector<float> target_row(options.dim);
+  std::vector<float> source_row(options.dim);
+  for (size_t r = 0; r < options.rows; ++r) {
+    // Forks 2r+1 / 2r+2 make each row a pure function of (seed, r): the same
+    // row comes back whether the file is generated whole or resumed, and the
+    // source/target streams never alias (fork 0 is the centers').
+    Rng g1 = root.Fork(2 * static_cast<uint64_t>(r) + 1);
+    Rng g2 = root.Fork(2 * static_cast<uint64_t>(r) + 2);
+    const std::vector<float>& center = centers[r % options.clusters];
+    for (size_t d = 0; d < options.dim; ++d) {
+      target_row[d] = center[d] +
+                      static_cast<float>(options.spread * g1.NextGaussian());
+      source_row[d] = target_row[d] +
+                      static_cast<float>(options.noise * g2.NextGaussian());
+    }
+    NormalizeRow(&target_row);
+    NormalizeRow(&source_row);
+    EM_RETURN_NOT_OK(target.Append(target_row));
+    EM_RETURN_NOT_OK(source.Append(source_row));
+  }
+  EM_RETURN_NOT_OK(source.Finish());
+  return target.Finish();
+}
+
+}  // namespace entmatcher

@@ -1,0 +1,45 @@
+#ifndef ENTMATCHER_DATAGEN_EMBF_SYNTH_H_
+#define ENTMATCHER_DATAGEN_EMBF_SYNTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace entmatcher {
+
+/// Knobs for a synthetic aligned embedding pair streamed to EMBF stores.
+struct EmbfSynthOptions {
+  size_t rows = 0;          ///< Entities per side.
+  size_t dim = 64;          ///< Embedding width.
+  size_t clusters = 64;     ///< Gaussian cluster centers shared by both sides.
+  uint64_t seed = 17;       ///< Everything below derives from this.
+  /// Per-dimension jitter of a target row around its cluster center. This is
+  /// the spacing BETWEEN aligned pairs: it must stay well above `noise` or
+  /// dense cluster populations collapse onto each other and even exact
+  /// matching cannot recover the identity alignment.
+  double spread = 0.25;
+  /// Per-dimension jitter of a source row around its aligned target row.
+  /// Keeping noise << spread keeps row r of the source nearest to row r of
+  /// the target, so recall@c against the identity alignment is a meaningful
+  /// ANN quality metric.
+  double noise = 0.05;
+};
+
+/// Streams a synthetic (source, target) embedding pair to two EMBF1 files.
+///
+/// The construction is the scaled-up cousin of the in-memory test fixtures:
+/// target row r = center[r % clusters] + spread * g1(r), source row r =
+/// target row r + noise * g2(r), both L2-normalized, where g1/g2 are
+/// Gaussian vectors from per-row forks of `seed`. Row r is a pure function
+/// of (options, r) — independent of generation order — and live memory is
+/// O(clusters * dim + dim), which is what lets a 1M x 128d pair (1 GB on
+/// disk) be generated under a few MB of heap.
+Status SynthEmbfPair(const EmbfSynthOptions& options,
+                     const std::string& source_path,
+                     const std::string& target_path);
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_DATAGEN_EMBF_SYNTH_H_

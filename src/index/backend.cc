@@ -1,0 +1,25 @@
+#include "index/backend.h"
+
+namespace entmatcher {
+
+const char* CandidateBackendName(CandidateBackendKind kind) {
+  switch (kind) {
+    case CandidateBackendKind::kExact:
+      return "exact";
+    case CandidateBackendKind::kIvf:
+      return "ivf";
+    case CandidateBackendKind::kHnsw:
+      return "hnsw";
+  }
+  return "?";
+}
+
+Result<CandidateBackendKind> ParseCandidateBackend(const std::string& name) {
+  if (name == "exact") return CandidateBackendKind::kExact;
+  if (name == "ivf") return CandidateBackendKind::kIvf;
+  if (name == "hnsw") return CandidateBackendKind::kHnsw;
+  return Status::InvalidArgument("unknown candidate backend: " + name +
+                                 " (expected exact | ivf | hnsw)");
+}
+
+}  // namespace entmatcher

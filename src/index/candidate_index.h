@@ -2,12 +2,14 @@
 #define ENTMATCHER_INDEX_CANDIDATE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "index/backend.h"
 #include "la/matrix.h"
 #include "la/similarity.h"
 #include "la/sparse.h"
@@ -16,60 +18,54 @@ namespace entmatcher {
 
 /// Options for building a CandidateIndex.
 struct CandidateIndexOptions {
-  /// Number of inverted lists (k-means cells). 0 = auto: ~sqrt(num_targets).
+  /// Which candidate-generation strategy to build (exact | IVF | HNSW).
+  CandidateBackendKind backend = CandidateBackendKind::kIvf;
+  /// IVF: number of inverted lists (k-means cells). 0 = auto: ~sqrt(m).
   size_t num_lists = 0;
-  /// k-means iterations for the coarse quantizer.
+  /// IVF: k-means iterations for the coarse quantizer.
   size_t kmeans_iterations = 10;
-  /// Seed for centroid initialization.
+  /// Seed for centroid initialization (IVF) / level assignment (HNSW).
   uint64_t seed = 13;
+  /// HNSW: per-node link budget M (layer 0 holds up to 2M).
+  size_t hnsw_max_links = 16;
+  /// HNSW: build-time beam width (clamped up to 2M internally).
+  size_t hnsw_ef_construction = 64;
 };
 
-/// Inverted-list occupancy of a built index — skewed lists mean skewed probe
-/// cost, the same pathology the partition histogram exposes.
-struct CandidateListStats {
-  size_t num_lists = 0;
-  size_t num_targets = 0;
-  size_t min_list_size = 0;
-  size_t max_list_size = 0;
-  double mean_list_size = 0.0;
-  /// Log2-bucketed list sizes: bucket b counts lists of size in
-  /// [2^b, 2^(b+1)); empty lists land in bucket 0.
-  std::vector<size_t> size_histogram;
-};
-
-/// IVF-style approximate candidate-generation index over target embeddings:
-/// a cosine k-means coarse quantizer (the partitioner's k-means, shared via
-/// la/kmeans) whose cells become inverted lists of target ids. A query probes
-/// the `nprobe` nearest cells by centroid dot product, scores every member
-/// with the *exact* pairwise metric kernel, and keeps the top-`c` candidates
-/// per source row — so the sparse entries it emits are bit-identical to the
-/// corresponding dense score cells, and only coverage (which cells exist) is
-/// approximate. That is what lets the sparse pipeline promise "bit-identical
-/// to dense when candidate lists are complete".
+/// Approximate candidate-generation index over target embeddings — the
+/// facade in front of the pluggable CandidateBackend strategies (exact
+/// scan | IVF inverted lists | HNSW graph; see index/backend.h).
 ///
-/// The index stores only centroids and id lists (O(L·d + m)); it does not
-/// retain the target matrix, which callers pass back in at query time.
+/// Whatever the backend, the pipeline shape is identical: the backend
+/// proposes candidate target ids for each source row, this facade scores
+/// every proposal with the *exact* pairwise metric kernel and keeps the
+/// top-`c` per row — so the sparse entries it emits are bit-identical to the
+/// corresponding dense score cells, and only coverage (which targets get
+/// proposed) is approximate. That is what lets the sparse pipeline promise
+/// "bit-identical to dense when candidate lists are complete".
+///
+/// Backends store only their navigation structure (O(L·d + m) for IVF,
+/// O(m·2M) links for HNSW); none retains the target matrix, which callers
+/// pass back in at query time — including a Matrix borrowed from an
+/// mmap-backed MmapStore, which is how million-row pairs run out-of-core.
 class CandidateIndex {
  public:
-  /// Builds the quantizer and inverted lists over `target` (m×d).
+  /// Builds the selected backend over `target` (m×d).
   static Result<CandidateIndex> Build(const Matrix& target,
                                       const CandidateIndexOptions& options);
 
-  size_t num_targets() const { return num_targets_; }
-  size_t dim() const { return dim_; }
-  size_t num_lists() const { return list_offsets_.size() - 1; }
+  CandidateBackendKind backend() const { return backend_->kind(); }
+  size_t num_targets() const { return backend_->num_targets(); }
+  size_t dim() const { return backend_->dim(); }
 
-  /// Target ids of one inverted list, ascending.
-  std::span<const uint32_t> List(size_t l) const {
-    return std::span<const uint32_t>(
-        list_ids_.data() + list_offsets_[l],
-        list_offsets_[l + 1] - list_offsets_[l]);
-  }
+  /// IVF only: number of inverted lists (0 for other backends).
+  size_t num_lists() const;
 
-  CandidateListStats Stats() const;
+  /// IVF only: target ids of one inverted list, ascending.
+  std::span<const uint32_t> List(size_t l) const;
 
-  /// Ranks every inverted list by centroid dot product with `x` (dim()
-  /// floats) and appends the ids of the `nprobe` best to `probed`,
+  /// IVF only: ranks every inverted list by centroid dot product with `x`
+  /// (dim() floats) and appends the ids of the `nprobe` best to `probed`,
   /// best-first (ties: lower list id). `scratch` is caller-owned so row
   /// loops can reuse one allocation. The dot runs on the scalar loop at
   /// every kernel tier: probe selection — and with it candidate coverage —
@@ -78,18 +74,51 @@ class CandidateIndex {
                   std::vector<std::pair<float, uint32_t>>* scratch,
                   std::vector<uint32_t>* probed) const;
 
+  CandidateListStats Stats() const { return backend_->Stats(); }
+
+  /// The probe stage alone: appends the backend's candidate ids for query
+  /// vector `x` to `out` (no rerank). `out->size()` afterward is exactly the
+  /// number of exact-rerank comparisons FillSparseScores would spend on this
+  /// row — the currency bench_ann trades recall against.
+  void CollectCandidates(const Matrix& target, const float* x,
+                         const ProbeParams& params, CandidateScratch* scratch,
+                         std::vector<uint32_t>* out) const {
+    backend_->Collect(target, x, params, scratch, out);
+  }
+
+  /// Incrementally indexes rows appended to a grown target matrix (rows
+  /// [num_targets(), target.rows())). Backends reproduce the from-scratch
+  /// build exactly: Build(n rows) + Insert of k appended rows equals
+  /// Build(n + k) under the same seed.
+  Status Insert(const Matrix& target) {
+    return backend_->Insert(target, backend_->num_targets());
+  }
+
   /// Fills `out` with the top-`num_candidates` exact scores per source row,
-  /// restricted to targets found in the `nprobe` nearest lists. `out` must
-  /// be shaped (source.rows() × num_targets()) with capacity for at least
-  /// source.rows() * min(num_candidates, num_targets()) entries; `target`
-  /// and `cache` must be the embeddings/cache the scores are defined over.
-  /// Entries come out column-ascending per row (CSR invariant). Rows are
-  /// processed independently with deterministic static chunking, so the
-  /// result is bit-identical at every thread count.
+  /// restricted to the candidates the backend proposes under `params` (the
+  /// HNSW beam is widened to at least num_candidates so the kept set is
+  /// never starved). `out` must be shaped (source.rows() × num_targets())
+  /// with capacity for at least source.rows() * min(num_candidates,
+  /// num_targets()) entries; `target` and `cache` must be the
+  /// embeddings/cache the scores are defined over. Entries come out
+  /// column-ascending per row (CSR invariant). Rows are processed
+  /// independently with deterministic static chunking, so the result is
+  /// bit-identical at every thread count.
   Status FillSparseScores(const Matrix& source, const Matrix& target,
                           SimilarityMetric metric,
                           const SimilarityCache& cache, size_t num_candidates,
-                          size_t nprobe, SparseScores* out) const;
+                          const ProbeParams& params, SparseScores* out) const;
+
+  /// Back-compat shim: probes `nprobe` lists with the default HNSW beam.
+  Status FillSparseScores(const Matrix& source, const Matrix& target,
+                          SimilarityMetric metric,
+                          const SimilarityCache& cache, size_t num_candidates,
+                          size_t nprobe, SparseScores* out) const {
+    ProbeParams params;
+    params.nprobe = nprobe;
+    return FillSparseScores(source, target, metric, cache, num_candidates,
+                            params, out);
+  }
 
   /// Convenience wrapper: builds the cache and an owned SparseScores.
   Result<SparseScores> SparseSimilarity(const Matrix& source,
@@ -98,18 +127,21 @@ class CandidateIndex {
                                         size_t num_candidates,
                                         size_t nprobe) const;
 
-  /// On-disk round trip ("EIDX" binary: header, centroids, lists).
+  /// On-disk round trip. Save writes EIDX2 ("EIDX" magic, version 2, one
+  /// backend tag byte, backend payload); Load also accepts legacy EIDX1
+  /// files, which predate the tag byte and are always IVF.
   Status Save(const std::string& path) const;
   static Result<CandidateIndex> Load(const std::string& path);
 
- private:
-  CandidateIndex() = default;
+  /// Writes the legacy EIDX1 container (IVF only) so the EIDX1
+  /// compatibility path stays testable from current builds.
+  Status SaveAsEidx1(const std::string& path) const;
 
-  Matrix centroids_;                   // L × d, rows L2-normalized
-  std::vector<uint64_t> list_offsets_; // L + 1
-  std::vector<uint32_t> list_ids_;     // m target ids, ascending per list
-  size_t num_targets_ = 0;
-  size_t dim_ = 0;
+ private:
+  explicit CandidateIndex(std::unique_ptr<CandidateBackend> backend)
+      : backend_(std::move(backend)) {}
+
+  std::unique_ptr<CandidateBackend> backend_;
 };
 
 }  // namespace entmatcher

@@ -1,0 +1,245 @@
+#include "index/ivf_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "la/kmeans.h"
+
+namespace entmatcher {
+
+namespace {
+
+constexpr char kEidxMagic[4] = {'E', 'I', 'D', 'X'};
+
+}  // namespace
+
+Result<std::unique_ptr<IvfBackend>> IvfBackend::Build(const Matrix& target,
+                                                      size_t num_lists,
+                                                      size_t kmeans_iterations,
+                                                      uint64_t seed) {
+  if (target.rows() == 0 || target.cols() == 0) {
+    return Status::InvalidArgument("CandidateIndex: empty target embeddings");
+  }
+  if (kmeans_iterations == 0) {
+    return Status::InvalidArgument(
+        "CandidateIndex: kmeans_iterations must be >= 1");
+  }
+  const size_t m = target.rows();
+  if (num_lists == 0) {
+    // IVF rule of thumb: ~sqrt(m) cells balances probe cost against list
+    // scan cost.
+    num_lists = static_cast<size_t>(std::lround(std::sqrt(
+        static_cast<double>(m))));
+  }
+  num_lists = std::max<size_t>(1, std::min(num_lists, m));
+
+  Rng rng(seed);
+  KMeansResult kmeans =
+      CosineKMeans(target, num_lists, kmeans_iterations, &rng);
+
+  auto index = std::unique_ptr<IvfBackend>(new IvfBackend());
+  index->num_targets_ = m;
+  index->dim_ = target.cols();
+  index->centroids_ = std::move(kmeans.centroids);
+
+  // Counting sort into inverted lists; scanning target ids in ascending
+  // order keeps every list ascending, which the CSR packing relies on.
+  index->list_offsets_.assign(num_lists + 1, 0);
+  for (uint32_t c : kmeans.assignment) ++index->list_offsets_[c + 1];
+  for (size_t l = 0; l < num_lists; ++l) {
+    index->list_offsets_[l + 1] += index->list_offsets_[l];
+  }
+  index->list_ids_.resize(m);
+  std::vector<uint64_t> cursor(index->list_offsets_.begin(),
+                               index->list_offsets_.end() - 1);
+  for (size_t j = 0; j < m; ++j) {
+    index->list_ids_[cursor[kmeans.assignment[j]]++] =
+        static_cast<uint32_t>(j);
+  }
+  return index;
+}
+
+CandidateListStats IvfBackend::Stats() const {
+  CandidateListStats stats;
+  stats.backend = CandidateBackendKind::kIvf;
+  stats.num_lists = num_lists();
+  stats.num_targets = num_targets_;
+  stats.min_list_size = num_targets_;
+  for (size_t l = 0; l < stats.num_lists; ++l) {
+    const size_t size =
+        static_cast<size_t>(list_offsets_[l + 1] - list_offsets_[l]);
+    stats.min_list_size = std::min(stats.min_list_size, size);
+    stats.max_list_size = std::max(stats.max_list_size, size);
+    size_t bucket = 0;
+    for (size_t v = size; v > 1; v >>= 1) ++bucket;
+    if (bucket >= stats.size_histogram.size()) {
+      stats.size_histogram.resize(bucket + 1, 0);
+    }
+    ++stats.size_histogram[bucket];
+  }
+  stats.mean_list_size = stats.num_lists > 0
+                             ? static_cast<double>(num_targets_) /
+                                   static_cast<double>(stats.num_lists)
+                             : 0.0;
+  return stats;
+}
+
+void IvfBackend::ProbeLists(
+    const float* x, size_t nprobe,
+    std::vector<std::pair<float, uint32_t>>* scratch,
+    std::vector<uint32_t>* probed) const {
+  const size_t lists = num_lists();
+  const size_t probes = std::min(nprobe, lists);
+  scratch->resize(lists);
+  // Rank cells by centroid dot product. Centroids are unit-norm, so the
+  // query's own norm cannot change the ordering.
+  for (size_t l = 0; l < lists; ++l) {
+    const float* mu = centroids_.Row(l).data();
+    float dot = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) dot += x[d] * mu[d];
+    (*scratch)[l] = {dot, static_cast<uint32_t>(l)};
+  }
+  std::partial_sort(scratch->begin(), scratch->begin() + probes,
+                    scratch->end(), CandidateBetter);
+  for (size_t p = 0; p < probes; ++p) probed->push_back((*scratch)[p].second);
+}
+
+void IvfBackend::Collect(const Matrix& target, const float* x,
+                         const ProbeParams& params, CandidateScratch* scratch,
+                         std::vector<uint32_t>* out) const {
+  (void)target;  // IVF navigates by stored centroids alone.
+  scratch->probed.clear();
+  ProbeLists(x, params.nprobe, &scratch->ranked_lists, &scratch->probed);
+  for (uint32_t l : scratch->probed) {
+    for (uint32_t j : List(l)) out->push_back(j);
+  }
+}
+
+Status IvfBackend::Insert(const Matrix& target, size_t first_new_row) {
+  if (target.cols() != dim_) {
+    return Status::InvalidArgument(
+        "CandidateIndex: inserted rows differ in dimension");
+  }
+  if (first_new_row != num_targets_ || target.rows() < num_targets_) {
+    return Status::InvalidArgument(
+        "CandidateIndex: Insert expects the previously indexed rows "
+        "followed by the appended ones");
+  }
+  const size_t m_new = target.rows();
+  const size_t lists = num_lists();
+  // Assign each appended row to its nearest cell (centroid dot, ties: lower
+  // list id — the same order ProbeLists uses).
+  std::vector<std::vector<uint32_t>> appended(lists);
+  for (size_t j = first_new_row; j < m_new; ++j) {
+    const float* x = target.Row(j).data();
+    float best = 0.0f;
+    uint32_t best_l = 0;
+    for (size_t l = 0; l < lists; ++l) {
+      const float* mu = centroids_.Row(l).data();
+      float dot = 0.0f;
+      for (size_t d = 0; d < dim_; ++d) dot += x[d] * mu[d];
+      if (l == 0 || dot > best) {
+        best = dot;
+        best_l = static_cast<uint32_t>(l);
+      }
+    }
+    appended[best_l].push_back(static_cast<uint32_t>(j));
+  }
+  // Rebuild the CSR lists with the new ids spliced onto their list tails;
+  // appended ids exceed every existing id, so each list stays ascending.
+  std::vector<uint32_t> ids;
+  ids.reserve(m_new);
+  std::vector<uint64_t> offsets(lists + 1, 0);
+  for (size_t l = 0; l < lists; ++l) {
+    for (uint32_t j : List(l)) ids.push_back(j);
+    for (uint32_t j : appended[l]) ids.push_back(j);
+    offsets[l + 1] = ids.size();
+  }
+  list_ids_ = std::move(ids);
+  list_offsets_ = std::move(offsets);
+  num_targets_ = m_new;
+  return Status::OK();
+}
+
+Status IvfBackend::SavePayload(std::ostream& out) const {
+  const uint64_t header[3] = {num_targets_, dim_, num_lists()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(centroids_.data()),
+            static_cast<std::streamsize>(centroids_.ByteSize()));
+  out.write(reinterpret_cast<const char*>(list_offsets_.data()),
+            static_cast<std::streamsize>(list_offsets_.size() *
+                                         sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(list_ids_.data()),
+            static_cast<std::streamsize>(list_ids_.size() *
+                                         sizeof(uint32_t)));
+  if (!out) return Status::IoError("index payload write failed");
+  return Status::OK();
+}
+
+Status IvfBackend::SaveLegacyEidx1(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kEidxMagic, sizeof(kEidxMagic));
+  const uint64_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  EM_RETURN_NOT_OK(SavePayload(out));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<IvfBackend>> IvfBackend::LoadPayload(
+    std::istream& in, const std::string& path) {
+  uint64_t header[3] = {0, 0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in) return Status::IoError("truncated index header: " + path);
+  const uint64_t num_targets = header[0];
+  const uint64_t dim = header[1];
+  const uint64_t num_lists = header[2];
+  // Same sanity bound as the EMAT reader: refuse absurd shapes, not
+  // bad_alloc.
+  if (num_targets > (1ull << 32) || dim > (1ull << 24) ||
+      num_lists == 0 || num_lists > num_targets || dim == 0) {
+    return Status::IoError("implausible index shape in: " + path);
+  }
+  auto index = std::unique_ptr<IvfBackend>(new IvfBackend());
+  index->num_targets_ = static_cast<size_t>(num_targets);
+  index->dim_ = static_cast<size_t>(dim);
+  index->centroids_ = Matrix(static_cast<size_t>(num_lists),
+                             static_cast<size_t>(dim));
+  in.read(reinterpret_cast<char*>(index->centroids_.data()),
+          static_cast<std::streamsize>(index->centroids_.ByteSize()));
+  index->list_offsets_.resize(static_cast<size_t>(num_lists) + 1);
+  in.read(reinterpret_cast<char*>(index->list_offsets_.data()),
+          static_cast<std::streamsize>(index->list_offsets_.size() *
+                                       sizeof(uint64_t)));
+  index->list_ids_.resize(static_cast<size_t>(num_targets));
+  in.read(reinterpret_cast<char*>(index->list_ids_.data()),
+          static_cast<std::streamsize>(index->list_ids_.size() *
+                                       sizeof(uint32_t)));
+  if (!in) return Status::IoError("truncated index data: " + path);
+  if (!index->list_ids_.empty() && EM_FAULT_FIRED("index.load.corrupt")) {
+    // Chaos point: flip a high bit in the first inverted-list id so the
+    // validation below must catch in-memory corruption, not just truncation.
+    index->list_ids_[0] ^= 0x80000000u;
+  }
+  if (index->list_offsets_.front() != 0 ||
+      index->list_offsets_.back() != num_targets) {
+    return Status::IoError("corrupt inverted-list offsets in: " + path);
+  }
+  for (size_t l = 0; l + 1 < index->list_offsets_.size(); ++l) {
+    if (index->list_offsets_[l] > index->list_offsets_[l + 1]) {
+      return Status::IoError("corrupt inverted-list offsets in: " + path);
+    }
+  }
+  for (uint32_t id : index->list_ids_) {
+    if (id >= num_targets) {
+      return Status::IoError("corrupt inverted-list ids in: " + path);
+    }
+  }
+  return index;
+}
+
+}  // namespace entmatcher

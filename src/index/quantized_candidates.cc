@@ -9,25 +9,14 @@
 
 namespace entmatcher {
 
-namespace {
-
-// (score desc, id asc): same total order as the IVF path, so the kept set
-// matches the dense argmax convention (lowest index wins ties).
-bool BetterCandidate(const std::pair<float, uint32_t>& a,
-                     const std::pair<float, uint32_t>& b) {
-  if (a.first != b.first) return a.first > b.first;
-  return a.second < b.second;
-}
-
-}  // namespace
-
 Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
                                  const QuantizedMatrix& qsource,
                                  const QuantizedMatrix& qtarget,
                                  SimilarityMetric metric,
                                  const SimilarityCache& cache,
                                  size_t num_candidates,
-                                 const CandidateIndex* index, size_t nprobe,
+                                 const CandidateIndex* index,
+                                 const ProbeParams& params,
                                  SparseScores* out) {
   if (metric == SimilarityMetric::kNegManhattan) {
     return Status::InvalidArgument(
@@ -53,9 +42,15 @@ Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
       return Status::InvalidArgument(
           "quantized candidates: index does not match the embeddings");
     }
-    if (nprobe == 0) {
+    if (index->backend() == CandidateBackendKind::kIvf &&
+        params.nprobe == 0) {
       return Status::InvalidArgument(
           "quantized candidates: nprobe must be >= 1");
+    }
+    if (index->backend() == CandidateBackendKind::kHnsw &&
+        params.ef_search == 0) {
+      return Status::InvalidArgument(
+          "quantized candidates: ef_search must be >= 1");
     }
   }
   const size_t stride = std::min(num_candidates, m);
@@ -74,6 +69,11 @@ Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
   // the negated squared distance).
   const bool cosine = metric == SimilarityMetric::kCosine;
 
+  // Same beam widening as the facade: the HNSW backend never proposes more
+  // than ef candidates, so the requested top-c must fit inside the beam.
+  ProbeParams effective = params;
+  effective.ef_search = std::max(effective.ef_search, stride);
+
   // Phase 1 (parallel, deterministic): each row pre-ranks, reranks exactly,
   // and writes its candidates into a private stride-aligned slot — the same
   // two-phase layout as CandidateIndex::FillSparseScores.
@@ -81,8 +81,8 @@ Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
   float* values = out->values();
   uint32_t* cols = out->col_indices();
   ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
-    std::vector<std::pair<float, uint32_t>> ranked_lists;
-    std::vector<uint32_t> probed;
+    CandidateScratch scratch;
+    std::vector<uint32_t> collected;
     std::vector<std::pair<float, uint32_t>> candidates;
     for (size_t i = begin; i < end; ++i) {
       const auto surrogate = [&](uint32_t j) {
@@ -92,13 +92,11 @@ Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
       };
       candidates.clear();
       if (index != nullptr) {
-        probed.clear();
-        index->ProbeLists(source.Row(i).data(), nprobe, &ranked_lists,
-                          &probed);
-        for (uint32_t l : probed) {
-          for (uint32_t j : index->List(l)) {
-            candidates.emplace_back(surrogate(j), j);
-          }
+        collected.clear();
+        index->CollectCandidates(target, source.Row(i).data(), effective,
+                                 &scratch, &collected);
+        for (uint32_t j : collected) {
+          candidates.emplace_back(surrogate(j), j);
         }
       } else {
         for (size_t j = 0; j < m; ++j) {
@@ -108,7 +106,7 @@ Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
       }
       const size_t keep = std::min(stride, candidates.size());
       std::partial_sort(candidates.begin(), candidates.begin() + keep,
-                        candidates.end(), BetterCandidate);
+                        candidates.end(), CandidateBetter);
       candidates.resize(keep);
       // Exact rerank: replace every surrogate with the float score, so the
       // emitted entries are bit-identical to their dense cells.

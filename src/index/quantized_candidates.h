@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/status.h"
+#include "index/backend.h"
 #include "la/kernels/quantized.h"
 #include "la/matrix.h"
 #include "la/similarity.h"
@@ -20,9 +21,10 @@ class CandidateIndex;
 /// float PairSimilarity kernel — so every emitted entry is bit-identical to
 /// its dense score cell and only candidate *coverage* is approximate.
 ///
-/// With `index` (nullable) the surrogate pass runs over the members of the
-/// `nprobe` probed inverted lists instead of all targets, composing the two
-/// approximations. `qsource`/`qtarget` must be quantizations of
+/// With `index` (nullable) the surrogate pass runs over the candidates the
+/// index's backend proposes under `params` (IVF probed lists, HNSW beam, or
+/// the exact scan) instead of all targets, composing the two approximations.
+/// `qsource`/`qtarget` must be quantizations of
 /// `source`/`target` at the same precision; `metric` must be cosine or
 /// euclidean (manhattan has no dot-product form and is refused).
 ///
@@ -37,8 +39,8 @@ Status FillQuantizedSparseScores(const Matrix& source, const Matrix& target,
                                  SimilarityMetric metric,
                                  const SimilarityCache& cache,
                                  size_t num_candidates,
-                                 const CandidateIndex* index, size_t nprobe,
-                                 SparseScores* out);
+                                 const CandidateIndex* index,
+                                 const ProbeParams& params, SparseScores* out);
 
 }  // namespace entmatcher
 

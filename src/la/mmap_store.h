@@ -1,0 +1,155 @@
+#ifndef ENTMATCHER_LA_MMAP_STORE_H_
+#define ENTMATCHER_LA_MMAP_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace entmatcher {
+
+/// EMBF1: the out-of-core embedding container. On-disk layout (little-endian):
+///
+///   bytes 0..3    magic "EMBF"
+///   uint64        format version (= 1)
+///   uint64        rows
+///   uint64        cols
+///   uint64        payload offset in bytes (= 64; leaves the payload
+///                 page-friendly and room to grow the header)
+///   zero padding up to the payload offset
+///   float32[rows * cols], row-major
+///
+/// The point of the format is that the payload *is* the in-memory
+/// representation: an MmapStore maps the file read-only and hands out row
+/// spans (or a borrowed Matrix) straight over the page cache, so a 1M x 128d
+/// pair (512 MB of floats per side) can feed the matching engine without ever
+/// being materialized on the heap.
+constexpr size_t kEmbfHeaderBytes = 64;
+constexpr uint64_t kEmbfFormatVersion = 1;
+
+/// How the kernel should stage pages for a mapped store.
+enum class MmapAccessHint : uint8_t {
+  /// Probe-driven access (candidate rerank): rows are touched in id order
+  /// scattered across the file. madvise(MADV_RANDOM).
+  kRandom = 0,
+  /// Full scans (dense scoring, norm caches): rows are touched front to
+  /// back. madvise(MADV_SEQUENTIAL) lets the kernel read ahead and drop
+  /// pages behind the scan.
+  kSequential = 1,
+};
+
+struct MmapStoreOptions {
+  /// What the store charges to MemoryTracker. A mapped file's *logical*
+  /// bytes are not resident bytes — the kernel pages rows in on demand and
+  /// can evict them under pressure — so charging rows*cols*4 would make a
+  /// 1M-row store look like it blew any workspace budget while actually
+  /// touching a few MB. The store instead charges
+  /// min(resident_budget_bytes, logical bytes): the caller's declared
+  /// working-set ceiling, enforced in spirit by DropResident() and by the
+  /// kernel's reclaim. Benches gate real peak RSS separately.
+  size_t resident_budget_bytes = 64ull << 20;
+
+  MmapAccessHint hint = MmapAccessHint::kRandom;
+};
+
+/// A read-only, memory-mapped, row-major float32 embedding store over an
+/// EMBF1 file. Move-only; the mapping (and the MemoryTracker charge) lives
+/// until destruction. All reads are plain const loads — a store can be
+/// shared across any number of threads.
+class MmapStore {
+ public:
+  /// Maps `path`, validating magic, version, shape, and file size against
+  /// the header. Fault point "mmap.load.read" (kIoError) fires before the
+  /// file is opened, modeling a storage-layer read failure.
+  static Result<MmapStore> Open(const std::string& path,
+                                const MmapStoreOptions& options = {});
+
+  /// Writes `matrix` to `path` in EMBF1 format.
+  static Status Write(const Matrix& matrix, const std::string& path);
+
+  MmapStore(MmapStore&& other) noexcept;
+  MmapStore& operator=(MmapStore&& other) noexcept;
+  MmapStore(const MmapStore&) = delete;
+  MmapStore& operator=(const MmapStore&) = delete;
+  ~MmapStore();
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  /// Total payload bytes if the matrix were materialized.
+  size_t logical_bytes() const { return rows_ * cols_ * sizeof(float); }
+  /// What this store charged to MemoryTracker (the resident budget, capped
+  /// at the logical size).
+  size_t tracked_bytes() const { return tracked_bytes_; }
+
+  /// Read-only view of one row, straight over the mapping.
+  std::span<const float> RowView(size_t r) const {
+    return std::span<const float>(data_ + r * cols_, cols_);
+  }
+
+  /// A borrowed Matrix over the mapping, suitable for PairSnapshot::Build
+  /// and the similarity kernels. The store must outlive every copy of the
+  /// *borrowed* view (a Matrix copy detaches into owned memory). The buffer
+  /// is mapped PROT_READ: writing through the view is a bug and faults.
+  Matrix AsMatrix() const;
+
+  /// Advises the kernel to drop this store's resident pages
+  /// (MADV_DONTNEED). Reads stay valid — pages fault back in from the file
+  /// — so this is the knob for staying under a resident budget between
+  /// scoring passes.
+  Status DropResident();
+
+ private:
+  MmapStore() = default;
+
+  void* map_ = nullptr;       // whole-file mapping (header + payload)
+  size_t map_bytes_ = 0;
+  const float* data_ = nullptr;  // payload start inside map_
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t tracked_bytes_ = 0;
+};
+
+/// Streaming EMBF1 writer: declares the shape up front, appends rows, and
+/// patches nothing afterwards (the header is complete from byte 0). This is
+/// how the synthetic 1M-row generators emit files with O(cols) live memory.
+class EmbfWriter {
+ public:
+  /// Creates `path` and writes the header for a rows x cols store.
+  static Result<EmbfWriter> Create(const std::string& path, size_t rows,
+                                   size_t cols);
+
+  EmbfWriter(EmbfWriter&&) noexcept = default;
+  EmbfWriter& operator=(EmbfWriter&&) noexcept = default;
+  EmbfWriter(const EmbfWriter&) = delete;
+  EmbfWriter& operator=(const EmbfWriter&) = delete;
+  ~EmbfWriter();
+
+  /// Appends one row; `row.size()` must equal the declared cols.
+  Status Append(std::span<const float> row);
+
+  /// Flushes and closes; fails unless exactly the declared number of rows
+  /// was appended. After Finish the writer is inert.
+  Status Finish();
+
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  EmbfWriter() = default;
+
+  struct FileCloser {
+    void operator()(void* f) const;
+  };
+  std::unique_ptr<void, FileCloser> file_;  // FILE*, type-erased
+  std::string path_;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t rows_written_ = 0;
+};
+
+}  // namespace entmatcher
+
+#endif  // ENTMATCHER_LA_MMAP_STORE_H_

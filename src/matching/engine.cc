@@ -54,8 +54,15 @@ Status ValidateSparseQuery(const MatchOptions& options, size_t num_targets) {
         "row");
   }
   if (UsesCandidateIndex(options)) {
-    if (options.index_nprobe == 0) {
+    // Each backend reads only its own probe knob, so only that knob is
+    // validated — a stray index_ef=0 must not reject an IVF query.
+    if (options.candidate_index->backend() == CandidateBackendKind::kIvf &&
+        options.index_nprobe == 0) {
       return Status::InvalidArgument("index_nprobe must be >= 1");
+    }
+    if (options.candidate_index->backend() == CandidateBackendKind::kHnsw &&
+        options.index_ef == 0) {
+      return Status::InvalidArgument("index_ef must be >= 1");
     }
     if (options.candidate_index->num_targets() != num_targets) {
       return Status::InvalidArgument(
@@ -192,17 +199,20 @@ Result<MatchEngine::ScoredBatch> MatchEngine::BeginBatch(
     // logical stage.
     EM_INJECT_FAULT("engine.scores", StatusCode::kInternal);
     const SimilarityCache& cache = snapshot_->EnsureCache(options.metric);
+    ProbeParams probe;
+    probe.nprobe = options.index_nprobe;
+    probe.ef_search = options.index_ef;
     if (UsesQuantizedCandidates(options)) {
       EM_ASSIGN_OR_RETURN(const auto* quantized,
                           snapshot_->EnsureQuantized(options.score_precision));
       EM_RETURN_NOT_OK(FillQuantizedSparseScores(
           source, target, quantized->first, quantized->second, options.metric,
-          cache, options.num_candidates, options.candidate_index,
-          options.index_nprobe, &sparse));
+          cache, options.num_candidates, options.candidate_index, probe,
+          &sparse));
     } else {
       EM_RETURN_NOT_OK(options.candidate_index->FillSparseScores(
           source, target, options.metric, cache, options.num_candidates,
-          options.index_nprobe, &sparse));
+          probe, &sparse));
     }
     EM_RETURN_NOT_OK(CheckStageDeadline("transform"));
     EM_RETURN_NOT_OK(ApplySparseScoreTransformInPlace(&sparse, options,

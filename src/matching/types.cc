@@ -1,5 +1,7 @@
 #include "matching/types.h"
 
+#include "index/candidate_index.h"
+
 namespace entmatcher {
 
 MatchOptions MakePreset(AlgorithmPreset preset) {
@@ -71,7 +73,19 @@ ScoreSignature ScoreSignature::Of(const MatchOptions& options) {
   if (UsesCandidateIndex(options)) {
     sig.candidate_index = options.candidate_index;
     sig.num_candidates = options.num_candidates;
-    sig.index_nprobe = options.index_nprobe;
+    // Only the knob the backend actually reads shapes coverage; zeroing the
+    // other keeps e.g. two HNSW queries with different stray nprobes in one
+    // batch.
+    switch (options.candidate_index->backend()) {
+      case CandidateBackendKind::kIvf:
+        sig.index_nprobe = options.index_nprobe;
+        break;
+      case CandidateBackendKind::kHnsw:
+        sig.index_ef = options.index_ef;
+        break;
+      case CandidateBackendKind::kExact:
+        break;
+    }
   }
   if (UsesQuantizedCandidates(options)) {
     sig.score_precision = options.score_precision;

@@ -125,8 +125,13 @@ struct MatchOptions {
   /// Candidates kept per source row (top-c exact rerank); must be >= 1 when
   /// candidate_index is set.
   size_t num_candidates = 0;
-  /// Inverted lists probed per query row.
+  /// Inverted lists probed per query row (IVF backend only).
   size_t index_nprobe = 4;
+  /// Beam width of the layer-0 graph search (HNSW backend only); the engine
+  /// widens it to at least num_candidates. Each backend reads only its own
+  /// knob, so e.g. index_ef is ignored — and canonically zeroed in the
+  /// signature — for IVF queries.
+  size_t index_ef = 64;
 
   /// Opt-in mixed-precision candidate generation: when not kFloat32, the
   /// engine quantizes both embedding matrices once (bf16, or int8 with a
@@ -174,12 +179,15 @@ struct ScoreSignature {
   double sinkhorn_temperature = 0.0;
   size_t rinf_pb_candidates = 0;
   /// Candidate-index configuration: a sparse query can only share a scores
-  /// pass with queries using the same index object, width, and probe count
+  /// pass with queries using the same index object, width, and probe knobs
   /// (and never with a dense query). Zeroed for dense queries so a stray
-  /// index_nprobe cannot split a dense batch.
+  /// index_nprobe cannot split a dense batch; the knob the index's backend
+  /// does not read (nprobe for HNSW, ef for IVF, both for exact) is zeroed
+  /// too, for the same reason.
   const CandidateIndex* candidate_index = nullptr;
   size_t num_candidates = 0;
   size_t index_nprobe = 0;
+  size_t index_ef = 0;
   /// Candidate-generation precision: quantized queries can only coalesce
   /// with queries quantized the same way (kFloat32 for dense and pure-IVF
   /// queries, whose candidate coverage is precision-independent).

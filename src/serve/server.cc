@@ -67,6 +67,7 @@ std::string MakeResultKey(const std::string& pair, uint64_t version,
                       reinterpret_cast<uintptr_t>(sig.candidate_index)));
   AppendU64(&key, sig.num_candidates);
   AppendU64(&key, sig.index_nprobe);
+  AppendU64(&key, sig.index_ef);
   AppendU64(&key, static_cast<uint64_t>(sig.score_precision));
   AppendU64(&key, static_cast<uint64_t>(request.kind));
   AppendU64(&key, static_cast<uint64_t>(request.options.matcher));
@@ -579,6 +580,8 @@ void MatchServer::SchedulerLoop() {
               config_.degrade_num_candidates;
           pending.request.options.index_nprobe =
               std::max<size_t>(1, config_.degrade_nprobe);
+          pending.request.options.index_ef =
+              std::max<size_t>(1, config_.degrade_ef);
         } else {
           pending.degraded = false;
         }

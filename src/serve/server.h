@@ -54,9 +54,12 @@ struct MatchServerConfig {
   /// Checked before shed_watermark, so degrade < shed means "degrade first,
   /// shed only deeper". 0 disables.
   size_t degrade_watermark = 0;
-  /// Candidates per source row / probes used for degraded requests.
+  /// Candidates per source row / probe knobs used for degraded requests
+  /// (nprobe feeds an IVF pair index, ef an HNSW one; the inactive knob is
+  /// canonically zeroed out of the batch signature).
   size_t degrade_num_candidates = 32;
   size_t degrade_nprobe = 4;
+  size_t degrade_ef = 64;
   /// Execution worker threads. Batch groups formed by the scheduler are
   /// dispatched to this pool; groups over different pairs or signatures run
   /// truly concurrently. 0 = resolve from EM_SERVE_WORKERS, falling back to

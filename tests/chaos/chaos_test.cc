@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <string>
 #include <thread>
@@ -19,6 +20,8 @@
 #include "common/fault.h"
 #include "common/rng.h"
 #include "index/candidate_index.h"
+#include "la/mmap_store.h"
+#include "la/sparse.h"
 #include "matching/engine.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -211,6 +214,67 @@ TEST_F(ChaosTest, IndexLoadShortReadAndCorruptionAreCaught) {
   Result<CandidateIndex> clean = CandidateIndex::Load(path);
   ASSERT_TRUE(clean.ok()) << clean.status().ToString();
   EXPECT_EQ(clean->num_targets(), built->num_targets());
+  ::unlink(path.c_str());
+}
+
+// Same fault points, graph backend: the EIDX2 loader must catch a short read
+// and in-memory corruption (a flipped entry-point bit) for HNSW payloads too,
+// then serve the exact saved graph once the plan is disarmed.
+TEST_F(ChaosTest, HnswIndexLoadFaultsAreCaught) {
+  CandidateIndexOptions options;
+  options.backend = CandidateBackendKind::kHnsw;
+  options.hnsw_max_links = 8;
+  options.hnsw_ef_construction = 32;
+  Result<CandidateIndex> built = CandidateIndex::Build(target_, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::string path =
+      "/tmp/em_chaos_hnsw_" + std::to_string(::getpid()) + ".eidx";
+  ASSERT_TRUE(built->Save(path).ok());
+
+  Arm("index.load.read:nth=1,code=IoError", /*seed=*/1);
+  Result<CandidateIndex> short_read = CandidateIndex::Load(path);
+  ASSERT_FALSE(short_read.ok());
+  EXPECT_EQ(short_read.status().code(), StatusCode::kIoError);
+
+  Arm("index.load.corrupt:nth=1", /*seed=*/1);
+  Result<CandidateIndex> corrupt = CandidateIndex::Load(path);
+  EXPECT_FALSE(corrupt.ok());
+
+  FaultInjector::Global().Disarm();
+  Result<CandidateIndex> clean = CandidateIndex::Load(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->backend(), CandidateBackendKind::kHnsw);
+  Result<SparseScores> before = built->SparseSimilarity(
+      source_, target_, SimilarityMetric::kCosine, 5, 1);
+  Result<SparseScores> after = clean->SparseSimilarity(
+      source_, target_, SimilarityMetric::kCosine, 5, 1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->row_offsets(), after->row_offsets());
+  EXPECT_EQ(std::memcmp(before->values(), after->values(),
+                        before->nnz() * sizeof(float)),
+            0);
+  ::unlink(path.c_str());
+}
+
+// The out-of-core store's read fault point: a failed map surfaces as a
+// definite IoError, and the very next attempt (fault spent) maps the same
+// bytes the writer put down.
+TEST_F(ChaosTest, MmapStoreLoadFaultIsCaughtThenRecovers) {
+  const std::string path =
+      "/tmp/em_chaos_embf_" + std::to_string(::getpid()) + ".embf";
+  ASSERT_TRUE(MmapStore::Write(target_, path).ok());
+
+  Arm("mmap.load.read:nth=1,code=IoError", /*seed=*/1);
+  Result<MmapStore> faulted = MmapStore::Open(path);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kIoError);
+
+  FaultInjector::Global().Disarm();
+  Result<MmapStore> store = MmapStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const Matrix view = store->AsMatrix();
+  EXPECT_EQ(std::memcmp(view.data(), target_.data(), target_.ByteSize()), 0);
   ::unlink(path.c_str());
 }
 

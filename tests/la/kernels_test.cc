@@ -491,7 +491,8 @@ TEST_F(KernelsTest, QuantizedCandidatesExactRerankAndRecall) {
       SparseScores sparse =
           SparseScores::CreateOwned(src.rows(), tgt.rows(), src.rows() * c);
       ASSERT_TRUE(FillQuantizedSparseScores(src, tgt, *qs, *qt, metric, cache,
-                                            c, nullptr, 0, &sparse)
+                                            c, nullptr, ProbeParams(),
+                                            &sparse)
                       .ok());
       ASSERT_TRUE(sparse.Validate().ok());
       size_t hits = 0;

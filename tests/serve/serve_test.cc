@@ -202,7 +202,7 @@ TEST_F(ServeTest, DegradeWatermarkRewritesOntoSparsePath) {
   ASSERT_TRUE(index.ok()) << index.status().ToString();
   ASSERT_TRUE(server
                   ->AttachIndex("default", std::make_unique<CandidateIndex>(
-                                               *std::move(index)))
+                                               std::move(index).value()))
                   .ok());
 
   // First submit sits at depth 0 (not degraded); the second sees depth 1.
@@ -241,7 +241,7 @@ TEST_F(ServeTest, AttachIndexValidatesPairAndShape) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(server
                 ->AttachIndex("nope", std::make_unique<CandidateIndex>(
-                                          CandidateIndex(*index)))
+                                          std::move(index).value()))
                 .code(),
             StatusCode::kNotFound);
 
@@ -250,17 +250,23 @@ TEST_F(ServeTest, AttachIndexValidatesPairAndShape) {
   ASSERT_TRUE(wrong_shape.ok());
   EXPECT_EQ(server
                 ->AttachIndex("default", std::make_unique<CandidateIndex>(
-                                             *std::move(wrong_shape)))
+                                             std::move(wrong_shape).value()))
                 .code(),
             StatusCode::kInvalidArgument);
 
+  Result<CandidateIndex> rebuilt =
+      CandidateIndex::Build(target_, CandidateIndexOptions());
+  ASSERT_TRUE(rebuilt.ok());
   EXPECT_TRUE(server
                   ->AttachIndex("default", std::make_unique<CandidateIndex>(
-                                               CandidateIndex(*index)))
+                                               std::move(rebuilt).value()))
                   .ok());
+  Result<CandidateIndex> duplicate =
+      CandidateIndex::Build(target_, CandidateIndexOptions());
+  ASSERT_TRUE(duplicate.ok());
   EXPECT_EQ(server
                 ->AttachIndex("default", std::make_unique<CandidateIndex>(
-                                             *std::move(index)))
+                                             std::move(duplicate).value()))
                 .code(),
             StatusCode::kAlreadyExists);
 }
