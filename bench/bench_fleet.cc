@@ -12,6 +12,12 @@
 //   3. zero mixed-version merges (no swap runs during the storm),
 //   4. definite termination: every storm query returns, StopAll reaps all.
 //
+// A recovery section then SIGKILLs shards in rotation under a
+// FleetSupervisor and reports reap→re-admission restart-latency p50/p99;
+// its gate is that every kill completes a recovery cycle with no permanent
+// failures. EM_FAULT_PLAN is honored (faults builds only) so CI can inject
+// fleet.spawn failures into the restart path.
+//
 // Usage:
 //   ./bench_fleet                     # sizes scaled by EM_BENCH_SCALE
 //   EM_BENCH_SCALE=0.2 ./bench_fleet  # CI smoke run
@@ -22,6 +28,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -32,11 +39,13 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "fleet/plan.h"
 #include "fleet/router.h"
 #include "fleet/shard_manager.h"
+#include "fleet/supervisor.h"
 #include "la/matrix_io.h"
 #include "la/topk.h"
 #include "matching/engine.h"
@@ -100,6 +109,13 @@ double Percentile(std::vector<double> values, double p) {
 
 int main() {
   using namespace entmatcher;
+
+  const Status faults = ArmFaultInjectionFromEnv();
+  if (!faults.ok()) {
+    std::cerr << faults.ToString() << "\n";
+    return 1;
+  }
+  const bool faults_armed = FaultInjector::Global().armed();
 
   const double scale = bench::GlobalScale();
   const size_t rows = std::max<size_t>(32, static_cast<size_t>(600.0 * scale));
@@ -300,6 +316,130 @@ int main() {
             << FormatDouble(qps1 > 0.0 ? qps4 / qps1 : 0.0, 2)
             << "x QPS (informational — no speed gate on shared-core CI)\n";
 
+  // --- Recovery section: rotating SIGKILLs under a FleetSupervisor, ---
+  // --- restart latency measured reap → re-admission.                ---
+  constexpr int kRecoveryShards = 3;
+  const uint64_t recovery_rounds =
+      std::max<uint64_t>(2, static_cast<uint64_t>(4.0 * scale));
+  uint64_t recovery_kills = 0;
+  uint64_t recovery_completed = 0;
+  uint64_t recovery_spawn_failures = 0;
+  uint64_t recovery_rejoin_failures = 0;
+  double restart_p50 = 0.0;
+  double restart_p99 = 0.0;
+  {
+    Result<ShardPlan> made = ShardPlan::EvenSplit(
+        "p", dir + "/src.emat", dir + "/tgt.emat", "", rows, kRecoveryShards,
+        dir, /*replicas=*/1);
+    if (!made.ok()) {
+      std::cerr << made.status().ToString() << "\n";
+      return 1;
+    }
+    const std::string plan_path = dir + "/plan_recovery.json";
+    if (!made->Save(plan_path).ok()) {
+      std::cerr << "FATAL: cannot save " << plan_path << "\n";
+      return 1;
+    }
+    ShardManager manager;
+    Status started =
+        manager.Start(*made, ShardCommand::SelfServe(plan_path, cli));
+    if (!started.ok()) {
+      std::cerr << started.ToString() << "\n";
+      return 1;
+    }
+    Status healthy = manager.WaitHealthy(30'000'000);
+    if (!healthy.ok()) {
+      std::cerr << healthy.ToString() << "\n";
+      manager.StopAll();
+      return 1;
+    }
+    Result<std::unique_ptr<Router>> router = Router::Create(*made, {});
+    if (!router.ok()) {
+      std::cerr << router.status().ToString() << "\n";
+      manager.StopAll();
+      return 1;
+    }
+    RestartPolicy policy;
+    policy.initial_backoff_micros = 10'000;
+    policy.max_backoff_micros = 200'000;
+    policy.boot_budget_micros = 30'000'000;  // jitter seed: EM_FAULT_SEED
+    FleetSupervisor supervisor(&manager, router->get(), *made, policy);
+    Status sup = supervisor.Start();
+    if (!sup.ok()) {
+      std::cerr << sup.ToString() << "\n";
+      manager.StopAll();
+      return 1;
+    }
+    for (uint64_t round = 1; round <= recovery_rounds; ++round) {
+      for (int shard = 0; shard < kRecoveryShards; ++shard) {
+        if (!manager.Kill(shard, SIGKILL).ok()) continue;
+        ++recovery_kills;
+        Status recovered = supervisor.WaitRestarts(shard, round, 90'000'000);
+        if (recovered.ok()) {
+          ++recovery_completed;
+        } else {
+          std::cerr << "FATAL: shard " << shard << " round " << round
+                    << " never recovered: " << recovered.ToString() << "\n";
+          ok = false;
+        }
+      }
+    }
+    std::vector<double> restart_micros;
+    for (uint64_t latency : supervisor.RestartLatencies()) {
+      restart_micros.push_back(static_cast<double>(latency));
+    }
+    restart_p50 = Percentile(restart_micros, 0.50);
+    restart_p99 = Percentile(restart_micros, 0.99);
+    for (const ShardRecoveryStatus& shard : supervisor.Ledger()) {
+      recovery_spawn_failures += shard.spawn_failures;
+      recovery_rejoin_failures += shard.rejoin_failures;
+      if (shard.permanently_failed) {
+        std::cerr << "FATAL: shard " << shard.shard_id
+                  << " permanently failed during the recovery bench\n";
+        ok = false;
+      }
+    }
+    // The healed fleet still answers bit-identically.
+    WireRequest request;
+    request.verb = WireRequest::Verb::kMatch;
+    request.algorithm = AlgorithmPreset::kCsls;
+    request.pair = "p";
+    Result<WireResponse> answer = (*router)->Query(request);
+    if (!answer.ok() || answer->values.size() != match_reference.size()) {
+      std::cerr << "FATAL: healed fleet cannot answer\n";
+      ok = false;
+    } else {
+      for (size_t i = 0; i < match_reference.size(); ++i) {
+        if (answer->values[i] != match_reference[i]) {
+          std::cerr << "FATAL: healed fleet diverged from the solo run\n";
+          ok = false;
+          break;
+        }
+      }
+    }
+    if ((*router)->Stats().version_mismatches != 0) {
+      std::cerr << "FATAL: mixed-version merges during recovery cycles\n";
+      ok = false;
+    }
+    supervisor.Stop();
+    router->reset();
+    manager.StopAll();
+    for (const ShardProcessStatus& status : manager.Status_()) {
+      if (status.running) {
+        std::cerr << "FATAL: shard " << status.shard_id
+                  << " survived StopAll\n";
+        ok = false;
+      }
+    }
+    std::cout << "recovery: " << recovery_completed << "/" << recovery_kills
+              << " kills recovered  restart p50="
+              << FormatDouble(restart_p50 / 1e3, 1) << " ms  p99="
+              << FormatDouble(restart_p99 / 1e3, 1) << " ms  spawn_failures="
+              << recovery_spawn_failures << "  rejoin_failures="
+              << recovery_rejoin_failures
+              << (faults_armed ? "  (faults armed)" : "") << "\n";
+  }
+
   std::ofstream json("BENCH_fleet.json");
   json << "{\n  \"rows\": " << rows << ",\n  \"dim\": " << kDim
        << ",\n  \"clients\": " << kClients
@@ -319,7 +459,16 @@ int main() {
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"qps_shards4_vs_1\": "
-       << (qps1 > 0.0 ? qps4 / qps1 : 0.0) << "\n}\n";
+       << (qps1 > 0.0 ? qps4 / qps1 : 0.0) << ",\n  \"recovery\": {"
+       << "\"shards\": " << kRecoveryShards
+       << ", \"kills\": " << recovery_kills
+       << ", \"recovered\": " << recovery_completed
+       << ", \"restart_p50_micros\": " << restart_p50
+       << ", \"restart_p99_micros\": " << restart_p99
+       << ", \"spawn_failures\": " << recovery_spawn_failures
+       << ", \"rejoin_failures\": " << recovery_rejoin_failures
+       << ", \"faults_armed\": " << (faults_armed ? "true" : "false")
+       << "}\n}\n";
   std::cout << "wrote BENCH_fleet.json\n";
   return ok ? 0 : 1;
 }

@@ -112,6 +112,8 @@
 //       normalize globally); the plan partitions the ANSWER space.
 //   entmatcher_cli fleet serve --plan=PLAN [--shard=K] [--socket=PATH]
 //                  [--no-spawn] [--hedge-micros=N] [--retries=N]
+//                  [--restart-policy=SPEC] [--breaker-failures=N]
+//                  [--breaker-cooldown-us=N] [--partial=unavailable|degrade]
 //                  [shard flags: --serve-workers=N --cache-bytes=N
 //                   --threads=N --max-batch=N --flush-micros=N
 //                   --queue-capacity=N --shed-watermark=N]
@@ -125,6 +127,17 @@
 //       failover (and hedging when --hedge-micros > 0). Shard flags are
 //       forwarded to spawned shards verbatim. `query shutdown` on the
 //       router stops the whole fleet.
+//       Self-healing (spawn mode): a FleetSupervisor restarts crashed
+//       shards under --restart-policy ("off", "on", or a comma list:
+//       max_strikes=N,backoff_us=N,max_backoff_us=N,multiplier=F,
+//       window_us=N,boot_budget_us=N,seed=N) and re-admits each one only
+//       after converging it to the surviving fleet's snapshot version.
+//       --breaker-failures=N consecutive transport failures open a
+//       per-shard circuit breaker (fail-fast) that half-opens after
+//       --breaker-cooldown-us (0 failures disables breakers).
+//       --partial=degrade answers with the covered ranges (coverage=
+//       annotation, -1 elsewhere) when a range has no live owner instead
+//       of refusing with kUnavailable.
 //   entmatcher_cli fleet query [--socket=PATH] [--retries=N] <request...>
 //       One query against the fleet front end (same grammar as `query`,
 //       plus `shards` for the plan + channel states).
@@ -154,6 +167,7 @@
 #include "fleet/plan.h"
 #include "fleet/router.h"
 #include "fleet/shard_manager.h"
+#include "fleet/supervisor.h"
 #include "common/memory_tracker.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -1139,6 +1153,8 @@ int CmdFleetServe(int argc, char** argv) {
   unsigned long long shard_id = 0;
   unsigned long long hedge_micros = 0;
   std::optional<unsigned long long> retries;
+  RestartPolicy restart_policy;
+  RouterConfig router_config;
   MatchServerConfig config;
   std::vector<std::string> shard_flags;  // forwarded to spawned shards
   for (int i = 3; i < argc; ++i) {
@@ -1155,6 +1171,28 @@ int CmdFleetServe(int argc, char** argv) {
     }
     if (arg == "--no-spawn") {
       spawn = false;
+      continue;
+    }
+    const std::string restart_flag = "--restart-policy=";
+    if (arg.rfind(restart_flag, 0) == 0) {
+      Result<RestartPolicy> parsed =
+          RestartPolicy::Parse(arg.substr(restart_flag.size()));
+      if (!parsed.ok()) return Fail(parsed.status());
+      restart_policy = *parsed;
+      continue;
+    }
+    const std::string partial_flag = "--partial=";
+    if (arg.rfind(partial_flag, 0) == 0) {
+      const std::string mode = arg.substr(partial_flag.size());
+      if (mode == "unavailable") {
+        router_config.partial_policy = PartialPolicy::kUnavailable;
+      } else if (mode == "degrade") {
+        router_config.partial_policy = PartialPolicy::kDegrade;
+      } else {
+        return Fail(Status::InvalidArgument(
+            "--partial must be 'unavailable' or 'degrade', got '" + mode +
+            "'"));
+      }
       continue;
     }
     unsigned long long value = 0;
@@ -1175,6 +1213,18 @@ int CmdFleetServe(int argc, char** argv) {
     if (matched < 0) return EXIT_FAILURE;
     if (matched > 0) {
       retries = value;
+      continue;
+    }
+    matched = MatchUintFlag(arg, "breaker-failures", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      router_config.breaker_failures = static_cast<uint32_t>(value);
+      continue;
+    }
+    matched = MatchUintFlag(arg, "breaker-cooldown-us", &value);
+    if (matched < 0) return EXIT_FAILURE;
+    if (matched > 0) {
+      router_config.breaker_cooldown_micros = value;
       continue;
     }
     // Shard-side tuning: applied directly in --shard mode, forwarded
@@ -1255,31 +1305,63 @@ int CmdFleetServe(int argc, char** argv) {
       return Fail(healthy);
     }
   }
-  RouterConfig router_config;
   if (retries.has_value()) {
     router_config.retry.max_attempts = static_cast<uint32_t>(*retries) + 1;
   }
   router_config.hedge_micros = hedge_micros;
+  // Declared before the router so the on_swap_converged lambda's capture
+  // outlives every router callback.
+  std::unique_ptr<FleetSupervisor> supervisor;
+  router_config.on_swap_converged =
+      [&supervisor](const std::string& pair, const std::string& source_path,
+                    const std::string& target_path,
+                    const std::string& index_path, uint64_t /*version*/) {
+        if (supervisor) {
+          supervisor->RecordSwap(pair, source_path, target_path, index_path);
+        }
+      };
   Result<std::unique_ptr<Router>> router =
       Router::Create(*plan, router_config);
   if (!router.ok()) {
     manager.StopAll();
     return Fail(router.status());
   }
+  // Self-healing only makes sense when this process owns the shard
+  // lifecycle: in --no-spawn mode an external operator does.
+  if (spawn && restart_policy.enabled) {
+    supervisor = std::make_unique<FleetSupervisor>(
+        &manager, router->get(), *plan, restart_policy);
+    Status watching = supervisor->Start();
+    if (!watching.ok()) {
+      manager.StopAll();
+      return Fail(watching);
+    }
+    (*router)->SetSupervisorStatus(
+        [&supervisor] { return supervisor->StatusJson(); });
+  }
   RouterHandler handler(router->get());
   Result<std::unique_ptr<SocketServer>> front =
       SocketServer::Start(&handler, socket_path);
   if (!front.ok()) {
+    if (supervisor) supervisor->Stop();
     manager.StopAll();
     return Fail(front.status());
   }
   std::cout << "fleet: routing " << plan->shards.size() << " shard(s), "
             << plan->pairs.size() << " pair(s) on " << socket_path
             << (spawn ? "" : " (no-spawn)") << ", hedge="
-            << hedge_micros
-            << " us; send `entmatcher_cli fleet query shutdown` to stop\n";
+            << hedge_micros << " us"
+            << (supervisor ? ", restart-policy=" + restart_policy.ToString()
+                           : "")
+            << "; send `entmatcher_cli fleet query shutdown` to stop\n";
   (*front)->WaitForShutdown();
   (*front)->Stop();
+  // Teardown order matters: the supervisor stops FIRST so the manager's
+  // kills below stay final instead of racing a restart.
+  if (supervisor) {
+    supervisor->Stop();
+    std::cout << "supervisor: " << supervisor->StatusJson() << "\n";
+  }
   std::cout << "router stats: " << (*router)->Stats().ToJson() << "\n";
   router->reset();  // drain stragglers before tearing down shards
   manager.StopAll();

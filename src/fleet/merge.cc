@@ -7,9 +7,12 @@ namespace entmatcher {
 
 namespace {
 
-/// Shared preamble of both merges: non-empty parts, sane ranges, uniform
-/// snapshot version, full [0, total_rows) coverage.
-Status CheckParts(size_t total_rows, const std::vector<RangePart>& parts) {
+/// Shared preamble of every merge: non-empty parts, sane ranges, uniform
+/// snapshot version. Fills `covered` (size total_rows) with the union of the
+/// part ranges; full coverage is only enforced when !allow_partial — the
+/// version guarantee is enforced unconditionally, degraded answers included.
+Status CheckParts(size_t total_rows, const std::vector<RangePart>& parts,
+                  bool allow_partial, std::vector<char>* covered) {
   if (parts.empty()) {
     return Status::Unavailable("merge: no shard answered any range");
   }
@@ -29,26 +32,48 @@ Status CheckParts(size_t total_rows, const std::vector<RangePart>& parts) {
           " — refusing to splice answers across a swap; retry");
     }
   }
-  std::vector<char> covered(total_rows, 0);
+  covered->assign(total_rows, 0);
   for (const RangePart& part : parts) {
-    std::fill(covered.begin() + part.row_begin,
-              covered.begin() + part.row_end, 1);
+    std::fill(covered->begin() + part.row_begin,
+              covered->begin() + part.row_end, 1);
   }
   const size_t missing = static_cast<size_t>(
-      std::count(covered.begin(), covered.end(), 0));
-  if (missing > 0) {
+      std::count(covered->begin(), covered->end(), 0));
+  if (missing > 0 && !allow_partial) {
     return Status::Unavailable("merge: " + std::to_string(missing) +
                                " rows unanswered by any shard");
   }
   return Status::OK();
 }
 
-}  // namespace
+/// The sorted disjoint [lo, hi) intervals of the covered mask.
+std::vector<std::pair<size_t, size_t>> CoverageIntervals(
+    const std::vector<char>& covered) {
+  std::vector<std::pair<size_t, size_t>> intervals;
+  size_t row = 0;
+  while (row < covered.size()) {
+    if (!covered[row]) {
+      ++row;
+      continue;
+    }
+    size_t end = row;
+    while (end < covered.size() && covered[end]) ++end;
+    intervals.push_back({row, end});
+    row = end;
+  }
+  return intervals;
+}
 
-Result<std::vector<int32_t>> MergeAssignments(
-    size_t total_rows, const std::vector<RangePart>& parts) {
-  EM_RETURN_NOT_OK(CheckParts(total_rows, parts));
-  std::vector<int32_t> merged(total_rows, 0);
+Result<PartialMerge> MergeAssignmentsImpl(size_t total_rows,
+                                          const std::vector<RangePart>& parts,
+                                          bool allow_partial) {
+  std::vector<char> covered;
+  EM_RETURN_NOT_OK(CheckParts(total_rows, parts, allow_partial, &covered));
+  PartialMerge out;
+  // Uncovered rows (partial mode only) stay -1: indistinguishable from "no
+  // match" by value alone, which is why the response-level coverage
+  // annotation exists.
+  out.values.assign(total_rows, -1);
   std::vector<char> filled(total_rows, 0);
   for (const RangePart& part : parts) {
     const size_t rows = part.row_end - part.row_begin;
@@ -61,22 +86,28 @@ Result<std::vector<int32_t>> MergeAssignments(
     }
     for (size_t i = 0; i < rows; ++i) {
       const size_t row = part.row_begin + i;
-      if (filled[row] && merged[row] != part.values[i]) {
+      if (filled[row] && out.values[row] != part.values[i]) {
         return Status::Internal(
             "merge: replicas disagree on row " + std::to_string(row) +
-            " at the same snapshot version (" + std::to_string(merged[row]) +
-            " vs " + std::to_string(part.values[i]) + ")");
+            " at the same snapshot version (" +
+            std::to_string(out.values[row]) + " vs " +
+            std::to_string(part.values[i]) + ")");
       }
-      merged[row] = part.values[i];
+      out.values[row] = part.values[i];
       filled[row] = 1;
     }
   }
-  return merged;
+  out.coverage = CoverageIntervals(covered);
+  out.complete = out.coverage.size() == 1 && out.coverage[0].first == 0 &&
+                 out.coverage[0].second == total_rows;
+  return out;
 }
 
-Result<std::vector<int32_t>> MergeTopK(size_t total_rows,
-                                       const std::vector<RangePart>& parts) {
-  EM_RETURN_NOT_OK(CheckParts(total_rows, parts));
+Result<PartialMerge> MergeTopKImpl(size_t total_rows,
+                                   const std::vector<RangePart>& parts,
+                                   bool allow_partial) {
+  std::vector<char> covered;
+  EM_RETURN_NOT_OK(CheckParts(total_rows, parts, allow_partial, &covered));
   // Effective k: uniform across parts by construction (every shard clamps
   // the same requested k against the same target row count).
   size_t k_eff = 0;
@@ -100,13 +131,15 @@ Result<std::vector<int32_t>> MergeTopK(size_t total_rows,
     return Status::Internal("merge: top-k parts carry no entries");
   }
 
-  std::vector<int32_t> merged(total_rows * k_eff, 0);
+  PartialMerge out;
+  out.values.assign(total_rows * k_eff, -1);
   struct Candidate {
     float score;
     int32_t id;
   };
   std::vector<Candidate> row_pool;
   for (size_t row = 0; row < total_rows; ++row) {
+    if (!covered[row]) continue;  // partial mode: leave the -1 placeholders
     // K-way merge of every part covering this row: collect, order by the
     // serving tie-break (score desc, id asc — RowTopKIndices's order), drop
     // duplicate ids (hedged replicas answer identical lists), keep k_eff.
@@ -126,10 +159,10 @@ Result<std::vector<int32_t>> MergeTopK(size_t total_rows,
                      });
     size_t kept = 0;
     for (const Candidate& candidate : row_pool) {
-      if (kept > 0 && merged[row * k_eff + kept - 1] == candidate.id) {
+      if (kept > 0 && out.values[row * k_eff + kept - 1] == candidate.id) {
         continue;  // the same entry from a replica's duplicate list
       }
-      merged[row * k_eff + kept] = candidate.id;
+      out.values[row * k_eff + kept] = candidate.id;
       if (++kept == k_eff) break;
     }
     if (kept != k_eff) {
@@ -138,7 +171,36 @@ Result<std::vector<int32_t>> MergeTopK(size_t total_rows,
                               " entries, expected " + std::to_string(k_eff));
     }
   }
-  return merged;
+  out.coverage = CoverageIntervals(covered);
+  out.complete = out.coverage.size() == 1 && out.coverage[0].first == 0 &&
+                 out.coverage[0].second == total_rows;
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<int32_t>> MergeAssignments(
+    size_t total_rows, const std::vector<RangePart>& parts) {
+  EM_ASSIGN_OR_RETURN(PartialMerge merged,
+                      MergeAssignmentsImpl(total_rows, parts, false));
+  return std::move(merged.values);
+}
+
+Result<std::vector<int32_t>> MergeTopK(size_t total_rows,
+                                       const std::vector<RangePart>& parts) {
+  EM_ASSIGN_OR_RETURN(PartialMerge merged,
+                      MergeTopKImpl(total_rows, parts, false));
+  return std::move(merged.values);
+}
+
+Result<PartialMerge> MergeAssignmentsPartial(
+    size_t total_rows, const std::vector<RangePart>& parts) {
+  return MergeAssignmentsImpl(total_rows, parts, true);
+}
+
+Result<PartialMerge> MergeTopKPartial(size_t total_rows,
+                                      const std::vector<RangePart>& parts) {
+  return MergeTopKImpl(total_rows, parts, true);
 }
 
 }  // namespace entmatcher

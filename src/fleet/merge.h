@@ -2,6 +2,7 @@
 #define ENTMATCHER_FLEET_MERGE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -48,6 +49,28 @@ Result<std::vector<int32_t>> MergeAssignments(
 /// row, uniform across parts). Same refusal rules as MergeAssignments.
 Result<std::vector<int32_t>> MergeTopK(size_t total_rows,
                                        const std::vector<RangePart>& parts);
+
+/// A degraded merge under the router's partial-coverage policy: `values`
+/// holds what the surviving shards answered, `coverage` the sorted disjoint
+/// row ranges those answers are authoritative for. Rows outside `coverage`
+/// hold -1 placeholders. `complete` is true when coverage is the full
+/// [0, total_rows) — callers use it to decide whether to annotate the wire
+/// response (and must never cache an incomplete answer).
+struct PartialMerge {
+  std::vector<int32_t> values;
+  std::vector<std::pair<size_t, size_t>> coverage;
+  bool complete = true;
+};
+
+/// Partial-coverage counterparts of the merges above. The version guarantee
+/// is NOT relaxed: mixed-version parts are still refused (kUnavailable) —
+/// degradation drops rows, never determinism. Uncovered rows are allowed;
+/// zero covered rows is still kUnavailable (an all-dead fleet has nothing
+/// to degrade to). Replica disagreement stays kInternal.
+Result<PartialMerge> MergeAssignmentsPartial(
+    size_t total_rows, const std::vector<RangePart>& parts);
+Result<PartialMerge> MergeTopKPartial(size_t total_rows,
+                                      const std::vector<RangePart>& parts);
 
 }  // namespace entmatcher
 

@@ -22,6 +22,15 @@ const char* ChannelStateName(int state) {
   return "?";
 }
 
+const char* BreakerStateName(int state) {
+  switch (state) {
+    case 0: return "closed";
+    case 1: return "open";
+    case 2: return "half_open";
+  }
+  return "?";
+}
+
 }  // namespace
 
 std::string RouterStatsSnapshot::ToJson() const {
@@ -29,12 +38,16 @@ std::string RouterStatsSnapshot::ToJson() const {
   json += "\"queries\": " + std::to_string(queries);
   json += ", \"ok\": " + std::to_string(ok);
   json += ", \"failed\": " + std::to_string(failed);
+  json += ", \"degraded\": " + std::to_string(degraded);
   json += ", \"subqueries\": " + std::to_string(subqueries);
   json += ", \"hedges\": " + std::to_string(hedges);
   json += ", \"failovers\": " + std::to_string(failovers);
   json += ", \"version_mismatches\": " + std::to_string(version_mismatches);
   json += ", \"swap_fanouts\": " + std::to_string(swap_fanouts);
   json += ", \"swap_failures\": " + std::to_string(swap_failures);
+  json += ", \"breaker_opens\": " + std::to_string(breaker_opens);
+  json += ", \"breaker_half_opens\": " + std::to_string(breaker_half_opens);
+  json += ", \"breaker_closes\": " + std::to_string(breaker_closes);
   json += "}";
   return json;
 }
@@ -68,6 +81,29 @@ Router::Channel* Router::FindChannel(int shard_id) {
   return nullptr;
 }
 
+void Router::NoteChannelFailure(Channel* channel) {
+  if (config_.breaker_failures == 0) return;  // breaker disabled
+  ++channel->consecutive_failures;
+  const BreakerState state = channel->breaker.load();
+  const bool trip =
+      state == BreakerState::kHalfOpen ||
+      (state == BreakerState::kClosed &&
+       channel->consecutive_failures >= config_.breaker_failures);
+  if (trip) {
+    channel->breaker.store(BreakerState::kOpen);
+    channel->opened_at = std::chrono::steady_clock::now();
+    channel->opens.fetch_add(1);
+  }
+}
+
+void Router::NoteChannelSuccess(Channel* channel) {
+  channel->consecutive_failures = 0;
+  if (channel->breaker.load() != BreakerState::kClosed) {
+    channel->breaker.store(BreakerState::kClosed);
+    channel->closes.fetch_add(1);
+  }
+}
+
 Result<WireResponse> Router::Attempt(Channel* channel,
                                      const WireRequest& request) {
   std::lock_guard<std::mutex> lock(channel->mu);
@@ -75,11 +111,30 @@ Result<WireResponse> Router::Attempt(Channel* channel,
     return Status::FailedPrecondition("shard " + std::to_string(channel->id) +
                                       ": " + channel->last_error);
   }
+  if (!channel->admitted.load()) {
+    return Status::Unavailable(
+        "shard " + std::to_string(channel->id) +
+        " is quarantined awaiting version-converged re-join");
+  }
+  if (channel->breaker.load() == BreakerState::kOpen) {
+    const auto cooled_at =
+        channel->opened_at +
+        std::chrono::microseconds(config_.breaker_cooldown_micros);
+    if (std::chrono::steady_clock::now() < cooled_at) {
+      // Fail fast without dialing — and without advancing the breaker: a
+      // rejected attempt is not evidence about the shard.
+      return Status::Unavailable("shard " + std::to_string(channel->id) +
+                                 ": circuit breaker open; cooling down");
+    }
+    channel->breaker.store(BreakerState::kHalfOpen);
+    channel->half_opens.fetch_add(1);
+  }
   if (!channel->client.has_value()) {
     Result<ServeClient> connected = ServeClient::Connect(channel->socket_path);
     if (!connected.ok()) {
       channel->state.store(ChannelState::kDown);
       channel->last_error = connected.status().message();
+      NoteChannelFailure(channel);
       return connected.status();
     }
     channel->client.emplace(std::move(connected).value());
@@ -98,11 +153,14 @@ Result<WireResponse> Router::Attempt(Channel* channel,
       channel->client.reset();
       channel->state.store(ChannelState::kDown);
       channel->last_error = "hello: " + status.message();
+      NoteChannelFailure(channel);
       return Status(status.code(), channel->last_error);
     }
     const Status compatible = CheckHello(
         greeted->text, "shard " + std::to_string(channel->id));
     if (!compatible.ok()) {
+      // A protocol mismatch is a config error, not transport evidence —
+      // the channel is refused permanently, the breaker stays untouched.
       channel->client.reset();
       channel->state.store(ChannelState::kIncompatible);
       channel->last_error = compatible.message();
@@ -119,10 +177,49 @@ Result<WireResponse> Router::Attempt(Channel* channel,
     channel->hello_checked = false;
     channel->state.store(ChannelState::kDown);
     channel->last_error = response.status().message();
+    NoteChannelFailure(channel);
   } else {
+    // The transport works — a server-side error (shed, bad argument) is
+    // not breaker evidence.
     channel->state.store(ChannelState::kUp);
+    NoteChannelSuccess(channel);
   }
   return response;
+}
+
+Status Router::Quarantine(int shard_id) {
+  Channel* channel = FindChannel(shard_id);
+  if (channel == nullptr) {
+    return Status::NotFound("router: no channel for shard " +
+                            std::to_string(shard_id));
+  }
+  std::lock_guard<std::mutex> lock(channel->mu);
+  channel->admitted.store(false);
+  channel->client.reset();
+  channel->hello_checked = false;
+  channel->state.store(ChannelState::kDown);
+  channel->last_error = "quarantined by supervisor";
+  return Status::OK();
+}
+
+Status Router::Readmit(int shard_id) {
+  Channel* channel = FindChannel(shard_id);
+  if (channel == nullptr) {
+    return Status::NotFound("router: no channel for shard " +
+                            std::to_string(shard_id));
+  }
+  std::lock_guard<std::mutex> lock(channel->mu);
+  channel->consecutive_failures = 0;
+  if (channel->breaker.load() != BreakerState::kClosed) {
+    channel->breaker.store(BreakerState::kClosed);
+    channel->closes.fetch_add(1);
+  }
+  channel->client.reset();
+  channel->hello_checked = false;
+  channel->state.store(ChannelState::kUnknown);
+  channel->last_error.clear();
+  channel->admitted.store(true);
+  return Status::OK();
 }
 
 Result<WireResponse> Router::AttemptOnce(Channel* channel,
@@ -206,23 +303,30 @@ Result<RangePart> Router::QueryRange(const WireRequest& request,
 
   // Failover order: the plan's owner order (primary first), with channels
   // currently known Down demoted to the back — they still get a chance
-  // (maybe the shard came back), but never before a live replica.
+  // (maybe the shard came back), but never before a live replica — and
+  // open-breaker channels behind even those (they fail fast until the
+  // cooldown lets a probe through). Quarantined channels are skipped
+  // entirely: a restarted shard that has not converged to the fleet's
+  // snapshot version must not contribute parts.
   std::vector<int> order;
   order.reserve(range.shards.size());
-  for (int id : range.shards) {
+  const auto channel_pass = [this](int id) -> int {
     Channel* channel = FindChannel(id);
-    if (channel != nullptr && channel->state.load() != ChannelState::kDown) {
-      order.push_back(id);
-    }
-  }
-  for (int id : range.shards) {
-    Channel* channel = FindChannel(id);
-    if (channel != nullptr && channel->state.load() == ChannelState::kDown) {
-      order.push_back(id);
+    if (channel == nullptr || !channel->admitted.load()) return -1;
+    if (channel->breaker.load() != BreakerState::kClosed) return 2;
+    return channel->state.load() == ChannelState::kDown ? 1 : 0;
+  };
+  for (int pass = 0; pass <= 2; ++pass) {
+    for (int id : range.shards) {
+      if (channel_pass(id) == pass) order.push_back(id);
     }
   }
   if (order.empty()) {
-    return Status::Internal("router: range has no owners");
+    // Every owner is quarantined (or missing from the channel set): the
+    // "range has no live owner" condition PartialPolicy decides on.
+    return Status::Unavailable(
+        "router: range " + std::to_string(range.begin) + ":" +
+        std::to_string(range.end) + " has no admitted owner");
   }
 
   auto race = std::make_shared<RangeRace>();
@@ -312,31 +416,51 @@ Result<WireResponse> Router::Query(const WireRequest& request) {
       first_failure = part.status();
     }
   }
-  if (!first_failure.ok()) {
+  const bool degrade =
+      config_.partial_policy == PartialPolicy::kDegrade && !parts.empty();
+  if (!first_failure.ok() && !degrade) {
     failed_.fetch_add(1);
     return first_failure;
   }
 
   // The no-mixed-merge guarantee: count refusals so chaos tests can assert
   // zero outside swap windows (merge re-checks and produces the error).
+  // Degradation never relaxes this — a partial answer still comes from
+  // exactly one snapshot version.
   for (size_t i = 1; i < parts.size(); ++i) {
     if (parts[i].version != parts[0].version) {
       version_mismatches_.fetch_add(1);
       break;
     }
   }
-  Result<std::vector<int32_t>> merged =
-      request.verb == WireRequest::Verb::kMatch
-          ? MergeAssignments(pair->rows, parts)
-          : MergeTopK(pair->rows, parts);
-  if (!merged.ok()) {
-    failed_.fetch_add(1);
-    return merged.status();
-  }
   WireResponse response;
-  response.values = std::move(merged).value();
+  if (first_failure.ok()) {
+    Result<std::vector<int32_t>> merged =
+        request.verb == WireRequest::Verb::kMatch
+            ? MergeAssignments(pair->rows, parts)
+            : MergeTopK(pair->rows, parts);
+    if (!merged.ok()) {
+      failed_.fetch_add(1);
+      return merged.status();
+    }
+    response.values = std::move(merged).value();
+    ok_.fetch_add(1);
+  } else {
+    // Degraded gather: answer from the ranges that survived, annotate the
+    // covered rows. Never counted as ok, never cacheable downstream.
+    Result<PartialMerge> merged =
+        request.verb == WireRequest::Verb::kMatch
+            ? MergeAssignmentsPartial(pair->rows, parts)
+            : MergeTopKPartial(pair->rows, parts);
+    if (!merged.ok()) {
+      failed_.fetch_add(1);
+      return merged.status();
+    }
+    response.values = std::move(merged->values);
+    response.coverage = std::move(merged->coverage);
+    degraded_.fetch_add(1);
+  }
   response.version = parts.empty() ? 0 : parts[0].version;
-  ok_.fetch_add(1);
   return response;
 }
 
@@ -438,6 +562,13 @@ Result<std::string> Router::Swap(const WireRequest& request) {
         "shards will refuse to merge until a repair swap converges the "
         "fleet. Outcomes: " + detail);
   }
+  if (config_.on_swap_converged) {
+    // Tell the supervisor what the fleet now serves, so a shard restarted
+    // from here on converges onto the swapped files, not the plan's.
+    config_.on_swap_converged(request.pair, request.source_path,
+                              request.target_path, request.index_path,
+                              version);
+  }
   return "swapped " + request.pair + " v" + std::to_string(version) + " on " +
          std::to_string(outcomes.size()) + " shards";
 }
@@ -458,6 +589,14 @@ std::string Router::FleetHealthJson() {
     json += ", \"state\": \"" +
             std::string(ChannelStateName(
                 static_cast<int>(channel->state.load()))) + "\"";
+    json += ", \"admitted\": " +
+            std::string(channel->admitted.load() ? "true" : "false");
+    json += ", \"breaker\": {\"state\": \"" +
+            std::string(BreakerStateName(
+                static_cast<int>(channel->breaker.load()))) + "\"";
+    json += ", \"opens\": " + std::to_string(channel->opens.load());
+    json += ", \"half_opens\": " + std::to_string(channel->half_opens.load());
+    json += ", \"closes\": " + std::to_string(channel->closes.load()) + "}";
     if (response.ok() && response->status.ok() &&
         JsonValue::Parse(response->text).ok()) {
       json += ", \"health\": " + response->text;
@@ -470,7 +609,11 @@ std::string Router::FleetHealthJson() {
     }
     json += "}";
   }
-  json += "]}";
+  json += "]";
+  if (supervisor_status_) {
+    json += ", \"supervisor\": " + supervisor_status_();
+  }
+  json += "}";
   return json;
 }
 
@@ -485,7 +628,12 @@ std::string Router::ShardsJson() const {
     json += ", \"socket\": " + JsonEscape(channel->socket_path);
     json += ", \"state\": \"" +
             std::string(ChannelStateName(
-                static_cast<int>(channel->state.load()))) + "\"}";
+                static_cast<int>(channel->state.load()))) + "\"";
+    json += ", \"admitted\": " +
+            std::string(channel->admitted.load() ? "true" : "false");
+    json += ", \"breaker\": \"" +
+            std::string(BreakerStateName(
+                static_cast<int>(channel->breaker.load()))) + "\"}";
   }
   json += "]}";
   return json;
@@ -495,6 +643,7 @@ RouterStatsSnapshot Router::Stats() const {
   RouterStatsSnapshot snap;
   snap.ok = ok_.load();
   snap.failed = failed_.load();
+  snap.degraded = degraded_.load();
   snap.queries = queries_.load();
   snap.subqueries = subqueries_.load();
   snap.hedges = hedges_.load();
@@ -502,6 +651,11 @@ RouterStatsSnapshot Router::Stats() const {
   snap.version_mismatches = version_mismatches_.load();
   snap.swap_fanouts = swap_fanouts_.load();
   snap.swap_failures = swap_failures_.load();
+  for (const std::unique_ptr<Channel>& channel : channels_) {
+    snap.breaker_opens += channel->opens.load();
+    snap.breaker_half_opens += channel->half_opens.load();
+    snap.breaker_closes += channel->closes.load();
+  }
   return snap;
 }
 
@@ -533,7 +687,8 @@ std::string RouterHandler::Handle(const std::string& payload,
   Result<WireResponse> response = router_->Query(*parsed);
   if (!response.ok()) return EncodeErrorResponse(response.status());
   if (!response->status.ok()) return EncodeErrorResponse(response->status);
-  return EncodeValuesResponse(response->values, response->version);
+  return EncodeValuesResponse(response->values, response->version, false, 0,
+                              0, {}, response->coverage);
 }
 
 }  // namespace entmatcher

@@ -2,12 +2,15 @@
 #define ENTMATCHER_FLEET_ROUTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -19,7 +22,22 @@
 
 namespace entmatcher {
 
-/// Router tuning knobs.
+/// What the router answers when a range has no live owner at all.
+enum class PartialPolicy {
+  /// Refuse the whole query (kUnavailable) — the default, and the only
+  /// behavior before v3. A client never sees a partial answer it did not
+  /// opt into.
+  kUnavailable,
+  /// Degrade: answer from the ranges that do have live owners, fill the
+  /// rest with -1 placeholders, and annotate the response with
+  /// coverage=LO:HI,... so the client knows exactly which rows are
+  /// authoritative. Degraded answers are never cached (mirroring the
+  /// serve-side shed rule) and the version guarantee is NOT relaxed —
+  /// mixed-version parts still refuse.
+  kDegrade,
+};
+
+/// Router tuning knobs (the fleet-level options object).
 struct RouterConfig {
   /// Per-sub-query retry discipline (idempotent reads only — swap fan-out
   /// never retries). Honors shard retry-after hints via ServeClient.
@@ -29,15 +47,37 @@ struct RouterConfig {
   /// whichever succeeds first. 0 disables (replicas then serve failover
   /// only). Safe because sub-queries are idempotent reads.
   uint64_t hedge_micros = 0;
+  /// Circuit breaker: consecutive transport failures on one channel that
+  /// trip it open (0 disables the breaker entirely). While open, attempts
+  /// fail fast without dialing — a flapping shard stops eating retry and
+  /// hedge budget.
+  uint32_t breaker_failures = 3;
+  /// How long an open breaker cools down before the next attempt is let
+  /// through as the half-open probe. Deterministic: a fixed duration, not a
+  /// randomized one, so chaos tests can assert exact transition ledgers.
+  uint64_t breaker_cooldown_micros = 100000;
+  /// What to do when a range has no live owner (see PartialPolicy).
+  PartialPolicy partial_policy = PartialPolicy::kUnavailable;
+  /// Called after a successful swap fan-out with the converged state
+  /// (pair, source/target/index paths, published version). FleetSupervisor
+  /// hooks this to keep its re-join registry current, so a shard restarted
+  /// after a swap converges onto the swapped files, not the plan's.
+  std::function<void(const std::string& pair, const std::string& source_path,
+                     const std::string& target_path,
+                     const std::string& index_path, uint64_t version)>
+      on_swap_converged;
 };
 
 /// Point-in-time router counters. The query ledger is exact once in-flight
-/// work drains: queries == ok + failed, and every sub-query outcome is one
-/// of ok / hedged-away / failed-over / failed.
+/// work drains: queries == ok + degraded + failed, and every sub-query
+/// outcome is one of ok / hedged-away / failed-over / failed.
 struct RouterStatsSnapshot {
   uint64_t queries = 0;
   uint64_t ok = 0;
   uint64_t failed = 0;
+  /// Partial answers served under PartialPolicy::kDegrade (not counted in
+  /// ok — a degraded answer is an explicit middle outcome).
+  uint64_t degraded = 0;
   uint64_t subqueries = 0;
   /// Hedge launches (a second replica raced a slow primary).
   uint64_t hedges = 0;
@@ -48,6 +88,11 @@ struct RouterStatsSnapshot {
   uint64_t version_mismatches = 0;
   uint64_t swap_fanouts = 0;
   uint64_t swap_failures = 0;
+  /// Circuit-breaker transition totals across all channels: closed→open
+  /// (and half-open→open re-opens), open→half-open probes, →closed resets.
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_half_opens = 0;
+  uint64_t breaker_closes = 0;
 
   std::string ToJson() const;
 };
@@ -60,13 +105,19 @@ struct RouterStatsSnapshot {
 /// if one process had served the union — bit-identical, by construction.
 ///
 /// Failure discipline per range: owners are tried in plan order (primary
-/// first, currently-Down channels demoted to the back), each attempt runs
-/// under the RetryPolicy, a transport failure marks the channel Down and
-/// fails over to the next owner. With hedge_micros > 0, a slow primary is
-/// raced by the next replica instead of waited out. A shard whose `hello`
-/// handshake reports a different protocol version is marked incompatible
-/// and refused permanently (kFailedPrecondition — config error, not a
-/// transient).
+/// first, currently-Down channels demoted to the back and open-breaker
+/// channels behind those), each attempt runs under the RetryPolicy, a
+/// transport failure marks the channel Down, advances its circuit breaker,
+/// and fails over to the next owner. A breaker that trips open fails fast
+/// for breaker_cooldown_micros, then lets one attempt through as the
+/// half-open probe. Channels quarantined by the supervisor (dead or
+/// restarted-but-unconverged shards) are skipped entirely; if that leaves a
+/// range with no owner, partial_policy decides between refusing the query
+/// and answering degraded with a coverage annotation. With hedge_micros >
+/// 0, a slow primary is raced by the next replica instead of waited out. A
+/// shard whose `hello` handshake reports a different protocol version is
+/// marked incompatible and refused permanently (kFailedPrecondition —
+/// config error, not a transient).
 ///
 /// Swap fan-out (all-or-nothing): `swap` on the router forwards to every
 /// shard owning the pair, sequentially, never retrying (swap is not
@@ -98,6 +149,23 @@ class Router {
   /// Fan-out swap (see class comment). Returns the confirmation text.
   Result<std::string> Swap(const WireRequest& request);
 
+  /// Supervision hooks (FleetSupervisor). Quarantine bars a shard's channel
+  /// from every query path — a dead or restarting shard must not be dialed,
+  /// and above all a restarted-but-unconverged shard must not contribute
+  /// parts (the structural no-mixed-version guarantee across crash cycles).
+  /// Readmit reverses it once the supervisor has converged the newcomer:
+  /// breaker reset to closed, state back to unknown, connection redialed
+  /// lazily. Both kNotFound for an unknown shard id.
+  Status Quarantine(int shard_id);
+  Status Readmit(int shard_id);
+
+  /// Supplies the supervisor's StatusJson for FleetHealthJson's
+  /// "supervisor" section (unset = section omitted). A function, not a
+  /// pointer, to keep this header free of the supervisor type.
+  void SetSupervisorStatus(std::function<std::string()> status_fn) {
+    supervisor_status_ = std::move(status_fn);
+  }
+
   /// Aggregated fleet health: router role/protocol + stats, and every
   /// shard's channel state with its live `health` payload (or the error
   /// string).
@@ -113,6 +181,13 @@ class Router {
  private:
   enum class ChannelState { kUnknown, kUp, kDown, kIncompatible };
 
+  /// Circuit-breaker state machine per channel: kClosed (normal) → kOpen on
+  /// breaker_failures consecutive transport failures; kOpen fails fast
+  /// until breaker_cooldown_micros elapse, then the next attempt runs as
+  /// the kHalfOpen probe — success closes the breaker, failure re-opens it
+  /// (and restarts the cooldown clock).
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
   /// One shard's long-lived connection: lazily dialed, handshake-checked,
   /// serialized by a per-channel mutex (the protocol is one frame out, one
   /// frame in — concurrent callers must not interleave frames).
@@ -124,6 +199,16 @@ class Router {
     bool hello_checked = false;
     std::atomic<ChannelState> state{ChannelState::kUnknown};
     std::string last_error;  // guarded by mu
+    /// False while quarantined by the supervisor (dead, or restarted but
+    /// not yet version-converged): the channel is skipped everywhere.
+    std::atomic<bool> admitted{true};
+    std::atomic<BreakerState> breaker{BreakerState::kClosed};
+    uint32_t consecutive_failures = 0;               // guarded by mu
+    std::chrono::steady_clock::time_point opened_at;  // guarded by mu
+    /// Transition ledgers (see RouterStatsSnapshot).
+    std::atomic<uint64_t> opens{0};
+    std::atomic<uint64_t> half_opens{0};
+    std::atomic<uint64_t> closes{0};
   };
 
   /// Shared slot for one range's racing attempts (hedging): attempts write
@@ -141,9 +226,18 @@ class Router {
 
   Channel* FindChannel(int shard_id);
 
-  /// One attempt against one shard: connect + hello if needed, then
-  /// CallWithRetry. Marks the channel Up/Down/Incompatible by outcome.
+  /// One attempt against one shard: breaker gate first (fail fast while
+  /// open, probe when cooled down), then connect + hello if needed, then
+  /// CallWithRetry. Marks the channel Up/Down/Incompatible by outcome and
+  /// advances the breaker state machine.
   Result<WireResponse> Attempt(Channel* channel, const WireRequest& request);
+
+  /// Breaker bookkeeping (channel->mu held): a transport-level failure
+  /// bumps the consecutive counter and opens the breaker at the threshold
+  /// (a failed half-open probe re-opens immediately); any transport-level
+  /// success resets the counter and closes the breaker.
+  void NoteChannelFailure(Channel* channel);
+  void NoteChannelSuccess(Channel* channel);
 
   /// Blocking per-range scatter: owners in failover order, hedged per
   /// config. Returns the winning part.
@@ -170,9 +264,12 @@ class Router {
   std::condition_variable inflight_cv_;
   size_t inflight_ = 0;
 
+  std::function<std::string()> supervisor_status_;
+
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> ok_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> subqueries_{0};
   std::atomic<uint64_t> hedges_{0};
   std::atomic<uint64_t> failovers_{0};

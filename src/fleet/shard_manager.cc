@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/json.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -83,6 +84,7 @@ Status ShardManager::Spawn(Child& child,
   }
   child.pid = pid;
   child.running = true;
+  ++child.spawns;
   return Status::OK();
 }
 
@@ -96,22 +98,28 @@ Status ShardManager::Start(const ShardPlan& plan,
   if (started_) {
     return Status::FailedPrecondition("shard manager already started");
   }
+  children_.clear();
   for (const ShardSpec& shard : plan.shards) {
     ::unlink(shard.socket_path.c_str());
     Child child;
     child.shard_id = shard.id;
     child.socket_path = shard.socket_path;
-    std::vector<std::string> argv;
-    argv.reserve(command.argv.size());
+    child.argv.reserve(command.argv.size());
     for (const std::string& token : command.argv) {
-      argv.push_back(
+      child.argv.push_back(
           Substitute(token, command.plan_path, shard.id, shard.socket_path));
     }
-    const Status spawned = Spawn(child, argv);
+    const Status spawned = Spawn(child, child.argv);
     if (!spawned.ok()) {
-      // Roll back the children already launched.
+      // Roll back the children already launched: kill AND reap them, so a
+      // failed Start leaves neither zombies nor pids that a later signal
+      // could hit after recycling.
       for (Child& launched : children_) {
-        if (launched.running) ::kill(launched.pid, SIGKILL);
+        if (launched.running) {
+          ::kill(launched.pid, SIGKILL);
+          int wstatus = 0;
+          ::waitpid(launched.pid, &wstatus, 0);
+        }
       }
       children_.clear();
       return spawned;
@@ -119,6 +127,7 @@ Status ShardManager::Start(const ShardPlan& plan,
     children_.push_back(std::move(child));
   }
   started_ = true;
+  stopping_ = false;
   stop_.store(false);
   reaper_ = std::thread([this] { ReapLoop(); });
   return Status::OK();
@@ -196,11 +205,40 @@ Status ShardManager::Kill(int shard_id, int sig) {
   return Status::NotFound("no shard " + std::to_string(shard_id));
 }
 
+Status ShardManager::Respawn(int shard_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || stopping_) {
+    return Status::FailedPrecondition(
+        "shard manager is " + std::string(started_ ? "stopping" : "stopped") +
+        "; respawn refused");
+  }
+  for (Child& child : children_) {
+    if (child.shard_id != shard_id) continue;
+    if (child.running) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard_id) +
+          " is still running (pid " + std::to_string(child.pid) +
+          "); respawn requires a reaped exit");
+    }
+    EM_INJECT_FAULT("fleet.spawn", StatusCode::kInternal);
+    ::unlink(child.socket_path.c_str());
+    return Spawn(child, child.argv);
+  }
+  return Status::NotFound("no shard " + std::to_string(shard_id));
+}
+
 void ShardManager::StopAll() {
+  // One teardown at a time: concurrent StopAll (destructor racing an
+  // explicit call) must not double-join the reaper or reap a child twice.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
   std::vector<std::pair<pid_t, std::string>> live;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_) return;
+    // From here on Respawn is refused: the live set below stays the final
+    // process set, so no phase of the teardown can signal a pid that a
+    // racing restart (or the kernel recycling a reaped pid) replaced.
+    stopping_ = true;
     for (const Child& child : children_) {
       if (child.running) live.push_back({child.pid, child.socket_path});
     }
@@ -246,7 +284,10 @@ void ShardManager::StopAll() {
       }
     }
   }
-  // Final blocking reap so no zombie outlives the manager.
+  // Final blocking reap so no zombie outlives the manager. The reaper is
+  // joined first, so from here this thread is the only waiter — a child
+  // the reaper already reaped has running == false and is skipped, never
+  // double-waited.
   stop_.store(true);
   if (reaper_.joinable()) reaper_.join();
   {
@@ -254,7 +295,8 @@ void ShardManager::StopAll() {
     for (Child& child : children_) {
       if (!child.running) continue;
       int wstatus = 0;
-      if (::waitpid(child.pid, &wstatus, 0) == child.pid) {
+      const pid_t reaped = ::waitpid(child.pid, &wstatus, 0);
+      if (reaped == child.pid) {
         child.running = false;
         ++child.exits;
         if (WIFEXITED(wstatus)) {
@@ -262,6 +304,10 @@ void ShardManager::StopAll() {
         } else if (WIFSIGNALED(wstatus)) {
           child.last_term_signal = WTERMSIG(wstatus);
         }
+      } else if (reaped < 0 && errno == ECHILD) {
+        // Defensive: the pid is gone from our process's child table. Mark
+        // it dead without counting an exit we never observed.
+        child.running = false;
       }
     }
     started_ = false;
@@ -278,6 +324,7 @@ std::vector<ShardProcessStatus> ShardManager::Status_() const {
     status.pid = child.pid;
     status.running = child.running;
     status.exits = child.exits;
+    status.spawns = child.spawns;
     status.last_exit_code = child.last_exit_code;
     status.last_term_signal = child.last_term_signal;
     out.push_back(status);
@@ -295,6 +342,7 @@ std::string ShardManager::StatusJson() const {
     json += ", \"pid\": " + std::to_string(s.pid);
     json += ", \"running\": " + std::string(s.running ? "true" : "false");
     json += ", \"exits\": " + std::to_string(s.exits);
+    json += ", \"spawns\": " + std::to_string(s.spawns);
     json += ", \"last_exit_code\": " + std::to_string(s.last_exit_code);
     json += ", \"last_term_signal\": " + std::to_string(s.last_term_signal);
     json += "}";

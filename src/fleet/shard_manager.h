@@ -37,6 +37,8 @@ struct ShardProcessStatus {
   bool running = false;
   /// Times this shard exited (crash or kill) since Start.
   uint64_t exits = 0;
+  /// Times this shard was spawned (1 after Start; +1 per Respawn).
+  uint64_t spawns = 0;
   int last_exit_code = 0;     ///< valid when exited normally
   int last_term_signal = 0;   ///< valid when killed by a signal
 };
@@ -47,11 +49,13 @@ struct ShardProcessStatus {
 /// WNOHANG), and exposes liveness both at the process level (running?) and
 /// the protocol level (does `health` answer?).
 ///
-/// The manager deliberately does NOT auto-restart crashed shards: restart
-/// policy belongs to the operator (or the chaos test asserting definite
-/// termination). It gives the building blocks — Kill for fault injection,
-/// StatusJson for observation, StopAll for orderly teardown (shutdown verb,
-/// then SIGTERM, then SIGKILL).
+/// The manager itself still does NOT decide to restart crashed shards:
+/// restart *policy* (backoff, strike budget, permanent failure) lives in
+/// FleetSupervisor. The manager provides the mechanism — Respawn re-forks
+/// one dead shard with its original argv, Kill injects faults, StatusJson
+/// observes, StopAll tears down (shutdown verb, then SIGTERM, then
+/// SIGKILL). Once StopAll begins, Respawn is refused for good: teardown
+/// must never race a restart into signaling a recycled PID.
 class ShardManager {
  public:
   ShardManager() = default;
@@ -74,6 +78,14 @@ class ShardManager {
   /// (SIGKILL mid-storm). kNotFound if the shard is not running.
   Status Kill(int shard_id, int sig);
 
+  /// Re-forks one shard that the reaper has already reaped, with the argv
+  /// it was originally started with (stale socket unlinked first). The
+  /// restart *mechanism* behind FleetSupervisor. kFailedPrecondition while
+  /// the shard still runs (kill it first), or once StopAll has begun —
+  /// teardown and restart must never interleave. Carries the `fleet.spawn`
+  /// fault point, so chaos plans can make the exec fail deterministically.
+  Status Respawn(int shard_id);
+
   /// Orderly teardown: `shutdown` over the socket where it still answers,
   /// SIGTERM for the rest, SIGKILL after a grace period, then reap
   /// everything. Idempotent.
@@ -89,9 +101,13 @@ class ShardManager {
   struct Child {
     int shard_id = 0;
     std::string socket_path;
+    /// Fully substituted argv, retained so Respawn re-execs exactly what
+    /// Start launched.
+    std::vector<std::string> argv;
     pid_t pid = -1;
     bool running = false;
     uint64_t exits = 0;
+    uint64_t spawns = 0;
     int last_exit_code = 0;
     int last_term_signal = 0;
   };
@@ -107,6 +123,13 @@ class ShardManager {
   std::thread reaper_;
   std::atomic<bool> stop_{false};
   bool started_ = false;
+  /// Set (under mu_) the moment StopAll begins and never cleared until the
+  /// next Start: the gate that refuses Respawn during/after teardown.
+  bool stopping_ = false;
+  /// Serializes whole StopAll invocations — two concurrent teardowns
+  /// (destructor + explicit call) must not both join the reaper or both
+  /// run the final blocking reap.
+  std::mutex stop_mu_;
 };
 
 }  // namespace entmatcher

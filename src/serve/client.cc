@@ -107,16 +107,24 @@ Result<WireResponse> ServeClient::CallWithRetry(const WireRequest& request,
   const uint32_t attempts = std::max<uint32_t>(1, policy.max_attempts);
   Rng jitter(policy.jitter_seed);
   uint64_t backoff = policy.initial_backoff_micros;
+  // The most recent retry-after hint any response carried. Kept outside
+  // `last` on purpose: a transport failure on the next attempt replaces
+  // `last` with a plain Status, but the server's backoff request still
+  // stands — a shedding shard that then drops the connection must not be
+  // hammered at the local backoff rate just because the reconnect path
+  // forgot the hint.
+  uint64_t server_hint_micros = 0;
   Result<WireResponse> last =
       Status::Internal("ServeClient: retry loop never ran");
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       // Full-jitter sleep over [backoff/2, backoff], raised to the server's
-      // retry-after hint when it gave one.
+      // retry-after hint when it gave one — even when the attempt that
+      // followed the hint died at the transport level.
       uint64_t sleep_micros =
           backoff / 2 + (backoff > 1 ? jitter.NextBounded(backoff / 2 + 1) : 0);
-      if (last.ok() && last->retry_after_micros > sleep_micros) {
-        sleep_micros = last->retry_after_micros;
+      if (server_hint_micros > sleep_micros) {
+        sleep_micros = server_hint_micros;
       }
       if (policy.budget_micros > 0) {
         const uint64_t spent = static_cast<uint64_t>(
@@ -141,6 +149,9 @@ Result<WireResponse> ServeClient::CallWithRetry(const WireRequest& request,
       }
     }
     last = Call(request);
+    if (last.ok() && last->retry_after_micros > 0) {
+      server_hint_micros = last->retry_after_micros;
+    }
     if (!last.ok()) {
       // Transport-level failure: mark the connection unusable so the next
       // attempt reconnects rather than reading a half-written frame.

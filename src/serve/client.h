@@ -15,7 +15,9 @@ namespace entmatcher {
 /// shutdown) and only on outcomes that can heal: a transport failure
 /// (IoError/NotFound from the frame layer, followed by a reconnect), a
 /// server kUnavailable (shed; honors the server's retry-after hint when it
-/// exceeds the local backoff), or kDeadlineExceeded. Anything else —
+/// exceeds the local backoff — the hint is sticky, so it still floors the
+/// sleep when a later attempt dies at the transport level and reconnects),
+/// or kDeadlineExceeded. Anything else —
 /// kInvalidArgument, kNotFound from the server, kInternal — is definitive
 /// and returns immediately.
 struct RetryPolicy {

@@ -326,10 +326,10 @@ Result<WireRequest> ParseRequest(std::string_view payload) {
   return request;
 }
 
-std::string EncodeValuesResponse(const std::vector<int32_t>& values,
-                                 uint64_t version, bool has_range,
-                                 size_t row_begin, size_t row_end,
-                                 const std::vector<float>& scores) {
+std::string EncodeValuesResponse(
+    const std::vector<int32_t>& values, uint64_t version, bool has_range,
+    size_t row_begin, size_t row_end, const std::vector<float>& scores,
+    const std::vector<std::pair<size_t, size_t>>& coverage) {
   std::string payload = "ok values " + std::to_string(values.size());
   if (version > 0) payload += " version=" + std::to_string(version);
   if (has_range) {
@@ -337,6 +337,15 @@ std::string EncodeValuesResponse(const std::vector<int32_t>& values,
                std::to_string(row_end);
   }
   if (!scores.empty()) payload += " scores=" + std::to_string(scores.size());
+  if (!coverage.empty()) {
+    payload += " coverage=";
+    for (size_t i = 0; i < coverage.size(); ++i) {
+      if (i > 0) payload += ",";
+      payload += std::to_string(coverage[i].first);
+      payload += ":";
+      payload += std::to_string(coverage[i].second);
+    }
+  }
   payload += "\n";
   payload.reserve(payload.size() + values.size() * 4 + scores.size() * 4);
   for (int32_t value : values) {
@@ -415,6 +424,7 @@ Result<WireResponse> ParseResponse(std::string_view payload) {
       const std::string_view kVersion = "version=";
       const std::string_view kRange = "range=";
       const std::string_view kScores = "scores=";
+      const std::string_view kCoverage = "coverage=";
       if (StartsWith(fields[i], kVersion)) {
         EM_ASSIGN_OR_RETURN(response.version,
                             ParseUint(fields[i].substr(kVersion.size())));
@@ -425,6 +435,22 @@ Result<WireResponse> ParseResponse(std::string_view payload) {
       } else if (StartsWith(fields[i], kScores)) {
         EM_ASSIGN_OR_RETURN(score_count,
                             ParseUint(fields[i].substr(kScores.size())));
+      } else if (StartsWith(fields[i], kCoverage)) {
+        std::string_view list = fields[i].substr(kCoverage.size());
+        while (!list.empty()) {
+          const size_t comma = list.find(',');
+          const std::string_view item =
+              comma == std::string_view::npos ? list : list.substr(0, comma);
+          size_t lo = 0;
+          size_t hi = 0;
+          EM_RETURN_NOT_OK(ParseRange(item, &lo, &hi));
+          response.coverage.push_back({lo, hi});
+          list = comma == std::string_view::npos ? std::string_view()
+                                                 : list.substr(comma + 1);
+        }
+        if (response.coverage.empty()) {
+          return Status::InvalidArgument("coverage= carries no ranges");
+        }
       } else {
         return Status::InvalidArgument("unknown values header field: " +
                                        std::string(fields[i]));

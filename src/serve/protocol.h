@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -19,7 +20,7 @@ namespace entmatcher {
 // array. Deliberately dependency-free and greppable — `xxd` on a capture
 // shows the whole conversation.
 //
-// Requests (protocol v2):
+// Requests (protocol v3):
 //   "hello"                            version handshake: responds with a
 //                                      text JSON payload carrying protocol
 //                                      and build versions plus the peer's
@@ -72,13 +73,19 @@ namespace entmatcher {
 // checks the deadline between stages.
 //
 // Responses:
-//   "ok values <n> [version=V] [range=LO:HI] [scores=M]\n"
+//   "ok values <n> [version=V] [range=LO:HI] [scores=M] [coverage=LO:HI,...]\n"
 //       + n little-endian int32s + M little-endian float32 bit patterns
 //                                    (match / topk payload; version tags the
 //                                     pair snapshot that answered, range
 //                                     echoes a routed sub-query's rows, and
 //                                     scores carries bit-exact float scores
-//                                     for routed topk merging)
+//                                     for routed topk merging. coverage= is
+//                                     the router's degraded-answer marker:
+//                                     only the listed source-row ranges are
+//                                     authoritative, rows outside them are
+//                                     -1 placeholders because no live shard
+//                                     owned them. Absent = full coverage.
+//                                     Degraded answers are never cached.)
 //   "ok text\n" + UTF-8 text         (stats / health / hello payload)
 //   "error <CODE> [retry_after_us=N] <message>"  (any failure)
 // retry_after_us is the server's backoff hint on kUnavailable shed
@@ -87,8 +94,10 @@ namespace entmatcher {
 
 /// Wire protocol version, carried in the `hello` handshake. v2 added hello,
 /// shards, route, pair= on match/topk, and the version/range/scores fields
-/// of values responses.
-inline constexpr int kProtocolVersion = 2;
+/// of values responses. v3 added the coverage= field of values responses
+/// (router partial-coverage degradation) — a v2 parser would refuse the
+/// unknown field, so degraded answers require the handshake to agree on v3.
+inline constexpr int kProtocolVersion = 3;
 
 /// Hard cap on accepted frame payloads (1 GiB would be a corrupt length
 /// prefix long before it is a real workload).
@@ -154,16 +163,24 @@ struct WireResponse {
   size_t row_end = 0;
   /// Bit-exact scores parallel to `values` on routed topk responses.
   std::vector<float> scores;
+  /// Degraded-answer marker (coverage=LO:HI,...): the sorted disjoint
+  /// source-row ranges that live shards actually answered. Empty = full
+  /// coverage (the normal case). Rows outside the listed ranges hold -1
+  /// placeholders. Only routers emit this, and only under the degrade
+  /// partial-coverage policy.
+  std::vector<std::pair<size_t, size_t>> coverage;
 };
 
 /// Encodes a values response. `version` tags the answering snapshot (0 =
 /// omit), the range fields echo a routed sub-query (has_range = false =
-/// omit), and `scores` rides along for routed topk (empty = omit) — the v1
-/// one-argument form stays valid for un-routed responses.
-std::string EncodeValuesResponse(const std::vector<int32_t>& values,
-                                 uint64_t version = 0, bool has_range = false,
-                                 size_t row_begin = 0, size_t row_end = 0,
-                                 const std::vector<float>& scores = {});
+/// omit), `scores` rides along for routed topk (empty = omit), and
+/// `coverage` marks a degraded partial answer (empty = full coverage, omit)
+/// — the v1 one-argument form stays valid for un-routed responses.
+std::string EncodeValuesResponse(
+    const std::vector<int32_t>& values, uint64_t version = 0,
+    bool has_range = false, size_t row_begin = 0, size_t row_end = 0,
+    const std::vector<float>& scores = {},
+    const std::vector<std::pair<size_t, size_t>>& coverage = {});
 std::string EncodeTextResponse(std::string_view text);
 std::string EncodeErrorResponse(const Status& status,
                                 uint64_t retry_after_micros = 0);
@@ -175,7 +192,7 @@ Result<WireResponse> ParseResponse(std::string_view payload);
 Result<AlgorithmPreset> ParseServableAlgorithm(std::string_view name);
 
 /// The `hello` handshake payload for a peer serving in `role` ("shard" or
-/// "router"): {"protocol":2,"build":"...","role":"..."}.
+/// "router"): {"protocol":3,"build":"...","role":"..."}.
 std::string HelloJson(std::string_view role);
 
 /// Parses a `hello` payload and checks the peer speaks kProtocolVersion.

@@ -11,9 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -131,6 +133,94 @@ TEST_F(FleetProcessTest, SpawnQueryKillFailoverAndStop) {
   }
   EXPECT_NE(manager.StatusJson().find("\"running\": false"),
             std::string::npos);
+}
+
+// Respawn: the supervisor's restart primitive. A reaped shard re-forks with
+// its original argv, serves again, and the spawn/exit ledger counts every
+// transition exactly once.
+TEST_F(FleetProcessTest, RespawnRevivesAReapedShard) {
+  const ShardPlan plan = MakePlan(/*shards=*/2, /*replicas=*/0);
+  ShardManager manager;
+  ASSERT_TRUE(
+      manager.Start(plan, ShardCommand::SelfServe(plan_path_, cli_path_))
+          .ok());
+  ASSERT_TRUE(manager.WaitHealthy(20'000'000).ok());
+
+  // Respawn on a RUNNING shard is refused — a restart must follow a reaped
+  // exit, never race a live process.
+  EXPECT_EQ(manager.Respawn(0).code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(manager.Kill(0, SIGKILL).ok());
+  bool reaped = false;
+  for (int i = 0; i < 200 && !reaped; ++i) {
+    for (const ShardProcessStatus& status : manager.Status_()) {
+      if (status.shard_id == 0 && !status.running) reaped = true;
+    }
+    if (!reaped) ::usleep(20'000);
+  }
+  ASSERT_TRUE(reaped) << "reaper never observed the SIGKILL";
+
+  Status respawned = manager.Respawn(0);
+  ASSERT_TRUE(respawned.ok()) << respawned.ToString();
+  ASSERT_TRUE(manager.WaitHealthy(20'000'000).ok());
+  for (const ShardProcessStatus& status : manager.Status_()) {
+    if (status.shard_id != 0) continue;
+    EXPECT_TRUE(status.running);
+    EXPECT_EQ(status.spawns, 2u);
+    EXPECT_EQ(status.exits, 1u);
+  }
+
+  manager.StopAll();
+  uint64_t total_exits = 0;
+  for (const ShardProcessStatus& status : manager.Status_()) {
+    EXPECT_FALSE(status.running) << "shard " << status.shard_id;
+    total_exits += status.exits;
+  }
+  // 3 spawns total (2 boots + 1 respawn), 3 exits — nothing double-counted
+  // by the final blocking reap.
+  EXPECT_EQ(total_exits, 3u);
+}
+
+// Regression for the StopAll/reaper race window: once StopAll begins,
+// Respawn is refused for good (a restart racing teardown could resurrect a
+// shard after its "final" kill — or signal a recycled pid), and concurrent
+// StopAll calls neither double-join the reaper nor double-reap a child.
+TEST_F(FleetProcessTest, StopAllRefusesRespawnAndSurvivesConcurrentCalls) {
+  const ShardPlan plan = MakePlan(/*shards=*/2, /*replicas=*/0);
+  ShardManager manager;
+  ASSERT_TRUE(
+      manager.Start(plan, ShardCommand::SelfServe(plan_path_, cli_path_))
+          .ok());
+  ASSERT_TRUE(manager.WaitHealthy(20'000'000).ok());
+
+  // Hammer StopAll from two threads while a third spins Respawn attempts —
+  // the attempts must all be refused (running or stopping), never spawn.
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> spawned_during_stop{0};
+  std::thread respawner([&] {
+    while (!done.load()) {
+      if (manager.Respawn(0).ok()) spawned_during_stop.fetch_add(1);
+    }
+  });
+  std::thread other([&] { manager.StopAll(); });
+  manager.StopAll();
+  other.join();
+  done.store(true);
+  respawner.join();
+
+  EXPECT_EQ(spawned_during_stop.load(), 0u);
+  uint64_t total_exits = 0;
+  for (const ShardProcessStatus& status : manager.Status_()) {
+    EXPECT_FALSE(status.running) << "shard " << status.shard_id;
+    EXPECT_EQ(status.spawns, 1u) << "shard " << status.shard_id;
+    total_exits += status.exits;
+  }
+  // Exactly one observed exit per child: no double-wait, no lost status.
+  EXPECT_EQ(total_exits, 2u);
+
+  // StopAll after StopAll stays a no-op, and Respawn stays refused.
+  manager.StopAll();
+  EXPECT_EQ(manager.Respawn(0).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST_F(FleetProcessTest, WaitHealthyFailsFastWhenAShardDiesAtBoot) {

@@ -99,5 +99,61 @@ TEST(MergeTest, TopKMixedVersionsRefused) {
             StatusCode::kUnavailable);
 }
 
+// Partial-coverage merges — the degrade policy's substrate. Uncovered rows
+// hold -1, coverage lists the answered intervals, and the version guarantee
+// is NOT relaxed.
+TEST(MergePartialTest, AssignmentsFillUncoveredRowsWithSentinel) {
+  Result<PartialMerge> merged = MergeAssignmentsPartial(
+      6, {Part(0, 2, 1, {10, 20}), Part(4, 6, 1, {50, 60})});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->values, (std::vector<int32_t>{10, 20, -1, -1, 50, 60}));
+  EXPECT_EQ(merged->coverage,
+            (std::vector<std::pair<size_t, size_t>>{{0, 2}, {4, 6}}));
+  EXPECT_FALSE(merged->complete);
+}
+
+TEST(MergePartialTest, FullCoverageReportsComplete) {
+  Result<PartialMerge> merged = MergeAssignmentsPartial(
+      4, {Part(0, 2, 1, {10, 20}), Part(2, 4, 1, {30, 40})});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->complete);
+  EXPECT_EQ(merged->coverage,
+            (std::vector<std::pair<size_t, size_t>>{{0, 4}}));
+}
+
+TEST(MergePartialTest, ZeroCoverageStaysUnavailable) {
+  // Degrade never fabricates an answer from nothing.
+  EXPECT_EQ(MergeAssignmentsPartial(4, {}).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(MergePartialTest, MixedVersionsStillRefused) {
+  EXPECT_EQ(MergeAssignmentsPartial(
+                4, {Part(0, 2, 1, {10, 20}), Part(2, 4, 2, {30, 40})})
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(MergePartialTest, ReplicaDisagreementStillInternal) {
+  EXPECT_EQ(MergeAssignmentsPartial(
+                4, {Part(0, 2, 1, {10, 20}), Part(0, 2, 1, {10, 99})})
+                .status()
+                .code(),
+            StatusCode::kInternal);
+}
+
+TEST(MergePartialTest, TopKSkipsUncoveredRows) {
+  // rows 0 and 2 covered, row 1 missing: k=2 slots for row 1 hold -1.
+  Result<PartialMerge> merged = MergeTopKPartial(
+      3, {Part(0, 1, 1, {5, 7}, {0.9f, 0.8f}),
+          Part(2, 3, 1, {2, 4}, {0.6f, 0.5f})});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->values, (std::vector<int32_t>{5, 7, -1, -1, 2, 4}));
+  EXPECT_EQ(merged->coverage,
+            (std::vector<std::pair<size_t, size_t>>{{0, 1}, {2, 3}}));
+  EXPECT_FALSE(merged->complete);
+}
+
 }  // namespace
 }  // namespace entmatcher

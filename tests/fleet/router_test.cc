@@ -168,6 +168,15 @@ class Fleet {
     ::unlink(plan_.shards[i].socket_path.c_str());
   }
 
+  /// Brings a StopShard'ed front end back on its original handler (the
+  /// "shard recovered" half of breaker tests).
+  void RestartShard(size_t i) {
+    Result<std::unique_ptr<SocketServer>> front =
+        SocketServer::Start(handlers_[i].get(), plan_.shards[i].socket_path);
+    EXPECT_TRUE(front.ok()) << front.status().ToString();
+    fronts_[i] = std::move(front).value();
+  }
+
   Router& router() { return *router_; }
   const ShardPlan& plan() const { return plan_; }
   MatchServer& server(size_t i) { return *servers_[i]; }
@@ -444,6 +453,103 @@ TEST_F(RouterTest, RouterHandlerSpeaksTheWireProtocol) {
   EXPECT_FALSE(shutdown);
   handler.Handle("shutdown", &shutdown);
   EXPECT_TRUE(shutdown);
+}
+
+// Circuit breaker: consecutive transport failures open it (fail-fast), the
+// deterministic cooldown half-opens it, and one probe success re-closes it.
+// The ledger is exact because max_attempts=1 makes every failed query
+// exactly one attempt on the dead channel.
+TEST_F(RouterTest, CircuitBreakerOpensFailsFastAndRecloses) {
+  RouterConfig config;
+  config.retry.max_attempts = 1;
+  config.breaker_failures = 2;
+  config.breaker_cooldown_micros = 50'000;
+  Fleet fleet(source_, target_, 2, 1, /*replicas=*/0, config);
+  const WireRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  ASSERT_TRUE(fleet.router().Query(request).ok());  // prime both channels
+
+  fleet.StopShard(0);
+  // Failures 1 and 2: real connect attempts; the second trips the breaker.
+  EXPECT_FALSE(fleet.router().Query(request).ok());
+  EXPECT_FALSE(fleet.router().Query(request).ok());
+  RouterStatsSnapshot stats = fleet.router().Stats();
+  EXPECT_EQ(stats.breaker_opens, 1u) << stats.ToJson();
+  // Open: fails fast without dialing, and says so.
+  Result<WireResponse> fast = fleet.router().Query(request);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_NE(fast.status().message().find("circuit breaker open"),
+            std::string::npos);
+  EXPECT_EQ(fleet.router().Stats().breaker_opens, 1u);
+
+  // Recovery + cooldown: the next attempt is the half-open probe; its
+  // success re-closes the breaker and the query goes through.
+  fleet.RestartShard(0);
+  std::this_thread::sleep_for(std::chrono::microseconds(70'000));
+  Result<WireResponse> recovered = fleet.router().Query(request);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  stats = fleet.router().Stats();
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.breaker_half_opens, 1u);
+  EXPECT_EQ(stats.breaker_closes, 1u);
+}
+
+// Supervisor admission control: a quarantined channel is invisible to
+// routing (not even tried) until Readmit.
+TEST_F(RouterTest, QuarantineExcludesChannelUntilReadmit) {
+  RouterConfig config;
+  config.retry.max_attempts = 1;
+  Fleet fleet(source_, target_, 2, 1, /*replicas=*/0, config);
+  const WireRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  ASSERT_TRUE(fleet.router().Query(request).ok());
+
+  ASSERT_TRUE(fleet.router().Quarantine(0).ok());
+  Result<WireResponse> refused = fleet.router().Query(request);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("no admitted owner"),
+            std::string::npos);
+  EXPECT_NE(fleet.router().FleetHealthJson().find("\"admitted\": false"),
+            std::string::npos);
+
+  ASSERT_TRUE(fleet.router().Readmit(0).ok());
+  EXPECT_TRUE(fleet.router().Query(request).ok());
+  EXPECT_EQ(fleet.router().Quarantine(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(fleet.router().Readmit(99).code(), StatusCode::kNotFound);
+}
+
+// Partial-coverage policy: with degrade on, losing every owner of a range
+// yields the covered rows + coverage annotation instead of kUnavailable —
+// and the covered rows stay bit-identical to the solo answer.
+TEST_F(RouterTest, DegradePolicyAnswersCoveredRangesWhenOwnerDies) {
+  RouterConfig config;
+  config.retry.max_attempts = 1;
+  config.partial_policy = PartialPolicy::kDegrade;
+  Fleet fleet(source_, target_, 2, 1, /*replicas=*/0, config);
+  const WireRequest request = MatchRequest(AlgorithmPreset::kCsls);
+  const std::vector<int32_t> expected = SoloAnswer(request, 1);
+
+  fleet.StopShard(0);
+  Result<WireResponse> degraded = fleet.router().Query(request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_EQ(degraded->values.size(), expected.size());
+  ASSERT_EQ(degraded->coverage.size(), 1u);
+  const auto [lo, hi] = degraded->coverage[0];
+  // Shard 1 owns the second half of the rows; shard 0's half is gone.
+  EXPECT_EQ(hi, kRows);
+  for (size_t row = 0; row < expected.size(); ++row) {
+    if (row >= lo && row < hi) {
+      EXPECT_EQ(degraded->values[row], expected[row]) << "row " << row;
+    } else {
+      EXPECT_EQ(degraded->values[row], -1) << "row " << row;
+    }
+  }
+  const RouterStatsSnapshot stats = fleet.router().Stats();
+  EXPECT_EQ(stats.degraded, 1u) << stats.ToJson();
+  EXPECT_EQ(stats.queries, stats.ok + stats.degraded + stats.failed);
+
+  // Full outage still refuses: degrade never fabricates from nothing.
+  fleet.StopShard(1);
+  EXPECT_FALSE(fleet.router().Query(request).ok());
 }
 
 TEST_F(RouterTest, FleetHealthAggregatesShardHealth) {

@@ -338,5 +338,30 @@ TEST(ProtocolResponse, TruncatedScoresPayloadRejected) {
   EXPECT_FALSE(ParseResponse(wire).ok());
 }
 
+// v3 — degraded answers carry the covered source-row ranges.
+TEST(ProtocolResponse, CoverageRoundTrip) {
+  const std::vector<std::pair<size_t, size_t>> coverage = {{0, 8}, {16, 24}};
+  Result<WireResponse> parsed = ParseResponse(EncodeValuesResponse(
+      {1, -1, 2}, /*version=*/4, /*has_range=*/false, 0, 0, {}, coverage));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->version, 4u);
+  EXPECT_EQ(parsed->coverage, coverage);
+}
+
+TEST(ProtocolResponse, FullCoverageOmitsTheField) {
+  const std::string wire = EncodeValuesResponse({1, 2});
+  EXPECT_EQ(wire.find("coverage="), std::string::npos);
+  Result<WireResponse> parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->coverage.empty());
+}
+
+TEST(ProtocolResponse, MalformedCoverageRejected) {
+  // An empty coverage list and an inverted range are both refused.
+  const std::string body(4, '\0');  // one zero value
+  EXPECT_FALSE(ParseResponse("ok values 1 coverage=\n" + body).ok());
+  EXPECT_FALSE(ParseResponse("ok values 1 coverage=5:2\n" + body).ok());
+}
+
 }  // namespace
 }  // namespace entmatcher

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <string>
@@ -609,6 +611,73 @@ TEST_F(ServeTest, CallWithRetryGivesUpAgainstASaturatedServer) {
   EXPECT_TRUE(parked.get().status.ok());
   (*front)->Stop();
   server->Shutdown();
+}
+
+// Regression (self-healing fleet satellite): the server's retry-after hint
+// must survive a transport failure on the following attempt. A shedding
+// shard that then drops its connection (crash, restart) used to reset the
+// client to its tiny local backoff — hammering the reviving server at
+// microsecond cadence exactly when it asked for breathing room.
+TEST_F(ServeTest, CallWithRetryKeepsServerHintAcrossTransportFailure) {
+  // Sheds every request with a fat retry-after hint, and flags the first
+  // call so the test can kill the listener while the client backs off.
+  class SheddingHandler : public WireHandler {
+   public:
+    std::string Handle(const std::string&, bool*) override {
+      first_answered.set_value_at_most_once();
+      return EncodeErrorResponse(Status::Unavailable("shedding"),
+                                 /*retry_after_micros=*/30000);
+    }
+    struct Once {
+      std::promise<void> promise;
+      std::atomic<bool> set{false};
+      void set_value_at_most_once() {
+        if (!set.exchange(true)) promise.set_value();
+      }
+    };
+    Once first_answered;
+  };
+
+  const std::string socket_path =
+      "/tmp/em_retry_hint_test_" + std::to_string(::getpid()) + ".sock";
+  SheddingHandler handler;
+  Result<std::unique_ptr<SocketServer>> front =
+      SocketServer::Start(static_cast<WireHandler*>(&handler), socket_path);
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 200;
+  policy.budget_micros = 10'000'000;
+
+  WireRequest match;
+  match.verb = WireRequest::Verb::kMatch;
+  match.algorithm = AlgorithmPreset::kCsls;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread killer([&] {
+    // After the first shed response is on the wire, tear the front down so
+    // attempts 2 and 3 die at the transport (connect refused).
+    handler.first_answered.promise.get_future().wait();
+    // Let the response frame reach the client before cutting the cord.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    (*front)->Stop();
+  });
+  Result<WireResponse> wire = client->CallWithRetry(match, policy);
+  killer.join();
+  const uint64_t elapsed_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+
+  // Attempts 2 and 3 hit a dead socket — the final verdict is the transport
+  // failure, but BOTH sleeps honored the 30 ms hint (local backoff alone
+  // would finish in well under a millisecond).
+  EXPECT_FALSE(wire.ok() && wire->status.ok());
+  EXPECT_GE(elapsed_micros, 2 * 30000u - 5000u);
 }
 
 TEST_F(ServeTest, CallWithRetrySucceedsOnceTheServerDrains) {
